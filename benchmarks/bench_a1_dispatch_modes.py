@@ -1,0 +1,83 @@
+"""A1 (ablation) — non-preemptive vs preemptive interrupt dispatch.
+
+DESIGN.md section 5: the paper's runtime executes the periodic model
+step "non-preemptively in a timer interrupt".  This ablation asks what
+the alternative buys: under heavy low-priority load, how do the control
+tick's response times and the high-priority comm ISR's latency differ
+between the two dispatch disciplines?
+"""
+
+import numpy as np
+import pytest
+
+from repro.casestudy import ServoConfig, build_servo_model
+from repro.core import PEERTTarget
+from repro.core.blocks import PEBlockMode
+from repro.mcu.interrupts import DispatchMode, InterruptSource
+from repro.sim import HILSimulator
+
+T_FINAL = 0.4
+SETPOINT = 100.0
+#: background ISR: long, low priority (e.g. a logging DMA drain)
+BG_CYCLES = 25_000
+BG_PERIOD = 3.3e-3
+
+
+def run_mode(mode: DispatchMode):
+    sm = build_servo_model(ServoConfig(setpoint=SETPOINT))
+    app = PEERTTarget(sm.model, dispatch_mode=mode).build()
+    device = app.deploy(PEBlockMode.HW)
+    device.intc.register(
+        InterruptSource("background", priority=9, cycles=BG_CYCLES)
+    )
+    t = BG_PERIOD / 2
+    while t < T_FINAL:
+        device.schedule(t, lambda: device.intc.request("background"))
+        t += BG_PERIOD
+    hil = HILSimulator(app, plant_dt=1e-4)
+    res = hil.run(T_FINAL)
+    prof = hil.profiler()
+    tick = prof.stats(app.tick_vector)
+    jit = prof.jitter(app.tick_vector, app.tick_period)
+    return {
+        "tick_rsp_max_us": tick.response_max * 1e6,
+        "tick_rsp_avg_us": tick.response_avg * 1e6,
+        "jitter_max_us": jit.max_abs_jitter * 1e6,
+        "nesting": device.cpu.max_nesting,
+        "stack": device.cpu.max_stack_bytes,
+        "final_speed": res.final("speed"),
+    }
+
+
+def test_a1_dispatch_modes(report, benchmark):
+    non = run_mode(DispatchMode.NONPREEMPTIVE)
+    pre = run_mode(DispatchMode.PREEMPTIVE)
+
+    rows = []
+    for label, d in (("non-preemptive (paper)", non), ("preemptive", pre)):
+        rows.append(
+            f"{label:<24} {d['tick_rsp_avg_us']:>10.1f} {d['tick_rsp_max_us']:>10.1f} "
+            f"{d['jitter_max_us']:>10.1f} {d['nesting']:>8} {d['stack']:>7} "
+            f"{d['final_speed']:>10.1f}"
+        )
+    report.line(f"dispatch ablation under {BG_CYCLES}-cycle background ISRs")
+    report.table(
+        f"{'discipline':<24} {'rsp avg µs':>10} {'rsp max µs':>10} "
+        f"{'jitter µs':>10} {'nesting':>8} {'stack':>7} {'speed':>10}",
+        rows,
+    )
+    report.line()
+    report.line("shape: preemption cuts the control tick's worst response and")
+    report.line("jitter (it interrupts the background work) at the price of")
+    report.line("deeper nesting and a larger stack — the classic trade the")
+    report.line("paper's non-preemptive choice declines.")
+
+    assert pre["tick_rsp_max_us"] < non["tick_rsp_max_us"]
+    assert pre["jitter_max_us"] <= non["jitter_max_us"]
+    assert pre["nesting"] > non["nesting"]
+    assert pre["stack"] > non["stack"]
+    # both remain functional
+    assert abs(non["final_speed"] - SETPOINT) < 10
+    assert abs(pre["final_speed"] - SETPOINT) < 10
+
+    benchmark.pedantic(run_mode, args=(DispatchMode.NONPREEMPTIVE,), rounds=1, iterations=1)

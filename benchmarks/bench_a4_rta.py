@@ -1,0 +1,86 @@
+"""A4 (ablation/extension) — static analysis vs PIL measurement.
+
+The co-design tool survey the paper builds on pairs simulation with
+schedulability *analysis*.  This bench runs both on the same task set:
+classic fixed-priority RTA bounds vs the worst response times the MCU
+simulator actually produces, across rising background load — showing the
+bounds are safe (never exceeded) and tight (close at the critical
+instant), and where the analysis declares the set unschedulable.
+"""
+
+import pytest
+
+from repro.mcu import DispatchMode, InterruptSource, MCUDevice, MC56F8367
+from repro.rt import AnalyzedTask, BareBoardRuntime, Profiler, ResponseTimeAnalysis
+
+F = 60e6
+LAT = 22
+TICK_CYCLES = 6000.0
+T_RUN = 0.3
+
+
+def measure(bg_cycles: float, bg_period: float):
+    """Simulated worst tick response under critical-instant interference."""
+    dev = MCUDevice(MC56F8367, dispatch_mode=DispatchMode.NONPREEMPTIVE)
+    rt = BareBoardRuntime(dev, 1e-3, lambda: None, TICK_CYCLES, priority=2)
+    rt.install()
+    if bg_cycles > 0:
+        dev.intc.register(InterruptSource("bg", priority=1, cycles=bg_cycles))
+        t = 1e-3 - 1e-7
+        while t < T_RUN:
+            dev.schedule(t, lambda: dev.intc.request("bg"))
+            t += bg_period
+    rt.start()
+    dev.run_for(T_RUN + 5e-3)
+    return Profiler(dev).stats(rt.TICK_VECTOR).response_max
+
+
+def analyze(bg_cycles: float, bg_period: float):
+    tasks = [AnalyzedTask("rt_tick", 2, 1e-3, TICK_CYCLES, LAT)]
+    if bg_cycles > 0:
+        tasks.insert(0, AnalyzedTask("bg", 1, bg_period, bg_cycles, LAT))
+    rta = ResponseTimeAnalysis(tasks, F, DispatchMode.NONPREEMPTIVE)
+    r = rta.response_time("rt_tick")
+    return r.response_time, r.schedulable, rta.utilization()
+
+
+def test_a4_rta(report, benchmark):
+    cases = [
+        (0.0, 1.0),          # no interference
+        (9_000.0, 2e-3),     # light background
+        (24_000.0, 2e-3),    # heavy background
+        (45_000.0, 1.2e-3),  # near saturation
+    ]
+    rows = []
+    data = []
+    for cyc, per in cases:
+        bound, sched, util = analyze(cyc, per)
+        observed = measure(cyc, per)
+        data.append((bound, observed, sched))
+        rows.append(
+            f"{cyc:>10.0f} {per*1e3:>8.1f} {util*100:>7.1f} "
+            f"{observed*1e6:>12.1f} {bound*1e6:>11.1f} "
+            f"{bound/max(observed,1e-12):>7.2f} {'yes' if sched else 'NO':>6}"
+        )
+    report.line("fixed-priority RTA vs simulated worst case (control tick, "
+                "non-preemptive)")
+    report.table(
+        f"{'bg cycles':>10} {'bg T ms':>8} {'U %':>7} "
+        f"{'observed µs':>12} {'bound µs':>11} {'ratio':>7} {'sched':>6}",
+        rows,
+    )
+    report.line()
+    report.line("shape: the analytical bound always covers the simulation (safe);")
+    report.line("it is tight at low/medium load and — like all fixed-priority RTA —")
+    report.line("grows pessimistic near saturation, flagging the set unschedulable")
+    report.line("before the simulation happens to miss a deadline.")
+
+    for bound, observed, sched in data:
+        assert observed <= bound * (1 + 1e-9)  # safety, always
+        if sched:
+            assert bound <= observed * 2.5     # tightness where it matters
+    # the loaded-but-feasible cases remain schedulable at the 1 ms deadline
+    assert all(s for _b, _o, s in data[:3])
+    assert not data[3][2]  # near saturation the analysis says NO first
+
+    benchmark.pedantic(measure, args=(9_000.0, 2e-3), rounds=1, iterations=1)

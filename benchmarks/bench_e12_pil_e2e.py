@@ -1,0 +1,72 @@
+"""E12 — the end-to-end PIL architecture (paper Fig. 6.2).
+
+Exercises the complete concept-figure system: host model -> code
+generation -> "download" to the development-board simulator -> RS-232
+exchange with the plant simulator -> profiling — and measures how the
+harness scales as the controller grows (more generated code, higher step
+cost, same transport).
+"""
+
+import pytest
+
+from repro.casestudy import ServoConfig, build_servo_model
+from repro.core import PEERTTarget
+from repro.model.library import Gain, Terminator
+from repro.sim import PILSimulator
+
+T_FINAL = 0.3
+
+
+def pil_e2e(extra_blocks: int = 0):
+    sm = build_servo_model(ServoConfig(setpoint=100.0))
+    inner = sm.controller.inner
+    # pad the controller with extra computation (filter bank stand-in)
+    prev = inner.block("filt")
+    for k in range(extra_blocks):
+        g = inner.add(Gain(f"pad{k}", gain=1.0))
+        inner.connect(prev, g)
+        t = inner.add(Terminator(f"padt{k}"))
+        inner.connect(g, t)
+    app = PEERTTarget(sm.model).build()
+    pil = PILSimulator(app, baud=115200, plant_dt=1e-4)
+    r = pil.run(T_FINAL)
+    tick = pil.profiler().stats(app.tick_vector)
+    return {
+        "blocks": len(app.cm.order),
+        "loc": app.artifacts.loc,
+        "step_us": tick.exec_avg * 1e6,
+        "cpu_load": pil.profiler().cpu_load(T_FINAL),
+        "final_speed": r.result.final("speed"),
+        "bytes_per_step": r.bytes_per_step,
+    }
+
+
+def test_e12_pil_e2e(report, benchmark):
+    rows = []
+    data = []
+    for extra in (0, 15, 40):
+        d = pil_e2e(extra)
+        data.append(d)
+        rows.append(
+            f"{d['blocks']:>7} {d['loc']:>7} {d['step_us']:>9.1f} "
+            f"{d['cpu_load']*100:>8.2f} {d['bytes_per_step']:>11.1f} "
+            f"{d['final_speed']:>12.1f}"
+        )
+    report.line("end-to-end PIL (Fig 6.2) vs controller size, 115200 baud")
+    report.table(
+        f"{'blocks':>7} {'C LoC':>7} {'step µs':>9} {'CPU %':>8} "
+        f"{'bytes/step':>11} {'speed rad/s':>12}",
+        rows,
+    )
+    report.line()
+    report.line("shape: generated code and step cost grow with the model; the")
+    report.line("transport cost per step is constant (same sensor/actuator set);")
+    report.line("the loop keeps tracking throughout.")
+
+    assert data[0]["step_us"] < data[-1]["step_us"]
+    assert data[0]["loc"] < data[-1]["loc"]
+    assert abs(data[0]["bytes_per_step"] - data[-1]["bytes_per_step"]) < 0.5
+    for d in data:
+        assert d["final_speed"] == pytest.approx(100.0, abs=10.0)
+
+    benchmark.pedantic(pil_e2e, args=(0,), rounds=1, iterations=1)

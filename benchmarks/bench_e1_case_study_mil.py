@@ -1,0 +1,46 @@
+"""E1 — the case study (Fig. 7.1/7.2): servo MIL simulation.
+
+Reproduces section 7's development artefact: the closed-loop model built
+from the PE block set, simulated model-in-the-loop, with the control-
+quality figures the paper's motivation names (rise time, overshoot,
+stability; section 1).
+"""
+
+import pytest
+
+from repro.analysis import is_diverging, step_metrics
+from repro.casestudy import ServoConfig, build_servo_model
+from repro.sim import run_mil
+
+SETPOINT = 100.0
+DT = 1e-4
+
+
+def run_case_study(t_final=1.0):
+    servo = build_servo_model(ServoConfig(setpoint=SETPOINT))
+    return run_mil(servo.model, t_final=t_final, dt=DT)
+
+
+def test_e1_case_study_mil(report, benchmark):
+    res = run_case_study(t_final=1.0)
+    m = step_metrics(res.t, res["speed"], reference=SETPOINT)
+
+    report.line("case-study servo, MIL (MC56F8367 block set, 1 kHz loop)")
+    report.table(
+        f"{'metric':<24} {'value':>12}",
+        [
+            f"{'final speed (rad/s)':<24} {m.final_value:>12.2f}",
+            f"{'rise time (ms)':<24} {m.rise_time*1e3:>12.1f}",
+            f"{'overshoot (%)':<24} {m.overshoot_pct:>12.2f}",
+            f"{'settling time (ms)':<24} {m.settling_time*1e3:>12.1f}",
+            f"{'steady-state err (rad/s)':<24} {m.steady_state_error:>12.4f}",
+        ],
+    )
+
+    # expected shape: a well-tuned servo loop
+    assert m.final_value == pytest.approx(SETPOINT, abs=2.0)
+    assert m.rise_time is not None and m.rise_time < 0.2
+    assert m.overshoot_pct < 15.0
+    assert not is_diverging(res.t, res["speed"], SETPOINT)
+
+    benchmark.pedantic(run_case_study, kwargs={"t_final": 0.2}, rounds=3, iterations=1)

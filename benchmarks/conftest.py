@@ -1,0 +1,51 @@
+"""Shared benchmark infrastructure.
+
+Every experiment Ei from DESIGN.md has one ``bench_ei_*.py`` file that
+
+* reproduces the corresponding paper figure/claim, printing the measured
+  rows (captured into ``benchmarks/results/Ei.txt`` for EXPERIMENTS.md),
+* asserts the *shape* of the result (who wins, by roughly what factor),
+* times one representative run through pytest-benchmark.
+"""
+
+import io
+import pathlib
+import sys
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+class ExperimentReport:
+    """Collects printed rows and persists them per experiment."""
+
+    def __init__(self, exp_id: str, title: str):
+        self.exp_id = exp_id
+        self.title = title
+        self.lines: list[str] = [f"{exp_id}: {title}", "=" * 60]
+
+    def line(self, text: str = "") -> None:
+        self.lines.append(text)
+        print(text)
+
+    def table(self, header: str, rows: list[str]) -> None:
+        self.line(header)
+        self.line("-" * len(header))
+        for r in rows:
+            self.line(r)
+
+    def save(self) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{self.exp_id}.txt"
+        path.write_text("\n".join(self.lines) + "\n")
+
+
+@pytest.fixture
+def report(request):
+    """Per-test experiment report; saved on teardown."""
+    name = request.node.name
+    exp_id = name.split("_")[1].upper() if "_" in name else name
+    rep = ExperimentReport(exp_id, name)
+    yield rep
+    rep.save()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Multirate cascade control: a 10 kHz current loop inside the 1 kHz
+speed loop, in one generated application.
+
+The generated code runs everything from one base-rate timer interrupt;
+the slower blocks execute behind rate guards (``rt_tick % 10``) — the
+multirate pattern production motor drives use.  The inner loop closes
+over the ADC current sense, the outer over the quadrature encoder.
+
+Run:  python examples/cascade_current_loop.py
+"""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "tests"))
+
+from integration.test_cascade_control import TS_FAST, build_cascade_model  # noqa: E402
+
+from repro.analysis import step_metrics  # noqa: E402
+from repro.core import PEERTTarget  # noqa: E402
+from repro.sim import HILSimulator, run_mil  # noqa: E402
+
+
+def main() -> None:
+    model = build_cascade_model()
+    print(f"cascade model: {model}")
+    print("controller rates: current loop 0.1 ms, speed loop 1 ms")
+
+    mil = run_mil(model, t_final=0.6, dt=TS_FAST)
+    m = step_metrics(mil.t, mil["speed"], reference=100.0)
+    print(f"\nMIL: {m.summary()}")
+
+    model2 = build_cascade_model()
+    app = PEERTTarget(model2).build()
+    print(f"\ngenerated {app.artifacts.loc} LoC at base rate {app.dt*1e6:.0f} µs")
+    guard_lines = [
+        ln.strip() for ln in app.artifacts.files["cascade.c"].splitlines()
+        if "rt_tick %" in ln
+    ]
+    print(f"rate guards in the step function: {len(guard_lines)} "
+          f"(e.g. '{guard_lines[0]}')")
+
+    hil = HILSimulator(app, plant_dt=TS_FAST)
+    res = hil.run(0.6)
+    mh = step_metrics(res.t, res["speed"], reference=100.0)
+    print(f"\nHIL: {mh.summary()}")
+    print(hil.profiler().report(0.6))
+
+
+if __name__ == "__main__":
+    main()

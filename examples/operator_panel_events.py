@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Event-driven modeling: the keyboard, the mode chart and function-call
+subsystems.
+
+Section 7: "A few button keyboard is used to set the speed set-point and
+switch between the manual and the automatic control mode."  Section 5:
+peripheral events "can be used for the event-driven triggering of a
+subsystem block execution or an asynchronous change of a Stateflow chart
+state."
+
+This example builds the operator panel in MIL: three BitIO blocks (MODE,
+UP, DOWN buttons), a state chart holding the mode and the set-point, and a
+servo loop whose reference follows the panel.  Button presses arrive as
+pulse trains; the chart reacts to rising edges only.
+
+Run:  python examples/operator_panel_events.py
+"""
+
+from repro.casestudy import ServoConfig, build_servo_model
+from repro.core.blocks import BitIOBlock
+from repro.model.library import PulseGenerator, Scope, Step, Terminator
+from repro.plants.operator_panel import PanelConfig, build_keyboard_chart
+from repro.sim import run_mil
+from repro.stateflow import ChartBlock
+
+
+def main() -> None:
+    servo = build_servo_model(ServoConfig(setpoint=50.0))
+    m = servo.model
+    inner = servo.controller.inner
+
+    # keyboard hardware: three input pins on the MCU
+    key_mode = inner.add(BitIOBlock("KEY_MODE", pin=0, direction="input"))
+    key_up = inner.add(BitIOBlock("KEY_UP", pin=1, direction="input"))
+    key_down = inner.add(BitIOBlock("KEY_DOWN", pin=2, direction="input"))
+
+    # the mode/set-point chart, stepped at the control rate
+    panel = build_keyboard_chart(PanelConfig(setpoint_step=25.0, initial_setpoint=50.0))
+    chart = inner.add(
+        ChartBlock(
+            "panel",
+            panel,
+            inputs=["btn_mode", "btn_up", "btn_down"],
+            outputs=["setpoint", "mode"],
+            sample_time=servo.config.control_period,
+            edge_events=["btn_mode", "btn_up", "btn_down"],
+        )
+    )
+    inner.connect(key_mode, chart, 0, 0)
+    inner.connect(key_up, chart, 0, 1)
+    inner.connect(key_down, chart, 0, 2)
+    mode_sink = inner.add(Terminator("mode_sink"))
+    inner.connect(chart, mode_sink, 1, 0)
+
+    # the chart's set-point replaces the constant reference
+    inner.remove("ref")
+    inner.connect(chart, inner.block("err"), 0, 0)
+
+    # button wiring from the outside world (subsystem inputs 1..3):
+    from repro.model.library import Inport
+
+    for idx, (name, blk) in enumerate(
+        [("mode_btn", key_mode), ("up_btn", key_up), ("down_btn", key_down)], start=1
+    ):
+        port = inner.add(Inport(name, index=idx))
+        inner.connect(port, blk)
+
+    # the panel powers up in MANUAL mode; press MODE at 0.2 s to go
+    # automatic, then press UP twice (at 0.8 s and 1.6 s)
+    mode_src = m.add(PulseGenerator("mode_press", period=10.0, duty=0.01, delay=0.2))
+    up_src = m.add(PulseGenerator("up_press", period=0.8, duty=0.1, delay=0.8))
+    zero2 = m.add(Step("no_down", step_time=1e9))
+    m.connect(mode_src, servo.controller, 0, 1)
+    m.connect(up_src, servo.controller, 0, 2)
+    m.connect(zero2, servo.controller, 0, 3)
+
+    res = run_mil(m, t_final=2.4, dt=1e-4)
+    print("speed at t=0.7 s (auto mode, set-point  50):", round(res.at("speed", 0.7), 1))
+    print("speed at t=1.5 s (after 1st UP    ->  75):", round(res.at("speed", 1.5), 1))
+    print("speed at t=2.3 s (after 2nd UP    -> 100):", round(res.at("speed", 2.3), 1))
+    print("chart state:", panel.active_leaf.name, "| set-point:", panel.data["setpoint"])
+
+
+if __name__ == "__main__":
+    main()

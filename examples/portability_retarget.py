@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Retargeting the application across MCU families (the paper's headline
+portability claim, sections 1 and 5).
+
+"The model with the PE blocks can be moreover extremely simply ported to
+another MCU by selecting another CPU bean in the PE project window.  The
+application design in Simulink therefore becomes HW independent."
+
+This example moves the identical servo model across three chips by
+changing one property, rebuilds, and compares the result with the edit
+cost of a conventional per-MCU block set.
+
+Run:  python examples/portability_retarget.py
+"""
+
+from repro.baselines import count_retarget_edits, build_generic_servo_model
+from repro.casestudy import ServoConfig, build_servo_model
+from repro.core import PEERTTarget, TargetError
+
+CHIPS = ["MC56F8367", "MCF5235", "MC56F8013"]
+
+
+def main() -> None:
+    servo = build_servo_model(ServoConfig(setpoint=100.0))
+    sig_before = servo.model.structural_signature()
+
+    print(f"{'chip':<14} {'result':<10} {'LoC':>6} {'cycles/step':>12} "
+          f"{'µs/step':>9} {'RAM B':>7} {'model edits':>12}")
+    for chip in CHIPS:
+        servo.pe_config.set_property("chip", chip)  # THE retarget action
+        try:
+            app = PEERTTarget(servo.model).build()
+        except TargetError as e:
+            reason = str(e).splitlines()[-1]
+            print(f"{chip:<14} {'REJECTED':<10} {'-':>6} {'-':>12} {'-':>9} "
+                  f"{'-':>7} {0:>12}   <- {reason}")
+            continue
+        f = app.project.chip.f_sys_max
+        us = app.artifacts.step_cost_cycles / f * 1e6
+        print(f"{chip:<14} {'ok':<10} {app.artifacts.loc:>6} "
+              f"{app.artifacts.step_cost_cycles:>12.0f} {us:>9.1f} "
+              f"{app.artifacts.ram_bytes:>7} {0:>12}")
+
+    assert servo.model.structural_signature() == sig_before
+    print("\nmodel structural signature unchanged across all retargets "
+          "(zero block edits — only the CPU bean property changed)")
+
+    # the conventional target needs one block swap per peripheral
+    generic = build_generic_servo_model(ServoConfig())
+    edits = count_retarget_edits(generic.controller.inner, "MC9S12DP256")
+    print(f"\nconventional per-MCU target: retargeting the same diagram "
+          f"costs {edits} block replacements (plus re-entering every "
+          f"peripheral setting, unvalidated)")
+
+    print("\nnote: MC56F8013 is correctly *rejected at design time* — it has "
+          "no quadrature decoder, which Processor Expert reports before any "
+          "code is generated.")
+
+
+if __name__ == "__main__":
+    main()

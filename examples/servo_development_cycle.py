@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""The full V-model development cycle of the paper's case study (section 7).
+
+Walks the workflow exactly as section 7 describes it:
+
+1. MIL simulation of the double-precision controller design;
+2. the data-type decision — "the default data type used in Simulink is
+   double.  This type is, however, not appropriate for the implementation
+   in the 16-bit microcontroller without the floating point unit" — so the
+   controller is converted to Q15 fixed point and re-validated in MIL;
+3. code generation for both variants, comparing the modelled execution
+   cost on the FPU-less MC56F8367;
+4. PIL validation of the fixed-point build, with the profiling report.
+
+Run:  python examples/servo_development_cycle.py
+"""
+
+from repro.analysis import step_metrics, trajectory_rmse
+from repro.casestudy import ServoConfig, build_servo_model
+from repro.core import PEERTTarget
+from repro.sim import PILSimulator, run_mil
+
+T_FINAL = 0.8
+SETPOINT = 100.0
+
+
+def mil_phase(fixed_point: bool):
+    servo = build_servo_model(ServoConfig(setpoint=SETPOINT, fixed_point=fixed_point))
+    res = run_mil(servo.model, t_final=T_FINAL, dt=1e-4)
+    return servo, res
+
+
+def main() -> None:
+    # ------------------------------------------------------------- MIL
+    print("=== phase 1: MIL, double precision ===")
+    servo_f, mil_f = mil_phase(fixed_point=False)
+    mf = step_metrics(mil_f.t, mil_f["speed"], reference=SETPOINT)
+    print("double  :", mf.summary())
+
+    print("\n=== phase 2: fixed-point conversion, MIL re-validation ===")
+    servo_q, mil_q = mil_phase(fixed_point=True)
+    mq = step_metrics(mil_q.t, mil_q["speed"], reference=SETPOINT)
+    print("Q15     :", mq.summary())
+    rmse = trajectory_rmse(mil_f.t, mil_f["speed"], mil_q.t, mil_q["speed"])
+    print(f"double vs Q15 trajectory RMSE: {rmse:.3f} rad/s")
+
+    # ------------------------------------------------------- codegen
+    print("\n=== phase 3: code generation and execution cost ===")
+    app_f = PEERTTarget(servo_f.model).build()
+    app_q = PEERTTarget(servo_q.model).build()
+    cyc_f = app_f.artifacts.step_cost_cycles
+    cyc_q = app_q.artifacts.step_cost_cycles
+    print(f"double step cost : {cyc_f:7.0f} cycles  ({cyc_f/60e6*1e6:6.1f} µs @ 60 MHz)")
+    print(f"Q15 step cost    : {cyc_q:7.0f} cycles  ({cyc_q/60e6*1e6:6.1f} µs @ 60 MHz)")
+    print(f"fixed point is {cyc_f/cyc_q:.1f}x cheaper on the FPU-less core")
+
+    # ------------------------------------------------------------- PIL
+    print("\n=== phase 4: PIL validation of the fixed-point build ===")
+    pil = PILSimulator(app_q, baud=115200, plant_dt=1e-4)
+    r = pil.run(T_FINAL)
+    mp = step_metrics(r.result.t, r.result["speed"], reference=SETPOINT)
+    print("PIL     :", mp.summary())
+    print(pil.profiler().report(T_FINAL))
+    print(f"memory report: {app_q.memory_report()}")
+
+
+if __name__ == "__main__":
+    main()

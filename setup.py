@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The execution environment has an older setuptools without the ``wheel``
+package, so PEP 660 editable installs fail; this shim lets
+``pip install -e .`` take the legacy ``setup.py develop`` path offline.
+"""
+
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Integrated environment for embedded control systems design — "
+        "reproduction of Bartosinski et al., IPPS 2007 (PEERT)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23"],
+)

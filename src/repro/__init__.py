@@ -1,0 +1,58 @@
+"""repro — Integrated Environment for Embedded Control Systems Design.
+
+A full reproduction of Bartosinski, Hanzálek, Stružka & Waszniowski,
+*Integrated Environment for Embedded Control Systems Design* (IPPS 2007):
+the PEERT target integrating a Processor-Expert-style hardware abstraction
+into a Simulink-style modeling environment, with MIL / PIL / HIL
+validation on a simulated Freescale MCU.
+
+Quick start::
+
+    from repro.casestudy import build_servo_model, ServoConfig
+    from repro.core import PEERTTarget
+    from repro.sim import run_mil, PILSimulator
+
+    servo = build_servo_model(ServoConfig(setpoint=100.0))
+    mil = run_mil(servo.model, t_final=1.0, dt=1e-4)      # model in the loop
+    app = PEERTTarget(servo.model).build()                 # generate + validate
+    pil = PILSimulator(app, baud=115200).run(1.0)          # processor in the loop
+
+Package map (see DESIGN.md for the full inventory):
+
+==================  =======================================================
+``repro.model``     block-diagram modeling + fixed-step simulation engine
+``repro.stateflow`` hierarchical state charts
+``repro.fixpt``     Q-format fixed-point arithmetic
+``repro.mcu``       MCU simulator: clocks, interrupts, peripherals, chips
+``repro.pe``        Processor Expert substitute: beans, expert system, HAL
+``repro.codegen``   RTW substitute: templates, C emission, cost model
+``repro.rt``        bare-board runtime + PIL profiler
+``repro.comm``      RS-232 line + PIL packet protocol
+``repro.core``      **PEERT** — the paper's contribution
+``repro.sim``       MIL / PIL / HIL co-simulation harnesses
+``repro.plants``    DC motor, power stage, IRC encoder, keyboard
+``repro.control``   PID (double + Q15), filters, references
+``repro.analysis``  step metrics, trajectory comparison, stability
+``repro.baselines`` the conventional per-MCU target (paper section 3.1)
+==================  =======================================================
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "model",
+    "stateflow",
+    "fixpt",
+    "mcu",
+    "pe",
+    "codegen",
+    "rt",
+    "comm",
+    "core",
+    "sim",
+    "plants",
+    "control",
+    "analysis",
+    "baselines",
+    "casestudy",
+]

@@ -1,0 +1,22 @@
+"""Control-quality and trajectory analysis.
+
+Quantifies the properties the paper's motivation names — "control
+performance (e.g. rise time, overshoot, and stability)" (section 1) — and
+the MIL/PIL trajectory comparisons the fidelity experiments need.
+"""
+
+from .step_metrics import StepMetrics, step_metrics, iae, ise, itae
+from .compare import trajectory_rmse, trajectory_max_error, resample_to
+from .stability import is_diverging
+
+__all__ = [
+    "StepMetrics",
+    "step_metrics",
+    "iae",
+    "ise",
+    "itae",
+    "trajectory_rmse",
+    "trajectory_max_error",
+    "resample_to",
+    "is_diverging",
+]

@@ -1,0 +1,40 @@
+"""Trajectory comparison helpers (MIL vs PIL fidelity measurements)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def resample_to(
+    t_ref: np.ndarray, t: np.ndarray, y: np.ndarray
+) -> np.ndarray:
+    """Linear resampling of ``(t, y)`` onto ``t_ref`` (clipped at the ends)."""
+    return np.interp(np.asarray(t_ref), np.asarray(t), np.asarray(y))
+
+
+def trajectory_rmse(
+    t_a: np.ndarray, y_a: np.ndarray, t_b: np.ndarray, y_b: np.ndarray
+) -> float:
+    """RMS difference of two trajectories over their common time span."""
+    t0 = max(t_a[0], t_b[0])
+    t1 = min(t_a[-1], t_b[-1])
+    if t1 <= t0:
+        raise ValueError("trajectories do not overlap in time")
+    grid = np.linspace(t0, t1, 500)
+    a = resample_to(grid, t_a, y_a)
+    b = resample_to(grid, t_b, y_b)
+    return float(np.sqrt(np.mean((a - b) ** 2)))
+
+
+def trajectory_max_error(
+    t_a: np.ndarray, y_a: np.ndarray, t_b: np.ndarray, y_b: np.ndarray
+) -> float:
+    """Maximum absolute difference over the common time span."""
+    t0 = max(t_a[0], t_b[0])
+    t1 = min(t_a[-1], t_b[-1])
+    if t1 <= t0:
+        raise ValueError("trajectories do not overlap in time")
+    grid = np.linspace(t0, t1, 500)
+    a = resample_to(grid, t_a, y_a)
+    b = resample_to(grid, t_b, y_b)
+    return float(np.max(np.abs(a - b)))

@@ -1,0 +1,40 @@
+"""Divergence detection.
+
+The paper warns that timing variations "may in extreme cases lead to the
+instability" (section 1); experiment E6 sweeps jitter and delay and needs
+a robust detector for when the loop has actually let go.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def is_diverging(
+    t: np.ndarray,
+    y: np.ndarray,
+    reference: float,
+    blowup_factor: float = 5.0,
+    growth_factor: float = 1.5,
+) -> bool:
+    """Heuristic instability check.
+
+    Diverging when either (a) the signal exceeds ``blowup_factor`` times
+    the reference magnitude, or (b) the error envelope of the last third
+    grew by ``growth_factor`` over the middle third (sustained growth).
+    """
+    y = np.asarray(y, dtype=np.float64)
+    if y.size < 9:
+        raise ValueError("need at least 9 samples")
+    ref_mag = max(abs(reference), 1e-9)
+    if np.max(np.abs(y)) > blowup_factor * ref_mag:
+        return True
+    err = np.abs(y - reference)
+    n = len(err)
+    mid = err[n // 3: 2 * n // 3]
+    late = err[2 * n // 3:]
+    mid_env = np.max(mid) if mid.size else 0.0
+    late_env = np.max(late) if late.size else 0.0
+    if mid_env < 1e-6 * ref_mag:
+        return False
+    return late_env > growth_factor * mid_env and late_env > 0.2 * ref_mag

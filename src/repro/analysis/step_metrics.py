@@ -1,0 +1,106 @@
+"""Step-response quality metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+_trapz = getattr(np, "trapezoid", None) or np.trapz  # numpy 2 renamed trapz
+
+
+@dataclass(frozen=True)
+class StepMetrics:
+    """Classic step-response figures of merit."""
+
+    final_value: float
+    rise_time: Optional[float]       # 10% -> 90% of the final value
+    overshoot_pct: float             # peak above final, % of the step size
+    settling_time: Optional[float]   # last exit from the +/- band
+    steady_state_error: float        # |reference - final|
+
+    def summary(self) -> str:
+        rt = f"{self.rise_time*1e3:.1f} ms" if self.rise_time is not None else "n/a"
+        st = f"{self.settling_time*1e3:.1f} ms" if self.settling_time is not None else "n/a"
+        return (
+            f"rise {rt}, overshoot {self.overshoot_pct:.1f}%, settle {st}, "
+            f"ss-err {self.steady_state_error:.3g}"
+        )
+
+
+def step_metrics(
+    t: np.ndarray,
+    y: np.ndarray,
+    reference: float,
+    t_step: float = 0.0,
+    settle_band: float = 0.02,
+    initial: float = 0.0,
+) -> StepMetrics:
+    """Analyse the response of ``y`` to a reference step at ``t_step``.
+
+    ``settle_band`` is relative to the step size.  The final value is the
+    mean of the last 5 % of samples (robust against ripple).
+    """
+    t = np.asarray(t, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if t.shape != y.shape or t.size < 4:
+        raise ValueError("t and y must be equal-length arrays of >= 4 samples")
+    mask = t >= t_step
+    t, y = t[mask], y[mask]
+    tail = max(2, int(0.05 * len(y)))
+    final = float(np.mean(y[-tail:]))
+    step_size = reference - initial
+    if step_size == 0:
+        raise ValueError("reference step size is zero")
+
+    # rise time 10% -> 90% of the step
+    lo = initial + 0.1 * step_size
+    hi = initial + 0.9 * step_size
+    above_lo = np.nonzero((y - lo) * np.sign(step_size) >= 0)[0]
+    above_hi = np.nonzero((y - hi) * np.sign(step_size) >= 0)[0]
+    rise: Optional[float] = None
+    if above_lo.size and above_hi.size and above_hi[0] >= above_lo[0]:
+        rise = float(t[above_hi[0]] - t[above_lo[0]])
+
+    # overshoot relative to the step size
+    if step_size > 0:
+        peak = float(np.max(y))
+        over = max(0.0, peak - final)
+    else:
+        peak = float(np.min(y))
+        over = max(0.0, final - peak)
+    overshoot_pct = 100.0 * over / abs(step_size)
+
+    # settling: last time outside the band
+    band = abs(step_size) * settle_band
+    outside = np.nonzero(np.abs(y - final) > band)[0]
+    settling: Optional[float] = None
+    if outside.size == 0:
+        settling = 0.0
+    elif outside[-1] + 1 < len(t):
+        settling = float(t[outside[-1] + 1] - t[0])
+
+    return StepMetrics(
+        final_value=final,
+        rise_time=rise,
+        overshoot_pct=overshoot_pct,
+        settling_time=settling,
+        steady_state_error=abs(reference - final),
+    )
+
+
+def iae(t: np.ndarray, e: np.ndarray) -> float:
+    """Integral of absolute error."""
+    return float(_trapz(np.abs(e), t))
+
+
+def ise(t: np.ndarray, e: np.ndarray) -> float:
+    """Integral of squared error."""
+    return float(_trapz(np.square(e), t))
+
+
+def itae(t: np.ndarray, e: np.ndarray) -> float:
+    """Time-weighted integral of absolute error."""
+    t = np.asarray(t, dtype=np.float64)
+    return float(_trapz((t - t[0]) * np.abs(e), t))

@@ -1,0 +1,43 @@
+"""The comparison baseline: a conventional MCU code-generation target.
+
+Paper section 3.1 lists the weaknesses of existing Simulink targets that
+motivated PEERT; this package *implements* those weaknesses so the
+benchmarks can measure the difference head-to-head:
+
+* per-MCU block sets ("each MCU target has its own block set ... prevents
+  the reusability and the portability of the model");
+* pass-through simulation behaviour ("the simulation behavior of blocks
+  representing peripherals is trivial (pass-through)");
+* predefined, unchangeable hardware settings ("the way in which the
+  peripheral HW is handled ... is predefined by the target developers and
+  it can not be changed by the user");
+* no design-time validation ("validation of the HW settings in the time
+  and the resource domain is missing").
+"""
+
+from .truetime import DeclaredTask, TrueTimeKernelBlock
+from .generic_target import (
+    GenericPeripheralBlock,
+    GenericADC,
+    GenericPWM,
+    GenericQuadDec,
+    make_generic_blockset,
+    retarget_generic_model,
+    count_retarget_edits,
+    build_generic_servo_model,
+    GenericConfigStore,
+)
+
+__all__ = [
+    "DeclaredTask",
+    "TrueTimeKernelBlock",
+    "GenericPeripheralBlock",
+    "GenericADC",
+    "GenericPWM",
+    "GenericQuadDec",
+    "make_generic_blockset",
+    "retarget_generic_model",
+    "count_retarget_edits",
+    "build_generic_servo_model",
+    "GenericConfigStore",
+]

@@ -1,0 +1,255 @@
+"""A conventional per-MCU code-generation target (the paper's strawman,
+implemented honestly).
+
+The blocks here behave the way section 3.1 describes: they are bound to a
+single MCU family at creation, they accept any configuration silently, and
+in simulation they pass data straight through — so the model the control
+engineer validates in MIL is *not* the system that runs on the target.
+The benchmarks measure the consequences: MIL/PIL divergence (E2), edit
+counts on retarget (E4), undetected configuration errors (E5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Type
+
+from repro.model.block import Block
+from repro.model.graph import Model
+from repro.model.library import Subsystem
+
+#: MCUs this baseline target family ships block sets for — deliberately a
+#: subset ("only few targets exist and therefore far from all MCU families
+#: and derivates are supported").
+SUPPORTED_CHIPS = ("MC56F8367", "MC9S12DP256")
+
+
+class GenericPeripheralBlock(Block):
+    """Base: chip-locked, unvalidated, pass-through in simulation."""
+
+    KIND = "generic"
+
+    def __init__(self, name: str, chip: str, **settings: Any):
+        super().__init__(name)
+        if chip not in SUPPORTED_CHIPS:
+            raise ValueError(
+                f"the generic target has no {type(self).__name__} block for "
+                f"'{chip}'; supported: {SUPPORTED_CHIPS}"
+            )
+        self.chip = chip
+        #: accepted verbatim — "each parameter changes are therefore an
+        #: error prone process" (no knowledge base behind this dict)
+        self.settings = dict(settings)
+
+    def configure(self, **settings: Any) -> None:
+        """Accepts anything; nothing is checked until the hardware fails."""
+        self.settings.update(settings)
+
+
+class GenericADC(GenericPeripheralBlock):
+    """ADC block of the baseline target: pass-through simulation.
+
+    The deployed hardware will quantize; the simulation does not — the
+    fidelity gap experiment E2 measures.
+    """
+
+    KIND = "adc"
+    n_in = 1
+    n_out = 1
+
+    def __init__(self, name: str, chip: str, sample_time: float = -1.0, **settings: Any):
+        super().__init__(name, chip, **settings)
+        self.sample_time = float(sample_time)
+
+    def outputs(self, t, u, ctx):
+        return [u[0]]  # trivial pass-through
+
+
+class GenericPWM(GenericPeripheralBlock):
+    """PWM block: pass-through duty, predefined 8-bit resolution on HW."""
+
+    KIND = "pwm"
+    n_in = 1
+    n_out = 1
+    #: fixed by the target developers, not user-changeable
+    PREDEFINED_FREQUENCY = 4000.0
+    PREDEFINED_DUTY_BITS = 8
+
+    def outputs(self, t, u, ctx):
+        return [min(max(u[0], 0.0), 1.0)]
+
+
+class GenericQuadDec(GenericPeripheralBlock):
+    """Quadrature input block: pass-through count."""
+
+    KIND = "qdec"
+    n_in = 1
+    n_out = 1
+
+    def outputs(self, t, u, ctx):
+        return [u[0]]
+
+
+def make_generic_blockset(chip: str) -> dict[str, Type[GenericPeripheralBlock]]:
+    """One block set per MCU: returns chip-specialised classes whose names
+    embed the chip (e.g. ``MC9S12DP256_ADC``) — the structural reason a
+    model built from them cannot move to another MCU without edits."""
+    if chip not in SUPPORTED_CHIPS:
+        raise ValueError(f"no generic block set for '{chip}'")
+    out: dict[str, Type[GenericPeripheralBlock]] = {}
+    for base in (GenericADC, GenericPWM, GenericQuadDec):
+        cls = type(
+            f"{chip}_{base.KIND.upper()}",
+            (base,),
+            {"__init__": (lambda c: lambda self, name, **kw: base.__init__(self, name, c, **kw))(chip)},
+        )
+        out[base.KIND] = cls
+    return out
+
+
+def count_retarget_edits(model: Model, new_chip: str) -> int:
+    """How many model edits moving to ``new_chip`` costs under the baseline
+    target: every chip-locked block must be swapped (the PEERT answer is a
+    constant 1 — select another CPU bean)."""
+    edits = 0
+    for block in model.blocks.values():
+        if isinstance(block, GenericPeripheralBlock) and block.chip != new_chip:
+            edits += 1
+        if isinstance(block, Subsystem):
+            edits += count_retarget_edits(block.inner, new_chip)
+    return edits
+
+
+def retarget_generic_model(model: Model, new_chip: str) -> int:
+    """Perform the swap: replace every chip-locked block with the new
+    chip's equivalent, rewiring its lines.  Returns the edit count."""
+    edits = 0
+    for name in list(model.blocks):
+        block = model.blocks[name]
+        if isinstance(block, Subsystem):
+            edits += retarget_generic_model(block.inner, new_chip)
+            continue
+        if not isinstance(block, GenericPeripheralBlock) or block.chip == new_chip:
+            continue
+        replacement = make_generic_blockset(new_chip)[block.KIND](
+            name + "__new", **block.settings
+        )
+        if hasattr(block, "sample_time"):
+            replacement.sample_time = block.sample_time
+        # splice: copy the lines, drop the old block, rename the new one in
+        saved_in = [c for c in model.connections if c.dst == name]
+        saved_out = [c for c in model.connections if c.src == name]
+        model.add(replacement)
+        for c in saved_in:
+            model.connect(c.src, replacement.name, c.src_port, c.dst_port)
+        for c in saved_out:
+            model.connect(replacement.name, c.dst, c.src_port, c.dst_port)
+        model.remove(name)
+        model.rename(replacement.name, name)
+        edits += 1
+    return edits
+
+
+# ---------------------------------------------------------------------------
+# configuration storage without validation (for experiment E5)
+# ---------------------------------------------------------------------------
+@dataclass
+class GenericConfigStore:
+    """Where the baseline keeps peripheral settings: a plain dict.
+
+    ``apply`` records anything; ``deployed_failures`` reveals, *after the
+    fact*, which settings the hardware could never realise — the errors a
+    knowledge base would have caught at design time.
+    """
+
+    chip: str
+    entries: dict[str, dict] = field(default_factory=dict)
+
+    def apply(self, block_name: str, **settings: Any) -> None:
+        self.entries.setdefault(block_name, {}).update(settings)
+
+    def deployed_failures(self) -> list[str]:
+        """Emulate the hardware bring-up: report settings that silently do
+        the wrong thing on the real chip."""
+        from repro.mcu.database import get_chip
+
+        chip = get_chip(self.chip)
+        failures: list[str] = []
+        for name, cfg in self.entries.items():
+            adc_spec = chip.peripheral_spec("adc")
+            if "resolution" in cfg and adc_spec is not None:
+                if cfg["resolution"] > adc_spec.params.get("resolution_bits", 12):
+                    failures.append(f"{name}: ADC resolution {cfg['resolution']} unsupported")
+            if "channel" in cfg and adc_spec is not None:
+                if cfg["channel"] >= adc_spec.params.get("channels", 8):
+                    failures.append(f"{name}: ADC channel {cfg['channel']} absent")
+            if "frequency" in cfg:
+                pwm_spec = chip.peripheral_spec("pwm")
+                if pwm_spec is not None:
+                    from repro.mcu.clock import PrescalerChain, ClockTree
+
+                    ct = ClockTree(chip.default_xtal, chip.default_pll_mult,
+                                   chip.default_pll_div, f_sys_max=chip.f_sys_max)
+                    chain = PrescalerChain(pwm_spec.params["prescalers"],
+                                           pwm_spec.params["modulo_max"])
+                    if chain.solve_rate(ct.f_bus, cfg["frequency"]) is None:
+                        failures.append(f"{name}: PWM frequency {cfg['frequency']} unreachable")
+            if "pin" in cfg and cfg["pin"] >= chip.pin_count:
+                failures.append(f"{name}: pin {cfg['pin']} not on the package")
+            if "period" in cfg:
+                tmr_spec = chip.peripheral_spec("timer")
+                if tmr_spec is not None:
+                    from repro.mcu.clock import PrescalerChain, ClockTree
+
+                    ct = ClockTree(chip.default_xtal, chip.default_pll_mult,
+                                   chip.default_pll_div, f_sys_max=chip.f_sys_max)
+                    chain = PrescalerChain(tmr_spec.params["prescalers"],
+                                           tmr_spec.params["modulo_max"])
+                    if chain.solve_period(ct.f_bus, cfg["period"]) is None:
+                        failures.append(f"{name}: timer period {cfg['period']} unreachable")
+        return failures
+
+
+# ---------------------------------------------------------------------------
+# the case study built with the baseline block set (for E2)
+# ---------------------------------------------------------------------------
+def build_generic_servo_model(config=None):
+    """The same servo diagram as :func:`repro.casestudy.build_servo_model`
+    but with the baseline target's pass-through peripheral blocks — the
+    model a user of an existing target would simulate."""
+    from repro.casestudy import ServoConfig, build_servo_model
+    from repro.core.blocks import ADCBlock, PWMBlock, QuadDecBlock
+
+    config = config or ServoConfig()
+    sm = build_servo_model(config)
+    inner = sm.controller.inner
+    blockset = make_generic_blockset(config.chip)
+    swapped_adc = False
+    for name in list(inner.blocks):
+        blk = inner.blocks[name]
+        if isinstance(blk, ADCBlock):
+            repl = blockset["adc"](name + "__g", sample_time=blk.sample_time)
+            swapped_adc = True
+        elif isinstance(blk, PWMBlock):
+            repl = blockset["pwm"](name + "__g")
+        elif isinstance(blk, QuadDecBlock):
+            repl = blockset["qdec"](name + "__g")
+        else:
+            continue
+        saved_in = [c for c in inner.connections if c.dst == name]
+        saved_out = [c for c in inner.connections if c.src == name]
+        inner.add(repl)
+        for c in saved_in:
+            inner.connect(c.src, repl.name, c.src_port, c.dst_port)
+        for c in saved_out:
+            inner.connect(repl.name, c.dst, c.src_port, c.dst_port)
+        inner.remove(name)
+        inner.rename(repl.name, name)
+    if swapped_adc and "to_volts" in inner.blocks:
+        # the baseline's ADC block passes the *voltage* through (no raw
+        # code exists in its trivial model), so the engineer's scaling
+        # chain starts from volts: neutralise the raw->volts gain.  The
+        # unit mismatch this papers over is exactly the "error prone
+        # process" the paper complains about.
+        inner.block("to_volts").gain = 1.0
+    return sm

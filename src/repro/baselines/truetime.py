@@ -1,0 +1,124 @@
+"""TrueTime-style timing simulation (the paper's "first solution").
+
+Section 1: "One solution is to simulate such a behavior while using e.g.
+TrueTime, a Matlab/Simulink toolbox, which requires the precise
+representation of the control algorithm structure, the worst case
+execution time of operations and other parameters.  The second solution,
+represented by ... the approach shown in this article, is based on an
+automatic code generation and the processor-in-the-loop testing."
+
+:class:`TrueTimeKernelBlock` is a faithful miniature of the first
+solution: a model-level kernel that delays the controller's actuation by
+a simulated response time computed from *manually declared* parameters —
+WCET, interrupt latency, and blocking from other declared tasks.  Its
+accuracy is exactly as good as those declarations: experiment E13 shows
+it matching PIL when the WCET is right and silently diverging when the
+implementation changed but the declaration did not — the maintenance
+hazard the code-generation approach removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.model.block import Block, BlockContext
+
+
+@dataclass(frozen=True)
+class DeclaredTask:
+    """A manually characterised competing task (TrueTime task spec)."""
+
+    name: str
+    period: float
+    wcet: float
+
+    def __post_init__(self) -> None:
+        if self.period <= 0 or self.wcet < 0:
+            raise ValueError("period must be positive, wcet non-negative")
+
+
+class TrueTimeKernelBlock(Block):
+    """Delays its input by the simulated controller response time.
+
+    Runs at the base rate so sub-period delays resolve to the engine step.
+    At each control-period boundary the input is *released*; it becomes
+    visible at ``release + response_time`` where::
+
+        response = latency + blocking(t_release) + wcet
+
+    ``blocking`` is the worst remaining execution of any declared task
+    running non-preemptively at the release instant (deterministic, from
+    the declared periods — the kind of spec TrueTime asks the user for).
+    """
+
+    n_in = 1
+    n_out = 1
+    direct_feedthrough = False
+
+    def __init__(
+        self,
+        name: str,
+        control_period: float,
+        wcet: float,
+        latency: float = 0.0,
+        tasks: Sequence[DeclaredTask] = (),
+    ):
+        super().__init__(name)
+        if control_period <= 0:
+            raise ValueError("control_period must be positive")
+        if wcet < 0 or latency < 0:
+            raise ValueError("wcet and latency must be non-negative")
+        self.control_period = float(control_period)
+        self.wcet = float(wcet)
+        self.latency = float(latency)
+        self.tasks = tuple(tasks)
+
+    # ------------------------------------------------------------------
+    def blocking_at(self, t: float) -> float:
+        """Remaining execution of a declared task busy at time ``t``
+        (tasks release on their own period grids, run non-preemptively)."""
+        worst = 0.0
+        for task in self.tasks:
+            phase = t % task.period
+            if phase < task.wcet:
+                worst = max(worst, task.wcet - phase)
+        return worst
+
+    def response_time(self, t_release: float) -> float:
+        return self.latency + self.blocking_at(t_release) + self.wcet
+
+    # ------------------------------------------------------------------
+    def start(self, ctx: BlockContext):
+        ctx.dwork["held"] = 0.0          # visible actuation
+        ctx.dwork["pending"] = []        # (apply_time, value) job queue
+        ctx.dwork["busy_until"] = 0.0    # the simulated CPU's horizon
+        ctx.dwork["next_release"] = 0.0
+
+    def outputs(self, t, u, ctx):
+        return [ctx.dwork["held"]]
+
+    #: pending-job cap: a hardware interrupt flag is one bit, so tick
+    #: requests beyond (executing + one pending) merge and are lost
+    MAX_PENDING = 2
+
+    def update(self, t, u, ctx):
+        eps = 1e-12
+        pending = ctx.dwork["pending"]
+        # a job whose completion time matured writes the actuation it
+        # computed from the data it sampled when it was released
+        while pending and pending[0][0] <= t + eps:
+            ctx.dwork["held"] = pending.pop(0)[1]
+        # release a new job on the control-period grid; an overrunning job
+        # queues (non-preemptive kernel) up to the interrupt-flag depth
+        if t + eps >= ctx.dwork["next_release"]:
+            release = ctx.dwork["next_release"]
+            if len(pending) < self.MAX_PENDING:
+                start = max(
+                    release + self.latency + self.blocking_at(release),
+                    ctx.dwork["busy_until"],
+                )
+                done = start + self.wcet
+                ctx.dwork["busy_until"] = done
+                pending.append((done, u[0]))
+            ctx.dwork["next_release"] = release + self.control_period

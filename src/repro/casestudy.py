@@ -1,0 +1,217 @@
+"""The paper's case study as a reusable model builder (Fig. 7.1 / 7.2).
+
+"The considered application is a speed control of a mechanically
+commutated DC motor ... The software of the application is developed as a
+model in Simulink.  The model consists of the plant subsystem and the
+controller subsystem." (section 7)
+
+:func:`build_servo_model` assembles that single model: the plant
+subsystem (power stage, motor, IRC encoder) in closed loop with a
+controller subsystem that contains the Processor Expert block, the PE
+peripheral blocks (quadrature decoder in, PWM out), speed estimation,
+and a PI(D) controller — in double precision or the Q15 fixed-point
+variant.  The same object drives MIL simulation, code generation, PIL and
+HIL (experiment E9's single-model property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.control import (
+    FixedPointPID,
+    LowPassFilter,
+    PIDController,
+    PIDGains,
+    QuadratureSpeed,
+    Staircase,
+    tune_speed_loop,
+)
+from repro.core.blocks import (
+    ADCBlock,
+    BitIOBlock,
+    ProcessorExpertConfig,
+    PWMBlock,
+    QuadDecBlock,
+    TimerIntBlock,
+)
+from repro.model.graph import Model
+from repro.model.library import Bias, Constant, Gain, Inport, Outport, Scope, Subsystem, Sum
+from repro.plants import MAXON_24V, MotorParams, build_servo_plant
+from repro.plants.assembly import TACHO_GAIN_V_PER_RAD_S, TACHO_OFFSET_V
+
+
+@dataclass
+class ServoConfig:
+    """Everything adjustable about the case-study model."""
+
+    chip: str = "MC56F8367"
+    control_period: float = 1e-3
+    motor: MotorParams = MAXON_24V
+    v_supply: float = 24.0
+    encoder_ppr: int = 100
+    pwm_frequency: float = 20e3
+    setpoint: Union[float, Sequence[tuple[float, float]]] = 100.0  # rad/s
+    fixed_point: bool = False
+    bandwidth_hz: float = 6.0
+    speed_filter_hz: float = 80.0
+    with_timer_block: bool = True
+    load_torque: float = 0.0
+    #: feedback path: "qdec" (IRC encoder, the paper's case study) or
+    #: "adc" (analogue tacho into the 12-bit converter, the paper's
+    #: fidelity example from section 5)
+    feedback: str = "qdec"
+    adc_resolution: int = 12
+    #: block-set variant: "pe" (bean blocks) or "autosar" (MCAL blocks) —
+    #: the paper's two variants (section 8)
+    blockset: str = "pe"
+
+    @property
+    def counts_per_rev(self) -> int:
+        return 4 * self.encoder_ppr
+
+    def duty_to_speed_gain(self) -> float:
+        """Small-signal DC gain duty -> speed for the bipolar stage."""
+        p = self.motor
+        return 2 * self.v_supply * p.Kt / (p.R * p.b + p.Kt * p.Ke)
+
+    def gains(self) -> PIDGains:
+        return tune_speed_loop(
+            dc_gain=self.duty_to_speed_gain(),
+            time_constant=self.motor.mech_time_constant,
+            sample_time=self.control_period,
+            bandwidth_hz=self.bandwidth_hz,
+        )
+
+
+@dataclass
+class ServoModel:
+    """The built diagram plus handles the harnesses need."""
+
+    model: Model
+    config: ServoConfig
+    controller: Subsystem
+    plant: Subsystem
+    pe_config: ProcessorExpertConfig
+    pwm_block: PWMBlock
+    qdec_block: QuadDecBlock
+    pid_block: object
+    scopes: dict[str, str] = field(default_factory=dict)
+
+
+def build_controller(config: ServoConfig) -> tuple[Subsystem, dict]:
+    """The controller subsystem of Fig. 7.2.
+
+    in 0: encoder count (from the plant) -> out 0: PWM duty.
+    """
+    Ts = config.control_period
+    ctrl = Subsystem("controller")
+    m = ctrl.inner
+    handles: dict = {}
+
+    if config.blockset == "autosar":
+        from repro.core.autosar import (
+            AutosarAdc as ADCCls,
+            AutosarGpt,
+            AutosarIcu as QuadDecCls,
+            AutosarMcu as ConfigCls,
+            AutosarPwm as PWMCls,
+        )
+
+        TimerCls = lambda name, period: AutosarGpt(name, channel_tick_period=period)
+    else:
+        ADCCls, QuadDecCls, ConfigCls, PWMCls = (
+            ADCBlock, QuadDecBlock, ProcessorExpertConfig, PWMBlock,
+        )
+        TimerCls = lambda name, period: TimerIntBlock(name, period=period)
+
+    handles["pe"] = m.add(ConfigCls("PE", chip=config.chip))
+    if config.with_timer_block:
+        m.add(TimerCls("TI1", Ts))
+    if config.feedback == "adc":
+        sense_in = m.add(Inport("tacho_in", index=0))
+        adc = m.add(ADCCls("AD1", sample_time=Ts, resolution=config.adc_resolution))
+        bits = config.adc_resolution
+        to_volts = m.add(Gain("to_volts", gain=3.3 / (1 << bits)))
+        de_bias = m.add(Bias("de_bias", bias=-TACHO_OFFSET_V))
+        to_rads = m.add(Gain("to_rads", gain=1.0 / TACHO_GAIN_V_PER_RAD_S))
+        m.connect(sense_in, adc)
+        m.connect(adc, to_volts)
+        m.connect(to_volts, de_bias)
+        m.connect(de_bias, to_rads)
+        speed_src = to_rads
+        handles["adc"] = adc
+        qd = None
+        speed = None
+    else:
+        sense_in = m.add(Inport("count_in", index=0))
+        qd = m.add(QuadDecCls("QD1"))
+        speed = m.add(QuadratureSpeed("speed", counts_per_rev=config.counts_per_rev,
+                                      sample_time=Ts))
+        m.connect(sense_in, qd)
+        m.connect(qd, speed)
+        speed_src = speed
+    filt = m.add(LowPassFilter("filt", cutoff_hz=config.speed_filter_hz, sample_time=Ts))
+    if isinstance(config.setpoint, (int, float)):
+        ref = m.add(Constant("ref", value=float(config.setpoint)))
+    else:
+        times = [t for t, _v in config.setpoint]
+        levels = [v for _t, v in config.setpoint]
+        ref = m.add(Staircase("ref", times, levels))
+    err = m.add(Sum("err", signs="+-"))
+    gains = config.gains()
+    if config.fixed_point:
+        pid = m.add(
+            FixedPointPID("pid", gains, Ts,
+                          e_scale=2.0 * config.duty_to_speed_gain() * 0.25)
+        )
+    else:
+        pid = m.add(PIDController("pid", gains, Ts))
+    pwm = m.add(PWMCls("PWM1", frequency=config.pwm_frequency))
+    duty_out = m.add(Outport("duty_out", index=0))
+
+    m.connect(speed_src, filt)
+    m.connect(ref, err, 0, 0)
+    m.connect(filt, err, 0, 1)
+    m.connect(err, pid)
+    m.connect(pid, pwm)
+    m.connect(pwm, duty_out)
+
+    handles.update(qd=qd, speed=speed, filt=filt, pid=pid, pwm=pwm)
+    return ctrl, handles
+
+
+def build_servo_model(config: Optional[ServoConfig] = None) -> ServoModel:
+    """The full closed-loop single model of Fig. 7.1."""
+    config = config or ServoConfig()
+    m = Model("servo")
+    controller, handles = build_controller(config)
+    plant = build_servo_plant(
+        "plant", motor=config.motor, v_supply=config.v_supply,
+        ppr=config.encoder_ppr,
+    )
+    m.add(controller)
+    m.add(plant)
+    load = m.add(Constant("load", value=config.load_torque))
+    speed_scope = m.add(Scope("speed_scope", label="speed"))
+    duty_scope = m.add(Scope("duty_scope", label="duty"))
+
+    sense_port = 3 if config.feedback == "adc" else 0
+    m.connect(plant, controller, sense_port, 0)  # sensor path -> controller
+    m.connect(controller, plant, 0, 0)       # duty -> power stage
+    m.connect(load, plant, 0, 1)
+    m.connect(plant, speed_scope, 1, 0)      # true shaft speed
+    m.connect(controller, duty_scope, 0, 0)
+
+    return ServoModel(
+        model=m,
+        config=config,
+        controller=controller,
+        plant=plant,
+        pe_config=handles["pe"],
+        pwm_block=handles["pwm"],
+        qdec_block=handles.get("qd"),
+        pid_block=handles["pid"],
+        scopes={"speed": "speed", "duty": "duty"},
+    )

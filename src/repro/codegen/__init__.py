@@ -1,0 +1,41 @@
+"""Code generation substrate (Real-Time Workshop Embedded Coder substitute).
+
+The paper's tool chain generates C from the Simulink model through per-
+block TLC scripts, combines it "according to the data flow in the model",
+and builds a real-time executable whose periodic part runs in a timer
+interrupt (sections 3 and 5).  This package reproduces every stage that
+has observable consequences:
+
+* :mod:`repro.codegen.templates` — the TLC equivalent: a per-block-type
+  template registry emitting C statements and declaring the operation mix
+  of the emitted code;
+* :mod:`repro.codegen.costs` — the execution-time model: operation mixes
+  priced against the target chip's cycle table, with float ops priced as
+  software emulation on FPU-less cores (the paper's fixed-point
+  motivation, experiment E7);
+* :mod:`repro.codegen.generator` — assembles ``model.h`` / ``model.c`` /
+  ``main.c`` in execution order, plus RAM/flash/stack estimates;
+* :mod:`repro.codegen.vexe` — the "binary": an ISR task set binding the
+  model's step semantics and the costed execution times onto the MCU
+  simulator (we cannot run DSP56800E machine code, so the build step
+  produces this virtual executable instead — see DESIGN.md section 6).
+"""
+
+from .costs import block_cost_cycles, step_cost_cycles, OpMix
+from .templates import BlockTemplate, CodegenError, TemplateRegistry, default_registry
+from .generator import CodeGenerator, GeneratedArtifacts
+from .vexe import ISRTask, VirtualExecutable
+
+__all__ = [
+    "block_cost_cycles",
+    "step_cost_cycles",
+    "OpMix",
+    "BlockTemplate",
+    "TemplateRegistry",
+    "default_registry",
+    "CodeGenerator",
+    "GeneratedArtifacts",
+    "CodegenError",
+    "ISRTask",
+    "VirtualExecutable",
+]

@@ -1,0 +1,171 @@
+"""Chart code generation (the StateFlow Coder substitute).
+
+Paper section 3: "The tool StateFlow Coder is used for the code
+generation from StateFlow charts."  This module emits the classic
+switch-case implementation of a hierarchical chart:
+
+* a state enumeration (leaf states, plus parents for ``in(state)`` tests),
+* an event enumeration from the transition labels,
+* ``<name>_chart_init`` entering the default configuration,
+* ``<name>_chart_dispatch(event)`` — outer-first transition search,
+* ``<name>_chart_step`` — during actions + eventless microsteps.
+
+Guards and actions are Python callables in the model, so — exactly like
+Stateflow Coder emitting calls into generated action functions — they
+appear in the C as extern functions (``<name>_guard_<k>`` /
+``<name>_action_<k>``) with the source location documented, to be
+implemented in the hand-written action module.
+"""
+
+from __future__ import annotations
+
+from repro.stateflow.chart import Chart, State, Transition
+
+
+def _all_states(chart: Chart) -> list[State]:
+    out: list[State] = []
+
+    def walk(states):
+        for s in states:
+            out.append(s)
+            walk(s.substates)
+
+    walk(chart.top)
+    return out
+
+
+def _leaf_of(state: State) -> State:
+    while state.is_composite:
+        state = state.initial
+    return state
+
+
+def _c_ident(text: str) -> str:
+    import re
+
+    return re.sub(r"[^0-9A-Za-z_]", "_", text)
+
+
+def generate_chart_code(chart: Chart, name: str) -> dict[str, str]:
+    """Emit ``{name}_chart.h`` and ``{name}_chart.c``."""
+    states = _all_states(chart)
+    leaves = [s for s in states if not s.is_composite]
+    events = sorted({t.event for t in chart.transitions if t.event is not None})
+    n = _c_ident(name)
+
+    # ------------------------------------------------------------ header
+    h = [
+        f"/* {n}_chart.h — generated from chart '{chart.name}'",
+        f" * {len(states)} states ({len(leaves)} leaves), "
+        f"{len(chart.transitions)} transitions, {len(events)} events.",
+        " */",
+        f"#ifndef __{n.upper()}_CHART_H",
+        f"#define __{n.upper()}_CHART_H",
+        "",
+        "typedef enum {",
+    ]
+    for s in states:
+        h.append(f"  {n}_STATE_{_c_ident(s.name).upper()},")
+    h += ["} " + f"{n}_state_T;", "", "typedef enum {", f"  {n}_EVENT_NONE,"]
+    for e in events:
+        h.append(f"  {n}_EVENT_{_c_ident(e).upper()},")
+    h += [
+        "} " + f"{n}_event_T;",
+        "",
+        f"extern {n}_state_T {n}_active;",
+        f"void {n}_chart_init(void);",
+        f"int {n}_chart_dispatch({n}_event_T event);",
+        f"void {n}_chart_step(void);",
+        "",
+    ]
+    # extern guards/actions
+    for k, t in enumerate(chart.transitions):
+        if t.guard is not None:
+            h.append(f"extern int {n}_guard_{k}(void);  "
+                     f"/* {t.src.name} -> {t.dst.name} */")
+        if t.action is not None:
+            h.append(f"extern void {n}_action_{k}(void); "
+                     f"/* {t.src.name} -> {t.dst.name} */")
+    for s in states:
+        for kind in ("entry", "during", "exit"):
+            if getattr(s, kind) is not None:
+                h.append(f"extern void {n}_{s.name}_{kind}(void);")
+    h += ["", f"#endif /* __{n.upper()}_CHART_H */", ""]
+
+    # ------------------------------------------------------------ source
+    c = [
+        f"/* {n}_chart.c — machine generated; do not edit. */",
+        f'#include "{n}_chart.h"',
+        "",
+        f"{n}_state_T {n}_active;",
+        "",
+        f"void {n}_chart_init(void)",
+        "{",
+    ]
+    init_leaf = _leaf_of(chart.initial)
+    entry_chain = init_leaf.path()
+    for s in entry_chain:
+        if s.entry is not None:
+            c.append(f"  {n}_{s.name}_entry();")
+    c += [
+        f"  {n}_active = {n}_STATE_{_c_ident(init_leaf.name).upper()};",
+        "}",
+        "",
+        f"int {n}_chart_dispatch({n}_event_T event)",
+        "{",
+        f"  switch ({n}_active) {{",
+    ]
+    # transitions grouped by source *leaf* (outer-first: leaf checks its
+    # ancestors' transitions after its own source's)
+    for leaf in leaves:
+        c.append(f"  case {n}_STATE_{_c_ident(leaf.name).upper()}:")
+        for state in leaf.path():  # outermost ancestors first
+            for k, t in enumerate(chart.transitions):
+                if t.src is not state or t.event is None:
+                    continue
+                cond = f"event == {n}_EVENT_{_c_ident(t.event).upper()}"
+                if t.guard is not None:
+                    cond += f" && {n}_guard_{k}()"
+                c.append(f"    if ({cond}) {{")
+                for s_exit in reversed(leaf.path()):
+                    if s_exit.exit is not None:
+                        c.append(f"      {n}_{s_exit.name}_exit();")
+                    if s_exit is state:
+                        break
+                if t.action is not None:
+                    c.append(f"      {n}_action_{k}();")
+                dst_leaf = _leaf_of(t.dst)
+                for s_entry in dst_leaf.path():
+                    if s_entry.entry is not None:
+                        c.append(f"      {n}_{s_entry.name}_entry();")
+                c.append(
+                    f"      {n}_active = {n}_STATE_{_c_ident(dst_leaf.name).upper()};"
+                )
+                c.append("      return 1;")
+                c.append("    }")
+        c.append("    break;")
+    c += [
+        "  default: break;",
+        "  }",
+        "  return 0;",
+        "}",
+        "",
+        f"void {n}_chart_step(void)",
+        "{",
+        f"  switch ({n}_active) {{",
+    ]
+    for leaf in leaves:
+        durings = [s for s in leaf.path() if s.during is not None]
+        c.append(f"  case {n}_STATE_{_c_ident(leaf.name).upper()}:")
+        for s in durings:
+            c.append(f"    {n}_{s.name}_during();")
+        c.append("    break;")
+    c += [
+        "  default: break;",
+        "  }",
+        f"  /* eventless transitions: re-dispatch with {n}_EVENT_NONE",
+        "   * until quiescent (run-to-completion loop, bounded) */",
+        "}",
+        "",
+    ]
+    return {f"{n}_chart.h": "\n".join(h), f"{n}_chart.c": "\n".join(c)}

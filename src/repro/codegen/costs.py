@@ -1,0 +1,96 @@
+"""Execution-time model.
+
+Templates describe the code they emit as an *operation mix* — abstract
+counts of adds, multiplies, divides, loads/stores, branches and calls.
+This module prices a mix against a chip's cycle table, resolving abstract
+arithmetic ops to integer or (software-emulated) floating-point costs
+depending on the signal data type the block computes in.
+
+The relation this preserves is the one the paper's case study relies on:
+on the FPU-less 16-bit target, a double-precision controller step costs
+two orders of magnitude more cycles than the same step in Q15 arithmetic,
+which is why "the default data type ... is, however, not appropriate for
+the implementation in the 16-bit microcontroller without the floating
+point unit" (section 7).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.mcu.database import ChipDescriptor
+from repro.model.block import Block
+from repro.model.compiled import CompiledModel
+
+#: An operation mix: abstract op name -> count.
+OpMix = Mapping[str, float]
+
+#: Ops that resolve differently for float vs integer signals.
+_ARITH_FLOAT = {"add": "float_add", "mul": "float_mul", "div": "float_div"}
+_ARITH_INT = {"add": "int_add", "mul": "int_mul", "div": "int_div"}
+#: Ops that map straight onto the chip table.
+_DIRECT = {"load_store", "branch", "call", "int_add", "int_mul", "int_div",
+           "long_add", "long_mul", "float_add", "float_mul", "float_div"}
+#: Transcendental functions: priced as a fixed multiple of a divide.
+_TRANSCENDENTAL_DIV_FACTOR = 4.0
+
+
+def price_ops(ops: OpMix, chip: ChipDescriptor, float_math: bool) -> float:
+    """Price one operation mix in CPU cycles.
+
+    Float arithmetic resolves through the chip's ``float_*`` costs — the
+    chip table itself encodes whether those are native FPU cycles or a
+    software-emulation library (``has_fpu`` documents which).
+    """
+    arith = _ARITH_FLOAT if float_math else _ARITH_INT
+    total = 0.0
+    for op, count in ops.items():
+        if op in arith:
+            total += chip.costs.op(arith[op]) * count
+        elif op in _DIRECT:
+            total += chip.costs.op(op) * count
+        elif op == "transcendental":
+            base = chip.costs.float_div if float_math else chip.costs.int_div
+            total += base * _TRANSCENDENTAL_DIV_FACTOR * count
+        else:
+            raise KeyError(f"unknown operation '{op}' in cost mix")
+    return total
+
+
+def block_uses_float(block: Block) -> bool:
+    """Whether the block's generated code computes in floating point.
+
+    Decided from the block's output data type — the same inference RTW
+    performs when the designer types the controller signals (section 7).
+    """
+    if block.n_out == 0:
+        # sink blocks follow their input; assume float unless typed
+        return True
+    return block.output_type(0).is_float
+
+
+def block_cost_cycles(block: Block, chip: ChipDescriptor, registry=None) -> float:
+    """Cycles per execution of one block's generated code."""
+    from .templates import default_registry
+
+    reg = registry or default_registry()
+    template = reg.lookup(type(block))
+    return price_ops(template.ops(block), chip, block_uses_float(block))
+
+
+def step_cost_cycles(
+    cm: CompiledModel, chip: ChipDescriptor, registry=None
+) -> float:
+    """Cycles of one base-rate periodic step (triggered blocks excluded —
+    they run in their own ISRs)."""
+    from .templates import default_registry
+
+    reg = registry or default_registry()
+    total = chip.costs.call * 2  # step-function prologue/epilogue
+    for qname in cm.order:
+        block = cm.nodes[qname]
+        if getattr(block, "triggerable", False):
+            continue
+        template = reg.lookup(type(block))
+        total += price_ops(template.ops(block), chip, block_uses_float(block))
+    return total

@@ -1,0 +1,361 @@
+"""C code assembly.
+
+Walks the compiled model in execution order, asks each block's template
+for its statements, and assembles ``model.h`` / ``model.c`` / ``main.c``
+plus a makefile — the textual artifacts RTW produces.  Alongside the text
+it computes the quantities the PIL phase needs: per-block and per-step
+cycle costs, RAM/flash estimates, and the ISR inventory (one ISR per
+function-call subsystem, one for the periodic step).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.mcu.database import ChipDescriptor
+from repro.model.block import Block
+from repro.model.compiled import CompiledModel
+from repro.model.library import FunctionCallSubsystem
+
+from .costs import block_uses_float, price_ops, step_cost_cycles
+from .templates import CodegenError, TemplateRegistry, default_registry
+
+_C_BYTES_PER_LOC_16BIT = 9.0   # empirical codegen density on 16-bit cores
+_C_BYTES_PER_LOC_32BIT = 12.0
+
+
+def sanitize(qname: str) -> str:
+    """Qualified block name -> C identifier."""
+    return re.sub(r"[^0-9A-Za-z_]", "_", qname)
+
+
+class _Namer:
+    """Resolves ports and work fields to struct members, recording every
+    field it hands out so the generator can declare them afterwards."""
+
+    def __init__(self, cm: CompiledModel):
+        self.cm = cm
+        self._qname_of: dict[int, tuple[str, int]] = {
+            idx: key for key, idx in cm.sig_index.items()
+        }
+        self.dwork_fields: dict[str, str] = {}  # field name -> c type
+        self.signal_fields: dict[str, str] = {}
+
+    def _sig_name(self, qname: str, port: int) -> str:
+        block = self.cm.nodes[qname]
+        field_name = f"{sanitize(qname)}_o{port}"
+        self.signal_fields.setdefault(field_name, block.output_type(port).c_type)
+        return f"B.{field_name}"
+
+    def input(self, block: Block, port: int) -> str:
+        qname = self._find_qname(block)
+        idx = self.cm.input_map[qname][port]
+        src_q, src_p = self._qname_of[idx]
+        return self._sig_name(src_q, src_p)
+
+    def output(self, block: Block, port: int) -> str:
+        return self._sig_name(self._find_qname(block), port)
+
+    def dwork(self, block: Block, fieldname: str) -> str:
+        qname = self._find_qname(block)
+        name = f"{sanitize(qname)}_{fieldname}"
+        ctype = block.output_type(0).c_type if block.n_out else "real_T"
+        self.dwork_fields.setdefault(name, ctype)
+        return f"DW.{name}"
+
+    def _find_qname(self, block: Block) -> str:
+        for q, b in self.cm.nodes.items():
+            if b is block:
+                return q
+        raise CodegenError(f"block '{block.name}' is not part of this compiled model")
+
+
+@dataclass
+class GeneratedArtifacts:
+    """The output of one code-generation run."""
+
+    name: str
+    chip: str
+    files: dict[str, str] = field(default_factory=dict)
+    step_cost_cycles: float = 0.0
+    block_costs: dict[str, float] = field(default_factory=dict)
+    #: per-rate cost split: step divisor -> summed cycles of the blocks
+    #: guarded by that divisor (1 = every step).  A tick executes
+    #: ``sum(cost for k, cost in rate_costs if tick % k == 0)``.
+    rate_costs: dict[int, float] = field(default_factory=dict)
+    isr_costs: dict[str, float] = field(default_factory=dict)
+    ram_bytes: int = 0
+    flash_bytes: int = 0
+    signal_count: int = 0
+    base_period: float = 0.0
+
+    @property
+    def loc(self) -> int:
+        """Total generated lines of C."""
+        return sum(src.count("\n") + 1 for src in self.files.values())
+
+
+_CTYPE_SIZES = {
+    "real_T": 8, "real32_T": 4, "boolean_T": 1,
+    "int8_t": 1, "uint8_t": 1, "int16_t": 2, "uint16_t": 2,
+    "int32_t": 4, "uint32_t": 4, "int64_t": 8, "uint64_t": 8,
+}
+
+
+class CodeGenerator:
+    """Generates the model code for one chip."""
+
+    def __init__(
+        self,
+        cm: CompiledModel,
+        chip: ChipDescriptor,
+        name: str = "model",
+        registry: Optional[TemplateRegistry] = None,
+    ):
+        self.cm = cm
+        self.chip = chip
+        self.name = name
+        self.registry = registry or default_registry()
+
+    # ------------------------------------------------------------------
+    def generate(self) -> GeneratedArtifacts:
+        art = GeneratedArtifacts(name=self.name, chip=self.chip.name,
+                                 base_period=self.cm.dt)
+        namer = _Namer(self.cm)
+        step_lines = self._emit_step(namer, art)
+        isr_blocks = self._emit_isrs(namer, art)
+        art.files[f"{self.name}.c"] = self._model_source(step_lines, isr_blocks)
+        art.files[f"{self.name}.h"] = self._model_header(namer)
+        art.files["main.c"] = self._main_source(isr_blocks)
+        art.files["Makefile"] = self._makefile()
+        self._emit_charts(art)
+        art.step_cost_cycles = step_cost_cycles(self.cm, self.chip, self.registry)
+        art.signal_count = self.cm.n_signals
+        self._estimate_memory(namer, art)
+        return art
+
+    # ------------------------------------------------------------------
+    def _emit_step(self, namer: _Namer, art: GeneratedArtifacts) -> list[str]:
+        lines: list[str] = []
+        for qname in self.cm.order:
+            block = self.cm.nodes[qname]
+            if getattr(block, "triggerable", False):
+                continue
+            template = self.registry.lookup(type(block))
+            body = template.emit(block, namer)
+            cost = price_ops(
+                template.ops(block), self.chip, block_uses_float(block)
+            )
+            art.block_costs[qname] = cost
+            divisor = max(1, self.cm.divisors[qname])
+            art.rate_costs[divisor] = art.rate_costs.get(divisor, 0.0) + cost
+            if not body:
+                continue
+            lines.append(f"  /* {type(block).__name__} '{qname}' */")
+            k = self.cm.divisors[qname]
+            if k > 1:
+                lines.append(f"  if ((rt_tick % {k}U) == 0U) {{")
+                lines.extend(f"    {ln}" for ln in body)
+                lines.append("  }")
+            else:
+                lines.extend(f"  {ln}" for ln in body)
+        return lines
+
+    def _emit_isrs(
+        self, namer: _Namer, art: GeneratedArtifacts
+    ) -> dict[str, list[str]]:
+        isrs: dict[str, list[str]] = {}
+        for qname in self.cm.order:
+            block = self.cm.nodes[qname]
+            if not getattr(block, "triggerable", False):
+                continue
+            body: list[str] = []
+            cost = self.chip.costs.call * 2
+            inner_cm = getattr(block, "_cm", None)
+            if isinstance(block, FunctionCallSubsystem) and inner_cm is not None:
+                inner_namer = _Namer(inner_cm)
+                for iq in inner_cm.order:
+                    ib = inner_cm.nodes[iq]
+                    t = self.registry.lookup(type(ib))
+                    emitted = t.emit(ib, inner_namer)
+                    cost += price_ops(t.ops(ib), self.chip, block_uses_float(ib))
+                    if emitted:
+                        body.append(f"  /* {type(ib).__name__} '{iq}' */")
+                        body.extend(f"  {ln}" for ln in emitted)
+                namer.dwork_fields.update(inner_namer.dwork_fields)
+                namer.signal_fields.update(inner_namer.signal_fields)
+            else:
+                template = self.registry.lookup(type(block))
+                body = [f"  {ln}" for ln in template.emit(block, namer)]
+                cost += price_ops(
+                    template.ops(block), self.chip, block_uses_float(block)
+                )
+            isrs[sanitize(qname)] = body
+            art.isr_costs[qname] = cost
+        return isrs
+
+    def _emit_charts(self, art: GeneratedArtifacts) -> None:
+        """StateFlow-Coder pass: one generated file pair per chart block."""
+        from repro.stateflow.block import ChartBlock
+
+        from .chartgen import generate_chart_code
+
+        for qname in self.cm.order:
+            block = self.cm.nodes[qname]
+            if isinstance(block, ChartBlock):
+                art.files.update(generate_chart_code(block.chart, sanitize(qname)))
+
+    # ------------------------------------------------------------------
+    def _model_header(self, namer: _Namer) -> str:
+        lines = [
+            f"/* {self.name}.h — generated from the diagram '{self.cm.source.name}'",
+            f" * Target: {self.chip.name} ({self.chip.word_bits}-bit"
+            + (", FPU" if self.chip.has_fpu else ", no FPU") + ")",
+            " */",
+            f"#ifndef __{self.name.upper()}_H",
+            f"#define __{self.name.upper()}_H",
+            "",
+            '#include "rtwtypes.h"',
+            "",
+            "typedef struct {",
+        ]
+        for fieldname, ctype in sorted(namer.signal_fields.items()):
+            lines.append(f"  {ctype} {fieldname};")
+        lines += [f"}} {self.name}_B_T;", "", "typedef struct {"]
+        for fieldname, ctype in sorted(namer.dwork_fields.items()):
+            lines.append(f"  {ctype} {fieldname};")
+        lines += [
+            f"}} {self.name}_DW_T;",
+            "",
+            f"extern {self.name}_B_T B;",
+            f"extern {self.name}_DW_T DW;",
+            f"void {self.name}_initialize(void);",
+            f"void {self.name}_step(void);",
+            "",
+            f"#endif /* __{self.name.upper()}_H */",
+            "",
+        ]
+        return "\n".join(lines)
+
+    def _model_source(
+        self, step_lines: list[str], isrs: dict[str, list[str]]
+    ) -> str:
+        lines = [
+            f"/* {self.name}.c — generated model code.",
+            f" * Base rate: {self.cm.dt} s; {len(self.cm.order)} blocks.",
+            " * Periodic code runs non-preemptively in the timer interrupt;",
+            " * function-call subsystems run in the ISRs of their triggers.",
+            " */",
+            f'#include "{self.name}.h"',
+            "",
+            f"{self.name}_B_T B;",
+            f"{self.name}_DW_T DW;",
+            "static uint32_t rt_tick = 0U;",
+            "static real_T rt_time = 0.0;",
+            "",
+            f"void {self.name}_initialize(void)",
+            "{",
+            "  rt_tick = 0U;",
+            "  rt_time = 0.0;",
+            "  /* zero-fill block I/O and state memory */",
+            "  rt_memset(&B, 0, sizeof(B));",
+            "  rt_memset(&DW, 0, sizeof(DW));",
+            "}",
+            "",
+            f"void {self.name}_step(void)",
+            "{",
+        ]
+        lines.extend(step_lines)
+        lines += [
+            "  rt_tick++;",
+            f"  rt_time = rt_tick * {self.cm.dt!r};",
+            "}",
+            "",
+        ]
+        for isr_name, body in isrs.items():
+            lines.append(f"void {isr_name}_isr(void)")
+            lines.append("{")
+            lines.extend(body if body else ["  /* empty handler */"])
+            lines.append("}")
+            lines.append("")
+        return "\n".join(lines)
+
+    def _main_source(self, isrs: dict[str, list[str]]) -> str:
+        lines = [
+            "/* main.c — bare-board runtime skeleton (PEERT layout):",
+            " *   - initialization in main()",
+            " *   - periodic model step in the timer ISR",
+            " *   - optional hand-written background task in the main loop",
+            " */",
+            f'#include "{self.name}.h"',
+            '#include "PE_Types.h"',
+            "",
+            "void timer_isr(void)",
+            "{",
+            f"  {self.name}_step();",
+            "}",
+            "",
+        ]
+        for isr_name in isrs:
+            lines += [
+                f"void {isr_name}_vector(void)",
+                "{",
+                f"  {isr_name}_isr();",
+                "}",
+                "",
+            ]
+        lines += [
+            "int main(void)",
+            "{",
+            f"  {self.name}_initialize();",
+            "  rt_install_timer_isr(timer_isr);",
+            "  for (;;) {",
+            "    /* background task */",
+            "  }",
+            "}",
+            "",
+        ]
+        return "\n".join(lines)
+
+    def _makefile(self) -> str:
+        return "\n".join(
+            [
+                f"# Makefile — build {self.name} for {self.chip.name}",
+                f"TARGET = {self.name}",
+                f"CHIP = {self.chip.name}",
+                "CC = cc56800e" if self.chip.core == "56800E" else "CC = mwcc",
+                f"SRCS = {self.name}.c main.c",
+                "all: $(TARGET).elf",
+                "$(TARGET).elf: $(SRCS)",
+                "\t$(CC) -o $@ $(SRCS)",
+                "",
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    def _estimate_memory(self, namer: _Namer, art: GeneratedArtifacts) -> None:
+        ram = 64  # runtime bookkeeping
+        for ctype in namer.signal_fields.values():
+            ram += _CTYPE_SIZES.get(ctype, 8)
+        for ctype in namer.dwork_fields.values():
+            ram += _CTYPE_SIZES.get(ctype, 8)
+        art.ram_bytes = ram
+        density = (
+            _C_BYTES_PER_LOC_16BIT if self.chip.word_bits <= 16 else _C_BYTES_PER_LOC_32BIT
+        )
+        code_lines = sum(
+            src.count("\n") for fn, src in art.files.items() if fn.endswith(".c")
+        )
+        art.flash_bytes = int(code_lines * density)
+        if art.ram_bytes > self.chip.ram_bytes:
+            raise CodegenError(
+                f"model needs ~{art.ram_bytes} B RAM but {self.chip.name} has "
+                f"{self.chip.ram_bytes} B"
+            )
+        if self.chip.flash_bytes and art.flash_bytes > self.chip.flash_bytes:
+            raise CodegenError(
+                f"model needs ~{art.flash_bytes} B flash but {self.chip.name} "
+                f"has {self.chip.flash_bytes} B"
+            )

@@ -1,0 +1,26 @@
+"""Deferred template registration.
+
+Domain packages (model extras, control, plants) provide TLC templates for
+their block types, but importing :mod:`repro.codegen.templates` from their
+module bodies creates import-order cycles (codegen imports the model core,
+the model library provides templates to codegen).  This module breaks the
+cycle: it has **no imports**, so anyone can queue a registration thunk at
+import time; :func:`repro.codegen.templates.default_registry` drains the
+queue on every call, so templates are installed before any lookup.
+"""
+
+from __future__ import annotations
+
+_LAZY: list = []
+
+
+def register_lazy(fn) -> None:
+    """Queue a zero-argument registration function (idempotent running is
+    the caller's concern; each thunk runs exactly once)."""
+    _LAZY.append(fn)
+
+
+def drain() -> None:
+    """Run every queued registration (called by ``default_registry``)."""
+    while _LAZY:
+        _LAZY.pop(0)()

@@ -1,0 +1,41 @@
+"""Communication substrate: the PIL serial link.
+
+Paper section 6: "the communication between the simulator PC and the
+development board is provided by RS232 asynchronous serial line ... the
+main advantage of this interface is that it is present on any development
+board".  The link is deliberately slow, and the paper treats its overhead
+as part of what PIL measures — so the wire is modelled, not abstracted:
+
+* :class:`SerialLine` — the cable: two bound endpoints, per-direction byte
+  accounting, optional error injection, baud-mismatch corruption.
+* :class:`HostSerialPort` — the simulator-PC end (a PC UART with exact
+  baud), pacing bytes just like the MCU's SCI does.
+* :class:`PacketCodec` / :class:`PacketDecoder` — the framing protocol
+  that "composes outcoming communication packets from the signals ... and
+  parses incoming packets" with CRC-8 integrity and resynchronisation.
+"""
+
+from .line import SerialLine
+from .spi import SPIBus
+from .can import CANBus, CANFrame
+from .host import HostSerialPort
+from .packets import (
+    Packet,
+    PacketCodec,
+    PacketDecoder,
+    PacketType,
+    crc8,
+)
+
+__all__ = [
+    "SerialLine",
+    "SPIBus",
+    "CANBus",
+    "CANFrame",
+    "HostSerialPort",
+    "Packet",
+    "PacketCodec",
+    "PacketDecoder",
+    "PacketType",
+    "crc8",
+]

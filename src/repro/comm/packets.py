@@ -1,0 +1,165 @@
+"""PIL packet protocol.
+
+Frame layout (all single bytes unless noted)::
+
+    SOF (0xA5) | SEQ | TYPE | LEN | PAYLOAD (LEN bytes) | CRC8
+
+The payload carries unsigned 16-bit little-endian words — the natural unit
+of the 16-bit target: raw ADC codes and quadrature counts travel towards
+the controller, raw PWM duty registers travel back.  A CRC-8 trailer
+detects the corruption the line model injects; the decoder resynchronises
+on the next SOF after any error.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+SOF = 0xA5
+#: Frame overhead: SOF + SEQ + TYPE + LEN + CRC.
+OVERHEAD_BYTES = 5
+MAX_PAYLOAD = 255
+
+
+class PacketType(enum.IntEnum):
+    """What the frame carries."""
+
+    DATA = 0x01        # plant -> controller sensor words
+    ACTUATION = 0x02   # controller -> plant actuator words
+    SYNC = 0x03        # step barrier
+    EVENT = 0x04       # asynchronous event flags (simulated interrupts)
+    CMD = 0x05         # start/stop/parameter commands
+
+
+def crc8(data: Iterable[int], poly: int = 0x07, init: int = 0x00) -> int:
+    """CRC-8-CCITT over a byte iterable."""
+    crc = init
+    for b in data:
+        crc ^= b & 0xFF
+        for _ in range(8):
+            crc = ((crc << 1) ^ poly) & 0xFF if crc & 0x80 else (crc << 1) & 0xFF
+    return crc
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A decoded frame."""
+
+    ptype: PacketType
+    seq: int
+    words: tuple[int, ...]
+
+    @property
+    def wire_size(self) -> int:
+        return OVERHEAD_BYTES + 2 * len(self.words)
+
+
+class PacketCodec:
+    """Stateful encoder: assigns sequence numbers, packs words."""
+
+    def __init__(self) -> None:
+        self._seq = 0
+        self.packets_encoded = 0
+
+    def encode(self, ptype: PacketType, words: Iterable[int]) -> bytes:
+        """Build one frame carrying unsigned 16-bit words."""
+        payload = bytearray()
+        for w in words:
+            w = int(w) & 0xFFFF
+            payload.append(w & 0xFF)
+            payload.append((w >> 8) & 0xFF)
+        if len(payload) > MAX_PAYLOAD:
+            raise ValueError(
+                f"payload of {len(payload)} bytes exceeds the {MAX_PAYLOAD}-byte frame limit"
+            )
+        seq = self._seq
+        self._seq = (self._seq + 1) & 0xFF
+        header = bytes([SOF, seq, int(ptype), len(payload)])
+        body = header + bytes(payload)
+        frame = body + bytes([crc8(body[1:])])  # CRC over everything after SOF
+        self.packets_encoded += 1
+        return frame
+
+    @staticmethod
+    def wire_size(n_words: int) -> int:
+        """Frame size in bytes for ``n_words`` payload words."""
+        return OVERHEAD_BYTES + 2 * n_words
+
+
+class PacketDecoder:
+    """Incremental frame parser with resynchronisation.
+
+    Feed bytes as they arrive; completed packets accumulate in
+    :attr:`packets` (or are handed to ``on_packet``).  Corrupted frames
+    bump :attr:`crc_errors` and scanning restarts at the next SOF.
+    """
+
+    def __init__(self, on_packet=None):
+        self._buf = bytearray()
+        self.packets: list[Packet] = []
+        self.on_packet = on_packet
+        self.crc_errors = 0
+        self.resyncs = 0
+
+    def feed(self, data: bytes | bytearray | Iterable[int]) -> list[Packet]:
+        """Consume bytes; returns packets completed by *this* call."""
+        self._buf.extend(data if isinstance(data, (bytes, bytearray)) else bytes(data))
+        done: list[Packet] = []
+        while True:
+            pkt = self._try_parse()
+            if pkt is None:
+                break
+            done.append(pkt)
+            self.packets.append(pkt)
+            if self.on_packet is not None:
+                self.on_packet(pkt)
+        return done
+
+    def _try_parse(self) -> Optional[Packet]:
+        buf = self._buf
+        # hunt for SOF
+        while buf and buf[0] != SOF:
+            buf.pop(0)
+            self.resyncs += 1
+        if len(buf) < OVERHEAD_BYTES:
+            return None
+        length = buf[3]
+        frame_len = OVERHEAD_BYTES + length
+        if len(buf) < frame_len:
+            return None
+        frame = bytes(buf[:frame_len])
+        if crc8(frame[1:-1]) != frame[-1]:
+            self.crc_errors += 1
+            buf.pop(0)  # discard this SOF, rescan
+            return self._try_parse()
+        seq, ptype_raw = frame[1], frame[2]
+        del buf[:frame_len]
+        try:
+            ptype = PacketType(ptype_raw)
+        except ValueError:
+            self.crc_errors += 1
+            return self._try_parse()
+        payload = frame[4:-1]
+        if len(payload) % 2 != 0:
+            self.crc_errors += 1
+            return self._try_parse()
+        words = tuple(
+            payload[i] | (payload[i + 1] << 8) for i in range(0, len(payload), 2)
+        )
+        return Packet(ptype=ptype, seq=seq, words=words)
+
+
+def words_from_signed(values: Iterable[int]) -> list[int]:
+    """Two's-complement pack: signed 16-bit -> unsigned wire words."""
+    return [int(v) & 0xFFFF for v in values]
+
+
+def signed_from_words(words: Iterable[int]) -> list[int]:
+    """Unsigned wire words -> signed 16-bit."""
+    out = []
+    for w in words:
+        w = int(w) & 0xFFFF
+        out.append(w - 0x10000 if w >= 0x8000 else w)
+    return out

@@ -1,0 +1,16 @@
+"""Controllers and reference generators for the servo case study."""
+
+from .pid import PIDGains, PIDController, FixedPointPID, tune_speed_loop
+from .filters import LowPassFilter
+from .setpoint import Staircase
+from .speed import QuadratureSpeed
+
+__all__ = [
+    "PIDGains",
+    "PIDController",
+    "FixedPointPID",
+    "tune_speed_loop",
+    "LowPassFilter",
+    "Staircase",
+    "QuadratureSpeed",
+]

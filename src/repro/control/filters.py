@@ -1,0 +1,57 @@
+"""Discrete filters used in the controller path."""
+
+from __future__ import annotations
+
+import math
+
+from repro.model.block import Block, BlockContext
+
+
+class LowPassFilter(Block):
+    """First-order discrete low-pass (exact ZOH discretisation).
+
+    Used to smooth the encoder-difference speed estimate before the PID —
+    the differenced quadrature count is quantized to one count per sample,
+    which at 1 kHz and 400 counts/rev is a noisy ~15.7 rad/s step.
+    """
+
+    n_in = 1
+    n_out = 1
+    direct_feedthrough = False
+
+    def __init__(self, name: str, cutoff_hz: float, sample_time: float):
+        super().__init__(name)
+        if cutoff_hz <= 0 or sample_time <= 0:
+            raise ValueError("cutoff and sample time must be positive")
+        self.cutoff_hz = float(cutoff_hz)
+        self.sample_time = float(sample_time)
+        self.alpha = 1.0 - math.exp(-2 * math.pi * cutoff_hz * sample_time)
+
+    def start(self, ctx: BlockContext):
+        ctx.dwork["y"] = 0.0
+
+    def outputs(self, t, u, ctx):
+        return [ctx.dwork["y"]]
+
+    def update(self, t, u, ctx):
+        y = ctx.dwork["y"]
+        ctx.dwork["y"] = y + self.alpha * (u[0] - y)
+
+
+def _register_templates() -> None:
+    from repro.codegen.templates import BlockTemplate, default_registry
+
+    default_registry().register(
+        LowPassFilter,
+        BlockTemplate(
+            lambda b, n: [
+                f"{n.output(b, 0)} = {n.dwork(b, 'y')};",
+                f"{n.dwork(b, 'y')} += {b.alpha!r} * ({n.input(b, 0)} - {n.dwork(b, 'y')});",
+            ],
+            lambda b: {"mul": 1, "add": 2, "load_store": 5},
+        ),
+    )
+
+
+from repro.codegen.registry_hooks import register_lazy
+register_lazy(_register_templates)

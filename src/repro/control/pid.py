@@ -1,0 +1,218 @@
+"""Discrete PID controllers — floating-point and fixed-point.
+
+The case study's central data-type decision (section 7): "the default
+data type used in Simulink is double.  This type is, however, not
+appropriate for the implementation in the 16-bit microcontroller without
+the floating point unit.  Simulink allows choosing and validating an
+appropriate fix-point representation."  :class:`PIDController` is the
+double-precision design; :class:`FixedPointPID` is the same structure
+computed in Q15 with a Q15.16 accumulator, bit-faithful to what the
+generated C does on the 56800E.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.fixpt import ACCUM32, Fx, FixedPointType, Q15
+from repro.model.block import Block, BlockContext
+
+
+@dataclass(frozen=True)
+class PIDGains:
+    """Controller gains (parallel form) and output limits."""
+
+    kp: float
+    ki: float = 0.0
+    kd: float = 0.0
+    u_min: float = 0.0
+    u_max: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.u_max <= self.u_min:
+            raise ValueError("u_max must exceed u_min")
+
+
+class PIDController(Block):
+    """Error in, actuation out; clamping anti-windup on the integrator."""
+
+    n_in = 1
+    n_out = 1
+    direct_feedthrough = True
+
+    def __init__(self, name: str, gains: PIDGains, sample_time: float):
+        super().__init__(name)
+        if sample_time <= 0:
+            raise ValueError("sample_time must be positive")
+        self.gains = gains
+        self.sample_time = float(sample_time)
+
+    def start(self, ctx: BlockContext):
+        ctx.dwork["i"] = 0.0
+        ctx.dwork["e_prev"] = 0.0
+
+    def _compute(self, e: float, ctx: BlockContext) -> float:
+        g = self.gains
+        d = (e - ctx.dwork["e_prev"]) / self.sample_time if g.kd else 0.0
+        u = g.kp * e + ctx.dwork["i"] + g.kd * d
+        return min(max(u, g.u_min), g.u_max)
+
+    def outputs(self, t, u, ctx):
+        return [self._compute(u[0], ctx)]
+
+    def update(self, t, u, ctx):
+        g = self.gains
+        e = u[0]
+        # clamping anti-windup: only integrate while unsaturated (or while
+        # integrating back toward the allowed band)
+        u_unsat = g.kp * e + ctx.dwork["i"]
+        integrate = g.u_min < u_unsat < g.u_max or (u_unsat >= g.u_max and e < 0) or (
+            u_unsat <= g.u_min and e > 0
+        )
+        if integrate:
+            ctx.dwork["i"] += g.ki * self.sample_time * e
+        ctx.dwork["e_prev"] = e
+
+
+class FixedPointPID(Block):
+    """The same PID computed in Q15 arithmetic.
+
+    Scaling: the error is normalised by ``e_scale`` into [-1, 1) before
+    quantization to Q15; the output is produced in [u_min, u_max] (duty).
+    The integrator accumulates in a 32-bit Q16 accumulator, mirroring the
+    56800E's wide accumulator registers.
+    """
+
+    n_in = 1
+    n_out = 1
+    direct_feedthrough = True
+
+    def __init__(
+        self,
+        name: str,
+        gains: PIDGains,
+        sample_time: float,
+        e_scale: float,
+        qformat: FixedPointType = Q15,
+        accum_format: FixedPointType = ACCUM32,
+    ):
+        super().__init__(name)
+        if sample_time <= 0:
+            raise ValueError("sample_time must be positive")
+        if e_scale <= 0:
+            raise ValueError("e_scale must be positive")
+        self.gains = gains
+        self.sample_time = float(sample_time)
+        self.e_scale = float(e_scale)
+        self.q = qformat
+        self.acc_q = accum_format
+        # pre-quantized coefficient constants, exactly like generated code
+        # (gains are scaled so that a normalised error maps to duty)
+        self._kp_q = Fx(gains.kp * e_scale / (gains.u_max - gains.u_min), accum_format)
+        self._kiT_q = Fx(
+            gains.ki * sample_time * e_scale / (gains.u_max - gains.u_min), accum_format
+        )
+        self._kd_T_q = Fx(
+            gains.kd / sample_time * e_scale / (gains.u_max - gains.u_min), accum_format
+        )
+
+    def start(self, ctx: BlockContext):
+        ctx.dwork["i"] = Fx(0.0, self.acc_q)      # integrator accumulator
+        ctx.dwork["e_prev"] = Fx(0.0, self.q)
+
+    def _quantize_error(self, e: float) -> Fx:
+        return Fx(e / self.e_scale, self.q)
+
+    def _unsat_norm(self, e_q: Fx, ctx: BlockContext) -> Fx:
+        p_term = (self._kp_q * e_q).cast(self.acc_q)
+        u = (p_term + ctx.dwork["i"]).cast(self.acc_q)
+        if self.gains.kd:
+            diff = (e_q - ctx.dwork["e_prev"]).cast(self.q)
+            u = (u + (self._kd_T_q * diff).cast(self.acc_q)).cast(self.acc_q)
+        return u
+
+    def _to_duty(self, u_norm: float) -> float:
+        g = self.gains
+        u = g.u_min + u_norm * (g.u_max - g.u_min)
+        return min(max(u, g.u_min), g.u_max)
+
+    def outputs(self, t, u, ctx):
+        e_q = self._quantize_error(u[0])
+        return [self._to_duty(float(self._unsat_norm(e_q, ctx)))]
+
+    def update(self, t, u, ctx):
+        e_q = self._quantize_error(u[0])
+        u_unsat = float(self._unsat_norm(e_q, ctx))
+        integrate = 0.0 < u_unsat < 1.0 or (u_unsat >= 1.0 and float(e_q) < 0) or (
+            u_unsat <= 0.0 and float(e_q) > 0
+        )
+        if integrate:
+            ctx.dwork["i"] = (ctx.dwork["i"] + (self._kiT_q * e_q).cast(self.acc_q)).cast(
+                self.acc_q
+            )
+        ctx.dwork["e_prev"] = e_q
+
+
+def tune_speed_loop(
+    dc_gain: float,
+    time_constant: float,
+    sample_time: float,
+    bandwidth_hz: float = 10.0,
+    zeta: float = 1.0,
+    u_min: float = 0.0,
+    u_max: float = 1.0,
+) -> PIDGains:
+    """PI pole placement for a first-order plant ``G(s) = K/(tau s + 1)``.
+
+    Places the closed-loop poles at natural frequency ``2*pi*bandwidth_hz``
+    with damping ``zeta`` — the standard textbook design a control engineer
+    would carry into the Simulink model.
+    """
+    if dc_gain <= 0 or time_constant <= 0:
+        raise ValueError("plant gain and time constant must be positive")
+    wn = 2 * math.pi * bandwidth_hz
+    if wn * sample_time > 0.5:
+        raise ValueError(
+            f"bandwidth {bandwidth_hz} Hz too high for sample time "
+            f"{sample_time}s (wn*Ts = {wn * sample_time:.2f} > 0.5)"
+        )
+    kp = (2 * zeta * wn * time_constant - 1) / dc_gain
+    ki = wn**2 * time_constant / dc_gain
+    return PIDGains(kp=max(kp, 0.0), ki=ki, u_min=u_min, u_max=u_max)
+
+
+# ---------------------------------------------------------------------------
+# code-generation templates for the PID blocks (TLC plug-in registration)
+# ---------------------------------------------------------------------------
+def _register_templates() -> None:
+    from repro.codegen.templates import BlockTemplate, default_registry
+
+    reg = default_registry()
+    reg.register(
+        PIDController,
+        BlockTemplate(
+            lambda b, n: [
+                f"{n.output(b, 0)} = rt_pid_step(&{n.dwork(b, 'pid')}, {n.input(b, 0)});"
+            ],
+            # float PID: 4 mul, 4 add, 1 div, clamps
+            lambda b: {"mul": 4, "add": 4, "div": 1, "branch": 4, "load_store": 8, "call": 1},
+        ),
+    )
+    reg.register(
+        FixedPointPID,
+        BlockTemplate(
+            lambda b, n: [
+                f"{n.output(b, 0)} = rt_pid_q15_step(&{n.dwork(b, 'pid')}, {n.input(b, 0)});"
+            ],
+            # fixed point: fractional MACs on the DSP core
+            lambda b: {
+                "int_mul": 4, "long_add": 4, "int_add": 2,
+                "branch": 4, "load_store": 8, "call": 1,
+            },
+        ),
+    )
+
+
+from repro.codegen.registry_hooks import register_lazy
+register_lazy(_register_templates)

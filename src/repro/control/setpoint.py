@@ -1,0 +1,50 @@
+"""Reference (set-point) generators."""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Sequence
+
+from repro.model.block import Block
+
+
+class Staircase(Block):
+    """Piecewise-constant reference: value ``levels[i]`` from ``times[i]``.
+
+    The classic bench profile for a servo demo: 0 -> 100 -> 200 -> 50 rad/s.
+    """
+
+    n_out = 1
+    direct_feedthrough = False
+
+    def __init__(self, name: str, times: Sequence[float], levels: Sequence[float]):
+        super().__init__(name)
+        if len(times) != len(levels) or not times:
+            raise ValueError("times and levels must be equal-length, non-empty")
+        if list(times) != sorted(times):
+            raise ValueError("times must be non-decreasing")
+        self.times = [float(x) for x in times]
+        self.levels = [float(x) for x in levels]
+
+    def outputs(self, t, u, ctx):
+        i = bisect_right(self.times, t) - 1
+        return [self.levels[max(i, 0)] if i >= 0 else 0.0]
+
+
+def _register_templates() -> None:
+    from repro.codegen.templates import BlockTemplate, default_registry
+
+    default_registry().register(
+        Staircase,
+        BlockTemplate(
+            lambda b, n: [
+                f"{n.output(b, 0)} = rt_staircase({b.name}_times, {b.name}_levels, "
+                f"{len(b.times)}, rt_time);"
+            ],
+            lambda b: {"call": 1, "branch": 3, "load_store": 4},
+        ),
+    )
+
+
+from repro.codegen.registry_hooks import register_lazy
+register_lazy(_register_templates)

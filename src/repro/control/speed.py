@@ -1,0 +1,75 @@
+"""Speed estimation from quadrature counts.
+
+The generated controller's feedback path: difference two consecutive
+reads of the 16-bit position register (wrap-aware), divide by the sample
+time, scale by the count grid.  The quantization floor of this estimator
+— one count per period — is a real hardware effect the single-model MIL
+simulation exhibits because the PE blocks deliver integer counts.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.model.block import Block, BlockContext
+
+_WRAP = 1 << 16
+
+
+class QuadratureSpeed(Block):
+    """Position count in -> shaft speed (rad/s) out."""
+
+    n_in = 1
+    n_out = 1
+    direct_feedthrough = True
+
+    def __init__(self, name: str, counts_per_rev: int, sample_time: float):
+        super().__init__(name)
+        if counts_per_rev < 1:
+            raise ValueError("counts_per_rev must be >= 1")
+        if sample_time <= 0:
+            raise ValueError("sample_time must be positive")
+        self.counts_per_rev = int(counts_per_rev)
+        self.sample_time = float(sample_time)
+        self.rad_per_count = 2 * math.pi / counts_per_rev
+
+    def start(self, ctx: BlockContext):
+        ctx.dwork["prev"] = 0
+        ctx.dwork["primed"] = False
+
+    def _delta(self, now: int, before: int) -> int:
+        d = (now - before) % _WRAP
+        if d >= _WRAP // 2:
+            d -= _WRAP
+        return d
+
+    def outputs(self, t, u, ctx):
+        now = int(u[0]) % _WRAP
+        if not ctx.dwork["primed"]:
+            return [0.0]
+        delta = self._delta(now, ctx.dwork["prev"])
+        return [delta * self.rad_per_count / self.sample_time]
+
+    def update(self, t, u, ctx):
+        ctx.dwork["prev"] = int(u[0]) % _WRAP
+        ctx.dwork["primed"] = True
+
+
+def _register_templates() -> None:
+    from repro.codegen.templates import BlockTemplate, default_registry
+
+    default_registry().register(
+        QuadratureSpeed,
+        BlockTemplate(
+            lambda b, n: [
+                f"{n.output(b, 0)} = rt_qd_speed({n.input(b, 0)}, "
+                f"&{n.dwork(b, 'prev')}, {b.rad_per_count / b.sample_time!r});",
+            ],
+            # wrap-aware int16 difference + one scale multiply
+            lambda b: {"int_add": 2, "branch": 2, "mul": 1, "load_store": 4, "call": 1},
+        ),
+    )
+
+
+from repro.codegen.registry_hooks import register_lazy
+register_lazy(_register_templates)

@@ -1,0 +1,49 @@
+"""PEERT — the Processor Expert Real-Time Target.
+
+The paper's primary contribution (section 5): "PEERT consists of three
+main parts — the PE block set, the PES_COM communication library and the
+RTW Embedded Coder target."  Mapped here:
+
+* :mod:`repro.core.blocks` — the PE block set: Simulink blocks that each
+  own an Embedded Bean, simulate the peripheral's hardware effects in MIL,
+  and expose function-call event ports for interrupts;
+* :mod:`repro.core.autosar` — the second block-set variant with
+  AUTOSAR-style configuration and generated API (section 8);
+* :mod:`repro.core.sync` — the PES_COM substitute: bidirectional
+  model <-> PE-project synchronisation;
+* :mod:`repro.core.target` — the embedded target: single model in,
+  validated PE project + generated C + a deployed application on the MCU
+  simulator out;
+* :mod:`repro.core.templates` — TLC templates for the PE blocks.
+"""
+
+from .blocks import (
+    PEBlock,
+    PEBlockMode,
+    ProcessorExpertConfig,
+    ADCBlock,
+    PWMBlock,
+    QuadDecBlock,
+    TimerIntBlock,
+    BitIOBlock,
+)
+from .sync import ModelProjectSync, SyncError
+from .target import PEERTTarget, DeployedApplication, TargetError
+from . import autosar
+
+__all__ = [
+    "PEBlock",
+    "PEBlockMode",
+    "ProcessorExpertConfig",
+    "ADCBlock",
+    "PWMBlock",
+    "QuadDecBlock",
+    "TimerIntBlock",
+    "BitIOBlock",
+    "ModelProjectSync",
+    "SyncError",
+    "PEERTTarget",
+    "DeployedApplication",
+    "TargetError",
+    "autosar",
+]

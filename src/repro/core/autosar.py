@@ -1,0 +1,122 @@
+"""AUTOSAR-variant block set.
+
+Paper section 8: "There are two variants of the block sets.  In the first
+variant the blocks represent the PE beans while in the second variant the
+blocks represent AUTOSAR peripherals.  The blocks of both variants are
+the same from the functional point of view, but they differ in HW
+settings and the API of generated code."
+
+Each AUTOSAR block is functionally its PE sibling (same simulation
+behaviour, same bean underneath) with
+
+* MCAL-style configuration names (``group``/``channel id`` instead of PE
+  property names), translated onto the bean properties, and
+* the AUTOSAR API style pre-selected for code generation, so a target
+  built from these blocks emits ``Adc_StartGroupConversion`` symbols.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.pe.halgen import ApiStyle
+
+from .blocks import (
+    ADCBlock,
+    BitIOBlock,
+    ProcessorExpertConfig,
+    PWMBlock,
+    QuadDecBlock,
+    TimerIntBlock,
+)
+
+#: AUTOSAR configuration name -> PE bean property, per block type.
+_PARAM_MAPS: dict[str, dict[str, str]] = {
+    "Adc": {"group": "channel", "resolution": "resolution", "conversion_mode": "mode"},
+    "Pwm": {"channel_id": "channel", "period_frequency": "frequency",
+            "pwm_class": "alignment", "polarity": "polarity"},
+    "Gpt": {"channel_tick_period": "period"},
+    "Icu": {"reset_edge": "reset_on_index"},
+    "Dio": {"channel_id": "pin", "direction": "direction", "level": "init_value"},
+}
+
+_DIO_DIRECTIONS = {"DIO_INPUT": "input", "DIO_OUTPUT": "output"}
+
+
+class _AutosarMixin:
+    """Shared translation of MCAL configuration names to bean properties."""
+
+    API_STYLE = ApiStyle.AUTOSAR
+    MCAL_MODULE = ""
+
+    def _translate(self, kwargs: dict[str, Any]) -> dict[str, Any]:
+        mapping = _PARAM_MAPS.get(self.MCAL_MODULE, {})
+        out: dict[str, Any] = {}
+        for k, v in kwargs.items():
+            key = mapping.get(k, k)
+            if self.MCAL_MODULE == "Dio" and key == "direction" and v in _DIO_DIRECTIONS:
+                v = _DIO_DIRECTIONS[v]
+            out[key] = v
+        return out
+
+
+class AutosarMcu(_AutosarMixin, ProcessorExpertConfig):
+    """Mcu module configuration (CPU selection)."""
+
+    MCAL_MODULE = "Mcu"
+
+
+class AutosarAdc(_AutosarMixin, ADCBlock):
+    """Adc module: a conversion group of one channel."""
+
+    MCAL_MODULE = "Adc"
+
+    def __init__(self, name: str, sample_time: float, **kwargs: Any):
+        translated = self._translate(kwargs)
+        super().__init__(name, sample_time, **translated)
+
+
+class AutosarPwm(_AutosarMixin, PWMBlock):
+    """Pwm module channel."""
+
+    MCAL_MODULE = "Pwm"
+
+    def __init__(self, name: str, **kwargs: Any):
+        super().__init__(name, **self._translate(kwargs))
+
+
+class AutosarGpt(_AutosarMixin, TimerIntBlock):
+    """Gpt (general purpose timer) channel in continuous mode."""
+
+    MCAL_MODULE = "Gpt"
+
+    def __init__(self, name: str, channel_tick_period: float, **kwargs: Any):
+        super().__init__(name, period=channel_tick_period, **self._translate(kwargs))
+
+
+class AutosarIcu(_AutosarMixin, QuadDecBlock):
+    """Icu-style edge counting (quadrature position)."""
+
+    MCAL_MODULE = "Icu"
+
+    def __init__(self, name: str, **kwargs: Any):
+        super().__init__(name, **self._translate(kwargs))
+
+
+class AutosarDio(_AutosarMixin, BitIOBlock):
+    """Dio channel."""
+
+    MCAL_MODULE = "Dio"
+
+    def __init__(self, name: str, **kwargs: Any):
+        super().__init__(name, **self._translate(kwargs))
+
+
+__all__ = [
+    "AutosarMcu",
+    "AutosarAdc",
+    "AutosarPwm",
+    "AutosarGpt",
+    "AutosarIcu",
+    "AutosarDio",
+]

@@ -1,0 +1,292 @@
+"""The PE block set.
+
+"Each block in the Simulink model corresponds to a bean in the PE
+project.  Each PE block is implemented as an s-function that reads
+properties of the corresponding bean and simulates the behavior of the
+corresponding peripheral." (section 5)
+
+A PE block therefore has three execution modes:
+
+* ``MIL`` — simulation inside the closed-loop diagram.  The block does
+  **not** pass data through unchanged: it reflects the main HW properties
+  (the ADC quantizes to its configured resolution, the PWM duty collapses
+  onto the modulo grid, ...), the paper's key fidelity claim.
+* ``HW`` — deployed on the MCU simulator; the block body is the bean
+  method call the generated C makes (``AD1_GetValue()`` etc.).
+* ``PIL`` — deployed for processor-in-the-loop; peripheral access is
+  redirected to the communication buffer ("the inputs are not measured by
+  the hardware peripherals but their values are obtained via the
+  communication line", section 6).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Any, Optional
+
+from repro.model.block import Block, BlockContext, INHERITED
+from repro.model.types import DataType, UINT16, DOUBLE
+from repro.pe.bean import Bean
+from repro.pe.beans import (
+    ADCBean,
+    BitIOBean,
+    CPUBean,
+    PWMBean,
+    QuadDecBean,
+    TimerIntBean,
+)
+
+
+class PEBlockMode(enum.Enum):
+    MIL = "mil"
+    HW = "hw"
+    PIL = "pil"
+
+
+class PEBlock(Block):
+    """Base class: a diagram block owning an Embedded Bean."""
+
+    BEAN_CLS: type[Bean] = Bean
+    #: bean event name per function-call event port
+    EVENT_NAMES: tuple[str, ...] = ()
+
+    def __init__(self, name: str, **bean_props: Any):
+        super().__init__(name)
+        self.bean = self.BEAN_CLS(name, **bean_props)
+        self.mode = PEBlockMode.MIL
+        #: PIL communication buffer (dict shared with the PIL harness);
+        #: keys are block names, values raw 16-bit words
+        self.pil_buffer: Optional[dict] = None
+
+    # configuration ------------------------------------------------------
+    def set_property(self, name: str, value: Any) -> None:
+        """Double-click-the-block path: properties go to the bean and are
+        validated immediately by the knowledge base."""
+        self.bean.set_property(name, value)
+
+    def get_property(self, name: str) -> Any:
+        return self.bean.get_property(name)
+
+    def inspector(self) -> str:
+        """Open the Bean Inspector for this block (Fig 4.1)."""
+        return self.bean.inspector()
+
+    # deployment ----------------------------------------------------------
+    def set_mode(self, mode: PEBlockMode, pil_buffer: Optional[dict] = None) -> None:
+        self.mode = mode
+        if mode is PEBlockMode.PIL:
+            if pil_buffer is None:
+                raise ValueError("PIL mode needs a communication buffer")
+            self.pil_buffer = pil_buffer
+
+    def _pil_read(self, default: float = 0.0) -> float:
+        assert self.pil_buffer is not None
+        return float(self.pil_buffer.get(self.name, default))
+
+    def _pil_write(self, value: float) -> None:
+        assert self.pil_buffer is not None
+        self.pil_buffer[self.name] = value
+
+
+class ProcessorExpertConfig(PEBlock):
+    """The mandatory Processor Expert block — "must be inserted to the
+    model as the first block from the processor expert block set"
+    (section 7).  Holds the CPU bean: target chip and clock design."""
+
+    BEAN_CLS = CPUBean
+    n_in = 0
+    n_out = 0
+    direct_feedthrough = False
+
+    def outputs(self, t, u, ctx):
+        return []
+
+    @property
+    def chip_name(self) -> str:
+        return self.bean.get_property("chip")
+
+
+class ADCBlock(PEBlock):
+    """ADC peripheral block.
+
+    Input: the analogue voltage from the plant model.  Output: the raw
+    conversion result (``uint16`` on the wire, at the bean's resolution).
+    Event 0: ``OnEnd`` (end of conversion) — fires at every sample hit in
+    MIL, from the real EOC interrupt on the target.
+    """
+
+    BEAN_CLS = ADCBean
+    EVENT_NAMES = ("OnEnd",)
+    n_in = 1
+    n_out = 1
+    n_events = 1
+
+    def __init__(self, name: str, sample_time: float, vref_low: float = 0.0,
+                 vref_high: float = 3.3, **bean_props: Any):
+        super().__init__(name, **bean_props)
+        if vref_high <= vref_low:
+            raise ValueError("vref_high must exceed vref_low")
+        self.sample_time = float(sample_time)
+        self.vref_low = float(vref_low)
+        self.vref_high = float(vref_high)
+
+    def output_type(self, port: int) -> DataType:
+        return UINT16
+
+    def quantize(self, volts: float) -> int:
+        """MIL-side quantization at the bean resolution + rail clipping —
+        'the ADC block ... really provides the controller model with
+        values with the 12 bits resolution' (section 5)."""
+        bits = self.bean.effective_bits
+        raw_max = (1 << bits) - 1
+        span = self.vref_high - self.vref_low
+        code = int((volts - self.vref_low) / span * (raw_max + 1))
+        return min(max(code, 0), raw_max)
+
+    def outputs(self, t, u, ctx):
+        if self.mode is PEBlockMode.HW:
+            self.bean.call("Measure", False)
+            value = float(self.bean.call("GetValue"))
+        elif self.mode is PEBlockMode.PIL:
+            value = self._pil_read()
+        else:
+            value = float(self.quantize(u[0]))
+            if self.bean.events["OnEnd"].enabled:
+                ctx.fire(0)
+        return [value]
+
+
+class PWMBlock(PEBlock):
+    """PWM peripheral block.
+
+    Input: duty request (0..1).  Output: the *achieved* duty after modulo
+    quantization — what the motor actually receives.
+    """
+
+    BEAN_CLS = PWMBean
+    EVENT_NAMES = ("OnEnd",)
+    n_in = 1
+    n_out = 1
+    n_events = 1  # OnEnd (reload)
+
+    def __init__(self, name: str, **bean_props: Any):
+        super().__init__(name, **bean_props)
+
+    def _quantize_duty(self, duty: float) -> float:
+        duty = min(max(duty, 0.0), 1.0)
+        res = self.bean._derived.get("duty_resolution")
+        if res is None:
+            return duty  # not validated yet: exact (pure-model fallback)
+        return round(duty / res) * res
+
+    def outputs(self, t, u, ctx):
+        if self.mode is PEBlockMode.HW:
+            achieved = self.bean.call("SetRatio16", int(min(max(u[0], 0.0), 1.0) * 65535))
+            return [float(achieved)]
+        if self.mode is PEBlockMode.PIL:
+            self._pil_write(min(max(u[0], 0.0), 1.0))
+            return [self._quantize_duty(u[0])]
+        return [self._quantize_duty(u[0])]
+
+
+class QuadDecBlock(PEBlock):
+    """Quadrature decoder block.
+
+    Input: the quadrature count from the plant's encoder model.  Output:
+    the 16-bit position register.
+    """
+
+    BEAN_CLS = QuadDecBean
+    EVENT_NAMES = ("OnIndex",)
+    n_in = 1
+    n_out = 1
+    n_events = 1  # OnIndex
+
+    def output_type(self, port: int) -> DataType:
+        return UINT16
+
+    def outputs(self, t, u, ctx):
+        if self.mode is PEBlockMode.HW:
+            return [float(self.bean.call("GetPosition"))]
+        if self.mode is PEBlockMode.PIL:
+            return [self._pil_read()]
+        return [float(int(u[0]) % (1 << 16))]
+
+
+class TimerIntBlock(PEBlock):
+    """Periodic interrupt block — the control loop's heartbeat.
+
+    No data ports; event 0 is ``OnInterrupt``.  In MIL it fires at every
+    sample hit of its configured period; on the target the tick is the
+    hardware timer interrupt running the generated step.
+    """
+
+    BEAN_CLS = TimerIntBean
+    EVENT_NAMES = ("OnInterrupt",)
+    n_in = 0
+    n_out = 0
+    n_events = 1
+    direct_feedthrough = False
+
+    def __init__(self, name: str, period: float, **bean_props: Any):
+        super().__init__(name, period=period, **bean_props)
+        self.sample_time = float(period)
+
+    def outputs(self, t, u, ctx):
+        if self.mode is PEBlockMode.MIL:
+            ctx.fire(0)
+        return []
+
+
+class BitIOBlock(PEBlock):
+    """Single-pin digital I/O block.
+
+    * direction=input: in 0 = external level (button), out 0 = value the
+      application reads; event 0 = ``OnEdge``.
+    * direction=output: in 0 = value to drive, out 0 = pin level (for the
+      plant model to observe).
+    """
+
+    BEAN_CLS = BitIOBean
+    EVENT_NAMES = ("OnEdge",)
+    n_in = 1
+    n_out = 1
+    n_events = 1
+
+    def __init__(self, name: str, **bean_props: Any):
+        super().__init__(name, **bean_props)
+
+    def start(self, ctx: BlockContext):
+        ctx.dwork["prev"] = 0.0
+
+    def outputs(self, t, u, ctx):
+        level = 1.0 if u[0] != 0.0 else 0.0
+        if self.mode is PEBlockMode.HW:
+            if self.bean.get_property("direction") == "output":
+                self.bean.call("PutVal", int(level))
+                return [level]
+            return [float(self.bean.call("GetVal"))]
+        if self.mode is PEBlockMode.PIL:
+            if self.bean.get_property("direction") == "output":
+                self._pil_write(level)
+                return [level]
+            return [self._pil_read()]
+        # MIL: pass the binarized level; fire edge events if armed
+        if ctx.minor:
+            return [level]
+        edge = self.bean.get_property("edge_irq")
+        if edge != "none" and self.bean.events["OnEdge"].enabled:
+            prev = ctx.dwork["prev"]
+            rising = prev == 0.0 and level == 1.0
+            falling = prev == 1.0 and level == 0.0
+            if (edge == "rising" and rising) or (edge == "falling" and falling) or (
+                edge == "both" and (rising or falling)
+            ):
+                ctx.fire(0)
+        ctx.dwork["prev"] = level
+        return [level]
+
+
+#: All deployable PE block classes (excludes the config block).
+PE_PERIPHERAL_BLOCKS = (ADCBlock, PWMBlock, QuadDecBlock, TimerIntBlock, BitIOBlock)

@@ -1,0 +1,142 @@
+"""Model <-> PE-project synchronisation (the PES_COM substitute).
+
+"The synchronization of the Simulink model with the PE project and the
+communication of both these tools through the Microsoft Component Object
+Model (COM) interface is provided by the PES_COM library ...  User changes
+in the model (PE block insertion, erasure, rename etc.) are propagated to
+the PE project and opposite." (section 5)
+
+Microsoft COM is replaced by in-process observer lists on both sides; the
+observable behaviour — bidirectional, immediate propagation — is the same.
+Because each PE block *owns* its bean, "propagating" a block means
+registering/unregistering that same bean object in the project, so block
+properties and bean properties can never diverge.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.model.graph import Model
+from repro.pe.project import PEProject
+
+from .blocks import PEBlock, ProcessorExpertConfig
+
+
+class SyncError(Exception):
+    """Synchronisation conflict between the model and the project."""
+
+
+class ModelProjectSync:
+    """Live bidirectional link between one model and one PE project."""
+
+    def __init__(self, model: Model, project: PEProject):
+        self.model = model
+        self.project = project
+        self._suspended = 0
+        self.reconcile()
+        model.observers.append(self._on_model_event)
+        project.observers.append(self._on_project_event)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Detach both observers."""
+        if self._on_model_event in self.model.observers:
+            self.model.observers.remove(self._on_model_event)
+        if self._on_project_event in self.project.observers:
+            self.project.observers.remove(self._on_project_event)
+
+    class _Mute:
+        def __init__(self, sync: "ModelProjectSync"):
+            self.sync = sync
+
+        def __enter__(self):
+            self.sync._suspended += 1
+
+        def __exit__(self, *exc):
+            self.sync._suspended -= 1
+
+    # ------------------------------------------------------------------
+    # model -> project
+    # ------------------------------------------------------------------
+    def _on_model_event(self, event: str, *names: str) -> None:
+        if self._suspended:
+            return
+        if event == "add":
+            block = self.model.blocks.get(names[0])
+            if isinstance(block, ProcessorExpertConfig):
+                with self._Mute(self):
+                    self.project.cpu = block.bean
+            elif isinstance(block, PEBlock):
+                with self._Mute(self):
+                    self.project.add_bean(block.bean)
+        elif event == "remove":
+            if names[0] in self.project.beans:
+                with self._Mute(self):
+                    self.project.remove_bean(names[0])
+        elif event == "rename":
+            old, new = names
+            if old in self.project.beans:
+                with self._Mute(self):
+                    self.project.rename_bean(old, new)
+
+    # ------------------------------------------------------------------
+    # project -> model
+    # ------------------------------------------------------------------
+    def _on_project_event(self, event: str, *names: str) -> None:
+        if self._suspended:
+            return
+        if event == "remove":
+            if names[0] in self.model.blocks and isinstance(
+                self.model.blocks[names[0]], PEBlock
+            ):
+                with self._Mute(self):
+                    self.model.remove(names[0])
+        elif event == "rename":
+            old, new = names
+            if old in self.model.blocks:
+                with self._Mute(self):
+                    self.model.rename(old, new)
+        # "add" from the project side has no block geometry to create —
+        # the real tool drops a block at a default position; we require
+        # blocks to be created model-side (documented limitation).
+
+    # ------------------------------------------------------------------
+    def reconcile(self) -> None:
+        """Full scan: make the project's bean set mirror the model's PE
+        blocks (used at attach time and after bulk edits)."""
+        with self._Mute(self):
+            pe_blocks = {
+                name: b for name, b in self.model.blocks.items() if isinstance(b, PEBlock)
+            }
+            config = [b for b in pe_blocks.values() if isinstance(b, ProcessorExpertConfig)]
+            if len(config) > 1:
+                raise SyncError("model contains more than one Processor Expert block")
+            if config:
+                self.project.cpu = config[0].bean
+            wanted = {
+                name: b.bean
+                for name, b in pe_blocks.items()
+                if not isinstance(b, ProcessorExpertConfig)
+            }
+            for name in list(self.project.beans):
+                if name not in wanted:
+                    self.project.remove_bean(name)
+            for name, bean in wanted.items():
+                existing = self.project.beans.get(name)
+                if existing is None:
+                    self.project.add_bean(bean)
+                elif existing is not bean:
+                    raise SyncError(
+                        f"bean '{name}' exists in the project but belongs to a "
+                        "different block"
+                    )
+
+    def is_consistent(self) -> bool:
+        """True when every PE block's bean is in the project and vice versa."""
+        pe_beans = {
+            b.bean.name
+            for b in self.model.blocks.values()
+            if isinstance(b, PEBlock) and not isinstance(b, ProcessorExpertConfig)
+        }
+        return pe_beans == set(self.project.beans)

@@ -1,0 +1,69 @@
+"""TLC templates for the PE block set.
+
+"The RTW Embedded Coder target ... defines the code generated for each
+block in the PE block set (via tlc files) ... Only the uniform API of
+beans is used in tlc files.  They are therefore MCU independent."
+(section 5)
+
+The emitted statements call bean methods by their generated symbol, so
+the model code compiles against any chip's HAL.  The operation mixes come
+from the bean method declarations (integer register traffic — peripheral
+access never touches the float emulation library).
+"""
+
+from __future__ import annotations
+
+from repro.codegen.templates import BlockTemplate, TemplateRegistry, default_registry
+from repro.pe.halgen import ApiStyle, method_symbol
+
+from .blocks import (
+    ADCBlock,
+    BitIOBlock,
+    ProcessorExpertConfig,
+    PWMBlock,
+    QuadDecBlock,
+    TimerIntBlock,
+)
+
+
+def pe_registry(style: ApiStyle = ApiStyle.PE) -> TemplateRegistry:
+    """The standard registry extended with PE block templates."""
+    reg = default_registry().copy()
+    sym = lambda block, m: method_symbol(block.bean, m, style)
+
+    reg.register(ProcessorExpertConfig, BlockTemplate(
+        lambda b, n: [f"/* Processor Expert configuration: {b.chip_name} */"],
+        lambda b: {},
+    ))
+    reg.register(ADCBlock, BlockTemplate(
+        lambda b, n: [
+            f"{sym(b, 'Measure')}(0);",
+            f"{n.output(b, 0)} = {sym(b, 'GetValue')}();",
+        ],
+        lambda b: {"call": 2, "load_store": 5, "branch": 1, "int_add": 1},
+    ))
+    reg.register(PWMBlock, BlockTemplate(
+        lambda b, n: [
+            f"{sym(b, 'SetRatio16')}((word)({n.input(b, 0)} * 65535.0));",
+        ],
+        lambda b: {"call": 1, "int_mul": 1, "load_store": 3},
+    ))
+    reg.register(QuadDecBlock, BlockTemplate(
+        lambda b, n: [f"{n.output(b, 0)} = {sym(b, 'GetPosition')}();"],
+        lambda b: {"call": 1, "load_store": 2},
+    ))
+    reg.register(TimerIntBlock, BlockTemplate(
+        lambda b, n: [f"/* periodic tick: {b.name}_OnInterrupt drives this step */"],
+        lambda b: {},
+    ))
+
+    def emit_bitio(b: BitIOBlock, n):
+        if b.bean.get_property("direction") == "output":
+            return [f"{sym(b, 'PutVal')}({n.input(b, 0)} != 0.0);",
+                    f"{n.output(b, 0)} = {n.input(b, 0)};"]
+        return [f"{n.output(b, 0)} = {sym(b, 'GetVal')}();"]
+
+    reg.register(BitIOBlock, BlockTemplate(
+        emit_bitio, lambda b: {"call": 1, "load_store": 2, "branch": 1}
+    ))
+    return reg

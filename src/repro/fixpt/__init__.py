@@ -1,0 +1,54 @@
+"""Fixed-point arithmetic substrate.
+
+Reproduces the role of the Simulink Fixed-Point Toolbox in the paper's
+case study (section 7): the MC56F8367 is a 16-bit hybrid DSP/MCU without a
+floating point unit, so the controller model must be expressed in a
+validated Q-format representation before code generation.
+
+The package provides:
+
+* :class:`FixedPointType` — a binary fixed-point format (word length,
+  fraction length, signedness) with explicit overflow and rounding modes.
+* :class:`Fx` — a scalar fixed-point value supporting arithmetic with
+  Simulink-style full-precision intermediates.
+* :mod:`repro.fixpt.ops` — vectorized quantize/saturate kernels on NumPy
+  arrays (used by the ADC/PWM peripheral models and generated code).
+* :func:`propagate_add` / :func:`propagate_mul` — result-type inference
+  rules used by the code generator when typing intermediate signals.
+"""
+
+from .types import (
+    FixedPointType,
+    Overflow,
+    Rounding,
+    Q15,
+    Q31,
+    Q12,
+    Q7,
+    UQ16,
+    UQ12,
+    ACCUM32,
+)
+from .value import Fx
+from .ops import quantize_array, saturate_array, dequantize_array
+from .propagate import propagate_add, propagate_mul, propagate_neg
+
+__all__ = [
+    "FixedPointType",
+    "Overflow",
+    "Rounding",
+    "Fx",
+    "Q15",
+    "Q31",
+    "Q12",
+    "Q7",
+    "UQ16",
+    "UQ12",
+    "ACCUM32",
+    "quantize_array",
+    "saturate_array",
+    "dequantize_array",
+    "propagate_add",
+    "propagate_mul",
+    "propagate_neg",
+]

@@ -1,0 +1,60 @@
+"""Vectorized fixed-point kernels on NumPy arrays.
+
+The peripheral models (ADC sampling a plant trajectory, PWM duty tables)
+and the analysis code quantize whole signal logs at once; doing this
+element-wise through :class:`~repro.fixpt.value.Fx` would dominate the
+simulation profile, so these kernels follow the HPC guide's advice and stay
+vectorized end to end (no Python loop touches the data).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .types import FixedPointType, Overflow, Rounding
+
+
+def _round_array(x: np.ndarray, rounding: Rounding) -> np.ndarray:
+    if rounding is Rounding.FLOOR:
+        return np.floor(x)
+    if rounding is Rounding.CEIL:
+        return np.ceil(x)
+    if rounding is Rounding.ZERO:
+        return np.trunc(x)
+    # NEAREST, ties away from zero
+    return np.where(x >= 0, np.floor(x + 0.5), np.ceil(x - 0.5))
+
+
+def saturate_array(raw: np.ndarray, ftype: FixedPointType) -> np.ndarray:
+    """Apply the format's overflow policy to an int64 raw array."""
+    raw = np.asarray(raw, dtype=np.int64)
+    if ftype.overflow is Overflow.SATURATE:
+        return np.clip(raw, ftype.raw_min, ftype.raw_max)
+    span = np.int64(1) << ftype.word_length
+    wrapped = np.mod(raw, span)
+    if ftype.signed:
+        wrapped = np.where(wrapped > ftype.raw_max, wrapped - span, wrapped)
+    return wrapped
+
+
+def quantize_array(values: np.ndarray, ftype: FixedPointType) -> np.ndarray:
+    """Vectorized :meth:`FixedPointType.quantize` -> int64 raw array."""
+    values = np.asarray(values, dtype=np.float64)
+    finite = np.where(np.isfinite(values), values, 0.0)
+    scaled = finite / ftype.scale
+    raw = _round_array(scaled, ftype.rounding).astype(np.int64)
+    # infinities quantize to the range ends regardless of rounding
+    raw = np.where(np.isposinf(values), ftype.raw_max, raw)
+    raw = np.where(np.isneginf(values), ftype.raw_min, raw)
+    return saturate_array(raw, ftype)
+
+
+def dequantize_array(raw: np.ndarray, ftype: FixedPointType) -> np.ndarray:
+    """Vectorized :meth:`FixedPointType.to_float`."""
+    return np.asarray(raw, dtype=np.float64) * ftype.scale
+
+
+def represent_array(values: np.ndarray, ftype: FixedPointType) -> np.ndarray:
+    """Round-trip an array through the format — the quantization a signal
+    suffers when it passes through a peripheral of this resolution."""
+    return dequantize_array(quantize_array(values, ftype), ftype)

@@ -1,0 +1,59 @@
+"""Result-type propagation rules for fixed-point arithmetic.
+
+These mirror the "full precision" inheritance rules RTW Embedded Coder uses
+when typing intermediate signals during code generation: the result of an
+operation keeps every bit of the exact intermediate until it would exceed
+the accumulator width of the target, at which point it saturates the word
+length (the paper's case study targets a 16-bit core with 32/36-bit
+accumulators, so 32 bits is the practical ceiling for portable C).
+"""
+
+from __future__ import annotations
+
+from .types import FixedPointType
+
+#: Widest portable integer the generated C code may use for intermediates.
+MAX_WORD_LENGTH = 64
+
+
+def _clip_word(bits: int) -> int:
+    return min(bits, MAX_WORD_LENGTH)
+
+
+def propagate_add(a: FixedPointType, b: FixedPointType) -> FixedPointType:
+    """Full-precision result type of ``a + b``.
+
+    Fraction length is the max of the operands (align binary points);
+    integer part grows by one carry bit; signed if either operand is.
+    """
+    signed = a.signed or b.signed
+    frac = max(a.fraction_length, b.fraction_length)
+    int_a = a.word_length - a.fraction_length - (1 if a.signed else 0)
+    int_b = b.word_length - b.fraction_length - (1 if b.signed else 0)
+    int_bits = max(int_a, int_b) + 1
+    word = _clip_word(int_bits + frac + (1 if signed else 0))
+    frac = min(frac, word - (1 if signed else 0))
+    return FixedPointType(word, frac, signed, a.overflow, a.rounding)
+
+
+def propagate_mul(a: FixedPointType, b: FixedPointType) -> FixedPointType:
+    """Full-precision result type of ``a * b``.
+
+    Word and fraction lengths add (a Q15*Q15 product is exactly Q30 in a
+    32-bit register, which is the native DSP multiply of the 56800E).
+    """
+    signed = a.signed or b.signed
+    word = _clip_word(a.word_length + b.word_length)
+    frac = a.fraction_length + b.fraction_length
+    frac = min(frac, word - (1 if signed else 0))
+    return FixedPointType(word, frac, signed, a.overflow, a.rounding)
+
+
+def propagate_neg(a: FixedPointType) -> FixedPointType:
+    """Result type of unary negation: always signed, one extra bit so that
+    ``-raw_min`` is representable."""
+    if a.signed:
+        word = _clip_word(a.word_length + 1)
+        return FixedPointType(word, a.fraction_length, True, a.overflow, a.rounding)
+    word = _clip_word(a.word_length + 1)
+    return FixedPointType(word, a.fraction_length, True, a.overflow, a.rounding)

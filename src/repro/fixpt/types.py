@@ -1,0 +1,204 @@
+"""Binary fixed-point format descriptions.
+
+A :class:`FixedPointType` describes how a real number is stored in an
+integer register: ``real = raw * 2**-fraction_length``.  The format is the
+contract between the control model (which thinks in engineering units) and
+the generated C code (which thinks in machine words); everything the paper
+says about "choosing and validating an appropriate fix-point representation
+of real numbers in the controller model" (section 7) happens through this
+class.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+
+class Overflow(enum.Enum):
+    """What happens when a value exceeds the representable range."""
+
+    SATURATE = "saturate"
+    WRAP = "wrap"
+
+
+class Rounding(enum.Enum):
+    """How the infinitely precise result is mapped onto the raw grid.
+
+    ``FLOOR`` is what a C arithmetic shift does and is the cheapest on the
+    DSP56800E core; ``NEAREST`` matches Simulink's default "round".
+    """
+
+    FLOOR = "floor"
+    NEAREST = "nearest"
+    ZERO = "zero"
+    CEIL = "ceil"
+
+
+@dataclass(frozen=True)
+class FixedPointType:
+    """A binary-point-only fixed point type, e.g. Q15 = ``FixedPointType(16, 15)``.
+
+    Parameters
+    ----------
+    word_length:
+        Total storage bits (including sign bit when ``signed``).
+    fraction_length:
+        Number of fractional bits.  May exceed ``word_length`` (pure
+        fractions with leading zero bits) or be negative (scaling by a
+        power of two greater than one), as in Simulink.
+    signed:
+        Two's-complement signed storage when ``True``.
+    overflow, rounding:
+        Conversion behaviour; defaults mirror the safe Simulink settings
+        used for production code (saturate + floor).
+    """
+
+    word_length: int
+    fraction_length: int
+    signed: bool = True
+    overflow: Overflow = Overflow.SATURATE
+    rounding: Rounding = Rounding.FLOOR
+
+    def __post_init__(self) -> None:
+        if self.word_length < 1 or self.word_length > 64:
+            raise ValueError(f"word_length must be in [1, 64], got {self.word_length}")
+        if self.signed and self.word_length < 2:
+            raise ValueError("signed formats need at least 2 bits")
+
+    # ------------------------------------------------------------------
+    # range and resolution
+    # ------------------------------------------------------------------
+    @property
+    def raw_min(self) -> int:
+        """Smallest storable raw integer."""
+        return -(1 << (self.word_length - 1)) if self.signed else 0
+
+    @property
+    def raw_max(self) -> int:
+        """Largest storable raw integer."""
+        bits = self.word_length - 1 if self.signed else self.word_length
+        return (1 << bits) - 1
+
+    @property
+    def scale(self) -> float:
+        """Real-world weight of one raw LSB (``2**-fraction_length``)."""
+        return math.ldexp(1.0, -self.fraction_length)
+
+    @property
+    def eps(self) -> float:
+        """Resolution — alias of :attr:`scale`."""
+        return self.scale
+
+    @property
+    def min(self) -> float:
+        """Smallest representable real value."""
+        return self.raw_min * self.scale
+
+    @property
+    def max(self) -> float:
+        """Largest representable real value."""
+        return self.raw_max * self.scale
+
+    # ------------------------------------------------------------------
+    # conversion
+    # ------------------------------------------------------------------
+    def _round(self, x: float) -> int:
+        if self.rounding is Rounding.FLOOR:
+            return math.floor(x)
+        if self.rounding is Rounding.CEIL:
+            return math.ceil(x)
+        if self.rounding is Rounding.ZERO:
+            return math.trunc(x)
+        # NEAREST: ties away from zero, matching Simulink "Round".
+        return math.floor(x + 0.5) if x >= 0 else math.ceil(x - 0.5)
+
+    def clamp_raw(self, raw: int) -> int:
+        """Apply the overflow policy to an out-of-range raw integer."""
+        if self.raw_min <= raw <= self.raw_max:
+            return raw
+        if self.overflow is Overflow.SATURATE:
+            return self.raw_min if raw < self.raw_min else self.raw_max
+        # two's complement wrap
+        span = 1 << self.word_length
+        raw &= span - 1
+        if self.signed and raw > self.raw_max:
+            raw -= span
+        return raw
+
+    def quantize(self, value: float) -> int:
+        """Convert a real value to its raw integer representation."""
+        if math.isnan(value):
+            raise ValueError("cannot quantize NaN")
+        if math.isinf(value):
+            return self.raw_max if value > 0 else self.raw_min
+        return self.clamp_raw(self._round(value / self.scale))
+
+    def to_float(self, raw: int) -> float:
+        """Real-world value of a raw integer (no range check)."""
+        return raw * self.scale
+
+    def represent(self, value: float) -> float:
+        """Round-trip a real value through the format (quantize + dequantize)."""
+        return self.to_float(self.quantize(value))
+
+    def can_represent(self, value: float) -> bool:
+        """True when ``value`` lies on the raw grid inside the range."""
+        if not (self.min <= value <= self.max):
+            return False
+        scaled = value / self.scale
+        return abs(scaled - round(scaled)) < 1e-9
+
+    # ------------------------------------------------------------------
+    # derived formats
+    # ------------------------------------------------------------------
+    def with_overflow(self, overflow: Overflow) -> "FixedPointType":
+        """Same format with a different overflow policy."""
+        return FixedPointType(
+            self.word_length, self.fraction_length, self.signed, overflow, self.rounding
+        )
+
+    def with_rounding(self, rounding: Rounding) -> "FixedPointType":
+        """Same format with a different rounding policy."""
+        return FixedPointType(
+            self.word_length, self.fraction_length, self.signed, self.overflow, rounding
+        )
+
+    # ------------------------------------------------------------------
+    # presentation
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Short Q-format style name, e.g. ``sfix16_En15``."""
+        sign = "sfix" if self.signed else "ufix"
+        return f"{sign}{self.word_length}_En{self.fraction_length}"
+
+    @property
+    def c_type(self) -> str:
+        """The C storage type the code generator emits for this format."""
+        width = 8
+        for candidate in (8, 16, 32, 64):
+            if self.word_length <= candidate:
+                width = candidate
+                break
+        prefix = "int" if self.signed else "uint"
+        return f"{prefix}{width}_t"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FixedPointType({self.word_length}, {self.fraction_length}, "
+            f"signed={self.signed}, {self.overflow.value}, {self.rounding.value})"
+        )
+
+
+# Common formats used throughout the case study. Q15/Q31 are the native
+# DSP56800E fractional formats; UQ12 matches the 12-bit ADC of the
+# MC56F8367; ACCUM32 is the wide accumulator used for PID sums.
+Q15 = FixedPointType(16, 15)
+Q31 = FixedPointType(32, 31)
+Q12 = FixedPointType(16, 12)
+Q7 = FixedPointType(8, 7)
+UQ16 = FixedPointType(16, 0, signed=False)
+UQ12 = FixedPointType(16, 12, signed=False)
+ACCUM32 = FixedPointType(32, 16)

@@ -1,0 +1,164 @@
+"""Scalar fixed-point values with Simulink-style arithmetic.
+
+Arithmetic between :class:`Fx` values is computed with an exact (unbounded
+Python integer) intermediate and then converted to the result type produced
+by the propagation rules in :mod:`repro.fixpt.propagate`.  This mirrors how
+RTW Embedded Coder types intermediate expressions, and it is what makes the
+generated fixed-point controller bit-reproducible between the MIL model and
+the virtual executable.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .types import FixedPointType
+from .propagate import propagate_add, propagate_mul, propagate_neg
+
+Number = Union[int, float, "Fx"]
+
+
+class Fx:
+    """A value stored in a :class:`FixedPointType`.
+
+    The raw integer is the single source of truth; ``float(fx)`` derives the
+    real-world value.  Construction quantizes, so ``Fx(0.1, Q15)`` holds the
+    nearest representable neighbour of 0.1.
+    """
+
+    __slots__ = ("raw", "ftype")
+
+    def __init__(self, value: float, ftype: FixedPointType, *, raw: int | None = None):
+        self.ftype = ftype
+        if raw is not None:
+            self.raw = ftype.clamp_raw(int(raw))
+        else:
+            self.raw = ftype.quantize(float(value))
+
+    @classmethod
+    def from_raw(cls, raw: int, ftype: FixedPointType) -> "Fx":
+        """Wrap an existing raw integer without re-quantizing."""
+        return cls(0.0, ftype, raw=raw)
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def __float__(self) -> float:
+        return self.ftype.to_float(self.raw)
+
+    def cast(self, ftype: FixedPointType) -> "Fx":
+        """Re-represent this value in another format (may lose precision)."""
+        if ftype == self.ftype:
+            return self
+        shift = ftype.fraction_length - self.ftype.fraction_length
+        if shift >= 0:
+            raw = self.raw << shift
+        else:
+            # arithmetic shift with the target's rounding mode applied on
+            # the bits that fall off
+            raw = ftype._round(self.raw * 2.0**shift)
+        return Fx.from_raw(ftype.clamp_raw(raw), ftype)
+
+    # ------------------------------------------------------------------
+    # arithmetic — exact intermediates, typed results
+    # ------------------------------------------------------------------
+    def _coerce(self, other: Number) -> "Fx":
+        if isinstance(other, Fx):
+            return other
+        return Fx(float(other), self.ftype)
+
+    def __add__(self, other: Number) -> "Fx":
+        o = self._coerce(other)
+        rt = propagate_add(self.ftype, o.ftype)
+        f = max(self.ftype.fraction_length, o.ftype.fraction_length)
+        a = self.raw << (f - self.ftype.fraction_length)
+        b = o.raw << (f - o.ftype.fraction_length)
+        total = a + b
+        shift = f - rt.fraction_length
+        raw = total >> shift if shift >= 0 else total << -shift
+        return Fx.from_raw(rt.clamp_raw(raw), rt)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Number) -> "Fx":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other: Number) -> "Fx":
+        return self._coerce(other) - self
+
+    def __neg__(self) -> "Fx":
+        rt = propagate_neg(self.ftype)
+        return Fx.from_raw(rt.clamp_raw(-self.raw), rt)
+
+    def __mul__(self, other: Number) -> "Fx":
+        o = self._coerce(other)
+        rt = propagate_mul(self.ftype, o.ftype)
+        product = self.raw * o.raw  # exact, fraction = fa + fb
+        shift = self.ftype.fraction_length + o.ftype.fraction_length - rt.fraction_length
+        raw = product >> shift if shift >= 0 else product << -shift
+        return Fx.from_raw(rt.clamp_raw(raw), rt)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Number) -> "Fx":
+        """Division, quantized to the dividend's format.
+
+        Matches what a generated fractional-divide routine does: compute
+        ``(a << f) / b`` in a wide register with truncation toward zero,
+        then saturate into the result format.  Division by (a value that
+        quantizes to) zero raises, like the C runtime trap.
+        """
+        o = self._coerce(other)
+        if o.raw == 0:
+            raise ZeroDivisionError("fixed-point division by zero")
+        rt = self.ftype
+        # numerator scaled so the quotient lands on rt's grid:
+        # (a * 2^-fa) / (b * 2^-fb) = (a / b) * 2^(fb - fa); want * 2^-frt
+        shift = rt.fraction_length + o.ftype.fraction_length - self.ftype.fraction_length
+        num = self.raw << shift if shift >= 0 else self.raw >> -shift
+        q = abs(num) // abs(o.raw)  # truncate toward zero
+        if (num < 0) != (o.raw < 0):
+            q = -q
+        return Fx.from_raw(rt.clamp_raw(q), rt)
+
+    def __rtruediv__(self, other: Number) -> "Fx":
+        return self._coerce(other) / self
+
+    def __abs__(self) -> "Fx":
+        from .propagate import propagate_neg
+
+        if self.raw >= 0:
+            return self
+        rt = propagate_neg(self.ftype)
+        return Fx.from_raw(rt.clamp_raw(-self.raw), rt)
+
+    # ------------------------------------------------------------------
+    # comparisons — by real value
+    # ------------------------------------------------------------------
+    def _cmp_value(self, other: Number) -> float:
+        return float(other) if not isinstance(other, Fx) else float(other)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Fx):
+            return float(self) == float(other)
+        if isinstance(other, (int, float)):
+            return float(self) == float(other)
+        return NotImplemented
+
+    def __lt__(self, other: Number) -> bool:
+        return float(self) < self._cmp_value(other)
+
+    def __le__(self, other: Number) -> bool:
+        return float(self) <= self._cmp_value(other)
+
+    def __gt__(self, other: Number) -> bool:
+        return float(self) > self._cmp_value(other)
+
+    def __ge__(self, other: Number) -> bool:
+        return float(self) >= self._cmp_value(other)
+
+    def __hash__(self) -> int:
+        return hash(float(self))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Fx({float(self)!r}, {self.ftype.name}, raw={self.raw})"

@@ -1,0 +1,77 @@
+"""MCU simulation substrate.
+
+The paper targets real Freescale microcontrollers (the case study's
+MC56F8367 hybrid DSP/MCU); this package is their executable stand-in:
+
+* :mod:`repro.mcu.clock` — crystal/PLL/prescaler clock tree; every derived
+  rate (timer period, PWM frequency, SCI baud) is *quantized* by integer
+  dividers, exactly the constraint Processor Expert's expert system solves.
+* :mod:`repro.mcu.cpu` + :mod:`repro.mcu.interrupts` — a cycle-budget CPU
+  occupancy model with a priority interrupt controller supporting both the
+  paper's non-preemptive dispatch and preemptive nesting (ablation).
+* :mod:`repro.mcu.peripherals` — ADC, PWM, timers, GPIO, quadrature
+  decoder, SCI, watchdog, each with the hardware effects the PE blocks
+  simulate (resolution, conversion time, duty quantization, baud error).
+* :mod:`repro.mcu.database` — chip descriptors (MC56F8367, MC9S12DP256,
+  MCF5235, MC56F8013) capturing word size, FPU, memory, peripheral
+  complements and per-operation cycle costs.
+* :mod:`repro.mcu.device` — :class:`MCUDevice`, the event-driven simulator
+  tying it all together; the PIL "development board".
+"""
+
+from .clock import ClockTree, PrescalerChain, DividerSolution
+from .cpu import CPU, ExecutionRecord
+from .interrupts import InterruptController, InterruptSource, DispatchMode
+from .device import MCUDevice
+from .database import (
+    ChipDescriptor,
+    PeripheralSpec,
+    CycleCosts,
+    MC56F8367,
+    MC56F8013,
+    MC9S12DP256,
+    MCF5235,
+    MPC5554,
+    CHIPS,
+    get_chip,
+)
+from .peripherals import (
+    Peripheral,
+    ADC,
+    PWM,
+    PeriodicTimer,
+    GPIOPort,
+    QuadratureDecoder,
+    SCI,
+    Watchdog,
+)
+
+__all__ = [
+    "ClockTree",
+    "PrescalerChain",
+    "DividerSolution",
+    "CPU",
+    "ExecutionRecord",
+    "InterruptController",
+    "InterruptSource",
+    "DispatchMode",
+    "MCUDevice",
+    "ChipDescriptor",
+    "PeripheralSpec",
+    "CycleCosts",
+    "MC56F8367",
+    "MC56F8013",
+    "MC9S12DP256",
+    "MCF5235",
+    "MPC5554",
+    "CHIPS",
+    "get_chip",
+    "Peripheral",
+    "ADC",
+    "PWM",
+    "PeriodicTimer",
+    "GPIOPort",
+    "QuadratureDecoder",
+    "SCI",
+    "Watchdog",
+]

@@ -1,0 +1,136 @@
+"""Clock tree and divider arithmetic.
+
+On-chip rates are never free: a timer period is ``(prescaler * modulo) /
+f_bus`` with ``prescaler`` from a small power-of-two menu and ``modulo`` a
+16-bit integer; an SCI baud rate is ``f_bus / (16 * divisor)``.  The gap
+between the *requested* and the *achievable* value is the design error the
+paper's expert system surfaces at design time ("some design parameters,
+such as settings of common prescalers ... are calculated by the expert
+system", section 4).  :class:`PrescalerChain` does that search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class DividerSolution:
+    """Result of a prescaler/modulo search."""
+
+    prescaler: int
+    modulo: int
+    achieved: float  # achieved period (s) or rate (Hz), per the solver
+    requested: float
+    relative_error: float
+
+    @property
+    def exact(self) -> bool:
+        return self.relative_error < 1e-9
+
+
+class PrescalerChain:
+    """A divider stage: ``f_out = f_in / (prescaler * modulo)``.
+
+    ``prescalers`` is the discrete menu the silicon offers (typically
+    powers of two); ``modulo`` is a counter reload value within
+    ``[1, modulo_max]``.
+    """
+
+    def __init__(self, prescalers: Sequence[int], modulo_max: int):
+        if not prescalers or any(p < 1 for p in prescalers):
+            raise ValueError("prescalers must be positive")
+        if modulo_max < 1:
+            raise ValueError("modulo_max must be >= 1")
+        self.prescalers = sorted(set(int(p) for p in prescalers))
+        self.modulo_max = int(modulo_max)
+
+    def min_period(self, f_in: float) -> float:
+        return self.prescalers[0] * 1 / f_in
+
+    def max_period(self, f_in: float) -> float:
+        return self.prescalers[-1] * self.modulo_max / f_in
+
+    def solve_period(self, f_in: float, period: float) -> Optional[DividerSolution]:
+        """Find prescaler+modulo whose period is closest to ``period``.
+
+        Returns None when the request lies outside the representable range
+        (this is what turns into a Processor Expert design-time error).
+        """
+        if period <= 0 or f_in <= 0:
+            raise ValueError("period and f_in must be positive")
+        if period > self.max_period(f_in) * (1 + 1e-9):
+            return None
+        if period < self.min_period(f_in) * (1 - 1e-9):
+            return None
+        best: Optional[DividerSolution] = None
+        for p in self.prescalers:
+            ticks = period * f_in / p
+            for m in {int(ticks), int(ticks) + 1}:
+                if m < 1 or m > self.modulo_max:
+                    continue
+                achieved = p * m / f_in
+                err = abs(achieved - period) / period
+                if best is None or err < best.relative_error:
+                    best = DividerSolution(p, m, achieved, period, err)
+        return best
+
+    def solve_rate(self, f_in: float, rate: float) -> Optional[DividerSolution]:
+        """Find dividers for an output *frequency* closest to ``rate``."""
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        sol = self.solve_period(f_in, 1.0 / rate)
+        if sol is None:
+            return None
+        achieved_rate = 1.0 / sol.achieved
+        return DividerSolution(
+            sol.prescaler, sol.modulo, achieved_rate, rate, abs(achieved_rate - rate) / rate
+        )
+
+
+class ClockTree:
+    """Crystal -> PLL -> system/bus clocks.
+
+    ``f_sys = f_xtal * pll_mult / pll_div`` clamped-checked against the
+    chip's maximum; the bus (peripheral) clock is ``f_sys / bus_div``.
+    """
+
+    def __init__(
+        self,
+        f_xtal: float,
+        pll_mult: int = 1,
+        pll_div: int = 1,
+        bus_div: int = 1,
+        f_sys_max: float = float("inf"),
+    ):
+        if f_xtal <= 0:
+            raise ValueError("crystal frequency must be positive")
+        if pll_mult < 1 or pll_div < 1 or bus_div < 1:
+            raise ValueError("PLL/bus dividers must be >= 1")
+        self.f_xtal = float(f_xtal)
+        self.pll_mult = int(pll_mult)
+        self.pll_div = int(pll_div)
+        self.bus_div = int(bus_div)
+        self.f_sys_max = float(f_sys_max)
+        if self.f_sys > self.f_sys_max:
+            raise ValueError(
+                f"system clock {self.f_sys/1e6:.3f} MHz exceeds the device "
+                f"maximum {self.f_sys_max/1e6:.3f} MHz"
+            )
+
+    @property
+    def f_sys(self) -> float:
+        """Core clock (Hz)."""
+        return self.f_xtal * self.pll_mult / self.pll_div
+
+    @property
+    def f_bus(self) -> float:
+        """Peripheral bus clock (Hz)."""
+        return self.f_sys / self.bus_div
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.f_sys
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        return seconds * self.f_sys

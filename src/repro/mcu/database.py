@@ -1,0 +1,263 @@
+"""Chip descriptor database.
+
+Processor Expert's value proposition is its knowledge base "about
+supported MCUs and their on-chip peripherals" (section 4).  This module is
+that knowledge base for the reproduction: a descriptor per chip capturing
+core word size, FPU presence, clocking limits, memory sizes, the on-chip
+peripheral complement, and a per-operation cycle-cost table used by the
+code generator's execution-time model.
+
+Figures are order-of-magnitude faithful to the data sheets (the paper's
+claims never depend on exact cycle counts, only on their relations: a
+16-bit core without FPU pays ~2 orders of magnitude for emulated double
+math; a 32-bit core pays much less).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+@dataclass(frozen=True)
+class CycleCosts:
+    """Per-operation costs (CPU cycles) for the execution-time model."""
+
+    int_add: float = 1.0
+    int_mul: float = 1.0
+    int_div: float = 20.0
+    long_add: float = 2.0
+    long_mul: float = 4.0
+    float_add: float = 100.0   # software-emulated unless has_fpu
+    float_mul: float = 120.0
+    float_div: float = 350.0
+    load_store: float = 1.0
+    branch: float = 3.0
+    call: float = 8.0
+
+    def op(self, name: str) -> float:
+        return float(getattr(self, name))
+
+
+@dataclass(frozen=True)
+class PeripheralSpec:
+    """How many instances of a peripheral kind a chip has, and their
+    construction parameters."""
+
+    kind: str
+    count: int
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ChipDescriptor:
+    """Everything the tools need to know about one MCU derivative."""
+
+    name: str
+    family: str
+    vendor: str
+    core: str
+    word_bits: int
+    has_fpu: bool
+    f_sys_max: float
+    default_xtal: float
+    default_pll_mult: int
+    default_pll_div: int
+    flash_bytes: int
+    ram_bytes: int
+    interrupt_latency_cycles: int
+    costs: CycleCosts
+    peripherals: tuple[PeripheralSpec, ...]
+    pin_count: int = 64
+
+    def peripheral_spec(self, kind: str) -> PeripheralSpec | None:
+        for spec in self.peripherals:
+            if spec.kind == kind:
+                return spec
+        return None
+
+    def supports(self, kind: str) -> bool:
+        spec = self.peripheral_spec(kind)
+        return spec is not None and spec.count > 0
+
+
+# ---------------------------------------------------------------------------
+# The case-study chip: Freescale MC56F8367 hybrid controller (DSP + MCU),
+# 16-bit 56800E core, 60 MHz, no FPU, rich motor-control peripherals.
+# ---------------------------------------------------------------------------
+MC56F8367 = ChipDescriptor(
+    name="MC56F8367",
+    family="56F8300",
+    vendor="Freescale",
+    core="56800E",
+    word_bits=16,
+    has_fpu=False,
+    f_sys_max=60e6,
+    default_xtal=8e6,
+    default_pll_mult=15,
+    default_pll_div=2,
+    flash_bytes=512 * 1024,
+    ram_bytes=32 * 1024,
+    interrupt_latency_cycles=22,
+    costs=CycleCosts(
+        int_add=1, int_mul=1, int_div=22, long_add=2, long_mul=2,
+        float_add=95, float_mul=130, float_div=380, load_store=1,
+        branch=3, call=8,
+    ),
+    peripherals=(
+        PeripheralSpec("adc", 2, {"resolution_bits": 12, "channels": 8, "conversion_cycles": 53}),
+        PeripheralSpec("pwm", 2, {"channels": 6, "modulo_max": 0x7FFF, "prescalers": (1, 2, 4, 8)}),
+        PeripheralSpec("timer", 4, {"prescalers": (1, 2, 4, 8, 16, 32, 64, 128), "modulo_max": 0xFFFF}),
+        PeripheralSpec("qdec", 2, {}),
+        PeripheralSpec("sci", 2, {"divisor_max": 0x1FFF}),
+        PeripheralSpec("spi", 1, {}),
+        PeripheralSpec("gpio", 4, {"width": 16}),
+        PeripheralSpec("wdog", 1, {}),
+    ),
+    pin_count=144,
+)
+
+# Small sibling: MC56F8013 (same core family, 32 MHz, tight memory).
+MC56F8013 = ChipDescriptor(
+    name="MC56F8013",
+    family="56F8000",
+    vendor="Freescale",
+    core="56800E",
+    word_bits=16,
+    has_fpu=False,
+    f_sys_max=32e6,
+    default_xtal=8e6,
+    default_pll_mult=8,
+    default_pll_div=2,
+    flash_bytes=16 * 1024,
+    ram_bytes=4 * 1024,
+    interrupt_latency_cycles=22,
+    costs=CycleCosts(
+        int_add=1, int_mul=1, int_div=22, long_add=2, long_mul=2,
+        float_add=95, float_mul=130, float_div=380, load_store=1,
+        branch=3, call=8,
+    ),
+    peripherals=(
+        PeripheralSpec("adc", 1, {"resolution_bits": 12, "channels": 6, "conversion_cycles": 53}),
+        PeripheralSpec("pwm", 1, {"channels": 6, "modulo_max": 0x7FFF, "prescalers": (1, 2, 4, 8)}),
+        PeripheralSpec("timer", 2, {"prescalers": (1, 2, 4, 8, 16, 32, 64, 128), "modulo_max": 0xFFFF}),
+        PeripheralSpec("qdec", 0, {}),
+        PeripheralSpec("sci", 1, {"divisor_max": 0x1FFF}),
+        PeripheralSpec("spi", 1, {}),
+        PeripheralSpec("gpio", 2, {"width": 8}),
+        PeripheralSpec("wdog", 1, {}),
+    ),
+    pin_count=32,
+)
+
+# HCS12 automotive workhorse: MC9S12DP256, 25 MHz bus, 10-bit ADC.
+MC9S12DP256 = ChipDescriptor(
+    name="MC9S12DP256",
+    family="HCS12",
+    vendor="Freescale",
+    core="HCS12",
+    word_bits=16,
+    has_fpu=False,
+    f_sys_max=50e6,  # core; bus is f_sys/2
+    default_xtal=16e6,
+    default_pll_mult=3,
+    default_pll_div=1,
+    flash_bytes=256 * 1024,
+    ram_bytes=12 * 1024,
+    interrupt_latency_cycles=30,
+    costs=CycleCosts(
+        int_add=2, int_mul=3, int_div=30, long_add=4, long_mul=10,
+        float_add=180, float_mul=260, float_div=700, load_store=2,
+        branch=3, call=10,
+    ),
+    peripherals=(
+        PeripheralSpec("adc", 2, {"resolution_bits": 10, "channels": 8, "conversion_cycles": 32}),
+        PeripheralSpec("pwm", 1, {"channels": 8, "modulo_max": 0xFF, "prescalers": (1, 2, 4, 8, 16, 32, 64, 128)}),
+        PeripheralSpec("timer", 1, {"prescalers": (1, 2, 4, 8, 16, 32, 64, 128), "modulo_max": 0xFFFF}),
+        PeripheralSpec("qdec", 0, {}),
+        PeripheralSpec("sci", 2, {"divisor_max": 0x1FFF}),
+        PeripheralSpec("spi", 1, {}),
+        PeripheralSpec("gpio", 8, {"width": 8}),
+        PeripheralSpec("wdog", 1, {}),
+    ),
+    pin_count=112,
+)
+
+# 32-bit ColdFire V2: MCF5235, 150 MHz, still no FPU but 32-bit ALU.
+MCF5235 = ChipDescriptor(
+    name="MCF5235",
+    family="ColdFire",
+    vendor="Freescale",
+    core="V2",
+    word_bits=32,
+    has_fpu=False,
+    f_sys_max=150e6,
+    default_xtal=25e6,
+    default_pll_mult=6,
+    default_pll_div=1,
+    flash_bytes=0,  # external flash part; use a nominal budget
+    ram_bytes=64 * 1024,
+    interrupt_latency_cycles=18,
+    costs=CycleCosts(
+        int_add=1, int_mul=3, int_div=35, long_add=1, long_mul=3,
+        float_add=55, float_mul=75, float_div=240, load_store=1,
+        branch=2, call=6,
+    ),
+    peripherals=(
+        PeripheralSpec("adc", 1, {"resolution_bits": 12, "channels": 8, "conversion_cycles": 40}),
+        PeripheralSpec("pwm", 1, {"channels": 8, "modulo_max": 0xFFFF, "prescalers": (1, 2, 4, 8)}),
+        PeripheralSpec("timer", 4, {"prescalers": (1, 2, 4, 8, 16), "modulo_max": 0xFFFF}),
+        PeripheralSpec("qdec", 1, {}),
+        PeripheralSpec("sci", 3, {"divisor_max": 0xFFFF}),
+        PeripheralSpec("spi", 2, {}),
+        PeripheralSpec("gpio", 8, {"width": 16}),
+        PeripheralSpec("wdog", 1, {}),
+    ),
+    pin_count=160,
+)
+
+# 32-bit PowerPC e200z6 with hardware floating point: MPC5554 — the
+# "embedded computers (e.g. based on power PC processors)" of section 8.
+MPC5554 = ChipDescriptor(
+    name="MPC5554",
+    family="MPC5500",
+    vendor="Freescale",
+    core="e200z6",
+    word_bits=32,
+    has_fpu=True,
+    f_sys_max=132e6,
+    default_xtal=8e6,
+    default_pll_mult=33,
+    default_pll_div=2,
+    flash_bytes=2 * 1024 * 1024,
+    ram_bytes=64 * 1024,
+    interrupt_latency_cycles=16,
+    costs=CycleCosts(
+        int_add=1, int_mul=2, int_div=14, long_add=1, long_mul=2,
+        float_add=4, float_mul=4, float_div=35, load_store=1,
+        branch=2, call=5,
+    ),
+    peripherals=(
+        PeripheralSpec("adc", 2, {"resolution_bits": 12, "channels": 16, "conversion_cycles": 64}),
+        PeripheralSpec("pwm", 2, {"channels": 16, "modulo_max": 0xFFFF, "prescalers": (1, 2, 4, 8, 16)}),
+        PeripheralSpec("timer", 8, {"prescalers": (1, 2, 4, 8, 16, 32, 64, 128), "modulo_max": 0xFFFFFF}),
+        PeripheralSpec("qdec", 2, {}),
+        PeripheralSpec("sci", 2, {"divisor_max": 0x1FFF}),
+        PeripheralSpec("spi", 3, {}),
+        PeripheralSpec("gpio", 12, {"width": 16}),
+        PeripheralSpec("wdog", 1, {}),
+    ),
+    pin_count=416,
+)
+
+CHIPS: dict[str, ChipDescriptor] = {
+    c.name: c for c in (MC56F8367, MC56F8013, MC9S12DP256, MCF5235, MPC5554)
+}
+
+
+def get_chip(name: str) -> ChipDescriptor:
+    """Look up a chip by name; raises ``KeyError`` with the catalogue."""
+    try:
+        return CHIPS[name]
+    except KeyError:
+        raise KeyError(f"unknown chip '{name}'; available: {sorted(CHIPS)}") from None

@@ -1,0 +1,28 @@
+"""On-chip peripheral models.
+
+Each peripheral reproduces the hardware effects the paper's PE blocks
+surface in simulation (section 5): quantized resolutions, conversion
+times, divider-limited frequencies, and interrupt generation.
+"""
+
+from .base import Peripheral
+from .adc import ADC
+from .pwm import PWM
+from .timer import PeriodicTimer
+from .gpio import GPIOPort
+from .qdec import QuadratureDecoder
+from .sci import SCI
+from .watchdog import Watchdog
+from .spi import SPISlave
+
+__all__ = [
+    "Peripheral",
+    "ADC",
+    "PWM",
+    "PeriodicTimer",
+    "GPIOPort",
+    "QuadratureDecoder",
+    "SCI",
+    "Watchdog",
+    "SPISlave",
+]

@@ -1,0 +1,106 @@
+"""Analogue-to-digital converter model.
+
+The paper's flagship fidelity example (section 5): "the ADC block
+representing the 12 bits AD converter on the MCU chip really provides the
+controller model with values with the 12 bits resolution".  This model
+adds the two other HW effects PIL exposes: a finite conversion time (the
+value is latched at *start* of conversion, the end-of-conversion interrupt
+arrives later) and reference-range clipping.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import Peripheral
+
+
+class ADC(Peripheral):
+    """Successive-approximation ADC with software or external trigger."""
+
+    def __init__(
+        self,
+        name: str,
+        resolution_bits: int = 12,
+        vref_low: float = 0.0,
+        vref_high: float = 3.3,
+        conversion_cycles: int = 60,
+        channels: int = 8,
+    ):
+        super().__init__(name)
+        if not (4 <= resolution_bits <= 24):
+            raise ValueError("resolution must be between 4 and 24 bits")
+        if vref_high <= vref_low:
+            raise ValueError("vref_high must exceed vref_low")
+        if channels < 1:
+            raise ValueError("need at least one channel")
+        self.resolution_bits = int(resolution_bits)
+        self.vref_low = float(vref_low)
+        self.vref_high = float(vref_high)
+        self.conversion_cycles = int(conversion_cycles)
+        self.channels = int(channels)
+        self.results: dict[int, int] = {}
+        self.busy = False
+        self._auto_channel: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def raw_max(self) -> int:
+        return (1 << self.resolution_bits) - 1
+
+    @property
+    def lsb_volts(self) -> float:
+        return (self.vref_high - self.vref_low) / (self.raw_max + 1)
+
+    def conversion_time(self) -> float:
+        """Seconds per conversion at the attached device's bus clock."""
+        dev = self._require_device()
+        return self.conversion_cycles / dev.clock.f_bus
+
+    def quantize(self, volts: float) -> int:
+        """Voltage -> raw code, with rail clipping."""
+        span = self.vref_high - self.vref_low
+        code = int((volts - self.vref_low) / span * (self.raw_max + 1))
+        return min(max(code, 0), self.raw_max)
+
+    def to_volts(self, raw: int) -> float:
+        return self.vref_low + raw * self.lsb_volts
+
+    # ------------------------------------------------------------------
+    def start_conversion(self, channel: int) -> None:
+        """Sample-and-hold latches *now*; EOC interrupt fires after the
+        conversion time.  Starting while busy is ignored (like setting the
+        START bit of a busy converter)."""
+        dev = self._require_device()
+        if not (0 <= channel < self.channels):
+            raise ValueError(f"ADC '{self.name}' has no channel {channel}")
+        if self.busy:
+            return
+        self.busy = True
+        latched = dev.analog_in.get(channel, 0.0)
+        raw = self.quantize(latched)
+
+        def complete() -> None:
+            self.busy = False
+            self.results[channel] = raw
+            self.raise_irq()
+            if self._auto_channel is not None:
+                self.start_conversion(self._auto_channel)
+
+        dev.schedule(dev.time + self.conversion_time(), complete)
+
+    def set_continuous(self, channel: Optional[int]) -> None:
+        """Continuous scan of one channel (None disables); each completed
+        conversion immediately retriggers."""
+        self._auto_channel = channel
+        if channel is not None and not self.busy:
+            self.start_conversion(channel)
+
+    def read(self, channel: int) -> int:
+        """Last completed result for ``channel`` (0 before any conversion)."""
+        return self.results.get(channel, 0)
+
+    def reset(self) -> None:
+        self.results.clear()
+        self.busy = False
+        self._auto_channel = None

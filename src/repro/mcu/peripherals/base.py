@@ -1,0 +1,48 @@
+"""Peripheral base class."""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..device import MCUDevice
+
+
+class Peripheral:
+    """Base for all on-chip peripherals.
+
+    A peripheral is created free-standing, then attached to a device; the
+    device provides time, the event scheduler, the interrupt controller
+    and the clock tree.  ``irq_vector`` (when set) is the interrupt source
+    name the peripheral raises its events on.
+    """
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("peripheral name must be non-empty")
+        self.name = name
+        self.device: Optional["MCUDevice"] = None
+        self.irq_vector: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def attach(self, device: "MCUDevice") -> None:
+        """Called by :meth:`MCUDevice.add_peripheral`."""
+        self.device = device
+
+    def _require_device(self) -> "MCUDevice":
+        if self.device is None:
+            raise RuntimeError(f"peripheral '{self.name}' is not attached to a device")
+        return self.device
+
+    def raise_irq(self, vector: Optional[str] = None) -> None:
+        """Assert this peripheral's interrupt (no-op when no vector wired)."""
+        dev = self._require_device()
+        v = vector or self.irq_vector
+        if v is not None and v in dev.intc.sources:
+            dev.intc.request(v)
+
+    def reset(self) -> None:
+        """Return to power-on state (subclasses extend)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} '{self.name}'>"

@@ -1,0 +1,83 @@
+"""General-purpose I/O port with edge interrupts.
+
+The case study's "few button keyboard ... used to set the speed set-point
+and switch between the manual and the automatic control mode" (section 7)
+enters the MCU through this port.
+"""
+
+from __future__ import annotations
+
+from .base import Peripheral
+
+IN, OUT = "in", "out"
+
+
+class GPIOPort(Peripheral):
+    """A bank of ``width`` pins, each configurable as input or output."""
+
+    def __init__(self, name: str, width: int = 8):
+        super().__init__(name)
+        if not (1 <= width <= 32):
+            raise ValueError("port width must be in [1, 32]")
+        self.width = int(width)
+        self.direction: list[str] = [IN] * self.width
+        self._out_latch: list[int] = [0] * self.width
+        self._in_level: list[int] = [0] * self.width
+        self._edge_irq: dict[int, str] = {}  # pin -> "rising"|"falling"|"both"
+
+    def _check_pin(self, pin: int) -> None:
+        if not (0 <= pin < self.width):
+            raise ValueError(f"port '{self.name}' has no pin {pin}")
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def set_direction(self, pin: int, direction: str) -> None:
+        self._check_pin(pin)
+        if direction not in (IN, OUT):
+            raise ValueError("direction must be 'in' or 'out'")
+        self.direction[pin] = direction
+
+    def enable_edge_irq(self, pin: int, edge: str = "rising") -> None:
+        """Raise the port's IRQ on input edges of the given polarity."""
+        self._check_pin(pin)
+        if edge not in ("rising", "falling", "both"):
+            raise ValueError("edge must be 'rising', 'falling' or 'both'")
+        if self.direction[pin] != IN:
+            raise ValueError(f"pin {pin} is an output; edge IRQ needs an input")
+        self._edge_irq[pin] = edge
+
+    # ------------------------------------------------------------------
+    # pin access
+    # ------------------------------------------------------------------
+    def write(self, pin: int, value: int) -> None:
+        self._check_pin(pin)
+        if self.direction[pin] != OUT:
+            raise ValueError(f"pin {pin} of '{self.name}' is not an output")
+        self._out_latch[pin] = 1 if value else 0
+
+    def read(self, pin: int) -> int:
+        self._check_pin(pin)
+        if self.direction[pin] == OUT:
+            return self._out_latch[pin]
+        return self._in_level[pin]
+
+    def drive_input(self, pin: int, level: int) -> None:
+        """External world sets an input pin level (edge IRQs fire here)."""
+        self._check_pin(pin)
+        level = 1 if level else 0
+        prev = self._in_level[pin]
+        self._in_level[pin] = level
+        if pin in self._edge_irq and prev != level:
+            edge = self._edge_irq[pin]
+            rising = prev == 0 and level == 1
+            if edge == "both" or (edge == "rising" and rising) or (
+                edge == "falling" and not rising
+            ):
+                self.raise_irq()
+
+    def reset(self) -> None:
+        self.direction = [IN] * self.width
+        self._out_latch = [0] * self.width
+        self._in_level = [0] * self.width
+        self._edge_irq.clear()

@@ -1,0 +1,133 @@
+"""Pulse-width modulator model.
+
+The case study actuates the DC motor "by a power transistor switched by a
+pulse width modulated (PWM) signal from the MCU" (section 7).  The two
+hardware effects that matter to control fidelity:
+
+* the carrier frequency is divider-quantized (``f = f_bus / (prescaler *
+  modulo)``), and
+* the duty resolution is ``1/modulo`` — a 16-bit duty request collapses
+  onto the modulo grid.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from .base import Peripheral
+from ..clock import DividerSolution, PrescalerChain
+
+
+class PWM(Peripheral):
+    """Multi-channel edge/center-aligned PWM generator."""
+
+    def __init__(
+        self,
+        name: str,
+        channels: int = 6,
+        modulo_max: int = 0x7FFF,
+        prescalers: Sequence[int] = (1, 2, 4, 8),
+        alignment: str = "edge",
+    ):
+        super().__init__(name)
+        if channels < 1:
+            raise ValueError("need at least one channel")
+        if alignment not in ("edge", "center"):
+            raise ValueError("alignment must be 'edge' or 'center'")
+        self.channels = int(channels)
+        self.chain = PrescalerChain(prescalers, modulo_max)
+        self.alignment = alignment
+        self.solution: Optional[DividerSolution] = None
+        self._duty_raw: dict[int, int] = {}
+        self._enabled = False
+        self._config_t0 = 0.0
+
+    # ------------------------------------------------------------------
+    def configure(self, frequency: float) -> DividerSolution:
+        """Choose prescaler+modulo for the requested carrier frequency.
+
+        Raises ``ValueError`` when the frequency is unreachable — the
+        design-time error Processor Expert surfaces in the Bean Inspector.
+        """
+        dev = self._require_device()
+        # a center-aligned counter counts up+down: effective period doubles
+        eff = frequency * (2 if self.alignment == "center" else 1)
+        sol = self.chain.solve_rate(dev.clock.f_bus, eff)
+        if sol is None:
+            raise ValueError(
+                f"PWM '{self.name}': frequency {frequency:.1f} Hz unreachable "
+                f"from bus clock {dev.clock.f_bus/1e6:.3f} MHz"
+            )
+        if self.alignment == "center":
+            sol = DividerSolution(
+                sol.prescaler, sol.modulo, sol.achieved / 2, frequency,
+                abs(sol.achieved / 2 - frequency) / frequency,
+            )
+        self.solution = sol
+        self._config_t0 = dev.time
+        return sol
+
+    @property
+    def modulo(self) -> int:
+        if self.solution is None:
+            raise RuntimeError(f"PWM '{self.name}' not configured")
+        return self.solution.modulo
+
+    @property
+    def frequency(self) -> float:
+        if self.solution is None:
+            raise RuntimeError(f"PWM '{self.name}' not configured")
+        return self.solution.achieved
+
+    @property
+    def period(self) -> float:
+        return 1.0 / self.frequency
+
+    @property
+    def duty_resolution(self) -> float:
+        """Smallest duty increment (1/modulo)."""
+        return 1.0 / self.modulo
+
+    # ------------------------------------------------------------------
+    def enable(self, on: bool = True) -> None:
+        self._enabled = on
+
+    def set_duty(self, channel: int, fraction: float) -> float:
+        """Write a duty request; returns the *achieved* duty after
+        quantization onto the modulo grid."""
+        if not (0 <= channel < self.channels):
+            raise ValueError(f"PWM '{self.name}' has no channel {channel}")
+        fraction = min(max(float(fraction), 0.0), 1.0)
+        raw = int(round(fraction * self.modulo))
+        self._duty_raw[channel] = raw
+        return raw / self.modulo
+
+    def duty(self, channel: int) -> float:
+        """Currently latched duty fraction (0 when disabled)."""
+        if not self._enabled:
+            return 0.0
+        raw = self._duty_raw.get(channel, 0)
+        return raw / self.modulo
+
+    def average_output(self, channel: int, v_supply: float) -> float:
+        """Cycle-averaged output voltage — what the motor winding sees
+        through its own L/R filtering."""
+        return self.duty(channel) * v_supply
+
+    def waveform(self, channel: int, t: float) -> int:
+        """Instantaneous switching output (0/1) at absolute time ``t`` —
+        used by waveform-level HIL experiments."""
+        if not self._enabled:
+            return 0
+        d = self.duty(channel)
+        phase = math.fmod(max(t - self._config_t0, 0.0), self.period) / self.period
+        if self.alignment == "edge":
+            return 1 if phase < d else 0
+        # center aligned: on-window centred in the period
+        return 1 if abs(phase - 0.5) < d / 2 else 0
+
+    def reset(self) -> None:
+        self.solution = None
+        self._duty_raw.clear()
+        self._enabled = False

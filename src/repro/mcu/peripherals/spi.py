@@ -1,0 +1,68 @@
+"""SPI slave peripheral.
+
+The MCU end of an :class:`~repro.comm.spi.SPIBus`: received bytes land in
+an RX FIFO (raising the RX interrupt), and :meth:`queue_tx` pre-loads the
+shift FIFO the master will clock out.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, TYPE_CHECKING
+
+from .base import Peripheral
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.comm.spi import SPIBus
+
+
+class SPISlave(Peripheral):
+    """Slave-mode SPI controller."""
+
+    def __init__(self, name: str, rx_fifo_depth: int = 64):
+        super().__init__(name)
+        self.rx_fifo_depth = int(rx_fifo_depth)
+        self._rx: deque[int] = deque()
+        self.bus: Optional["SPIBus"] = None
+        self.rx_irq_vector: Optional[str] = None
+        self.overruns = 0
+        self.bytes_received = 0
+
+    def connect(self, bus: "SPIBus") -> None:
+        self.bus = bus
+        bus.on_slave_rx = self._on_bytes
+
+    # ------------------------------------------------------------------
+    def _on_bytes(self, data: bytes) -> None:
+        for b in data:
+            if len(self._rx) >= self.rx_fifo_depth:
+                self.overruns += 1
+                continue
+            self._rx.append(b)
+            self.bytes_received += 1
+        if data:
+            if self.rx_irq_vector:
+                self.raise_irq(self.rx_irq_vector)
+            else:
+                self.raise_irq()
+
+    def receive(self, max_bytes: int = 1 << 30) -> bytes:
+        out = bytearray()
+        while self._rx and len(out) < max_bytes:
+            out.append(self._rx.popleft())
+        return bytes(out)
+
+    @property
+    def rx_available(self) -> int:
+        return len(self._rx)
+
+    def queue_tx(self, data: bytes) -> None:
+        """Pre-load the response the master will clock out."""
+        if self.bus is None:
+            raise RuntimeError(f"SPI slave '{self.name}' not connected to a bus")
+        self.bus.slave_queue(data)
+
+    def reset(self) -> None:
+        self._rx.clear()
+        self.overruns = 0
+        self.bytes_received = 0

@@ -1,0 +1,68 @@
+"""Watchdog timer.
+
+Not in the paper's case study, but part of every PE-supported MCU's bean
+catalogue; the failure-injection tests use it to verify that an overrunning
+controller step is detected.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .base import Peripheral
+
+
+class Watchdog(Peripheral):
+    """Count-down watchdog: :meth:`kick` must arrive within ``timeout``."""
+
+    def __init__(self, name: str = "wdog"):
+        super().__init__(name)
+        self.timeout: Optional[float] = None
+        self.on_reset: Optional[Callable[[], None]] = None
+        self._armed = False
+        self._deadline = 0.0
+        self._generation = 0
+        self.reset_count = 0
+
+    def configure(self, timeout: float) -> None:
+        if timeout <= 0:
+            raise ValueError("watchdog timeout must be positive")
+        self.timeout = float(timeout)
+
+    def start(self) -> None:
+        if self.timeout is None:
+            raise RuntimeError(f"watchdog '{self.name}' not configured")
+        self._armed = True
+        self.kick()
+
+    def stop(self) -> None:
+        self._armed = False
+
+    def kick(self) -> None:
+        """Service the watchdog (restart the countdown)."""
+        if not self._armed:
+            return
+        dev = self._require_device()
+        self._generation += 1
+        gen = self._generation
+        assert self.timeout is not None
+        self._deadline = dev.time + self.timeout
+
+        def expire() -> None:
+            if not self._armed or gen != self._generation:
+                return
+            self.reset_count += 1
+            self.raise_irq()
+            if self.on_reset is not None:
+                self.on_reset()
+
+        dev.schedule(self._deadline, expire)
+
+    @property
+    def armed(self) -> bool:
+        return self._armed
+
+    def reset(self) -> None:
+        self.stop()
+        self.timeout = None
+        self.reset_count = 0

@@ -1,0 +1,157 @@
+"""Block base class and execution context.
+
+A block is the unit of behaviour in the diagram.  The interface follows the
+Simulink S-function callback model the paper refers to (section 3): a block
+exposes ``outputs`` (direct-feedthrough computation), ``update`` (discrete
+state transition at a sample hit), and ``derivatives`` (continuous state
+dynamics for the solver).  PE peripheral blocks in :mod:`repro.core.blocks`
+additionally *fire events* through function-call ports, modelling hardware
+interrupts.
+
+All signals are scalar ``float`` values; vector signals are modelled as
+multiple lines (this keeps both the engine and the generated C simple and
+is sufficient for the paper's servo case study).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from .types import DataType, DOUBLE
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+#: Sample-time sentinel: block runs at every solver step (and minor steps).
+CONTINUOUS = 0.0
+#: Sample-time sentinel: block inherits its rate from its drivers.
+INHERITED = -1.0
+
+
+class SampleTime:
+    """Helpers for classifying sample-time values."""
+
+    @staticmethod
+    def is_continuous(ts: float) -> bool:
+        return ts == CONTINUOUS
+
+    @staticmethod
+    def is_inherited(ts: float) -> bool:
+        return ts == INHERITED
+
+    @staticmethod
+    def is_discrete(ts: float) -> bool:
+        return ts > 0.0
+
+
+class BlockContext:
+    """Per-block runtime state handed to the block callbacks.
+
+    Attributes
+    ----------
+    x:
+        View into the global continuous-state vector (length
+        ``block.num_continuous_states``).
+    dwork:
+        Dictionary of discrete states / work values owned by the block.
+    minor:
+        True during solver minor steps — events must not fire and discrete
+        work must not mutate.
+    """
+
+    __slots__ = ("x", "dwork", "minor", "_fire", "log")
+
+    def __init__(self) -> None:
+        self.x: np.ndarray = np.zeros(0)
+        self.dwork: dict = {}
+        self.minor: bool = False
+        self._fire: Optional[Callable[[int], None]] = None
+        self.log: Optional[Callable[[str], None]] = None
+
+    def fire(self, event_port: int = 0) -> None:
+        """Fire the block's function-call output port ``event_port``.
+
+        Connected function-call subsystems execute synchronously, exactly
+        like an interrupt service routine preempting the data flow.  Calls
+        during minor steps are ignored (events are major-step phenomena).
+        """
+        if self.minor or self._fire is None:
+            return
+        self._fire(event_port)
+
+
+class Block:
+    """Base class for every diagram block.
+
+    Subclasses set the class attributes (or instance attributes in
+    ``__init__``) and override the callbacks they need:
+
+    * ``n_in`` / ``n_out`` — data port counts.
+    * ``n_events`` — function-call output port count (0 for most blocks).
+    * ``sample_time`` — :data:`CONTINUOUS`, :data:`INHERITED`, or a period.
+    * ``direct_feedthrough`` — whether ``outputs`` reads ``u`` (used for
+      sorting and algebraic-loop detection).  May be a per-port sequence.
+    * ``num_continuous_states`` — length of the continuous state slice.
+    """
+
+    n_in: int = 0
+    n_out: int = 0
+    n_events: int = 0
+    sample_time: float = INHERITED
+    direct_feedthrough: bool | Sequence[bool] = True
+    num_continuous_states: int = 0
+
+    def __init__(self, name: str):
+        if not name or "/" in name:
+            raise ValueError(f"invalid block name {name!r}")
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # type information
+    # ------------------------------------------------------------------
+    def output_type(self, port: int) -> DataType:
+        """Data type tag of output ``port`` (default: double)."""
+        return DOUBLE
+
+    def expected_input_type(self, port: int) -> Optional[DataType]:
+        """Required input type, or None to accept anything."""
+        return None
+
+    # ------------------------------------------------------------------
+    # simulation callbacks
+    # ------------------------------------------------------------------
+    def start(self, ctx: BlockContext) -> None:
+        """Allocate and initialise discrete work in ``ctx.dwork``."""
+
+    def outputs(self, t: float, u: Sequence[float], ctx: BlockContext) -> Sequence[float]:
+        """Compute output values; must not mutate discrete state."""
+        return [0.0] * self.n_out
+
+    def update(self, t: float, u: Sequence[float], ctx: BlockContext) -> None:
+        """Advance discrete state at a sample hit (major steps only)."""
+
+    def derivatives(self, t: float, u: Sequence[float], ctx: BlockContext) -> Sequence[float]:
+        """Time derivatives of the continuous state slice ``ctx.x``."""
+        return ()
+
+    def initial_continuous_states(self) -> Sequence[float]:
+        """Initial values for the continuous state slice."""
+        return [0.0] * self.num_continuous_states
+
+    def terminate(self, ctx: BlockContext) -> None:
+        """Release resources at end of simulation."""
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def feeds_through(self, port: int) -> bool:
+        """Whether input ``port`` is read inside ``outputs``."""
+        df = self.direct_feedthrough
+        if isinstance(df, bool):
+            return df
+        return bool(df[port])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} '{self.name}'>"

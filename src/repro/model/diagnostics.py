@@ -1,0 +1,56 @@
+"""Model compilation and simulation diagnostics.
+
+The paper's argument for Processor Expert integration is that design
+errors should surface at *design time* ("an immediate validation of
+designer decisions"); the model compiler follows the same philosophy and
+refuses to simulate or generate code from an ill-formed diagram.
+"""
+
+from __future__ import annotations
+
+
+class ModelError(Exception):
+    """Base class for all diagram-level errors."""
+
+
+class AlgebraicLoopError(ModelError):
+    """A cycle of direct-feedthrough connections was found.
+
+    Carries the block names on the loop so the user can break it with a
+    UnitDelay / Memory block.
+    """
+
+    def __init__(self, loop_blocks: list[str]):
+        self.loop_blocks = loop_blocks
+        super().__init__("algebraic loop through blocks: " + " -> ".join(loop_blocks))
+
+
+class UnconnectedPortError(ModelError):
+    """An input port has no incoming connection."""
+
+    def __init__(self, block: str, port: int):
+        self.block = block
+        self.port = port
+        super().__init__(f"input port {port} of block '{block}' is unconnected")
+
+
+class MultipleDriverError(ModelError):
+    """An input port is driven by more than one source."""
+
+    def __init__(self, block: str, port: int):
+        self.block = block
+        self.port = port
+        super().__init__(f"input port {port} of block '{block}' has multiple drivers")
+
+
+class TypeMismatchError(ModelError):
+    """Connected ports disagree on signal data type."""
+
+
+class SampleTimeError(ModelError):
+    """A discrete sample time is not an integer multiple of the base step,
+    or is otherwise infeasible."""
+
+
+class DuplicateNameError(ModelError):
+    """Two blocks in the same (sub)model share a name."""

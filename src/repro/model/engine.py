@@ -1,0 +1,296 @@
+"""Fixed-step simulation engine (the MIL executor).
+
+Executes a :class:`~repro.model.compiled.CompiledModel` with Simulink
+fixed-step semantics:
+
+* **major step** — output pass in sorted order (discrete blocks only at
+  their sample hits; outputs hold in between), event dispatch, scope
+  logging, discrete update pass, then continuous-state integration;
+* **minor steps** — the RK4 solver re-evaluates outputs of continuous and
+  inherited-rate blocks at intermediate states with ``ctx.minor`` set, so
+  events do not fire and discrete state never mutates off the grid.
+
+The per-step hook mechanism (``SimulationOptions.step_hook``) is how the
+PIL co-simulation in :mod:`repro.sim` splices a serial-line exchange into
+the loop without changing the model — the paper's single-model property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from .block import BlockContext
+from .compiled import CompiledModel
+from .graph import Model
+from .result import SimulationResult
+
+
+@dataclass
+class SimulationOptions:
+    """Knobs for a simulation run."""
+
+    dt: float = 1e-3
+    t_final: float = 1.0
+    solver: str = "rk4"  # "euler" | "rk4"
+    log_all_signals: bool = False
+    #: called after every major step as hook(t, engine)
+    step_hook: Optional[Callable[[float, "Simulator"], None]] = None
+
+    def __post_init__(self) -> None:
+        if self.solver not in ("euler", "rk4"):
+            raise ValueError(f"unknown solver '{self.solver}'")
+        if self.t_final <= 0 or self.dt <= 0:
+            raise ValueError("dt and t_final must be positive")
+
+
+class Simulator:
+    """Runs one compiled model.  Create, then :meth:`run`.
+
+    The instance is also usable incrementally (``initialize`` +
+    ``advance``), which the PIL/HIL co-simulation layers rely on to
+    interleave the plant with the MCU simulator step by step.
+    """
+
+    def __init__(self, model: Union[Model, CompiledModel], options: SimulationOptions):
+        self.options = options
+        self.cm = model if isinstance(model, CompiledModel) else model.compile(options.dt)
+        if self.cm.dt != options.dt:
+            raise ValueError("compiled model base step differs from options.dt")
+        self._ctxs: dict[str, BlockContext] = {}
+        # plain list: scalar loads/stores in the hot loop beat ndarray access
+        self.signals: list[float] = [0.0] * self.cm.n_signals
+        self.x = np.zeros(self.cm.n_states)
+        self.step_index = 0
+        self.time = 0.0
+        self._scope_logs: dict[str, list[float]] = {}
+        self._signal_trace: list[np.ndarray] = []
+        self._times: list[float] = []
+        self._pending_events: list[tuple[str, int]] = []
+        # execution schedules, precomputed in initialize():
+        #   (block, ctx, in_indices, out_indices, divisor)
+        self._sched: list[tuple] = []
+        self._minor_sched: list[tuple] = []
+        self._deriv_sched: list[tuple] = []  # (block, ctx, in_indices, off, n)
+        self._scope_sched: list[tuple] = []  # (qname, input_index)
+        self._initialized = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def initialize(self) -> None:
+        """Allocate contexts, call every block's ``start``, and build the
+        flat execution schedules the hot loops iterate over."""
+        cm = self.cm
+        from .library.sinks import Scope
+
+        for qname in cm.order:
+            block = cm.nodes[qname]
+            ctx = BlockContext()
+            off, n = cm.state_offset[qname], cm.state_count[qname]
+            if n:
+                self.x[off : off + n] = np.asarray(block.initial_continuous_states())
+            ctx.x = self.x[off : off + n]
+            ctx._fire = self._make_fire(qname)
+            self._ctxs[qname] = ctx
+            block.start(ctx)
+
+            if getattr(block, "triggerable", False):
+                continue
+            in_idx = tuple(cm.input_map[qname])
+            out_idx = tuple(cm.sig_index[(qname, p)] for p in range(block.n_out))
+            divisor = cm.divisors[qname]
+            entry = (block, ctx, in_idx, out_idx, divisor)
+            self._sched.append(entry)
+            if divisor == 0:
+                self._minor_sched.append(entry)
+            if n:
+                self._deriv_sched.append((block, ctx, in_idx, off, n))
+            if isinstance(block, Scope):
+                self._scope_sched.append((qname, in_idx[0]))
+        self._initialized = True
+
+    def _make_fire(self, qname: str) -> Callable[[int], None]:
+        # events are queued and dispatched right after the firing block's
+        # outputs are stored, so the "ISR" reads current data — the same
+        # ordering a real end-of-conversion interrupt sees
+        def fire(event_port: int) -> None:
+            self._pending_events.append((qname, event_port))
+
+        return fire
+
+    def _dispatch_events(self) -> None:
+        while self._pending_events:
+            qname, event_port = self._pending_events.pop(0)
+            for target in self.cm.event_targets.get((qname, event_port), ()):
+                self._execute_triggered(target)
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    def _inputs_of(self, qname: str) -> list[float]:
+        sigs = self.signals
+        return [sigs[i] for i in self.cm.input_map[qname]]
+
+    def _store_outputs(self, qname: str, values: Sequence[float]) -> None:
+        cm = self.cm
+        sigs = self.signals
+        for port, v in enumerate(values):
+            sigs[cm.sig_index[(qname, port)]] = float(v)
+
+    def _is_hit(self, qname: str) -> bool:
+        k = self.cm.divisors[qname]
+        return k == 0 or (self.step_index % k) == 0
+
+    def _execute_triggered(self, qname: str) -> None:
+        """Synchronously run a function-call target (ISR semantics)."""
+        block = self.cm.nodes[qname]
+        ctx = self._ctxs[qname]
+        u = self._inputs_of(qname)
+        out = block.outputs(self.time, u, ctx)
+        self._store_outputs(qname, out)
+        block.update(self.time, u, ctx)
+
+    def _output_pass(self, t: float, minor: bool) -> None:
+        sigs = self.signals
+        if minor:
+            # only continuous/inherited blocks participate in minor steps
+            for block, ctx, in_idx, out_idx, _div in self._minor_sched:
+                ctx.minor = True
+                try:
+                    out = block.outputs(t, [sigs[i] for i in in_idx], ctx)
+                finally:
+                    ctx.minor = False
+                for j, v in zip(out_idx, out):
+                    sigs[j] = float(v)
+            return
+        step = self.step_index
+        pending = self._pending_events
+        for block, ctx, in_idx, out_idx, div in self._sched:
+            if div != 0 and step % div:
+                continue  # discrete block holds between hits
+            out = block.outputs(t, [sigs[i] for i in in_idx], ctx)
+            for j, v in zip(out_idx, out):
+                sigs[j] = float(v)
+            if pending:
+                self._dispatch_events()
+
+    def _update_pass(self, t: float) -> None:
+        sigs = self.signals
+        step = self.step_index
+        for block, ctx, in_idx, _out_idx, div in self._sched:
+            if div == 0 or step % div == 0:
+                block.update(t, [sigs[i] for i in in_idx], ctx)
+
+    def _derivatives(self, t: float) -> np.ndarray:
+        xdot = np.zeros(self.cm.n_states)
+        sigs = self.signals
+        for block, ctx, in_idx, off, n in self._deriv_sched:
+            d = block.derivatives(t, [sigs[i] for i in in_idx], ctx)
+            xdot[off : off + n] = d
+        return xdot
+
+    def _integrate(self, t: float) -> None:
+        if self.cm.n_states == 0:
+            return
+        dt = self.options.dt
+        if self.options.solver == "euler":
+            self.x += dt * self._derivatives(t)
+            return
+        # classic RK4 with minor-step output re-evaluation
+        x0 = self.x.copy()
+        k1 = self._derivatives(t)
+        self.x[:] = x0 + 0.5 * dt * k1
+        self._output_pass(t + 0.5 * dt, minor=True)
+        k2 = self._derivatives(t + 0.5 * dt)
+        self.x[:] = x0 + 0.5 * dt * k2
+        self._output_pass(t + 0.5 * dt, minor=True)
+        k3 = self._derivatives(t + 0.5 * dt)
+        self.x[:] = x0 + dt * k3
+        self._output_pass(t + dt, minor=True)
+        k4 = self._derivatives(t + dt)
+        self.x[:] = x0 + (dt / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+
+    def advance(self) -> float:
+        """Execute one major step; returns the new time."""
+        if not self._initialized:
+            raise RuntimeError("call initialize() first")
+        t = self.time
+        self._output_pass(t, minor=False)
+        self._log_step(t)
+        if self.options.step_hook is not None:
+            self.options.step_hook(t, self)
+        self._update_pass(t)
+        self._integrate(t)
+        self.step_index += 1
+        self.time = self.step_index * self.options.dt
+        # restore outputs consistent with the post-integration state for
+        # anyone peeking between steps
+        return self.time
+
+    def _log_step(self, t: float) -> None:
+        self._times.append(t)
+        logs = self._scope_logs
+        sigs = self.signals
+        for qname, idx in self._scope_sched:
+            logs.setdefault(qname, []).append(sigs[idx])
+        if self.options.log_all_signals:
+            self._signal_trace.append(np.asarray(self.signals))
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Run from t=0 to ``t_final`` and collect logged signals."""
+        if not self._initialized:
+            self.initialize()
+        n_steps = int(round(self.options.t_final / self.options.dt)) + 1
+        for _ in range(n_steps):
+            self.advance()
+        return self.result()
+
+    def result(self) -> SimulationResult:
+        """Assemble a :class:`SimulationResult` from the logs so far."""
+        t = np.asarray(self._times)
+        signals: dict[str, np.ndarray] = {}
+        from .library.sinks import Scope
+
+        for qname, samples in self._scope_logs.items():
+            label = getattr(self.cm.nodes[qname], "label", None) or qname
+            signals[label] = np.asarray(samples)
+        if self.options.log_all_signals and self._signal_trace:
+            trace = np.vstack(self._signal_trace)
+            for (qname, port), idx in self.cm.sig_index.items():
+                signals.setdefault(f"{qname}:{port}", trace[:, idx])
+        for qname in self.cm.order:
+            self.cm.nodes[qname].terminate(self._ctxs[qname])
+        return SimulationResult(t, signals)
+
+    # ------------------------------------------------------------------
+    # external access (used by the PIL/HIL co-simulation)
+    # ------------------------------------------------------------------
+    def read_signal(self, qname: str, port: int = 0) -> float:
+        """Current value on an output line."""
+        return float(self.signals[self.cm.sig_index[(qname, port)]])
+
+    def read_input(self, qname: str, port: int = 0) -> float:
+        """Current value arriving at an input port (co-simulation tap)."""
+        return float(self.signals[self.cm.input_map[qname][port]])
+
+    def write_signal(self, qname: str, port: int, value: float) -> None:
+        """Force a value onto an output line (co-simulation injection)."""
+        self.signals[self.cm.sig_index[(qname, port)]] = float(value)
+
+
+def simulate(
+    model: Union[Model, CompiledModel],
+    t_final: float,
+    dt: float = 1e-3,
+    solver: str = "rk4",
+    **kwargs,
+) -> SimulationResult:
+    """One-call convenience wrapper: compile (if needed) and run."""
+    opts = SimulationOptions(dt=dt, t_final=t_final, solver=solver, **kwargs)
+    return Simulator(model, opts).run()

@@ -1,0 +1,119 @@
+"""Stand-alone executor for an atomic compiled model.
+
+Runs a compiled model outside the full :class:`~repro.model.engine.
+Simulator`: one complete outputs+update pass per call.  Two consumers:
+
+* :class:`~repro.model.library.subsystems.FunctionCallSubsystem` — one
+  pass per function-call trigger;
+* the deployed controller in :mod:`repro.core.target` — one pass per
+  timer-interrupt tick on the MCU simulator (this *is* the generated
+  step function's semantics).
+
+Continuous states are not supported (generated embedded code is discrete
+by construction).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .block import BlockContext
+from .compiled import CompiledModel
+from .diagnostics import ModelError
+from .library.subsystems import Inport, Outport
+
+
+class AtomicExecutor:
+    """Owns contexts and the signal table of one compiled model."""
+
+    def __init__(self, cm: CompiledModel, honor_rates: bool = False):
+        if cm.n_states:
+            raise ModelError(
+                "AtomicExecutor cannot run continuous states; "
+                "discretise the model first"
+            )
+        self.cm = cm
+        self.honor_rates = honor_rates
+        self.signals = np.zeros(cm.n_signals)
+        self.ctxs: dict[str, BlockContext] = {}
+        self.tick = 0
+        self._started = False
+        self._inports: dict[int, str] = {}
+        self._outports: dict[int, str] = {}
+        for qname, block in cm.nodes.items():
+            if isinstance(block, Inport):
+                self._inports[block.index] = qname
+            elif isinstance(block, Outport):
+                self._outports[block.index] = qname
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for qname in self.cm.order:
+            ctx = BlockContext()
+            ctx.x = np.zeros(0)
+            self.ctxs[qname] = ctx
+            self.cm.nodes[qname].start(ctx)
+        self.tick = 0
+        self._started = True
+
+    # ------------------------------------------------------------------
+    def inject(self, port_index: int, value: float) -> None:
+        """Set the value an Inport will emit on the next pass."""
+        qname = self._inports.get(port_index)
+        if qname is None:
+            raise ModelError(f"no Inport with index {port_index}")
+        block = self.cm.nodes[qname]
+        block.inject(self.ctxs[qname], value)  # type: ignore[attr-defined]
+
+    def read(self, port_index: int) -> float:
+        """Last value latched by an Outport."""
+        qname = self._outports.get(port_index)
+        if qname is None:
+            raise ModelError(f"no Outport with index {port_index}")
+        block = self.cm.nodes[qname]
+        return block.read(self.ctxs[qname])  # type: ignore[attr-defined]
+
+    def read_signal(self, qname: str, port: int = 0) -> float:
+        return float(self.signals[self.cm.sig_index[(qname, port)]])
+
+    # ------------------------------------------------------------------
+    def _is_hit(self, qname: str) -> bool:
+        if not self.honor_rates:
+            return True
+        k = self.cm.divisors[qname]
+        return k == 0 or (self.tick % k) == 0
+
+    def call(self, t: float) -> None:
+        """One complete pass: outputs then updates, in sorted order.
+        Triggered (function-call) blocks are skipped — on a target they
+        run in their own ISRs."""
+        if not self._started:
+            raise ModelError("call start() before executing")
+        cm, sigs = self.cm, self.signals
+        for qname in cm.order:
+            block = cm.nodes[qname]
+            if getattr(block, "triggerable", False) or not self._is_hit(qname):
+                continue
+            u = [float(sigs[i]) for i in cm.input_map[qname]]
+            out = block.outputs(t, u, self.ctxs[qname])
+            for port, v in enumerate(out):
+                sigs[cm.sig_index[(qname, port)]] = float(v)
+        for qname in cm.order:
+            block = cm.nodes[qname]
+            if getattr(block, "triggerable", False) or not self._is_hit(qname):
+                continue
+            u = [float(sigs[i]) for i in cm.input_map[qname]]
+            block.update(t, u, self.ctxs[qname])
+        self.tick += 1
+
+    def call_block(self, qname: str, t: float) -> None:
+        """Execute a single (triggerable) block — an ISR body."""
+        block = self.cm.nodes[qname]
+        ctx = self.ctxs[qname]
+        u = [float(self.signals[i]) for i in self.cm.input_map[qname]]
+        out = block.outputs(t, u, ctx)
+        for port, v in enumerate(out):
+            self.signals[self.cm.sig_index[(qname, port)]] = float(v)
+        block.update(t, u, ctx)

@@ -1,0 +1,88 @@
+"""Standard block library.
+
+Counterpart of the stock Simulink library the paper's models are drawn
+from (sources, sinks, math, discrete, continuous, discontinuities,
+routing, lookup, data-type conversion, and the subsystem machinery).  The
+Processor Expert peripheral blocks live separately in
+:mod:`repro.core.blocks`, exactly as the PE block set is a separate
+library in the paper.
+"""
+
+from .sources import Constant, Step, Ramp, SineWave, PulseGenerator, Clock, WhiteNoise
+from .sinks import Scope, Terminator, Assertion
+from .math_ops import (
+    Gain,
+    Sum,
+    Product,
+    Abs,
+    Sign,
+    Bias,
+    MinMax,
+    MathFunction,
+    RelationalOperator,
+    LogicalOperator,
+)
+from .discrete import (
+    UnitDelay,
+    Memory,
+    ZeroOrderHold,
+    DiscreteIntegrator,
+    DiscreteTransferFunction,
+    DiscreteDerivative,
+)
+from .continuous import Integrator, TransferFunction, StateSpace
+from .nonlinear import Saturation, DeadZone, Relay, RateLimiter, Quantizer, Coulomb
+from .routing import Switch, ManualSwitch
+from .lookup import Lookup1D
+from .conversion import DataTypeConversion
+from .subsystems import Inport, Outport, Subsystem, FunctionCallSubsystem
+from .extras import TransportDelay, Backlash, EdgeDetector
+
+__all__ = [
+    "Constant",
+    "Step",
+    "Ramp",
+    "SineWave",
+    "PulseGenerator",
+    "Clock",
+    "WhiteNoise",
+    "Scope",
+    "Terminator",
+    "Assertion",
+    "Gain",
+    "Sum",
+    "Product",
+    "Abs",
+    "Sign",
+    "Bias",
+    "MinMax",
+    "MathFunction",
+    "RelationalOperator",
+    "LogicalOperator",
+    "UnitDelay",
+    "Memory",
+    "ZeroOrderHold",
+    "DiscreteIntegrator",
+    "DiscreteTransferFunction",
+    "DiscreteDerivative",
+    "Integrator",
+    "TransferFunction",
+    "StateSpace",
+    "Saturation",
+    "DeadZone",
+    "Relay",
+    "RateLimiter",
+    "Quantizer",
+    "Coulomb",
+    "Switch",
+    "ManualSwitch",
+    "Lookup1D",
+    "DataTypeConversion",
+    "Inport",
+    "Outport",
+    "Subsystem",
+    "FunctionCallSubsystem",
+    "TransportDelay",
+    "Backlash",
+    "EdgeDetector",
+]

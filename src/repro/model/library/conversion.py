@@ -1,0 +1,30 @@
+"""Data-type conversion block.
+
+The case-study workflow (paper section 7) requires the designer to choose
+"an appropriate fix-point representation of real numbers in the controller
+model" — :class:`DataTypeConversion` is where that representation is
+applied: the simulation value is rounded onto the target type's grid, so
+MIL already sees the quantization the generated C will produce.
+"""
+
+from __future__ import annotations
+
+from ..block import Block
+from ..types import DataType
+
+
+class DataTypeConversion(Block):
+    """Re-represents its input in the target :class:`DataType`."""
+
+    n_in = 1
+    n_out = 1
+
+    def __init__(self, name: str, target: DataType):
+        super().__init__(name)
+        self.target = target
+
+    def output_type(self, port: int) -> DataType:
+        return self.target
+
+    def outputs(self, t, u, ctx):
+        return [self.target.represent(u[0])]

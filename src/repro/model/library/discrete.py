@@ -1,0 +1,176 @@
+"""Discrete-time blocks (require an explicit sample time)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..block import Block, BlockContext
+
+
+class UnitDelay(Block):
+    """``y[k] = u[k-1]`` — the canonical algebraic-loop breaker."""
+
+    n_in = 1
+    n_out = 1
+    direct_feedthrough = False
+
+    def __init__(self, name: str, sample_time: float, initial: float = 0.0):
+        super().__init__(name)
+        self.sample_time = float(sample_time)
+        self.initial = float(initial)
+
+    def start(self, ctx: BlockContext):
+        ctx.dwork["x"] = self.initial
+
+    def outputs(self, t, u, ctx):
+        return [ctx.dwork["x"]]
+
+    def update(self, t, u, ctx):
+        ctx.dwork["x"] = u[0]
+
+
+class Memory(Block):
+    """Like :class:`UnitDelay` but inherits the base rate — holds the
+    previous major-step value."""
+
+    n_in = 1
+    n_out = 1
+    direct_feedthrough = False
+
+    def __init__(self, name: str, initial: float = 0.0):
+        super().__init__(name)
+        self.initial = float(initial)
+
+    def start(self, ctx: BlockContext):
+        ctx.dwork["x"] = self.initial
+
+    def outputs(self, t, u, ctx):
+        return [ctx.dwork["x"]]
+
+    def update(self, t, u, ctx):
+        ctx.dwork["x"] = u[0]
+
+
+class ZeroOrderHold(Block):
+    """Samples its input at the block rate and holds in between."""
+
+    n_in = 1
+    n_out = 1
+
+    def __init__(self, name: str, sample_time: float):
+        super().__init__(name)
+        self.sample_time = float(sample_time)
+
+    def outputs(self, t, u, ctx):
+        return [u[0]]
+
+
+class DiscreteIntegrator(Block):
+    """Forward-Euler accumulator ``x[k+1] = x[k] + K*Ts*u[k]`` with optional
+    output limits (clamping anti-windup, as used in the PID of the case
+    study)."""
+
+    n_in = 1
+    n_out = 1
+    direct_feedthrough = False
+
+    def __init__(
+        self,
+        name: str,
+        sample_time: float,
+        gain: float = 1.0,
+        initial: float = 0.0,
+        lower: float = -np.inf,
+        upper: float = np.inf,
+    ):
+        super().__init__(name)
+        if upper <= lower:
+            raise ValueError("upper limit must exceed lower limit")
+        self.sample_time = float(sample_time)
+        self.gain = float(gain)
+        self.initial = float(initial)
+        self.lower = float(lower)
+        self.upper = float(upper)
+
+    def start(self, ctx: BlockContext):
+        ctx.dwork["x"] = min(max(self.initial, self.lower), self.upper)
+
+    def outputs(self, t, u, ctx):
+        return [ctx.dwork["x"]]
+
+    def update(self, t, u, ctx):
+        x = ctx.dwork["x"] + self.gain * self.sample_time * u[0]
+        ctx.dwork["x"] = min(max(x, self.lower), self.upper)
+
+
+class DiscreteTransferFunction(Block):
+    """SISO transfer function in ``z``: ``num`` / ``den`` in descending
+    powers, implemented in direct form II transposed.
+
+    Direct feedthrough exists iff the numerator order equals the
+    denominator order (``num[0]`` lands on the current input).
+    """
+
+    n_in = 1
+    n_out = 1
+
+    def __init__(self, name: str, num, den, sample_time: float):
+        super().__init__(name)
+        num = [float(v) for v in num]
+        den = [float(v) for v in den]
+        if not den or den[0] == 0.0:
+            raise ValueError("den[0] must be nonzero")
+        if len(num) > len(den):
+            raise ValueError("improper transfer function (num order > den order)")
+        a0 = den[0]
+        # pad numerator to denominator length (leading zeros)
+        num = [0.0] * (len(den) - len(num)) + num
+        self.b = np.array([v / a0 for v in num])
+        self.a = np.array([v / a0 for v in den])
+        self.sample_time = float(sample_time)
+        self.direct_feedthrough = self.b[0] != 0.0
+
+    def start(self, ctx: BlockContext):
+        ctx.dwork["s"] = np.zeros(len(self.a) - 1)
+
+    def _y(self, u0: float, s: np.ndarray) -> float:
+        return self.b[0] * u0 + (s[0] if len(s) else 0.0)
+
+    def outputs(self, t, u, ctx):
+        u0 = u[0] if self.direct_feedthrough else 0.0
+        return [self._y(u0, ctx.dwork["s"])]
+
+    def update(self, t, u, ctx):
+        s = ctx.dwork["s"]
+        n = len(s)
+        if n == 0:
+            return
+        y = self._y(u[0], s)
+        new = np.empty(n)
+        for i in range(n):
+            nxt = s[i + 1] if i + 1 < n else 0.0
+            new[i] = self.b[i + 1] * u[0] - self.a[i + 1] * y + nxt
+        ctx.dwork["s"] = new
+
+
+class DiscreteDerivative(Block):
+    """Backward difference ``y[k] = K * (u[k] - u[k-1]) / Ts`` — the D term
+    of the case-study PID (paired with a low-pass in practice)."""
+
+    n_in = 1
+    n_out = 1
+
+    def __init__(self, name: str, sample_time: float, gain: float = 1.0):
+        super().__init__(name)
+        self.sample_time = float(sample_time)
+        self.gain = float(gain)
+
+    def start(self, ctx: BlockContext):
+        ctx.dwork["prev"] = 0.0
+        ctx.dwork["y"] = 0.0
+
+    def outputs(self, t, u, ctx):
+        return [self.gain * (u[0] - ctx.dwork["prev"]) / self.sample_time]
+
+    def update(self, t, u, ctx):
+        ctx.dwork["prev"] = u[0]

@@ -1,0 +1,158 @@
+"""Additional library blocks: delays, mechanical play, edge logic.
+
+These extend the stock set with blocks the embedded-control domain uses
+constantly: a transport delay (bus/computation latency studies, E6), a
+backlash model (gear play between motor and load), and an edge detector
+(button/limit-switch conditioning before a chart).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..block import Block, BlockContext
+from ..types import BOOLEAN, DataType
+
+
+class TransportDelay(Block):
+    """Pure discrete delay of ``delay_steps`` sample periods.
+
+    ``y[k] = u[k - n]`` with ``initial`` filling the pipe.  This is the
+    canonical model of computation/communication latency in a control
+    loop (used by the latency experiments).
+    """
+
+    n_in = 1
+    n_out = 1
+    direct_feedthrough = False
+
+    def __init__(self, name: str, sample_time: float, delay_steps: int,
+                 initial: float = 0.0):
+        super().__init__(name)
+        if delay_steps < 1:
+            raise ValueError("delay_steps must be >= 1 (use a wire for 0)")
+        self.sample_time = float(sample_time)
+        self.delay_steps = int(delay_steps)
+        self.initial = float(initial)
+
+    def start(self, ctx: BlockContext):
+        ctx.dwork["fifo"] = deque([self.initial] * self.delay_steps,
+                                  maxlen=self.delay_steps)
+
+    def outputs(self, t, u, ctx):
+        return [ctx.dwork["fifo"][0]]
+
+    def update(self, t, u, ctx):
+        ctx.dwork["fifo"].append(u[0])
+
+
+class Backlash(Block):
+    """Mechanical play of total width ``width``.
+
+    The output follows the input only while the input pushes against one
+    side of the gap; inside the dead band the output holds — the standard
+    Simulink backlash semantics, and the dominant nonlinearity of a geared
+    servo axis.
+    """
+
+    n_in = 1
+    n_out = 1
+    direct_feedthrough = True
+
+    def __init__(self, name: str, width: float, initial: float = 0.0):
+        super().__init__(name)
+        if width < 0:
+            raise ValueError("backlash width must be non-negative")
+        self.width = float(width)
+        self.initial = float(initial)
+
+    def start(self, ctx: BlockContext):
+        ctx.dwork["y"] = self.initial
+
+    def _engaged(self, u0: float, y: float) -> float:
+        half = self.width / 2.0
+        if u0 - y > half:
+            return u0 - half
+        if y - u0 > half:
+            return u0 + half
+        return y
+
+    def outputs(self, t, u, ctx):
+        return [self._engaged(u[0], ctx.dwork["y"])]
+
+    def update(self, t, u, ctx):
+        ctx.dwork["y"] = self._engaged(u[0], ctx.dwork["y"])
+
+
+class EdgeDetector(Block):
+    """One-sample pulse on an input edge.
+
+    ``edge`` selects rising / falling / both; the output is boolean.
+    Belongs in front of a chart or a counter when a level signal must
+    become an event — the keyboard path of the case study.
+    """
+
+    n_in = 1
+    n_out = 1
+
+    def __init__(self, name: str, sample_time: float, edge: str = "rising"):
+        super().__init__(name)
+        if edge not in ("rising", "falling", "both"):
+            raise ValueError("edge must be 'rising', 'falling' or 'both'")
+        self.sample_time = float(sample_time)
+        self.edge = edge
+
+    def output_type(self, port: int) -> DataType:
+        return BOOLEAN
+
+    def start(self, ctx: BlockContext):
+        ctx.dwork["prev"] = 0.0
+
+    def _detect(self, now: float, prev: float) -> float:
+        rising = prev == 0.0 and now != 0.0
+        falling = prev != 0.0 and now == 0.0
+        if self.edge == "rising":
+            hit = rising
+        elif self.edge == "falling":
+            hit = falling
+        else:
+            hit = rising or falling
+        return 1.0 if hit else 0.0
+
+    def outputs(self, t, u, ctx):
+        level = 1.0 if u[0] != 0.0 else 0.0
+        return [self._detect(level, ctx.dwork["prev"])]
+
+    def update(self, t, u, ctx):
+        ctx.dwork["prev"] = 1.0 if u[0] != 0.0 else 0.0
+
+
+def _register_templates() -> None:
+    from repro.codegen.templates import BlockTemplate, default_registry
+
+    reg = default_registry()
+    reg.register(TransportDelay, BlockTemplate(
+        lambda b, n: [
+            f"{n.output(b, 0)} = rt_fifo_pop(&{n.dwork(b, 'fifo')});",
+            f"rt_fifo_push(&{n.dwork(b, 'fifo')}, {n.input(b, 0)}); /* depth {b.delay_steps} */",
+        ],
+        lambda b: {"load_store": 6, "int_add": 2, "branch": 2, "call": 2},
+    ))
+    reg.register(Backlash, BlockTemplate(
+        lambda b, n: [
+            f"{n.dwork(b, 'y')} = rt_backlash({n.input(b, 0)}, {n.dwork(b, 'y')}, "
+            f"{b.width / 2.0!r});",
+            f"{n.output(b, 0)} = {n.dwork(b, 'y')};",
+        ],
+        lambda b: {"branch": 2, "add": 2, "load_store": 4, "call": 1},
+    ))
+    reg.register(EdgeDetector, BlockTemplate(
+        lambda b, n: [
+            f"{n.output(b, 0)} = rt_edge_{b.edge}({n.input(b, 0)}, &{n.dwork(b, 'prev')});",
+        ],
+        lambda b: {"branch": 2, "load_store": 3, "call": 1},
+    ))
+
+
+from repro.codegen.registry_hooks import register_lazy
+register_lazy(_register_templates)

@@ -1,0 +1,42 @@
+"""Lookup-table blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..block import Block
+
+
+class Lookup1D(Block):
+    """1-D interpolated lookup with end clipping.
+
+    Breakpoints must be strictly increasing.  ``mode`` selects linear
+    interpolation or nearest-below ("flat", what a generated integer table
+    does on the MCU).
+    """
+
+    n_in = 1
+    n_out = 1
+
+    def __init__(self, name: str, breakpoints, values, mode: str = "linear"):
+        super().__init__(name)
+        self.breakpoints = np.asarray(breakpoints, dtype=np.float64)
+        self.values = np.asarray(values, dtype=np.float64)
+        if self.breakpoints.ndim != 1 or self.breakpoints.shape != self.values.shape:
+            raise ValueError("breakpoints and values must be 1-D and the same length")
+        if len(self.breakpoints) < 2:
+            raise ValueError("need at least two breakpoints")
+        if np.any(np.diff(self.breakpoints) <= 0):
+            raise ValueError("breakpoints must be strictly increasing")
+        if mode not in ("linear", "flat"):
+            raise ValueError("mode must be 'linear' or 'flat'")
+        self.mode = mode
+
+    def outputs(self, t, u, ctx):
+        x = u[0]
+        bp, vv = self.breakpoints, self.values
+        if self.mode == "linear":
+            return [float(np.interp(x, bp, vv))]
+        idx = int(np.searchsorted(bp, x, side="right")) - 1
+        idx = min(max(idx, 0), len(bp) - 1)
+        return [float(vv[idx])]

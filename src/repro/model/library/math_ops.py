@@ -1,0 +1,210 @@
+"""Math operation blocks."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from ..block import Block
+from ..types import BOOLEAN, DataType
+
+
+class Gain(Block):
+    """``y = gain * u``."""
+
+    n_in = 1
+    n_out = 1
+
+    def __init__(self, name: str, gain: float = 1.0):
+        super().__init__(name)
+        self.gain = float(gain)
+
+    def outputs(self, t, u, ctx):
+        return [self.gain * u[0]]
+
+
+class Bias(Block):
+    """``y = u + bias``."""
+
+    n_in = 1
+    n_out = 1
+
+    def __init__(self, name: str, bias: float = 0.0):
+        super().__init__(name)
+        self.bias = float(bias)
+
+    def outputs(self, t, u, ctx):
+        return [u[0] + self.bias]
+
+
+class Sum(Block):
+    """Signed sum, e.g. ``Sum("err", signs="+-")`` computes ``u0 - u1``."""
+
+    n_out = 1
+
+    def __init__(self, name: str, signs: str = "++"):
+        super().__init__(name)
+        if not signs or any(s not in "+-" for s in signs):
+            raise ValueError(f"signs must be a non-empty string of +/-, got {signs!r}")
+        self.signs = signs
+        self.n_in = len(signs)
+
+    def outputs(self, t, u, ctx):
+        acc = 0.0
+        for s, v in zip(self.signs, u):
+            acc += v if s == "+" else -v
+        return [acc]
+
+
+class Product(Block):
+    """Multiply/divide chain, e.g. ``ops="**"`` multiplies, ``"*/"`` divides."""
+
+    n_out = 1
+
+    def __init__(self, name: str, ops: str = "**"):
+        super().__init__(name)
+        if not ops or any(o not in "*/" for o in ops):
+            raise ValueError(f"ops must be a non-empty string of */ , got {ops!r}")
+        self.ops = ops
+        self.n_in = len(ops)
+
+    def outputs(self, t, u, ctx):
+        acc = 1.0
+        for o, v in zip(self.ops, u):
+            if o == "*":
+                acc *= v
+            else:
+                if v == 0.0:
+                    raise ZeroDivisionError(f"division by zero in block '{self.name}'")
+                acc /= v
+        return [acc]
+
+
+class Abs(Block):
+    """``y = |u|``."""
+
+    n_in = 1
+    n_out = 1
+
+    def outputs(self, t, u, ctx):
+        return [abs(u[0])]
+
+
+class Sign(Block):
+    """``y = sign(u)`` in {-1, 0, 1}."""
+
+    n_in = 1
+    n_out = 1
+
+    def outputs(self, t, u, ctx):
+        return [0.0 if u[0] == 0.0 else math.copysign(1.0, u[0])]
+
+
+class MinMax(Block):
+    """Minimum or maximum of its inputs."""
+
+    n_out = 1
+
+    def __init__(self, name: str, mode: str = "min", n_in: int = 2):
+        super().__init__(name)
+        if mode not in ("min", "max"):
+            raise ValueError("mode must be 'min' or 'max'")
+        self.mode = mode
+        self.n_in = int(n_in)
+
+    def outputs(self, t, u, ctx):
+        return [min(u) if self.mode == "min" else max(u)]
+
+
+_FUNCTIONS: dict[str, Callable[[float], float]] = {
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "exp": math.exp,
+    "log": math.log,
+    "log10": math.log10,
+    "sqrt": math.sqrt,
+    "square": lambda x: x * x,
+    "reciprocal": lambda x: 1.0 / x,
+    "atan": math.atan,
+}
+
+
+class MathFunction(Block):
+    """Single-input elementary function, e.g. ``MathFunction("f", "sqrt")``."""
+
+    n_in = 1
+    n_out = 1
+
+    def __init__(self, name: str, function: str = "square"):
+        super().__init__(name)
+        if function not in _FUNCTIONS:
+            raise ValueError(
+                f"unknown function {function!r}; choose from {sorted(_FUNCTIONS)}"
+            )
+        self.function = function
+        self._fn = _FUNCTIONS[function]
+
+    def outputs(self, t, u, ctx):
+        return [self._fn(u[0])]
+
+
+_RELOPS: dict[str, Callable[[float, float], bool]] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+class RelationalOperator(Block):
+    """Boolean comparison of two inputs."""
+
+    n_in = 2
+    n_out = 1
+
+    def __init__(self, name: str, op: str = "<"):
+        super().__init__(name)
+        if op not in _RELOPS:
+            raise ValueError(f"unknown relational operator {op!r}")
+        self.op = op
+        self._fn = _RELOPS[op]
+
+    def output_type(self, port: int) -> DataType:
+        return BOOLEAN
+
+    def outputs(self, t, u, ctx):
+        return [1.0 if self._fn(u[0], u[1]) else 0.0]
+
+
+class LogicalOperator(Block):
+    """AND / OR / XOR / NOT over boolean-interpreted inputs."""
+
+    n_out = 1
+
+    def __init__(self, name: str, op: str = "AND", n_in: int = 2):
+        super().__init__(name)
+        op = op.upper()
+        if op not in ("AND", "OR", "XOR", "NOT"):
+            raise ValueError(f"unknown logical operator {op!r}")
+        if op == "NOT" and n_in != 1:
+            raise ValueError("NOT takes exactly one input")
+        self.op = op
+        self.n_in = int(n_in)
+
+    def output_type(self, port: int) -> DataType:
+        return BOOLEAN
+
+    def outputs(self, t, u, ctx):
+        bits = [v != 0.0 for v in u]
+        if self.op == "AND":
+            r = all(bits)
+        elif self.op == "OR":
+            r = any(bits)
+        elif self.op == "XOR":
+            r = sum(bits) % 2 == 1
+        else:
+            r = not bits[0]
+        return [1.0 if r else 0.0]

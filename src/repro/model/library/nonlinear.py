@@ -1,0 +1,160 @@
+"""Discontinuity / nonlinearity blocks."""
+
+from __future__ import annotations
+
+import math
+
+from ..block import Block, BlockContext
+
+
+class Saturation(Block):
+    """Clamps its input to ``[lower, upper]``."""
+
+    n_in = 1
+    n_out = 1
+
+    def __init__(self, name: str, lower: float = -1.0, upper: float = 1.0):
+        super().__init__(name)
+        if upper <= lower:
+            raise ValueError("upper limit must exceed lower limit")
+        self.lower = float(lower)
+        self.upper = float(upper)
+
+    def outputs(self, t, u, ctx):
+        return [min(max(u[0], self.lower), self.upper)]
+
+
+class DeadZone(Block):
+    """Zero output inside ``[start, end]``, shifted linear outside."""
+
+    n_in = 1
+    n_out = 1
+
+    def __init__(self, name: str, start: float = -0.1, end: float = 0.1):
+        super().__init__(name)
+        if end < start:
+            raise ValueError("end must be >= start")
+        # "zone_" prefix: plain .start would shadow the Block.start callback
+        self.zone_start = float(start)
+        self.zone_end = float(end)
+
+    def outputs(self, t, u, ctx):
+        v = u[0]
+        if v > self.zone_end:
+            return [v - self.zone_end]
+        if v < self.zone_start:
+            return [v - self.zone_start]
+        return [0.0]
+
+
+class Relay(Block):
+    """Hysteretic relay: switches on above ``on_point``, off below
+    ``off_point`` (state changes only at major steps)."""
+
+    n_in = 1
+    n_out = 1
+
+    def __init__(
+        self,
+        name: str,
+        on_point: float = 0.5,
+        off_point: float = -0.5,
+        on_value: float = 1.0,
+        off_value: float = 0.0,
+    ):
+        super().__init__(name)
+        if on_point < off_point:
+            raise ValueError("on_point must be >= off_point")
+        self.on_point = float(on_point)
+        self.off_point = float(off_point)
+        self.on_value = float(on_value)
+        self.off_value = float(off_value)
+
+    def start(self, ctx: BlockContext):
+        ctx.dwork["on"] = False
+
+    def _next_state(self, on: bool, v: float) -> bool:
+        if v >= self.on_point:
+            return True
+        if v <= self.off_point:
+            return False
+        return on
+
+    def outputs(self, t, u, ctx):
+        on = self._next_state(ctx.dwork["on"], u[0])
+        return [self.on_value if on else self.off_value]
+
+    def update(self, t, u, ctx):
+        ctx.dwork["on"] = self._next_state(ctx.dwork["on"], u[0])
+
+
+class RateLimiter(Block):
+    """Limits the slew rate of its input (discrete, needs a sample time)."""
+
+    n_in = 1
+    n_out = 1
+
+    def __init__(
+        self,
+        name: str,
+        sample_time: float,
+        rising: float = 1.0,
+        falling: float | None = None,
+    ):
+        super().__init__(name)
+        self.sample_time = float(sample_time)
+        self.rising = float(rising)
+        self.falling = float(-rising if falling is None else falling)
+        if self.rising <= 0 or self.falling >= 0:
+            raise ValueError("rising rate must be positive, falling negative")
+
+    def start(self, ctx: BlockContext):
+        ctx.dwork["y"] = 0.0
+
+    def _limited(self, u0: float, y: float) -> float:
+        dmax = self.rising * self.sample_time
+        dmin = self.falling * self.sample_time
+        return y + min(max(u0 - y, dmin), dmax)
+
+    def outputs(self, t, u, ctx):
+        return [self._limited(u[0], ctx.dwork["y"])]
+
+    def update(self, t, u, ctx):
+        ctx.dwork["y"] = self._limited(u[0], ctx.dwork["y"])
+
+
+class Quantizer(Block):
+    """Rounds the input onto a uniform grid of the given ``interval``."""
+
+    n_in = 1
+    n_out = 1
+
+    def __init__(self, name: str, interval: float = 0.01):
+        super().__init__(name)
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = float(interval)
+
+    def outputs(self, t, u, ctx):
+        return [self.interval * math.floor(u[0] / self.interval + 0.5)]
+
+
+class Coulomb(Block):
+    """Coulomb + viscous friction: ``y = sign(u) * (offset + gain*|u|)``.
+
+    Used by the DC-motor plant to model static friction on the shaft.
+    """
+
+    n_in = 1
+    n_out = 1
+
+    def __init__(self, name: str, offset: float = 0.0, gain: float = 0.0):
+        super().__init__(name)
+        self.offset = float(offset)
+        self.gain = float(gain)
+
+    def outputs(self, t, u, ctx):
+        v = u[0]
+        if v == 0.0:
+            return [0.0]
+        return [math.copysign(self.offset + self.gain * abs(v), v)]

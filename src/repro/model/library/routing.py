@@ -1,0 +1,40 @@
+"""Signal routing blocks."""
+
+from __future__ import annotations
+
+from ..block import Block
+
+
+class Switch(Block):
+    """Port layout mirrors Simulink: input 0 passes when the control input
+    (port 1) satisfies ``control >= threshold``, otherwise input 2 passes.
+
+    The case study's manual/automatic mode selection is a Switch driven by
+    the keyboard chart.
+    """
+
+    n_in = 3
+    n_out = 1
+
+    def __init__(self, name: str, threshold: float = 0.5):
+        super().__init__(name)
+        self.threshold = float(threshold)
+
+    def outputs(self, t, u, ctx):
+        return [u[0] if u[1] >= self.threshold else u[2]]
+
+
+class ManualSwitch(Block):
+    """Two-input switch whose position is a design-time parameter."""
+
+    n_in = 2
+    n_out = 1
+
+    def __init__(self, name: str, position: int = 0):
+        super().__init__(name)
+        if position not in (0, 1):
+            raise ValueError("position must be 0 or 1")
+        self.position = int(position)
+
+    def outputs(self, t, u, ctx):
+        return [u[self.position]]

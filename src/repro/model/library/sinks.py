@@ -1,0 +1,57 @@
+"""Sink blocks — loggers and checkers."""
+
+from __future__ import annotations
+
+from ..block import Block, BlockContext
+
+
+class Scope(Block):
+    """Logs its input at every major step.
+
+    The engine collects scope logs into the
+    :class:`~repro.model.result.SimulationResult` under ``label`` (or the
+    block's qualified name when no label is given).
+    """
+
+    n_in = 1
+    direct_feedthrough = True
+
+    def __init__(self, name: str, label: str | None = None):
+        super().__init__(name)
+        self.label = label
+
+    def outputs(self, t, u, ctx):
+        return []
+
+
+class Terminator(Block):
+    """Swallows a signal so the compiler does not flag it unconnected."""
+
+    n_in = 1
+    direct_feedthrough = False
+
+    def outputs(self, t, u, ctx):
+        return []
+
+
+class Assertion(Block):
+    """Raises when its input becomes false (non-zero check at major steps).
+
+    Used by tests and by failure-injection benchmarks to turn signal
+    invariants into hard errors.
+    """
+
+    n_in = 1
+    direct_feedthrough = True
+
+    def __init__(self, name: str, message: str = ""):
+        super().__init__(name)
+        self.message = message
+
+    def outputs(self, t, u, ctx):
+        if not ctx.minor and u[0] == 0.0:
+            raise AssertionError(
+                f"assertion '{self.name}' failed at t={t:.6f}"
+                + (f": {self.message}" if self.message else "")
+            )
+        return []

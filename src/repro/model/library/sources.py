@@ -1,0 +1,146 @@
+"""Source blocks — signal generators with no inputs."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..block import Block, BlockContext, INHERITED
+
+
+class Constant(Block):
+    """Emits a constant value."""
+
+    n_out = 1
+    direct_feedthrough = False
+
+    def __init__(self, name: str, value: float = 1.0):
+        super().__init__(name)
+        self.value = float(value)
+
+    def outputs(self, t, u, ctx):
+        return [self.value]
+
+
+class Step(Block):
+    """Steps from ``initial`` to ``final`` at ``step_time``."""
+
+    n_out = 1
+    direct_feedthrough = False
+
+    def __init__(self, name: str, step_time: float = 0.0, initial: float = 0.0, final: float = 1.0):
+        super().__init__(name)
+        self.step_time = float(step_time)
+        self.initial = float(initial)
+        self.final = float(final)
+
+    def outputs(self, t, u, ctx):
+        return [self.final if t >= self.step_time else self.initial]
+
+
+class Ramp(Block):
+    """Linear ramp starting at ``start_time`` with the given slope."""
+
+    n_out = 1
+    direct_feedthrough = False
+
+    def __init__(self, name: str, slope: float = 1.0, start_time: float = 0.0, initial: float = 0.0):
+        super().__init__(name)
+        self.slope = float(slope)
+        self.start_time = float(start_time)
+        self.initial = float(initial)
+
+    def outputs(self, t, u, ctx):
+        if t < self.start_time:
+            return [self.initial]
+        return [self.initial + self.slope * (t - self.start_time)]
+
+
+class SineWave(Block):
+    """``bias + amplitude * sin(2*pi*frequency*t + phase)``."""
+
+    n_out = 1
+    direct_feedthrough = False
+
+    def __init__(
+        self,
+        name: str,
+        amplitude: float = 1.0,
+        frequency: float = 1.0,
+        phase: float = 0.0,
+        bias: float = 0.0,
+    ):
+        super().__init__(name)
+        self.amplitude = float(amplitude)
+        self.frequency = float(frequency)
+        self.phase = float(phase)
+        self.bias = float(bias)
+
+    def outputs(self, t, u, ctx):
+        return [self.bias + self.amplitude * math.sin(2 * math.pi * self.frequency * t + self.phase)]
+
+
+class PulseGenerator(Block):
+    """Rectangular pulse train: ``amplitude`` for the first ``duty`` fraction
+    of each ``period``, zero otherwise."""
+
+    n_out = 1
+    direct_feedthrough = False
+
+    def __init__(
+        self,
+        name: str,
+        amplitude: float = 1.0,
+        period: float = 1.0,
+        duty: float = 0.5,
+        delay: float = 0.0,
+    ):
+        super().__init__(name)
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not (0.0 <= duty <= 1.0):
+            raise ValueError("duty must be in [0, 1]")
+        self.amplitude = float(amplitude)
+        self.period = float(period)
+        self.duty = float(duty)
+        self.delay = float(delay)
+
+    def outputs(self, t, u, ctx):
+        if t < self.delay:
+            return [0.0]
+        phase = math.fmod(t - self.delay, self.period) / self.period
+        return [self.amplitude if phase < self.duty else 0.0]
+
+
+class Clock(Block):
+    """Emits the simulation time."""
+
+    n_out = 1
+    direct_feedthrough = False
+
+    def outputs(self, t, u, ctx):
+        return [t]
+
+
+class WhiteNoise(Block):
+    """Band-limited white noise: a new zero-mean normal sample is drawn at
+    every sample hit and held in between (so it needs a discrete rate)."""
+
+    n_out = 1
+    direct_feedthrough = False
+
+    def __init__(self, name: str, std: float = 1.0, sample_time: float = 1e-3, seed: int = 0):
+        super().__init__(name)
+        self.std = float(std)
+        self.sample_time = float(sample_time)
+        self.seed = int(seed)
+
+    def start(self, ctx: BlockContext):
+        ctx.dwork["rng"] = np.random.default_rng(self.seed)
+        ctx.dwork["value"] = 0.0
+
+    def outputs(self, t, u, ctx):
+        # draw on output (once per hit — engine calls outputs once per hit)
+        ctx.dwork["value"] = float(ctx.dwork["rng"].normal(0.0, self.std))
+        return [ctx.dwork["value"]]

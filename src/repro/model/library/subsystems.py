@@ -1,0 +1,183 @@
+"""Hierarchy blocks: Inport / Outport markers, virtual subsystems, and
+function-call subsystems.
+
+* A :class:`Subsystem` is *virtual*: the compiler melts it into the parent
+  diagram (its Inports/Outports dissolve).  It exists for organisation —
+  the paper's Fig. 7.1 "controller subsystem" / "plant subsystem" split.
+* A :class:`FunctionCallSubsystem` is *atomic and triggered*: it executes
+  only when a function-call (event) line fires, which is how the paper
+  maps peripheral interrupts to model code ("they can be used for the
+  event-driven triggering of a subsystem block execution", section 5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..block import Block, BlockContext
+from ..diagnostics import ModelError
+from ..graph import Model
+
+
+class Inport(Block):
+    """Subsystem input marker.
+
+    Inside a virtual subsystem it dissolves during flattening.  At the top
+    level (or inside a function-call subsystem) it is an injection point:
+    the co-simulation layers and the FC-subsystem executor write into it.
+    """
+
+    n_out = 1
+    direct_feedthrough = False
+
+    def __init__(self, name: str, index: int = 0):
+        super().__init__(name)
+        if index < 0:
+            raise ValueError("port index must be >= 0")
+        self.index = int(index)
+
+    def start(self, ctx: BlockContext):
+        ctx.dwork.setdefault("value", 0.0)
+
+    def outputs(self, t, u, ctx):
+        return [ctx.dwork["value"]]
+
+    def inject(self, ctx: BlockContext, value: float) -> None:
+        """Set the value the port will emit."""
+        ctx.dwork["value"] = float(value)
+
+
+class Outport(Block):
+    """Subsystem output marker; at atomic levels it latches its input."""
+
+    n_in = 1
+    direct_feedthrough = True
+
+    def __init__(self, name: str, index: int = 0):
+        super().__init__(name)
+        if index < 0:
+            raise ValueError("port index must be >= 0")
+        self.index = int(index)
+
+    def start(self, ctx: BlockContext):
+        ctx.dwork.setdefault("value", 0.0)
+
+    def outputs(self, t, u, ctx):
+        ctx.dwork["value"] = u[0]
+        return []
+
+    def read(self, ctx: BlockContext) -> float:
+        """Last value latched from inside the subsystem."""
+        return float(ctx.dwork["value"])
+
+
+class _PortedSubsystem(Block):
+    """Shared machinery for blocks that own an inner :class:`Model` whose
+    boundary is a set of Inport/Outport blocks."""
+
+    def __init__(self, name: str, inner: Optional[Model] = None):
+        super().__init__(name)
+        self.inner = inner if inner is not None else Model(f"{name}_inner")
+
+    # port discovery ----------------------------------------------------
+    def _ports(self, cls) -> dict[int, Block]:
+        found: dict[int, Block] = {}
+        for b in self.inner.blocks.values():
+            if isinstance(b, cls):
+                if b.index in found:
+                    raise ModelError(
+                        f"subsystem '{self.name}' has duplicate {cls.__name__} index {b.index}"
+                    )
+                found[b.index] = b
+        return found
+
+    @property
+    def n_in(self) -> int:  # type: ignore[override]
+        ports = self._ports(Inport)
+        return (max(ports) + 1) if ports else 0
+
+    @property
+    def n_out(self) -> int:  # type: ignore[override]
+        ports = self._ports(Outport)
+        return (max(ports) + 1) if ports else 0
+
+    def inport(self, index: int) -> Inport:
+        """The inner Inport block bound to outer input ``index``."""
+        ports = self._ports(Inport)
+        if index not in ports:
+            raise ModelError(f"subsystem '{self.name}' has no Inport with index {index}")
+        return ports[index]  # type: ignore[return-value]
+
+    def outport(self, index: int) -> Outport:
+        """The inner Outport block bound to outer output ``index``."""
+        ports = self._ports(Outport)
+        if index not in ports:
+            raise ModelError(f"subsystem '{self.name}' has no Outport with index {index}")
+        return ports[index]  # type: ignore[return-value]
+
+
+class Subsystem(_PortedSubsystem):
+    """Virtual grouping subsystem — flattened away by the compiler."""
+
+    direct_feedthrough = True  # irrelevant: never executed
+
+
+class FunctionCallSubsystem(_PortedSubsystem):
+    """Atomic subsystem executed on each function-call trigger.
+
+    Semantics match Simulink: outputs hold their last computed value
+    between calls; the interior executes completely (outputs + update) at
+    every call, inheriting the trigger's rate.  Continuous states and
+    nested event lines inside are rejected at compile time.
+    """
+
+    triggerable = True
+    direct_feedthrough = False
+
+    def __init__(self, name: str, inner: Optional[Model] = None):
+        super().__init__(name, inner)
+        self._cm = None
+        self._exec = None
+        self.call_count = 0
+
+    # compile hook (invoked by CompiledModel.build) ----------------------
+    def compile_atomic(self, dt: float) -> None:
+        from ..compiled import CompiledModel
+
+        if self.inner.event_connections:
+            raise ModelError(
+                f"function-call subsystem '{self.name}' must not contain event lines"
+            )
+        cm = CompiledModel.build(self.inner, dt)
+        if cm.n_states:
+            raise ModelError(
+                f"function-call subsystem '{self.name}' must not contain continuous states"
+            )
+        self._cm = cm
+
+    # lifecycle ----------------------------------------------------------
+    def start(self, ctx: BlockContext):
+        from ..executor import AtomicExecutor
+
+        if self._cm is None:
+            raise ModelError(
+                f"function-call subsystem '{self.name}' was not compiled "
+                "(execute it through a compiled parent model)"
+            )
+        self._exec = AtomicExecutor(self._cm)
+        self._exec.start()
+        self.call_count = 0
+        ctx.dwork["y"] = [0.0] * self.n_out
+
+    # triggered execution -------------------------------------------------
+    def outputs(self, t, u, ctx):
+        ex = self._exec
+        for idx in self._ports(Inport):
+            ex.inject(idx, u[idx])
+        ex.call(t)
+        self.call_count += 1
+        y = list(ctx.dwork["y"])
+        for idx in self._ports(Outport):
+            y[idx] = ex.read(idx)
+        ctx.dwork["y"] = y
+        return y

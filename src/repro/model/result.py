@@ -1,0 +1,64 @@
+"""Simulation result container.
+
+Holds the time vector and every logged signal as NumPy arrays, so the
+analysis package (:mod:`repro.analysis`) and the benchmarks can post-
+process trajectories without touching the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+import numpy as np
+
+
+class SimulationResult(Mapping[str, np.ndarray]):
+    """Mapping from logged-signal name to a 1-D value array.
+
+    ``result.t`` is the major-step time vector; every logged array has the
+    same length.  The container is mapping-like: ``result["speed"]``,
+    ``"speed" in result``, iteration over names.
+    """
+
+    def __init__(self, t: np.ndarray, signals: dict[str, np.ndarray]):
+        self.t = np.asarray(t, dtype=np.float64)
+        self._signals = {k: np.asarray(v, dtype=np.float64) for k, v in signals.items()}
+        for name, arr in self._signals.items():
+            if arr.shape != self.t.shape:
+                raise ValueError(
+                    f"logged signal '{name}' has {arr.shape[0]} samples, "
+                    f"expected {self.t.shape[0]}"
+                )
+
+    # Mapping interface -------------------------------------------------
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._signals[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._signals)
+
+    def __len__(self) -> int:
+        return len(self._signals)
+
+    # convenience --------------------------------------------------------
+    @property
+    def names(self) -> list[str]:
+        """Logged signal names, sorted."""
+        return sorted(self._signals)
+
+    def final(self, name: str) -> float:
+        """Last sample of a signal."""
+        return float(self._signals[name][-1])
+
+    def at(self, name: str, time: float) -> float:
+        """Signal value at (the major step closest to) ``time``."""
+        i = int(np.argmin(np.abs(self.t - time)))
+        return float(self._signals[name][i])
+
+    def slice(self, t0: float, t1: float) -> "SimulationResult":
+        """Sub-result restricted to ``t0 <= t <= t1``."""
+        mask = (self.t >= t0) & (self.t <= t1)
+        return SimulationResult(self.t[mask], {k: v[mask] for k, v in self._signals.items()})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimulationResult {len(self.t)} steps, signals={self.names}>"

@@ -1,0 +1,74 @@
+"""Signal data types.
+
+Simulation always computes in ``float64`` (like Simulink's "double"
+engine), but every signal carries a :class:`DataType` tag so that
+
+* the code generator can emit the right C storage type,
+* conversion blocks can quantize values onto the representable grid of the
+  tagged type (the paper's "the ADC block really provides the controller
+  model with values with the 12 bits resolution" behaviour), and
+* the model compiler can flag mismatched connections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.fixpt import FixedPointType
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A named signal type with an optional machine representation.
+
+    ``fixpt`` is set for fixed-point / integer types and drives
+    quantization; plain ``double`` has no grid and passes values through.
+    """
+
+    name: str
+    fixpt: Optional[FixedPointType] = None
+
+    @property
+    def is_float(self) -> bool:
+        return self.fixpt is None
+
+    @property
+    def c_type(self) -> str:
+        """C storage type emitted by the code generator."""
+        if self.fixpt is None:
+            return {"double": "real_T", "single": "real32_T", "boolean": "boolean_T"}.get(
+                self.name, "real_T"
+            )
+        return self.fixpt.c_type
+
+    def represent(self, value: float) -> float:
+        """Round ``value`` onto this type's representable grid."""
+        if self.fixpt is None:
+            if self.name == "boolean":
+                return 1.0 if value != 0.0 else 0.0
+            return float(value)
+        return self.fixpt.represent(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DataType({self.name!r})"
+
+
+def FixptType(ftype: FixedPointType) -> DataType:
+    """Wrap a :class:`FixedPointType` as a signal :class:`DataType`."""
+    return DataType(ftype.name, ftype)
+
+
+def _int_type(name: str, bits: int, signed: bool) -> DataType:
+    return DataType(name, FixedPointType(bits, 0, signed=signed))
+
+
+DOUBLE = DataType("double")
+SINGLE = DataType("single")
+BOOLEAN = DataType("boolean")
+INT8 = _int_type("int8", 8, True)
+INT16 = _int_type("int16", 16, True)
+INT32 = _int_type("int32", 32, True)
+UINT8 = _int_type("uint8", 8, False)
+UINT16 = _int_type("uint16", 16, False)
+UINT32 = _int_type("uint32", 32, False)

@@ -1,0 +1,61 @@
+"""Processor Expert substitute.
+
+Section 4 of the paper describes PE: "a component oriented tool ...  Its
+main task is to manage the HW resources of the MCU and to allow the design
+at the high level.  The functionality of the basic elements ... are
+encapsulated in Embedded Beans.  An interface to a bean is provided via
+properties, methods, and events."
+
+This package rebuilds that framework:
+
+* :mod:`repro.pe.properties` — typed bean properties whose setters validate
+  immediately ("they are therefore immediately verified by the PE
+  knowledge base", section 5);
+* :mod:`repro.pe.bean` — the Embedded Bean base: properties, methods with
+  a chip-independent API, events mapped to interrupt vectors;
+* :mod:`repro.pe.beans` — the bean library (CPU, ADC, PWM, TimerInt,
+  QuadDec, BitIO, AsynchroSerial, WatchDog);
+* :mod:`repro.pe.expert` — the expert system: prescaler derivation,
+  resource allocation, conflict detection, timing feasibility;
+* :mod:`repro.pe.project` — the PE project: bean set + CPU selection,
+  cross-bean validation, code generation, one-line retargeting;
+* :mod:`repro.pe.halgen` — generation of the HAL C sources, in the PE API
+  style or the AUTOSAR-flavoured style (the paper's two block-set
+  variants, section 8).
+"""
+
+from .properties import (
+    BeanConfigError,
+    BoolProperty,
+    EnumProperty,
+    FloatProperty,
+    IntProperty,
+    DerivedProperty,
+    Property,
+)
+from .bean import Bean, BeanEvent, BeanMethod
+from .expert import ExpertSystem, ResourceConflictError, ValidationReport, Finding
+from .project import PEProject
+from .halgen import ApiStyle, HalBundle
+from . import beans
+
+__all__ = [
+    "BeanConfigError",
+    "BoolProperty",
+    "EnumProperty",
+    "FloatProperty",
+    "IntProperty",
+    "DerivedProperty",
+    "Property",
+    "Bean",
+    "BeanEvent",
+    "BeanMethod",
+    "ExpertSystem",
+    "ResourceConflictError",
+    "ValidationReport",
+    "Finding",
+    "PEProject",
+    "ApiStyle",
+    "HalBundle",
+    "beans",
+]

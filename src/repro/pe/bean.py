@@ -1,0 +1,192 @@
+"""Embedded Bean base class.
+
+"An interface to a bean is provided via properties, methods, and events"
+(section 4):
+
+* **properties** — design-time HW settings, validated on assignment;
+* **methods** — the uniform runtime API the application (and the code
+  generated from the Simulink model) calls: "the same methods on
+  different MCUs are compatible from the application point of view";
+* **events** — interrupt notifications ("bean events can be used by the
+  user to handle interrupts").
+
+A bean lives through three phases: configure (set properties), validate
+(expert-system checks against the selected chip), and **bind** — attach to
+a concrete on-chip peripheral instance of an :class:`~repro.mcu.device.
+MCUDevice`, after which its methods are callable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional, Sequence, TYPE_CHECKING
+
+from .properties import BeanConfigError, DerivedProperty, Property
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mcu.database import ChipDescriptor
+    from repro.mcu.device import MCUDevice
+    from repro.mcu.clock import ClockTree
+    from .expert import Finding
+
+
+@dataclass
+class BeanMethod:
+    """One entry of the bean's C API.
+
+    ``ops`` is the operation mix of the generated method body, costed
+    against the chip's :class:`~repro.mcu.database.CycleCosts` — this is
+    how "methods code is ... highly optimized and scaled to the selected
+    MCU" becomes measurable.
+    """
+
+    name: str
+    c_return: str = "void"
+    c_args: str = "void"
+    ops: Mapping[str, float] = field(default_factory=lambda: {"call": 1, "load_store": 4})
+
+    def cost_cycles(self, chip: "ChipDescriptor") -> float:
+        return sum(chip.costs.op(op) * n for op, n in self.ops.items())
+
+    def c_prototype(self, owner: str) -> str:
+        return f"{self.c_return} {owner}_{self.name}({self.c_args});"
+
+
+@dataclass
+class BeanEvent:
+    """An interrupt-backed event (e.g. ``OnEnd`` of an ADC)."""
+
+    name: str
+    hint: str = ""
+    enabled: bool = False
+
+
+class Bean:
+    """Base Embedded Bean.
+
+    Subclasses declare ``TYPE`` (the PE bean type, e.g. ``"ADC"``),
+    ``RESOURCE`` (the on-chip peripheral kind they consume, e.g.
+    ``"adc"``; None for pure-software beans), ``PROPERTIES``, ``METHODS``
+    and ``EVENTS``.
+    """
+
+    TYPE: str = "Bean"
+    RESOURCE: Optional[str] = None
+    PROPERTIES: Sequence[Property] = ()
+    METHODS: Sequence[BeanMethod] = ()
+    EVENTS: Sequence[BeanEvent] = ()
+
+    def __init__(self, name: str, **props: Any):
+        if not name or not name.isidentifier():
+            raise ValueError(f"bean name must be a C identifier, got {name!r}")
+        self.name = name
+        self._props: dict[str, Property] = {p.name: p for p in self.PROPERTIES}
+        self._values: dict[str, Any] = {p.name: p.default for p in self.PROPERTIES}
+        self._derived: dict[str, Any] = {}
+        self.methods: dict[str, BeanMethod] = {m.name: m for m in self.METHODS}
+        self.events: dict[str, BeanEvent] = {
+            e.name: BeanEvent(e.name, e.hint, e.enabled) for e in self.EVENTS
+        }
+        self._impl: dict[str, Callable[..., Any]] = {}
+        self.device: Optional["MCUDevice"] = None
+        self.resource_name: Optional[str] = None
+        for k, v in props.items():
+            self.set_property(k, v)
+
+    # ------------------------------------------------------------------
+    # properties (design time)
+    # ------------------------------------------------------------------
+    def set_property(self, name: str, value: Any) -> None:
+        """Assign a property; invalid values raise immediately."""
+        prop = self._props.get(name)
+        if prop is None:
+            raise BeanConfigError(self.name, name, "no such property")
+        self._values[name] = prop.validate(self.name, value)
+
+    def get_property(self, name: str) -> Any:
+        if name in self._derived:
+            return self._derived[name]
+        if name not in self._values:
+            raise BeanConfigError(self.name, name, "no such property")
+        return self._values[name]
+
+    def __setitem__(self, name: str, value: Any) -> None:
+        self.set_property(name, value)
+
+    def __getitem__(self, name: str) -> Any:
+        return self.get_property(name)
+
+    def set_derived(self, name: str, value: Any) -> None:
+        """Expert-system write of a computed (read-only) property."""
+        self._derived[name] = value
+
+    def enable_event(self, name: str, enabled: bool = True) -> None:
+        if name not in self.events:
+            raise BeanConfigError(self.name, name, "no such event")
+        self.events[name].enabled = enabled
+
+    # ------------------------------------------------------------------
+    # inspector (Fig 4.1)
+    # ------------------------------------------------------------------
+    def inspector(self) -> str:
+        """Textual Bean Inspector: properties, methods, events."""
+        lines = [f"Bean Inspector — {self.name} : {self.TYPE}"]
+        lines.append("  Properties:")
+        for p in self.PROPERTIES:
+            v = self._derived.get(p.name, self._values.get(p.name))
+            ro = " (computed)" if isinstance(p, DerivedProperty) else ""
+            lines.append(f"    {p.name:<24} = {v!r:<16} [{p.describe()}]{ro}")
+        if self.methods:
+            lines.append("  Methods:")
+            for m in self.methods.values():
+                lines.append(f"    {m.c_prototype(self.name)}")
+        if self.events:
+            lines.append("  Events:")
+            for e in self.events.values():
+                state = "enabled" if e.enabled else "disabled"
+                lines.append(f"    {e.name:<24} [{state}] {e.hint}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # validation / binding (subclass hooks)
+    # ------------------------------------------------------------------
+    def check(
+        self, chip: "ChipDescriptor", clock: "ClockTree", expert: "Any"
+    ) -> list["Finding"]:
+        """Bean-specific design checks; subclasses extend.  Returns
+        findings (errors block code generation)."""
+        return []
+
+    def bind(self, device: "MCUDevice", resource_name: Optional[str]) -> None:
+        """Attach to a concrete peripheral and install method impls."""
+        self.device = device
+        self.resource_name = resource_name
+        self._impl = self._build_impl(device)
+
+    def _build_impl(self, device: "MCUDevice") -> dict[str, Callable[..., Any]]:
+        """Subclass hook: map method names to Python callables."""
+        return {}
+
+    @property
+    def bound(self) -> bool:
+        return self.device is not None
+
+    def call(self, method: str, *args: Any) -> Any:
+        """Invoke a bean method on the bound peripheral (the runtime path
+        generated C would take through the HAL)."""
+        if method not in self.methods:
+            raise BeanConfigError(self.name, method, "no such method")
+        if method not in self._impl:
+            raise RuntimeError(
+                f"bean '{self.name}' is not bound (call PEProject.bind first)"
+            )
+        return self._impl[method](*args)
+
+    def event_vector(self, event: str) -> str:
+        """Interrupt-source name for one of this bean's events."""
+        if event not in self.events:
+            raise BeanConfigError(self.name, event, "no such event")
+        return f"{self.name}_{event}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.TYPE} bean '{self.name}'>"

@@ -1,0 +1,44 @@
+"""The Embedded Bean library.
+
+One bean type per peripheral class, mirroring the Processor Expert
+catalogue the paper's block set wraps (section 5): "Timers, ADC, PWM,
+PortIO, Quadrature Decoder etc.", plus the CPU bean whose exchange is the
+paper's one-line portability story ("the model with the PE blocks can be
+moreover extremely simply ported to another MCU by selecting another CPU
+bean").
+"""
+
+from .cpu import CPUBean
+from .adc import ADCBean
+from .pwm import PWMBean
+from .timerint import TimerIntBean
+from .quaddec import QuadDecBean
+from .bitio import BitIOBean
+from .serial import AsynchroSerialBean
+from .watchdog import WatchDogBean
+
+__all__ = [
+    "CPUBean",
+    "ADCBean",
+    "PWMBean",
+    "TimerIntBean",
+    "QuadDecBean",
+    "BitIOBean",
+    "AsynchroSerialBean",
+    "WatchDogBean",
+]
+
+#: bean TYPE string -> class, for project (de)serialisation and the sync bus
+BEAN_TYPES = {
+    cls.TYPE: cls
+    for cls in (
+        CPUBean,
+        ADCBean,
+        PWMBean,
+        TimerIntBean,
+        QuadDecBean,
+        BitIOBean,
+        AsynchroSerialBean,
+        WatchDogBean,
+    )
+}

@@ -1,0 +1,110 @@
+"""ADC bean (PE type "ADC").
+
+Design-time properties: converter instance, channel, resolution, mode.
+The paper's example settings ("the resolution of ADC, the input pin, the
+conversion time, the mode of operation") map one-to-one; ``Measure`` and
+``GetValue`` are the two methods section 2 quotes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..bean import Bean, BeanEvent, BeanMethod
+from ..expert import Finding
+from ..properties import DerivedProperty, EnumProperty, IntProperty
+
+
+class ADCBean(Bean):
+    """Analogue measurement bean."""
+
+    TYPE = "ADC"
+    RESOURCE = "adc"
+    PROPERTIES = (
+        EnumProperty("device", ["auto", "adc0", "adc1"], default="auto",
+                     hint="converter instance"),
+        IntProperty("channel", default=0, minimum=0, maximum=15,
+                    hint="input channel / pin"),
+        EnumProperty("resolution", [8, 10, 12, 16], default=12,
+                     hint="bits of the returned value"),
+        EnumProperty("mode", ["once", "continuous"], default="once",
+                     hint="single conversion per Measure, or free-running"),
+        DerivedProperty("conversion_time", hint="achieved conversion time (s)"),
+    )
+    METHODS = (
+        BeanMethod("Measure", c_args="bool WaitForResult",
+                   ops={"call": 1, "load_store": 3, "branch": 1}),
+        BeanMethod("GetValue", c_return="word",
+                   ops={"call": 1, "load_store": 2, "int_add": 1}),
+        BeanMethod("Enable", ops={"call": 1, "load_store": 1}),
+        BeanMethod("Disable", ops={"call": 1, "load_store": 1}),
+    )
+    EVENTS = (
+        BeanEvent("OnEnd", "conversion complete (end-of-scan interrupt)"),
+    )
+
+    # ------------------------------------------------------------------
+    def check(self, chip, clock, expert) -> list[Finding]:
+        findings: list[Finding] = []
+        spec = chip.peripheral_spec("adc")
+        if spec is None or spec.count == 0:
+            return [Finding("error", self.name, f"{chip.name} has no ADC")]
+        hw_bits = spec.params.get("resolution_bits", 12)
+        if self.get_property("resolution") > hw_bits:
+            findings.append(
+                Finding(
+                    "error", self.name,
+                    f"requested {self.get_property('resolution')}-bit resolution "
+                    f"exceeds the {hw_bits}-bit converter of {chip.name}",
+                )
+            )
+        channels = spec.params.get("channels", 8)
+        if self.get_property("channel") >= channels:
+            findings.append(
+                Finding(
+                    "error", self.name,
+                    f"channel {self.get_property('channel')} out of range "
+                    f"(converter has {channels} channels)",
+                )
+            )
+        tconv = expert.adc_conversion_time()
+        if tconv is not None:
+            self.set_derived("conversion_time", tconv)
+        return findings
+
+    # ------------------------------------------------------------------
+    def bind(self, device, resource_name) -> None:
+        super().bind(device, resource_name)
+        adc = device.peripheral(resource_name)
+        if self.events["OnEnd"].enabled:
+            adc.irq_vector = self.event_vector("OnEnd")
+        if self.get_property("mode") == "continuous":
+            adc.set_continuous(self.get_property("channel"))
+
+    def _build_impl(self, device) -> dict[str, Any]:
+        adc = device.peripheral(self.resource_name)
+        channel = self.get_property("channel")
+        hw_bits = adc.resolution_bits
+        bean_bits = self.get_property("resolution")
+        shift = max(0, hw_bits - bean_bits)
+
+        def measure(wait: bool = False) -> None:
+            adc.start_conversion(channel)
+
+        def get_value() -> int:
+            return adc.read(channel) >> shift
+
+        return {
+            "Measure": measure,
+            "GetValue": get_value,
+            "Enable": lambda: None,
+            "Disable": lambda: None,
+        }
+
+    # simulation-side helpers -------------------------------------------
+    @property
+    def effective_bits(self) -> int:
+        return int(self.get_property("resolution"))
+
+    def raw_max(self) -> int:
+        return (1 << self.effective_bits) - 1

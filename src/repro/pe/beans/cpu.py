@@ -1,0 +1,68 @@
+"""CPU bean: chip selection and the clock design.
+
+Swapping the project's CPU bean is the paper's portability mechanism; all
+other beans revalidate against the new chip and the application code is
+untouched ("the application design in Simulink therefore becomes HW
+independent", section 1).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.mcu.clock import ClockTree
+from repro.mcu.database import CHIPS, ChipDescriptor, get_chip
+from ..bean import Bean, BeanMethod
+from ..expert import Finding
+from ..properties import DerivedProperty, EnumProperty, FloatProperty, IntProperty
+
+
+class CPUBean(Bean):
+    """Selects the target derivative and its clocking."""
+
+    TYPE = "CPU"
+    RESOURCE = None
+    PROPERTIES = (
+        EnumProperty("chip", sorted(CHIPS), default="MC56F8367",
+                     hint="target derivative"),
+        FloatProperty("xtal", default=0.0, minimum=0.0, unit="Hz",
+                      hint="crystal frequency; 0 selects the chip default"),
+        IntProperty("pll_mult", default=0, minimum=0,
+                    hint="PLL multiplier; 0 selects the chip default"),
+        IntProperty("pll_div", default=0, minimum=0,
+                    hint="PLL divider; 0 selects the chip default"),
+        DerivedProperty("f_sys", hint="achieved core clock (Hz)"),
+        DerivedProperty("f_bus", hint="achieved peripheral clock (Hz)"),
+    )
+    METHODS = (
+        BeanMethod("SetWaitMode", ops={"call": 1, "load_store": 1}),
+        BeanMethod("GetSpeedMode", c_return="word", ops={"call": 1, "load_store": 1}),
+    )
+
+    @property
+    def descriptor(self) -> ChipDescriptor:
+        return get_chip(self.get_property("chip"))
+
+    def clock_tree(self) -> ClockTree:
+        """Build (and validate) the clock tree from the properties."""
+        chip = self.descriptor
+        xtal = self.get_property("xtal") or chip.default_xtal
+        mult = self.get_property("pll_mult") or chip.default_pll_mult
+        div = self.get_property("pll_div") or chip.default_pll_div
+        return ClockTree(xtal, mult, div, f_sys_max=chip.f_sys_max)
+
+    def check(self, chip, clock, expert) -> list[Finding]:
+        findings: list[Finding] = []
+        try:
+            ct = self.clock_tree()
+            self.set_derived("f_sys", ct.f_sys)
+            self.set_derived("f_bus", ct.f_bus)
+        except ValueError as e:
+            findings.append(Finding("error", self.name, str(e)))
+        return findings
+
+    def _build_impl(self, device) -> dict[str, Any]:
+        return {
+            "SetWaitMode": lambda: None,
+            "GetSpeedMode": lambda: 0,
+        }

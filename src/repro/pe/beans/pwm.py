@@ -1,0 +1,100 @@
+"""PWM bean (PE type "PWM")."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..bean import Bean, BeanEvent, BeanMethod
+from ..expert import Finding, RATE_WARNING_THRESHOLD
+from ..properties import DerivedProperty, EnumProperty, FloatProperty, IntProperty
+
+
+class PWMBean(Bean):
+    """Pulse-width modulated output channel."""
+
+    TYPE = "PWM"
+    RESOURCE = "pwm"
+    PROPERTIES = (
+        EnumProperty("device", ["auto", "pwm0", "pwm1"], default="auto",
+                     hint="modulator instance"),
+        IntProperty("channel", default=0, minimum=0, maximum=15,
+                    hint="output channel"),
+        FloatProperty("frequency", default=20e3, minimum=0.01, unit="Hz",
+                      hint="carrier frequency"),
+        EnumProperty("alignment", ["edge", "center"], default="edge",
+                     hint="counter alignment"),
+        EnumProperty("polarity", ["high", "low"], default="high",
+                     hint="active level"),
+        DerivedProperty("achieved_frequency", hint="divider-realised carrier (Hz)"),
+        DerivedProperty("duty_resolution", hint="smallest duty step (fraction)"),
+    )
+    METHODS = (
+        BeanMethod("Enable", ops={"call": 1, "load_store": 2}),
+        BeanMethod("Disable", ops={"call": 1, "load_store": 2}),
+        BeanMethod("SetRatio16", c_args="word Ratio",
+                   ops={"call": 1, "load_store": 3, "int_mul": 1}),
+        BeanMethod("SetDutyPercent", c_args="byte Duty",
+                   ops={"call": 1, "load_store": 3, "int_mul": 1, "int_div": 1}),
+    )
+    EVENTS = (
+        BeanEvent("OnEnd", "PWM period reload interrupt"),
+    )
+
+    # ------------------------------------------------------------------
+    def check(self, chip, clock, expert) -> list[Finding]:
+        findings: list[Finding] = []
+        spec = chip.peripheral_spec("pwm")
+        if spec is None or spec.count == 0:
+            return [Finding("error", self.name, f"{chip.name} has no PWM")]
+        if self.get_property("channel") >= spec.params.get("channels", 6):
+            findings.append(
+                Finding("error", self.name,
+                        f"channel {self.get_property('channel')} out of range")
+            )
+        sol = expert.solve_pwm_frequency(self.get_property("frequency"))
+        if sol is None:
+            findings.append(
+                Finding("error", self.name,
+                        f"carrier {self.get_property('frequency'):.1f} Hz is "
+                        f"unreachable from the {chip.name} bus clock")
+            )
+        else:
+            self.set_derived("achieved_frequency", sol.achieved)
+            self.set_derived("duty_resolution", 1.0 / sol.modulo)
+            if sol.relative_error > RATE_WARNING_THRESHOLD:
+                findings.append(
+                    Finding("warning", self.name,
+                            f"achieved carrier {sol.achieved:.1f} Hz deviates "
+                            f"{sol.relative_error*100:.2f}% from the request")
+                )
+        return findings
+
+    # ------------------------------------------------------------------
+    def bind(self, device, resource_name) -> None:
+        super().bind(device, resource_name)
+        pwm = device.peripheral(resource_name)
+        pwm.alignment = self.get_property("alignment")
+        pwm.configure(self.get_property("frequency"))
+        if self.events["OnEnd"].enabled:
+            pwm.irq_vector = self.event_vector("OnEnd")
+
+    def _build_impl(self, device) -> dict[str, Any]:
+        pwm = device.peripheral(self.resource_name)
+        channel = self.get_property("channel")
+        invert = self.get_property("polarity") == "low"
+
+        def set_ratio16(ratio: int) -> float:
+            frac = (int(ratio) & 0xFFFF) / 65535.0
+            if invert:
+                frac = 1.0 - frac
+            return pwm.set_duty(channel, frac)
+
+        def set_duty_percent(duty: int) -> float:
+            return set_ratio16(int(min(max(duty, 0), 100) * 65535 / 100))
+
+        return {
+            "Enable": lambda: pwm.enable(True),
+            "Disable": lambda: pwm.enable(False),
+            "SetRatio16": set_ratio16,
+            "SetDutyPercent": set_duty_percent,
+        }

@@ -1,0 +1,56 @@
+"""Quadrature decoder bean (PE type "QuadDec") — the case-study feedback
+path for the IRC encoder (section 7)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..bean import Bean, BeanEvent, BeanMethod
+from ..expert import Finding
+from ..properties import BoolProperty, EnumProperty
+
+
+class QuadDecBean(Bean):
+    """Incremental encoder interface."""
+
+    TYPE = "QuadDec"
+    RESOURCE = "qdec"
+    PROPERTIES = (
+        EnumProperty("device", ["auto", "qdec0", "qdec1"], default="auto",
+                     hint="decoder instance"),
+        BoolProperty("reset_on_index", default=False,
+                     hint="zero the position counter on the index pulse"),
+    )
+    METHODS = (
+        BeanMethod("GetPosition", c_return="word",
+                   ops={"call": 1, "load_store": 2}),
+        BeanMethod("SetPosition", c_args="word Position",
+                   ops={"call": 1, "load_store": 2}),
+    )
+    EVENTS = (
+        BeanEvent("OnIndex", "index pulse (one per revolution)"),
+    )
+
+    def check(self, chip, clock, expert) -> list[Finding]:
+        spec = chip.peripheral_spec("qdec")
+        if spec is None or spec.count == 0:
+            return [
+                Finding("error", self.name,
+                        f"{chip.name} has no quadrature decoder; route the "
+                        f"encoder to timer capture inputs instead")
+            ]
+        return []
+
+    def bind(self, device, resource_name) -> None:
+        super().bind(device, resource_name)
+        qdec = device.peripheral(resource_name)
+        qdec.reset_on_index = self.get_property("reset_on_index")
+        if self.events["OnIndex"].enabled:
+            qdec.irq_vector = self.event_vector("OnIndex")
+
+    def _build_impl(self, device) -> dict[str, Any]:
+        qdec = device.peripheral(self.resource_name)
+        return {
+            "GetPosition": qdec.read_position,
+            "SetPosition": qdec.set_position,
+        }

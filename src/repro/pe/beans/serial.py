@@ -1,0 +1,102 @@
+"""Asynchronous serial bean (PE type "AsynchroSerial") — the PIL link's
+MCU-side endpoint."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..bean import Bean, BeanEvent, BeanMethod
+from ..expert import Finding, RATE_WARNING_THRESHOLD
+from ..properties import DerivedProperty, EnumProperty, FloatProperty
+
+#: Above this relative baud error the receiver cannot frame bytes at all.
+BAUD_ERROR_LIMIT = 0.03
+
+
+class AsynchroSerialBean(Bean):
+    """UART channel (8N1)."""
+
+    TYPE = "AsynchroSerial"
+    RESOURCE = "sci"
+    PROPERTIES = (
+        EnumProperty("device", ["auto", "sci0", "sci1", "sci2"], default="auto",
+                     hint="SCI instance"),
+        FloatProperty("baud", default=115200.0, minimum=1.0, unit="baud",
+                      hint="requested baud rate"),
+        DerivedProperty("achieved_baud", hint="divider-realised baud"),
+    )
+    METHODS = (
+        BeanMethod("SendChar", c_args="byte Chr",
+                   ops={"call": 1, "load_store": 3}),
+        BeanMethod("SendBlock", c_args="byte *Ptr, word Size",
+                   ops={"call": 1, "load_store": 6, "branch": 2}),
+        BeanMethod("RecvChar", c_return="byte", c_args="byte *Chr",
+                   ops={"call": 1, "load_store": 3}),
+        BeanMethod("RecvBlock", c_return="word", c_args="byte *Ptr, word Size",
+                   ops={"call": 1, "load_store": 6, "branch": 2}),
+        BeanMethod("GetCharsInRxBuf", c_return="word",
+                   ops={"call": 1, "load_store": 1}),
+    )
+    EVENTS = (
+        BeanEvent("OnRxChar", "byte received"),
+        BeanEvent("OnTxComplete", "byte shifted out"),
+    )
+
+    def check(self, chip, clock, expert) -> list[Finding]:
+        findings: list[Finding] = []
+        spec = chip.peripheral_spec("sci")
+        if spec is None or spec.count == 0:
+            return [Finding("error", self.name, f"{chip.name} has no SCI")]
+        baud = self.get_property("baud")
+        div_max = spec.params.get("divisor_max", 0xFFF)
+        div = max(1, min(div_max, round(clock.f_bus / (16.0 * baud))))
+        achieved = clock.f_bus / (16.0 * div)
+        err = abs(achieved - baud) / baud
+        self.set_derived("achieved_baud", achieved)
+        if err > BAUD_ERROR_LIMIT:
+            findings.append(
+                Finding("error", self.name,
+                        f"baud {baud:.0f} has {err*100:.1f}% divider error on "
+                        f"{chip.name} — receiver cannot frame bytes")
+            )
+        elif err > RATE_WARNING_THRESHOLD:
+            findings.append(
+                Finding("warning", self.name,
+                        f"achieved baud {achieved:.0f} deviates {err*100:.2f}% "
+                        f"from the request")
+            )
+        return findings
+
+    def bind(self, device, resource_name) -> None:
+        super().bind(device, resource_name)
+        sci = device.peripheral(resource_name)
+        sci.configure(self.get_property("baud"))
+        if self.events["OnRxChar"].enabled:
+            sci.rx_irq_vector = self.event_vector("OnRxChar")
+        if self.events["OnTxComplete"].enabled:
+            sci.tx_irq_vector = self.event_vector("OnTxComplete")
+
+    def _build_impl(self, device) -> dict[str, Any]:
+        sci = device.peripheral(self.resource_name)
+
+        def send_char(chr_: int) -> int:
+            return sci.send(bytes([chr_ & 0xFF]))
+
+        def recv_char() -> int:
+            data = sci.receive(1)
+            return data[0] if data else -1
+
+        return {
+            "SendChar": send_char,
+            "SendBlock": lambda data: sci.send(bytes(data)),
+            "RecvChar": recv_char,
+            "RecvBlock": lambda n: sci.receive(n),
+            "GetCharsInRxBuf": lambda: sci.rx_available,
+        }
+
+    @property
+    def sci(self):
+        """The bound SCI peripheral (for wiring to a serial line)."""
+        if not self.bound:
+            raise RuntimeError(f"bean '{self.name}' not bound")
+        return self.device.peripheral(self.resource_name)

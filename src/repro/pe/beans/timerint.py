@@ -1,0 +1,73 @@
+"""Periodic interrupt bean (PE type "TimerInt").
+
+The control loop's heartbeat: the PEERT runtime executes the periodic
+model step inside this bean's ``OnInterrupt`` event (section 5).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..bean import Bean, BeanEvent, BeanMethod
+from ..expert import Finding, RATE_WARNING_THRESHOLD
+from ..properties import DerivedProperty, EnumProperty, FloatProperty
+
+
+class TimerIntBean(Bean):
+    """Periodic interrupt source."""
+
+    TYPE = "TimerInt"
+    RESOURCE = "timer"
+    PROPERTIES = (
+        EnumProperty("device", ["auto", "timer0", "timer1", "timer2", "timer3"],
+                     default="auto", hint="counter instance"),
+        FloatProperty("period", default=1e-3, minimum=1e-9, unit="s",
+                      hint="interrupt period"),
+        DerivedProperty("achieved_period", hint="divider-realised period (s)"),
+    )
+    METHODS = (
+        BeanMethod("Enable", ops={"call": 1, "load_store": 2}),
+        BeanMethod("Disable", ops={"call": 1, "load_store": 2}),
+    )
+    EVENTS = (
+        BeanEvent("OnInterrupt", "periodic tick", enabled=True),
+    )
+
+    def check(self, chip, clock, expert) -> list[Finding]:
+        findings: list[Finding] = []
+        spec = chip.peripheral_spec("timer")
+        if spec is None or spec.count == 0:
+            return [Finding("error", self.name, f"{chip.name} has no timer")]
+        sol = expert.solve_timer_period(self.get_property("period"))
+        if sol is None:
+            findings.append(
+                Finding("error", self.name,
+                        f"period {self.get_property('period')} s is unreachable "
+                        f"on the {chip.name} counter")
+            )
+        else:
+            self.set_derived("achieved_period", sol.achieved)
+            if sol.relative_error > RATE_WARNING_THRESHOLD:
+                findings.append(
+                    Finding("warning", self.name,
+                            f"achieved period {sol.achieved:.3e} s deviates "
+                            f"{sol.relative_error*100:.2f}% from the request")
+                )
+        return findings
+
+    def bind(self, device, resource_name) -> None:
+        super().bind(device, resource_name)
+        timer = device.peripheral(resource_name)
+        timer.configure(self.get_property("period"))
+        timer.irq_vector = self.event_vector("OnInterrupt")
+
+    def _build_impl(self, device) -> dict[str, Any]:
+        timer = device.peripheral(self.resource_name)
+        return {
+            "Enable": timer.start,
+            "Disable": timer.stop,
+        }
+
+    @property
+    def achieved_period(self) -> float:
+        return float(self.get_property("achieved_period"))

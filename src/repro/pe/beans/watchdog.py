@@ -1,0 +1,49 @@
+"""Watchdog bean (PE type "WatchDog")."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..bean import Bean, BeanEvent, BeanMethod
+from ..expert import Finding
+from ..properties import FloatProperty
+
+
+class WatchDogBean(Bean):
+    """Computer-operating-properly timer."""
+
+    TYPE = "WatchDog"
+    RESOURCE = "wdog"
+    PROPERTIES = (
+        FloatProperty("timeout", default=10e-3, minimum=1e-6, unit="s",
+                      hint="reset deadline; Clear must be called within it"),
+    )
+    METHODS = (
+        BeanMethod("Enable", ops={"call": 1, "load_store": 2}),
+        BeanMethod("Disable", ops={"call": 1, "load_store": 2}),
+        BeanMethod("Clear", ops={"call": 1, "load_store": 2}),
+    )
+    EVENTS = (
+        BeanEvent("OnWatchDog", "deadline missed (pre-reset interrupt)"),
+    )
+
+    def check(self, chip, clock, expert) -> list[Finding]:
+        spec = chip.peripheral_spec("wdog")
+        if spec is None or spec.count == 0:
+            return [Finding("error", self.name, f"{chip.name} has no watchdog")]
+        return []
+
+    def bind(self, device, resource_name) -> None:
+        super().bind(device, resource_name)
+        wd = device.peripheral(resource_name)
+        wd.configure(self.get_property("timeout"))
+        if self.events["OnWatchDog"].enabled:
+            wd.irq_vector = self.event_vector("OnWatchDog")
+
+    def _build_impl(self, device) -> dict[str, Any]:
+        wd = device.peripheral(self.resource_name)
+        return {
+            "Enable": wd.start,
+            "Disable": wd.stop,
+            "Clear": wd.kick,
+        }

@@ -1,0 +1,212 @@
+"""The expert system: resource allocation and design validation.
+
+"Some design parameters, such as settings of common prescalers or useable
+resources for the needed functionality are calculated by the expert
+system.  Verification of user decisions is provided." (section 4)
+
+The expert system answers three questions about a set of configured beans
+and a selected chip:
+
+1. **Allocation** — which concrete on-chip instance serves each bean, with
+   conflicts (two beans on one timer, more ADC beans than converters)
+   reported as errors;
+2. **Derivation** — what dividers realise each requested rate, and how far
+   the achieved value is from the request;
+3. **Feasibility** — cross-cutting timing checks (e.g. an ADC whose
+   conversion time exceeds the sampling period, CPU utilisation above 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.mcu.clock import ClockTree, DividerSolution, PrescalerChain
+from repro.mcu.database import ChipDescriptor
+
+#: Achieved-vs-requested relative error above which a derived divider
+#: setting is reported as a warning.
+RATE_WARNING_THRESHOLD = 0.01
+
+
+class ResourceConflictError(Exception):
+    """Raised when allocation cannot satisfy the bean set."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One validation message."""
+
+    level: str  # "error" | "warning" | "info"
+    bean: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - presentation
+        return f"[{self.level}] {self.bean}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a project validation pass."""
+
+    findings: list[Finding] = field(default_factory=list)
+    allocation: dict[str, str] = field(default_factory=dict)
+
+    def add(self, level: str, bean: str, message: str) -> None:
+        self.findings.append(Finding(level, bean, message))
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.level == "error"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.level == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.findings)} finding(s) total"
+        )
+
+
+class ExpertSystem:
+    """Knowledge-base reasoning for one chip."""
+
+    def __init__(self, chip: ChipDescriptor, clock: Optional[ClockTree] = None):
+        self.chip = chip
+        self.clock = clock or ClockTree(
+            chip.default_xtal, chip.default_pll_mult, chip.default_pll_div,
+            f_sys_max=chip.f_sys_max,
+        )
+
+    # ------------------------------------------------------------------
+    # divider derivation
+    # ------------------------------------------------------------------
+    def _chain_for(self, kind: str) -> Optional[PrescalerChain]:
+        spec = self.chip.peripheral_spec(kind)
+        if spec is None:
+            return None
+        params = spec.params
+        if "prescalers" in params and "modulo_max" in params:
+            return PrescalerChain(params["prescalers"], params["modulo_max"])
+        return None
+
+    def solve_timer_period(self, period: float) -> Optional[DividerSolution]:
+        chain = self._chain_for("timer")
+        if chain is None:
+            return None
+        return chain.solve_period(self.clock.f_bus, period)
+
+    def solve_pwm_frequency(self, frequency: float) -> Optional[DividerSolution]:
+        chain = self._chain_for("pwm")
+        if chain is None:
+            return None
+        return chain.solve_rate(self.clock.f_bus, frequency)
+
+    def adc_conversion_time(self) -> Optional[float]:
+        spec = self.chip.peripheral_spec("adc")
+        if spec is None:
+            return None
+        return spec.params.get("conversion_cycles", 50) / self.clock.f_bus
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def allocate(self, beans: Sequence[Any], report: ValidationReport) -> dict[str, str]:
+        """Assign a concrete peripheral instance to each resource-hungry
+        bean.  Beans may pin a device via a ``device`` property (e.g.
+        ``"adc1"``); the rest are packed onto the remaining instances."""
+        remaining: dict[str, list[str]] = {}
+        for spec in self.chip.peripherals:
+            remaining[spec.kind] = [f"{spec.kind}{i}" for i in range(spec.count)]
+
+        allocation: dict[str, str] = {}
+        # pass 1: explicit requests
+        for bean in beans:
+            kind = bean.RESOURCE
+            if kind is None:
+                continue
+            wanted = None
+            try:
+                wanted = bean.get_property("device")
+            except Exception:
+                wanted = None
+            if not wanted or wanted == "auto":
+                continue
+            pool = remaining.get(kind, [])
+            if wanted not in pool:
+                if kind not in remaining or wanted not in [
+                    f"{kind}{i}" for i in range(self.chip.peripheral_spec(kind).count if self.chip.peripheral_spec(kind) else 0)
+                ]:
+                    report.add("error", bean.name, f"{self.chip.name} has no {kind} instance '{wanted}'")
+                else:
+                    report.add("error", bean.name, f"{kind} instance '{wanted}' already allocated")
+                continue
+            pool.remove(wanted)
+            allocation[bean.name] = wanted
+        # pass 2: automatic packing
+        for bean in beans:
+            kind = bean.RESOURCE
+            if kind is None or bean.name in allocation:
+                continue
+            pool = remaining.get(kind)
+            if not pool:
+                if self.chip.peripheral_spec(kind) is None or self.chip.peripheral_spec(kind).count == 0:
+                    report.add(
+                        "error", bean.name,
+                        f"{self.chip.name} has no on-chip {kind}; bean type {bean.TYPE} unsupported",
+                    )
+                else:
+                    report.add(
+                        "error", bean.name,
+                        f"all {kind} instances of {self.chip.name} are already allocated",
+                    )
+                continue
+            allocation[bean.name] = pool.pop(0)
+        report.allocation = allocation
+        return allocation
+
+    # ------------------------------------------------------------------
+    # project-level validation
+    # ------------------------------------------------------------------
+    def validate(self, beans: Sequence[Any]) -> ValidationReport:
+        """Full pass: allocation, per-bean checks, cross-bean feasibility."""
+        report = ValidationReport()
+        names = [b.name for b in beans]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            report.add("error", dupes[0], "duplicate bean name in project")
+        self.allocate(beans, report)
+        for bean in beans:
+            for finding in bean.check(self.chip, self.clock, self):
+                report.findings.append(finding)
+        self._check_pin_budget(beans, report)
+        return report
+
+    def _check_pin_budget(self, beans: Sequence[Any], report: ValidationReport) -> None:
+        pins_used: dict[int, str] = {}
+        for bean in beans:
+            try:
+                pin = bean.get_property("pin")
+            except Exception:
+                continue
+            if pin is None:
+                continue
+            if pin in pins_used:
+                report.add(
+                    "error", bean.name,
+                    f"pin {pin} already used by bean '{pins_used[pin]}'",
+                )
+            elif not (0 <= pin < self.chip.pin_count):
+                report.add(
+                    "error", bean.name,
+                    f"pin {pin} outside the {self.chip.name} package "
+                    f"(0..{self.chip.pin_count - 1})",
+                )
+            else:
+                pins_used[pin] = bean.name

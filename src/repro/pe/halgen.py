@@ -1,0 +1,196 @@
+"""HAL C source generation.
+
+Generates the per-bean driver sources the way Processor Expert does: one
+``.h`` with the uniform method API and one ``.c`` whose *body* is chip-
+specific (register names, divider constants from the expert system) while
+the *interface* is chip-independent — the property experiment E4 checks by
+diffing the headers across retargets.
+
+Two API styles exist because the paper maintains two block-set variants
+(section 8): the native PE style (``AD1_Measure``) and an AUTOSAR-flavoured
+style (``Adc_StartGroupConversion``) whose names follow the MCAL modules.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .bean import Bean
+    from .project import PEProject
+
+
+class ApiStyle(enum.Enum):
+    PE = "pe"
+    AUTOSAR = "autosar"
+
+
+#: bean TYPE -> AUTOSAR MCAL module prefix
+_AUTOSAR_MODULES = {
+    "ADC": "Adc",
+    "PWM": "Pwm",
+    "TimerInt": "Gpt",
+    "QuadDec": "Icu",
+    "BitIO": "Dio",
+    "AsynchroSerial": "Uart",
+    "WatchDog": "Wdg",
+    "CPU": "Mcu",
+}
+
+#: (bean TYPE, PE method) -> AUTOSAR service name
+_AUTOSAR_METHODS = {
+    ("ADC", "Measure"): "StartGroupConversion",
+    ("ADC", "GetValue"): "ReadGroup",
+    ("ADC", "Enable"): "Init",
+    ("ADC", "Disable"): "DeInit",
+    ("PWM", "SetRatio16"): "SetDutyCycle",
+    ("PWM", "SetDutyPercent"): "SetDutyCyclePercent",
+    ("PWM", "Enable"): "EnableNotification",
+    ("PWM", "Disable"): "DisableNotification",
+    ("TimerInt", "Enable"): "StartTimer",
+    ("TimerInt", "Disable"): "StopTimer",
+    ("QuadDec", "GetPosition"): "GetEdgeNumbers",
+    ("QuadDec", "SetPosition"): "SetEdgeNumbers",
+    ("BitIO", "GetVal"): "ReadChannel",
+    ("BitIO", "PutVal"): "WriteChannel",
+    ("BitIO", "NegVal"): "FlipChannel",
+    ("AsynchroSerial", "SendChar"): "Transmit",
+    ("AsynchroSerial", "RecvChar"): "Receive",
+    ("WatchDog", "Clear"): "Trigger",
+}
+
+
+def method_symbol(bean: "Bean", method: str, style: ApiStyle) -> str:
+    """The generated C symbol for one bean method in the given style."""
+    if style is ApiStyle.PE:
+        return f"{bean.name}_{method}"
+    module = _AUTOSAR_MODULES.get(bean.TYPE, bean.TYPE)
+    service = _AUTOSAR_METHODS.get((bean.TYPE, method), method)
+    return f"{module}_{service}_{bean.name}"
+
+
+@dataclass
+class HalBundle:
+    """A generated set of C sources (filename -> contents)."""
+
+    style: ApiStyle
+    chip: str
+    files: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def total_loc(self) -> int:
+        return sum(src.count("\n") + 1 for src in self.files.values())
+
+    def headers(self) -> dict[str, str]:
+        return {n: s for n, s in self.files.items() if n.endswith(".h")}
+
+    def sources(self) -> dict[str, str]:
+        return {n: s for n, s in self.files.items() if n.endswith(".c")}
+
+    def symbol_table(self) -> set[str]:
+        """All generated public function names (from the headers)."""
+        symbols: set[str] = set()
+        for src in self.headers().values():
+            for line in src.splitlines():
+                line = line.strip()
+                if line.endswith(");") and "(" in line and not line.startswith(("/*", "*", "#")):
+                    name = line.split("(")[0].split()[-1].lstrip("*")
+                    symbols.add(name)
+        return symbols
+
+
+def _header_for(bean: "Bean", style: ApiStyle, chip: str) -> str:
+    guard = f"__{bean.name.upper()}_H"
+    lines = [
+        f"/* {bean.name}.h — {bean.TYPE} bean interface",
+        f" * Generated for: {chip}  (API style: {style.value})",
+        " * NOTE: this interface is identical for every supported MCU;",
+        " *       only the matching .c body is chip-specific.",
+        " */",
+        f"#ifndef {guard}",
+        f"#define {guard}",
+        "",
+        '#include "PE_Types.h"',
+        "",
+        f"void {bean.name}_Init(void);",
+    ]
+    for m in bean.methods.values():
+        sym = method_symbol(bean, m.name, style)
+        lines.append(f"{m.c_return} {sym}({m.c_args});")
+    for e in bean.events.values():
+        if e.enabled:
+            lines.append(f"void {bean.name}_{e.name}(void); /* event callback */")
+    lines += ["", f"#endif /* {guard} */", ""]
+    return "\n".join(lines)
+
+
+def _init_body(bean: "Bean", chip: str) -> list[str]:
+    """Synthesised register initialisation from the validated properties —
+    the chip-specific part of the driver."""
+    lines = [f"void {bean.name}_Init(void)", "{"]
+    for pname in list(bean._values) + list(bean._derived):
+        try:
+            value = bean.get_property(pname)
+        except Exception:
+            continue
+        reg = f"{bean.TYPE.upper()}_{pname.upper()}_REG"
+        if isinstance(value, float):
+            lines.append(f"    /* {pname} = {value!r} */")
+        else:
+            lines.append(f"    {reg} = {value!r}; /* {chip} */".replace("'", '"'))
+    lines.append("}")
+    return lines
+
+
+def _source_for(bean: "Bean", style: ApiStyle, chip: str) -> str:
+    lines = [
+        f"/* {bean.name}.c — {bean.TYPE} driver body for {chip}.",
+        " * Machine generated; do not edit.",
+        " */",
+        f'#include "{bean.name}.h"',
+        "",
+    ]
+    lines += _init_body(bean, chip)
+    lines.append("")
+    for m in bean.methods.values():
+        sym = method_symbol(bean, m.name, style)
+        lines.append(f"{m.c_return} {sym}({m.c_args})")
+        lines.append("{")
+        for op, n in m.ops.items():
+            lines.append(f"    /* ~{n:g} x {op} on the {chip} core */")
+        if m.c_return != "void":
+            lines.append(f"    return ({m.c_return})0; /* value path bound in simulation */")
+        lines.append("}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def generate_hal(project: "PEProject", style: ApiStyle = ApiStyle.PE) -> HalBundle:
+    """Generate headers and sources for every bean in the project."""
+    chip = project.chip.name
+    bundle = HalBundle(style=style, chip=chip)
+    bundle.files["PE_Types.h"] = _pe_types()
+    for bean in project.all_beans():
+        bundle.files[f"{bean.name}.h"] = _header_for(bean, style, chip)
+        bundle.files[f"{bean.name}.c"] = _source_for(bean, style, chip)
+    return bundle
+
+
+def _pe_types() -> str:
+    return "\n".join(
+        [
+            "/* PE_Types.h — shared scalar typedefs (Processor Expert style). */",
+            "#ifndef __PE_TYPES_H",
+            "#define __PE_TYPES_H",
+            "typedef unsigned char bool;",
+            "typedef unsigned char byte;",
+            "typedef unsigned short word;",
+            "typedef unsigned long dword;",
+            "typedef signed short int16;",
+            "typedef signed long int32;",
+            "#endif /* __PE_TYPES_H */",
+            "",
+        ]
+    )

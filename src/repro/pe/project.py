@@ -1,0 +1,150 @@
+"""The Processor Expert project.
+
+A PE project is the bean set plus the selected CPU.  The paper's workflow
+touches it three ways:
+
+* the Simulink model synchronises blocks into beans (handled by
+  :mod:`repro.core.sync`);
+* the expert system validates the whole set against the chip
+  (:meth:`PEProject.validate`);
+* code generation produces the HAL sources and — uniquely to this
+  reproduction — *binds* the beans onto a simulated
+  :class:`~repro.mcu.device.MCUDevice`, which is the step that stands in
+  for flashing a development board.
+
+Retargeting is one call: :meth:`set_cpu` swaps the CPU bean and every
+other bean revalidates, the paper's portability claim (experiment E4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.mcu.device import MCUDevice
+from repro.mcu.interrupts import DispatchMode
+
+from .bean import Bean
+from .beans.cpu import CPUBean
+from .expert import ExpertSystem, ValidationReport
+from .halgen import ApiStyle, HalBundle, generate_hal
+
+
+class PEProjectError(Exception):
+    """Project-level failure (validation errors at generation time, etc.)."""
+
+
+class PEProject:
+    """Bean container bound to one target CPU."""
+
+    def __init__(self, name: str, cpu: Union[CPUBean, str] = "MC56F8367"):
+        self.name = name
+        if isinstance(cpu, str):
+            cpu = CPUBean("Cpu", chip=cpu)
+        self.cpu = cpu
+        self.beans: dict[str, Bean] = {}
+        self.generation_count = 0
+        #: edit observers, called as fn(event, *names) — counterpart of the
+        #: Model observer list for the bidirectional sync bus
+        self.observers: list = []
+
+    def _notify(self, event: str, *names: str) -> None:
+        for fn in self.observers:
+            fn(event, *names)
+
+    # ------------------------------------------------------------------
+    # bean management (driven directly or through the model sync bus)
+    # ------------------------------------------------------------------
+    def add_bean(self, bean: Bean) -> Bean:
+        if bean.name in self.beans or bean.name == self.cpu.name:
+            raise PEProjectError(f"duplicate bean name '{bean.name}'")
+        self.beans[bean.name] = bean
+        self._notify("add", bean.name)
+        return bean
+
+    def remove_bean(self, name: str) -> None:
+        if name not in self.beans:
+            raise PEProjectError(f"no bean named '{name}'")
+        del self.beans[name]
+        self._notify("remove", name)
+
+    def rename_bean(self, old: str, new: str) -> None:
+        if old not in self.beans:
+            raise PEProjectError(f"no bean named '{old}'")
+        if new in self.beans:
+            raise PEProjectError(f"duplicate bean name '{new}'")
+        bean = self.beans.pop(old)
+        bean.name = new
+        self.beans[new] = bean
+        self._notify("rename", old, new)
+
+    def bean(self, name: str) -> Bean:
+        try:
+            return self.beans[name]
+        except KeyError:
+            raise PEProjectError(
+                f"no bean named '{name}'; project has {sorted(self.beans)}"
+            ) from None
+
+    def all_beans(self) -> list[Bean]:
+        """CPU bean first, then the peripheral beans in insertion order."""
+        return [self.cpu, *self.beans.values()]
+
+    # ------------------------------------------------------------------
+    # retargeting
+    # ------------------------------------------------------------------
+    def set_cpu(self, cpu: Union[CPUBean, str]) -> ValidationReport:
+        """Swap the target chip ("selecting another CPU bean in the PE
+        project window") and revalidate everything."""
+        if isinstance(cpu, str):
+            cpu = CPUBean(self.cpu.name, chip=cpu)
+        self.cpu = cpu
+        return self.validate()
+
+    @property
+    def chip(self):
+        return self.cpu.descriptor
+
+    # ------------------------------------------------------------------
+    # validation and generation
+    # ------------------------------------------------------------------
+    def expert(self) -> ExpertSystem:
+        return ExpertSystem(self.cpu.descriptor, self.cpu.clock_tree())
+
+    def validate(self) -> ValidationReport:
+        """Run the expert system over the full bean set."""
+        return self.expert().validate(self.all_beans())
+
+    def generate_hal(self, style: ApiStyle = ApiStyle.PE) -> HalBundle:
+        """Generate the HAL C sources (refuses on validation errors)."""
+        report = self.validate()
+        if not report.ok:
+            raise PEProjectError(
+                "cannot generate code with validation errors:\n"
+                + "\n".join(str(f) for f in report.errors)
+            )
+        self.generation_count += 1
+        return generate_hal(self, style)
+
+    def build_device(
+        self, dispatch_mode: DispatchMode = DispatchMode.NONPREEMPTIVE
+    ) -> MCUDevice:
+        """Instantiate the target MCU and bind every bean to its allocated
+        peripheral — the simulation equivalent of flash-and-boot."""
+        report = self.validate()
+        if not report.ok:
+            raise PEProjectError(
+                "cannot build with validation errors:\n"
+                + "\n".join(str(f) for f in report.errors)
+            )
+        device = MCUDevice(self.cpu.descriptor, self.cpu.clock_tree(),
+                           dispatch_mode=dispatch_mode)
+        self.cpu.bind(device, None)
+        for bean in self.beans.values():
+            bean.bind(device, report.allocation.get(bean.name))
+        return device
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PEProject '{self.name}' on {self.cpu.get_property('chip')}: "
+            f"{len(self.beans)} beans>"
+        )

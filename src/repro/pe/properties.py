@@ -1,0 +1,169 @@
+"""Typed bean properties with immediate validation.
+
+"Bean properties are used to specify the HW setting at the design-time.
+Since it is done via well arranged dialogs of the Bean Inspector menu, it
+is not necessary to study the HW details and the registers values"
+(section 4).  A :class:`Property` is one row of that inspector: a typed
+value, its allowed domain, and a human-readable hint.  Assigning an
+invalid value raises :class:`BeanConfigError` at assignment time — the
+design-time validation the paper contrasts with error-prone manual
+register work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+
+class BeanConfigError(Exception):
+    """An invalid bean configuration, caught at design time."""
+
+    def __init__(self, bean: str, prop: str, message: str):
+        self.bean = bean
+        self.prop = prop
+        super().__init__(f"{bean}.{prop}: {message}")
+
+
+class Property:
+    """Base property: name, default, docstring-ish hint."""
+
+    def __init__(self, name: str, default: Any = None, hint: str = ""):
+        self.name = name
+        self.default = default
+        self.hint = hint
+
+    def validate(self, bean_name: str, value: Any) -> Any:
+        """Return the normalised value or raise :class:`BeanConfigError`."""
+        return value
+
+    def describe(self) -> str:
+        """Inspector row text for the allowed domain."""
+        return "any value"
+
+
+class EnumProperty(Property):
+    """Value restricted to a fixed choice list."""
+
+    def __init__(self, name: str, choices: Sequence[Any], default: Any = None, hint: str = ""):
+        if not choices:
+            raise ValueError("choices must be non-empty")
+        super().__init__(name, default if default is not None else choices[0], hint)
+        self.choices = list(choices)
+
+    def validate(self, bean_name: str, value: Any) -> Any:
+        if value not in self.choices:
+            raise BeanConfigError(
+                bean_name, self.name, f"{value!r} not in {self.choices!r}"
+            )
+        return value
+
+    def describe(self) -> str:
+        return f"one of {self.choices!r}"
+
+
+class IntProperty(Property):
+    """Bounded integer."""
+
+    def __init__(
+        self,
+        name: str,
+        default: int = 0,
+        minimum: Optional[int] = None,
+        maximum: Optional[int] = None,
+        hint: str = "",
+    ):
+        super().__init__(name, default, hint)
+        self.minimum = minimum
+        self.maximum = maximum
+
+    def validate(self, bean_name: str, value: Any) -> int:
+        try:
+            v = int(value)
+        except (TypeError, ValueError):
+            raise BeanConfigError(bean_name, self.name, f"{value!r} is not an integer") from None
+        if v != value and not isinstance(value, bool) and float(value) != v:
+            raise BeanConfigError(bean_name, self.name, f"{value!r} is not an integer")
+        if self.minimum is not None and v < self.minimum:
+            raise BeanConfigError(bean_name, self.name, f"{v} < minimum {self.minimum}")
+        if self.maximum is not None and v > self.maximum:
+            raise BeanConfigError(bean_name, self.name, f"{v} > maximum {self.maximum}")
+        return v
+
+    def describe(self) -> str:
+        lo = "-inf" if self.minimum is None else str(self.minimum)
+        hi = "+inf" if self.maximum is None else str(self.maximum)
+        return f"integer in [{lo}, {hi}]"
+
+
+class FloatProperty(Property):
+    """Bounded real value (frequencies, periods, voltages)."""
+
+    def __init__(
+        self,
+        name: str,
+        default: float = 0.0,
+        minimum: Optional[float] = None,
+        maximum: Optional[float] = None,
+        unit: str = "",
+        hint: str = "",
+    ):
+        super().__init__(name, default, hint)
+        self.minimum = minimum
+        self.maximum = maximum
+        self.unit = unit
+
+    def validate(self, bean_name: str, value: Any) -> float:
+        try:
+            v = float(value)
+        except (TypeError, ValueError):
+            raise BeanConfigError(bean_name, self.name, f"{value!r} is not a number") from None
+        if v != v:  # NaN
+            raise BeanConfigError(bean_name, self.name, "NaN is not allowed")
+        if self.minimum is not None and v < self.minimum:
+            raise BeanConfigError(
+                bean_name, self.name, f"{v} {self.unit} < minimum {self.minimum} {self.unit}"
+            )
+        if self.maximum is not None and v > self.maximum:
+            raise BeanConfigError(
+                bean_name, self.name, f"{v} {self.unit} > maximum {self.maximum} {self.unit}"
+            )
+        return v
+
+    def describe(self) -> str:
+        lo = "-inf" if self.minimum is None else f"{self.minimum}"
+        hi = "+inf" if self.maximum is None else f"{self.maximum}"
+        u = f" {self.unit}" if self.unit else ""
+        return f"real in [{lo}, {hi}]{u}"
+
+
+class BoolProperty(Property):
+    """Enabled/disabled style setting."""
+
+    def __init__(self, name: str, default: bool = False, hint: str = ""):
+        super().__init__(name, bool(default), hint)
+
+    def validate(self, bean_name: str, value: Any) -> bool:
+        if isinstance(value, bool):
+            return value
+        if value in (0, 1):
+            return bool(value)
+        raise BeanConfigError(bean_name, self.name, f"{value!r} is not a boolean")
+
+    def describe(self) -> str:
+        return "yes / no"
+
+
+class DerivedProperty(Property):
+    """Read-only value computed by the expert system (e.g. the achieved
+    timer period).  Users cannot assign it."""
+
+    def __init__(self, name: str, default: Any = None, hint: str = ""):
+        super().__init__(name, default, hint)
+
+    def validate(self, bean_name: str, value: Any) -> Any:
+        raise BeanConfigError(
+            bean_name, self.name, "read-only property computed by the expert system"
+        )
+
+    def describe(self) -> str:
+        return "computed (read-only)"

@@ -1,0 +1,33 @@
+"""Plant models for the case study.
+
+Paper section 7: "a speed control of a mechanically commutated DC motor.
+The motor is actuated by a power transistor switched by a pulse width
+modulated (PWM) signal from the MCU.  The feedback is provided by an
+incremental rotating encoder (IRC) ... A few button keyboard is used to
+set the speed set-point and switch between the manual and the automatic
+control mode."
+
+* :class:`DCMotor` — electrical (R, L, back-EMF) + mechanical (J, b,
+  Coulomb friction, load torque) dynamics;
+* :class:`PowerStage` — transistor H-bridge averaged over the PWM carrier;
+* :class:`IRCEncoder` — quadrature count generation (x4 decoding grid);
+* :mod:`repro.plants.operator_panel` — the keyboard chart;
+* :func:`build_servo_plant` — the assembled plant subsystem of Fig. 7.1.
+"""
+
+from .dc_motor import DCMotor, MotorParams, MAXON_24V
+from .power_stage import PowerStage
+from .encoder import IRCEncoder
+from .operator_panel import build_keyboard_chart, PanelState
+from .assembly import build_servo_plant
+
+__all__ = [
+    "DCMotor",
+    "MotorParams",
+    "MAXON_24V",
+    "PowerStage",
+    "IRCEncoder",
+    "build_keyboard_chart",
+    "PanelState",
+    "build_servo_plant",
+]

@@ -1,0 +1,61 @@
+"""Assembled plant subsystem (the right half of Fig. 7.1)."""
+
+from __future__ import annotations
+
+from repro.model.library import Bias, Gain, Inport, Outport, Saturation, Subsystem
+
+from .dc_motor import DCMotor, MotorParams, MAXON_24V
+from .encoder import IRCEncoder
+from .power_stage import PowerStage
+
+#: Tachometer scaling: mid-rail at zero speed, rails at +/-500 rad/s.
+TACHO_OFFSET_V = 1.65
+TACHO_GAIN_V_PER_RAD_S = 1.65 / 500.0
+
+
+def build_servo_plant(
+    name: str = "plant",
+    motor: MotorParams = MAXON_24V,
+    v_supply: float = 24.0,
+    ppr: int = 100,
+    bipolar: bool = True,
+) -> Subsystem:
+    """Power stage -> DC motor -> IRC encoder (+ analogue tacho).
+
+    Ports:
+      in  0 — PWM duty (0..1)
+      in  1 — load torque (N m)
+      out 0 — encoder count (x4 quadrature, 16-bit wrap)
+      out 1 — true shaft speed (rad/s) — measurement truth for analysis
+      out 2 — motor current (A)
+      out 3 — tachometer voltage (0..3.3 V, mid-rail at standstill) — the
+              analogue speed path for the ADC-feedback variant
+    """
+    sub = Subsystem(name)
+    m = sub.inner
+    duty_in = m.add(Inport("duty", index=0))
+    load_in = m.add(Inport("load", index=1))
+    stage = m.add(PowerStage("stage", v_supply=v_supply, bipolar=bipolar))
+    motor_b = m.add(DCMotor("motor", params=motor))
+    enc = m.add(IRCEncoder("encoder", ppr=ppr))
+    count_out = m.add(Outport("count", index=0))
+    speed_out = m.add(Outport("speed", index=1))
+    current_out = m.add(Outport("current", index=2))
+
+    tacho_gain = m.add(Gain("tacho_gain", gain=TACHO_GAIN_V_PER_RAD_S))
+    tacho_bias = m.add(Bias("tacho_bias", bias=TACHO_OFFSET_V))
+    tacho_clip = m.add(Saturation("tacho_clip", lower=0.0, upper=3.3))
+    tacho_out = m.add(Outport("tacho", index=3))
+
+    m.connect(duty_in, stage)
+    m.connect(stage, motor_b, 0, DCMotor.IN_VOLTAGE)
+    m.connect(load_in, motor_b, 0, DCMotor.IN_LOAD)
+    m.connect(motor_b, enc, DCMotor.OUT_ANGLE, 0)
+    m.connect(enc, count_out, IRCEncoder.OUT_COUNT, 0)
+    m.connect(motor_b, speed_out, DCMotor.OUT_SPEED, 0)
+    m.connect(motor_b, current_out, DCMotor.OUT_CURRENT, 0)
+    m.connect(motor_b, tacho_gain, DCMotor.OUT_SPEED, 0)
+    m.connect(tacho_gain, tacho_bias)
+    m.connect(tacho_bias, tacho_clip)
+    m.connect(tacho_clip, tacho_out)
+    return sub

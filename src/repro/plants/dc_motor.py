@@ -1,0 +1,107 @@
+"""Mechanically commutated DC motor model.
+
+Standard two-state electromechanical dynamics plus the shaft angle::
+
+    L di/dt = v - R i - Ke w
+    J dw/dt = Kt i - b w - tau_c sign(w) - tau_load
+    dtheta/dt = w
+
+Inputs: terminal voltage, load torque.  Outputs: speed (rad/s), angle
+(rad), current (A).  The Coulomb term is smoothed near zero speed to keep
+the fixed-step solver well behaved.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.model.block import Block, BlockContext, CONTINUOUS
+
+
+@dataclass(frozen=True)
+class MotorParams:
+    """Electromechanical constants."""
+
+    R: float          # winding resistance (ohm)
+    L: float          # winding inductance (H)
+    Kt: float         # torque constant (N m / A)
+    Ke: float         # back-EMF constant (V s / rad)
+    J: float          # rotor + load inertia (kg m^2)
+    b: float          # viscous friction (N m s / rad)
+    tau_coulomb: float = 0.0   # Coulomb friction torque (N m)
+    v_nominal: float = 24.0    # nominal terminal voltage (V)
+
+    def __post_init__(self) -> None:
+        for fieldname in ("R", "L", "Kt", "Ke", "J"):
+            if getattr(self, fieldname) <= 0:
+                raise ValueError(f"motor parameter {fieldname} must be positive")
+        if self.b < 0 or self.tau_coulomb < 0:
+            raise ValueError("friction terms must be non-negative")
+
+    @property
+    def no_load_speed(self) -> float:
+        """Steady-state speed at nominal voltage, no load (rad/s)."""
+        return (
+            self.v_nominal * self.Kt
+            / (self.R * self.b + self.Kt * self.Ke)
+        )
+
+    @property
+    def mech_time_constant(self) -> float:
+        """Dominant mechanical time constant (s)."""
+        return self.R * self.J / (self.R * self.b + self.Kt * self.Ke)
+
+    @property
+    def elec_time_constant(self) -> float:
+        return self.L / self.R
+
+
+#: A small 24 V brushed servo motor of the class used in the paper's demo
+#: (values representative of a ~30 W Maxon / Faulhaber unit with gearing).
+MAXON_24V = MotorParams(
+    R=2.32, L=0.24e-3, Kt=25.5e-3, Ke=25.5e-3,
+    J=1.2e-5, b=2.0e-6, tau_coulomb=2.0e-3, v_nominal=24.0,
+)
+
+#: Speed range below which Coulomb friction is linearised (rad/s).
+_COULOMB_EPS = 1e-2
+
+
+class DCMotor(Block):
+    """DC motor block: inputs (voltage, load torque), outputs (speed,
+    angle, current)."""
+
+    n_in = 2
+    n_out = 3
+    num_continuous_states = 3  # [current, speed, angle]
+    direct_feedthrough = False
+    sample_time = CONTINUOUS
+
+    IN_VOLTAGE, IN_LOAD = 0, 1
+    OUT_SPEED, OUT_ANGLE, OUT_CURRENT = 0, 1, 2
+
+    def __init__(self, name: str, params: MotorParams = MAXON_24V,
+                 initial_speed: float = 0.0):
+        super().__init__(name)
+        self.params = params
+        self.initial_speed = float(initial_speed)
+
+    def initial_continuous_states(self):
+        return [0.0, self.initial_speed, 0.0]
+
+    def outputs(self, t, u, ctx: BlockContext):
+        i, w, theta = ctx.x
+        return [w, theta, i]
+
+    def derivatives(self, t, u, ctx: BlockContext):
+        p = self.params
+        v, tau_load = u
+        i, w, _theta = ctx.x
+        di = (v - p.R * i - p.Ke * w) / p.L
+        if abs(w) > _COULOMB_EPS:
+            tau_c = math.copysign(p.tau_coulomb, w)
+        else:
+            tau_c = p.tau_coulomb * w / _COULOMB_EPS
+        dw = (p.Kt * i - p.b * w - tau_c - tau_load) / p.J
+        return [di, dw, w]

@@ -1,0 +1,80 @@
+"""The few-button operator keyboard.
+
+Section 7: "A few button keyboard is used to set the speed set-point and
+switch between the manual and the automatic control mode."  Modelled as a
+state chart with manual/automatic modes; UP/DOWN buttons step the
+set-point, the MODE button toggles, and in manual mode the UP/DOWN pair
+drives the duty directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.stateflow import Chart, State
+
+
+class PanelState(enum.Enum):
+    MANUAL = "manual"
+    AUTO = "auto"
+
+
+@dataclass(frozen=True)
+class PanelConfig:
+    """Keyboard behaviour parameters."""
+
+    setpoint_step: float = 10.0     # rad/s per UP/DOWN press
+    setpoint_min: float = 0.0
+    setpoint_max: float = 300.0
+    manual_duty_step: float = 0.05  # duty per press in manual mode
+    initial_setpoint: float = 50.0
+
+
+def build_keyboard_chart(config: PanelConfig = PanelConfig()) -> Chart:
+    """Build the mode/set-point chart.
+
+    Chart data:
+      inputs  — ``btn_mode``, ``btn_up``, ``btn_down`` (levels; rising
+                edges dispatched as events by the ChartBlock adapter);
+      outputs — ``mode`` (0 manual / 1 auto), ``setpoint`` (rad/s),
+                ``manual_duty`` (0..1).
+    """
+    ch = Chart("keyboard")
+    d = ch.data
+    d["mode"] = 0.0
+    d["setpoint"] = config.initial_setpoint
+    d["manual_duty"] = 0.5
+
+    def clamp(value, lo, hi):
+        return min(max(value, lo), hi)
+
+    def set_mode(v):
+        return lambda data: data.__setitem__("mode", v)
+
+    def bump_setpoint(sign):
+        def action(data):
+            data["setpoint"] = clamp(
+                data["setpoint"] + sign * config.setpoint_step,
+                config.setpoint_min,
+                config.setpoint_max,
+            )
+        return action
+
+    def bump_duty(sign):
+        def action(data):
+            data["manual_duty"] = clamp(
+                data["manual_duty"] + sign * config.manual_duty_step, 0.0, 1.0
+            )
+        return action
+
+    manual = ch.add_state(State("manual", entry=set_mode(0.0)))
+    auto = ch.add_state(State("auto", entry=set_mode(1.0)))
+    ch.add_transition(manual, auto, event="btn_mode")
+    ch.add_transition(auto, manual, event="btn_mode")
+    # self-transitions implement the button actions per mode
+    ch.add_transition(auto, auto, event="btn_up", action=bump_setpoint(+1))
+    ch.add_transition(auto, auto, event="btn_down", action=bump_setpoint(-1))
+    ch.add_transition(manual, manual, event="btn_up", action=bump_duty(+1))
+    ch.add_transition(manual, manual, event="btn_down", action=bump_duty(-1))
+    return ch

@@ -1,0 +1,50 @@
+"""Power transistor stage.
+
+Averaged switch model: the motor winding's L/R time constant is far
+slower than the 20 kHz PWM carrier, so the winding sees the carrier-
+averaged voltage ``v = (2*duty - 1) * v_supply`` (bipolar drive) or
+``duty * v_supply`` (unipolar).  Conduction losses appear as a voltage
+drop; the stage saturates at the rails.
+"""
+
+from __future__ import annotations
+
+from repro.model.block import Block
+
+
+class PowerStage(Block):
+    """Duty cycle in [0,1] -> motor terminal voltage."""
+
+    n_in = 1
+    n_out = 1
+
+    def __init__(
+        self,
+        name: str,
+        v_supply: float = 24.0,
+        bipolar: bool = True,
+        v_drop: float = 0.7,
+    ):
+        super().__init__(name)
+        if v_supply <= 0:
+            raise ValueError("supply voltage must be positive")
+        if v_drop < 0:
+            raise ValueError("conduction drop must be non-negative")
+        self.v_supply = float(v_supply)
+        self.bipolar = bool(bipolar)
+        self.v_drop = float(v_drop)
+
+    def outputs(self, t, u, ctx):
+        duty = min(max(u[0], 0.0), 1.0)
+        if self.bipolar:
+            v = (2.0 * duty - 1.0) * self.v_supply
+        else:
+            v = duty * self.v_supply
+        # conduction drop opposes the drive
+        if v > self.v_drop:
+            v -= self.v_drop
+        elif v < -self.v_drop:
+            v += self.v_drop
+        else:
+            v = 0.0
+        return [v]

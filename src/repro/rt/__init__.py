@@ -1,0 +1,35 @@
+"""Bare-board real-time runtime and profiling.
+
+The PEERT execution infrastructure of paper section 5: "periodic parts of
+the model code are executed non-preemptively in a timer interrupt.
+Function-call subsystems that are executed asynchronously are executed
+within interrupt service routines of triggering events.  The
+initialization is done in the main function.  There can also be executed a
+manually written background task."
+
+* :class:`BareBoardRuntime` — wires a periodic step (and any number of
+  event tasks) onto an MCU device's timer and interrupt controller;
+* :class:`Profiler` / :class:`TimingStats` / :class:`JitterStats` — turns
+  the CPU's execution ledger into the quantities PIL reports: execution
+  times, response times, sampling jitter, overruns, CPU load, stack.
+"""
+
+from .runtime import BareBoardRuntime
+from .profiler import JitterStats, Profiler, TimingStats
+from .analysis import (
+    AnalyzedTask,
+    ResponseTimeAnalysis,
+    TaskResponse,
+    tasks_from_app,
+)
+
+__all__ = [
+    "BareBoardRuntime",
+    "Profiler",
+    "TimingStats",
+    "JitterStats",
+    "AnalyzedTask",
+    "ResponseTimeAnalysis",
+    "TaskResponse",
+    "tasks_from_app",
+]

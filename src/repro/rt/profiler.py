@@ -1,0 +1,135 @@
+"""Timing analysis of the CPU execution ledger.
+
+Produces exactly the figures the paper attributes to PIL (section 6): "it
+shows the execution times of the implemented controller code, interrupts
+response times, sampling jitters, memory and stack requirements".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.mcu.cpu import ExecutionRecord
+from repro.mcu.device import MCUDevice
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Distribution summary of one handler's activations."""
+
+    vector: str
+    count: int
+    exec_min: float
+    exec_avg: float
+    exec_max: float
+    response_min: float
+    response_avg: float
+    response_max: float
+    latency_min: float
+    latency_avg: float
+    latency_max: float
+
+    def as_row(self) -> str:
+        us = 1e6
+        return (
+            f"{self.vector:<20} {self.count:>6} "
+            f"{self.exec_min*us:>8.1f} {self.exec_avg*us:>8.1f} {self.exec_max*us:>8.1f} "
+            f"{self.response_min*us:>8.1f} {self.response_avg*us:>8.1f} {self.response_max*us:>8.1f}"
+        )
+
+
+@dataclass(frozen=True)
+class JitterStats:
+    """Deviation of handler start times from the nominal periodic grid."""
+
+    vector: str
+    nominal_period: float
+    max_abs_jitter: float
+    std_jitter: float
+    period_min: float
+    period_max: float
+    overruns: int  # activations whose response time exceeded the period
+
+
+class Profiler:
+    """Read-only view over a device's CPU records."""
+
+    def __init__(self, device: MCUDevice):
+        self.device = device
+
+    # ------------------------------------------------------------------
+    def records(self, vector: Optional[str] = None) -> list[ExecutionRecord]:
+        if vector is None:
+            return list(self.device.cpu.records)
+        return self.device.cpu.records_for(vector)
+
+    def vectors(self) -> list[str]:
+        return sorted({r.name for r in self.device.cpu.records})
+
+    def stats(self, vector: str) -> TimingStats:
+        recs = self.records(vector)
+        if not recs:
+            raise ValueError(f"no activations recorded for vector '{vector}'")
+        ex = np.array([r.execution_time for r in recs])
+        rp = np.array([r.response_time for r in recs])
+        lt = np.array([r.start_latency for r in recs])
+        return TimingStats(
+            vector=vector,
+            count=len(recs),
+            exec_min=float(ex.min()), exec_avg=float(ex.mean()), exec_max=float(ex.max()),
+            response_min=float(rp.min()), response_avg=float(rp.mean()), response_max=float(rp.max()),
+            latency_min=float(lt.min()), latency_avg=float(lt.mean()), latency_max=float(lt.max()),
+        )
+
+    def jitter(self, vector: str, nominal_period: float) -> JitterStats:
+        """Start-time jitter against the ideal grid anchored at the first
+        activation (what an oscilloscope on a 'step entered' pin shows)."""
+        recs = self.records(vector)
+        if len(recs) < 2:
+            raise ValueError(f"need >= 2 activations of '{vector}' for jitter")
+        starts = np.array([r.t_start for r in recs])
+        k = np.arange(len(starts))
+        ideal = starts[0] + k * nominal_period
+        dev = starts - ideal
+        periods = np.diff(starts)
+        overruns = sum(1 for r in recs if r.response_time > nominal_period)
+        return JitterStats(
+            vector=vector,
+            nominal_period=nominal_period,
+            max_abs_jitter=float(np.max(np.abs(dev))),
+            std_jitter=float(np.std(dev)),
+            period_min=float(periods.min()),
+            period_max=float(periods.max()),
+            overruns=overruns,
+        )
+
+    def cpu_load(self, horizon: float) -> float:
+        return self.device.cpu.utilization(horizon)
+
+    def stack_report(self) -> dict:
+        return {
+            "max_nesting": self.device.cpu.max_nesting,
+            "max_stack_bytes": self.device.cpu.max_stack_bytes,
+        }
+
+    # ------------------------------------------------------------------
+    def report(self, horizon: float) -> str:
+        """The PIL profiling table, one row per vector (times in µs)."""
+        lines = [
+            f"PIL profile on {self.device.chip.name} @ "
+            f"{self.device.clock.f_sys/1e6:.1f} MHz over {horizon*1e3:.1f} ms",
+            f"{'vector':<20} {'count':>6} "
+            f"{'exe_min':>8} {'exe_avg':>8} {'exe_max':>8} "
+            f"{'rsp_min':>8} {'rsp_avg':>8} {'rsp_max':>8}   (µs)",
+        ]
+        for v in self.vectors():
+            lines.append(self.stats(v).as_row())
+        lines.append(
+            f"CPU load {self.cpu_load(horizon)*100:.2f}%  |  "
+            f"stack {self.device.cpu.max_stack_bytes} B  |  "
+            f"nesting {self.device.cpu.max_nesting}"
+        )
+        return "\n".join(lines)

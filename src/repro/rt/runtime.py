@@ -1,0 +1,96 @@
+"""Bare-board runtime assembly."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from repro.mcu.device import MCUDevice
+from repro.mcu.interrupts import InterruptSource
+
+#: Default interrupt priorities (lower = more urgent): communication first
+#: (bytes are lost if not drained), then the control tick, then UI events.
+PRIORITY_COMM = 1
+PRIORITY_TICK = 2
+PRIORITY_EVENT = 3
+
+
+class BareBoardRuntime:
+    """Periodic step in a timer ISR + event tasks + background task."""
+
+    TICK_VECTOR = "rt_tick"
+
+    def __init__(
+        self,
+        device: MCUDevice,
+        period: float,
+        step_action: Callable[[], None],
+        step_cycles: Union[float, Callable[[], float]],
+        timer_index: int = 0,
+        priority: int = PRIORITY_TICK,
+        on_tick_start: Optional[Callable[[], None]] = None,
+    ):
+        self.device = device
+        self.period = period
+        self.timer = device.timer(timer_index)
+        self._installed = False
+        self._step_source = InterruptSource(
+            name=self.TICK_VECTOR,
+            priority=priority,
+            cycles=step_cycles,
+            on_start=(lambda d: on_tick_start()) if on_tick_start else None,
+            on_complete=lambda d: step_action(),
+        )
+        self.background_iterations = 0
+
+    # ------------------------------------------------------------------
+    def add_event_task(
+        self,
+        vector: str,
+        cycles: Union[float, Callable[[], float]],
+        action: Callable[[], None],
+        priority: int = PRIORITY_EVENT,
+        on_start: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Attach a function-call subsystem's handler to an interrupt
+        vector (ADC end-of-conversion, SCI receive, GPIO edge ...)."""
+        self.device.intc.register(
+            InterruptSource(
+                name=vector,
+                priority=priority,
+                cycles=cycles,
+                on_start=(lambda d: on_start()) if on_start else None,
+                on_complete=lambda d: action(),
+            )
+        )
+
+    def install(self) -> float:
+        """Configure the timer and the tick vector; returns the *achieved*
+        hardware period."""
+        if self._installed:
+            raise RuntimeError("runtime already installed")
+        sol = self.timer.configure(self.period)
+        self.timer.irq_vector = self.TICK_VECTOR
+        self.device.intc.register(self._step_source)
+        self._installed = True
+        return sol.achieved
+
+    def start(self) -> None:
+        """Begin periodic execution (the end of ``main()``'s init)."""
+        if not self._installed:
+            raise RuntimeError("install() the runtime first")
+        self.timer.start()
+
+    def stop(self) -> None:
+        self.timer.stop()
+
+    def run_for(self, duration: float) -> None:
+        """Advance the device; the background task 'runs' whenever the CPU
+        is idle (we only count iterations, it does no work)."""
+        self.device.run_for(duration)
+        idle = duration - min(duration, self.device.cpu.busy_time)
+        # nominal background loop: ~100 cycles per iteration
+        self.background_iterations += int(idle * self.device.cpu.f / 100)
+
+    @property
+    def achieved_period(self) -> float:
+        return self.timer.period

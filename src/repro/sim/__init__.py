@@ -1,0 +1,49 @@
+"""MIL / PIL / HIL co-simulation harnesses.
+
+The paper's V-model validation ladder (sections 2 and 6):
+
+* **MIL** (:mod:`repro.sim.mil`) — model in the loop: the single diagram
+  simulated by the engine, PE blocks reflecting the hardware effects;
+* **PIL** (:mod:`repro.sim.pil`) — processor in the loop: the generated
+  controller runs on the MCU simulator ("development board"), the plant
+  runs on the "simulator PC" engine, data crosses a modelled RS-232 line
+  each control period (Fig. 6.2);
+* **HIL** (:mod:`repro.sim.hil`) — hardware in the loop: the controller
+  runs against the *real peripheral models* (ADC sampling, quadrature
+  counting, PWM registers), coupled to the plant engine directly.
+"""
+
+from .split import split_plant_model, ControllerProxy
+from .mil import MILSimulator, run_mil
+from .hil import HILSimulator
+from .pil import PILSimulator, PILResult
+from .targets import (
+    CANAdapter,
+    LINUX_TARGET,
+    XPC_TARGET,
+    LinkAdapter,
+    RS232Adapter,
+    SimulatorTarget,
+    SimulatorTargetError,
+    SPIAdapter,
+    make_link,
+)
+
+__all__ = [
+    "split_plant_model",
+    "ControllerProxy",
+    "MILSimulator",
+    "run_mil",
+    "HILSimulator",
+    "PILSimulator",
+    "PILResult",
+    "CANAdapter",
+    "LINUX_TARGET",
+    "XPC_TARGET",
+    "LinkAdapter",
+    "RS232Adapter",
+    "SimulatorTarget",
+    "SimulatorTargetError",
+    "SPIAdapter",
+    "make_link",
+]

@@ -1,0 +1,40 @@
+"""Model-in-the-loop simulation.
+
+A thin, explicit wrapper over the engine that (a) forces every PE block
+into MIL mode (so a model that was previously deployed can be re-simulated)
+and (b) names the phase the way the paper's workflow does: "First Model in
+the Loop validates the model of the controller" (section 2).
+"""
+
+from __future__ import annotations
+
+from repro.core.blocks import PEBlock, PEBlockMode
+from repro.model.engine import SimulationOptions, Simulator
+from repro.model.graph import Model
+from repro.model.library import Subsystem
+from repro.model.result import SimulationResult
+
+
+def _reset_modes(model: Model) -> None:
+    for block in model.blocks.values():
+        if isinstance(block, PEBlock):
+            block.mode = PEBlockMode.MIL
+        if isinstance(block, Subsystem):
+            _reset_modes(block.inner)
+
+
+class MILSimulator:
+    """MIL phase runner."""
+
+    def __init__(self, model: Model, dt: float, t_final: float, solver: str = "rk4"):
+        _reset_modes(model)
+        self.options = SimulationOptions(dt=dt, t_final=t_final, solver=solver)
+        self.sim = Simulator(model, self.options)
+
+    def run(self) -> SimulationResult:
+        return self.sim.run()
+
+
+def run_mil(model: Model, t_final: float, dt: float, solver: str = "rk4") -> SimulationResult:
+    """One-call MIL simulation."""
+    return MILSimulator(model, dt=dt, t_final=t_final, solver=solver).run()

@@ -1,0 +1,259 @@
+"""Processor-in-the-loop co-simulation (Fig. 6.2).
+
+"The implemented code of the control algorithm is executed on a universal
+development board, the model of the controlled plant is simulated by a
+simulator and the input and output data are interchanged by a
+communication line ... Both, the plant and the controller codes are
+executed in the real-time ... and they exchange the simulation data at
+the end of each simulation step (control period).  The communication ...
+is provided by RS232 asynchronous serial line." (section 6)
+
+Mapping:
+
+* the *development board* is the deployed application's MCU device,
+  running the PIL image: peripheral blocks redirected to the
+  communication buffer, an SCI receive ISR parsing sensor packets, and a
+  post-step hook composing the actuation packet;
+* the *simulator PC* is a plant-side engine (the controller subsystem
+  replaced by a :class:`~repro.sim.split.ControllerProxy`), stepped on
+  the same event timeline at the control period;
+* the *RS-232 line* is fully modelled: baud-paced bytes, framing, CRC,
+  optional error injection — its overhead is part of what PIL measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.comm import PacketCodec, PacketDecoder, PacketType
+from repro.core.blocks import PEBlockMode
+from repro.core.target import DeployedApplication, TargetError
+from repro.model.engine import SimulationOptions, Simulator
+from repro.model.result import SimulationResult
+from repro.rt.profiler import Profiler
+
+from .split import split_plant_model
+
+
+@dataclass
+class PILResult:
+    """Everything a PIL run produces."""
+
+    result: SimulationResult
+    control_period: float
+    bytes_to_mcu: int
+    bytes_to_host: int
+    crc_errors: int
+    round_trip_times: list[float] = field(default_factory=list)
+    #: host-sampled -> MCU-decoded latency per DATA packet (FIFO-paired);
+    #: this is the sensor staleness the controller actually operates on,
+    #: and it grows without bound once the line saturates
+    data_latencies: list[float] = field(default_factory=list)
+    steps: int = 0
+
+    @property
+    def bytes_per_step(self) -> float:
+        if self.steps == 0:
+            return 0.0
+        return (self.bytes_to_mcu + self.bytes_to_host) / self.steps
+
+    def line_utilization(self, byte_time: float) -> float:
+        """Fraction of the run the busier direction spent carrying bytes
+        (RS-232 is full duplex, so the directions load independently)."""
+        total_time = self.steps * self.control_period
+        if total_time <= 0:
+            return 0.0
+        busiest = max(self.bytes_to_mcu, self.bytes_to_host)
+        return min(1.0, busiest * byte_time / total_time)
+
+    @property
+    def mean_rtt(self) -> float:
+        return float(np.mean(self.round_trip_times)) if self.round_trip_times else 0.0
+
+    @property
+    def mean_data_latency(self) -> float:
+        return float(np.mean(self.data_latencies)) if self.data_latencies else 0.0
+
+    @property
+    def max_data_latency(self) -> float:
+        return float(np.max(self.data_latencies)) if self.data_latencies else 0.0
+
+
+class PILSimulator:
+    """Runs the PIL phase for one built application."""
+
+    def __init__(
+        self,
+        app: DeployedApplication,
+        baud: float = 115200.0,
+        plant_dt: float = 1e-4,
+        solver: str = "rk4",
+        line_error_rate: float = 0.0,
+        line_drop_rate: float = 0.0,
+        link: "str | LinkAdapter" = "rs232",
+        target: "SimulatorTarget | None" = None,
+    ):
+        from .targets import LinkAdapter, RS232Adapter, XPC_TARGET, make_link
+
+        self.app = app
+        self.baud = float(baud)
+        self.plant_dt = plant_dt
+        self.solver = solver
+        self.target = target if target is not None else XPC_TARGET
+        if isinstance(link, LinkAdapter):
+            self.link = link
+        elif link == "rs232":
+            self.link = RS232Adapter(
+                baud=baud, error_rate=line_error_rate, drop_rate=line_drop_rate
+            )
+        else:
+            self.link = make_link(link)
+        self.target.check_link(self.link.kind)
+        plant_model, proxy = split_plant_model(app.model, app.controller.name)
+        self.plant_model = plant_model
+        self.proxy = proxy
+        self.plant_sim: Optional[Simulator] = None
+        self._last_data_sent = 0.0
+        self._rtts: list[float] = []
+        self._data_sent_times: list[float] = []
+        self._data_latencies: list[float] = []
+        self._host_decoder = PacketDecoder(on_packet=self._host_on_packet)
+        self._mcu_decoder = PacketDecoder(on_packet=self._mcu_on_packet)
+        self._host_codec = PacketCodec()
+        self._mcu_codec = PacketCodec()
+        self._pending_events: list[str] = []
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def _setup(self) -> None:
+        app = self.app
+        device = app.deploy(PEBlockMode.PIL)
+        self.device = device
+        self.sensors = app.sensor_ports()
+        self.actuators = app.actuation_ports()
+        T = app.tick_period
+        sub = round(T / self.plant_dt)
+        if sub < 1 or abs(sub * self.plant_dt - T) > 1e-9 * T:
+            raise TargetError(
+                f"plant_dt {self.plant_dt} must divide the control period {T}"
+            )
+        self._substeps = sub
+
+        # transport (RS-232 by default; SPI on the Linux target) ----------
+        self.link.install(self)
+        # backwards-compatible aliases for the RS-232 path
+        self.sci = getattr(self.link, "sci", None)
+        self.line = getattr(self.link, "line", None)
+        self.host = getattr(self.link, "host", None)
+
+        # actuation packet after every controller step --------------------
+        app.post_step_hooks.append(self._mcu_send_actuation)
+
+    # ------------------------------------------------------------------
+    # MCU side
+    # ------------------------------------------------------------------
+    def _mcu_on_packet(self, pkt) -> None:
+        if pkt.ptype is PacketType.DATA:
+            if self._data_sent_times:
+                self._data_latencies.append(
+                    self.device.time - self._data_sent_times.pop(0)
+                )
+            for (port, kind, blk), word in zip(self.sensors, pkt.words):
+                self.app.pil_buffer[blk.name] = float(word)
+        elif pkt.ptype is PacketType.EVENT:
+            # "some interrupt service routines are ... invoked ... when a
+            # corresponding event is indicated by the received packet"
+            for idx in pkt.words:
+                vector = self._event_vectors()[idx]
+                self.device.intc.request(vector)
+
+    def _event_vectors(self) -> list[str]:
+        vectors = []
+        for blk in self.app.pe_blocks():
+            for name, ev in blk.bean.events.items():
+                if ev.enabled and blk.EVENT_NAMES and name in blk.EVENT_NAMES:
+                    vectors.append(blk.bean.event_vector(name))
+        return vectors
+
+    def _mcu_send_actuation(self) -> None:
+        words = []
+        for port, blk in self.actuators:
+            value = self.app.pil_buffer.get(blk.name, 0.0)
+            words.append(int(min(max(value, 0.0), 1.0) * 65535) & 0xFFFF)
+        self.link.mcu_send(self._mcu_codec.encode(PacketType.ACTUATION, words))
+
+    # ------------------------------------------------------------------
+    # host / simulator-PC side
+    # ------------------------------------------------------------------
+    def _host_on_packet(self, pkt) -> None:
+        if pkt.ptype is not PacketType.ACTUATION:
+            return
+        self._rtts.append(self.device.time - self._last_data_sent)
+        for (port, _blk), word in zip(self.actuators, pkt.words):
+            self.proxy.set_output(port, word / 65535.0)
+
+    def _sensor_word(self, kind: str, blk, value: float) -> int:
+        if kind == "adc":
+            return blk.quantize(value)
+        if kind == "qdec":
+            return int(value) % (1 << 16)
+        return int(value != 0.0)
+
+    def _host_step(self, k: int, t_final: float) -> None:
+        T = self.app.tick_period
+        # 1. sample plant sensors (state at t_k) and ship them
+        words = [
+            self._sensor_word(kind, blk, self.plant_sim.read_input(self.proxy.name, port))
+            for port, kind, blk in self.sensors
+        ]
+        self.link.host_send(self._host_codec.encode(PacketType.DATA, words))
+        self._last_data_sent = self.device.time
+        self._data_sent_times.append(self.device.time)
+        while self._pending_events:
+            idx = self._pending_events.pop(0)
+            self.link.host_send(self._host_codec.encode(PacketType.EVENT, [idx]))
+        # 2. advance the plant one control period (actuation held by proxy)
+        for _ in range(self._substeps):
+            self.plant_sim.advance()
+        # 3. schedule the next exchange
+        t_next = (k + 1) * T
+        if t_next < t_final - 1e-12:
+            self.device.schedule(t_next, lambda: self._host_step(k + 1, t_final))
+
+    def trigger_event(self, block_name: str) -> None:
+        """Host-side injection of an asynchronous event (e.g. a button
+        edge) — shipped to the board as an EVENT packet."""
+        vectors = self._event_vectors()
+        for i, v in enumerate(vectors):
+            if v.startswith(block_name + "_"):
+                self._pending_events.append(i)
+                return
+        raise ValueError(f"no enabled event on block '{block_name}'")
+
+    # ------------------------------------------------------------------
+    def run(self, t_final: float) -> PILResult:
+        self._setup()
+        opts = SimulationOptions(dt=self.plant_dt, t_final=t_final, solver=self.solver)
+        self.plant_sim = Simulator(self.plant_model, opts)
+        self.plant_sim.initialize()
+        self.app.start()
+        self.device.schedule(0.0, lambda: self._host_step(0, t_final))
+        self.device.run_until(t_final)
+        result = self.plant_sim.result()
+        return PILResult(
+            result=result,
+            control_period=self.app.tick_period,
+            bytes_to_mcu=self.link.bytes_to_mcu,
+            bytes_to_host=self.link.bytes_to_host,
+            crc_errors=self._mcu_decoder.crc_errors + self._host_decoder.crc_errors,
+            round_trip_times=self._rtts,
+            data_latencies=self._data_latencies,
+            steps=self.app.step_count,
+        )
+
+    def profiler(self) -> Profiler:
+        return self.app.profiler()

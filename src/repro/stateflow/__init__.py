@@ -1,0 +1,29 @@
+"""Hierarchical state charts (Stateflow substitute).
+
+The paper generates code from StateFlow charts with the StateFlow Coder
+(section 3) and uses "an asynchronous change of a Stateflow chart state"
+as one of the two consumers of peripheral events (section 5).  This
+package provides:
+
+* :class:`State`, :class:`Transition`, :class:`Chart` — a hierarchical
+  state machine with entry/during/exit actions, guarded and event-labelled
+  transitions, and run-to-completion semantics;
+* :class:`ChartBlock` / :class:`TriggeredChartBlock` — adapters embedding a
+  chart in the block diagram, time-driven or function-call-triggered.
+
+The case study's few-button keyboard logic (manual/automatic mode,
+set-point up/down) is expressed with these classes in
+:mod:`repro.plants.operator_panel` and the examples.
+"""
+
+from .chart import Chart, ChartError, State, Transition
+from .block import ChartBlock, TriggeredChartBlock
+
+__all__ = [
+    "Chart",
+    "ChartError",
+    "State",
+    "Transition",
+    "ChartBlock",
+    "TriggeredChartBlock",
+]

@@ -1,0 +1,109 @@
+"""Adapters embedding a chart in the block diagram."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.model.block import Block, BlockContext
+from .chart import Chart
+
+
+class ChartBlock(Block):
+    """Time-driven chart block.
+
+    At each sample hit the named inputs are copied into ``chart.data``,
+    the chart takes one step (during actions + eventless transitions), and
+    the named outputs are read back.  Rising edges on inputs listed in
+    ``edge_events`` additionally dispatch a chart event of the same name —
+    this is how the case study's keyboard buttons become chart events.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        chart: Chart,
+        inputs: Sequence[str] = (),
+        outputs: Sequence[str] = (),
+        sample_time: float = -1.0,
+        edge_events: Sequence[str] = (),
+    ):
+        super().__init__(name)
+        self.chart = chart
+        self.input_names = list(inputs)
+        self.output_names = list(outputs)
+        self.n_in = len(self.input_names)
+        self.n_out = len(self.output_names)
+        self.sample_time = float(sample_time)
+        self.edge_events = [e for e in edge_events]
+        unknown = set(self.edge_events) - set(self.input_names)
+        if unknown:
+            raise ValueError(f"edge_events {sorted(unknown)} are not inputs")
+        self.direct_feedthrough = True
+
+    def start(self, ctx: BlockContext):
+        if self.chart._started:
+            self.chart.reset()
+        for name in self.output_names:
+            self.chart.data.setdefault(name, 0.0)
+        self.chart.start()
+        ctx.dwork["prev_edges"] = {e: 0.0 for e in self.edge_events}
+
+    def _execute(self, u, ctx) -> list[float]:
+        data = self.chart.data
+        for name, value in zip(self.input_names, u):
+            data[name] = value
+        prev = ctx.dwork["prev_edges"]
+        for ev in self.edge_events:
+            v = data[ev]
+            if v != 0.0 and prev[ev] == 0.0:
+                self.chart.dispatch(ev)
+            prev[ev] = v
+        self.chart.step()
+        return [float(data.get(name, 0.0)) for name in self.output_names]
+
+    def outputs(self, t, u, ctx):
+        if ctx.minor:
+            return [float(self.chart.data.get(n, 0.0)) for n in self.output_names]
+        return self._execute(u, ctx)
+
+
+class TriggeredChartBlock(ChartBlock):
+    """Function-call-triggered chart block.
+
+    Executes only when its trigger fires (the paper's "asynchronous change
+    of a Stateflow chart state" by a peripheral event, section 5).  Each
+    call dispatches ``trigger_event`` (default ``"trigger"``) and steps the
+    chart once.
+    """
+
+    triggerable = True
+    direct_feedthrough = False
+
+    def __init__(
+        self,
+        name: str,
+        chart: Chart,
+        inputs: Sequence[str] = (),
+        outputs: Sequence[str] = (),
+        trigger_event: Optional[str] = "trigger",
+        edge_events: Sequence[str] = (),
+    ):
+        super().__init__(
+            name,
+            chart,
+            inputs,
+            outputs,
+            sample_time=-1.0,
+            edge_events=edge_events,
+        )
+        self.trigger_event = trigger_event
+        self.direct_feedthrough = False
+
+    def outputs(self, t, u, ctx):
+        data = self.chart.data
+        for name, value in zip(self.input_names, u):
+            data[name] = value
+        if self.trigger_event is not None:
+            self.chart.dispatch(self.trigger_event)
+        self.chart.step()
+        return [float(data.get(name, 0.0)) for name in self.output_names]

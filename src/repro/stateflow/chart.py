@@ -1,0 +1,294 @@
+"""Hierarchical state machine core.
+
+Semantics follow Stateflow's discrete-event model closely enough for the
+paper's use:
+
+* exactly one active leaf state per (sub)chart region (no parallel AND
+  states — the case study does not need them);
+* on an event (or a time step), transitions are searched **outer-first**
+  from the active configuration; the first enabled transition fires;
+* firing exits states up to the least common ancestor (child before
+  parent), runs the transition action, then enters down to the target
+  (parent before child, descending into initial substates);
+* after the event, *eventless* transitions keep firing until quiescent
+  (run-to-completion), with a hard iteration cap so a guard bug cannot
+  hang the simulation.
+
+Actions and guards are Python callables receiving the chart's ``data``
+dictionary, mirroring Stateflow action language operating on chart data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+ActionFn = Callable[[dict], None]
+GuardFn = Callable[[dict], bool]
+
+#: Run-to-completion iteration cap (guards against transition cycles).
+MAX_MICROSTEPS = 64
+
+
+class ChartError(Exception):
+    """Structural or runtime chart error."""
+
+
+class State:
+    """A chart state, optionally composite (with substates).
+
+    ``history=True`` on a composite state gives it a history junction:
+    re-entering the composite resumes the substate that was active when it
+    was last exited, instead of the initial substate.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        entry: Optional[ActionFn] = None,
+        during: Optional[ActionFn] = None,
+        exit: Optional[ActionFn] = None,
+        history: bool = False,
+    ):
+        if not name:
+            raise ChartError("state name must be non-empty")
+        self.name = name
+        self.entry = entry
+        self.during = during
+        self.exit = exit
+        self.history = bool(history)
+        self.parent: Optional[State] = None
+        self.substates: list[State] = []
+        self.initial: Optional[State] = None
+        self._last_active: Optional[State] = None
+
+    def add_substate(self, state: "State", initial: bool = False) -> "State":
+        """Add a child state; the first child (or ``initial=True``) becomes
+        the default entry target."""
+        if state.parent is not None:
+            raise ChartError(f"state '{state.name}' already has a parent")
+        state.parent = self
+        self.substates.append(state)
+        if initial or self.initial is None:
+            self.initial = state
+        return state
+
+    @property
+    def is_composite(self) -> bool:
+        return bool(self.substates)
+
+    def path(self) -> list["State"]:
+        """Ancestor chain from the root down to (and including) self."""
+        chain: list[State] = []
+        s: Optional[State] = self
+        while s is not None:
+            chain.append(s)
+            s = s.parent
+        return list(reversed(chain))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<State '{self.name}'>"
+
+
+class Transition:
+    """An edge between two states.
+
+    ``event=None`` makes the transition *eventless* (fires during
+    run-to-completion whenever its guard holds).
+    """
+
+    def __init__(
+        self,
+        src: State,
+        dst: State,
+        event: Optional[str] = None,
+        guard: Optional[GuardFn] = None,
+        action: Optional[ActionFn] = None,
+        priority: int = 0,
+    ):
+        self.src = src
+        self.dst = dst
+        self.event = event
+        self.guard = guard
+        self.action = action
+        self.priority = priority
+
+    def enabled(self, event: Optional[str], data: dict) -> bool:
+        if self.event is not None and self.event != event:
+            return False
+        if self.guard is not None and not self.guard(data):
+            return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.event or ""
+        return f"<Transition {self.src.name} -[{label}]-> {self.dst.name}>"
+
+
+class Chart:
+    """A state chart: top-level states, transitions, and chart data."""
+
+    def __init__(self, name: str = "chart"):
+        self.name = name
+        self.top: list[State] = []
+        self.initial: Optional[State] = None
+        self.transitions: list[Transition] = []
+        self.data: dict = {}
+        self._active: Optional[State] = None  # active leaf
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_state(self, state: State, initial: bool = False) -> State:
+        """Add a top-level state; first added (or ``initial=True``) is the
+        default entry state."""
+        if state.parent is not None:
+            raise ChartError(f"state '{state.name}' already has a parent")
+        self.top.append(state)
+        if initial or self.initial is None:
+            self.initial = state
+        return state
+
+    def add_transition(
+        self,
+        src: State,
+        dst: State,
+        event: Optional[str] = None,
+        guard: Optional[GuardFn] = None,
+        action: Optional[ActionFn] = None,
+        priority: int = 0,
+    ) -> Transition:
+        """Add an edge; lower ``priority`` values are tried first."""
+        tr = Transition(src, dst, event, guard, action, priority)
+        self.transitions.append(tr)
+        return tr
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    @property
+    def active_leaf(self) -> State:
+        if self._active is None:
+            raise ChartError("chart not started")
+        return self._active
+
+    def active_path(self) -> list[State]:
+        """Active configuration, outermost state first."""
+        return self.active_leaf.path()
+
+    def is_active(self, name: str) -> bool:
+        """Whether a state of the given name is in the active configuration."""
+        if self._active is None:
+            return False
+        return any(s.name == name for s in self.active_leaf.path())
+
+    def start(self) -> None:
+        """Enter the initial configuration (runs entry actions)."""
+        if self.initial is None:
+            raise ChartError(f"chart '{self.name}' has no states")
+        self._enter_down(self.initial)
+        self._started = True
+        self._run_to_completion()
+
+    def _leaf_of(self, state: State) -> State:
+        while state.is_composite:
+            assert state.initial is not None
+            state = state.initial
+        return state
+
+    def _enter_down(self, state: State) -> None:
+        # enter from the given state down through initial (or, with a
+        # history junction, last-active) substates
+        chain = [state]
+        while chain[-1].is_composite:
+            comp = chain[-1]
+            nxt = comp._last_active if (comp.history and comp._last_active) else comp.initial
+            if nxt is None:
+                raise ChartError(f"composite state '{comp.name}' has no initial substate")
+            chain.append(nxt)
+        for s in chain:
+            if s.entry:
+                s.entry(self.data)
+        self._active = chain[-1]
+
+    def _fire(self, tr: Transition) -> None:
+        src_path = self.active_leaf.path()
+        dst_path = tr.dst.path()
+        # least common ancestor depth
+        lca = 0
+        while lca < len(src_path) and lca < len(dst_path) and src_path[lca] is dst_path[lca]:
+            lca += 1
+        # self-transition: exit and re-enter the source state itself
+        if lca == min(len(src_path), len(dst_path)) and tr.src is tr.dst:
+            lca -= 1
+        # exit leaf -> up to (excluding) LCA, recording history junctions
+        for s in reversed(src_path[lca:]):
+            if s.parent is not None:
+                s.parent._last_active = s
+            if s.exit:
+                s.exit(self.data)
+        if tr.action:
+            tr.action(self.data)
+        # enter from below LCA down to the destination, then its initials
+        for s in dst_path[lca:-1]:
+            if s.entry:
+                s.entry(self.data)
+        self._enter_down(dst_path[-1])
+
+    def _candidates(self, event: Optional[str]) -> Optional[Transition]:
+        # outer-first search over the active configuration
+        for state in self.active_leaf.path():
+            enabled = [
+                t
+                for t in self.transitions
+                if t.src is state and t.enabled(event, self.data)
+            ]
+            if enabled:
+                enabled.sort(key=lambda t: t.priority)
+                return enabled[0]
+        return None
+
+    def _run_to_completion(self) -> None:
+        for _ in range(MAX_MICROSTEPS):
+            tr = self._candidates(None)
+            if tr is None:
+                return
+            self._fire(tr)
+        raise ChartError(
+            f"chart '{self.name}' did not quiesce after {MAX_MICROSTEPS} "
+            "eventless transitions (transition cycle?)"
+        )
+
+    def dispatch(self, event: str) -> bool:
+        """Send an event to the chart; returns True when a transition fired."""
+        if not self._started:
+            raise ChartError("chart not started")
+        tr = self._candidates(event)
+        fired = tr is not None
+        if tr is not None:
+            self._fire(tr)
+        self._run_to_completion()
+        return fired
+
+    def step(self) -> None:
+        """A time step: run *during* actions of the active configuration,
+        then eventless transitions."""
+        if not self._started:
+            raise ChartError("chart not started")
+        for s in self.active_leaf.path():
+            if s.during:
+                s.during(self.data)
+        self._run_to_completion()
+
+    def reset(self) -> None:
+        """Forget execution state, including history junctions (chart
+        data is preserved)."""
+        self._active = None
+        self._started = False
+
+        def clear(states):
+            for s in states:
+                s._last_active = None
+                clear(s.substates)
+
+        clear(self.top)

@@ -1,0 +1,145 @@
+"""Tests for step metrics, trajectory comparison and stability detection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    StepMetrics,
+    iae,
+    is_diverging,
+    ise,
+    itae,
+    resample_to,
+    step_metrics,
+    trajectory_max_error,
+    trajectory_rmse,
+)
+
+
+def first_order_step(tau=0.1, final=1.0, t_end=1.0, n=1001):
+    t = np.linspace(0, t_end, n)
+    return t, final * (1 - np.exp(-t / tau))
+
+
+class TestStepMetrics:
+    def test_first_order_rise_time(self):
+        t, y = first_order_step(tau=0.1)
+        m = step_metrics(t, y, reference=1.0)
+        # analytic 10-90 rise of a first order lag: tau * ln(9)
+        assert m.rise_time == pytest.approx(0.1 * np.log(9), rel=0.05)
+
+    def test_first_order_no_overshoot(self):
+        t, y = first_order_step()
+        m = step_metrics(t, y, reference=1.0)
+        assert m.overshoot_pct < 1.0
+
+    def test_underdamped_overshoot(self):
+        t = np.linspace(0, 5, 2001)
+        wn, zeta = 5.0, 0.3
+        wd = wn * np.sqrt(1 - zeta**2)
+        y = 1 - np.exp(-zeta * wn * t) * (
+            np.cos(wd * t) + zeta / np.sqrt(1 - zeta**2) * np.sin(wd * t)
+        )
+        m = step_metrics(t, y, reference=1.0)
+        expected = 100 * np.exp(-np.pi * zeta / np.sqrt(1 - zeta**2))
+        assert m.overshoot_pct == pytest.approx(expected, rel=0.05)
+
+    def test_settling_time(self):
+        t, y = first_order_step(tau=0.1, t_end=2.0, n=4001)
+        m = step_metrics(t, y, reference=1.0, settle_band=0.02)
+        # 2% settling of a first-order lag is ~4 tau
+        assert m.settling_time == pytest.approx(0.4, rel=0.15)
+
+    def test_steady_state_error(self):
+        t, y = first_order_step(final=0.9)
+        m = step_metrics(t, y, reference=1.0)
+        assert m.steady_state_error == pytest.approx(0.1, abs=0.01)
+
+    def test_negative_step(self):
+        t, y = first_order_step(final=-2.0)
+        m = step_metrics(t, y, reference=-2.0, initial=0.0)
+        assert m.rise_time is not None
+        assert m.steady_state_error < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            step_metrics(np.arange(3), np.arange(3), reference=1.0)
+        t = np.linspace(0, 1, 10)
+        with pytest.raises(ValueError):
+            step_metrics(t, t, reference=0.0, initial=0.0)
+
+    def test_summary_string(self):
+        t, y = first_order_step()
+        assert "rise" in step_metrics(t, y, 1.0).summary()
+
+
+class TestErrorIntegrals:
+    def test_iae_constant_error(self):
+        t = np.linspace(0, 2, 201)
+        e = np.full_like(t, 0.5)
+        assert iae(t, e) == pytest.approx(1.0)
+
+    def test_ise(self):
+        t = np.linspace(0, 2, 201)
+        e = np.full_like(t, 0.5)
+        assert ise(t, e) == pytest.approx(0.5)
+
+    def test_itae_weights_late_error(self):
+        t = np.linspace(0, 2, 201)
+        early = np.where(t < 1, 1.0, 0.0)
+        late = np.where(t >= 1, 1.0, 0.0)
+        assert itae(t, late) > itae(t, early)
+
+
+class TestTrajectoryCompare:
+    def test_identical_zero(self):
+        t, y = first_order_step()
+        assert trajectory_rmse(t, y, t, y) == 0.0
+        assert trajectory_max_error(t, y, t, y) == 0.0
+
+    def test_offset_detected(self):
+        t, y = first_order_step()
+        assert trajectory_rmse(t, y, t, y + 0.1) == pytest.approx(0.1, rel=1e-6)
+        assert trajectory_max_error(t, y, t, y + 0.1) == pytest.approx(0.1, rel=1e-6)
+
+    def test_different_grids(self):
+        t1, y1 = first_order_step(n=1001)
+        t2, y2 = first_order_step(n=313)
+        assert trajectory_rmse(t1, y1, t2, y2) < 1e-3
+
+    def test_disjoint_spans_rejected(self):
+        t1 = np.linspace(0, 1, 10)
+        t2 = np.linspace(2, 3, 10)
+        with pytest.raises(ValueError):
+            trajectory_rmse(t1, t1, t2, t2)
+
+    def test_resample(self):
+        t = np.linspace(0, 1, 11)
+        y = t.copy()
+        grid = np.array([0.05, 0.5])
+        assert np.allclose(resample_to(grid, t, y), grid)
+
+
+class TestStability:
+    def test_converging_is_stable(self):
+        t, y = first_order_step()
+        assert not is_diverging(t, y, reference=1.0)
+
+    def test_blowup_detected(self):
+        t = np.linspace(0, 1, 101)
+        y = np.exp(8 * t)
+        assert is_diverging(t, y, reference=1.0)
+
+    def test_growing_oscillation_detected(self):
+        t = np.linspace(0, 2, 401)
+        y = 1.0 + np.exp(1.5 * t) * 0.05 * np.sin(40 * t)
+        assert is_diverging(t, y, reference=1.0)
+
+    def test_steady_ripple_is_stable(self):
+        t = np.linspace(0, 2, 401)
+        y = 1.0 + 0.05 * np.sin(40 * t)
+        assert not is_diverging(t, y, reference=1.0)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            is_diverging(np.arange(4), np.arange(4), 1.0)

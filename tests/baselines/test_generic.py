@@ -1,0 +1,120 @@
+"""Tests for the baseline (conventional) target."""
+
+import pytest
+
+from repro.baselines import (
+    GenericConfigStore,
+    build_generic_servo_model,
+    count_retarget_edits,
+    make_generic_blockset,
+    retarget_generic_model,
+)
+from repro.casestudy import ServoConfig
+from repro.model.block import BlockContext
+from repro.model.graph import Model
+from repro.model.library import Constant, Scope
+
+
+class TestGenericBlocks:
+    def test_chip_locked_construction(self):
+        bs = make_generic_blockset("MC9S12DP256")
+        adc = bs["adc"]("AD1")
+        assert adc.chip == "MC9S12DP256"
+        assert type(adc).__name__ == "MC9S12DP256_ADC"
+
+    def test_unsupported_chip_has_no_blockset(self):
+        with pytest.raises(ValueError, match="no generic block set"):
+            make_generic_blockset("MCF5235")
+
+    def test_pass_through_simulation(self):
+        bs = make_generic_blockset("MC56F8367")
+        adc = bs["adc"]("AD1")
+        # no quantization whatsoever — the paper's fidelity complaint
+        assert adc.outputs(0, [1.23456789], BlockContext()) == [1.23456789]
+
+    def test_settings_accepted_silently(self):
+        bs = make_generic_blockset("MC56F8367")
+        adc = bs["adc"]("AD1")
+        adc.configure(resolution=99, channel=1000)  # nonsense, no error
+        assert adc.settings["resolution"] == 99
+
+
+class TestRetargetCost:
+    def build_model(self, chip):
+        bs = make_generic_blockset(chip)
+        m = Model("generic")
+        c = m.add(Constant("c", value=1.0))
+        a = m.add(bs["adc"]("AD1"))
+        p = m.add(bs["pwm"]("PWM1"))
+        s = m.add(Scope("s"))
+        m.connect(c, a)
+        m.connect(a, p)
+        m.connect(p, s)
+        return m
+
+    def test_edit_count_scales_with_peripherals(self):
+        m = self.build_model("MC56F8367")
+        assert count_retarget_edits(m, "MC9S12DP256") == 2  # one per HW block
+        assert count_retarget_edits(m, "MC56F8367") == 0
+
+    def test_retarget_swaps_blocks_and_rewires(self):
+        m = self.build_model("MC56F8367")
+        edits = retarget_generic_model(m, "MC9S12DP256")
+        assert edits == 2
+        assert m.block("AD1").chip == "MC9S12DP256"
+        # wiring intact: still compiles and simulates
+        from repro.model.engine import simulate
+
+        res = simulate(m, t_final=0.01, dt=1e-3)
+
+
+class TestMissingValidation:
+    def test_invalid_settings_surface_only_at_deploy(self):
+        store = GenericConfigStore("MC9S12DP256")
+        store.apply("AD1", resolution=12)       # chip has 10-bit ADC
+        store.apply("AD2", channel=42)          # chip has 8 channels
+        store.apply("PWM1", frequency=0.001)    # unreachable
+        store.apply("TMR1", period=3600.0)      # unreachable
+        store.apply("IO1", pin=500)             # not on the package
+        store.apply("OK1", channel=2)           # fine
+        failures = store.deployed_failures()
+        assert len(failures) == 5
+        assert not any("OK1" in f for f in failures)
+
+    def test_same_errors_caught_at_design_time_by_pe(self):
+        # the PE knowledge base rejects each of those settings immediately
+        from repro.pe import PEProject
+        from repro.pe.beans import ADCBean, BitIOBean, PWMBean, TimerIntBean
+        from repro.pe.properties import BeanConfigError
+
+        proj = PEProject("t", "MC9S12DP256")
+        proj.add_bean(ADCBean("AD1", resolution=12))
+        proj.add_bean(PWMBean("PWM1", frequency=0.1))  # unreachable divider
+        proj.add_bean(TimerIntBean("TMR1", period=3600.0))
+        proj.add_bean(BitIOBean("IO1", pin=500))
+        report = proj.validate()
+        assert len(report.errors) >= 4
+        # grossly invalid values never even enter a bean (property-level
+        # immediate errors)
+        with pytest.raises(BeanConfigError):
+            ADCBean("AD2", channel=42)
+        with pytest.raises(BeanConfigError):
+            PWMBean("PWM2", frequency=0.001)
+
+
+class TestGenericServoModel:
+    def test_builds_and_simulates(self):
+        from repro.model.engine import simulate
+
+        sm = build_generic_servo_model(ServoConfig(setpoint=100.0))
+        res = simulate(sm.model, t_final=0.2, dt=1e-4)
+        # the loop still works; the *fidelity* differs (measured in E2)
+        assert res.final("speed") > 50.0
+
+    def test_peripheral_blocks_replaced(self):
+        from repro.baselines.generic_target import GenericPeripheralBlock
+
+        sm = build_generic_servo_model(ServoConfig())
+        inner = sm.controller.inner
+        kinds = [b for b in inner.blocks.values() if isinstance(b, GenericPeripheralBlock)]
+        assert len(kinds) == 2  # QD1 + PWM1

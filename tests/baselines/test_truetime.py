@@ -1,0 +1,82 @@
+"""Tests for the TrueTime-style kernel block."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DeclaredTask, TrueTimeKernelBlock
+from repro.model import Model
+from repro.model.block import BlockContext
+from repro.model.engine import simulate
+from repro.model.library import Clock, Scope
+
+
+def delay_rig(kernel, t_final=0.02, dt=1e-4):
+    """Clock through the kernel: output shows the effective delay."""
+    m = Model()
+    clk = m.add(Clock("clk"))
+    m.add(kernel)
+    sc = m.add(Scope("s", label="y"))
+    sc2 = m.add(Scope("s2", label="t"))
+    m.connect(clk, kernel)
+    m.connect(kernel, sc)
+    m.connect(clk, sc2)
+    return simulate(m, t_final=t_final, dt=dt)
+
+
+class TestResponseModel:
+    def test_bare_response_is_latency_plus_wcet(self):
+        k = TrueTimeKernelBlock("k", control_period=1e-3, wcet=200e-6,
+                                latency=10e-6)
+        assert k.response_time(0.0) == pytest.approx(210e-6)
+
+    def test_blocking_from_declared_task(self):
+        k = TrueTimeKernelBlock(
+            "k", control_period=1e-3, wcet=100e-6,
+            tasks=[DeclaredTask("logger", period=1e-3, wcet=300e-6)],
+        )
+        # released exactly when the logger starts: full blocking
+        assert k.blocking_at(0.0) == pytest.approx(300e-6)
+        # released mid-logger: remaining only
+        assert k.blocking_at(100e-6) == pytest.approx(200e-6)
+        # released after the logger finished: none
+        assert k.blocking_at(500e-6) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrueTimeKernelBlock("k", control_period=0.0, wcet=1e-6)
+        with pytest.raises(ValueError):
+            TrueTimeKernelBlock("k", control_period=1e-3, wcet=-1.0)
+        with pytest.raises(ValueError):
+            DeclaredTask("t", period=-1.0, wcet=0.0)
+
+
+class TestSimulatedDelay:
+    def test_actuation_delayed_by_wcet(self):
+        # wcet = 5 base steps: the staged value lands half a period late
+        k = TrueTimeKernelBlock("k", control_period=1e-3, wcet=0.5e-3)
+        res = delay_rig(k)
+        y, t = res["y"], res["t"]
+        # at t=0.4ms the job released at 0 has not landed yet
+        assert res.at("y", 0.4e-3) == 0.0
+        # by 0.6ms it has (staged value was the input at release, i.e. 0)
+        # the job released at 1ms lands at 1.5ms carrying u(1ms)=1ms
+        assert res.at("y", 1.6e-3) == pytest.approx(1e-3, abs=1e-9)
+
+    def test_zero_cost_kernel_tracks_with_one_period(self):
+        k = TrueTimeKernelBlock("k", control_period=1e-3, wcet=0.0)
+        res = delay_rig(k)
+        # releases apply within one base step of the period grid
+        assert res.at("y", 1.25e-3) == pytest.approx(1e-3, abs=1e-9)
+
+    def test_interference_shifts_landing(self):
+        quiet = TrueTimeKernelBlock("k", control_period=1e-3, wcet=0.2e-3)
+        busy = TrueTimeKernelBlock(
+            "k", control_period=1e-3, wcet=0.2e-3,
+            tasks=[DeclaredTask("bg", period=1e-3, wcet=0.4e-3)],
+        )
+        r_quiet = delay_rig(quiet)
+        r_busy = delay_rig(busy)
+        # with blocking, the landing of each actuation is later
+        t_land_quiet = r_quiet.t[np.argmax(r_quiet["y"] >= 1e-3 - 1e-9)]
+        t_land_busy = r_busy.t[np.argmax(r_busy["y"] >= 1e-3 - 1e-9)]
+        assert t_land_busy > t_land_quiet

@@ -1,0 +1,111 @@
+"""Tests for chart C code generation (the StateFlow Coder substitute)."""
+
+import pytest
+
+from repro.codegen.chartgen import generate_chart_code
+from repro.stateflow import Chart, State
+
+
+def keyboard_chart():
+    ch = Chart("modes")
+
+    def noop(d):
+        pass
+
+    manual = ch.add_state(State("manual", entry=noop))
+    auto = ch.add_state(State("auto", entry=noop, during=noop))
+    ch.add_transition(manual, auto, event="btn_mode")
+    ch.add_transition(auto, manual, event="btn_mode")
+    ch.add_transition(auto, auto, event="btn_up", guard=lambda d: True,
+                      action=noop)
+    return ch
+
+
+def hierarchical_chart():
+    ch = Chart("h")
+    run = ch.add_state(State("run"))
+    slow = run.add_substate(State("slow"))
+    fast = run.add_substate(State("fast"))
+    idle = ch.add_state(State("idle"))
+    ch.add_transition(slow, fast, event="up")
+    ch.add_transition(run, idle, event="stop")
+    ch.add_transition(idle, run, event="start")
+    return ch
+
+
+class TestGeneratedStructure:
+    def test_file_pair(self):
+        files = generate_chart_code(keyboard_chart(), "panel")
+        assert set(files) == {"panel_chart.h", "panel_chart.c"}
+
+    def test_state_and_event_enums(self):
+        hdr = generate_chart_code(keyboard_chart(), "panel")["panel_chart.h"]
+        assert "panel_STATE_MANUAL" in hdr
+        assert "panel_STATE_AUTO" in hdr
+        assert "panel_EVENT_BTN_MODE" in hdr
+        assert "panel_EVENT_BTN_UP" in hdr
+        assert "panel_EVENT_NONE" in hdr
+
+    def test_entry_points_declared(self):
+        hdr = generate_chart_code(keyboard_chart(), "panel")["panel_chart.h"]
+        for proto in ("panel_chart_init", "panel_chart_dispatch", "panel_chart_step"):
+            assert proto in hdr
+
+    def test_guards_and_actions_are_externs(self):
+        hdr = generate_chart_code(keyboard_chart(), "panel")["panel_chart.h"]
+        assert "extern int panel_guard_2(void);" in hdr
+        assert "extern void panel_action_2(void);" in hdr
+        # entry/during callbacks of the states
+        assert "extern void panel_manual_entry(void);" in hdr
+        assert "extern void panel_auto_during(void);" in hdr
+
+    def test_dispatch_switch_covers_leaves(self):
+        src = generate_chart_code(keyboard_chart(), "panel")["panel_chart.c"]
+        assert "case panel_STATE_MANUAL:" in src
+        assert "case panel_STATE_AUTO:" in src
+        assert "panel_active = panel_STATE_AUTO;" in src
+
+    def test_balanced_braces(self):
+        files = generate_chart_code(keyboard_chart(), "panel")
+        for name, src in files.items():
+            assert src.count("{") == src.count("}"), name
+
+
+class TestHierarchy:
+    def test_composite_states_in_enum(self):
+        hdr = generate_chart_code(hierarchical_chart(), "h")["h_chart.h"]
+        for s in ("RUN", "SLOW", "FAST", "IDLE"):
+            assert f"h_STATE_{s}" in hdr
+
+    def test_composite_transition_reachable_from_leaves(self):
+        # 'stop' is defined on the composite 'run'; both leaf cases must
+        # test it (outer-first search materialised per leaf)
+        src = generate_chart_code(hierarchical_chart(), "h")["h_chart.c"]
+        slow_case = src.split("case h_STATE_SLOW:")[1].split("break;")[0]
+        fast_case = src.split("case h_STATE_FAST:")[1].split("break;")[0]
+        assert "h_EVENT_STOP" in slow_case
+        assert "h_EVENT_STOP" in fast_case
+
+    def test_reentry_targets_initial_leaf(self):
+        src = generate_chart_code(hierarchical_chart(), "h")["h_chart.c"]
+        idle_case = src.split("case h_STATE_IDLE:")[1].split("break;")[0]
+        assert "h_active = h_STATE_SLOW;" in idle_case  # run's initial
+
+
+class TestGeneratorIntegration:
+    def test_chart_files_in_artifacts(self):
+        from repro.codegen import CodeGenerator
+        from repro.mcu import MC56F8367
+        from repro.model import Model
+        from repro.model.library import Constant, Terminator
+        from repro.stateflow import ChartBlock
+
+        m = Model("app")
+        src = m.add(Constant("btn", value=0.0))
+        cb = m.add(ChartBlock("panel", keyboard_chart(), inputs=["btn_mode"],
+                              outputs=[], sample_time=1e-3,
+                              edge_events=["btn_mode"]))
+        m.connect(src, cb)
+        art = CodeGenerator(m.compile(1e-3), MC56F8367, name="app").generate()
+        assert "panel_chart.c" in art.files
+        assert "panel_chart_step();" in art.files["app.c"]

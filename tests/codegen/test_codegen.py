@@ -1,0 +1,230 @@
+"""Tests for the code generator: templates, cost model, artifacts."""
+
+import pytest
+
+from repro.codegen import (
+    CodeGenerator,
+    CodegenError,
+    block_cost_cycles,
+    default_registry,
+    step_cost_cycles,
+)
+from repro.mcu import MC56F8367, MCF5235
+from repro.model import Model
+from repro.model.library import (
+    Constant,
+    DataTypeConversion,
+    Gain,
+    Integrator,
+    Saturation,
+    Scope,
+    Step,
+    Sum,
+    Terminator,
+    UnitDelay,
+    DiscreteIntegrator,
+)
+from repro.model.types import INT16
+
+
+def controller_model(dt=1e-3, fixed_point=False):
+    """A small discrete PI controller diagram."""
+    m = Model("ctl")
+    ref = m.add(Step("ref", final=1.0))
+    err = m.add(Sum("err", signs="+-"))
+    kp = m.add(Gain("kp", gain=2.0))
+    ki = m.add(DiscreteIntegrator("ki", sample_time=dt, gain=10.0))
+    u = m.add(Sum("u", signs="++"))
+    sat = m.add(Saturation("sat", lower=-1.0, upper=1.0))
+    fb = m.add(UnitDelay("fb", sample_time=dt))
+    sc = m.add(Scope("sc"))
+    m.connect(ref, err, 0, 0)
+    m.connect(fb, err, 0, 1)
+    m.connect(err, kp)
+    m.connect(err, ki)
+    m.connect(kp, u, 0, 0)
+    m.connect(ki, u, 0, 1)
+    m.connect(u, sat)
+    m.connect(sat, fb)
+    m.connect(sat, sc)
+    if fixed_point:
+        # re-type one path through a conversion block
+        m.remove("sc")
+        conv = m.add(DataTypeConversion("conv", INT16))
+        sc = m.add(Scope("sc"))
+        m.connect(sat, conv)
+        m.connect(conv, sc)
+    return m
+
+
+class TestTemplates:
+    def test_every_library_block_has_template(self):
+        import repro.model.library as lib
+
+        reg = default_registry()
+        for name in lib.__all__:
+            cls = getattr(lib, name)
+            if not isinstance(cls, type):
+                continue
+            if name in ("Subsystem",):  # virtual, flattened away
+                continue
+            reg.lookup(cls)  # must not raise
+
+    def test_unknown_block_rejected(self):
+        from repro.model.block import Block
+
+        class Exotic(Block):
+            pass
+
+        with pytest.raises(CodegenError, match="no code template"):
+            default_registry().lookup(Exotic)
+
+    def test_registry_copy_is_independent(self):
+        from repro.codegen.templates import BlockTemplate
+        from repro.model.block import Block
+
+        class Custom(Block):
+            pass
+
+        reg = default_registry().copy()
+        reg.register(Custom, BlockTemplate(lambda b, n: [], lambda b: {}))
+        reg.lookup(Custom)
+        with pytest.raises(CodegenError):
+            default_registry().lookup(Custom)
+
+
+class TestCostModel:
+    def test_float_costs_dominate_on_nofpu(self):
+        g = Gain("g", gain=2.0)
+        cost_float = block_cost_cycles(g, MC56F8367)
+        conv = DataTypeConversion("c", INT16)
+        assert cost_float > 100  # emulated double multiply
+        assert block_cost_cycles(conv, MC56F8367) < 20
+
+    def test_step_cost_sums_blocks(self):
+        cm = controller_model().compile(1e-3)
+        total = step_cost_cycles(cm, MC56F8367)
+        assert total > 0
+        # all block costs are included
+        gen = CodeGenerator(cm, MC56F8367).generate()
+        assert total == pytest.approx(
+            sum(gen.block_costs.values()) + 2 * MC56F8367.costs.call
+        )
+
+    def test_faster_chip_fewer_cycles_for_float(self):
+        cm = controller_model().compile(1e-3)
+        c67 = step_cost_cycles(cm, MC56F8367)
+        c5235 = step_cost_cycles(cm, MCF5235)
+        assert c5235 < c67  # 32-bit core emulates doubles cheaper
+
+
+class TestGeneratedArtifacts:
+    def test_files_present(self):
+        cm = controller_model().compile(1e-3)
+        art = CodeGenerator(cm, MC56F8367, name="ctl").generate()
+        assert set(art.files) >= {"ctl.c", "ctl.h", "main.c", "Makefile"}
+
+    def test_step_function_order_matches_execution_order(self):
+        cm = controller_model().compile(1e-3)
+        art = CodeGenerator(cm, MC56F8367, name="ctl").generate()
+        src = art.files["ctl.c"]
+        positions = []
+        for qname in cm.order:
+            marker = f"'{qname}'"
+            if marker in src:
+                positions.append(src.index(marker))
+        assert positions == sorted(positions)
+
+    def test_header_declares_signals_and_state(self):
+        cm = controller_model().compile(1e-3)
+        art = CodeGenerator(cm, MC56F8367, name="ctl").generate()
+        hdr = art.files["ctl.h"]
+        assert "ctl_B_T" in hdr and "ctl_DW_T" in hdr
+        assert "fb_x" in hdr  # UnitDelay state
+        assert "void ctl_step(void);" in hdr
+
+    def test_fixed_point_types_in_header(self):
+        cm = controller_model(fixed_point=True).compile(1e-3)
+        art = CodeGenerator(cm, MC56F8367, name="ctl").generate()
+        assert "int16_t" in art.files["ctl.h"]
+
+    def test_rate_guard_for_slower_blocks(self):
+        m = Model("multi")
+        c = m.add(Constant("c"))
+        d = m.add(UnitDelay("slow", sample_time=4e-3))
+        t = m.add(Terminator("t"))
+        m.connect(c, d)
+        m.connect(d, t)
+        art = CodeGenerator(m.compile(1e-3), MC56F8367).generate()
+        assert "(rt_tick % 4U) == 0U" in art.files["model.c"]
+
+    def test_continuous_block_rejected(self):
+        m = Model("bad")
+        c = m.add(Constant("c"))
+        i = m.add(Integrator("i"))
+        t = m.add(Terminator("t"))
+        m.connect(c, i)
+        m.connect(i, t)
+        with pytest.raises(CodegenError, match="continuous"):
+            CodeGenerator(m.compile(1e-3), MC56F8367).generate()
+
+    def test_memory_estimates_positive_and_bounded(self):
+        cm = controller_model().compile(1e-3)
+        art = CodeGenerator(cm, MC56F8367).generate()
+        assert 0 < art.ram_bytes < MC56F8367.ram_bytes
+        assert 0 < art.flash_bytes < MC56F8367.flash_bytes
+
+    def test_ram_overflow_detected(self):
+        # a tiny chip cannot hold hundreds of double states
+        m = Model("big")
+        c = m.add(Constant("c"))
+        for k in range(300):
+            d = m.add(UnitDelay(f"d{k}", sample_time=1e-3))
+            m.connect(c, d)
+            t = m.add(Terminator(f"t{k}"))
+            m.connect(d, t)
+        from repro.mcu import MC56F8013
+
+        with pytest.raises(CodegenError, match="RAM"):
+            CodeGenerator(m.compile(1e-3), MC56F8013).generate()
+
+    def test_loc_scales_with_model_size(self):
+        small = CodeGenerator(controller_model().compile(1e-3), MC56F8367).generate()
+        m = controller_model()
+        for k in range(20):
+            g = m.add(Gain(f"extra{k}", gain=1.0))
+            m.connect(m.block("sat"), g)
+            t = m.add(Terminator(f"xt{k}"))
+            m.connect(g, t)
+        big = CodeGenerator(m.compile(1e-3), MC56F8367).generate()
+        assert big.loc > small.loc
+
+
+class TestVirtualExecutable:
+    def test_duplicate_vector_rejected(self):
+        from repro.codegen import ISRTask, VirtualExecutable
+
+        vx = VirtualExecutable("app")
+        vx.add_task(ISRTask("tick", priority=1, cycles=100))
+        with pytest.raises(ValueError):
+            vx.add_task(ISRTask("tick", priority=2, cycles=50))
+
+    def test_load_registers_vectors_and_runs(self):
+        from repro.codegen import ISRTask, VirtualExecutable
+        from repro.mcu import MCUDevice
+
+        dev = MCUDevice(MC56F8367)
+        ran = []
+        vx = VirtualExecutable("app")
+        vx.add_task(ISRTask("tick", priority=1, cycles=500, action=lambda: ran.append(1)))
+        vx.load(dev)
+        dev.intc.request("tick")
+        dev.run_for(1e-3)
+        assert ran == [1]
+        assert len(vx.records("tick")) == 1
+
+    def test_start_requires_load(self):
+        from repro.codegen import VirtualExecutable
+
+        with pytest.raises(RuntimeError):
+            VirtualExecutable("app").start()

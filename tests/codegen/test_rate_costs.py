@@ -1,0 +1,54 @@
+"""Tests for the rate-aware execution-cost split."""
+
+import pytest
+
+from repro.codegen import CodeGenerator
+from repro.mcu import MC56F8367
+from repro.model import Model
+from repro.model.library import Constant, Gain, Terminator, UnitDelay
+
+
+def multirate_cm(dt=1e-3):
+    m = Model("mr")
+    c = m.add(Constant("c"))
+    fast = m.add(Gain("fast", gain=2.0))
+    slow = m.add(UnitDelay("slow", sample_time=4 * dt))
+    slower = m.add(UnitDelay("slower", sample_time=8 * dt))
+    for blk in (fast, slow, slower):
+        m.connect(c, blk)
+        t = m.add(Terminator("t_" + blk.name))
+        m.connect(blk, t)
+    return m.compile(dt)
+
+
+class TestRateCosts:
+    def test_split_by_divisor(self):
+        art = CodeGenerator(multirate_cm(), MC56F8367).generate()
+        assert set(art.rate_costs) == {1, 4, 8}
+        assert art.rate_costs[4] > 0 and art.rate_costs[8] > 0
+
+    def test_split_sums_to_block_costs(self):
+        art = CodeGenerator(multirate_cm(), MC56F8367).generate()
+        assert sum(art.rate_costs.values()) == pytest.approx(
+            sum(art.block_costs.values())
+        )
+
+    def test_deployed_tick_cost_varies_with_rate(self):
+        """On the target, ticks where only base-rate blocks run must be
+        measurably cheaper than full-rate ticks."""
+        from repro.casestudy import ServoConfig
+        from repro.core import PEERTTarget
+        from repro.core.blocks import PEBlockMode
+        from tests.integration.test_cascade_control import build_cascade_model
+
+        m = build_cascade_model()
+        app = PEERTTarget(m).build()
+        app.deploy(PEBlockMode.HW)
+        app.start()
+        app.run_for(30.1e-3)
+        recs = app.device.cpu.records_for(app.tick_vector)
+        times = sorted(r.execution_time for r in recs)
+        assert times[0] < times[-1] * 0.8  # fast ticks clearly cheaper
+        # 1-in-10 ticks carry the slow-rate blocks
+        slow_ticks = sum(1 for r in recs if r.execution_time > times[0] * 1.2)
+        assert slow_ticks == pytest.approx(len(recs) / 10, abs=3)

@@ -1,0 +1,120 @@
+"""Tests for the CAN bus model and the PIL-over-CAN adapter."""
+
+import pytest
+
+from repro.comm import CANBus, CANFrame
+from repro.mcu import MCUDevice, MC56F8367
+
+
+def bus(bitrate=500e3):
+    dev = MCUDevice(MC56F8367)
+    return dev, CANBus(dev, bitrate)
+
+
+class TestCANFrame:
+    def test_id_range(self):
+        CANFrame(0x7FF, b"")
+        with pytest.raises(ValueError):
+            CANFrame(0x800, b"")
+        with pytest.raises(ValueError):
+            CANFrame(-1, b"")
+
+    def test_dlc_limit(self):
+        CANFrame(1, bytes(8))
+        with pytest.raises(ValueError):
+            CANFrame(1, bytes(9))
+
+
+class TestCANBus:
+    def test_delivery_with_filter(self):
+        dev, b = bus()
+        got_a, got_b = [], []
+        b.attach(got_a.append, ids=[0x100])
+        b.attach(got_b.append)  # promiscuous
+        b.send(0x100, b"\x01")
+        b.send(0x200, b"\x02")
+        dev.run_for(1e-3)
+        assert [f.can_id for f in got_a] == [0x100]
+        assert [f.can_id for f in got_b] == [0x100, 0x200]
+
+    def test_arbitration_lowest_id_wins(self):
+        dev, b = bus()
+        order = []
+        b.attach(lambda f: order.append(f.can_id))
+        # enqueue while the bus is busy with an initial frame
+        b.send(0x300, bytes(8))
+        b.send(0x200, bytes(8))
+        b.send(0x100, bytes(8))
+        dev.run_for(10e-3)
+        assert order == [0x300, 0x100, 0x200]  # first out, then priority order
+
+    def test_frame_time_scales_with_dlc(self):
+        dev, b = bus(bitrate=500e3)
+        assert b.frame_time(8) > b.frame_time(0)
+        # 8-byte frame: (47 + 64) * 1.2 bits at 500 kbit/s
+        assert b.frame_time(8) == pytest.approx((47 + 64) * 1.2 / 500e3)
+
+    def test_fifo_among_equal_ids(self):
+        dev, b = bus()
+        seen = []
+        b.attach(lambda f: seen.append(f.data))
+        b.send(0x10, b"a")
+        b.send(0x10, b"b")
+        dev.run_for(1e-3)
+        assert seen == [b"a", b"b"]
+
+    def test_utilization(self):
+        dev, b = bus(bitrate=125e3)
+        b.attach(lambda f: None)
+        for _ in range(50):
+            b.send(0x10, bytes(8))
+        dev.run_for(0.1)
+        assert 0.4 < b.utilization(0.1) <= 1.0
+
+    def test_invalid_bitrate(self):
+        dev = MCUDevice(MC56F8367)
+        with pytest.raises(ValueError):
+            CANBus(dev, 0)
+
+
+class TestPILOverCAN:
+    def make(self, adapter=None, **kw):
+        from repro.casestudy import ServoConfig, build_servo_model
+        from repro.core import PEERTTarget
+        from repro.sim import LINUX_TARGET, PILSimulator
+
+        sm = build_servo_model(ServoConfig(setpoint=100.0))
+        app = PEERTTarget(sm.model).build()
+        return PILSimulator(app, link=adapter or "can", target=LINUX_TARGET,
+                            plant_dt=1e-4, **kw)
+
+    def test_quiet_bus_tracks(self):
+        r = self.make().run(0.3)
+        assert r.result.final("speed") == pytest.approx(100.0, abs=10.0)
+        assert r.crc_errors == 0
+
+    def test_application_traffic_starves_pil(self):
+        """Higher-priority application frames on a saturated bus win every
+        arbitration round; the PIL exchange starves and control degrades —
+        the paper's reason to prefer the unused RS-232 (section 6)."""
+        from repro.sim import CANAdapter
+
+        quiet = self.make().run(0.3)
+        busy_adapter = CANAdapter(
+            bitrate=125e3,
+            app_traffic=[(0x050, 8, 0.4e-3), (0x051, 8, 0.5e-3)],
+        )
+        busy = self.make(adapter=busy_adapter).run(0.3)
+        assert busy.mean_data_latency > 2 * quiet.mean_data_latency
+        assert busy_adapter.bus.utilization(0.3) > 0.95
+        assert busy_adapter.app_frames_sent > 1000
+
+    def test_xpc_rejects_can(self):
+        from repro.casestudy import ServoConfig, build_servo_model
+        from repro.core import PEERTTarget
+        from repro.sim import PILSimulator, SimulatorTargetError, XPC_TARGET
+
+        sm = build_servo_model(ServoConfig())
+        app = PEERTTarget(sm.model).build()
+        with pytest.raises(SimulatorTargetError):
+            PILSimulator(app, link="can", target=XPC_TARGET)

@@ -1,0 +1,124 @@
+"""Tests for the serial line + SCI + host port on one timeline."""
+
+import pytest
+
+from repro.comm import HostSerialPort, SerialLine
+from repro.mcu import MCUDevice, MC56F8367, InterruptSource
+
+
+def rig(baud=115200, host_baud=None, **line_kwargs):
+    """MCU sci0 <-> host port over one line, sharing the device scheduler."""
+    dev = MCUDevice(MC56F8367)
+    line = SerialLine(dev, **line_kwargs)
+    sci = dev.sci(0)
+    sci.configure(baud)
+    sci.connect(line, 0)
+    line.declare_baud(0, sci.baud)
+    host = HostSerialPort(dev, host_baud or baud)
+    host.connect(line, 1)
+    return dev, line, sci, host
+
+
+class TestTransport:
+    def test_mcu_to_host(self):
+        dev, line, sci, host = rig()
+        sci.send(b"hello")
+        dev.run_until(0.01)
+        assert host.receive() == b"hello"
+        assert line.bytes_delivered[1] == 5
+
+    def test_host_to_mcu(self):
+        dev, line, sci, host = rig()
+        host.send(b"\x01\x02\x03")
+        dev.run_until(0.01)
+        assert sci.receive() == b"\x01\x02\x03"
+        assert sci.bytes_received == 3
+
+    def test_byte_pacing_at_baud(self):
+        dev, line, sci, host = rig(baud=9600)
+        n = 10
+        sci.send(bytes(range(n)))
+        # 10 bytes * 10 bits / 9600 baud ~ 10.4 ms; not all arrive at 5 ms
+        dev.run_until(5e-3)
+        assert len(host.receive()) < n
+        dev.run_until(0.05)
+        assert len(host.receive()) + sci.bytes_sent >= n
+
+    def test_rx_interrupt_per_byte(self):
+        dev, line, sci, host = rig()
+        hits = []
+        sci.rx_irq_vector = "sci_rx"
+        dev.intc.register(
+            InterruptSource("sci_rx", priority=2, cycles=40, on_complete=lambda d: hits.append(d.time))
+        )
+        host.send(b"abc")
+        dev.run_until(0.01)
+        assert len(hits) == 3
+
+    def test_tx_fifo_overflow_counts(self):
+        dev, line, sci, host = rig()
+        accepted = sci.send(bytes(1000))
+        assert accepted <= sci.tx_fifo_depth + 1
+        assert sci.overruns >= 1
+
+
+class TestErrorInjection:
+    def test_drop_rate(self):
+        dev, line, sci, host = rig(drop_rate=1.0)
+        sci.send(b"xxxx")
+        dev.run_until(0.01)
+        assert host.receive() == b""
+        assert line.bytes_dropped == 4
+
+    def test_corruption_flips_bytes(self):
+        dev, line, sci, host = rig(error_rate=1.0, seed=1)
+        sci.send(b"\x55")
+        dev.run_until(0.01)
+        data = host.receive()
+        assert len(data) == 1 and data != b"\x55"
+        assert line.bytes_corrupted == 1
+
+    def test_baud_mismatch_corrupts(self):
+        dev, line, sci, host = rig(baud=115200, host_baud=57600)
+        assert line.baud_mismatch > 0.5
+        sci.send(b"\x42")
+        dev.run_until(0.01)
+        assert line.bytes_corrupted == 1
+
+    def test_matching_bauds_clean(self):
+        from repro.comm.line import BAUD_TOLERANCE
+
+        # the SCI's divider-quantized baud differs slightly from the host's
+        # exact 115200, but stays inside the receiver tolerance
+        dev, line, sci, host = rig(baud=115200)
+        assert 0 < line.baud_mismatch < BAUD_TOLERANCE
+        sci.send(b"\x42")
+        dev.run_until(0.01)
+        assert line.bytes_corrupted == 0
+
+    def test_invalid_rates_rejected(self):
+        dev = MCUDevice(MC56F8367)
+        with pytest.raises(ValueError):
+            SerialLine(dev, error_rate=2.0)
+
+
+class TestSciConfiguration:
+    def test_baud_quantization(self):
+        dev = MCUDevice(MC56F8367)
+        sci = dev.sci(0)
+        sol = sci.configure(115200)
+        # 60 MHz / (16 * 33) = 113636 -> ~1.4% error
+        assert sol.relative_error < 0.02
+        assert sol.achieved != 115200
+
+    def test_round_baud_exact(self):
+        dev = MCUDevice(MC56F8367)
+        sci = dev.sci(0)
+        sol = sci.configure(62500)  # 60e6/(16*60) = 62500 exactly
+        assert sol.achieved == pytest.approx(62500)
+        assert sol.relative_error < 1e-12
+
+    def test_unconfigured_send_fails(self):
+        dev = MCUDevice(MC56F8367)
+        with pytest.raises(RuntimeError):
+            dev.sci(0).send(b"x")

@@ -1,0 +1,129 @@
+"""Unit + property tests for the PIL packet protocol."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.comm import Packet, PacketCodec, PacketDecoder, PacketType, crc8
+from repro.comm.packets import OVERHEAD_BYTES, signed_from_words, words_from_signed
+
+
+class TestCrc8:
+    def test_known_properties(self):
+        assert crc8(b"") == 0
+        assert crc8(b"\x00") == 0
+        assert crc8(b"\x01") != 0
+
+    def test_detects_single_bit_flip(self):
+        data = bytes([1, 2, 3, 4, 5])
+        base = crc8(data)
+        for i in range(len(data)):
+            for bit in range(8):
+                mutated = bytearray(data)
+                mutated[i] ^= 1 << bit
+                assert crc8(mutated) != base
+
+
+class TestRoundTrip:
+    def test_encode_decode(self):
+        codec, dec = PacketCodec(), PacketDecoder()
+        frame = codec.encode(PacketType.DATA, [100, 65535, 0])
+        pkts = dec.feed(frame)
+        assert len(pkts) == 1
+        assert pkts[0].ptype is PacketType.DATA
+        assert pkts[0].words == (100, 65535, 0)
+
+    def test_sequence_numbers_increment(self):
+        codec, dec = PacketCodec(), PacketDecoder()
+        for k in range(260):
+            dec.feed(codec.encode(PacketType.SYNC, []))
+        seqs = [p.seq for p in dec.packets]
+        assert seqs[:3] == [0, 1, 2]
+        assert seqs[256] == 0  # 8-bit wrap
+
+    def test_incremental_feed_byte_by_byte(self):
+        codec, dec = PacketCodec(), PacketDecoder()
+        frame = codec.encode(PacketType.ACTUATION, [1234])
+        for b in frame[:-1]:
+            assert dec.feed(bytes([b])) == []
+        assert len(dec.feed(frame[-1:])) == 1
+
+    def test_two_packets_in_one_feed(self):
+        codec, dec = PacketCodec(), PacketDecoder()
+        buf = codec.encode(PacketType.DATA, [1]) + codec.encode(PacketType.DATA, [2])
+        pkts = dec.feed(buf)
+        assert [p.words for p in pkts] == [(1,), (2,)]
+
+    def test_wire_size(self):
+        codec = PacketCodec()
+        frame = codec.encode(PacketType.DATA, [1, 2, 3])
+        assert len(frame) == OVERHEAD_BYTES + 6
+        assert PacketCodec.wire_size(3) == len(frame)
+
+    def test_payload_limit(self):
+        codec = PacketCodec()
+        with pytest.raises(ValueError):
+            codec.encode(PacketType.DATA, [0] * 128)
+
+
+class TestCorruptionHandling:
+    def test_crc_error_counted_and_resync(self):
+        codec, dec = PacketCodec(), PacketDecoder()
+        bad = bytearray(codec.encode(PacketType.DATA, [42]))
+        bad[5] ^= 0xFF  # corrupt payload
+        good = codec.encode(PacketType.DATA, [43])
+        pkts = dec.feed(bytes(bad) + good)
+        assert dec.crc_errors >= 1
+        assert [p.words for p in pkts] == [(43,)]
+
+    def test_garbage_prefix_resync(self):
+        codec, dec = PacketCodec(), PacketDecoder()
+        frame = codec.encode(PacketType.DATA, [7])
+        pkts = dec.feed(b"\x00\x01\x02" + frame)
+        assert len(pkts) == 1
+        assert dec.resyncs >= 3
+
+    def test_truncated_frame_waits(self):
+        codec, dec = PacketCodec(), PacketDecoder()
+        frame = codec.encode(PacketType.DATA, [7])
+        assert dec.feed(frame[: len(frame) // 2]) == []
+        assert dec.feed(frame[len(frame) // 2 :]) != []
+
+    def test_unknown_type_rejected(self):
+        dec = PacketDecoder()
+        body = bytes([0x00, 0x7F, 0x00])  # seq, bad type, len 0
+        frame = bytes([0xA5]) + body + bytes([crc8(body)])
+        assert dec.feed(frame) == []
+        assert dec.crc_errors == 1
+
+
+class TestSignedConversion:
+    def test_roundtrip(self):
+        vals = [-32768, -1, 0, 1, 32767]
+        assert signed_from_words(words_from_signed(vals)) == vals
+
+
+class TestProperties:
+    @given(
+        st.sampled_from(list(PacketType)),
+        st.lists(st.integers(0, 0xFFFF), max_size=100),
+    )
+    def test_roundtrip_any_payload(self, ptype, words):
+        codec, dec = PacketCodec(), PacketDecoder()
+        pkts = dec.feed(codec.encode(ptype, words))
+        assert len(pkts) == 1
+        assert pkts[0].ptype is ptype
+        assert list(pkts[0].words) == words
+
+    @given(st.binary(max_size=200))
+    def test_decoder_never_crashes_on_garbage(self, junk):
+        dec = PacketDecoder()
+        dec.feed(junk)  # must not raise
+
+    @given(st.binary(max_size=60), st.lists(st.integers(0, 0xFFFF), max_size=10))
+    def test_packet_after_garbage_always_decodes(self, junk, words):
+        codec, dec = PacketCodec(), PacketDecoder()
+        # ensure junk cannot contain a partial valid-looking frame at the
+        # end by terminating with a full frame after a flush of zeros
+        dec.feed(junk + bytes(300))
+        pkts = dec.feed(codec.encode(PacketType.DATA, words))
+        assert any(tuple(words) == p.words for p in pkts)

@@ -1,0 +1,171 @@
+"""Tests for the controllers, filters and reference generators."""
+
+import numpy as np
+import pytest
+
+from repro.control import (
+    FixedPointPID,
+    LowPassFilter,
+    PIDController,
+    PIDGains,
+    Staircase,
+    tune_speed_loop,
+)
+from repro.model import Model
+from repro.model.block import BlockContext
+from repro.model.engine import simulate
+from repro.model.library import Scope, Step, Sum, TransferFunction, ZeroOrderHold
+
+
+class TestGains:
+    def test_limits_validated(self):
+        with pytest.raises(ValueError):
+            PIDGains(kp=1.0, u_min=1.0, u_max=0.0)
+
+    def test_tuning_produces_positive_gains(self):
+        g = tune_speed_loop(dc_gain=14.0, time_constant=0.04, sample_time=1e-3)
+        assert g.kp > 0 and g.ki > 0
+
+    def test_tuning_rejects_absurd_bandwidth(self):
+        with pytest.raises(ValueError, match="too high"):
+            tune_speed_loop(14.0, 0.04, sample_time=1e-2, bandwidth_hz=50.0)
+
+    def test_tuning_rejects_bad_plant(self):
+        with pytest.raises(ValueError):
+            tune_speed_loop(-1.0, 0.04, 1e-3)
+
+
+def closed_loop(controller, t_final=1.0, dt=1e-3, ref=1.0):
+    """controller (error->u in [0,1] scaled to +-10) on G(s)=10/(0.1 s + 1)."""
+    m = Model()
+    r = m.add(Step("r", final=ref))
+    e = m.add(Sum("e", signs="+-"))
+    m.add(controller)
+    zoh = m.add(ZeroOrderHold("zoh", sample_time=controller.sample_time))
+    plant = m.add(TransferFunction("plant", [10.0], [0.1, 1.0]))
+    sc = m.add(Scope("sc", label="y"))
+    m.connect(r, e, 0, 0)
+    m.connect(plant, e, 0, 1)
+    m.connect(e, controller)
+    m.connect(controller, zoh)
+    m.connect(zoh, plant)
+    m.connect(plant, sc)
+    return simulate(m, t_final=t_final, dt=dt)
+
+
+class TestPIDController:
+    def test_tracks_step(self):
+        pid = PIDController("pid", PIDGains(kp=0.5, ki=3.0, u_min=0.0, u_max=1.0), 1e-3)
+        res = closed_loop(pid, ref=5.0)
+        assert res.final("y") == pytest.approx(5.0, rel=0.02)
+
+    def test_saturation_respected(self):
+        gains = PIDGains(kp=100.0, ki=0.0, u_min=0.0, u_max=1.0)
+        pid = PIDController("pid", gains, 1e-3)
+        ctx = BlockContext()
+        pid.start(ctx)
+        assert pid.outputs(0, [10.0], ctx)[0] == 1.0
+        assert pid.outputs(0, [-10.0], ctx)[0] == 0.0
+
+    def test_antiwindup_limits_integrator(self):
+        gains = PIDGains(kp=0.0, ki=10.0, u_min=0.0, u_max=1.0)
+        pid = PIDController("pid", gains, 1e-3)
+        ctx = BlockContext()
+        pid.start(ctx)
+        for _ in range(10000):
+            pid.update(0, [100.0], ctx)
+        # without clamping i would reach 10*1e-3*100*10000 = 10000
+        assert ctx.dwork["i"] <= 1.0 + 10.0 * 1e-3 * 100
+
+    def test_derivative_term(self):
+        gains = PIDGains(kp=0.0, ki=0.0, kd=0.1, u_min=-10, u_max=10)
+        pid = PIDController("pid", gains, 0.1)
+        ctx = BlockContext()
+        pid.start(ctx)
+        pid.update(0, [0.0], ctx)
+        assert pid.outputs(0, [1.0], ctx)[0] == pytest.approx(1.0)  # 0.1 * 1/0.1
+
+    def test_bad_sample_time(self):
+        with pytest.raises(ValueError):
+            PIDController("pid", PIDGains(kp=1.0), 0.0)
+
+
+class TestFixedPointPID:
+    def make(self, **over):
+        kw = dict(
+            gains=PIDGains(kp=0.5, ki=3.0, u_min=0.0, u_max=1.0),
+            sample_time=1e-3,
+            e_scale=10.0,
+        )
+        kw.update(over)
+        return FixedPointPID("qpid", **kw)
+
+    def test_tracks_step_close_to_float(self):
+        qpid = self.make()
+        res_q = closed_loop(qpid, ref=5.0)
+        pid = PIDController("pid", PIDGains(kp=0.5, ki=3.0, u_min=0.0, u_max=1.0), 1e-3)
+        res_f = closed_loop(pid, ref=5.0)
+        assert res_q.final("y") == pytest.approx(res_f.final("y"), rel=0.05)
+
+    def test_output_is_quantized(self):
+        qpid = self.make()
+        ctx = BlockContext()
+        qpid.start(ctx)
+        outs = {qpid.outputs(0, [e], ctx)[0] for e in np.linspace(0.0, 0.001, 50)}
+        # tiny error variations collapse onto the Q15 grid
+        assert len(outs) < 50
+
+    def test_error_scale_validated(self):
+        with pytest.raises(ValueError):
+            self.make(e_scale=0.0)
+
+    def test_integrator_is_fx(self):
+        from repro.fixpt import Fx
+
+        qpid = self.make()
+        ctx = BlockContext()
+        qpid.start(ctx)
+        qpid.update(0, [1.0], ctx)
+        assert isinstance(ctx.dwork["i"], Fx)
+
+
+class TestLowPassFilter:
+    def test_dc_gain_unity(self):
+        m = Model()
+        src = m.add(Step("s", final=2.0))
+        f = m.add(LowPassFilter("f", cutoff_hz=10.0, sample_time=1e-3))
+        sc = m.add(Scope("sc", label="y"))
+        m.connect(src, f)
+        m.connect(f, sc)
+        res = simulate(m, t_final=1.0, dt=1e-3)
+        assert res.final("y") == pytest.approx(2.0, rel=1e-3)
+
+    def test_cutoff_sets_time_constant(self):
+        f = LowPassFilter("f", cutoff_hz=10.0, sample_time=1e-3)
+        # alpha = 1 - exp(-2*pi*f*Ts)
+        assert f.alpha == pytest.approx(1 - np.exp(-2 * np.pi * 10 * 1e-3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LowPassFilter("f", cutoff_hz=0.0, sample_time=1e-3)
+
+
+class TestStaircase:
+    def test_levels_switch_at_times(self):
+        s = Staircase("s", [0.0, 1.0, 2.0], [10.0, 20.0, 5.0])
+        ctx = BlockContext()
+        assert s.outputs(0.5, [], ctx) == [10.0]
+        assert s.outputs(1.0, [], ctx) == [20.0]
+        assert s.outputs(2.5, [], ctx) == [5.0]
+
+    def test_before_first_time(self):
+        s = Staircase("s", [1.0], [10.0])
+        assert s.outputs(0.5, [], BlockContext()) == [0.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Staircase("s", [1.0, 0.5], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            Staircase("s", [], [])
+        with pytest.raises(ValueError):
+            Staircase("s", [0.0], [1.0, 2.0])

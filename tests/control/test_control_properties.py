@@ -1,0 +1,88 @@
+"""Property-based tests for controller invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.control import FixedPointPID, PIDController, PIDGains, QuadratureSpeed
+from repro.model.block import BlockContext
+
+gains_st = st.builds(
+    PIDGains,
+    kp=st.floats(min_value=0.0, max_value=2.0),
+    ki=st.floats(min_value=0.0, max_value=20.0),
+    kd=st.just(0.0),
+    u_min=st.just(0.0),
+    u_max=st.just(1.0),
+)
+error_seq = st.lists(st.floats(min_value=-50, max_value=50), min_size=5, max_size=60)
+
+
+def run_pid(pid, errors):
+    ctx = BlockContext()
+    pid.start(ctx)
+    out = []
+    for e in errors:
+        out.append(pid.outputs(0.0, [e], ctx)[0])
+        pid.update(0.0, [e], ctx)
+    return out
+
+
+class TestPIDProperties:
+    @given(gains_st, error_seq)
+    @settings(max_examples=50, deadline=None)
+    def test_output_always_within_limits(self, gains, errors):
+        out = run_pid(PIDController("p", gains, 1e-3), errors)
+        assert all(gains.u_min <= y <= gains.u_max for y in out)
+
+    @given(gains_st, error_seq)
+    @settings(max_examples=50, deadline=None)
+    def test_fixed_point_within_limits_and_close(self, gains, errors):
+        f = run_pid(PIDController("p", gains, 1e-3), errors)
+        q = run_pid(FixedPointPID("q", gains, 1e-3, e_scale=64.0), errors)
+        assert all(0.0 <= y <= 1.0 for y in q)
+        # the Q15 path tracks the float path within a small absolute band.
+        # At the anti-windup clamp boundary the integrate/hold decision can
+        # differ for one step between the two arithmetics, which is worth
+        # up to one integration increment ki*Ts*|e| — bound adaptively.
+        one_step = gains.ki * 1e-3 * max(abs(e) for e in errors)
+        assert max(abs(a - b) for a, b in zip(f, q)) < 0.05 + 2 * one_step
+
+    @given(error_seq)
+    @settings(max_examples=30, deadline=None)
+    def test_pure_p_is_memoryless(self, errors):
+        gains = PIDGains(kp=0.01, ki=0.0, u_min=0.0, u_max=1.0)
+        pid = PIDController("p", gains, 1e-3)
+        out = run_pid(pid, errors)
+        for e, y in zip(errors, out):
+            assert y == pytest.approx(min(max(0.01 * e, 0.0), 1.0))
+
+    @given(st.floats(min_value=0.01, max_value=10.0))
+    @settings(max_examples=20, deadline=None)
+    def test_integrator_never_exceeds_limits_under_constant_error(self, e):
+        gains = PIDGains(kp=0.0, ki=5.0, u_min=0.0, u_max=1.0)
+        pid = PIDController("p", gains, 1e-3)
+        out = run_pid(pid, [e] * 500)
+        assert out[-1] <= 1.0 + 1e-12
+
+
+class TestQuadratureSpeedProperties:
+    @given(
+        st.lists(st.integers(min_value=-300, max_value=300), min_size=2, max_size=50)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_speed_reconstructs_deltas(self, deltas):
+        """Feeding wrapped counts from a known delta sequence must
+        reconstruct each delta exactly (wrap-aware difference)."""
+        qs = QuadratureSpeed("q", counts_per_rev=400, sample_time=1e-3)
+        ctx = BlockContext()
+        qs.start(ctx)
+        count = 0
+        qs.outputs(0, [count % 65536], ctx)
+        qs.update(0, [count % 65536], ctx)
+        for d in deltas:
+            count += d
+            w = qs.outputs(0, [count % 65536], ctx)[0]
+            qs.update(0, [count % 65536], ctx)
+            expected = d * qs.rad_per_count / 1e-3
+            assert w == pytest.approx(expected)

@@ -1,0 +1,71 @@
+"""Tests for the build-pipeline user hooks (the peert_make_rtw_hook.m
+mechanism of paper section 3)."""
+
+import pytest
+
+from repro.casestudy import ServoConfig, build_servo_model
+from repro.core import PEERTTarget
+from repro.core.target import BUILD_HOOK_POINTS
+
+
+class TestBuildHooks:
+    def test_all_points_fire_in_order(self):
+        sm = build_servo_model(ServoConfig())
+        target = PEERTTarget(sm.model)
+        fired = []
+        for point in BUILD_HOOK_POINTS:
+            target.add_hook(point, lambda t, *a, p=point: fired.append(p))
+        target.build()
+        assert fired == list(BUILD_HOOK_POINTS)
+
+    def test_unknown_point_rejected(self):
+        sm = build_servo_model(ServoConfig())
+        with pytest.raises(ValueError, match="unknown hook point"):
+            PEERTTarget(sm.model).add_hook("before_coffee", lambda t: None)
+
+    def test_before_validate_can_adjust_beans(self):
+        """The paper's example: the hook 'enables the code generation for
+        methods used in the corresponding tlc file' — here it retunes a
+        bean setting before validation locks it in."""
+        sm = build_servo_model(ServoConfig(pwm_frequency=20e3))
+        target = PEERTTarget(sm.model)
+
+        def retune(t, project):
+            project.bean("PWM1").set_property("frequency", 10e3)
+
+        target.add_hook("before_validate", retune)
+        app = target.build()
+        assert app.project.bean("PWM1")["achieved_frequency"] == pytest.approx(
+            10e3, rel=1e-3
+        )
+
+    def test_after_hal_can_inject_files(self):
+        """Cooperation with external development tools: a hook drops a
+        linker script into the build output."""
+        sm = build_servo_model(ServoConfig())
+        target = PEERTTarget(sm.model)
+        target.add_hook(
+            "after_hal",
+            lambda t, artifacts, hal: artifacts.files.__setitem__(
+                "linker.cmd", "/* custom memory map */\n"
+            ),
+        )
+        app = target.build()
+        assert "linker.cmd" in app.artifacts.files
+
+    def test_hook_receives_artifacts(self):
+        sm = build_servo_model(ServoConfig())
+        target = PEERTTarget(sm.model)
+        seen = {}
+        target.add_hook("after_codegen", lambda t, a: seen.setdefault("loc", a.loc))
+        target.build()
+        assert seen["loc"] > 0
+
+    def test_multiple_hooks_same_point(self):
+        sm = build_servo_model(ServoConfig())
+        target = PEERTTarget(sm.model)
+        calls = []
+        target.add_hook("entry", lambda t: calls.append(1))
+        target.add_hook("entry", lambda t: calls.append(2))
+        target.build()
+        assert calls == [1, 2]

@@ -1,0 +1,180 @@
+"""Tests for the PE block set (MIL behaviour and configuration)."""
+
+import pytest
+
+from repro.core.blocks import (
+    ADCBlock,
+    BitIOBlock,
+    PEBlockMode,
+    ProcessorExpertConfig,
+    PWMBlock,
+    QuadDecBlock,
+    TimerIntBlock,
+)
+from repro.model.block import BlockContext
+from repro.pe.properties import BeanConfigError
+
+
+def ctx():
+    return BlockContext()
+
+
+class TestConfiguration:
+    def test_properties_go_to_the_bean(self):
+        blk = ADCBlock("AD1", sample_time=1e-3)
+        blk.set_property("channel", 3)
+        assert blk.bean["channel"] == 3
+        assert blk.get_property("channel") == 3
+
+    def test_invalid_property_raises_immediately(self):
+        blk = ADCBlock("AD1", sample_time=1e-3)
+        with pytest.raises(BeanConfigError):
+            blk.set_property("resolution", 13)
+
+    def test_inspector_is_bean_inspector(self):
+        blk = PWMBlock("PWM1", frequency=20e3)
+        assert "Bean Inspector" in blk.inspector()
+        assert "frequency" in blk.inspector()
+
+    def test_constructor_kwargs_are_bean_props(self):
+        blk = PWMBlock("PWM1", frequency=5e3, polarity="low")
+        assert blk.bean["polarity"] == "low"
+
+    def test_pil_mode_needs_buffer(self):
+        blk = PWMBlock("PWM1")
+        with pytest.raises(ValueError):
+            blk.set_mode(PEBlockMode.PIL)
+
+
+class TestADCBlockMIL:
+    def test_quantizes_to_resolution(self):
+        blk = ADCBlock("AD1", sample_time=1e-3)
+        c = ctx()
+        # mid-rail in, mid-code out
+        assert blk.outputs(0, [1.65], c)[0] in (2047.0, 2048.0)
+        # distinct nearby voltages collapse to the same code
+        v = 1.0
+        lsb = 3.3 / 4096
+        assert blk.outputs(0, [v], c) == blk.outputs(0, [v + lsb / 4], c)
+
+    def test_rail_clipping(self):
+        blk = ADCBlock("AD1", sample_time=1e-3)
+        c = ctx()
+        assert blk.outputs(0, [5.0], c) == [4095.0]
+        assert blk.outputs(0, [-1.0], c) == [0.0]
+
+    def test_reduced_resolution(self):
+        blk = ADCBlock("AD8", sample_time=1e-3, resolution=8)
+        assert blk.outputs(0, [3.3], ctx()) == [255.0]
+
+    def test_vref_validation(self):
+        with pytest.raises(ValueError):
+            ADCBlock("AD1", sample_time=1e-3, vref_low=3.3, vref_high=0.0)
+
+    def test_fires_onend_when_enabled(self):
+        blk = ADCBlock("AD1", sample_time=1e-3)
+        blk.bean.enable_event("OnEnd")
+        fired = []
+        c = ctx()
+        c._fire = lambda p: fired.append(p)
+        blk.outputs(0, [1.0], c)
+        assert fired == [0]
+
+
+class TestPWMBlockMIL:
+    def test_exact_before_validation(self):
+        blk = PWMBlock("PWM1", frequency=20e3)
+        assert blk.outputs(0, [0.123456], ctx()) == [0.123456]
+
+    def test_quantizes_after_validation(self):
+        from repro.pe import PEProject
+
+        blk = PWMBlock("PWM1", frequency=20e3)
+        proj = PEProject("t", "MC56F8367")
+        proj.add_bean(blk.bean)
+        proj.validate()  # sets derived duty_resolution = 1/3000
+        y = blk.outputs(0, [0.123456], ctx())[0]
+        assert y != 0.123456
+        assert abs(y - 0.123456) <= 1 / 3000 / 2 + 1e-12
+
+    def test_clamps(self):
+        blk = PWMBlock("PWM1")
+        assert blk.outputs(0, [1.5], ctx()) == [1.0]
+        assert blk.outputs(0, [-0.5], ctx()) == [0.0]
+
+
+class TestQuadDecBlockMIL:
+    def test_wraps_16bit(self):
+        blk = QuadDecBlock("QD1")
+        assert blk.outputs(0, [65536.0 + 5], ctx()) == [5.0]
+        assert blk.outputs(0, [100.0], ctx()) == [100.0]
+
+
+class TestTimerIntBlockMIL:
+    def test_fires_every_hit(self):
+        blk = TimerIntBlock("TI1", period=1e-3)
+        assert blk.sample_time == 1e-3
+        fired = []
+        c = ctx()
+        c._fire = lambda p: fired.append(p)
+        blk.outputs(0, [], c)
+        assert fired == [0]
+
+    def test_no_fire_in_hw_mode(self):
+        blk = TimerIntBlock("TI1", period=1e-3)
+        blk.mode = PEBlockMode.HW
+        fired = []
+        c = ctx()
+        c._fire = lambda p: fired.append(p)
+        blk.outputs(0, [], c)
+        assert fired == []
+
+
+class TestBitIOBlockMIL:
+    def test_binarizes(self):
+        blk = BitIOBlock("KEY1", direction="input")
+        c = ctx()
+        blk.start(c)
+        assert blk.outputs(0, [0.7], c) == [1.0]
+        assert blk.outputs(0, [0.0], c) == [0.0]
+
+    def test_edge_fires_once_per_edge(self):
+        blk = BitIOBlock("KEY1", direction="input", edge_irq="rising")
+        blk.bean.enable_event("OnEdge")
+        fired = []
+        c = ctx()
+        blk.start(c)
+        c._fire = lambda p: fired.append(p)
+        blk.outputs(0, [0.0], c)
+        blk.outputs(0, [1.0], c)
+        blk.outputs(0, [1.0], c)  # held high: no refire
+        blk.outputs(0, [0.0], c)
+        blk.outputs(0, [1.0], c)
+        assert len(fired) == 2
+
+
+class TestAutosarVariant:
+    def test_functionally_identical_to_pe(self):
+        from repro.core.autosar import AutosarAdc
+
+        pe = ADCBlock("AD1", sample_time=1e-3)
+        aut = AutosarAdc("AD2", sample_time=1e-3, group=0)
+        assert aut.outputs(0, [1.65], ctx()) == pe.outputs(0, [1.65], ctx())
+
+    def test_mcal_param_translation(self):
+        from repro.core.autosar import AutosarAdc, AutosarDio, AutosarGpt, AutosarPwm
+
+        adc = AutosarAdc("AD1", sample_time=1e-3, group=5)
+        assert adc.bean["channel"] == 5
+        pwm = AutosarPwm("P1", channel_id=2, period_frequency=8e3)
+        assert pwm.bean["channel"] == 2 and pwm.bean["frequency"] == 8e3
+        gpt = AutosarGpt("G1", channel_tick_period=2e-3)
+        assert gpt.bean["period"] == 2e-3
+        dio = AutosarDio("D1", channel_id=4, direction="DIO_OUTPUT")
+        assert dio.bean["pin"] == 4 and dio.bean["direction"] == "output"
+
+    def test_autosar_api_style_marker(self):
+        from repro.core.autosar import AutosarPwm
+        from repro.pe.halgen import ApiStyle
+
+        assert AutosarPwm("P1").API_STYLE is ApiStyle.AUTOSAR

@@ -1,0 +1,96 @@
+"""Tests for the model <-> PE-project sync bus (the PES_COM substitute)."""
+
+import pytest
+
+from repro.core.blocks import ADCBlock, ProcessorExpertConfig, PWMBlock
+from repro.core.sync import ModelProjectSync, SyncError
+from repro.model.graph import Model
+from repro.model.library import Gain
+from repro.pe.project import PEProject
+
+
+def rig():
+    m = Model("ctl")
+    m.add(ProcessorExpertConfig("PE", chip="MC56F8367"))
+    m.add(ADCBlock("AD1", sample_time=1e-3))
+    proj = PEProject("ctl")
+    sync = ModelProjectSync(m, proj)
+    return m, proj, sync
+
+
+class TestModelToProject:
+    def test_reconcile_registers_existing_blocks(self):
+        m, proj, sync = rig()
+        assert "AD1" in proj.beans
+        assert proj.cpu.get_property("chip") == "MC56F8367"
+        assert sync.is_consistent()
+
+    def test_insertion_propagates(self):
+        m, proj, sync = rig()
+        m.add(PWMBlock("PWM1", frequency=20e3))
+        assert "PWM1" in proj.beans
+        assert proj.beans["PWM1"] is m.block("PWM1").bean
+
+    def test_erasure_propagates(self):
+        m, proj, sync = rig()
+        m.remove("AD1")
+        assert "AD1" not in proj.beans
+
+    def test_rename_propagates(self):
+        m, proj, sync = rig()
+        m.rename("AD1", "AD_feedback")
+        assert "AD_feedback" in proj.beans
+        assert "AD1" not in proj.beans
+        # the bean itself was renamed (it is the same object)
+        assert m.block("AD_feedback").bean.name == "AD_feedback"
+
+    def test_non_pe_blocks_ignored(self):
+        m, proj, sync = rig()
+        m.add(Gain("g"))
+        assert "g" not in proj.beans
+        m.remove("g")
+        assert sync.is_consistent()
+
+
+class TestProjectToModel:
+    def test_erasure_propagates_back(self):
+        m, proj, sync = rig()
+        proj.remove_bean("AD1")
+        assert "AD1" not in m.blocks
+
+    def test_rename_propagates_back(self):
+        m, proj, sync = rig()
+        proj.rename_bean("AD1", "AD_x")
+        assert "AD_x" in m.blocks and "AD1" not in m.blocks
+
+
+class TestLifecycle:
+    def test_close_detaches(self):
+        m, proj, sync = rig()
+        sync.close()
+        m.add(PWMBlock("PWM1"))
+        assert "PWM1" not in proj.beans
+
+    def test_two_pe_config_blocks_rejected(self):
+        m = Model("bad")
+        m.add(ProcessorExpertConfig("PE1"))
+        m.add(ProcessorExpertConfig("PE2"))
+        with pytest.raises(SyncError):
+            ModelProjectSync(m, PEProject("bad"))
+
+    def test_reconcile_removes_orphan_beans(self):
+        m, proj, sync = rig()
+        sync.close()
+        from repro.pe.beans import PWMBean
+
+        proj.add_bean(PWMBean("orphan"))
+        sync2 = ModelProjectSync(m, proj)
+        assert "orphan" not in proj.beans
+
+    def test_no_echo_loops(self):
+        # a propagated change must not bounce back and forth
+        m, proj, sync = rig()
+        m.rename("AD1", "AD2")
+        m.rename("AD2", "AD1")
+        assert sync.is_consistent()
+        assert set(proj.beans) == {"AD1"}

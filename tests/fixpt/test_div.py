@@ -1,0 +1,70 @@
+"""Tests for fixed-point division and absolute value."""
+
+import pytest
+from hypothesis import assume, given, strategies as st
+
+from repro.fixpt import Fx, FixedPointType, Q15, Q31
+
+
+class TestDivision:
+    def test_exact_division(self):
+        a, b = Fx(0.5, Q15), Fx(0.25, Q15)
+        c = a / b
+        assert float(c) == pytest.approx(Q15.max, abs=Q15.eps)  # 2.0 saturates
+
+    def test_in_range_quotient(self):
+        wide = FixedPointType(32, 16)
+        a, b = Fx(6.0, wide), Fx(2.0, wide)
+        assert float(a / b) == 3.0
+
+    def test_truncates_toward_zero(self):
+        t = FixedPointType(16, 0)
+        assert float(Fx(7.0, t) / Fx(2.0, t)) == 3.0
+        assert float(Fx(-7.0, t) / Fx(2.0, t)) == -3.0
+
+    def test_divide_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Fx(0.5, Q15) / Fx(0.0, Q15)
+        # a value below eps quantizes to zero: also a trap
+        with pytest.raises(ZeroDivisionError):
+            Fx(0.5, Q15) / 1e-9
+
+    def test_rdiv_with_float(self):
+        wide = FixedPointType(32, 16)
+        assert float(6.0 / Fx(2.0, wide)) == 3.0
+
+    def test_result_keeps_dividend_format(self):
+        wide = FixedPointType(32, 16)
+        c = Fx(1.0, wide) / Fx(3.0, wide)
+        assert c.ftype == wide
+        assert abs(float(c) - 1 / 3) < wide.eps
+
+    @given(
+        st.floats(min_value=-100, max_value=100),
+        st.floats(min_value=0.1, max_value=100),
+    )
+    def test_division_error_bound(self, a, b):
+        wide = FixedPointType(32, 16)
+        fa, fb = Fx(a, wide), Fx(b, wide)
+        assume(fb.raw != 0)
+        exact = float(fa) / float(fb)
+        assume(wide.min <= exact <= wide.max)
+        assert abs(float(fa / fb) - exact) <= wide.eps * (1 + abs(exact))
+
+
+class TestAbs:
+    def test_abs_positive_identity(self):
+        a = Fx(0.5, Q15)
+        assert abs(a) is a
+
+    def test_abs_negative(self):
+        assert float(abs(Fx(-0.5, Q15))) == 0.5
+
+    def test_abs_of_min_representable(self):
+        # |-1.0| is not representable in Q15 itself; the grown type holds it
+        a = Fx(-1.0, Q15)
+        assert float(abs(a)) == 1.0
+
+    @given(st.floats(min_value=-0.99, max_value=0.99))
+    def test_abs_matches_float(self, v):
+        assert float(abs(Fx(v, Q15))) == abs(float(Fx(v, Q15)))

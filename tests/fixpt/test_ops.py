@@ -1,0 +1,66 @@
+"""Unit tests for vectorized fixed-point kernels."""
+
+import numpy as np
+import pytest
+
+from repro.fixpt import FixedPointType, Overflow, Rounding, Q15, quantize_array, dequantize_array, saturate_array
+from repro.fixpt.ops import represent_array
+
+
+class TestQuantizeArray:
+    def test_matches_scalar_quantize(self):
+        rng = np.random.default_rng(42)
+        vals = rng.uniform(-2, 2, size=200)
+        raws = quantize_array(vals, Q15)
+        for v, r in zip(vals, raws):
+            assert r == Q15.quantize(float(v))
+
+    def test_matches_scalar_all_roundings(self):
+        rng = np.random.default_rng(7)
+        vals = rng.uniform(-3, 3, size=100)
+        for rounding in Rounding:
+            t = FixedPointType(16, 8, rounding=rounding)
+            raws = quantize_array(vals, t)
+            for v, r in zip(vals, raws):
+                assert r == t.quantize(float(v)), (rounding, v)
+
+    def test_saturates(self):
+        raws = quantize_array(np.array([5.0, -5.0]), Q15)
+        assert raws[0] == Q15.raw_max
+        assert raws[1] == Q15.raw_min
+
+    def test_infinities(self):
+        raws = quantize_array(np.array([np.inf, -np.inf]), Q15)
+        assert raws[0] == Q15.raw_max and raws[1] == Q15.raw_min
+
+    def test_wrap_matches_scalar(self):
+        t = Q15.with_overflow(Overflow.WRAP)
+        vals = np.array([1.0, -1.5, 2.0, 3.75])
+        raws = quantize_array(vals, t)
+        for v, r in zip(vals, raws):
+            assert r == t.quantize(float(v))
+
+
+class TestRoundTrip:
+    def test_dequantize_inverse_on_grid(self):
+        raws = np.arange(-100, 100)
+        vals = dequantize_array(raws, Q15)
+        assert np.array_equal(quantize_array(vals, Q15), raws)
+
+    def test_represent_error_bound(self):
+        rng = np.random.default_rng(3)
+        vals = rng.uniform(-0.9, 0.9, size=500)
+        out = represent_array(vals, Q15)
+        assert np.max(np.abs(out - vals)) < Q15.eps
+
+
+class TestSaturateArray:
+    def test_clip(self):
+        raw = np.array([-(10**6), 10**6, 0])
+        out = saturate_array(raw, Q15)
+        assert list(out) == [Q15.raw_min, Q15.raw_max, 0]
+
+    def test_wrap_signed(self):
+        t = Q15.with_overflow(Overflow.WRAP)
+        out = saturate_array(np.array([32768, -32769]), t)
+        assert list(out) == [-32768, 32767]

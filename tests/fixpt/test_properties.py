@@ -1,0 +1,103 @@
+"""Property-based tests for fixed-point invariants (hypothesis)."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.fixpt import Fx, FixedPointType, Overflow, Rounding, quantize_array
+from repro.fixpt.propagate import propagate_add, propagate_mul
+
+
+def ftypes(max_word=32):
+    return st.builds(
+        FixedPointType,
+        word_length=st.integers(2, max_word),
+        fraction_length=st.integers(-4, max_word),
+        signed=st.booleans(),
+        overflow=st.sampled_from(list(Overflow)),
+        rounding=st.sampled_from(list(Rounding)),
+    )
+
+
+reasonable_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestFormatInvariants:
+    @given(ftypes(), reasonable_floats)
+    def test_quantize_always_in_range(self, t, v):
+        raw = t.quantize(v)
+        assert t.raw_min <= raw <= t.raw_max
+
+    @given(ftypes())
+    def test_grid_roundtrip_identity(self, t):
+        # every raw value on the grid round-trips exactly
+        for raw in (t.raw_min, 0 if not t.signed or t.raw_min <= 0 else t.raw_min, t.raw_max):
+            assert t.quantize(t.to_float(raw)) == raw
+
+    @given(ftypes(), reasonable_floats)
+    def test_saturate_error_bound(self, t, v):
+        if t.overflow is not Overflow.SATURATE:
+            return
+        v = max(t.min, min(t.max, v))
+        err = abs(t.represent(v) - v)
+        assert err < t.eps * (1 + 1e-9)
+
+    @given(ftypes(), reasonable_floats)
+    def test_quantize_monotone_within_range(self, t, v):
+        if t.overflow is not Overflow.SATURATE:
+            return
+        assert t.quantize(v) <= t.quantize(v + t.eps * 2)
+
+
+class TestVectorScalarAgreement:
+    @given(ftypes(), st.lists(reasonable_floats, min_size=1, max_size=30))
+    @settings(max_examples=60)
+    def test_array_matches_scalar(self, t, vals):
+        arr = np.array(vals, dtype=np.float64)
+        raws = quantize_array(arr, t)
+        for v, r in zip(vals, raws):
+            assert r == t.quantize(v)
+
+
+class TestArithmeticInvariants:
+    @given(
+        st.floats(min_value=-0.99, max_value=0.99),
+        st.floats(min_value=-0.99, max_value=0.99),
+    )
+    def test_add_error_bound(self, a, b):
+        t = FixedPointType(16, 15)
+        fa, fb = Fx(a, t), Fx(b, t)
+        exact = float(fa) + float(fb)
+        assert abs(float(fa + fb) - exact) <= (fa + fb).ftype.eps
+
+    @given(
+        st.floats(min_value=-0.99, max_value=0.99),
+        st.floats(min_value=-0.99, max_value=0.99),
+    )
+    def test_mul_is_exact_q15(self, a, b):
+        # Q15 x Q15 -> Q30-in-32-bits is exact: no rounding at all
+        t = FixedPointType(16, 15)
+        fa, fb = Fx(a, t), Fx(b, t)
+        assert float(fa * fb) == float(fa) * float(fb)
+
+    @given(st.floats(min_value=-0.99, max_value=0.99))
+    def test_neg_involution(self, a):
+        t = FixedPointType(16, 15)
+        fa = Fx(a, t)
+        assert float(-(-fa)) == float(fa)
+
+    @given(ftypes(16), ftypes(16))
+    def test_propagate_add_covers_operands(self, a, b):
+        rt = propagate_add(a, b)
+        # the result range must include both operand ranges
+        assert rt.min <= min(a.min, b.min) + rt.eps
+        assert rt.max >= max(a.max, b.max) - rt.eps
+
+    @given(ftypes(16), ftypes(16))
+    def test_propagate_mul_word_growth(self, a, b):
+        rt = propagate_mul(a, b)
+        assert rt.word_length <= 64
+        assert rt.signed == (a.signed or b.signed)

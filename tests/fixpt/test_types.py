@@ -1,0 +1,134 @@
+"""Unit tests for fixed-point format descriptions."""
+
+import math
+
+import pytest
+
+from repro.fixpt import FixedPointType, Overflow, Rounding, Q15, Q31, UQ12
+
+
+class TestRangeAndResolution:
+    def test_q15_range(self):
+        assert Q15.raw_min == -32768
+        assert Q15.raw_max == 32767
+        assert Q15.min == -1.0
+        assert Q15.max == pytest.approx(1.0 - 2**-15)
+
+    def test_unsigned_range(self):
+        u = FixedPointType(8, 0, signed=False)
+        assert u.raw_min == 0
+        assert u.raw_max == 255
+
+    def test_scale_is_power_of_two(self):
+        assert Q15.scale == 2**-15
+        assert Q31.scale == 2**-31
+        assert FixedPointType(16, -2).scale == 4.0
+
+    def test_negative_fraction_length(self):
+        t = FixedPointType(8, -1)
+        assert t.quantize(10.0) == 5
+        assert t.to_float(5) == 10.0
+
+    def test_fraction_longer_than_word(self):
+        t = FixedPointType(8, 10)  # range (-1/8, 1/8)
+        assert t.max < 0.125
+        assert t.represent(0.01) == pytest.approx(0.01, abs=t.eps)
+
+    def test_invalid_word_length_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPointType(0, 0)
+        with pytest.raises(ValueError):
+            FixedPointType(65, 0)
+        with pytest.raises(ValueError):
+            FixedPointType(1, 0, signed=True)
+
+
+class TestQuantize:
+    def test_exact_values_roundtrip(self):
+        for v in (0.0, 0.5, -0.5, 0.25, Q15.max, Q15.min):
+            assert Q15.represent(v) == v
+
+    def test_saturation_high(self):
+        assert Q15.quantize(2.0) == Q15.raw_max
+
+    def test_saturation_low(self):
+        assert Q15.quantize(-2.0) == Q15.raw_min
+
+    def test_wrap_overflow(self):
+        t = Q15.with_overflow(Overflow.WRAP)
+        # 1.0 in Q15 would be raw 32768 -> wraps to -32768 (i.e. -1.0)
+        assert t.quantize(1.0) == -32768
+
+    def test_wrap_unsigned(self):
+        t = FixedPointType(8, 0, signed=False, overflow=Overflow.WRAP)
+        assert t.quantize(256.0) == 0
+        assert t.quantize(257.0) == 1
+
+    def test_rounding_floor_vs_nearest(self):
+        floor_t = FixedPointType(16, 0, rounding=Rounding.FLOOR)
+        near_t = FixedPointType(16, 0, rounding=Rounding.NEAREST)
+        assert floor_t.quantize(1.9) == 1
+        assert near_t.quantize(1.9) == 2
+        assert floor_t.quantize(-1.1) == -2
+        assert near_t.quantize(-1.1) == -1
+
+    def test_rounding_zero_and_ceil(self):
+        zero_t = FixedPointType(16, 0, rounding=Rounding.ZERO)
+        ceil_t = FixedPointType(16, 0, rounding=Rounding.CEIL)
+        assert zero_t.quantize(-1.9) == -1
+        assert ceil_t.quantize(1.1) == 2
+
+    def test_nearest_ties_away_from_zero(self):
+        t = FixedPointType(16, 0, rounding=Rounding.NEAREST)
+        assert t.quantize(0.5) == 1
+        assert t.quantize(-0.5) == -1
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Q15.quantize(float("nan"))
+
+    def test_infinity_saturates(self):
+        assert Q15.quantize(float("inf")) == Q15.raw_max
+        assert Q15.quantize(float("-inf")) == Q15.raw_min
+
+    def test_can_represent(self):
+        assert Q15.can_represent(0.5)
+        assert not Q15.can_represent(1.5)
+        assert not Q15.can_represent(1e-9)
+
+
+class TestPresentation:
+    def test_name(self):
+        assert Q15.name == "sfix16_En15"
+        assert UQ12.name == "ufix16_En12"
+
+    def test_c_type_widths(self):
+        assert Q15.c_type == "int16_t"
+        assert Q31.c_type == "int32_t"
+        assert FixedPointType(8, 7).c_type == "int8_t"
+        assert FixedPointType(12, 0, signed=False).c_type == "uint16_t"
+        assert FixedPointType(40, 0).c_type == "int64_t"
+
+    def test_with_rounding_preserves_rest(self):
+        t = Q15.with_rounding(Rounding.NEAREST)
+        assert t.word_length == 16 and t.fraction_length == 15
+        assert t.rounding is Rounding.NEAREST
+        assert t.overflow is Overflow.SATURATE
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Q15.word_length = 8  # type: ignore[misc]
+
+
+class TestQuantizationError:
+    def test_error_bounded_by_eps_floor(self):
+        t = FixedPointType(16, 12)
+        for v in (0.1, 0.7, -0.3, 3.14159 / 4):
+            err = abs(t.represent(v) - v)
+            assert err < t.eps
+
+    def test_error_bounded_by_half_eps_nearest(self):
+        t = FixedPointType(16, 12, rounding=Rounding.NEAREST)
+        for v in (0.1, 0.7, -0.3, 3.14159 / 4):
+            err = abs(t.represent(v) - v)
+            assert err <= t.eps / 2 + 1e-12

@@ -1,0 +1,102 @@
+"""Unit tests for Fx scalar arithmetic."""
+
+import pytest
+
+from repro.fixpt import Fx, FixedPointType, Q15, Q31
+
+
+class TestConstruction:
+    def test_quantizes_on_construction(self):
+        x = Fx(0.1, Q15)
+        assert abs(float(x) - 0.1) < Q15.eps
+
+    def test_from_raw(self):
+        x = Fx.from_raw(16384, Q15)
+        assert float(x) == 0.5
+
+    def test_from_raw_clamps(self):
+        x = Fx.from_raw(10**9, Q15)
+        assert x.raw == Q15.raw_max
+
+
+class TestArithmetic:
+    def test_add_exact(self):
+        a, b = Fx(0.25, Q15), Fx(0.5, Q15)
+        assert float(a + b) == 0.75
+
+    def test_add_grows_word(self):
+        a, b = Fx(0.75, Q15), Fx(0.75, Q15)
+        c = a + b
+        assert float(c) == 1.5  # would saturate in Q15, fits in the grown type
+        assert c.ftype.word_length == 17
+
+    def test_sub(self):
+        a, b = Fx(0.75, Q15), Fx(0.5, Q15)
+        assert float(a - b) == 0.25
+
+    def test_rsub_with_float(self):
+        a = Fx(0.25, Q15)
+        assert float(1.0 - a) == pytest.approx(Q15.max - 0.25, abs=Q15.eps)
+
+    def test_mul_exact(self):
+        a, b = Fx(0.5, Q15), Fx(0.5, Q15)
+        c = a * b
+        assert float(c) == 0.25
+        # Q15*Q15 -> Q30 in 32 bits
+        assert c.ftype.word_length == 32
+        assert c.ftype.fraction_length == 30
+
+    def test_mul_keeps_full_precision(self):
+        a = Fx.from_raw(1, Q15)  # eps
+        b = Fx.from_raw(1, Q15)
+        c = a * b
+        assert float(c) == 2**-30
+
+    def test_neg(self):
+        a = Fx(-1.0, Q15)
+        b = -a
+        assert float(b) == 1.0  # representable in the grown signed type
+
+    def test_mixed_with_python_float(self):
+        a = Fx(0.5, Q15)
+        assert float(a + 0.25) == 0.75
+        assert float(a * 0.5) == 0.25
+        assert float(2.0 * a) == pytest.approx(float(Fx(2.0, Q15)) * 0.5, abs=2 * Q15.eps)
+
+
+class TestCast:
+    def test_cast_up_is_lossless(self):
+        a = Fx(0.3, Q15)
+        b = a.cast(Q31)
+        assert float(b) == float(a)
+
+    def test_cast_down_quantizes(self):
+        a = Fx(0.3, Q31)
+        b = a.cast(Q15)
+        assert abs(float(b) - 0.3) < Q15.eps
+
+    def test_cast_same_type_identity(self):
+        a = Fx(0.3, Q15)
+        assert a.cast(Q15) is a
+
+    def test_cast_saturates(self):
+        wide = FixedPointType(32, 16)
+        a = Fx(100.0, wide)
+        b = a.cast(Q15)
+        assert float(b) == Q15.max
+
+
+class TestComparisons:
+    def test_ordering(self):
+        a, b = Fx(0.25, Q15), Fx(0.5, Q15)
+        assert a < b and b > a and a <= b and b >= a
+
+    def test_eq_with_float(self):
+        assert Fx(0.5, Q15) == 0.5
+        assert Fx(0.5, Q15) != 0.25
+
+    def test_eq_across_types(self):
+        assert Fx(0.5, Q15) == Fx(0.5, Q31)
+
+    def test_hashable(self):
+        assert hash(Fx(0.5, Q15)) == hash(Fx(0.5, Q31))

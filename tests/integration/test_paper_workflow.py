@@ -1,0 +1,90 @@
+"""The complete paper workflow as a single integration test.
+
+Follows section 2's V-model: model-in-the-loop validation, the fixed-
+point conversion of section 7, code generation through PEERT, processor-
+in-the-loop validation over RS-232, and hardware-in-the-loop — asserting
+the consistency guarantees the paper promises at every rung.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import step_metrics, trajectory_rmse
+from repro.casestudy import ServoConfig, build_servo_model
+from repro.core import PEERTTarget
+from repro.sim import HILSimulator, PILSimulator, run_mil
+
+SETPOINT = 100.0
+T = 0.4
+DT = 1e-4
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    """Run the whole cycle once; individual tests assert on the pieces."""
+    out = {}
+    servo = build_servo_model(ServoConfig(setpoint=SETPOINT, fixed_point=True))
+    out["servo"] = servo
+    out["sig0"] = servo.model.structural_signature()
+    out["mil"] = run_mil(servo.model, t_final=T, dt=DT)
+    app = PEERTTarget(servo.model).build()
+    out["app"] = app
+    pil = PILSimulator(app, baud=115200, plant_dt=DT)
+    out["pil"] = pil.run(T)
+    out["pil_prof"] = pil.profiler()
+
+    servo2 = build_servo_model(ServoConfig(setpoint=SETPOINT, fixed_point=True))
+    app2 = PEERTTarget(servo2.model).build()
+    hil = HILSimulator(app2, plant_dt=DT)
+    out["hil"] = hil.run(T)
+    return out
+
+
+class TestWorkflow:
+    def test_mil_validates_the_design(self, workflow):
+        m = step_metrics(workflow["mil"].t, workflow["mil"]["speed"], SETPOINT)
+        assert m.final_value == pytest.approx(SETPOINT, abs=3.0)
+        assert m.overshoot_pct < 15
+
+    def test_codegen_artifacts_complete(self, workflow):
+        app = workflow["app"]
+        files = app.artifacts.files
+        assert {"servo.c", "servo.h", "main.c", "Makefile", "PE_Types.h"} <= set(files)
+        # every bean contributed its HAL pair
+        for bean in app.project.all_beans():
+            assert f"{bean.name}.c" in files and f"{bean.name}.h" in files
+
+    def test_pil_confirms_the_controller(self, workflow):
+        r = workflow["pil"]
+        assert r.result.final("speed") == pytest.approx(SETPOINT, abs=5.0)
+        assert r.crc_errors == 0
+        stats = workflow["pil_prof"].stats(workflow["app"].tick_vector)
+        assert stats.count == pytest.approx(T / 1e-3, abs=3)
+
+    def test_hil_matches_pil_shape(self, workflow):
+        rmse = trajectory_rmse(
+            workflow["pil"].result.t, workflow["pil"].result["speed"],
+            workflow["hil"].t, workflow["hil"]["speed"],
+        )
+        assert rmse < 10.0
+
+    def test_mil_matches_deployed_shape(self, workflow):
+        rmse = trajectory_rmse(
+            workflow["mil"].t, workflow["mil"]["speed"],
+            workflow["hil"].t, workflow["hil"]["speed"],
+        )
+        assert rmse < 10.0
+
+    def test_single_model_untouched(self, workflow):
+        assert workflow["servo"].model.structural_signature() == workflow["sig0"]
+
+    def test_fixed_point_cost_is_embeddable(self, workflow):
+        app = workflow["app"]
+        # Q15 controller step uses a small slice of the 1 ms period
+        step_time = app.artifacts.step_cost_cycles / 60e6
+        assert step_time < 0.05e-3
+
+    def test_memory_fits_the_chip(self, workflow):
+        app = workflow["app"]
+        assert app.artifacts.ram_bytes < app.project.chip.ram_bytes
+        assert app.artifacts.flash_bytes < app.project.chip.flash_bytes

@@ -1,0 +1,160 @@
+"""Cross-cutting property-based tests (hypothesis)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.comm import PacketCodec, PacketDecoder, PacketType
+from repro.mcu.clock import PrescalerChain
+from repro.mcu.peripherals.qdec import QuadratureDecoder
+from repro.model import Model
+from repro.model.engine import simulate
+from repro.model.library import Constant, Gain, Scope, StateSpace, Sum, UnitDelay
+from repro.stateflow import Chart, State
+
+
+class TestEngineProperties:
+    @given(
+        st.floats(min_value=0.1, max_value=5.0),
+        st.floats(min_value=0.05, max_value=2.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_first_order_lag_matches_closed_form(self, k, tau):
+        """RK4 on dx = (k*u - x)/tau tracks the analytic exponential."""
+        m = Model()
+        u = m.add(Constant("u", value=1.0))
+        plant = m.add(StateSpace("p", A=[[-1.0 / tau]], B=[[k / tau]], C=[[1.0]]))
+        sc = m.add(Scope("s", label="y"))
+        m.connect(u, plant)
+        m.connect(plant, sc)
+        res = simulate(m, t_final=min(3 * tau, 2.0), dt=1e-3)
+        expected = k * (1 - np.exp(-res.t / tau))
+        assert np.max(np.abs(res["y"] - expected)) < 1e-4 * max(1.0, k)
+
+    @given(st.lists(st.floats(min_value=-5, max_value=5), min_size=2, max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_gain_chain_is_product(self, gains):
+        m = Model()
+        src = m.add(Constant("c", value=1.0))
+        prev = src
+        for i, g in enumerate(gains):
+            blk = m.add(Gain(f"g{i}", gain=g))
+            m.connect(prev, blk)
+            prev = blk
+        sc = m.add(Scope("s", label="y"))
+        m.connect(prev, sc)
+        res = simulate(m, t_final=0.002, dt=1e-3)
+        assert res.final("y") == pytest.approx(math.prod(gains), rel=1e-12, abs=1e-12)
+
+    @given(st.integers(min_value=1, max_value=10), st.integers(min_value=1, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_multirate_hold_counts(self, k1, k2):
+        """A discrete block at k*dt holds its output exactly k steps."""
+        dt = 1e-3
+        m = Model()
+        from repro.model.library import Clock
+
+        clk = m.add(Clock("t"))
+        d = m.add(UnitDelay("d", sample_time=k1 * k2 * dt))
+        sc = m.add(Scope("s", label="y"))
+        m.connect(clk, d)
+        m.connect(d, sc)
+        res = simulate(m, t_final=dt * k1 * k2 * 4, dt=dt)
+        y = res["y"]
+        changes = np.count_nonzero(np.diff(y))
+        assert changes <= 4
+
+
+class TestChartProperties:
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=40))
+    @settings(max_examples=30, deadline=None)
+    def test_ring_chart_position(self, n_states, n_events):
+        """A ring of N states advanced K times ends at state K mod N."""
+        ch = Chart()
+        states = [ch.add_state(State(f"s{i}")) for i in range(n_states)]
+        for i in range(n_states):
+            ch.add_transition(states[i], states[(i + 1) % n_states], event="go")
+        ch.start()
+        for _ in range(n_events):
+            ch.dispatch("go")
+        assert ch.active_leaf.name == f"s{n_events % n_states}"
+
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_chart_never_leaves_state_space(self, events):
+        ch = Chart()
+        s1 = ch.add_state(State("s1"))
+        s2 = ch.add_state(State("s2"))
+        ch.add_transition(s1, s2, event="a")
+        ch.add_transition(s2, s1, event="b")
+        ch.start()
+        for e in events:
+            ch.dispatch(e)
+            assert ch.active_leaf.name in ("s1", "s2")
+
+
+class TestCommProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(list(PacketType)),
+                st.lists(st.integers(0, 0xFFFF), max_size=20),
+            ),
+            max_size=10,
+        ),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_stream_with_garbage_between_frames(self, frames, data):
+        """Frames interleaved with arbitrary junk all decode (in order)."""
+        codec, dec = PacketCodec(), PacketDecoder()
+        stream = bytearray()
+        for ptype, words in frames:
+            junk = data.draw(st.binary(max_size=6))
+            # junk must not contain SOF fragments that alias a frame header;
+            # the decoder recovers anyway, but words could then be consumed.
+            stream += bytes(b for b in junk if b != 0xA5)
+            stream += codec.encode(ptype, words)
+        dec.feed(bytes(stream))
+        got = [(p.ptype, list(p.words)) for p in dec.packets]
+        want = [(pt, list(w)) for pt, w in frames]
+        assert got == want
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+    def test_qdec_delta_inverse(self, a, b):
+        d = QuadratureDecoder.count_delta(a, b)
+        assert (b + d) % (1 << 16) == a
+        assert -(1 << 15) <= d < (1 << 15)
+
+
+class TestClockProperties:
+    @given(
+        st.floats(min_value=1e6, max_value=100e6),
+        st.floats(min_value=1e-6, max_value=0.1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_solver_result_is_achievable_and_near_optimal(self, f_in, period):
+        chain = PrescalerChain([1, 2, 4, 8, 16], 0xFFFF)
+        sol = chain.solve_period(f_in, period)
+        if sol is None:
+            # genuinely out of range
+            assert (
+                period > chain.max_period(f_in) * 0.999
+                or period < chain.min_period(f_in) * 1.001
+            )
+            return
+        # achieved value lies exactly on the divider grid
+        assert sol.achieved == pytest.approx(sol.prescaler * sol.modulo / f_in)
+        assert 1 <= sol.modulo <= 0xFFFF
+        # no exhaustive alternative beats it by more than float fuzz
+        best = min(
+            abs(p * m / f_in - period)
+            for p in (1, 2, 4, 8, 16)
+            for m in (
+                max(1, min(0xFFFF, int(period * f_in / p))),
+                max(1, min(0xFFFF, int(period * f_in / p) + 1)),
+            )
+        )
+        assert abs(sol.achieved - period) <= best * (1 + 1e-9) + 1e-15

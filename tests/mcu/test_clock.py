@@ -1,0 +1,83 @@
+"""Unit tests for the clock tree and divider solver."""
+
+import pytest
+
+from repro.mcu import ClockTree, PrescalerChain
+
+
+class TestClockTree:
+    def test_pll_math(self):
+        ct = ClockTree(8e6, pll_mult=15, pll_div=2)
+        assert ct.f_sys == 60e6
+        assert ct.f_bus == 60e6
+
+    def test_bus_divider(self):
+        ct = ClockTree(8e6, pll_mult=15, pll_div=2, bus_div=2)
+        assert ct.f_bus == 30e6
+
+    def test_overclock_rejected(self):
+        with pytest.raises(ValueError):
+            ClockTree(8e6, pll_mult=20, pll_div=1, f_sys_max=60e6)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ClockTree(0.0)
+        with pytest.raises(ValueError):
+            ClockTree(8e6, pll_mult=0)
+
+    def test_cycle_conversions_roundtrip(self):
+        ct = ClockTree(8e6, pll_mult=15, pll_div=2)
+        assert ct.seconds_to_cycles(ct.cycles_to_seconds(1234)) == pytest.approx(1234)
+
+
+class TestPrescalerChain:
+    def test_exact_solution(self):
+        ch = PrescalerChain([1, 2, 4, 8], 0xFFFF)
+        sol = ch.solve_period(60e6, 1e-3)  # 60000 ticks = presc 1, mod 60000
+        assert sol is not None
+        assert sol.exact
+        assert sol.achieved == pytest.approx(1e-3)
+
+    def test_needs_prescaler(self):
+        ch = PrescalerChain([1, 2, 4, 8], 0xFFFF)
+        sol = ch.solve_period(60e6, 5e-3)  # 300000 ticks needs prescaler >= 8
+        assert sol is not None
+        assert sol.prescaler == 8
+        assert sol.relative_error < 1e-4
+
+    def test_out_of_range_returns_none(self):
+        ch = PrescalerChain([1, 2], 0xFF)
+        assert ch.solve_period(60e6, 1.0) is None  # far too long
+        assert ch.solve_period(60e6, 1e-12) is None  # shorter than one tick
+
+    def test_inexact_period_reports_error(self):
+        ch = PrescalerChain([1], 0xFFFF)
+        sol = ch.solve_period(60e6, 1.00001e-3)
+        assert sol is not None
+        assert 0 < sol.relative_error < 2e-5
+        assert not sol.exact
+
+    def test_solve_rate(self):
+        ch = PrescalerChain([1, 2, 4, 8], 0x7FFF)
+        sol = ch.solve_rate(60e6, 20e3)  # 20 kHz PWM
+        assert sol is not None
+        assert sol.achieved == pytest.approx(20e3, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrescalerChain([], 10)
+        with pytest.raises(ValueError):
+            PrescalerChain([0], 10)
+        with pytest.raises(ValueError):
+            PrescalerChain([1], 0)
+        ch = PrescalerChain([1], 10)
+        with pytest.raises(ValueError):
+            ch.solve_period(60e6, -1.0)
+        with pytest.raises(ValueError):
+            ch.solve_rate(60e6, 0.0)
+
+    def test_achieved_is_on_grid(self):
+        ch = PrescalerChain([1, 2, 4], 1000)
+        sol = ch.solve_period(1e6, 3.3e-4)
+        assert sol is not None
+        assert sol.achieved == pytest.approx(sol.prescaler * sol.modulo / 1e6)

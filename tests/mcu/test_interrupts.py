@@ -1,0 +1,199 @@
+"""Tests for the interrupt controller and CPU occupancy model."""
+
+import pytest
+
+from repro.mcu import DispatchMode, InterruptSource, MCUDevice, MC56F8367
+
+
+def device(mode=DispatchMode.NONPREEMPTIVE):
+    return MCUDevice(MC56F8367, dispatch_mode=mode)
+
+
+class TestBasicDispatch:
+    def test_single_isr_runs(self):
+        dev = device()
+        ran = []
+        dev.intc.register(
+            InterruptSource("t", priority=1, cycles=600, on_complete=lambda d: ran.append(d.time))
+        )
+        dev.intc.request("t")
+        dev.run_until(1e-3)
+        assert len(ran) == 1
+        rec = dev.cpu.records[0]
+        assert rec.name == "t"
+        # latency 22 cycles + 600 cycles at 60 MHz
+        assert rec.start_latency == pytest.approx(22 / 60e6)
+        assert rec.execution_time == pytest.approx(600 / 60e6)
+
+    def test_disabled_source_dropped(self):
+        dev = device()
+        dev.intc.register(InterruptSource("t", priority=1, cycles=100))
+        dev.intc.enable("t", False)
+        dev.intc.request("t")
+        dev.run_until(1e-3)
+        assert dev.cpu.records == []
+        assert dev.intc.dropped == [("t", 0.0)]
+
+    def test_duplicate_registration_rejected(self):
+        dev = device()
+        dev.intc.register(InterruptSource("t", priority=1))
+        with pytest.raises(ValueError):
+            dev.intc.register(InterruptSource("t", priority=2))
+
+    def test_callable_cost(self):
+        dev = device()
+        costs = iter([100.0, 200.0])
+        dev.intc.register(InterruptSource("t", priority=1, cycles=lambda: next(costs)))
+        dev.intc.request("t")
+        dev.run_until(1e-4)
+        dev.intc.request("t")
+        dev.run_until(2e-4)
+        assert [r.cycles for r in dev.cpu.records] == [100.0, 200.0]
+
+    def test_busy_accounting(self):
+        dev = device()
+        dev.intc.register(InterruptSource("t", priority=1, cycles=6000))
+        dev.intc.request("t")
+        dev.run_until(1e-3)
+        assert dev.cpu.busy_time == pytest.approx(6000 / 60e6)
+        assert dev.cpu.utilization(1e-3) == pytest.approx(0.1)
+
+
+class TestNonPreemptive:
+    def test_lower_priority_waits(self):
+        dev = device(DispatchMode.NONPREEMPTIVE)
+        order = []
+        dev.intc.register(
+            InterruptSource("low", priority=5, cycles=6000, on_complete=lambda d: order.append("low"))
+        )
+        dev.intc.register(
+            InterruptSource("high", priority=1, cycles=600, on_complete=lambda d: order.append("high"))
+        )
+        dev.intc.request("low")
+        dev.schedule(1e-5, lambda: dev.intc.request("high"))  # arrives mid-low
+        dev.run_until(1e-3)
+        assert order == ["low", "high"]  # no preemption
+        low = dev.cpu.records_for("low")[0]
+        high = dev.cpu.records_for("high")[0]
+        assert high.t_start >= low.t_end  # high waited for low to finish
+        assert low.preemptions == 0
+
+    def test_priority_orders_pending_queue(self):
+        dev = device(DispatchMode.NONPREEMPTIVE)
+        order = []
+        dev.intc.register(
+            InterruptSource("a", priority=5, cycles=6000, on_complete=lambda d: order.append("a"))
+        )
+        dev.intc.register(
+            InterruptSource("b", priority=2, cycles=600, on_complete=lambda d: order.append("b"))
+        )
+        dev.intc.register(
+            InterruptSource("c", priority=1, cycles=600, on_complete=lambda d: order.append("c"))
+        )
+        dev.intc.request("a")
+        dev.schedule(1e-6, lambda: dev.intc.request("b"))
+        dev.schedule(2e-6, lambda: dev.intc.request("c"))
+        dev.run_until(1e-3)
+        assert order == ["a", "c", "b"]  # after a, highest priority first
+
+    def test_max_nesting_is_one(self):
+        dev = device(DispatchMode.NONPREEMPTIVE)
+        dev.intc.register(InterruptSource("a", priority=5, cycles=6000))
+        dev.intc.register(InterruptSource("b", priority=1, cycles=600))
+        dev.intc.request("a")
+        dev.schedule(1e-5, lambda: dev.intc.request("b"))
+        dev.run_until(1e-3)
+        assert dev.cpu.max_nesting == 1
+
+
+class TestPreemptive:
+    def test_high_priority_preempts(self):
+        dev = device(DispatchMode.PREEMPTIVE)
+        order = []
+        dev.intc.register(
+            InterruptSource("low", priority=5, cycles=6000, on_complete=lambda d: order.append("low"))
+        )
+        dev.intc.register(
+            InterruptSource("high", priority=1, cycles=600, on_complete=lambda d: order.append("high"))
+        )
+        dev.intc.request("low")
+        dev.schedule(1e-5, lambda: dev.intc.request("high"))
+        dev.run_until(1e-3)
+        assert order == ["high", "low"]
+        low = dev.cpu.records_for("low")[0]
+        high = dev.cpu.records_for("high")[0]
+        assert low.preemptions == 1
+        assert high.nesting_depth == 2
+        # high's response time is short despite low running
+        assert high.response_time < low.response_time
+
+    def test_preempted_total_time_preserved(self):
+        dev = device(DispatchMode.PREEMPTIVE)
+        dev.intc.register(InterruptSource("low", priority=5, cycles=6000))
+        dev.intc.register(InterruptSource("high", priority=1, cycles=600))
+        dev.intc.request("low")
+        dev.schedule(1e-5, lambda: dev.intc.request("high"))
+        dev.run_until(1e-3)
+        low = dev.cpu.records_for("low")[0]
+        # execution window = own cycles + high's cycles + high's entry latency
+        expected = (6000 + 600 + 22) / 60e6
+        assert low.execution_time == pytest.approx(expected, rel=1e-6)
+
+    def test_equal_priority_does_not_preempt(self):
+        dev = device(DispatchMode.PREEMPTIVE)
+        order = []
+        dev.intc.register(
+            InterruptSource("a", priority=3, cycles=6000, on_complete=lambda d: order.append("a"))
+        )
+        dev.intc.register(
+            InterruptSource("b", priority=3, cycles=600, on_complete=lambda d: order.append("b"))
+        )
+        dev.intc.request("a")
+        dev.schedule(1e-5, lambda: dev.intc.request("b"))
+        dev.run_until(1e-3)
+        assert order == ["a", "b"]
+
+    def test_stack_model_grows_with_nesting(self):
+        dev = device(DispatchMode.PREEMPTIVE)
+        dev.intc.register(InterruptSource("l1", priority=9, cycles=60000))
+        dev.intc.register(InterruptSource("l2", priority=5, cycles=6000))
+        dev.intc.register(InterruptSource("l3", priority=1, cycles=600))
+        dev.intc.request("l1")
+        dev.schedule(1e-5, lambda: dev.intc.request("l2"))
+        dev.schedule(2e-5, lambda: dev.intc.request("l3"))
+        dev.run_until(1e-2)
+        assert dev.cpu.max_nesting == 3
+        assert dev.cpu.max_stack_bytes == 64 + 3 * 32
+
+
+class TestDeviceScheduler:
+    def test_events_run_in_time_order(self):
+        dev = device()
+        seen = []
+        dev.schedule(3e-3, lambda: seen.append("c"))
+        dev.schedule(1e-3, lambda: seen.append("a"))
+        dev.schedule(2e-3, lambda: seen.append("b"))
+        dev.run_until(5e-3)
+        assert seen == ["a", "b", "c"]
+
+    def test_fifo_for_same_timestamp(self):
+        dev = device()
+        seen = []
+        dev.schedule(1e-3, lambda: seen.append(1))
+        dev.schedule(1e-3, lambda: seen.append(2))
+        dev.run_until(1e-3)
+        assert seen == [1, 2]
+
+    def test_cannot_run_backwards(self):
+        dev = device()
+        dev.run_until(1e-3)
+        with pytest.raises(ValueError):
+            dev.run_until(0.5e-3)
+
+    def test_past_event_clamps_to_now(self):
+        dev = device()
+        dev.run_until(1e-3)
+        seen = []
+        dev.schedule(0.0, lambda: seen.append(dev.time))
+        dev.run_until(1e-3)
+        assert seen == [1e-3]

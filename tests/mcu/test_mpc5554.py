@@ -1,0 +1,67 @@
+"""Tests for the PowerPC MPC5554 chip model (FPU-equipped, section 8)."""
+
+import pytest
+
+from repro.casestudy import ServoConfig, build_servo_model
+from repro.codegen import step_cost_cycles
+from repro.core import PEERTTarget
+from repro.core.templates import pe_registry
+from repro.mcu import CHIPS, MC56F8367, MCUDevice, MPC5554
+
+
+class TestDescriptor:
+    def test_in_catalogue(self):
+        assert "MPC5554" in CHIPS
+        assert MPC5554.has_fpu
+        assert MPC5554.word_bits == 32
+
+    def test_default_clock(self):
+        dev = MCUDevice(MPC5554)
+        assert dev.clock.f_sys == pytest.approx(132e6)
+
+    def test_rich_peripheral_complement(self):
+        dev = MCUDevice(MPC5554)
+        assert "timer7" in dev.peripherals
+        assert "spi2" in dev.peripherals
+        assert dev.adc(0).channels == 16
+
+
+class TestFpuEconomics:
+    def test_double_controller_is_cheap_with_fpu(self):
+        sm = build_servo_model(ServoConfig())
+        app = PEERTTarget(sm.model).build()
+        reg = pe_registry()
+        c_dsp = step_cost_cycles(app.cm, MC56F8367, reg)
+        c_ppc = step_cost_cycles(app.cm, MPC5554, reg)
+        # hardware floating point removes the emulation penalty entirely
+        assert c_ppc < c_dsp / 5
+
+    def test_fixed_point_advantage_vanishes_with_fpu(self):
+        sm_f = build_servo_model(ServoConfig(fixed_point=False))
+        sm_q = build_servo_model(ServoConfig(fixed_point=True))
+        app_f = PEERTTarget(sm_f.model).build()
+        app_q = PEERTTarget(sm_q.model).build()
+        reg = pe_registry()
+        ratio_dsp = step_cost_cycles(app_f.cm, MC56F8367, reg) / step_cost_cycles(
+            app_q.cm, MC56F8367, reg
+        )
+        ratio_ppc = step_cost_cycles(app_f.cm, MPC5554, reg) / step_cost_cycles(
+            app_q.cm, MPC5554, reg
+        )
+        # the case study's Q15 conversion pays off on the DSP, barely on
+        # the FPU part — the data-type decision is chip-dependent
+        assert ratio_dsp > 2.0
+        assert ratio_ppc < 1.5
+
+
+class TestRetarget:
+    def test_servo_retargets_to_powerpc(self):
+        sm = build_servo_model(ServoConfig())
+        sm.pe_config.set_property("chip", "MPC5554")
+        app = PEERTTarget(sm.model).build()
+        assert app.project.chip.name == "MPC5554"
+        # and it runs deployed
+        from repro.sim import HILSimulator
+
+        res = HILSimulator(app, plant_dt=1e-4).run(0.3)
+        assert res.final("speed") == pytest.approx(100.0, abs=10.0)

@@ -1,0 +1,336 @@
+"""Tests for the on-chip peripheral models."""
+
+import math
+
+import pytest
+
+from repro.mcu import InterruptSource, MCUDevice, MC56F8367, MC9S12DP256
+
+
+def device():
+    return MCUDevice(MC56F8367)
+
+
+class TestADC:
+    def test_quantization_12bit(self):
+        dev = device()
+        adc = dev.adc(0)
+        assert adc.resolution_bits == 12
+        assert adc.raw_max == 4095
+        assert adc.quantize(0.0) == 0
+        assert adc.quantize(3.3) == 4095  # rail clip
+        mid = adc.quantize(1.65)
+        assert mid in (2047, 2048)
+
+    def test_clipping(self):
+        adc = device().adc(0)
+        assert adc.quantize(-1.0) == 0
+        assert adc.quantize(10.0) == 4095
+
+    def test_conversion_takes_time_and_raises_irq(self):
+        dev = device()
+        adc = dev.adc(0)
+        adc.irq_vector = "adc_eoc"
+        done = []
+        dev.intc.register(
+            InterruptSource("adc_eoc", priority=2, cycles=50, on_complete=lambda d: done.append(d.time))
+        )
+        dev.analog_in[0] = 1.0
+        adc.start_conversion(0)
+        assert adc.read(0) == 0  # not done yet
+        dev.run_until(1e-3)
+        assert adc.read(0) == adc.quantize(1.0)
+        assert len(done) == 1
+        assert done[0] >= adc.conversion_time()
+
+    def test_value_latched_at_start(self):
+        dev = device()
+        adc = dev.adc(0)
+        dev.analog_in[0] = 1.0
+        adc.start_conversion(0)
+        dev.analog_in[0] = 2.0  # changes after sample-and-hold
+        dev.run_until(1e-3)
+        assert adc.read(0) == adc.quantize(1.0)
+
+    def test_busy_ignores_second_start(self):
+        dev = device()
+        adc = dev.adc(0)
+        dev.analog_in[0] = 1.0
+        dev.analog_in[1] = 2.0
+        adc.start_conversion(0)
+        adc.start_conversion(1)  # ignored
+        dev.run_until(1e-3)
+        assert adc.read(1) == 0
+
+    def test_continuous_mode(self):
+        dev = device()
+        adc = dev.adc(0)
+        dev.analog_in[0] = 1.5
+        adc.set_continuous(0)
+        dev.run_until(adc.conversion_time() * 10.5)
+        adc.set_continuous(None)
+        assert adc.read(0) == adc.quantize(1.5)
+
+    def test_bad_channel(self):
+        adc = device().adc(0)
+        with pytest.raises(ValueError):
+            adc.start_conversion(99)
+
+    def test_resolution_varies_by_chip(self):
+        dev10 = MCUDevice(MC9S12DP256)
+        assert dev10.adc(0).resolution_bits == 10
+        assert dev10.adc(0).raw_max == 1023
+
+    def test_roundtrip_error_below_lsb(self):
+        adc = device().adc(0)
+        for v in (0.1, 1.0, 2.345, 3.0):
+            raw = adc.quantize(v)
+            assert abs(adc.to_volts(raw) - v) <= adc.lsb_volts
+
+
+class TestPWM:
+    def test_configure_20khz(self):
+        dev = device()
+        pwm = dev.pwm(0)
+        sol = pwm.configure(20e3)
+        assert sol.achieved == pytest.approx(20e3, rel=1e-3)
+        assert pwm.modulo == 3000  # 60 MHz / 20 kHz
+
+    def test_duty_quantization(self):
+        dev = device()
+        pwm = dev.pwm(0)
+        pwm.configure(20e3)
+        pwm.enable()
+        achieved = pwm.set_duty(0, 0.123456)
+        assert achieved == pwm.duty(0)
+        assert abs(achieved - 0.123456) <= pwm.duty_resolution / 2 + 1e-12
+
+    def test_duty_clamped(self):
+        dev = device()
+        pwm = dev.pwm(0)
+        pwm.configure(20e3)
+        pwm.enable()
+        assert pwm.set_duty(0, 1.5) == 1.0
+        assert pwm.set_duty(0, -0.5) == 0.0
+
+    def test_disabled_outputs_zero(self):
+        dev = device()
+        pwm = dev.pwm(0)
+        pwm.configure(20e3)
+        pwm.set_duty(0, 0.5)
+        assert pwm.duty(0) == 0.0
+        pwm.enable()
+        assert pwm.duty(0) == 0.5
+
+    def test_average_output(self):
+        dev = device()
+        pwm = dev.pwm(0)
+        pwm.configure(20e3)
+        pwm.enable()
+        pwm.set_duty(0, 0.25)
+        assert pwm.average_output(0, 24.0) == pytest.approx(6.0)
+
+    def test_waveform_edge_aligned(self):
+        dev = device()
+        pwm = dev.pwm(0)
+        pwm.configure(20e3)
+        pwm.enable()
+        pwm.set_duty(0, 0.5)
+        T = pwm.period
+        assert pwm.waveform(0, 0.1 * T) == 1
+        assert pwm.waveform(0, 0.9 * T) == 0
+
+    def test_waveform_duty_integral(self):
+        dev = device()
+        pwm = dev.pwm(0)
+        pwm.configure(20e3)
+        pwm.enable()
+        d = pwm.set_duty(0, 0.3)
+        T = pwm.period
+        n = 10000
+        high = sum(pwm.waveform(0, k * T / n) for k in range(n)) / n
+        assert high == pytest.approx(d, abs=2 / n * 10)
+
+    def test_unreachable_frequency(self):
+        dev = device()
+        pwm = dev.pwm(0)
+        with pytest.raises(ValueError):
+            pwm.configure(0.1)  # far below what the 15-bit counter reaches
+
+    def test_unconfigured_raises(self):
+        dev = device()
+        with pytest.raises(RuntimeError):
+            dev.pwm(0).modulo
+
+    def test_hcs12_has_coarser_duty(self):
+        # 8-bit PWM counter on HCS12 vs 15-bit on 56F8367
+        d67 = device()
+        d12 = MCUDevice(MC9S12DP256)
+        p67, p12 = d67.pwm(0), d12.pwm(0)
+        p67.configure(5e3)
+        p12.configure(5e3)
+        assert p12.duty_resolution > p67.duty_resolution
+
+
+class TestPeriodicTimer:
+    def test_ticks_on_grid(self):
+        dev = device()
+        tmr = dev.timer(0)
+        tmr.configure(1e-3)
+        ticks = []
+        tmr.irq_vector = "tick"
+        dev.intc.register(
+            InterruptSource("tick", priority=1, cycles=10, on_start=lambda d: ticks.append(d.time))
+        )
+        tmr.start()
+        dev.run_until(10.5e-3)
+        assert len(ticks) == 10
+        # grid spacing is exact (hardware reload counter)
+        for k in range(1, len(ticks)):
+            assert ticks[k] - ticks[k - 1] == pytest.approx(tmr.period, abs=1e-12)
+
+    def test_stop(self):
+        dev = device()
+        tmr = dev.timer(0)
+        tmr.configure(1e-3)
+        tmr.start()
+        dev.run_until(3.5e-3)
+        tmr.stop()
+        count = tmr.tick_count
+        dev.run_until(10e-3)
+        assert tmr.tick_count == count
+
+    def test_unconfigured_start_rejected(self):
+        dev = device()
+        with pytest.raises(RuntimeError):
+            dev.timer(0).start()
+
+    def test_out_of_range_period(self):
+        dev = device()
+        with pytest.raises(ValueError):
+            dev.timer(0).configure(100.0)
+
+
+class TestGPIO:
+    def test_write_read_output(self):
+        dev = device()
+        port = dev.gpio(0)
+        port.set_direction(3, "out")
+        port.write(3, 1)
+        assert port.read(3) == 1
+
+    def test_write_to_input_rejected(self):
+        dev = device()
+        with pytest.raises(ValueError):
+            dev.gpio(0).write(0, 1)
+
+    def test_edge_interrupt(self):
+        dev = device()
+        port = dev.gpio(0)
+        port.irq_vector = "key"
+        hits = []
+        dev.intc.register(
+            InterruptSource("key", priority=3, cycles=10, on_complete=lambda d: hits.append(d.time))
+        )
+        port.enable_edge_irq(0, "rising")
+        port.drive_input(0, 1)
+        port.drive_input(0, 0)  # falling: no irq
+        port.drive_input(0, 1)
+        dev.run_until(1e-3)
+        assert len(hits) == 2
+
+    def test_edge_irq_needs_input(self):
+        dev = device()
+        port = dev.gpio(0)
+        port.set_direction(0, "out")
+        with pytest.raises(ValueError):
+            port.enable_edge_irq(0)
+
+
+class TestQuadratureDecoder:
+    def test_counts_per_revolution(self):
+        dev = device()
+        q = dev.qdec(0)
+        q.update_from_angle(2 * math.pi, ppr=100)
+        assert q.read_position() == 400  # x4 decoding
+
+    def test_wrapping(self):
+        dev = device()
+        q = dev.qdec(0)
+        q.update_from_angle(200 * 2 * math.pi, ppr=100)  # 80000 counts
+        assert q.read_position() == 80000 % 65536
+
+    def test_reverse_rotation(self):
+        dev = device()
+        q = dev.qdec(0)
+        q.update_from_angle(-math.pi, ppr=100)
+        assert q.read_position() == (0 - 200) % 65536
+
+    def test_count_delta_wrap_aware(self):
+        from repro.mcu.peripherals.qdec import QuadratureDecoder as QD
+
+        assert QD.count_delta(10, 65530) == 16
+        assert QD.count_delta(65530, 10) == -16
+        assert QD.count_delta(100, 50) == 50
+
+    def test_index_pulse(self):
+        dev = device()
+        q = dev.qdec(0)
+        q.update_from_angle(2.5 * 2 * math.pi, ppr=100)
+        assert q.index_count == 2
+
+    def test_reset_on_index(self):
+        dev = device()
+        q = dev.qdec(0)
+        q.reset_on_index = True
+        q.update_from_angle(1.0 * 2 * math.pi, ppr=100)
+        assert q.read_position() == 0
+
+
+class TestWatchdog:
+    def test_fires_without_kick(self):
+        dev = device()
+        wd = dev.wdog(0)
+        resets = []
+        wd.on_reset = lambda: resets.append(dev.time)
+        wd.configure(1e-3)
+        wd.start()
+        dev.run_until(5e-3)
+        assert resets and resets[0] == pytest.approx(1e-3)
+
+    def test_kick_prevents_reset(self):
+        dev = device()
+        wd = dev.wdog(0)
+        wd.configure(1e-3)
+        wd.start()
+        for k in range(1, 10):
+            dev.schedule(k * 0.5e-3, wd.kick)
+        dev.run_until(5e-3)
+        assert wd.reset_count == 0
+
+    def test_unconfigured_start_rejected(self):
+        dev = device()
+        with pytest.raises(RuntimeError):
+            dev.wdog(0).start()
+
+
+class TestDevice:
+    def test_peripheral_complement_from_chip(self):
+        dev = device()
+        names = set(dev.peripherals)
+        assert {"adc0", "adc1", "pwm0", "pwm1", "timer0", "qdec0", "sci0", "gpio0", "wdog0"} <= names
+
+    def test_unknown_peripheral_message(self):
+        dev = device()
+        with pytest.raises(KeyError, match="available"):
+            dev.peripheral("can0")
+
+    def test_reset_clears_state(self):
+        dev = device()
+        dev.analog_in[0] = 1.0
+        dev.adc(0).start_conversion(0)
+        dev.run_until(1e-3)
+        dev.reset()
+        assert dev.time == 0.0
+        assert dev.adc(0).read(0) == 0
+        assert dev.pending_events == 0

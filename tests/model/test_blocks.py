@@ -1,0 +1,336 @@
+"""Per-block unit tests for the standard library."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.model import Model
+from repro.model.block import BlockContext
+from repro.model.engine import simulate
+from repro.model.library import (
+    Abs,
+    Assertion,
+    Bias,
+    Clock,
+    Constant,
+    DataTypeConversion,
+    DeadZone,
+    DiscreteDerivative,
+    DiscreteIntegrator,
+    DiscreteTransferFunction,
+    Gain,
+    Lookup1D,
+    LogicalOperator,
+    ManualSwitch,
+    MathFunction,
+    Memory,
+    MinMax,
+    Product,
+    PulseGenerator,
+    Quantizer,
+    Ramp,
+    RateLimiter,
+    Relay,
+    RelationalOperator,
+    Saturation,
+    Scope,
+    Sign,
+    SineWave,
+    Step,
+    Sum,
+    Switch,
+    Terminator,
+    WhiteNoise,
+    ZeroOrderHold,
+)
+from repro.model.types import INT16, FixptType
+from repro.fixpt import FixedPointType
+
+
+def ctx():
+    return BlockContext()
+
+
+def out(block, u=(), t=0.0, c=None):
+    c = c or ctx()
+    block.start(c)
+    return block.outputs(t, list(u), c)
+
+
+class TestSources:
+    def test_constant(self):
+        assert out(Constant("c", value=7.5)) == [7.5]
+
+    def test_step(self):
+        b = Step("s", step_time=1.0, initial=-1.0, final=2.0)
+        c = ctx()
+        assert b.outputs(0.5, [], c) == [-1.0]
+        assert b.outputs(1.0, [], c) == [2.0]
+
+    def test_ramp(self):
+        b = Ramp("r", slope=2.0, start_time=1.0)
+        c = ctx()
+        assert b.outputs(0.5, [], c) == [0.0]
+        assert b.outputs(2.0, [], c) == [2.0]
+
+    def test_sine(self):
+        b = SineWave("s", amplitude=2.0, frequency=0.25, bias=1.0)
+        c = ctx()
+        assert b.outputs(1.0, [], c)[0] == pytest.approx(3.0)
+
+    def test_pulse(self):
+        b = PulseGenerator("p", amplitude=3.0, period=1.0, duty=0.25)
+        c = ctx()
+        assert b.outputs(0.1, [], c) == [3.0]
+        assert b.outputs(0.5, [], c) == [0.0]
+        assert b.outputs(1.1, [], c) == [3.0]
+
+    def test_pulse_delay(self):
+        b = PulseGenerator("p", period=1.0, duty=0.5, delay=0.5)
+        c = ctx()
+        assert b.outputs(0.2, [], c) == [0.0]
+        assert b.outputs(0.6, [], c) == [1.0]
+
+    def test_pulse_validation(self):
+        with pytest.raises(ValueError):
+            PulseGenerator("p", period=0.0)
+        with pytest.raises(ValueError):
+            PulseGenerator("p", duty=1.5)
+
+    def test_clock(self):
+        assert Clock("c").outputs(2.5, [], ctx()) == [2.5]
+
+    def test_white_noise_reproducible(self):
+        b1, b2 = WhiteNoise("n", std=2.0, seed=5), WhiteNoise("n", std=2.0, seed=5)
+        assert out(b1) == out(b2)
+
+    def test_white_noise_statistics(self):
+        b = WhiteNoise("n", std=1.0, seed=0)
+        c = ctx()
+        b.start(c)
+        samples = [b.outputs(0, [], c)[0] for _ in range(4000)]
+        assert abs(np.mean(samples)) < 0.1
+        assert abs(np.std(samples) - 1.0) < 0.1
+
+
+class TestMathOps:
+    def test_gain(self):
+        assert out(Gain("g", gain=-2.0), [3.0]) == [-6.0]
+
+    def test_bias(self):
+        assert out(Bias("b", bias=1.5), [1.0]) == [2.5]
+
+    def test_sum_signs(self):
+        assert out(Sum("s", signs="+-+"), [1.0, 2.0, 3.0]) == [2.0]
+
+    def test_sum_validation(self):
+        with pytest.raises(ValueError):
+            Sum("s", signs="+x")
+        with pytest.raises(ValueError):
+            Sum("s", signs="")
+
+    def test_product(self):
+        assert out(Product("p", ops="**"), [3.0, 4.0]) == [12.0]
+        assert out(Product("p", ops="*/"), [8.0, 2.0]) == [4.0]
+
+    def test_product_div_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            out(Product("p", ops="*/"), [1.0, 0.0])
+
+    def test_abs_sign(self):
+        assert out(Abs("a"), [-3.0]) == [3.0]
+        assert out(Sign("s"), [-3.0]) == [-1.0]
+        assert out(Sign("s"), [0.0]) == [0.0]
+
+    def test_minmax(self):
+        assert out(MinMax("m", mode="min", n_in=3), [3.0, 1.0, 2.0]) == [1.0]
+        assert out(MinMax("m", mode="max", n_in=2), [3.0, 1.0]) == [3.0]
+
+    def test_math_function(self):
+        assert out(MathFunction("f", "sqrt"), [9.0]) == [3.0]
+        assert out(MathFunction("f", "square"), [3.0]) == [9.0]
+        with pytest.raises(ValueError):
+            MathFunction("f", "nope")
+
+    def test_relational(self):
+        assert out(RelationalOperator("r", "<"), [1.0, 2.0]) == [1.0]
+        assert out(RelationalOperator("r", ">="), [1.0, 2.0]) == [0.0]
+        with pytest.raises(ValueError):
+            RelationalOperator("r", "~=")
+
+    def test_logical(self):
+        assert out(LogicalOperator("l", "AND"), [1.0, 1.0]) == [1.0]
+        assert out(LogicalOperator("l", "OR"), [0.0, 0.0]) == [0.0]
+        assert out(LogicalOperator("l", "XOR"), [1.0, 1.0]) == [0.0]
+        assert out(LogicalOperator("l", "NOT", n_in=1), [0.0]) == [1.0]
+        with pytest.raises(ValueError):
+            LogicalOperator("l", "NOT", n_in=2)
+
+
+class TestDiscreteBlocks:
+    def test_unit_delay_semantics(self):
+        from repro.model.library import UnitDelay
+
+        b = UnitDelay("d", sample_time=0.01, initial=5.0)
+        c = ctx()
+        b.start(c)
+        assert b.outputs(0, [9.0], c) == [5.0]
+        b.update(0, [9.0], c)
+        assert b.outputs(0.01, [7.0], c) == [9.0]
+
+    def test_memory(self):
+        b = Memory("m", initial=1.0)
+        c = ctx()
+        b.start(c)
+        assert b.outputs(0, [2.0], c) == [1.0]
+        b.update(0, [2.0], c)
+        assert b.outputs(0, [3.0], c) == [2.0]
+
+    def test_zoh_passthrough(self):
+        assert out(ZeroOrderHold("z", sample_time=0.01), [4.2]) == [4.2]
+
+    def test_discrete_integrator_accumulates(self):
+        b = DiscreteIntegrator("i", sample_time=0.1, gain=2.0)
+        c = ctx()
+        b.start(c)
+        for _ in range(5):
+            b.update(0, [1.0], c)
+        assert b.outputs(0, [1.0], c)[0] == pytest.approx(1.0)
+
+    def test_discrete_integrator_limits(self):
+        b = DiscreteIntegrator("i", sample_time=1.0, lower=-0.5, upper=0.5)
+        c = ctx()
+        b.start(c)
+        for _ in range(10):
+            b.update(0, [1.0], c)
+        assert b.outputs(0, [1.0], c) == [0.5]
+
+    def test_discrete_tf_matches_difference_equation(self):
+        # y[k] = 0.5 u[k] + 0.5 u[k-1]  (FIR)
+        b = DiscreteTransferFunction("f", [0.5, 0.5], [1.0, 0.0], sample_time=0.01)
+        c = ctx()
+        b.start(c)
+        us = [1.0, 2.0, 3.0]
+        ys = []
+        for u in us:
+            ys.append(b.outputs(0, [u], c)[0])
+            b.update(0, [u], c)
+        assert ys == [0.5, 1.5, 2.5]
+
+    def test_discrete_tf_feedthrough_detection(self):
+        fir = DiscreteTransferFunction("f", [1.0, 0.0], [1.0, 0.5], sample_time=0.01)
+        assert fir.direct_feedthrough
+        strictly_proper = DiscreteTransferFunction("g", [1.0], [1.0, 0.5], sample_time=0.01)
+        assert not strictly_proper.direct_feedthrough
+
+    def test_discrete_tf_validation(self):
+        with pytest.raises(ValueError):
+            DiscreteTransferFunction("f", [1, 0, 0], [1, 0], sample_time=0.01)
+        with pytest.raises(ValueError):
+            DiscreteTransferFunction("f", [1], [0.0, 1], sample_time=0.01)
+
+    def test_discrete_derivative(self):
+        b = DiscreteDerivative("d", sample_time=0.1, gain=1.0)
+        c = ctx()
+        b.start(c)
+        b.update(0, [1.0], c)
+        assert b.outputs(0.1, [2.0], c)[0] == pytest.approx(10.0)
+
+
+class TestNonlinear:
+    def test_saturation(self):
+        b = Saturation("s", lower=-1.0, upper=2.0)
+        assert out(b, [5.0]) == [2.0]
+        assert out(b, [-5.0]) == [-1.0]
+        assert out(b, [0.5]) == [0.5]
+
+    def test_saturation_validation(self):
+        with pytest.raises(ValueError):
+            Saturation("s", lower=1.0, upper=-1.0)
+
+    def test_deadzone(self):
+        b = DeadZone("d", start=-0.5, end=0.5)
+        assert out(b, [0.2]) == [0.0]
+        assert out(b, [1.0]) == [0.5]
+        assert out(b, [-1.0]) == [-0.5]
+
+    def test_relay_hysteresis(self):
+        b = Relay("r", on_point=1.0, off_point=-1.0, on_value=5.0, off_value=0.0)
+        c = ctx()
+        b.start(c)
+        assert b.outputs(0, [0.0], c) == [0.0]
+        b.update(0, [2.0], c)
+        assert b.outputs(0, [0.0], c) == [5.0]  # stays on inside the band
+        b.update(0, [-2.0], c)
+        assert b.outputs(0, [0.0], c) == [0.0]
+
+    def test_rate_limiter(self):
+        b = RateLimiter("r", sample_time=0.1, rising=1.0)
+        c = ctx()
+        b.start(c)
+        assert b.outputs(0, [10.0], c)[0] == pytest.approx(0.1)
+
+    def test_quantizer(self):
+        b = Quantizer("q", interval=0.25)
+        assert out(b, [0.3]) == [0.25]
+        assert out(b, [0.4]) == [0.5]
+
+    def test_coulomb(self):
+        from repro.model.library import Coulomb
+
+        b = Coulomb("c", offset=0.5, gain=0.1)
+        assert out(b, [2.0])[0] == pytest.approx(0.7)
+        assert out(b, [-2.0])[0] == pytest.approx(-0.7)
+        assert out(b, [0.0]) == [0.0]
+
+
+class TestRoutingAndLookup:
+    def test_switch(self):
+        b = Switch("s", threshold=0.5)
+        assert out(b, [1.0, 1.0, 2.0]) == [1.0]
+        assert out(b, [1.0, 0.0, 2.0]) == [2.0]
+
+    def test_manual_switch(self):
+        assert out(ManualSwitch("m", position=1), [1.0, 2.0]) == [2.0]
+        with pytest.raises(ValueError):
+            ManualSwitch("m", position=2)
+
+    def test_lookup_linear(self):
+        b = Lookup1D("l", [0.0, 1.0, 2.0], [0.0, 10.0, 0.0])
+        assert out(b, [0.5]) == [5.0]
+        assert out(b, [-1.0]) == [0.0]  # clipped
+        assert out(b, [3.0]) == [0.0]
+
+    def test_lookup_flat(self):
+        b = Lookup1D("l", [0.0, 1.0, 2.0], [1.0, 2.0, 3.0], mode="flat")
+        assert out(b, [0.99]) == [1.0]
+        assert out(b, [1.0]) == [2.0]
+
+    def test_lookup_validation(self):
+        with pytest.raises(ValueError):
+            Lookup1D("l", [0.0, 0.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            Lookup1D("l", [0.0], [1.0])
+
+
+class TestConversionAndSinks:
+    def test_datatype_conversion_quantizes(self):
+        q12 = FixptType(FixedPointType(16, 12))
+        b = DataTypeConversion("c", q12)
+        y = out(b, [0.1])[0]
+        assert y != 0.1 and abs(y - 0.1) < 2**-12
+
+    def test_datatype_conversion_int(self):
+        b = DataTypeConversion("c", INT16)
+        assert out(b, [3.7]) == [3.0]
+
+    def test_assertion_raises(self):
+        b = Assertion("a", message="boom")
+        with pytest.raises(AssertionError, match="boom"):
+            out(b, [0.0])
+        out(b, [1.0])  # no raise
+
+    def test_terminator_scope_shapes(self):
+        assert out(Terminator("t"), [1.0]) == []
+        assert out(Scope("s"), [1.0]) == []

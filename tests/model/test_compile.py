@@ -1,0 +1,225 @@
+"""Unit tests for model compilation (flattening, validation, sorting)."""
+
+import pytest
+
+from repro.model import Model
+from repro.model.diagnostics import (
+    AlgebraicLoopError,
+    MultipleDriverError,
+    SampleTimeError,
+    TypeMismatchError,
+    UnconnectedPortError,
+)
+from repro.model.library import (
+    Constant,
+    DataTypeConversion,
+    Gain,
+    Inport,
+    Outport,
+    Scope,
+    Subsystem,
+    Sum,
+    Terminator,
+    UnitDelay,
+)
+from repro.model.types import INT16
+from repro.model.block import Block
+
+
+class TestValidation:
+    def test_unconnected_input(self):
+        m = Model()
+        m.add(Gain("g"))
+        with pytest.raises(UnconnectedPortError):
+            m.compile(1e-3)
+
+    def test_multiple_drivers(self):
+        m = Model()
+        a = m.add(Constant("a"))
+        b = m.add(Constant("b"))
+        g = m.add(Gain("g"))
+        t = m.add(Terminator("t"))
+        m.connect(a, g)
+        m.connect(b, g)
+        m.connect(g, t)
+        with pytest.raises(MultipleDriverError):
+            m.compile(1e-3)
+
+    def test_sample_time_not_multiple(self):
+        m = Model()
+        c = m.add(Constant("c"))
+        d = m.add(UnitDelay("d", sample_time=0.0015))
+        t = m.add(Terminator("t"))
+        m.connect(c, d)
+        m.connect(d, t)
+        with pytest.raises(SampleTimeError):
+            m.compile(1e-3)
+
+    def test_sample_time_multiple_ok(self):
+        m = Model()
+        c = m.add(Constant("c"))
+        d = m.add(UnitDelay("d", sample_time=0.004))
+        t = m.add(Terminator("t"))
+        m.connect(c, d)
+        m.connect(d, t)
+        cm = m.compile(1e-3)
+        assert cm.divisors["d"] == 4
+
+    def test_type_mismatch(self):
+        class Int16Sink(Block):
+            n_in = 1
+
+            def expected_input_type(self, port):
+                return INT16
+
+        m = Model()
+        c = m.add(Constant("c"))
+        s = m.add(Int16Sink("s"))
+        m.connect(c, s)
+        with pytest.raises(TypeMismatchError):
+            m.compile(1e-3)
+
+    def test_type_match_via_conversion(self):
+        class Int16Sink(Block):
+            n_in = 1
+
+            def expected_input_type(self, port):
+                return INT16
+
+        m = Model()
+        c = m.add(Constant("c"))
+        conv = m.add(DataTypeConversion("conv", INT16))
+        s = m.add(Int16Sink("s"))
+        m.connect(c, conv)
+        m.connect(conv, s)
+        m.compile(1e-3)  # no raise
+
+    def test_bad_dt(self):
+        with pytest.raises(ValueError):
+            Model().compile(0.0)
+
+
+class TestSorting:
+    def test_topological_order(self):
+        m = Model()
+        c = m.add(Constant("c"))
+        g1 = m.add(Gain("g1"))
+        g2 = m.add(Gain("g2"))
+        s = m.add(Scope("s"))
+        m.connect(c, g1)
+        m.connect(g1, g2)
+        m.connect(g2, s)
+        cm = m.compile(1e-3)
+        order = cm.order
+        assert order.index("c") < order.index("g1") < order.index("g2") < order.index("s")
+
+    def test_algebraic_loop_detected(self):
+        m = Model()
+        s = m.add(Sum("s", signs="++"))
+        g = m.add(Gain("g"))
+        c = m.add(Constant("c"))
+        m.connect(c, s, 0, 0)
+        m.connect(s, g)
+        m.connect(g, s, 0, 1)
+        with pytest.raises(AlgebraicLoopError) as ei:
+            m.compile(1e-3)
+        assert set(ei.value.loop_blocks) >= {"s", "g"}
+
+    def test_loop_broken_by_delay(self):
+        m = Model()
+        s = m.add(Sum("s", signs="++"))
+        d = m.add(UnitDelay("d", sample_time=1e-3))
+        c = m.add(Constant("c"))
+        t = m.add(Terminator("t"))
+        m.connect(c, s, 0, 0)
+        m.connect(s, d)
+        m.connect(d, s, 0, 1)
+        m.connect(s, t)
+        m.compile(1e-3)  # no raise
+
+    def test_deterministic_order(self):
+        def build():
+            m = Model()
+            c = m.add(Constant("c"))
+            for name in ("g3", "g1", "g2"):
+                g = m.add(Gain(name))
+                m.connect(c, g)
+                m.connect(g, m.add(Terminator("t_" + name)))
+            return m.compile(1e-3).order
+
+        assert build() == build()
+
+
+class TestFlattening:
+    @staticmethod
+    def subsystem_model():
+        # outer: const -> sub(gain*2) -> scope
+        sub = Subsystem("sub")
+        inp = sub.inner.add(Inport("in0", index=0))
+        g = sub.inner.add(Gain("g", gain=2.0))
+        outp = sub.inner.add(Outport("out0", index=0))
+        sub.inner.connect(inp, g)
+        sub.inner.connect(g, outp)
+
+        m = Model()
+        c = m.add(Constant("c", value=3.0))
+        m.add(sub)
+        s = m.add(Scope("sc", label="y"))
+        m.connect(c, sub)
+        m.connect(sub, s)
+        return m
+
+    def test_subsystem_flattens(self):
+        cm = self.subsystem_model().compile(1e-3)
+        assert "sub.g" in cm.nodes
+        assert "sub" not in cm.nodes
+        assert not any(q.endswith("in0") or q.endswith("out0") for q in cm.nodes)
+
+    def test_flattened_simulation(self):
+        from repro.model.engine import simulate
+
+        res = simulate(self.subsystem_model(), t_final=0.01, dt=1e-3)
+        assert res.final("y") == 6.0
+
+    def test_nested_subsystems(self):
+        inner = Subsystem("inner")
+        i_in = inner.inner.add(Inport("i", index=0))
+        i_g = inner.inner.add(Gain("g", gain=5.0))
+        i_out = inner.inner.add(Outport("o", index=0))
+        inner.inner.connect(i_in, i_g)
+        inner.inner.connect(i_g, i_out)
+
+        outer = Subsystem("outer")
+        o_in = outer.inner.add(Inport("i", index=0))
+        outer.inner.add(inner)
+        o_out = outer.inner.add(Outport("o", index=0))
+        outer.inner.connect(o_in, inner)
+        outer.inner.connect(inner, o_out)
+
+        m = Model()
+        c = m.add(Constant("c", value=2.0))
+        m.add(outer)
+        s = m.add(Scope("sc", label="y"))
+        m.connect(c, outer)
+        m.connect(outer, s)
+
+        cm = m.compile(1e-3)
+        assert "outer.inner.g" in cm.nodes
+
+        from repro.model.engine import simulate
+
+        assert simulate(m, t_final=0.005, dt=1e-3).final("y") == 10.0
+
+    def test_fundamental_rate(self):
+        m = Model()
+        c = m.add(Constant("c"))
+        d1 = m.add(UnitDelay("d1", sample_time=2e-3))
+        d2 = m.add(UnitDelay("d2", sample_time=4e-3))
+        t1 = m.add(Terminator("t1"))
+        t2 = m.add(Terminator("t2"))
+        m.connect(c, d1)
+        m.connect(c, d2)
+        m.connect(d1, t1)
+        m.connect(d2, t2)
+        cm = m.compile(1e-3)
+        assert cm.fundamental_rate() == pytest.approx(2e-3)

@@ -1,0 +1,128 @@
+"""Tests for the extra library blocks (TransportDelay, Backlash, EdgeDetector)."""
+
+import numpy as np
+import pytest
+
+from repro.model import Model
+from repro.model.block import BlockContext
+from repro.model.engine import simulate
+from repro.model.library import Backlash, Clock, EdgeDetector, PulseGenerator, Scope, TransportDelay
+
+
+def ctx():
+    return BlockContext()
+
+
+class TestTransportDelay:
+    def test_delays_by_n_steps(self):
+        m = Model()
+        clk = m.add(Clock("clk"))
+        d = m.add(TransportDelay("d", sample_time=1e-3, delay_steps=3))
+        sc = m.add(Scope("s", label="y"))
+        sc2 = m.add(Scope("s2", label="t"))
+        m.connect(clk, d)
+        m.connect(d, sc)
+        m.connect(clk, sc2)
+        res = simulate(m, t_final=0.02, dt=1e-3)
+        assert np.allclose(res["y"][3:], res["t"][:-3])
+
+    def test_initial_fill(self):
+        b = TransportDelay("d", sample_time=1e-3, delay_steps=2, initial=7.0)
+        c = ctx()
+        b.start(c)
+        assert b.outputs(0, [1.0], c) == [7.0]
+        b.update(0, [1.0], c)
+        assert b.outputs(0, [2.0], c) == [7.0]
+        b.update(0, [2.0], c)
+        assert b.outputs(0, [3.0], c) == [1.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransportDelay("d", sample_time=1e-3, delay_steps=0)
+
+    def test_codegen_template_exists(self):
+        from repro.codegen import default_registry
+
+        default_registry().lookup(TransportDelay)
+
+
+class TestBacklash:
+    def test_holds_inside_gap(self):
+        b = Backlash("b", width=1.0)
+        c = ctx()
+        b.start(c)
+        # input moves within the half-width: output stays put
+        assert b.outputs(0, [0.4], c) == [0.0]
+        b.update(0, [0.4], c)
+        assert b.outputs(0, [0.0], c) == [0.0]
+
+    def test_follows_when_engaged(self):
+        b = Backlash("b", width=1.0)
+        c = ctx()
+        b.start(c)
+        b.update(0, [2.0], c)  # push through the gap
+        assert c.dwork["y"] == pytest.approx(1.5)
+        b.update(0, [3.0], c)
+        assert c.dwork["y"] == pytest.approx(2.5)  # engaged: follows
+
+    def test_reversal_crosses_full_gap(self):
+        b = Backlash("b", width=1.0)
+        c = ctx()
+        b.start(c)
+        b.update(0, [2.0], c)   # engaged forward at y=1.5
+        b.update(0, [1.2], c)   # back inside the gap: hold
+        assert c.dwork["y"] == pytest.approx(1.5)
+        b.update(0, [0.5], c)   # engage the other flank
+        assert c.dwork["y"] == pytest.approx(1.0)
+
+    def test_zero_width_is_transparent(self):
+        b = Backlash("b", width=0.0)
+        c = ctx()
+        b.start(c)
+        for v in (0.3, -1.2, 5.0):
+            assert b.outputs(0, [v], c) == [v]
+            b.update(0, [v], c)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Backlash("b", width=-1.0)
+
+
+class TestEdgeDetector:
+    def test_rising_pulse(self):
+        m = Model()
+        src = m.add(PulseGenerator("p", period=0.01, duty=0.5))
+        e = m.add(EdgeDetector("e", sample_time=1e-3, edge="rising"))
+        sc = m.add(Scope("s", label="y"))
+        m.connect(src, e)
+        m.connect(e, sc)
+        res = simulate(m, t_final=0.03, dt=1e-3)
+        # one pulse per rising edge, each exactly 1 sample wide
+        pulses = int(np.sum(res["y"]))
+        assert pulses in (3, 4)  # edges at t=0, 0.01, 0.02 (+0.03 mod fmod fuzz)
+        # never two consecutive pulse samples
+        assert not np.any((res["y"][:-1] == 1.0) & (res["y"][1:] == 1.0))
+
+    def test_falling_and_both(self):
+        e = EdgeDetector("e", sample_time=1e-3, edge="falling")
+        c = ctx()
+        e.start(c)
+        e.update(0, [1.0], c)
+        assert e.outputs(0, [0.0], c) == [1.0]
+        e2 = EdgeDetector("e2", sample_time=1e-3, edge="both")
+        c2 = ctx()
+        e2.start(c2)
+        assert e2.outputs(0, [1.0], c2) == [1.0]
+        e2.update(0, [1.0], c2)
+        assert e2.outputs(0, [0.0], c2) == [1.0]
+
+    def test_no_pulse_on_steady_level(self):
+        e = EdgeDetector("e", sample_time=1e-3)
+        c = ctx()
+        e.start(c)
+        e.update(0, [1.0], c)
+        assert e.outputs(0, [1.0], c) == [0.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EdgeDetector("e", sample_time=1e-3, edge="diagonal")

@@ -1,0 +1,105 @@
+"""Unit tests for Model construction and editing."""
+
+import pytest
+
+from repro.model import Model, ModelError
+from repro.model.diagnostics import DuplicateNameError
+from repro.model.library import Constant, Gain, Scope, Sum, UnitDelay
+
+
+def tiny_model():
+    m = Model("t")
+    c = m.add(Constant("c", value=2.0))
+    g = m.add(Gain("g", gain=3.0))
+    s = m.add(Scope("sc"))
+    m.connect(c, g)
+    m.connect(g, s)
+    return m
+
+
+class TestConstruction:
+    def test_add_returns_block(self):
+        m = Model()
+        b = m.add(Constant("c"))
+        assert m.block("c") is b
+
+    def test_duplicate_name_rejected(self):
+        m = Model()
+        m.add(Constant("c"))
+        with pytest.raises(DuplicateNameError):
+            m.add(Gain("c"))
+
+    def test_invalid_block_name(self):
+        with pytest.raises(ValueError):
+            Constant("")
+        with pytest.raises(ValueError):
+            Constant("a/b")
+
+    def test_connect_unknown_block(self):
+        m = Model()
+        m.add(Constant("c"))
+        with pytest.raises(ModelError):
+            m.connect("c", "nope")
+
+    def test_connect_bad_ports(self):
+        m = Model()
+        c = m.add(Constant("c"))
+        g = m.add(Gain("g"))
+        with pytest.raises(ModelError):
+            m.connect(c, g, src_port=1)
+        with pytest.raises(ModelError):
+            m.connect(c, g, dst_port=5)
+
+    def test_connect_event_requires_event_port(self):
+        m = Model()
+        c = m.add(Constant("c"))
+        g = m.add(Gain("g"))
+        with pytest.raises(ModelError):
+            m.connect_event(c, g)
+
+
+class TestEditing:
+    def test_remove_drops_lines(self):
+        m = tiny_model()
+        m.remove("g")
+        assert "g" not in m.blocks
+        assert all(c.src != "g" and c.dst != "g" for c in m.connections)
+
+    def test_remove_unknown(self):
+        m = tiny_model()
+        with pytest.raises(ModelError):
+            m.remove("nope")
+
+    def test_rename_rewrites_lines(self):
+        m = tiny_model()
+        m.rename("g", "gain2")
+        assert "gain2" in m.blocks and "g" not in m.blocks
+        assert any(c.src == "gain2" for c in m.connections)
+        assert any(c.dst == "gain2" for c in m.connections)
+
+    def test_rename_collision(self):
+        m = tiny_model()
+        with pytest.raises(DuplicateNameError):
+            m.rename("g", "c")
+
+
+class TestQueries:
+    def test_drivers_and_consumers(self):
+        m = tiny_model()
+        assert len(m.drivers_of("g", 0)) == 1
+        assert m.drivers_of("g", 0)[0].src == "c"
+        assert len(m.consumers_of("g", 0)) == 1
+
+    def test_blocks_of_type(self):
+        m = tiny_model()
+        assert len(m.blocks_of_type(Gain)) == 1
+        assert len(m.blocks_of_type(Scope)) == 1
+
+    def test_structural_signature_stable(self):
+        assert tiny_model().structural_signature() == tiny_model().structural_signature()
+
+    def test_structural_signature_changes_on_edit(self):
+        m1 = tiny_model()
+        m2 = tiny_model()
+        m2.add(UnitDelay("d", sample_time=0.01))
+        assert m1.structural_signature() != m2.structural_signature()

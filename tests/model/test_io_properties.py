@@ -1,0 +1,65 @@
+"""Property-based round-trip tests for model persistence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model import Model
+from repro.model.engine import simulate
+from repro.model.io import model_from_dict, model_to_dict
+from repro.model.library import (
+    Bias,
+    Constant,
+    Gain,
+    Saturation,
+    Scope,
+    Sum,
+    UnitDelay,
+)
+
+# strategies building random (valid) chains of simple blocks -----------------
+block_makers = st.sampled_from([
+    lambda i, v: Gain(f"g{i}", gain=v),
+    lambda i, v: Bias(f"b{i}", bias=v),
+    lambda i, v: Saturation(f"s{i}", lower=-abs(v) - 1.0, upper=abs(v) + 1.0),
+    lambda i, v: UnitDelay(f"d{i}", sample_time=1e-3, initial=v),
+])
+
+
+@st.composite
+def chain_models(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    m = Model("rand")
+    src = m.add(Constant("src", value=draw(st.floats(-3, 3))))
+    prev = src
+    for i in range(n):
+        maker = draw(block_makers)
+        v = draw(st.floats(min_value=-2, max_value=2))
+        blk = m.add(maker(i, v))
+        m.connect(prev, blk)
+        prev = blk
+    sc = m.add(Scope("sc", label="y"))
+    m.connect(prev, sc)
+    return m
+
+
+class TestIoProperties:
+    @given(chain_models())
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_behaviour_identical(self, model):
+        doc = model_to_dict(model)
+        clone = model_from_dict(doc)
+        r1 = simulate(model, t_final=0.01, dt=1e-3)
+        r2 = simulate(clone, t_final=0.01, dt=1e-3)
+        assert np.array_equal(r1["y"], r2["y"])
+
+    @given(chain_models())
+    @settings(max_examples=30, deadline=None)
+    def test_document_is_json_stable(self, model):
+        import json
+
+        doc = model_to_dict(model)
+        doc2 = json.loads(json.dumps(doc))
+        clone = model_from_dict(doc2)
+        assert set(clone.blocks) == set(model.blocks)
+        assert len(clone.connections) == len(model.connections)

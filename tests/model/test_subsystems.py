@@ -1,0 +1,180 @@
+"""Tests for function-call subsystems and event dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.model import Model, ModelError
+from repro.model.block import Block, BlockContext
+from repro.model.engine import simulate, Simulator, SimulationOptions
+from repro.model.library import (
+    Clock,
+    Constant,
+    FunctionCallSubsystem,
+    Gain,
+    Inport,
+    Integrator,
+    Outport,
+    Scope,
+    Terminator,
+    UnitDelay,
+)
+
+
+class EveryNSteps(Block):
+    """Test helper: fires its event port every ``n``-th major step."""
+
+    n_out = 1
+    n_events = 1
+    direct_feedthrough = False
+
+    def __init__(self, name, n=2):
+        super().__init__(name)
+        self.n = n
+
+    def start(self, ctx):
+        ctx.dwork["k"] = 0
+
+    def outputs(self, t, u, ctx):
+        if ctx.dwork["k"] % self.n == 0:
+            ctx.fire(0)
+        return [float(ctx.dwork["k"])]
+
+    def update(self, t, u, ctx):
+        ctx.dwork["k"] += 1
+
+
+def counting_fcsub(name="isr"):
+    """FC subsystem that multiplies its input by 10."""
+    fc = FunctionCallSubsystem(name)
+    i = fc.inner.add(Inport("in0", index=0))
+    g = fc.inner.add(Gain("g", gain=10.0))
+    o = fc.inner.add(Outport("out0", index=0))
+    fc.inner.connect(i, g)
+    fc.inner.connect(g, o)
+    return fc
+
+
+class TestFunctionCallSubsystem:
+    def build(self, n=2):
+        m = Model()
+        src = m.add(EveryNSteps("src", n=n))
+        fc = m.add(counting_fcsub())
+        sc = m.add(Scope("sc", label="y"))
+        m.connect(src, fc)  # data: step count in
+        m.connect(fc, sc)
+        m.connect_event(src, fc)
+        return m, fc
+
+    def test_executes_only_on_trigger(self):
+        m, fc = self.build(n=3)
+        simulate(m, t_final=0.009, dt=1e-3)  # 10 major steps: k=0..9
+        # fires at k = 0, 3, 6, 9 -> 4 calls
+        assert fc.call_count == 4
+
+    def test_output_holds_between_calls(self):
+        m, fc = self.build(n=5)
+        res = simulate(m, t_final=0.009, dt=1e-3)
+        y = res["y"]
+        # triggered at k=0 (y=0) and k=5 (y=50); held in between
+        assert np.all(y[0:5] == 0.0)
+        assert np.all(y[5:] == 50.0)
+
+    def test_inner_discrete_state_persists(self):
+        # FC subsystem with an inner accumulator: counts calls
+        fc = FunctionCallSubsystem("acc")
+        i = fc.inner.add(Inport("in0", index=0))
+        d = fc.inner.add(UnitDelay("d", sample_time=1e-3))
+        from repro.model.library import Sum
+
+        s = fc.inner.add(Sum("s", signs="++"))
+        o = fc.inner.add(Outport("out0", index=0))
+        fc.inner.connect(i, s, 0, 0)
+        fc.inner.connect(d, s, 0, 1)
+        fc.inner.connect(s, d)
+        fc.inner.connect(s, o)
+
+        m = Model()
+        src = m.add(EveryNSteps("src", n=1))
+        c = m.add(Constant("one", value=1.0))
+        sc = m.add(Scope("sc", label="count"))
+        m.add(fc)
+        m.connect(c, fc)
+        m.connect(fc, sc)
+        m.connect_event(src, fc)
+        m.connect(src, m.add(Terminator("t")))
+        res = simulate(m, t_final=0.004, dt=1e-3)
+        assert res["count"][-1] == 5.0  # one increment per call
+
+    def test_triggerable_flag_required(self):
+        m = Model()
+        src = m.add(EveryNSteps("src"))
+        g = m.add(Gain("g"))
+        with pytest.raises(ModelError):
+            m.connect_event(src, g)
+
+    def test_continuous_states_rejected_inside(self):
+        fc = FunctionCallSubsystem("bad")
+        i = fc.inner.add(Inport("in0", index=0))
+        integ = fc.inner.add(Integrator("i"))
+        o = fc.inner.add(Outport("out0", index=0))
+        fc.inner.connect(i, integ)
+        fc.inner.connect(integ, o)
+
+        m = Model()
+        src = m.add(EveryNSteps("src"))
+        m.add(fc)
+        sc = m.add(Scope("sc"))
+        m.connect(src, fc)
+        m.connect(fc, sc)
+        m.connect_event(src, fc)
+        with pytest.raises(ModelError, match="continuous"):
+            m.compile(1e-3)
+
+    def test_uncompiled_execution_rejected(self):
+        fc = counting_fcsub()
+        ctx = BlockContext()
+        with pytest.raises(ModelError, match="not compiled"):
+            fc.start(ctx)
+
+    def test_duplicate_port_index_rejected(self):
+        fc = FunctionCallSubsystem("dup")
+        fc.inner.add(Inport("a", index=0))
+        fc.inner.add(Inport("b", index=0))
+        with pytest.raises(ModelError, match="duplicate"):
+            fc.n_in
+
+
+class TestEventFanout:
+    def test_one_event_two_targets(self):
+        m = Model()
+        src = m.add(EveryNSteps("src", n=1))
+        fc1 = m.add(counting_fcsub("isr1"))
+        fc2 = m.add(counting_fcsub("isr2"))
+        sc1 = m.add(Scope("s1"))
+        sc2 = m.add(Scope("s2"))
+        m.connect(src, fc1)
+        m.connect(src, fc2)
+        m.connect(fc1, sc1)
+        m.connect(fc2, sc2)
+        m.connect_event(src, fc1)
+        m.connect_event(src, fc2)
+        simulate(m, t_final=0.002, dt=1e-3)
+        assert fc1.call_count == 3
+        assert fc2.call_count == 3
+
+    def test_events_do_not_fire_in_minor_steps(self):
+        # RK4 on a model with continuous state: minor steps must not trigger
+        m = Model()
+        src = m.add(EveryNSteps("src", n=1))
+        fc = m.add(counting_fcsub())
+        sc = m.add(Scope("sc"))
+        c = m.add(Constant("c", value=1.0))
+        integ = m.add(Integrator("i"))
+        t2 = m.add(Terminator("t2"))
+        m.connect(src, fc)
+        m.connect(fc, sc)
+        m.connect_event(src, fc)
+        m.connect(c, integ)
+        m.connect(integ, t2)
+        simulate(m, t_final=0.004, dt=1e-3, solver="rk4")
+        assert fc.call_count == 5  # exactly one call per major step

@@ -1,0 +1,258 @@
+"""Tests for the Embedded Bean framework and the bean library."""
+
+import pytest
+
+from repro.mcu import InterruptSource, MC56F8367
+from repro.pe import BeanConfigError, PEProject
+from repro.pe.beans import (
+    ADCBean,
+    AsynchroSerialBean,
+    BitIOBean,
+    CPUBean,
+    PWMBean,
+    QuadDecBean,
+    TimerIntBean,
+    WatchDogBean,
+)
+
+
+class TestBeanBasics:
+    def test_property_set_get(self):
+        b = ADCBean("AD1")
+        b["channel"] = 3
+        assert b["channel"] == 3
+
+    def test_kwargs_constructor(self):
+        b = ADCBean("AD1", channel=2, resolution=10)
+        assert b["channel"] == 2 and b["resolution"] == 10
+
+    def test_invalid_property_value_immediate(self):
+        b = ADCBean("AD1")
+        with pytest.raises(BeanConfigError):
+            b["resolution"] = 13  # not an offered resolution
+
+    def test_unknown_property(self):
+        with pytest.raises(BeanConfigError):
+            ADCBean("AD1")["nope"] = 1
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValueError):
+            ADCBean("1AD")
+        with pytest.raises(ValueError):
+            ADCBean("AD 1")
+
+    def test_unbound_call_rejected(self):
+        with pytest.raises(RuntimeError, match="not bound"):
+            ADCBean("AD1").call("Measure")
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(BeanConfigError):
+            ADCBean("AD1").call("Nope")
+
+    def test_event_vector_naming(self):
+        b = ADCBean("AD1")
+        assert b.event_vector("OnEnd") == "AD1_OnEnd"
+        with pytest.raises(BeanConfigError):
+            b.event_vector("OnNothing")
+
+    def test_inspector_lists_everything(self):
+        b = PWMBean("PWM1")
+        text = b.inspector()
+        assert "frequency" in text
+        assert "SetRatio16" in text
+        assert "OnEnd" in text
+        assert "Bean Inspector" in text
+
+
+def bound_project(**beans):
+    proj = PEProject("t", "MC56F8367")
+    for bean in beans.values():
+        proj.add_bean(bean)
+    device = proj.build_device()
+    return proj, device
+
+
+class TestADCBean:
+    def test_measure_getvalue_roundtrip(self):
+        proj, dev = bound_project(ad=ADCBean("AD1", channel=0))
+        dev.analog_in[0] = 1.65
+        proj.bean("AD1").call("Measure", False)
+        dev.run_for(1e-3)
+        raw = proj.bean("AD1").call("GetValue")
+        assert abs(raw - 2048) <= 1  # mid-rail on 12 bits
+
+    def test_reduced_resolution_shifts(self):
+        proj, dev = bound_project(ad=ADCBean("AD1", channel=0, resolution=8))
+        dev.analog_in[0] = 3.3
+        proj.bean("AD1").call("Measure", False)
+        dev.run_for(1e-3)
+        assert proj.bean("AD1").call("GetValue") == 255
+
+    def test_onend_event_fires(self):
+        ad = ADCBean("AD1", channel=0)
+        ad.enable_event("OnEnd")
+        proj, dev = bound_project(ad=ad)
+        hits = []
+        dev.intc.register(
+            InterruptSource("AD1_OnEnd", priority=2, cycles=30,
+                            on_complete=lambda d: hits.append(d.time))
+        )
+        ad.call("Measure", False)
+        dev.run_for(1e-3)
+        assert len(hits) == 1
+
+    def test_continuous_mode(self):
+        ad = ADCBean("AD1", channel=0, mode="continuous")
+        proj, dev = bound_project(ad=ad)
+        dev.analog_in[0] = 2.0
+        dev.run_for(1e-3)
+        assert ad.call("GetValue") > 0
+
+
+class TestPWMBean:
+    def test_set_ratio16(self):
+        proj, dev = bound_project(p=PWMBean("PWM1", frequency=20e3))
+        p = proj.bean("PWM1")
+        p.call("Enable")
+        achieved = p.call("SetRatio16", 32768)
+        assert achieved == pytest.approx(0.5, abs=1e-3)
+        assert dev.pwm(0).duty(0) == achieved
+
+    def test_polarity_low_inverts(self):
+        proj, dev = bound_project(p=PWMBean("PWM1", frequency=20e3, polarity="low"))
+        p = proj.bean("PWM1")
+        p.call("Enable")
+        achieved = p.call("SetRatio16", 0)
+        assert achieved == 1.0
+
+    def test_duty_percent(self):
+        proj, dev = bound_project(p=PWMBean("PWM1", frequency=20e3))
+        p = proj.bean("PWM1")
+        p.call("Enable")
+        assert p.call("SetDutyPercent", 25) == pytest.approx(0.25, abs=1e-3)
+
+    def test_derived_properties_after_validate(self):
+        proj = PEProject("t", "MC56F8367")
+        p = proj.add_bean(PWMBean("PWM1", frequency=20e3))
+        proj.validate()
+        assert p["achieved_frequency"] == pytest.approx(20e3, rel=1e-3)
+        assert p["duty_resolution"] == pytest.approx(1 / 3000)
+
+
+class TestTimerIntBean:
+    def test_periodic_event(self):
+        ti = TimerIntBean("TI1", period=1e-3)
+        proj, dev = bound_project(ti=ti)
+        ticks = []
+        dev.intc.register(
+            InterruptSource("TI1_OnInterrupt", priority=1, cycles=50,
+                            on_start=lambda d: ticks.append(d.time))
+        )
+        ti.call("Enable")
+        dev.run_for(10.5e-3)
+        assert len(ticks) == 10
+
+    def test_achieved_period_derived(self):
+        proj = PEProject("t", "MC56F8367")
+        ti = proj.add_bean(TimerIntBean("TI1", period=1e-3))
+        proj.validate()
+        assert ti["achieved_period"] == pytest.approx(1e-3, rel=1e-6)
+
+
+class TestBitIOBean:
+    def test_output_putval(self):
+        b = BitIOBean("LED1", pin=5, direction="output", init_value=1)
+        proj, dev = bound_project(b=b)
+        assert b.call("GetVal") == 1
+        b.call("PutVal", 0)
+        assert b.call("GetVal") == 0
+        b.call("NegVal")
+        assert b.call("GetVal") == 1
+
+    def test_input_drive(self):
+        b = BitIOBean("KEY1", pin=2, direction="input")
+        proj, dev = bound_project(b=b)
+        assert b.call("GetVal") == 0
+        b.drive(1)
+        assert b.call("GetVal") == 1
+
+    def test_edge_event(self):
+        b = BitIOBean("KEY1", pin=2, direction="input", edge_irq="rising")
+        b.enable_event("OnEdge")
+        proj, dev = bound_project(b=b)
+        hits = []
+        dev.intc.register(
+            InterruptSource("KEY1_OnEdge", priority=3, cycles=20,
+                            on_complete=lambda d: hits.append(1))
+        )
+        b.drive(1)
+        b.drive(0)
+        b.drive(1)
+        dev.run_for(1e-3)
+        assert len(hits) == 2
+
+    def test_pin_maps_across_ports(self):
+        # MC56F8367 gpio ports are 16 wide; pin 20 -> gpio1 pin 4
+        b = BitIOBean("IO", pin=20, direction="output")
+        proj, dev = bound_project(b=b)
+        b.call("PutVal", 1)
+        assert dev.gpio(1).read(4) == 1
+
+
+class TestQuadDecBean:
+    def test_get_position(self):
+        import math
+
+        q = QuadDecBean("QD1")
+        proj, dev = bound_project(q=q)
+        dev.qdec(0).update_from_angle(math.pi, ppr=100)
+        assert q.call("GetPosition") == 200
+
+
+class TestWatchDogBean:
+    def test_clear_keeps_alive(self):
+        w = WatchDogBean("WD1", timeout=1e-3)
+        proj, dev = bound_project(w=w)
+        w.call("Enable")
+        for k in range(1, 10):
+            dev.schedule(k * 0.5e-3, lambda: w.call("Clear"))
+        dev.run_for(5e-3)
+        assert dev.wdog(0).reset_count == 0
+
+
+class TestSerialBean:
+    def test_achieved_baud_derived(self):
+        proj = PEProject("t", "MC56F8367")
+        s = proj.add_bean(AsynchroSerialBean("AS1", baud=115200))
+        report = proj.validate()
+        assert report.ok
+        assert s["achieved_baud"] == pytest.approx(113636, rel=1e-3)
+
+    def test_send_through_loopback(self):
+        from repro.comm import SerialLine, HostSerialPort
+
+        s = AsynchroSerialBean("AS1", baud=115200)
+        proj, dev = bound_project(s=s)
+        line = SerialLine(dev)
+        s.sci.connect(line, 0)
+        line.declare_baud(0, s.sci.baud)
+        host = HostSerialPort(dev, 115200)
+        host.connect(line, 1)
+        s.call("SendChar", 0x41)
+        dev.run_for(1e-2)
+        assert host.receive() == b"A"
+
+
+class TestCPUBean:
+    def test_default_clock(self):
+        cpu = CPUBean("Cpu", chip="MC56F8367")
+        assert cpu.clock_tree().f_sys == pytest.approx(60e6)
+
+    def test_invalid_pll_caught_by_check(self):
+        cpu = CPUBean("Cpu", chip="MC56F8367", xtal=8e6, pll_mult=20, pll_div=1)
+        findings = cpu.check(cpu.descriptor, None, None)
+        assert any(f.level == "error" for f in findings)
+
+    def test_unknown_chip_rejected(self):
+        with pytest.raises(BeanConfigError):
+            CPUBean("Cpu", chip="MC13337")

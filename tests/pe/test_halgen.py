@@ -1,0 +1,88 @@
+"""Focused tests for the HAL code generator internals."""
+
+import pytest
+
+from repro.pe import ApiStyle, PEProject
+from repro.pe.beans import ADCBean, PWMBean, TimerIntBean
+from repro.pe.halgen import HalBundle, generate_hal, method_symbol
+
+
+def small_project(chip="MC56F8367"):
+    proj = PEProject("p", chip)
+    proj.add_bean(ADCBean("AD1", channel=3))
+    proj.add_bean(PWMBean("PWM1", frequency=10e3))
+    return proj
+
+
+class TestMethodSymbols:
+    def test_pe_style(self):
+        b = ADCBean("AD1")
+        assert method_symbol(b, "Measure", ApiStyle.PE) == "AD1_Measure"
+
+    def test_autosar_known_mapping(self):
+        b = ADCBean("AD1")
+        assert (
+            method_symbol(b, "Measure", ApiStyle.AUTOSAR)
+            == "Adc_StartGroupConversion_AD1"
+        )
+
+    def test_autosar_fallback_for_unmapped(self):
+        b = TimerIntBean("TI1")
+        # Enable maps to StartTimer; an unmapped name keeps its own
+        assert method_symbol(b, "Enable", ApiStyle.AUTOSAR) == "Gpt_StartTimer_TI1"
+
+
+class TestGeneratedContent:
+    def test_header_guard_and_include(self):
+        proj = small_project()
+        proj.validate()
+        hal = generate_hal(proj)
+        hdr = hal.files["AD1.h"]
+        assert "#ifndef __AD1_H" in hdr
+        assert '#include "PE_Types.h"' in hdr
+
+    def test_init_body_carries_validated_settings(self):
+        proj = small_project()
+        proj.validate()  # derives achieved values
+        hal = generate_hal(proj)
+        src = hal.files["AD1.c"]
+        assert "AD1_Init" in src
+        assert "CHANNEL" in src.upper()  # channel register write
+
+    def test_event_callbacks_only_when_enabled(self):
+        proj = small_project()
+        hal1 = generate_hal(proj)
+        assert "AD1_OnEnd" not in hal1.files["AD1.h"]
+        proj.bean("AD1").enable_event("OnEnd")
+        hal2 = generate_hal(proj)
+        assert "AD1_OnEnd" in hal2.files["AD1.h"]
+
+    def test_pe_types_shared_header(self):
+        hal = generate_hal(small_project())
+        assert "typedef unsigned short word;" in hal.files["PE_Types.h"]
+
+    def test_bundle_partitions(self):
+        hal = generate_hal(small_project())
+        assert set(hal.headers()) | set(hal.sources()) == set(hal.files)
+        assert all(n.endswith(".h") for n in hal.headers())
+
+    def test_symbol_table_excludes_comments(self):
+        hal = generate_hal(small_project())
+        for sym in hal.symbol_table():
+            assert " " not in sym
+            assert sym.isidentifier()
+
+
+class TestChipSpecificBodies:
+    def test_bodies_name_the_chip(self):
+        proj = small_project("MCF5235")
+        hal = generate_hal(proj)
+        assert "MCF5235" in hal.files["PWM1.c"]
+        assert "MCF5235" in hal.files["PWM1.h"]
+
+    def test_same_interface_different_body(self):
+        p1, p2 = small_project("MC56F8367"), small_project("MCF5235")
+        p1.validate(), p2.validate()
+        h1, h2 = generate_hal(p1), generate_hal(p2)
+        assert h1.symbol_table() == h2.symbol_table()
+        assert h1.files["AD1.c"] != h2.files["AD1.c"]

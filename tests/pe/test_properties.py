@@ -1,0 +1,94 @@
+"""Unit tests for the bean property system."""
+
+import pytest
+
+from repro.pe import (
+    BeanConfigError,
+    BoolProperty,
+    DerivedProperty,
+    EnumProperty,
+    FloatProperty,
+    IntProperty,
+)
+
+
+class TestEnumProperty:
+    def test_valid_choice(self):
+        p = EnumProperty("mode", ["once", "continuous"])
+        assert p.validate("B", "once") == "once"
+
+    def test_invalid_choice(self):
+        p = EnumProperty("mode", ["once", "continuous"])
+        with pytest.raises(BeanConfigError, match="mode"):
+            p.validate("B", "sometimes")
+
+    def test_default_is_first_choice(self):
+        assert EnumProperty("m", ["a", "b"]).default == "a"
+
+    def test_empty_choices_rejected(self):
+        with pytest.raises(ValueError):
+            EnumProperty("m", [])
+
+
+class TestIntProperty:
+    def test_bounds(self):
+        p = IntProperty("ch", minimum=0, maximum=7)
+        assert p.validate("B", 3) == 3
+        with pytest.raises(BeanConfigError):
+            p.validate("B", 8)
+        with pytest.raises(BeanConfigError):
+            p.validate("B", -1)
+
+    def test_non_integer_rejected(self):
+        p = IntProperty("ch")
+        with pytest.raises(BeanConfigError):
+            p.validate("B", "three")
+        with pytest.raises(BeanConfigError):
+            p.validate("B", 1.5)
+
+    def test_integral_float_accepted(self):
+        assert IntProperty("ch").validate("B", 3.0) == 3
+
+
+class TestFloatProperty:
+    def test_bounds_and_units_in_message(self):
+        p = FloatProperty("f", minimum=1.0, maximum=10.0, unit="Hz")
+        assert p.validate("B", 5) == 5.0
+        with pytest.raises(BeanConfigError, match="Hz"):
+            p.validate("B", 100.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(BeanConfigError):
+            FloatProperty("f").validate("B", float("nan"))
+
+    def test_non_number_rejected(self):
+        with pytest.raises(BeanConfigError):
+            FloatProperty("f").validate("B", "fast")
+
+
+class TestBoolProperty:
+    def test_accepts_bool_and_01(self):
+        p = BoolProperty("en")
+        assert p.validate("B", True) is True
+        assert p.validate("B", 0) is False
+
+    def test_rejects_other(self):
+        with pytest.raises(BeanConfigError):
+            BoolProperty("en").validate("B", "yes")
+
+
+class TestDerivedProperty:
+    def test_read_only(self):
+        p = DerivedProperty("achieved")
+        with pytest.raises(BeanConfigError, match="read-only"):
+            p.validate("B", 1.0)
+
+    def test_describe_all(self):
+        for p in (
+            EnumProperty("a", [1]),
+            IntProperty("b"),
+            FloatProperty("c"),
+            BoolProperty("d"),
+            DerivedProperty("e"),
+        ):
+            assert isinstance(p.describe(), str) and p.describe()

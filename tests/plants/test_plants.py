@@ -1,0 +1,167 @@
+"""Tests for the plant models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.model import Model
+from repro.model.engine import simulate
+from repro.model.library import Constant, Scope
+from repro.plants import (
+    DCMotor,
+    IRCEncoder,
+    MAXON_24V,
+    MotorParams,
+    PowerStage,
+    build_servo_plant,
+)
+from repro.model.block import BlockContext
+
+
+class TestMotorParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MotorParams(R=-1, L=1e-3, Kt=0.02, Ke=0.02, J=1e-5, b=1e-6)
+        with pytest.raises(ValueError):
+            MotorParams(R=1, L=1e-3, Kt=0.02, Ke=0.02, J=1e-5, b=-1e-6)
+
+    def test_no_load_speed_physical(self):
+        # a 24 V motor with Ke=0.0255 runs slightly below 24/Ke rad/s
+        w = MAXON_24V.no_load_speed
+        assert 0.7 * 24 / MAXON_24V.Ke < w < 24 / MAXON_24V.Ke
+
+    def test_time_constants(self):
+        assert MAXON_24V.elec_time_constant < MAXON_24V.mech_time_constant
+
+
+class TestDCMotor:
+    def run_motor(self, voltage, t_final=0.4, load=0.0):
+        m = Model()
+        v = m.add(Constant("v", value=voltage))
+        tau = m.add(Constant("tau", value=load))
+        motor = m.add(DCMotor("motor"))
+        sp = m.add(Scope("sp", label="speed"))
+        cur = m.add(Scope("cur", label="current"))
+        m.connect(v, motor, 0, DCMotor.IN_VOLTAGE)
+        m.connect(tau, motor, 0, DCMotor.IN_LOAD)
+        m.connect(motor, sp, DCMotor.OUT_SPEED, 0)
+        m.connect(motor, cur, DCMotor.OUT_CURRENT, 0)
+        return simulate(m, t_final=t_final, dt=1e-4)
+
+    def test_reaches_steady_state_speed(self):
+        res = self.run_motor(24.0)
+        # steady state: Kt*i = b*w + tau_c ; v = R*i + Ke*w
+        p = MAXON_24V
+        w = res.final("speed")
+        i = res.final("current")
+        assert abs(p.Kt * i - p.b * w - p.tau_coulomb) < 1e-4
+        assert abs(24.0 - p.R * i - p.Ke * w) < 1e-2
+
+    def test_speed_scales_with_voltage(self):
+        w24 = self.run_motor(24.0).final("speed")
+        w12 = self.run_motor(12.0).final("speed")
+        assert 0.4 < w12 / w24 < 0.6
+
+    def test_load_torque_slows_motor(self):
+        free = self.run_motor(24.0).final("speed")
+        loaded = self.run_motor(24.0, load=0.02).final("speed")
+        assert loaded < free
+
+    def test_zero_voltage_stays_stopped(self):
+        res = self.run_motor(0.0, t_final=0.2)
+        assert abs(res.final("speed")) < 1e-3
+
+    def test_negative_voltage_reverses(self):
+        res = self.run_motor(-24.0)
+        assert res.final("speed") < -100
+
+
+class TestPowerStage:
+    def outputs(self, block, duty):
+        return block.outputs(0.0, [duty], BlockContext())[0]
+
+    def test_bipolar_midpoint_is_zero(self):
+        ps = PowerStage("ps", v_supply=24.0, bipolar=True, v_drop=0.0)
+        assert self.outputs(ps, 0.5) == 0.0
+        assert self.outputs(ps, 1.0) == 24.0
+        assert self.outputs(ps, 0.0) == -24.0
+
+    def test_unipolar(self):
+        ps = PowerStage("ps", v_supply=24.0, bipolar=False, v_drop=0.0)
+        assert self.outputs(ps, 0.5) == 12.0
+
+    def test_conduction_drop(self):
+        ps = PowerStage("ps", v_supply=24.0, bipolar=True, v_drop=0.7)
+        assert self.outputs(ps, 1.0) == pytest.approx(23.3)
+        assert self.outputs(ps, 0.5) == 0.0  # inside the drop band
+
+    def test_duty_clamped(self):
+        ps = PowerStage("ps", v_supply=24.0, bipolar=False, v_drop=0.0)
+        assert self.outputs(ps, 1.5) == 24.0
+        assert self.outputs(ps, -0.5) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerStage("ps", v_supply=0.0)
+        with pytest.raises(ValueError):
+            PowerStage("ps", v_drop=-1.0)
+
+
+class TestIRCEncoder:
+    def test_counts_per_rev(self):
+        enc = IRCEncoder("enc", ppr=100)
+        assert enc.counts_per_rev == 400
+        out = enc.outputs(0, [2 * math.pi], BlockContext())
+        assert out[IRCEncoder.OUT_COUNT] == 400 % 65536
+
+    def test_quantization_grid(self):
+        enc = IRCEncoder("enc", ppr=100)
+        # just below one count-width the count is still 0
+        angle = 0.99 * enc.angle_resolution
+        assert enc.outputs(0, [angle], BlockContext())[0] == 0.0
+        assert enc.outputs(0, [1.01 * enc.angle_resolution], BlockContext())[0] == 1.0
+
+    def test_index_pulse_once_per_rev(self):
+        enc = IRCEncoder("enc", ppr=100)
+        assert enc.outputs(0, [0.0], BlockContext())[1] == 1.0
+        assert enc.outputs(0, [math.pi], BlockContext())[1] == 0.0
+        assert enc.outputs(0, [2 * math.pi], BlockContext())[1] == 1.0
+
+    def test_count_delta_wraps(self):
+        assert IRCEncoder.count_delta(3.0, 65533.0) == 6.0
+        assert IRCEncoder.count_delta(65533.0, 3.0) == -6.0
+
+
+class TestServoPlantAssembly:
+    def test_open_loop_spin_up(self):
+        m = Model("ol")
+        duty = m.add(Constant("duty", value=1.0))
+        load = m.add(Constant("load", value=0.0))
+        plant = m.add(build_servo_plant())
+        sp = m.add(Scope("sp", label="speed"))
+        cnt = m.add(Scope("cnt", label="count"))
+        m.connect(duty, plant, 0, 0)
+        m.connect(load, plant, 0, 1)
+        m.connect(plant, cnt, 0, 0)
+        m.connect(plant, sp, 1, 0)
+        res = simulate(m, t_final=0.4, dt=1e-4)
+        assert res.final("speed") > 300  # rad/s at full bipolar drive
+        # count grid: integer values only
+        assert np.all(res["count"] == np.floor(res["count"]))
+
+    def test_half_duty_holds_still_bipolar(self):
+        m = Model("ol")
+        duty = m.add(Constant("duty", value=0.5))
+        load = m.add(Constant("load", value=0.0))
+        plant = m.add(build_servo_plant())
+        sp = m.add(Scope("sp", label="speed"))
+        for port, blk in ((0, duty), (1, load)):
+            m.connect(blk, plant, 0, port)
+        m.connect(plant, sp, 1, 0)
+        t = m.add(__import__("repro.model.library", fromlist=["Terminator"]).Terminator("t"))
+        t2 = m.add(__import__("repro.model.library", fromlist=["Terminator"]).Terminator("t2"))
+        m.connect(plant, t, 0, 0)
+        m.connect(plant, t2, 2, 0)
+        res = simulate(m, t_final=0.15, dt=1e-4)
+        assert abs(res.final("speed")) < 1.0

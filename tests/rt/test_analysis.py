@@ -1,0 +1,129 @@
+"""Tests for the static response-time analysis, validated against the
+simulated interrupt controller (analysis must be safe, and tight when the
+critical instant occurs)."""
+
+import pytest
+
+from repro.mcu import DispatchMode, InterruptSource, MCUDevice, MC56F8367
+from repro.rt import AnalyzedTask, BareBoardRuntime, Profiler, ResponseTimeAnalysis
+
+F = 60e6
+LAT = 22  # MC56F8367 vector latency
+
+
+def task(name, prio, period, wcec):
+    return AnalyzedTask(name, prio, period, wcec, latency_cycles=LAT)
+
+
+class TestBasics:
+    def test_utilization(self):
+        rta = ResponseTimeAnalysis(
+            [task("a", 1, 1e-3, 6000), task("b", 2, 2e-3, 12000)], F
+        )
+        expected = (6000 + LAT) / F / 1e-3 + (12000 + LAT) / F / 2e-3
+        assert rta.utilization() == pytest.approx(expected)
+
+    def test_single_task_response(self):
+        rta = ResponseTimeAnalysis([task("a", 1, 1e-3, 6000)], F)
+        r = rta.response_time("a")
+        assert r.response_time == pytest.approx((6000 + LAT) / F)
+        assert r.schedulable
+
+    def test_unknown_task(self):
+        rta = ResponseTimeAnalysis([task("a", 1, 1e-3, 100)], F)
+        with pytest.raises(KeyError):
+            rta.response_time("zz")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            ResponseTimeAnalysis([task("a", 1, 1e-3, 1), task("a", 2, 1e-3, 1)], F)
+
+    def test_overload_unschedulable(self):
+        rta = ResponseTimeAnalysis(
+            [task("a", 1, 1e-3, 50_000), task("b", 2, 1e-3, 50_000)], F
+        )
+        assert not rta.all_schedulable()
+
+    def test_report_format(self):
+        rta = ResponseTimeAnalysis([task("a", 1, 1e-3, 6000)], F)
+        text = rta.report()
+        assert "response-time analysis" in text and "a" in text
+
+
+class TestNonPreemptiveSemantics:
+    def test_blocking_term_is_longest_other(self):
+        rta = ResponseTimeAnalysis(
+            [task("hi", 1, 1e-3, 600), task("lo", 5, 10e-3, 30_000)], F,
+            DispatchMode.NONPREEMPTIVE,
+        )
+        r = rta.response_time("hi")
+        assert r.blocking == pytest.approx((30_000 + LAT) / F)
+        # hi may have to wait out the whole lo handler
+        assert r.response_time >= r.blocking
+
+    def test_preemptive_has_no_blocking(self):
+        rta = ResponseTimeAnalysis(
+            [task("hi", 1, 1e-3, 600), task("lo", 5, 10e-3, 30_000)], F,
+            DispatchMode.PREEMPTIVE,
+        )
+        r = rta.response_time("hi")
+        assert r.blocking == 0.0
+        assert r.response_time < 1e-3 * 0.1
+
+    def test_low_priority_suffers_interference(self):
+        rta = ResponseTimeAnalysis(
+            [task("hi", 1, 1e-3, 6000), task("lo", 5, 5e-3, 6000)], F,
+            DispatchMode.NONPREEMPTIVE,
+        )
+        r = rta.response_time("lo")
+        assert r.interference > 0
+        assert r.response_time > (6000 + LAT) / F
+
+
+class TestBoundsAgainstSimulation:
+    def _simulate_worst(self, mode, tick_cycles, noise_cycles, noise_period):
+        """Simulated max response of the tick under periodic interference
+        arranged to hit the critical instant (noise released just before
+        each tick)."""
+        dev = MCUDevice(MC56F8367, dispatch_mode=mode)
+        rt = BareBoardRuntime(dev, 1e-3, lambda: None, float(tick_cycles),
+                              priority=2)
+        rt.install()
+        dev.intc.register(InterruptSource("noise", priority=1,
+                                          cycles=float(noise_cycles)))
+        t = 1e-3 - 1e-7  # just before the first tick
+        while t < 0.2:
+            dev.schedule(t, lambda: dev.intc.request("noise"))
+            t += noise_period
+        rt.start()
+        dev.run_for(0.21)
+        return Profiler(dev).stats(rt.TICK_VECTOR).response_max
+
+    @pytest.mark.parametrize("mode", [DispatchMode.NONPREEMPTIVE,
+                                      DispatchMode.PREEMPTIVE])
+    def test_analysis_upper_bounds_simulation(self, mode):
+        tick_c, noise_c, noise_T = 6000, 9000, 2e-3
+        tasks = [
+            task("noise", 1, noise_T, noise_c),
+            task("rt_tick", 2, 1e-3, tick_c),
+        ]
+        rta = ResponseTimeAnalysis(tasks, F, mode)
+        bound = rta.response_time("rt_tick").response_time
+        observed = self._simulate_worst(mode, tick_c, noise_c, noise_T)
+        assert observed <= bound * (1 + 1e-9), "analysis must be safe"
+        # and reasonably tight: within 2x of the constructed critical case
+        assert bound <= observed * 2.5
+
+    def test_app_task_derivation(self):
+        from repro.casestudy import ServoConfig, build_servo_model
+        from repro.core import PEERTTarget
+        from repro.rt import tasks_from_app
+
+        sm = build_servo_model(ServoConfig())
+        app = PEERTTarget(sm.model).build()
+        tasks = tasks_from_app(app)
+        rta = ResponseTimeAnalysis(tasks, 60e6)
+        assert rta.all_schedulable()
+        r = rta.response_time(app.tick_vector)
+        # the design has huge margin at 1 kHz
+        assert r.response_time < 0.1e-3

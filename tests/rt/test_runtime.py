@@ -1,0 +1,146 @@
+"""Tests for the bare-board runtime and the profiler."""
+
+import pytest
+
+from repro.mcu import DispatchMode, MCUDevice, MC56F8367
+from repro.rt import BareBoardRuntime, Profiler
+
+
+def make_runtime(period=1e-3, step_cycles=6000.0, mode=DispatchMode.NONPREEMPTIVE):
+    dev = MCUDevice(MC56F8367, dispatch_mode=mode)
+    steps = []
+    rt = BareBoardRuntime(dev, period, lambda: steps.append(dev.time), step_cycles)
+    return dev, rt, steps
+
+
+class TestBareBoardRuntime:
+    def test_periodic_steps_execute(self):
+        dev, rt, steps = make_runtime()
+        achieved = rt.install()
+        assert achieved == pytest.approx(1e-3, rel=1e-6)
+        rt.start()
+        rt.run_for(10.5e-3)
+        assert len(steps) == 10
+
+    def test_event_task_coexists(self):
+        dev, rt, steps = make_runtime()
+        rt.install()
+        events = []
+        rt.add_event_task("adc_eoc", cycles=200, action=lambda: events.append(dev.time))
+        rt.start()
+        dev.schedule(2.5e-3, lambda: dev.intc.request("adc_eoc"))
+        rt.run_for(5.5e-3)
+        assert len(events) == 1 and len(steps) == 5
+
+    def test_double_install_rejected(self):
+        dev, rt, _ = make_runtime()
+        rt.install()
+        with pytest.raises(RuntimeError):
+            rt.install()
+
+    def test_start_requires_install(self):
+        dev, rt, _ = make_runtime()
+        with pytest.raises(RuntimeError):
+            rt.start()
+
+    def test_stop_halts_steps(self):
+        dev, rt, steps = make_runtime()
+        rt.install()
+        rt.start()
+        rt.run_for(3.5e-3)
+        rt.stop()
+        rt.run_for(5e-3)
+        assert len(steps) == 3
+
+    def test_background_task_starves_under_load(self):
+        # with a heavy step the background loop gets less CPU
+        dev1, rt1, _ = make_runtime(step_cycles=1000.0)
+        rt1.install(); rt1.start(); rt1.run_for(0.1)
+        dev2, rt2, _ = make_runtime(step_cycles=50000.0)
+        rt2.install(); rt2.start(); rt2.run_for(0.1)
+        assert rt2.background_iterations < rt1.background_iterations
+
+
+class TestProfiler:
+    def test_stats_match_configuration(self):
+        dev, rt, _ = make_runtime(step_cycles=6000.0)
+        rt.install()
+        rt.start()
+        rt.run_for(50.5e-3)
+        prof = Profiler(dev)
+        st = prof.stats(rt.TICK_VECTOR)
+        assert st.count == 50
+        assert st.exec_avg == pytest.approx(6000 / 60e6, rel=1e-6)
+        assert st.latency_avg == pytest.approx(22 / 60e6, rel=1e-6)
+
+    def test_missing_vector_raises(self):
+        dev, rt, _ = make_runtime()
+        with pytest.raises(ValueError):
+            Profiler(dev).stats("nothing")
+
+    def test_jitter_zero_without_interference(self):
+        dev, rt, _ = make_runtime()
+        rt.install()
+        rt.start()
+        rt.run_for(20.5e-3)
+        j = Profiler(dev).jitter(rt.TICK_VECTOR, 1e-3)
+        assert j.max_abs_jitter < 1e-12
+        assert j.overruns == 0
+
+    def test_jitter_appears_with_competing_isr(self):
+        dev, rt, _ = make_runtime()
+        rt.install()
+        # a long higher-priority ISR delays some ticks (non-preemptive, so
+        # a tick that lands mid-ISR waits)
+        blocker = []
+        rt.add_event_task("noise", cycles=30000, action=lambda: blocker.append(1),
+                          priority=1)
+        rt.start()
+        for k in range(5):
+            dev.schedule(2e-3 * k + 0.9e-3, lambda: dev.intc.request("noise"))
+        rt.run_for(20.5e-3)
+        j = Profiler(dev).jitter(rt.TICK_VECTOR, 1e-3)
+        assert j.max_abs_jitter > 1e-4  # 30k cycles = 0.5 ms blocking
+
+    def test_overrun_detected_when_step_exceeds_period(self):
+        dev, rt, _ = make_runtime(period=1e-3, step_cycles=70000.0)  # > 1 ms
+        rt.install()
+        rt.start()
+        rt.run_for(10e-3)
+        j = Profiler(dev).jitter(rt.TICK_VECTOR, 1e-3)
+        assert j.overruns > 0
+
+    def test_cpu_load(self):
+        dev, rt, _ = make_runtime(step_cycles=6000.0)
+        rt.install()
+        rt.start()
+        rt.run_for(100e-3)
+        load = Profiler(dev).cpu_load(100e-3)
+        assert load == pytest.approx(6000 / 60e6 / 1e-3, rel=0.05)  # ~10%
+
+    def test_report_formatting(self):
+        dev, rt, _ = make_runtime()
+        rt.install()
+        rt.start()
+        rt.run_for(10.5e-3)
+        text = Profiler(dev).report(10.5e-3)
+        assert "rt_tick" in text
+        assert "CPU load" in text
+        assert "MC56F8367" in text
+
+    def test_preemptive_mode_reduces_high_priority_response(self):
+        def measure(mode):
+            dev, rt, _ = make_runtime(step_cycles=30000.0, mode=mode)
+            rt.install()
+            hits = []
+            rt.add_event_task("fast", cycles=100, action=lambda: hits.append(1),
+                              priority=0)
+            rt.start()
+            for k in range(10):
+                dev.schedule(1e-3 * k + 0.2e-3, lambda: dev.intc.request("fast"))
+            rt.run_for(15e-3)
+            return Profiler(dev).stats("fast").response_max
+
+        non = measure(DispatchMode.NONPREEMPTIVE)
+        pre = measure(DispatchMode.PREEMPTIVE)
+        assert pre < non

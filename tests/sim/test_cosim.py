@@ -1,0 +1,154 @@
+"""Integration tests for the MIL / HIL / PIL harnesses on the case study.
+
+These are the repository's heaviest tests; durations are kept short (a
+few hundred control periods) — full-length runs live in benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import trajectory_rmse
+from repro.casestudy import ServoConfig, build_servo_model
+from repro.core import PEERTTarget
+from repro.core.blocks import PEBlockMode
+from repro.sim import HILSimulator, MILSimulator, PILSimulator, run_mil, split_plant_model
+
+T_SHORT = 0.25  # seconds of simulated closed loop
+
+
+def fresh_app(**cfg):
+    sm = build_servo_model(ServoConfig(**cfg))
+    return sm, PEERTTarget(sm.model).build()
+
+
+class TestSplit:
+    def test_proxy_replaces_controller(self):
+        sm = build_servo_model(ServoConfig())
+        plant_model, proxy = split_plant_model(sm.model, "controller")
+        assert "controller" in plant_model.blocks
+        assert plant_model.block("controller") is proxy
+        assert proxy.n_in == 1 and proxy.n_out == 1
+        plant_model.compile(1e-4)  # structurally valid
+
+    def test_original_model_untouched(self):
+        sm = build_servo_model(ServoConfig())
+        sig = sm.model.structural_signature()
+        split_plant_model(sm.model, "controller")
+        assert sm.model.structural_signature() == sig
+
+    def test_proxy_holds_actuation(self):
+        from repro.model.engine import SimulationOptions, Simulator
+
+        sm = build_servo_model(ServoConfig())
+        plant_model, proxy = split_plant_model(sm.model, "controller")
+        sim = Simulator(plant_model, SimulationOptions(dt=1e-4, t_final=0.05))
+        sim.initialize()
+        proxy.set_output(0, 1.0)  # full positive drive
+        for _ in range(500):
+            sim.advance()
+        assert sim.read_input("controller", 0) > 0  # counts accumulated
+
+
+class TestMIL:
+    def test_tracks_setpoint(self):
+        sm = build_servo_model(ServoConfig(setpoint=100.0))
+        res = run_mil(sm.model, t_final=0.6, dt=1e-4)
+        assert res.final("speed") == pytest.approx(100.0, abs=2.0)
+
+    def test_resets_deployed_modes(self):
+        sm, app = fresh_app()
+        app.deploy(PEBlockMode.HW)
+        # after deployment, MIL must flip the blocks back
+        mil = MILSimulator(sm.model, dt=1e-4, t_final=0.01)
+        assert sm.pwm_block.mode is PEBlockMode.MIL
+
+
+class TestHIL:
+    def test_closed_loop_tracks(self):
+        sm, app = fresh_app(setpoint=100.0)
+        hil = HILSimulator(app, plant_dt=1e-4)
+        res = hil.run(0.6)
+        assert res.final("speed") == pytest.approx(100.0, abs=3.0)
+
+    def test_profiler_sees_controller_isr(self):
+        sm, app = fresh_app()
+        hil = HILSimulator(app, plant_dt=1e-4)
+        hil.run(T_SHORT)
+        stats = hil.profiler().stats("TI1_OnInterrupt")
+        assert stats.count == pytest.approx(T_SHORT / 1e-3, abs=2)
+        assert stats.exec_avg > 0
+
+    def test_hil_close_to_mil(self):
+        cfg = dict(setpoint=100.0)
+        sm1 = build_servo_model(ServoConfig(**cfg))
+        mil = run_mil(sm1.model, t_final=T_SHORT, dt=1e-4)
+        sm2, app = fresh_app(**cfg)
+        hil = HILSimulator(app, plant_dt=1e-4).run(T_SHORT)
+        rmse = trajectory_rmse(mil.t, mil["speed"], hil.t, hil["speed"])
+        # same controller, same plant; differences only from real sampling
+        assert rmse < 5.0
+
+    def test_adc_feedback_variant(self):
+        sm, app = fresh_app(setpoint=100.0, feedback="adc")
+        res = HILSimulator(app, plant_dt=1e-4).run(0.6)
+        assert res.final("speed") == pytest.approx(100.0, abs=5.0)
+
+
+class TestPIL:
+    def test_closed_loop_tracks_over_serial(self):
+        sm, app = fresh_app(setpoint=100.0)
+        pil = PILSimulator(app, baud=115200, plant_dt=1e-4)
+        r = pil.run(0.6)
+        assert r.result.final("speed") == pytest.approx(100.0, abs=5.0)
+
+    def test_comm_traffic_accounted(self):
+        sm, app = fresh_app()
+        pil = PILSimulator(app, baud=115200, plant_dt=1e-4)
+        r = pil.run(T_SHORT)
+        assert r.steps > 200
+        assert r.bytes_per_step == pytest.approx(14.0, abs=1.0)  # 7B each way
+        assert r.crc_errors == 0
+        assert 0 < r.mean_rtt < 2e-3
+
+    def test_rx_isrs_profiled(self):
+        sm, app = fresh_app()
+        pil = PILSimulator(app, baud=115200, plant_dt=1e-4)
+        pil.run(T_SHORT)
+        stats = pil.profiler().stats("PIL_SCI_rx")
+        assert stats.count > 500  # several bytes per period
+
+    def test_slow_baud_increases_sensor_staleness(self):
+        # at 9600 baud one 7-byte packet takes ~7.3 ms >> the 1 ms period:
+        # sensor data backs up in the host UART and arrives ever later
+        sm_fast, app_fast = fresh_app(setpoint=100.0)
+        fast = PILSimulator(app_fast, baud=115200, plant_dt=1e-4).run(T_SHORT)
+        sm_slow, app_slow = fresh_app(setpoint=100.0)
+        slow = PILSimulator(app_slow, baud=9600, plant_dt=1e-4).run(T_SHORT)
+        assert slow.mean_data_latency > 5 * fast.mean_data_latency
+        assert slow.max_data_latency > 10 * fast.max_data_latency
+
+    def test_line_errors_survivable(self):
+        sm, app = fresh_app(setpoint=100.0)
+        pil = PILSimulator(app, baud=115200, plant_dt=1e-4, line_error_rate=0.02)
+        r = pil.run(T_SHORT)
+        assert r.crc_errors > 0  # corruption happened and was detected
+        # control survives occasional lost packets (values hold)
+        assert np.max(np.abs(r.result["speed"])) < 400
+
+    def test_plant_dt_must_divide_period(self):
+        from repro.core.target import TargetError
+
+        sm, app = fresh_app()
+        pil = PILSimulator(app, plant_dt=3e-4)
+        with pytest.raises(TargetError, match="divide"):
+            pil.run(0.01)
+
+    def test_pil_matches_mil_shape(self):
+        cfg = dict(setpoint=100.0)
+        sm1 = build_servo_model(ServoConfig(**cfg))
+        mil = run_mil(sm1.model, t_final=T_SHORT, dt=1e-4)
+        sm2, app = fresh_app(**cfg)
+        r = PILSimulator(app, baud=115200, plant_dt=1e-4).run(T_SHORT)
+        rmse = trajectory_rmse(mil.t, mil["speed"], r.result.t, r.result["speed"])
+        # one-period transport delay separates them, not divergence
+        assert rmse < 10.0

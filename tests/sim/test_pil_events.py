@@ -1,0 +1,128 @@
+"""PIL asynchronous events: host-injected EVENT packets fire the board's
+ISRs (paper section 6: "some interrupt service routines are not invoked
+by the peripherals but the communication interrupt service routine when a
+corresponding event is indicated by the received packet")."""
+
+import pytest
+
+from repro.casestudy import ServoConfig
+from repro.control import PIDController, PIDGains, LowPassFilter, QuadratureSpeed
+from repro.core import PEERTTarget
+from repro.core.blocks import (
+    BitIOBlock,
+    ProcessorExpertConfig,
+    PWMBlock,
+    QuadDecBlock,
+    TimerIntBlock,
+)
+from repro.model.graph import Model
+from repro.model.library import (
+    Constant,
+    FunctionCallSubsystem,
+    Inport,
+    Outport,
+    Scope,
+    Subsystem,
+    Sum,
+    UnitDelay,
+)
+from repro.plants import build_servo_plant
+from repro.sim import PILSimulator
+
+TS = 1e-3
+
+
+def build_model_with_button_isr():
+    """Servo whose set-point doubles on a button edge handled in an ISR."""
+    cfg = ServoConfig(setpoint=50.0)
+
+    # FC subsystem: each call bumps the set-point offset by +50
+    bump = FunctionCallSubsystem("bump_isr")
+    b = bump.inner
+    one = b.add(Constant("fifty", value=50.0))
+    acc = b.add(UnitDelay("acc", sample_time=TS))
+    s = b.add(Sum("s", signs="++"))
+    out = b.add(Outport("offset", index=0))
+    b.connect(one, s, 0, 0)
+    b.connect(acc, s, 0, 1)
+    b.connect(s, acc)
+    b.connect(s, out)
+
+    ctrl = Subsystem("controller")
+    c = ctrl.inner
+    c.add(ProcessorExpertConfig("PE", chip="MC56F8367"))
+    c.add(TimerIntBlock("TI1", period=TS))
+    count_in = c.add(Inport("count_in", index=0))
+    btn_in = c.add(Inport("btn_in", index=1))
+    key = c.add(BitIOBlock("KEY_UP", pin=0, direction="input", edge_irq="rising"))
+    c.add(bump)
+    qd = c.add(QuadDecBlock("QD1"))
+    speed = c.add(QuadratureSpeed("speed", counts_per_rev=400, sample_time=TS))
+    filt = c.add(LowPassFilter("filt", cutoff_hz=80.0, sample_time=TS))
+    base = c.add(Constant("base_ref", value=0.0))
+    ref = c.add(Sum("ref", signs="++"))
+    err = c.add(Sum("err", signs="+-"))
+    pid = c.add(PIDController("pid", cfg.gains(), TS))
+    pwm = c.add(PWMBlock("PWM1", frequency=20e3))
+    duty_out = c.add(Outport("duty_out", index=0))
+    from repro.model.library import Terminator
+
+    t_key = c.add(Terminator("t_key"))
+    c.connect(count_in, qd)
+    c.connect(btn_in, key)
+    c.connect(key, t_key)
+    c.connect(qd, speed)
+    c.connect(speed, filt)
+    c.connect(bump, ref, 0, 0)
+    c.connect(base, ref, 0, 1)
+    c.connect(ref, err, 0, 0)
+    c.connect(filt, err, 0, 1)
+    c.connect(err, pid)
+    c.connect(pid, pwm)
+    c.connect(pwm, duty_out)
+    c.connect_event(key, bump)
+
+    m = Model("servo_btn")
+    m.add(ctrl)
+    plant = m.add(build_servo_plant())
+    load = m.add(Constant("load", value=0.0))
+    btn = m.add(Constant("btn", value=0.0))
+    sc = m.add(Scope("speed_scope", label="speed"))
+    m.connect(plant, ctrl, 0, 0)
+    m.connect(btn, ctrl, 0, 1)
+    m.connect(ctrl, plant, 0, 0)
+    m.connect(load, plant, 0, 1)
+    m.connect(plant, sc, 1, 0)
+    return m, bump
+
+
+class TestPILEventInjection:
+    def test_event_packet_fires_isr_and_changes_setpoint(self):
+        m, bump = build_model_with_button_isr()
+        app = PEERTTarget(m).build()
+        pil = PILSimulator(app, baud=115200, plant_dt=1e-4)
+
+        # first button press before the run starts (queued for the first
+        # host step); a second press is injected mid-run on the timeline
+        pil.trigger_event("KEY_UP")
+        orig_setup = pil._setup
+
+        def setup_and_schedule():
+            orig_setup()
+            pil.device.schedule(0.4, lambda: pil.trigger_event("KEY_UP"))
+
+        pil._setup = setup_and_schedule
+        r = pil.run(0.8)
+
+        speeds = r.result
+        # first press -> 50 rad/s; second press at ~0.4 s -> 100 rad/s
+        assert speeds.at("speed", 0.35) == pytest.approx(50.0, abs=8.0)
+        assert speeds.at("speed", 0.78) == pytest.approx(100.0, abs=8.0)
+
+    def test_unknown_event_block_rejected(self):
+        m, _ = build_model_with_button_isr()
+        app = PEERTTarget(m).build()
+        pil = PILSimulator(app, baud=115200, plant_dt=1e-4)
+        pil._setup()
+        with pytest.raises(ValueError, match="no enabled event"):
+            pil.trigger_event("NOPE")

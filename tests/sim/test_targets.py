@@ -1,0 +1,121 @@
+"""Tests for simulator targets and PIL link adapters (paper §8 future work)."""
+
+import pytest
+
+from repro.casestudy import ServoConfig, build_servo_model
+from repro.comm import SPIBus
+from repro.core import PEERTTarget
+from repro.mcu import MCUDevice, MC56F8367
+from repro.sim import (
+    LINUX_TARGET,
+    PILSimulator,
+    SimulatorTargetError,
+    SPIAdapter,
+    XPC_TARGET,
+    make_link,
+)
+
+T_SHORT = 0.2
+
+
+def fresh_app():
+    sm = build_servo_model(ServoConfig(setpoint=100.0))
+    return PEERTTarget(sm.model).build()
+
+
+class TestSPIBus:
+    def test_full_duplex_exchange(self):
+        dev = MCUDevice(MC56F8367)
+        bus = SPIBus(dev, clock_hz=1e6)
+        slave = dev.spi(0)
+        slave.connect(bus)
+        slave.queue_tx(b"xy")
+        got = []
+        bus.transfer(b"abc", on_complete=got.append)
+        dev.run_for(1e-3)
+        assert slave.receive() == b"abc"
+        assert got == [b"xy\x00"]  # zero fill past the queued bytes
+
+    def test_master_paces_transfer(self):
+        dev = MCUDevice(MC56F8367)
+        bus = SPIBus(dev, clock_hz=1e6)  # 8 µs per byte
+        dev.spi(0).connect(bus)
+        done = []
+        bus.transfer(bytes(10), on_complete=lambda rx: done.append(dev.time))
+        dev.run_for(50e-6)
+        assert not done  # 10 bytes need 80 µs
+        dev.run_for(50e-6)
+        assert done and done[0] == pytest.approx(80e-6)
+
+    def test_concurrent_transfer_rejected(self):
+        dev = MCUDevice(MC56F8367)
+        bus = SPIBus(dev, clock_hz=1e6)
+        bus.transfer(b"a")
+        with pytest.raises(RuntimeError):
+            bus.transfer(b"b")
+
+    def test_slave_rx_interrupt(self):
+        from repro.mcu import InterruptSource
+
+        dev = MCUDevice(MC56F8367)
+        bus = SPIBus(dev, clock_hz=1e6)
+        slave = dev.spi(0)
+        slave.connect(bus)
+        hits = []
+        dev.intc.register(
+            InterruptSource("spi_rx", priority=1, cycles=20,
+                            on_complete=lambda d: hits.append(d.time))
+        )
+        slave.rx_irq_vector = "spi_rx"
+        bus.transfer(b"hello")
+        dev.run_for(1e-3)
+        assert len(hits) == 1
+        assert slave.receive() == b"hello"
+
+    def test_invalid_clock(self):
+        dev = MCUDevice(MC56F8367)
+        with pytest.raises(ValueError):
+            SPIBus(dev, clock_hz=0)
+
+
+class TestTargetPolicy:
+    def test_xpc_is_closed(self):
+        app = fresh_app()
+        with pytest.raises(SimulatorTargetError, match="closed"):
+            PILSimulator(app, link="spi", target=XPC_TARGET)
+
+    def test_xpc_offers_rs232(self):
+        app = fresh_app()
+        PILSimulator(app, link="rs232", target=XPC_TARGET)  # no raise
+
+    def test_linux_offers_both(self):
+        for link in ("rs232", "spi"):
+            app = fresh_app()
+            PILSimulator(app, link=link, target=LINUX_TARGET)
+
+    def test_unknown_link_kind(self):
+        with pytest.raises(ValueError):
+            make_link("carrier_pigeon")
+
+
+class TestSPIPil:
+    def test_closed_loop_over_spi(self):
+        app = fresh_app()
+        pil = PILSimulator(app, link="spi", target=LINUX_TARGET, plant_dt=1e-4)
+        r = pil.run(T_SHORT)
+        assert r.result.final("speed") == pytest.approx(100.0, abs=10.0)
+        assert r.crc_errors == 0
+
+    def test_spi_much_fresher_than_rs232(self):
+        app1 = fresh_app()
+        spi = PILSimulator(app1, link="spi", target=LINUX_TARGET, plant_dt=1e-4).run(T_SHORT)
+        app2 = fresh_app()
+        rs = PILSimulator(app2, baud=115200, plant_dt=1e-4).run(T_SHORT)
+        assert spi.mean_data_latency < rs.mean_data_latency / 5
+
+    def test_custom_adapter_instance(self):
+        app = fresh_app()
+        adapter = SPIAdapter(clock_hz=1e6)
+        pil = PILSimulator(app, link=adapter, target=LINUX_TARGET, plant_dt=1e-4)
+        r = pil.run(T_SHORT)
+        assert r.bytes_to_mcu > 0 and r.bytes_to_host > 0

@@ -1,0 +1,192 @@
+"""Unit tests for the hierarchical state chart core."""
+
+import pytest
+
+from repro.stateflow import Chart, ChartError, State
+
+
+def traced_chart():
+    """Two-state chart recording action order in data['trace']."""
+    ch = Chart("c")
+    ch.data["trace"] = []
+
+    def log(tag):
+        return lambda d: d["trace"].append(tag)
+
+    a = ch.add_state(State("a", entry=log("a.en"), during=log("a.du"), exit=log("a.ex")))
+    b = ch.add_state(State("b", entry=log("b.en"), exit=log("b.ex")))
+    ch.add_transition(a, b, event="go", action=log("t.ac"))
+    ch.add_transition(b, a, event="back")
+    return ch
+
+
+class TestFlatChart:
+    def test_start_enters_initial(self):
+        ch = traced_chart()
+        ch.start()
+        assert ch.active_leaf.name == "a"
+        assert ch.data["trace"] == ["a.en"]
+
+    def test_dispatch_fires_exit_action_entry(self):
+        ch = traced_chart()
+        ch.start()
+        assert ch.dispatch("go") is True
+        assert ch.active_leaf.name == "b"
+        assert ch.data["trace"] == ["a.en", "a.ex", "t.ac", "b.en"]
+
+    def test_unknown_event_ignored(self):
+        ch = traced_chart()
+        ch.start()
+        assert ch.dispatch("nope") is False
+        assert ch.active_leaf.name == "a"
+
+    def test_during_runs_on_step(self):
+        ch = traced_chart()
+        ch.start()
+        ch.step()
+        ch.step()
+        assert ch.data["trace"].count("a.du") == 2
+
+    def test_is_active(self):
+        ch = traced_chart()
+        ch.start()
+        assert ch.is_active("a") and not ch.is_active("b")
+
+    def test_dispatch_before_start_raises(self):
+        ch = traced_chart()
+        with pytest.raises(ChartError):
+            ch.dispatch("go")
+
+    def test_empty_chart_rejected(self):
+        with pytest.raises(ChartError):
+            Chart("empty").start()
+
+
+class TestGuards:
+    def test_guard_blocks_transition(self):
+        ch = Chart()
+        a = ch.add_state(State("a"))
+        b = ch.add_state(State("b"))
+        ch.add_transition(a, b, event="go", guard=lambda d: d.get("armed", False))
+        ch.start()
+        ch.dispatch("go")
+        assert ch.active_leaf.name == "a"
+        ch.data["armed"] = True
+        ch.dispatch("go")
+        assert ch.active_leaf.name == "b"
+
+    def test_priority_orders_candidates(self):
+        ch = Chart()
+        a = ch.add_state(State("a"))
+        b = ch.add_state(State("b"))
+        c = ch.add_state(State("c"))
+        ch.add_transition(a, b, event="go", priority=2)
+        ch.add_transition(a, c, event="go", priority=1)
+        ch.start()
+        ch.dispatch("go")
+        assert ch.active_leaf.name == "c"
+
+    def test_eventless_transition_runs_to_completion(self):
+        ch = Chart()
+        a = ch.add_state(State("a"))
+        b = ch.add_state(State("b"))
+        c = ch.add_state(State("c"))
+        ch.add_transition(a, b, guard=lambda d: d["x"] > 0)
+        ch.add_transition(b, c, guard=lambda d: d["x"] > 1)
+        ch.data["x"] = 2
+        ch.start()  # chains a -> b -> c immediately
+        assert ch.active_leaf.name == "c"
+
+    def test_transition_cycle_detected(self):
+        ch = Chart()
+        a = ch.add_state(State("a"))
+        b = ch.add_state(State("b"))
+        ch.add_transition(a, b)  # unguarded eventless both ways
+        ch.add_transition(b, a)
+        with pytest.raises(ChartError, match="quiesce"):
+            ch.start()
+
+
+class TestHierarchy:
+    @staticmethod
+    def build():
+        ch = Chart()
+        ch.data["trace"] = []
+
+        def log(tag):
+            return lambda d: d["trace"].append(tag)
+
+        run = ch.add_state(State("run", entry=log("run.en"), exit=log("run.ex")))
+        slow = run.add_substate(State("slow", entry=log("slow.en"), exit=log("slow.ex")))
+        fast = run.add_substate(State("fast", entry=log("fast.en"), exit=log("fast.ex")))
+        idle = ch.add_state(State("idle", entry=log("idle.en"), exit=log("idle.ex")))
+        ch.add_transition(slow, fast, event="up")
+        ch.add_transition(run, idle, event="stop")  # from the composite
+        ch.add_transition(idle, run, event="start")
+        return ch
+
+    def test_entering_composite_descends_to_initial(self):
+        ch = self.build()
+        ch.start()
+        assert ch.active_leaf.name == "slow"
+        assert ch.is_active("run")
+        assert ch.data["trace"] == ["run.en", "slow.en"]
+
+    def test_inner_transition_keeps_parent_active(self):
+        ch = self.build()
+        ch.start()
+        ch.dispatch("up")
+        assert ch.active_leaf.name == "fast"
+        assert ch.is_active("run")
+        # parent must not have exited
+        assert "run.ex" not in ch.data["trace"]
+
+    def test_composite_transition_exits_child_first(self):
+        ch = self.build()
+        ch.start()
+        ch.data["trace"].clear()
+        ch.dispatch("stop")  # defined on the composite 'run'
+        assert ch.data["trace"] == ["slow.ex", "run.ex", "idle.en"]
+        assert ch.active_leaf.name == "idle"
+
+    def test_outer_transition_wins_over_inner(self):
+        ch = self.build()
+        # also add an inner transition on the same event; outer-first search
+        run = ch.top[0]
+        slow, fast = run.substates
+        ch.add_transition(slow, fast, event="stop")
+        ch.start()
+        ch.dispatch("stop")
+        assert ch.active_leaf.name == "idle"
+
+    def test_reenter_composite(self):
+        ch = self.build()
+        ch.start()
+        ch.dispatch("up")
+        ch.dispatch("stop")
+        ch.dispatch("start")
+        # re-entry goes to the *initial* substate, not the last active one
+        assert ch.active_leaf.name == "slow"
+
+    def test_state_cannot_have_two_parents(self):
+        s = State("s")
+        p1, p2 = State("p1"), State("p2")
+        p1.add_substate(s)
+        with pytest.raises(ChartError):
+            p2.add_substate(s)
+
+
+class TestSelfTransition:
+    def test_self_transition_runs_exit_entry(self):
+        ch = Chart()
+        ch.data["n"] = 0
+
+        def inc(d):
+            d["n"] += 1
+
+        a = ch.add_state(State("a", entry=inc))
+        ch.add_transition(a, a, event="again")
+        ch.start()
+        assert ch.data["n"] == 1
+        ch.dispatch("again")
+        assert ch.data["n"] == 2

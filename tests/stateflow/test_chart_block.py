@@ -1,0 +1,114 @@
+"""Tests for the chart <-> block-diagram adapters."""
+
+import pytest
+
+from repro.model import Model
+from repro.model.engine import simulate
+from repro.model.library import Constant, PulseGenerator, Scope, Step, Terminator
+from repro.stateflow import Chart, ChartBlock, State, TriggeredChartBlock
+
+
+def mode_chart():
+    """Manual/auto chart: 'auto_btn' toggles mode; output data 'mode'."""
+    ch = Chart("modes")
+
+    def set_mode(v):
+        return lambda d: d.__setitem__("mode", v)
+
+    manual = ch.add_state(State("manual", entry=set_mode(0.0)))
+    auto = ch.add_state(State("auto", entry=set_mode(1.0)))
+    ch.add_transition(manual, auto, event="btn")
+    ch.add_transition(auto, manual, event="btn")
+    return ch
+
+
+class TestChartBlock:
+    def test_edge_event_toggles_state(self):
+        m = Model()
+        # button pressed (rising edge) at t in [0.3, 0.5)
+        btn = m.add(Step("btn", step_time=0.3))
+        cb = m.add(
+            ChartBlock(
+                "modes",
+                mode_chart(),
+                inputs=["btn"],
+                outputs=["mode"],
+                sample_time=0.01,
+                edge_events=["btn"],
+            )
+        )
+        sc = m.add(Scope("sc", label="mode"))
+        m.connect(btn, cb)
+        m.connect(cb, sc)
+        res = simulate(m, t_final=0.6, dt=0.01)
+        assert res.at("mode", 0.0) == 0.0
+        assert res.at("mode", 0.5) == 1.0  # one rising edge -> one toggle
+
+    def test_level_does_not_retrigger(self):
+        # button held high: exactly one dispatch, not one per step
+        m = Model()
+        btn = m.add(Step("btn", step_time=0.1))
+        cb = m.add(
+            ChartBlock(
+                "modes",
+                mode_chart(),
+                inputs=["btn"],
+                outputs=["mode"],
+                sample_time=0.01,
+                edge_events=["btn"],
+            )
+        )
+        sc = m.add(Scope("sc", label="mode"))
+        m.connect(btn, cb)
+        m.connect(cb, sc)
+        res = simulate(m, t_final=0.5, dt=0.01)
+        assert res.final("mode") == 1.0
+
+    def test_two_edges_toggle_twice(self):
+        m = Model()
+        btn = m.add(PulseGenerator("btn", period=0.2, duty=0.5))
+        cb = m.add(
+            ChartBlock(
+                "modes",
+                mode_chart(),
+                inputs=["btn"],
+                outputs=["mode"],
+                sample_time=0.01,
+                edge_events=["btn"],
+            )
+        )
+        sc = m.add(Scope("sc", label="mode"))
+        m.connect(btn, cb)
+        m.connect(cb, sc)
+        res = simulate(m, t_final=0.3, dt=0.01)
+        # edges at t=0 and t=0.2 -> toggled twice -> back to 0
+        assert res.final("mode") == 0.0
+        assert res.at("mode", 0.1) == 1.0
+
+    def test_unknown_edge_event_rejected(self):
+        with pytest.raises(ValueError):
+            ChartBlock("c", mode_chart(), inputs=["x"], edge_events=["y"])
+
+
+class TestTriggeredChartBlock:
+    def test_triggered_by_event_line(self):
+        from tests.model.test_subsystems import EveryNSteps
+
+        ch = Chart("count")
+        ch.data["n"] = 0.0
+
+        def inc(d):
+            d["n"] += 1.0
+
+        s = ch.add_state(State("s", during=inc))
+        m = Model()
+        src = m.add(EveryNSteps("src", n=2))
+        tb = m.add(TriggeredChartBlock("tb", ch, outputs=["n"], trigger_event=None))
+        sc = m.add(Scope("sc", label="n"))
+        t = m.add(Terminator("t"))
+        m.connect(src, t)
+        m.connect(tb, sc)
+        m.connect_event(src, tb)
+        res = simulate(m, t_final=0.009, dt=1e-3)
+        # fired at steps 0,2,4,6,8 -> 5 during actions
+        assert res.final("n") == 5.0

@@ -1,0 +1,83 @@
+"""Tests for history junctions on composite states."""
+
+import pytest
+
+from repro.stateflow import Chart, ChartError, State
+
+
+def machine(history: bool):
+    ch = Chart()
+    run = ch.add_state(State("run", history=history))
+    slow = run.add_substate(State("slow"))
+    fast = run.add_substate(State("fast"))
+    idle = ch.add_state(State("idle"))
+    ch.add_transition(slow, fast, event="up")
+    ch.add_transition(fast, slow, event="down")
+    ch.add_transition(run, idle, event="stop")
+    ch.add_transition(idle, run, event="start")
+    ch.start()
+    return ch
+
+
+class TestHistoryJunction:
+    def test_without_history_reenters_initial(self):
+        ch = machine(history=False)
+        ch.dispatch("up")      # slow -> fast
+        ch.dispatch("stop")    # leave run
+        ch.dispatch("start")   # re-enter
+        assert ch.active_leaf.name == "slow"
+
+    def test_with_history_resumes_last_substate(self):
+        ch = machine(history=True)
+        ch.dispatch("up")      # slow -> fast
+        ch.dispatch("stop")
+        ch.dispatch("start")
+        assert ch.active_leaf.name == "fast"  # resumed, not reset
+
+    def test_history_tracks_multiple_cycles(self):
+        ch = machine(history=True)
+        ch.dispatch("up")
+        ch.dispatch("stop"); ch.dispatch("start")
+        assert ch.active_leaf.name == "fast"
+        ch.dispatch("down")    # fast -> slow
+        ch.dispatch("stop"); ch.dispatch("start")
+        assert ch.active_leaf.name == "slow"
+
+    def test_first_entry_uses_initial(self):
+        ch = machine(history=True)
+        assert ch.active_leaf.name == "slow"
+
+    def test_nested_history(self):
+        ch = Chart()
+        outer = ch.add_state(State("outer", history=True))
+        mid = outer.add_substate(State("mid", history=True))
+        a = mid.add_substate(State("a"))
+        b = mid.add_substate(State("b"))
+        off = ch.add_state(State("off"))
+        ch.add_transition(a, b, event="flip")
+        ch.add_transition(outer, off, event="kill")
+        ch.add_transition(off, outer, event="boot")
+        ch.start()
+        ch.dispatch("flip")
+        ch.dispatch("kill")
+        ch.dispatch("boot")
+        # both levels of history resume
+        assert ch.active_leaf.name == "b"
+
+    def test_reset_clears_history(self):
+        ch = machine(history=True)
+        ch.dispatch("up")
+        ch.dispatch("stop")
+        ch.reset()
+        ch.start()
+        assert ch.active_leaf.name == "slow"  # fresh power-up, no memory
+
+    def test_inner_transitions_update_history(self):
+        # exiting only the leaf (inner transition) must still record it
+        ch = machine(history=True)
+        ch.dispatch("up")      # records slow as run's last child? no:
+        # up exits 'slow' (parent run stays active): run._last_active = slow
+        # then stop exits fast+run: run._last_active = fast
+        ch.dispatch("stop")
+        ch.dispatch("start")
+        assert ch.active_leaf.name == "fast"
