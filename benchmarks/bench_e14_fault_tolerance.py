@@ -1,0 +1,135 @@
+"""E14 — fault-tolerant PIL link: ARQ + loss policy + watchdog recovery.
+
+The paper's PIL link (section 6) detects corruption with a CRC but then
+silently loses the frame.  E14 measures what the reliability subsystem
+buys back: the same 1 kHz DC-motor loop is run over an increasingly noisy
+RS-232 line, once over the raw link (hold-last-value on loss) and once
+with the ARQ layer (`reliable=True`: ACK/NAK, retransmit, supersession).
+
+A second leg injects a hard line dropout against the watchdog-supervised
+rig and counts the reset-and-resync recoveries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import iae, is_diverging
+from repro.casestudy import ServoConfig, build_servo_model
+from repro.core import PEERTTarget
+from repro.faults import FaultPlan, LineDropout
+from repro.sim import LossPolicy, PILSimulator
+
+SETPOINT = 100.0
+T_FINAL = 0.5
+#: ACK/NAK traffic must fit the 1 ms period alongside the data frames
+BAUD = 460800
+ERROR_RATES = [0.0, 0.1, 0.2, 0.3]
+
+
+def fresh_pil(**kw):
+    sm = build_servo_model(ServoConfig(setpoint=SETPOINT))
+    app = PEERTTarget(sm.model).build()
+    kw.setdefault("plant_dt", 1e-4)
+    return PILSimulator(app, baud=BAUD, **kw)
+
+
+def run_cell(error_rate, reliable):
+    r = fresh_pil(line_error_rate=error_rate, reliable=reliable).run(T_FINAL)
+    res = r.result
+    err = SETPOINT - np.asarray(res["speed"])
+    return {
+        "err_rate": error_rate,
+        "reliable": reliable,
+        "iae": iae(res.t, err),
+        "diverged": is_diverging(res.t, res["speed"], SETPOINT),
+        "crc": r.crc_errors,
+        "rexmit": r.retransmits,
+        "superseded": r.superseded,
+        "maxloss": r.max_consecutive_loss,
+        "stale_max_ms": r.max_data_latency * 1e3,
+    }
+
+
+def run_dropout_leg():
+    pil = fresh_pil(
+        reliable=True,
+        watchdog_timeout=8e-3,
+        # duty 0.5 is the bipolar power stage's zero-torque neutral; the
+        # de-energize default (0.0) would drive this plant hard reverse
+        loss_policy=LossPolicy(mode="safe", max_consecutive=5, default_safe=0.5),
+    )
+    FaultPlan([LineDropout(start=0.15, duration=0.1)], seed=7).attach(pil)
+    return pil.run(T_FINAL)
+
+
+def test_e14_fault_tolerance(report, benchmark):
+    rows = []
+    cells = {}
+    for err in ERROR_RATES:
+        for reliable in (False, True):
+            d = run_cell(err, reliable)
+            cells[(err, reliable)] = d
+            link = "ARQ" if reliable else "raw"
+            state = "DIVERGED" if d["diverged"] else "stable"
+            rows.append(
+                f"{err:>5.2f} {link:>4} {d['iae']:>9.2f} {state:>9} "
+                f"{d['crc']:>6} {d['rexmit']:>7} {d['superseded']:>6} "
+                f"{d['maxloss']:>8} {d['stale_max_ms']:>13.2f}"
+            )
+    report.line(
+        f"byte-error sweep, {BAUD} baud, 1 kHz loop, {T_FINAL}s runs, raw vs ARQ"
+    )
+    report.table(
+        f"{'err':>5} {'link':>4} {'IAE':>9} {'state':>9} "
+        f"{'CRC':>6} {'rexmit':>7} {'supsd':>6} {'maxloss':>8} {'stale max ms':>13}",
+        rows,
+    )
+
+    clean_raw = cells[(0.0, False)]
+    clean_rel = cells[(0.0, True)]
+    noisy_raw = cells[(0.2, False)]
+    noisy_rel = cells[(0.2, True)]
+
+    # a clean line costs the ARQ layer nothing but ACK bandwidth
+    assert clean_rel["iae"] == pytest.approx(clean_raw["iae"], rel=0.05)
+    assert clean_rel["rexmit"] == 0
+    # at 20 % byte errors the raw link's loss runs outgrow the hold
+    # policy's reach and the motor runs away ...
+    assert noisy_raw["diverged"]
+    assert noisy_raw["iae"] > 2 * clean_raw["iae"]
+    assert noisy_raw["maxloss"] > 20
+    # ... while the ARQ link keeps the loop stable: bounded IAE, no
+    # unbounded staleness growth, recovery actually exercised
+    assert not noisy_rel["diverged"]
+    assert noisy_rel["iae"] < 0.7 * noisy_raw["iae"]
+    assert noisy_rel["stale_max_ms"] < 1.0  # < one control period
+    assert noisy_rel["rexmit"] > 0
+
+    r = run_dropout_leg()
+    report.line()
+    report.line(
+        f"dropout leg: 100 ms line blackout at t=0.15 s, ARQ + watchdog 8 ms "
+        f"+ safe-state policy"
+    )
+    report.line(
+        f"  recoveries {r.recoveries}, watchdog resets {r.watchdog_resets}, "
+        f"safe-state steps {r.safe_state_steps}, worst loss run "
+        f"{r.max_consecutive_loss} periods"
+    )
+    fin = float(r.result.final("speed"))
+    report.line(f"  final speed {fin:.1f} (set-point {SETPOINT})")
+    report.line()
+    report.line("shape: at 20 % byte errors the raw link's loss runs outgrow")
+    report.line("the hold policy's reach and the motor diverges, while the ARQ")
+    report.line("link stays stable with sub-period staleness; by 30 % even ARQ")
+    report.line("loses whole periods faster than it can recover.  The watchdog")
+    report.line("turns a blackout into counted recoveries plus a return to the")
+    report.line("set-point.")
+
+    # blackout: watchdog fires, recovery is counted, loop re-converges
+    assert r.recoveries >= 1
+    assert r.watchdog_resets >= 1
+    assert r.safe_state_steps > 0
+    assert fin == pytest.approx(SETPOINT, abs=10.0)
+
+    benchmark.pedantic(run_cell, args=(0.2, True), rounds=1, iterations=1)

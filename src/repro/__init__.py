@@ -27,7 +27,8 @@ Package map (see DESIGN.md for the full inventory):
 ``repro.pe``        Processor Expert substitute: beans, expert system, HAL
 ``repro.codegen``   RTW substitute: templates, C emission, cost model
 ``repro.rt``        bare-board runtime + PIL profiler
-``repro.comm``      RS-232 line + PIL packet protocol
+``repro.comm``      RS-232 line + PIL packet protocol + ARQ reliability
+``repro.faults``    fault-injection campaigns (bursts, dropouts, overruns)
 ``repro.core``      **PEERT** — the paper's contribution
 ``repro.sim``       MIL / PIL / HIL co-simulation harnesses
 ``repro.plants``    DC motor, power stage, IRC encoder, keyboard
@@ -48,6 +49,7 @@ __all__ = [
     "codegen",
     "rt",
     "comm",
+    "faults",
     "core",
     "sim",
     "plants",

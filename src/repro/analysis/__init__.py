@@ -8,6 +8,7 @@ the MIL/PIL trajectory comparisons the fidelity experiments need.
 from .step_metrics import StepMetrics, step_metrics, iae, ise, itae
 from .compare import trajectory_rmse, trajectory_max_error, resample_to
 from .stability import is_diverging
+from .health import PILHealthReport, pil_health
 
 __all__ = [
     "StepMetrics",
@@ -19,4 +20,6 @@ __all__ = [
     "trajectory_max_error",
     "resample_to",
     "is_diverging",
+    "PILHealthReport",
+    "pil_health",
 ]

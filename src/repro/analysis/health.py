@@ -1,0 +1,85 @@
+"""PIL link-health scoring: control quality under faults.
+
+Joins the two sides of the fault-tolerance question into one row: what
+the link went through (CRC errors, retransmits, recoveries, loss runs)
+and what that did to the control loop (IAE against the reference,
+divergence verdict, staleness statistics).  Campaigns and E14 build
+their tables from these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .stability import is_diverging
+from .step_metrics import iae
+
+
+@dataclass(frozen=True)
+class PILHealthReport:
+    """One PIL run's fault-tolerance scorecard."""
+
+    iae: float
+    diverged: bool
+    crc_errors: int
+    retransmits: int
+    timeouts: int
+    send_failures: int
+    recoveries: int
+    max_consecutive_loss: int
+    safe_state_steps: int
+    mean_latency: float
+    max_latency: float
+    reliable: bool
+
+    def stable_within(self, iae_budget: float, latency_budget: float) -> bool:
+        """Did the loop stay healthy: not diverging, control error within
+        ``iae_budget``, worst sensor staleness within ``latency_budget``?"""
+        return (
+            not self.diverged
+            and self.iae <= iae_budget
+            and self.max_latency <= latency_budget
+        )
+
+    def summary(self) -> str:
+        state = "DIVERGED" if self.diverged else "stable"
+        return (
+            f"{state}, IAE {self.iae:.2f}, {self.retransmits} rexmit, "
+            f"{self.recoveries} recoveries, worst loss run "
+            f"{self.max_consecutive_loss}, stale max {self.max_latency*1e3:.2f} ms"
+        )
+
+
+def pil_health(
+    pil_result,
+    reference: float,
+    signal: str = "speed",
+    t: Optional[np.ndarray] = None,
+    y: Optional[np.ndarray] = None,
+) -> PILHealthReport:
+    """Score a :class:`~repro.sim.PILResult` against its set-point.
+
+    ``t``/``y`` override the trajectory (for pre-sliced windows);
+    otherwise ``pil_result.result[signal]`` is scored whole.
+    """
+    if t is None or y is None:
+        t = pil_result.result.t
+        y = pil_result.result[signal]
+    err = reference - np.asarray(y, dtype=np.float64)
+    return PILHealthReport(
+        iae=iae(t, err),
+        diverged=is_diverging(t, y, reference),
+        crc_errors=pil_result.crc_errors,
+        retransmits=pil_result.retransmits,
+        timeouts=pil_result.arq_timeouts,
+        send_failures=pil_result.send_failures,
+        recoveries=pil_result.recoveries,
+        max_consecutive_loss=pil_result.max_consecutive_loss,
+        safe_state_steps=pil_result.safe_state_steps,
+        mean_latency=pil_result.mean_data_latency,
+        max_latency=pil_result.max_data_latency,
+        reliable=pil_result.reliable,
+    )

@@ -13,6 +13,9 @@ as part of what PIL measures — so the wire is modelled, not abstracted:
 * :class:`PacketCodec` / :class:`PacketDecoder` — the framing protocol
   that "composes outcoming communication packets from the signals ... and
   parses incoming packets" with CRC-8 integrity and resynchronisation.
+* :class:`ReliableChannel` — selective-repeat ARQ over the framing layer
+  (ACK/NAK, duplicate suppression, retransmit with timeout/backoff), so
+  a fault on the wire delays data instead of silently losing it.
 """
 
 from .line import SerialLine
@@ -26,6 +29,7 @@ from .packets import (
     PacketType,
     crc8,
 )
+from .reliable import ARQConfig, LinkHealth, ReliableChannel
 
 __all__ = [
     "SerialLine",
@@ -38,4 +42,7 @@ __all__ = [
     "PacketDecoder",
     "PacketType",
     "crc8",
+    "ARQConfig",
+    "LinkHealth",
+    "ReliableChannel",
 ]

@@ -63,6 +63,13 @@ class HostSerialPort:
 
         self.scheduler.schedule(self.scheduler.time + self.byte_time, shifted)
 
+    def flush_tx(self) -> int:
+        """Abort queued (not yet shifting) bytes; returns how many were
+        discarded.  Recovery resync uses this to stop a stale backlog."""
+        n = len(self._tx_fifo)
+        self._tx_fifo.clear()
+        return n
+
     @property
     def tx_idle(self) -> bool:
         return not self._tx_busy and not self._tx_fifo

@@ -50,6 +50,11 @@ class SerialLine:
         self.bytes_delivered = [0, 0]  # indexed by *receiving* endpoint
         self.bytes_corrupted = 0
         self.bytes_dropped = 0
+        #: optional time-windowed fault hook ``fn(t, byte) -> byte | None``
+        #: (None drops the byte, a changed value corrupts it) — this is how
+        #: :class:`repro.faults.FaultPlan` injects bursts and dropouts on
+        #: top of the stationary ``error_rate``/``drop_rate``
+        self.fault: Optional[Callable[[float, int], Optional[int]]] = None
 
     # ------------------------------------------------------------------
     def bind(self, endpoint: int, on_byte: Callable[[int], None]) -> None:
@@ -88,6 +93,14 @@ class SerialLine:
             self.bytes_dropped += 1
             return
         byte &= 0xFF
+        if self.fault is not None:
+            faulted = self.fault(self.scheduler.time, byte)
+            if faulted is None:
+                self.bytes_dropped += 1
+                return
+            if (faulted & 0xFF) != byte:
+                self.bytes_corrupted += 1
+            byte = faulted & 0xFF
         if self.drop_rate and self._rng.random() < self.drop_rate:
             self.bytes_dropped += 1
             return

@@ -31,6 +31,8 @@ class PacketType(enum.IntEnum):
     SYNC = 0x03        # step barrier
     EVENT = 0x04       # asynchronous event flags (simulated interrupts)
     CMD = 0x05         # start/stop/parameter commands
+    ACK = 0x06         # ARQ: positive acknowledge (SEQ field = acked seq)
+    NAK = 0x07         # ARQ: corrupted frame seen, solicit retransmit
 
 
 def crc8(data: Iterable[int], poly: int = 0x07, init: int = 0x00) -> int:
@@ -82,6 +84,15 @@ class PacketCodec:
         self.packets_encoded += 1
         return frame
 
+    def encode_control(self, ptype: PacketType, seq: int) -> bytes:
+        """Build a zero-payload control frame whose SEQ field carries an
+        *explicit* reference (ACK/NAK name the frame they refer to, they
+        do not consume a number from the data stream)."""
+        header = bytes([SOF, int(seq) & 0xFF, int(ptype), 0])
+        frame = header + bytes([crc8(header[1:])])
+        self.packets_encoded += 1
+        return frame
+
     @staticmethod
     def wire_size(n_words: int) -> int:
         """Frame size in bytes for ``n_words`` payload words."""
@@ -93,15 +104,24 @@ class PacketDecoder:
 
     Feed bytes as they arrive; completed packets accumulate in
     :attr:`packets` (or are handed to ``on_packet``).  Corrupted frames
-    bump :attr:`crc_errors` and scanning restarts at the next SOF.
+    bump :attr:`crc_errors` and scanning restarts at the next SOF;
+    ``on_error`` (if set) fires once per rejected frame so a reliability
+    layer can solicit a retransmission.
     """
 
-    def __init__(self, on_packet=None):
+    def __init__(self, on_packet=None, on_error=None, max_payload: int = MAX_PAYLOAD):
         self._buf = bytearray()
         self.packets: list[Packet] = []
         self.on_packet = on_packet
+        self.on_error = on_error
+        self.max_payload = int(max_payload)
         self.crc_errors = 0
         self.resyncs = 0
+
+    def reset(self) -> None:
+        """Drop any partially received frame (recovery resync); the
+        error/packet counters survive, they are campaign statistics."""
+        self._buf.clear()
 
     def feed(self, data: bytes | bytearray | Iterable[int]) -> list[Packet]:
         """Consume bytes; returns packets completed by *this* call."""
@@ -126,12 +146,21 @@ class PacketDecoder:
         if len(buf) < OVERHEAD_BYTES:
             return None
         length = buf[3]
+        # Validate LEN before waiting on payload bytes: a byte-drop can put
+        # arbitrary garbage in the LEN slot, and waiting for up to 255
+        # phantom bytes stalls the parser for tens of frames.  Word payloads
+        # are always even, and callers that know their traffic can tighten
+        # ``max_payload`` further.
+        if length % 2 != 0 or length > self.max_payload:
+            self._frame_error()
+            buf.pop(0)
+            return self._try_parse()
         frame_len = OVERHEAD_BYTES + length
         if len(buf) < frame_len:
             return None
         frame = bytes(buf[:frame_len])
         if crc8(frame[1:-1]) != frame[-1]:
-            self.crc_errors += 1
+            self._frame_error()
             buf.pop(0)  # discard this SOF, rescan
             return self._try_parse()
         seq, ptype_raw = frame[1], frame[2]
@@ -139,16 +168,18 @@ class PacketDecoder:
         try:
             ptype = PacketType(ptype_raw)
         except ValueError:
-            self.crc_errors += 1
+            self._frame_error()
             return self._try_parse()
         payload = frame[4:-1]
-        if len(payload) % 2 != 0:
-            self.crc_errors += 1
-            return self._try_parse()
         words = tuple(
             payload[i] | (payload[i + 1] << 8) for i in range(0, len(payload), 2)
         )
         return Packet(ptype=ptype, seq=seq, words=words)
+
+    def _frame_error(self) -> None:
+        self.crc_errors += 1
+        if self.on_error is not None:
+            self.on_error()
 
 
 def words_from_signed(values: Iterable[int]) -> list[int]:

@@ -1,0 +1,258 @@
+"""ARQ reliability layer over the PIL packet protocol.
+
+The raw link (:mod:`repro.comm.packets` over :mod:`repro.comm.line`)
+*detects* corruption — CRC-8 plus resynchronisation — but then silently
+loses the frame: the controller keeps actuating on stale data.  This
+module adds the recovery half: a :class:`ReliableChannel` per endpoint
+implements selective-repeat ARQ on top of any raw ``send(bytes)``
+primitive:
+
+* every data-bearing frame stays *pending* until the peer's ACK names its
+  sequence number;
+* a per-frame retransmit timer (configurable timeout, exponential
+  backoff, bounded retry budget) re-sends unacknowledged frames;
+* the receiver ACKs everything it accepts and suppresses duplicates by
+  sequence number (a retransmission whose original did arrive is re-ACKed
+  but not delivered twice);
+* a CRC failure on the receive side optionally solicits an early
+  retransmission with a NAK (rate-limited so a noise burst cannot start a
+  NAK storm).
+
+ACK/NAK frames are 5-byte zero-payload control frames whose SEQ field
+*is* the reference (see :meth:`PacketCodec.encode_control`); they are not
+themselves acknowledged — a lost ACK simply lets the data timer fire and
+the duplicate is suppressed.
+
+Everything is driven by the shared event scheduler, so runs are exactly
+reproducible: same seeds, same timeline, same retransmissions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from .packets import Packet, PacketCodec, PacketType
+
+#: packet types the ARQ machinery tracks (everything that carries data)
+_DATA_BEARING = frozenset(
+    {PacketType.DATA, PacketType.ACTUATION, PacketType.EVENT,
+     PacketType.SYNC, PacketType.CMD}
+)
+
+
+@dataclass(frozen=True)
+class ARQConfig:
+    """Tuning knobs of one reliable endpoint."""
+
+    #: first retransmit deadline after a transmission (s); should exceed
+    #: frame time + ACK time on the configured link
+    timeout: float = 2e-3
+    #: deadline multiplier applied per retry (exponential backoff)
+    backoff: float = 1.5
+    #: retransmissions allowed per frame before the send is abandoned
+    max_retries: int = 6
+    #: duplicate-suppression window, in sequence numbers (< 256)
+    history: int = 64
+    #: solicit early retransmission on CRC errors
+    nak_enabled: bool = True
+    #: stream semantics: a new send of a packet type abandons pending
+    #: retries of *older* frames of that type.  Right for periodic
+    #: sensor/actuation streams (only the freshest sample matters, and
+    #: retrying superseded samples saturates the wire at high error
+    #: rates); wrong for message streams where every word must arrive.
+    supersede: bool = False
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValueError("ARQ timeout must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("ARQ backoff must be >= 1")
+        if not (0 < self.history < 256):
+            raise ValueError("ARQ history must be in 1..255 (seq is 8-bit)")
+
+
+@dataclass
+class LinkHealth:
+    """Counters one reliable endpoint accumulates over a run."""
+
+    sent: int = 0               # first transmissions of data frames
+    retransmits: int = 0        # re-sends (timeout or NAK solicited)
+    timeouts: int = 0           # retransmit timer expiries
+    send_failures: int = 0      # frames abandoned after the retry budget
+    acked: int = 0              # own frames confirmed by the peer
+    superseded: int = 0         # pending retries abandoned by newer sends
+    duplicates: int = 0         # received dups suppressed
+    acks_sent: int = 0
+    naks_sent: int = 0
+    acks_received: int = 0
+    naks_received: int = 0
+    resyncs: int = 0            # channel resets (watchdog recovery)
+
+    def merge(self, other: "LinkHealth") -> "LinkHealth":
+        """Elementwise sum (combine the two endpoints of a link)."""
+        return LinkHealth(**{
+            k: getattr(self, k) + getattr(other, k)
+            for k in self.__dataclass_fields__
+        })
+
+
+@dataclass
+class _Pending:
+    frame: bytes
+    attempts: int = 0       # retransmissions so far
+    generation: int = 0     # invalidates stale timers
+
+
+class ReliableChannel:
+    """One endpoint of an ARQ-protected link.
+
+    Parameters
+    ----------
+    scheduler:
+        the shared event timeline (``.time`` + ``.schedule(t, fn)``)
+    raw_send:
+        ships an encoded frame towards the peer (e.g. the link adapter's
+        ``host_send``/``mcu_send``)
+    deliver:
+        upper-layer packet sink; called exactly once per accepted frame,
+        in arrival order, with duplicates removed
+    codec:
+        the endpoint's sequence-numbering encoder (a fresh one is created
+        when omitted)
+    """
+
+    def __init__(
+        self,
+        scheduler,
+        raw_send: Callable[[bytes], None],
+        deliver: Callable[[Packet], None],
+        config: Optional[ARQConfig] = None,
+        codec: Optional[PacketCodec] = None,
+        name: str = "arq",
+    ):
+        self.scheduler = scheduler
+        self.raw_send = raw_send
+        self.deliver = deliver
+        self.config = config or ARQConfig()
+        self.codec = codec or PacketCodec()
+        self.name = name
+        self.health = LinkHealth()
+        #: called with the abandoned seq after the retry budget runs out
+        self.on_give_up: Optional[Callable[[int], None]] = None
+        self._pending: dict[int, _Pending] = {}
+        self._seen: dict[int, None] = {}  # insertion-ordered seq window
+        self._last_nak_t = -1e30
+
+    # ------------------------------------------------------------------
+    # transmit side
+    # ------------------------------------------------------------------
+    def send(self, ptype: PacketType, words: Iterable[int]) -> int:
+        """Encode, transmit and track one data-bearing frame; returns its
+        sequence number (the caller's handle for latency pairing)."""
+        frame = self.codec.encode(ptype, words)
+        seq = frame[1]
+        if self.config.supersede:
+            # stream semantics: stop retrying older samples of this type
+            stale = [
+                s for s, p in self._pending.items() if p.frame[2] == int(ptype)
+            ]
+            for s in stale:
+                del self._pending[s]  # deletion defuses the retry timer
+                self.health.superseded += 1
+        # seq reuse after 256 in-flight-less sends: a still-pending frame
+        # with the same number is superseded (its data is stale anyway)
+        self._pending[seq] = _Pending(frame=frame)
+        self.health.sent += 1
+        self._transmit(seq)
+        return seq
+
+    def _transmit(self, seq: int) -> None:
+        entry = self._pending.get(seq)
+        if entry is None:
+            return
+        entry.generation += 1
+        gen = entry.generation
+        self.raw_send(entry.frame)
+        deadline = self.scheduler.time + self.config.timeout * (
+            self.config.backoff ** entry.attempts
+        )
+        self.scheduler.schedule(deadline, lambda: self._expire(seq, gen))
+
+    def _expire(self, seq: int, gen: int) -> None:
+        entry = self._pending.get(seq)
+        if entry is None or entry.generation != gen:
+            return  # acked or superseded meanwhile
+        self.health.timeouts += 1
+        if entry.attempts >= self.config.max_retries:
+            del self._pending[seq]
+            self.health.send_failures += 1
+            if self.on_give_up is not None:
+                self.on_give_up(seq)
+            return
+        entry.attempts += 1
+        self.health.retransmits += 1
+        self._transmit(seq)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # receive side (wire as the decoder's on_packet / on_error)
+    # ------------------------------------------------------------------
+    def on_packet(self, pkt: Packet) -> None:
+        if pkt.ptype is PacketType.ACK:
+            self.health.acks_received += 1
+            if self._pending.pop(pkt.seq, None) is not None:
+                self.health.acked += 1
+            return
+        if pkt.ptype is PacketType.NAK:
+            self.health.naks_received += 1
+            self._retransmit_oldest()
+            return
+        if pkt.ptype not in _DATA_BEARING:  # pragma: no cover - future types
+            self.deliver(pkt)
+            return
+        # acknowledge everything that arrives intact — including dups,
+        # whose original ACK may have been the casualty
+        self.raw_send(self.codec.encode_control(PacketType.ACK, pkt.seq))
+        self.health.acks_sent += 1
+        if pkt.seq in self._seen:
+            self.health.duplicates += 1
+            return
+        self._seen[pkt.seq] = None
+        while len(self._seen) > self.config.history:
+            self._seen.pop(next(iter(self._seen)))
+        self.deliver(pkt)
+
+    def on_frame_error(self) -> None:
+        """Decoder rejected a frame: solicit an early retransmission
+        (rate-limited to one NAK per half timeout)."""
+        if not self.config.nak_enabled:
+            return
+        now = self.scheduler.time
+        if now - self._last_nak_t < 0.5 * self.config.timeout:
+            return
+        self._last_nak_t = now
+        self.raw_send(self.codec.encode_control(PacketType.NAK, 0))
+        self.health.naks_sent += 1
+
+    def _retransmit_oldest(self) -> None:
+        """NAK response: re-send the oldest pending frame right away (the
+        one the corrupted bytes most plausibly belonged to); the
+        generation bump supersedes its previous retransmit timer."""
+        if not self._pending:
+            return
+        seq = next(iter(self._pending))
+        self._pending[seq].attempts += 1
+        self.health.retransmits += 1
+        self._transmit(seq)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Recovery resync: abandon all pending frames and forget the
+        duplicate window — both sides restart from a clean slate."""
+        self._pending.clear()
+        self._seen.clear()
+        self.health.resyncs += 1

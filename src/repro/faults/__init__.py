@@ -1,0 +1,42 @@
+"""Fault-injection campaigns for the PIL/HIL phases.
+
+The in-the-loop experiment must validate the *failure handling*, not just
+the sunny-day exchange: this package provides composable, seeded fault
+models (:mod:`~repro.faults.models`), a single attachment schedule
+(:class:`FaultPlan`), and a campaign runner that sweeps fault intensity
+against the raw and the ARQ-protected link (:mod:`~repro.faults.campaign`).
+
+Typical use::
+
+    from repro.faults import BurstErrors, LineDropout, FaultPlan
+
+    plan = FaultPlan([
+        BurstErrors(start=0.1, duration=0.1, rate=0.2),
+        LineDropout(start=0.3, duration=0.05),
+    ], seed=42)
+    pil = PILSimulator(app, reliable=True, watchdog_timeout=5e-3)
+    plan.attach(pil)
+    r = pil.run(0.5)            # r.retransmits, r.recoveries, ...
+"""
+
+from .models import (
+    BurstErrors,
+    FaultModel,
+    LineDropout,
+    StepOverrun,
+    StuckSensor,
+)
+from .plan import FaultPlan
+from .campaign import CampaignOutcome, FaultCampaign, run_campaign
+
+__all__ = [
+    "FaultModel",
+    "BurstErrors",
+    "LineDropout",
+    "StuckSensor",
+    "StepOverrun",
+    "FaultPlan",
+    "CampaignOutcome",
+    "FaultCampaign",
+    "run_campaign",
+]

@@ -1,0 +1,136 @@
+"""Fault-injection campaign runner.
+
+A campaign sweeps one :class:`~repro.faults.FaultPlan` across an
+intensity grid, runs the PIL rig raw and/or with the reliability layer,
+and records one :class:`CampaignOutcome` per cell: control quality (IAE
+against the reference, divergence verdict) next to the link-health
+counters the run accumulated.  The rows are what E14 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.analysis import iae, is_diverging
+
+from .plan import FaultPlan
+
+
+@dataclass(frozen=True)
+class CampaignOutcome:
+    """One (intensity, link-mode) cell of a campaign."""
+
+    intensity: float
+    reliable: bool
+    iae: float
+    diverged: bool
+    crc_errors: int
+    retransmits: int
+    timeouts: int
+    send_failures: int
+    duplicates: int
+    recoveries: int
+    watchdog_resets: int
+    max_consecutive_loss: int
+    safe_state_steps: int
+    mean_latency: float
+    max_latency: float
+    steps: int
+
+    def key_metrics(self) -> dict:
+        """The comparison-ready subset (used by tests and benches)."""
+        return {
+            "intensity": self.intensity,
+            "reliable": self.reliable,
+            "iae": round(self.iae, 9),
+            "diverged": self.diverged,
+            "retransmits": self.retransmits,
+            "recoveries": self.recoveries,
+            "max_consecutive_loss": self.max_consecutive_loss,
+        }
+
+
+@dataclass
+class FaultCampaign:
+    """Sweep a fault plan over intensities, raw link vs reliable link.
+
+    Parameters
+    ----------
+    make_pil:
+        ``make_pil(reliable) -> PILSimulator`` builds a *fresh* rig (a
+        deployed application cannot be reused across runs); ``reliable``
+        selects the ARQ + loss-policy + watchdog configuration.
+    plan:
+        the base fault schedule; each sweep cell runs ``plan.scaled(i)``.
+    t_final:
+        simulated run length per cell (s).
+    reference:
+        the set-point the controlled signal is judged against.
+    signal:
+        name of the logged plant signal to score (default ``"speed"``).
+    """
+
+    make_pil: Callable[[bool], "object"]
+    plan: FaultPlan
+    t_final: float
+    reference: float
+    signal: str = "speed"
+
+    def run_cell(self, intensity: float, reliable: bool) -> CampaignOutcome:
+        pil = self.make_pil(reliable)
+        self.plan.scaled(intensity).attach(pil)
+        r = pil.run(self.t_final)
+        y = r.result[self.signal]
+        err = self.reference - y
+        return CampaignOutcome(
+            intensity=intensity,
+            reliable=reliable,
+            iae=iae(r.result.t, err),
+            diverged=is_diverging(r.result.t, y, self.reference),
+            crc_errors=r.crc_errors,
+            retransmits=r.retransmits,
+            timeouts=r.arq_timeouts,
+            send_failures=r.send_failures,
+            duplicates=r.duplicates,
+            recoveries=r.recoveries,
+            watchdog_resets=r.watchdog_resets,
+            max_consecutive_loss=r.max_consecutive_loss,
+            safe_state_steps=r.safe_state_steps,
+            mean_latency=r.mean_data_latency,
+            max_latency=r.max_data_latency,
+            steps=r.steps,
+        )
+
+    def run(
+        self,
+        intensities: Iterable[float],
+        modes: Sequence[bool] = (False, True),
+    ) -> list[CampaignOutcome]:
+        """The full sweep, raw and reliable per intensity by default."""
+        return [
+            self.run_cell(i, reliable)
+            for i in intensities
+            for reliable in modes
+        ]
+
+
+def run_campaign(
+    make_pil: Callable[[bool], "object"],
+    plan: FaultPlan,
+    intensities: Iterable[float],
+    t_final: float,
+    reference: float,
+    signal: str = "speed",
+    modes: Sequence[bool] = (False, True),
+) -> list[CampaignOutcome]:
+    """Functional wrapper around :class:`FaultCampaign`."""
+    return FaultCampaign(
+        make_pil=make_pil,
+        plan=plan,
+        t_final=t_final,
+        reference=reference,
+        signal=signal,
+    ).run(intensities, modes)

@@ -1,0 +1,156 @@
+"""Composable, seeded, time-windowed fault models.
+
+Each model is a window ``[start, start+duration)`` on the shared
+simulation timeline plus a kind-specific effect:
+
+* ``line`` faults transform bytes on the :class:`~repro.comm.SerialLine`
+  (``apply_byte``): burst corruption, full dropouts/disconnects;
+* ``sensor`` faults transform sampled sensor values on the host side
+  (``apply_sensor``): stuck-at readings;
+* ``cpu`` faults scale the MCU's controller-step cycle cost
+  (``cpu_scale``): step overruns.
+
+Models own a private RNG so campaigns are reproducible: the enclosing
+:class:`~repro.faults.FaultPlan` re-seeds every model at attach time,
+which makes two runs of the same plan byte-for-byte identical.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+
+class FaultModel(abc.ABC):
+    """A time-windowed fault; subclasses add the effect."""
+
+    #: which hook the plan wires this model into: line / sensor / cpu
+    kind: str = "abstract"
+
+    def __init__(self, start: float, duration: float):
+        if start < 0:
+            raise ValueError("fault window cannot start before t=0")
+        if duration < 0:
+            raise ValueError("fault duration must be >= 0")
+        self.start = float(start)
+        self.duration = float(duration)
+        self._rng = np.random.default_rng(0)
+
+    def active(self, t: float) -> bool:
+        return self.start <= t < self.start + self.duration
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def reseed(self, seed: int) -> None:
+        """Restore the model to its pristine, deterministic state (called
+        by the plan before every attach)."""
+        self._rng = np.random.default_rng(seed)
+
+    def scaled(self, intensity: float) -> "FaultModel":
+        """A copy of this fault at ``intensity`` (1.0 = as configured);
+        campaign sweeps use this to turn one plan into a family.  The
+        default scales nothing (not every fault has a magnitude)."""
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} [{self.start:.4f}s "
+            f"+{self.duration:.4f}s]>"
+        )
+
+
+class BurstErrors(FaultModel):
+    """Byte corruption burst: during the window each byte is XOR-mangled
+    with probability ``rate`` (on top of the line's stationary rates)."""
+
+    kind = "line"
+
+    def __init__(self, start: float, duration: float, rate: float):
+        super().__init__(start, duration)
+        if not (0.0 <= rate <= 1.0):
+            raise ValueError("burst error rate must be a probability")
+        self.rate = float(rate)
+
+    def apply_byte(self, t: float, byte: int) -> Optional[int]:
+        if not self.active(t) or self.rate == 0.0:
+            return byte
+        if self._rng.random() < self.rate:
+            return byte ^ int(self._rng.integers(1, 256))
+        return byte
+
+    def scaled(self, intensity: float) -> "BurstErrors":
+        return BurstErrors(
+            self.start, self.duration, min(1.0, self.rate * intensity)
+        )
+
+
+class LineDropout(FaultModel):
+    """Disconnect window: every byte in transit is lost (a loose
+    connector, a powered-down converter)."""
+
+    kind = "line"
+
+    def apply_byte(self, t: float, byte: int) -> Optional[int]:
+        return None if self.active(t) else byte
+
+    def scaled(self, intensity: float) -> "LineDropout":
+        return LineDropout(self.start, self.duration * intensity)
+
+
+class StuckSensor(FaultModel):
+    """A sensor freezes: during the window the named block keeps
+    reporting ``value`` (or, when ``value`` is None, whatever it read
+    first inside the window — a classic stuck-at-last fault)."""
+
+    kind = "sensor"
+
+    def __init__(
+        self,
+        block: str,
+        start: float,
+        duration: float,
+        value: Optional[float] = None,
+    ):
+        super().__init__(start, duration)
+        self.block = block
+        self.value = value
+        self._held: Optional[float] = None
+
+    def reseed(self, seed: int) -> None:
+        super().reseed(seed)
+        self._held = None
+
+    def apply_sensor(self, t: float, block: str, value: float) -> float:
+        if block != self.block or not self.active(t):
+            return value
+        if self.value is not None:
+            return self.value
+        if self._held is None:
+            self._held = value
+        return self._held
+
+
+class StepOverrun(FaultModel):
+    """The controller step suddenly costs ``factor`` times its budget
+    (a cache-hostile input, a debug print left in): the tick overruns its
+    period and the background task — hence the watchdog — starves."""
+
+    kind = "cpu"
+
+    def __init__(self, start: float, duration: float, factor: float = 3.0):
+        super().__init__(start, duration)
+        if factor < 1.0:
+            raise ValueError("overrun factor must be >= 1")
+        self.factor = float(factor)
+
+    def cpu_scale(self, t: float) -> float:
+        return self.factor if self.active(t) else 1.0
+
+    def scaled(self, intensity: float) -> "StepOverrun":
+        return StepOverrun(
+            self.start, self.duration, max(1.0, self.factor * intensity)
+        )

@@ -1,0 +1,86 @@
+"""FaultPlan — one schedule wiring fault models into a PIL rig.
+
+A plan is the single attachment point the tentpole asks for: line faults
+hook the :class:`~repro.comm.SerialLine` byte path, sensor faults hook
+the host-side sampling, CPU faults hook the controller tick's cycle
+cost.  ``attach`` re-seeds every model deterministically, so running the
+same plan twice produces identical campaigns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .models import FaultModel
+
+#: seed spacing between models inside one plan (any odd constant works;
+#: it only has to decorrelate the per-model streams deterministically)
+_SEED_STRIDE = 9973
+
+
+@dataclass
+class FaultPlan:
+    """A seeded schedule of fault models."""
+
+    faults: Sequence[FaultModel] = field(default_factory=tuple)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.faults = tuple(self.faults)
+
+    # ------------------------------------------------------------------
+    def by_kind(self, kind: str) -> list[FaultModel]:
+        return [f for f in self.faults if f.kind == kind]
+
+    def scaled(self, intensity: float) -> "FaultPlan":
+        """The same schedule with every model scaled (campaign sweeps)."""
+        return FaultPlan(
+            faults=[f.scaled(intensity) for f in self.faults], seed=self.seed
+        )
+
+    # ------------------------------------------------------------------
+    # the three hooks a PIL rig consults
+    # ------------------------------------------------------------------
+    def byte_fault(self, t: float, byte: int) -> Optional[int]:
+        """Line hook: thread the byte through every line fault in order
+        (None = dropped, short-circuits)."""
+        for f in self._line:
+            byte = f.apply_byte(t, byte)
+            if byte is None:
+                return None
+        return byte
+
+    def sensor_value(self, t: float, block: str, value: float) -> float:
+        for f in self._sensor:
+            value = f.apply_sensor(t, block, value)
+        return value
+
+    def cpu_scale(self, t: float) -> float:
+        scale = 1.0
+        for f in self._cpu:
+            scale *= f.cpu_scale(t)
+        return scale
+
+    # ------------------------------------------------------------------
+    def attach(self, pil) -> None:
+        """Wire this plan into a :class:`~repro.sim.PILSimulator` *before*
+        ``run()``; re-seeds every model so the run is reproducible."""
+        self.arm()
+        pil.fault_plan = self
+
+    def arm(self) -> None:
+        """Re-seed all models and cache the per-kind dispatch lists."""
+        for i, f in enumerate(self.faults):
+            f.reseed(self.seed + _SEED_STRIDE * (i + 1))
+        self._line = self.by_kind("line")
+        self._sensor = self.by_kind("sensor")
+        self._cpu = self.by_kind("cpu")
+
+    @property
+    def has_line_faults(self) -> bool:
+        return any(f.kind == "line" for f in self.faults)
+
+    @property
+    def has_cpu_faults(self) -> bool:
+        return any(f.kind == "cpu" for f in self.faults)

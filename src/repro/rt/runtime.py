@@ -41,6 +41,8 @@ class BareBoardRuntime:
             on_complete=lambda d: step_action(),
         )
         self.background_iterations = 0
+        self.watchdog_services = 0
+        self._wd_last_busy = 0.0
 
     # ------------------------------------------------------------------
     def add_event_task(
@@ -82,6 +84,34 @@ class BareBoardRuntime:
 
     def stop(self) -> None:
         self.timer.stop()
+
+    def service_watchdog(self, wdog, check_period: Optional[float] = None) -> None:
+        """Give the background task its watchdog duty.
+
+        The real pattern: ``main()``'s idle loop kicks the dog, so a tick
+        that monopolises the CPU (an overrun, a stuck ISR) starves it and
+        forces the reset.  Modelled as a periodic check: the dog is kicked
+        iff the CPU had idle time during the last check interval — i.e.
+        the background loop actually got to run.  The caller configures
+        and starts ``wdog`` (its timeout must exceed ``check_period``).
+        """
+        period = check_period if check_period is not None else self.period
+        if wdog.timeout is not None and wdog.timeout <= period:
+            raise ValueError(
+                "watchdog timeout must exceed the background check period"
+            )
+        self._wd_last_busy = self.device.cpu.busy_time
+        t0 = self.device.time
+
+        def check(k: int) -> None:
+            busy = self.device.cpu.busy_time
+            if busy - self._wd_last_busy <= 0.98 * period:
+                wdog.kick()
+                self.watchdog_services += 1
+            self._wd_last_busy = busy
+            self.device.schedule(t0 + (k + 1) * period, lambda: check(k + 1))
+
+        self.device.schedule(t0 + period, lambda: check(1))
 
     def run_for(self, duration: float) -> None:
         """Advance the device; the background task 'runs' whenever the CPU

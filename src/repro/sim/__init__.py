@@ -16,7 +16,7 @@ The paper's V-model validation ladder (sections 2 and 6):
 from .split import split_plant_model, ControllerProxy
 from .mil import MILSimulator, run_mil
 from .hil import HILSimulator
-from .pil import PILSimulator, PILResult
+from .pil import LossPolicy, PILSimulator, PILResult
 from .targets import (
     CANAdapter,
     LINUX_TARGET,
@@ -37,6 +37,7 @@ __all__ = [
     "HILSimulator",
     "PILSimulator",
     "PILResult",
+    "LossPolicy",
     "CANAdapter",
     "LINUX_TARGET",
     "XPC_TARGET",

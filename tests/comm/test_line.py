@@ -102,6 +102,68 @@ class TestErrorInjection:
             SerialLine(dev, error_rate=2.0)
 
 
+class TestBoundaryRates:
+    """Accounting at the probability extremes 0.0 and 1.0."""
+
+    def test_zero_rates_deliver_everything(self):
+        dev, line, sci, host = rig(error_rate=0.0, drop_rate=0.0)
+        sci.send(bytes(range(32)))
+        dev.run_until(0.05)
+        assert host.receive() == bytes(range(32))
+        assert line.bytes_dropped == 0
+        assert line.bytes_corrupted == 0
+        assert line.bytes_delivered[1] == 32
+        assert line.total_bytes == 32
+
+    def test_full_drop_counts_every_byte(self):
+        dev, line, sci, host = rig(drop_rate=1.0)
+        sci.send(bytes(range(32)))
+        dev.run_until(0.05)
+        assert host.receive() == b""
+        assert line.bytes_dropped == 32
+        assert line.bytes_corrupted == 0
+        assert line.bytes_delivered == [0, 0]
+        assert line.total_bytes == 32
+
+    def test_full_corruption_counts_and_delivers(self):
+        dev, line, sci, host = rig(error_rate=1.0, seed=5)
+        sci.send(bytes(range(32)))
+        dev.run_until(0.05)
+        got = host.receive()
+        assert len(got) == 32
+        assert got != bytes(range(32))
+        assert line.bytes_corrupted == 32
+        assert line.bytes_dropped == 0
+
+    def test_drop_wins_over_corruption_at_both_ones(self):
+        dev, line, sci, host = rig(error_rate=1.0, drop_rate=1.0)
+        sci.send(b"\x10\x20")
+        dev.run_until(0.01)
+        assert line.bytes_dropped == 2
+        assert line.bytes_corrupted == 0
+
+
+class TestFaultHook:
+    def test_hook_can_drop_and_corrupt(self):
+        dev, line, sci, host = rig()
+        # drop every even byte, flip bit 0 of every odd byte
+        line.fault = lambda t, b: None if b % 2 == 0 else b ^ 0x01
+        sci.send(bytes([2, 3, 4, 5]))
+        dev.run_until(0.01)
+        assert host.receive() == bytes([2, 4])
+        assert line.bytes_dropped == 2
+        assert line.bytes_corrupted == 2
+
+    def test_identity_hook_counts_nothing(self):
+        dev, line, sci, host = rig()
+        line.fault = lambda t, b: b
+        sci.send(b"ok")
+        dev.run_until(0.01)
+        assert host.receive() == b"ok"
+        assert line.bytes_dropped == 0
+        assert line.bytes_corrupted == 0
+
+
 class TestSciConfiguration:
     def test_baud_quantization(self):
         dev = MCUDevice(MC56F8367)

@@ -1,0 +1,304 @@
+"""ARQ layer unit tests: ReliableChannel over a scripted lossy pipe."""
+
+import pytest
+
+from repro.comm import (
+    ARQConfig,
+    PacketCodec,
+    PacketDecoder,
+    PacketType,
+    ReliableChannel,
+    SerialLine,
+)
+from repro.comm.host import HostSerialPort
+from repro.mcu import MCUDevice, MC56F8367
+
+
+class FakeScheduler:
+    """Deterministic event queue without the MCU machinery."""
+
+    def __init__(self):
+        self.time = 0.0
+        self._events = []
+        self._n = 0
+
+    def schedule(self, t, fn):
+        self._n += 1
+        self._events.append((max(t, self.time), self._n, fn))
+        self._events.sort(key=lambda e: (e[0], e[1]))
+
+    def run_until(self, t_end):
+        while self._events and self._events[0][0] <= t_end:
+            t, _, fn = self._events.pop(0)
+            self.time = t
+            fn()
+        self.time = t_end
+
+
+def make_pair(cfg=None, a_to_b=None, b_to_a=None):
+    """Two channels joined by instantaneous (scriptable) pipes.
+
+    ``a_to_b``/``b_to_a`` filter raw frames; return None to eat one.
+    """
+    sched = FakeScheduler()
+    delivered_a, delivered_b = [], []
+    dec_a = PacketDecoder()
+    dec_b = PacketDecoder()
+
+    def send_a(frame):
+        f = a_to_b(frame) if a_to_b else frame
+        if f is not None:
+            sched.schedule(sched.time, lambda: dec_b.feed(f))
+
+    def send_b(frame):
+        f = b_to_a(frame) if b_to_a else frame
+        if f is not None:
+            sched.schedule(sched.time, lambda: dec_a.feed(f))
+
+    cha = ReliableChannel(sched, send_a, delivered_a.append, cfg, name="a")
+    chb = ReliableChannel(sched, send_b, delivered_b.append, cfg, name="b")
+    dec_a.on_packet = cha.on_packet
+    dec_a.on_error = cha.on_frame_error
+    dec_b.on_packet = chb.on_packet
+    dec_b.on_error = chb.on_frame_error
+    return sched, cha, chb, delivered_a, delivered_b
+
+
+class TestHappyPath:
+    def test_delivery_and_ack(self):
+        sched, cha, chb, da, db = make_pair()
+        seq = cha.send(PacketType.DATA, [1, 2, 3])
+        sched.run_until(0.01)
+        assert [p.words for p in db] == [(1, 2, 3)]
+        assert db[0].seq == seq
+        assert cha.in_flight == 0
+        assert cha.health.acked == 1
+        assert chb.health.acks_sent == 1
+        assert cha.health.retransmits == 0
+
+    def test_no_retransmit_after_ack(self):
+        sched, cha, chb, da, db = make_pair()
+        cha.send(PacketType.DATA, [7])
+        sched.run_until(1.0)  # far past every timer
+        assert len(db) == 1
+        assert cha.health.timeouts == 0
+        assert cha.health.send_failures == 0
+
+    def test_bidirectional(self):
+        sched, cha, chb, da, db = make_pair()
+        cha.send(PacketType.DATA, [1])
+        chb.send(PacketType.ACTUATION, [2])
+        sched.run_until(0.01)
+        assert [p.ptype for p in db] == [PacketType.DATA]
+        assert [p.ptype for p in da] == [PacketType.ACTUATION]
+
+
+class TestLossRecovery:
+    def test_lost_frame_is_retransmitted(self):
+        drop_first = {"n": 0}
+
+        def lossy(frame):
+            # eat only the very first data frame; ACKs flow freely
+            if frame[2] == int(PacketType.DATA) and drop_first["n"] == 0:
+                drop_first["n"] += 1
+                return None
+            return frame
+
+        cfg = ARQConfig(timeout=1e-3)
+        sched, cha, chb, da, db = make_pair(cfg, a_to_b=lossy)
+        cha.send(PacketType.DATA, [42])
+        sched.run_until(0.5e-3)
+        assert db == []  # first copy eaten
+        sched.run_until(5e-3)
+        assert [p.words for p in db] == [(42,)]
+        assert cha.health.retransmits == 1
+        assert cha.health.timeouts == 1
+        assert cha.in_flight == 0
+
+    def test_lost_ack_causes_dup_which_is_suppressed(self):
+        eat_acks = {"n": 0}
+
+        def ack_eater(frame):
+            if frame[2] == int(PacketType.ACK) and eat_acks["n"] == 0:
+                eat_acks["n"] += 1
+                return None
+            return frame
+
+        cfg = ARQConfig(timeout=1e-3)
+        sched, cha, chb, da, db = make_pair(cfg, b_to_a=ack_eater)
+        cha.send(PacketType.DATA, [9])
+        sched.run_until(10e-3)
+        # delivered exactly once despite the retransmission
+        assert [p.words for p in db] == [(9,)]
+        assert chb.health.duplicates == 1
+        assert chb.health.acks_sent == 2
+        assert cha.in_flight == 0
+
+    def test_retry_budget_exhaustion(self):
+        cfg = ARQConfig(timeout=1e-3, backoff=1.0, max_retries=3)
+        gave_up = []
+        sched, cha, chb, da, db = make_pair(cfg, a_to_b=lambda f: None)
+        cha.on_give_up = gave_up.append
+        seq = cha.send(PacketType.DATA, [1])
+        sched.run_until(1.0)
+        assert cha.health.send_failures == 1
+        assert cha.health.retransmits == 3
+        assert cha.in_flight == 0
+        assert gave_up == [seq]
+
+    def test_backoff_spreads_retries(self):
+        times = []
+
+        def spy(frame):
+            if frame[2] == int(PacketType.DATA):
+                times.append(sched.time)
+            return None  # never deliver
+
+        cfg = ARQConfig(timeout=1e-3, backoff=2.0, max_retries=3)
+        sched, cha, chb, da, db = make_pair(cfg, a_to_b=spy)
+        cha.send(PacketType.DATA, [1])
+        sched.run_until(1.0)
+        # transmissions at 0, then +1ms, +2ms, +4ms
+        gaps = [t2 - t1 for t1, t2 in zip(times, times[1:])]
+        assert gaps == pytest.approx([1e-3, 2e-3, 4e-3], rel=1e-9)
+
+
+class TestNak:
+    def test_frame_error_solicits_retransmit(self):
+        corrupt_first = {"n": 0}
+
+        def corruptor(frame):
+            if frame[2] == int(PacketType.DATA) and corrupt_first["n"] == 0:
+                corrupt_first["n"] += 1
+                return frame[:-1] + bytes([frame[-1] ^ 0xFF])  # break CRC
+            return frame
+
+        cfg = ARQConfig(timeout=50e-3)  # timer alone would be slow
+        sched, cha, chb, da, db = make_pair(cfg, a_to_b=corruptor)
+        cha.send(PacketType.DATA, [5])
+        sched.run_until(10e-3)
+        # NAK beat the 50 ms timer: data is already there
+        assert [p.words for p in db] == [(5,)]
+        assert chb.health.naks_sent == 1
+        assert cha.health.naks_received == 1
+        assert cha.health.retransmits == 1
+
+    def test_nak_rate_limited(self):
+        cfg = ARQConfig(timeout=10e-3)
+        sched, cha, chb, da, db = make_pair(cfg)
+        # two decoder errors back to back -> one NAK
+        cha.on_frame_error()
+        cha.on_frame_error()
+        assert cha.health.naks_sent == 1
+        sched.run_until(20e-3)
+        cha.on_frame_error()
+        assert cha.health.naks_sent == 2
+
+    def test_nak_disabled(self):
+        cfg = ARQConfig(nak_enabled=False)
+        sched, cha, chb, da, db = make_pair(cfg)
+        cha.on_frame_error()
+        assert cha.health.naks_sent == 0
+
+
+class TestSupersede:
+    def test_new_send_abandons_stale_retries_of_same_type(self):
+        cfg = ARQConfig(timeout=1e-3, supersede=True)
+        sched, cha, chb, da, db = make_pair(cfg, a_to_b=lambda f: None)
+        cha.send(PacketType.DATA, [1])
+        cha.send(PacketType.DATA, [2])  # fresher sample of the same stream
+        assert cha.in_flight == 1
+        assert cha.health.superseded == 1
+        sched.run_until(0.5)
+        # only the fresh frame kept retrying; the stale one's timer defused
+        assert cha.health.send_failures == 1
+
+    def test_supersede_is_per_packet_type(self):
+        cfg = ARQConfig(timeout=1e-3, supersede=True)
+        sched, cha, chb, da, db = make_pair(cfg, a_to_b=lambda f: None)
+        cha.send(PacketType.DATA, [1])
+        cha.send(PacketType.ACTUATION, [2])  # different stream
+        assert cha.in_flight == 2
+        assert cha.health.superseded == 0
+
+    def test_default_keeps_every_frame_pending(self):
+        sched, cha, chb, da, db = make_pair(a_to_b=lambda f: None)
+        cha.send(PacketType.DATA, [1])
+        cha.send(PacketType.DATA, [2])
+        assert cha.in_flight == 2
+        assert cha.health.superseded == 0
+
+
+class TestReset:
+    def test_reset_abandons_pending(self):
+        cfg = ARQConfig(timeout=1e-3)
+        sched, cha, chb, da, db = make_pair(cfg, a_to_b=lambda f: None)
+        cha.send(PacketType.DATA, [1])
+        assert cha.in_flight == 1
+        cha.reset()
+        assert cha.in_flight == 0
+        assert cha.health.resyncs == 1
+        sched.run_until(1.0)
+        assert cha.health.retransmits == 0  # stale timers defused
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ARQConfig(timeout=0.0)
+        with pytest.raises(ValueError):
+            ARQConfig(backoff=0.5)
+        with pytest.raises(ValueError):
+            ARQConfig(history=256)
+
+
+class TestOverRealLine:
+    """The ARQ pair across the actual SerialLine + UART models."""
+
+    def rig(self, error_rate, seed=11, cfg=None):
+        dev = MCUDevice(MC56F8367)
+        line = SerialLine(dev, error_rate=error_rate, seed=seed)
+        sci = dev.sci(0)
+        sci.configure(115200)
+        sci.connect(line, 0)
+        line.declare_baud(0, sci.baud)
+        host = HostSerialPort(dev, 115200)
+        host.connect(line, 1)
+        got_host, got_mcu = [], []
+        dec_host = PacketDecoder()
+        dec_mcu = PacketDecoder()
+        ch_host = ReliableChannel(dev, host.send, got_host.append, cfg)
+        ch_mcu = ReliableChannel(dev, sci.send, got_mcu.append, cfg)
+        dec_host.on_packet = ch_host.on_packet
+        dec_host.on_error = ch_host.on_frame_error
+        dec_mcu.on_packet = ch_mcu.on_packet
+        dec_mcu.on_error = ch_mcu.on_frame_error
+        host.on_byte = lambda b: dec_host.feed(bytes([b]))
+        sci.rx_irq_vector = None
+        # poll-mode MCU receive: drain the RX FIFO on a fine tick
+        def poll(t=[0.0]):
+            data = sci.receive()
+            if data:
+                dec_mcu.feed(data)
+            t[0] += 1e-4
+            dev.schedule(t[0], poll)
+        dev.schedule(0.0, poll)
+        return dev, ch_host, ch_mcu, got_host, got_mcu
+
+    def test_every_word_arrives_despite_noise(self):
+        cfg = ARQConfig(timeout=3e-3)
+        dev, ch_host, ch_mcu, got_host, got_mcu = self.rig(0.05, cfg=cfg)
+        sent = []
+        for k in range(40):
+            dev.schedule(k * 2e-3, lambda k=k: sent.append(ch_host.send(PacketType.DATA, [k])))
+        dev.run_until(0.5)
+        words = sorted(p.words[0] for p in got_mcu)
+        assert words == list(range(40))  # lossless despite 5 % byte noise
+        assert ch_host.health.retransmits > 0
+
+    def test_clean_line_zero_overhead_counters(self):
+        dev, ch_host, ch_mcu, got_host, got_mcu = self.rig(0.0)
+        dev.schedule(0.0, lambda: ch_host.send(PacketType.DATA, [1, 2]))
+        dev.run_until(0.05)
+        assert [p.words for p in got_mcu] == [(1, 2)]
+        assert ch_host.health.retransmits == 0
+        assert ch_host.health.send_failures == 0
+        assert ch_mcu.health.duplicates == 0

@@ -1,0 +1,226 @@
+"""Fault models, FaultPlan wiring, and campaign determinism."""
+
+import pytest
+
+from repro.casestudy import ServoConfig, build_servo_model
+from repro.core import PEERTTarget
+from repro.faults import (
+    BurstErrors,
+    FaultCampaign,
+    FaultPlan,
+    LineDropout,
+    StepOverrun,
+    StuckSensor,
+)
+from repro.sim import LossPolicy, PILSimulator
+
+SETPOINT = 100.0
+
+
+class TestModels:
+    def test_window_activity(self):
+        f = LineDropout(start=0.1, duration=0.05)
+        assert not f.active(0.099)
+        assert f.active(0.1)
+        assert f.active(0.149)
+        assert not f.active(0.151)
+        assert f.end == pytest.approx(0.15)
+
+    def test_dropout_eats_bytes_only_in_window(self):
+        f = LineDropout(start=1.0, duration=1.0)
+        assert f.apply_byte(0.5, 0x55) == 0x55
+        assert f.apply_byte(1.5, 0x55) is None
+
+    def test_burst_corrupts_at_rate_one(self):
+        f = BurstErrors(start=0.0, duration=1.0, rate=1.0)
+        f.reseed(3)
+        assert f.apply_byte(0.5, 0x55) != 0x55
+        assert f.apply_byte(2.0, 0x55) == 0x55  # outside the window
+
+    def test_burst_rate_zero_is_identity(self):
+        f = BurstErrors(start=0.0, duration=1.0, rate=0.0)
+        f.reseed(3)
+        assert f.apply_byte(0.5, 0x55) == 0x55
+
+    def test_burst_determinism_via_reseed(self):
+        f = BurstErrors(start=0.0, duration=1.0, rate=0.5)
+        f.reseed(7)
+        a = [f.apply_byte(0.1, b) for b in range(64)]
+        f.reseed(7)
+        b = [f.apply_byte(0.1, b) for b in range(64)]
+        assert a == b
+
+    def test_stuck_sensor_holds_first_value(self):
+        f = StuckSensor("QD1", start=0.1, duration=0.2)
+        f.reseed(0)
+        assert f.apply_sensor(0.05, "QD1", 10.0) == 10.0   # before window
+        assert f.apply_sensor(0.15, "QD1", 20.0) == 20.0   # freezes here
+        assert f.apply_sensor(0.2, "QD1", 99.0) == 20.0    # held
+        assert f.apply_sensor(0.2, "OTHER", 5.0) == 5.0    # other block clean
+        assert f.apply_sensor(0.35, "QD1", 7.0) == 7.0     # window over
+
+    def test_stuck_sensor_explicit_value(self):
+        f = StuckSensor("QD1", start=0.0, duration=1.0, value=123.0)
+        assert f.apply_sensor(0.5, "QD1", 0.0) == 123.0
+
+    def test_step_overrun_scale(self):
+        f = StepOverrun(start=0.1, duration=0.1, factor=4.0)
+        assert f.cpu_scale(0.05) == 1.0
+        assert f.cpu_scale(0.15) == 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstErrors(0, 1, rate=2.0)
+        with pytest.raises(ValueError):
+            StepOverrun(0, 1, factor=0.5)
+        with pytest.raises(ValueError):
+            LineDropout(0, -1.0)
+        with pytest.raises(ValueError):
+            LineDropout(-1.0, 1.0)
+
+
+class TestPlan:
+    def test_scaling_produces_new_models(self):
+        plan = FaultPlan(
+            [BurstErrors(0, 1, rate=0.1), StepOverrun(0, 1, factor=2.0)], seed=1
+        )
+        scaled = plan.scaled(2.0)
+        assert scaled.faults[0].rate == pytest.approx(0.2)
+        assert scaled.faults[1].factor == pytest.approx(4.0)
+        # the original is untouched
+        assert plan.faults[0].rate == pytest.approx(0.1)
+
+    def test_burst_rate_scaling_clamped(self):
+        plan = FaultPlan([BurstErrors(0, 1, rate=0.6)])
+        assert plan.scaled(10.0).faults[0].rate == 1.0
+
+    def test_byte_fault_chain_short_circuits_on_drop(self):
+        plan = FaultPlan(
+            [LineDropout(0, 1), BurstErrors(0, 1, rate=1.0)], seed=0
+        )
+        plan.arm()
+        assert plan.byte_fault(0.5, 0x42) is None
+
+    def test_kind_dispatch(self):
+        plan = FaultPlan(
+            [
+                BurstErrors(0, 1, rate=0.1),
+                StuckSensor("QD1", 0, 1),
+                StepOverrun(0, 1, factor=2.0),
+            ]
+        )
+        assert plan.has_line_faults
+        assert plan.has_cpu_faults
+        assert len(plan.by_kind("sensor")) == 1
+
+    def test_arm_reseeds_identically(self):
+        plan = FaultPlan([BurstErrors(0, 1, rate=0.5)], seed=9)
+        plan.arm()
+        a = [plan.byte_fault(0.1, b) for b in range(64)]
+        plan.arm()
+        b = [plan.byte_fault(0.1, b) for b in range(64)]
+        assert a == b
+
+
+def make_pil(reliable: bool) -> PILSimulator:
+    sm = build_servo_model(ServoConfig(setpoint=SETPOINT))
+    app = PEERTTarget(sm.model).build()
+    return PILSimulator(
+        app,
+        baud=460800,
+        plant_dt=1e-4,
+        reliable=reliable,
+        loss_policy=LossPolicy(mode="safe", max_consecutive=5),
+        watchdog_timeout=8e-3 if reliable else None,
+    )
+
+
+class TestCampaign:
+    def test_campaign_is_deterministic(self):
+        """Acceptance: two runs of the same FaultPlan -> identical metrics."""
+        plan = FaultPlan(
+            [
+                BurstErrors(start=0.02, duration=0.05, rate=0.15),
+                LineDropout(start=0.1, duration=0.02),
+            ],
+            seed=23,
+        )
+
+        def campaign():
+            c = FaultCampaign(
+                make_pil=make_pil,
+                plan=plan,
+                t_final=0.15,
+                reference=SETPOINT,
+            )
+            return [o.key_metrics() for o in c.run([1.0], modes=(False, True))]
+
+        assert campaign() == campaign()
+
+    def test_campaign_rows_cover_grid(self):
+        plan = FaultPlan([BurstErrors(0.0, 0.1, rate=0.1)], seed=5)
+        c = FaultCampaign(
+            make_pil=make_pil, plan=plan, t_final=0.06, reference=SETPOINT
+        )
+        rows = c.run([0.5, 1.0], modes=(False, True))
+        assert [(r.intensity, r.reliable) for r in rows] == [
+            (0.5, False),
+            (0.5, True),
+            (1.0, False),
+            (1.0, True),
+        ]
+        for r in rows:
+            assert r.steps > 0
+            assert r.iae >= 0.0
+
+
+class TestPlanOnPil:
+    def test_stuck_sensor_freezes_the_loop_feedback(self):
+        """A stuck speed sensor mid-run: the controller sees a frozen
+        reading, keeps pushing, and the true speed overshoots the
+        setpoint while the window lasts."""
+        sm = build_servo_model(ServoConfig(setpoint=SETPOINT))
+        app = PEERTTarget(sm.model).build()
+        pil = PILSimulator(app, baud=115200, plant_dt=1e-4)
+        # freeze the quadrature count early in the acceleration ramp
+        qd_name = pil_sensor_block_name(app)
+        FaultPlan(
+            [StuckSensor(qd_name, start=0.05, duration=0.45)], seed=1
+        ).attach(pil)
+        r = pil.run(0.5)
+        speed = r.result["speed"]
+        assert float(speed.max()) > 1.3 * SETPOINT  # ran away while blind
+
+    def test_cpu_overrun_starves_watchdog(self):
+        sm = build_servo_model(ServoConfig(setpoint=SETPOINT))
+        app = PEERTTarget(sm.model).build()
+        pil = PILSimulator(
+            app,
+            baud=460800,
+            plant_dt=1e-4,
+            reliable=True,
+            watchdog_timeout=6e-3,
+        )
+        FaultPlan(
+            [StepOverrun(start=0.05, duration=0.05, factor=50.0)], seed=1
+        ).attach(pil)
+        r = pil.run(0.15)
+        assert r.recoveries >= 1
+        assert r.watchdog_resets >= 1
+
+    def test_line_faults_require_rs232(self):
+        from repro.core.target import TargetError
+        from repro.sim import LINUX_TARGET
+
+        sm = build_servo_model(ServoConfig(setpoint=SETPOINT))
+        app = PEERTTarget(sm.model).build()
+        pil = PILSimulator(app, link="spi", target=LINUX_TARGET)
+        FaultPlan([LineDropout(0.0, 0.1)]).attach(pil)
+        with pytest.raises(TargetError, match="rs232"):
+            pil.run(0.05)
+
+
+def pil_sensor_block_name(app) -> str:
+    ports = app.sensor_ports()
+    assert ports, "servo model must expose a sensor port"
+    return ports[0][2].name

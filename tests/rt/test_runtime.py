@@ -61,6 +61,43 @@ class TestBareBoardRuntime:
         assert rt2.background_iterations < rt1.background_iterations
 
 
+class TestWatchdogService:
+    def arm(self, rt, dev, timeout=5e-3):
+        wd = dev.wdog(0)
+        wd.configure(timeout)
+        wd.start()
+        rt.service_watchdog(wd)
+        return wd
+
+    def test_healthy_loop_keeps_the_dog_quiet(self):
+        dev, rt, _ = make_runtime(step_cycles=6000.0)  # ~10 % load
+        rt.install()
+        wd = self.arm(rt, dev)
+        rt.start()
+        rt.run_for(50e-3)
+        assert wd.reset_count == 0
+        assert rt.watchdog_services >= 45  # kicked nearly every period
+
+    def test_overrunning_step_starves_the_dog(self):
+        # 70k cycles > the 60k-cycle period: the CPU is almost always
+        # saturated (idle appears only when an overrun swallows a tick),
+        # the background task rarely runs, the dog keeps firing
+        dev, rt, _ = make_runtime(step_cycles=70000.0)
+        rt.install()
+        wd = self.arm(rt, dev)
+        rt.start()
+        rt.run_for(50e-3)
+        assert rt.watchdog_services < 15
+        assert wd.reset_count >= 1
+
+    def test_timeout_must_exceed_check_period(self):
+        dev, rt, _ = make_runtime(period=1e-3)
+        wd = dev.wdog(0)
+        wd.configure(1e-3)
+        with pytest.raises(ValueError, match="exceed"):
+            rt.service_watchdog(wd)
+
+
 class TestProfiler:
     def test_stats_match_configuration(self):
         dev, rt, _ = make_runtime(step_cycles=6000.0)

@@ -1,0 +1,193 @@
+"""PIL over a lossy line: loss policies, seq-keyed latency pairing,
+ARQ end-to-end behaviour, and watchdog-driven recovery.
+
+`test_cosim.py` exercises the clean-line PIL path; this module covers the
+fault-tolerance subsystem on the same servo case study.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import iae, pil_health
+from repro.casestudy import ServoConfig, build_servo_model
+from repro.core import PEERTTarget
+from repro.core.target import TargetError
+from repro.faults import FaultPlan, LineDropout
+from repro.sim import LossPolicy, PILSimulator
+
+SETPOINT = 100.0
+
+
+def fresh_pil(**kw):
+    sm = build_servo_model(ServoConfig(setpoint=SETPOINT))
+    app = PEERTTarget(sm.model).build()
+    kw.setdefault("plant_dt", 1e-4)
+    return PILSimulator(app, **kw)
+
+
+def run_iae(r):
+    res = r.result
+    return iae(res.t, SETPOINT - np.asarray(res["speed"]))
+
+
+class TestLossyLine:
+    """PILSimulator under nonzero line_error_rate / line_drop_rate."""
+
+    def test_drop_rate_loses_packets_but_loop_survives(self):
+        r = fresh_pil(baud=115200, line_drop_rate=0.02).run(0.3)
+        assert r.steps > 250
+        # some DATA frames never decoded -> fewer latency samples than steps
+        assert 0 < len(r.data_latencies) < r.steps
+        assert r.max_consecutive_loss >= 1
+        # holding last values over short gaps keeps the servo bounded
+        assert np.max(np.abs(r.result["speed"])) < 400
+
+    def test_error_rate_detected_by_crc(self):
+        r = fresh_pil(baud=115200, line_error_rate=0.05).run(0.3)
+        assert r.crc_errors > 0
+        assert np.max(np.abs(r.result["speed"])) < 400
+
+    def test_combined_error_and_drop(self):
+        r = fresh_pil(
+            baud=115200, line_error_rate=0.03, line_drop_rate=0.03
+        ).run(0.3)
+        assert r.crc_errors > 0
+        assert r.max_consecutive_loss >= 1
+        assert r.steps > 250
+
+
+class TestLatencyPairing:
+    """Regression: DATA latency is paired by sequence number.
+
+    The old implementation popped the oldest entry of a send-time FIFO on
+    every decode, so the first lost packet shifted *every* later pairing
+    and reported latency grew by one period per cumulative loss.
+    """
+
+    def test_latency_stays_bounded_under_drops(self):
+        r = fresh_pil(baud=115200, line_drop_rate=0.05).run(0.3)
+        lat = np.asarray(r.data_latencies)
+        assert len(lat) > 100              # plenty of frames still decoded
+        frame_time = 7 * 10 / 115200       # 7-byte DATA frame on the wire
+        # seq pairing: every sample is the true single-frame wire time;
+        # FIFO pairing would have grown these past 50x frame_time
+        assert lat.max() < 2 * frame_time
+        # and in particular no drift between early and late samples
+        assert lat[-1] == pytest.approx(lat[0], abs=frame_time)
+
+    def test_clean_line_pairing_matches_wire_time(self):
+        r = fresh_pil(baud=115200).run(0.2)
+        lat = np.asarray(r.data_latencies)
+        assert len(lat) == r.steps + 1
+        assert lat.max() == pytest.approx(lat.min(), rel=1e-9)
+
+    def test_decoder_rejects_garbage_length_headers(self):
+        # a drop that lands a large value in the LEN slot must not stall
+        # the parser waiting for phantom payload bytes (tens of ms)
+        r = fresh_pil(baud=115200, line_drop_rate=0.05).run(0.3)
+        assert r.max_data_latency < 1e-3   # < one control period
+
+
+class TestLossPolicy:
+    def run_with_dropout(self, mode):
+        pil = fresh_pil(
+            baud=115200,
+            reliable=True,
+            watchdog_timeout=8e-3,
+            loss_policy=LossPolicy(mode=mode, max_consecutive=5),
+        )
+        FaultPlan([LineDropout(start=0.1, duration=0.15)], seed=2).attach(pil)
+        return pil.run(0.35)
+
+    def duty_at(self, r, t_query):
+        t = r.result.t
+        return float(r.result["duty"][np.searchsorted(t, t_query)])
+
+    def test_hold_policy_keeps_last_actuation(self):
+        r = self.run_with_dropout("hold")
+        assert r.safe_state_steps == 0
+        # mid-dropout the plant still sees the pre-fault drive level
+        assert self.duty_at(r, 0.22) > 0.1
+
+    def test_safe_policy_drops_to_safe_state(self):
+        r = self.run_with_dropout("safe")
+        assert r.safe_state_steps > 0
+        # recovery + policy force the actuation to the safe value (0.0)
+        assert self.duty_at(r, 0.22) == pytest.approx(0.0)
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            LossPolicy(mode="panic")
+        with pytest.raises(ValueError):
+            LossPolicy(max_consecutive=0)
+
+    def test_safe_values_per_block(self):
+        p = LossPolicy(mode="safe", safe_values={"PWM1": 0.25}, default_safe=0.5)
+        assert p.safe_value("PWM1") == 0.25
+        assert p.safe_value("OTHER") == 0.5
+
+
+class TestWatchdog:
+    def test_dropout_starves_watchdog_and_recovers(self):
+        pil = fresh_pil(baud=115200, reliable=True, watchdog_timeout=8e-3)
+        FaultPlan([LineDropout(start=0.1, duration=0.1)], seed=3).attach(pil)
+        r = pil.run(0.3)
+        assert r.watchdog_resets >= 1
+        assert r.recoveries >= 1
+        assert r.recoveries == r.watchdog_resets
+
+    def test_clean_run_never_fires_the_dog(self):
+        r = fresh_pil(baud=460800, reliable=True, watchdog_timeout=8e-3).run(0.3)
+        assert r.watchdog_resets == 0
+        assert r.recoveries == 0
+        assert r.result.final("speed") == pytest.approx(SETPOINT, abs=5.0)
+
+    def test_timeout_must_exceed_control_period(self):
+        pil = fresh_pil(watchdog_timeout=1e-3)  # == the control period
+        with pytest.raises(TargetError, match="watchdog_timeout"):
+            pil.run(0.01)
+
+
+class TestReliableLink:
+    """ARQ end-to-end on the servo loop (E14's acceptance shape)."""
+
+    ERR = 0.3
+    BAUD = 460800  # ACK traffic needs wire headroom inside the 1 ms period
+
+    def test_arq_recovers_what_the_raw_link_loses(self):
+        raw = fresh_pil(baud=self.BAUD, line_error_rate=self.ERR).run(0.3)
+        rel = fresh_pil(
+            baud=self.BAUD, line_error_rate=self.ERR, reliable=True
+        ).run(0.3)
+        assert rel.retransmits > 0
+        assert rel.acks > 0
+        assert rel.superseded > 0          # stream semantics active
+        # NAK-solicited retransmits land within the control period, so
+        # delivered data is never stale...
+        assert rel.max_data_latency < 1e-3
+        # ...and control quality degrades far less than over the raw link
+        assert run_iae(rel) < 0.6 * run_iae(raw)
+
+    def test_reliable_clean_line_costs_nothing_but_acks(self):
+        r = fresh_pil(baud=self.BAUD, reliable=True).run(0.3)
+        assert r.reliable
+        assert r.retransmits == 0
+        assert r.send_failures == 0
+        assert r.duplicates == 0
+        assert r.acks > 0
+        assert r.result.final("speed") == pytest.approx(SETPOINT, abs=5.0)
+
+    def test_health_report_scores_a_run(self):
+        r = fresh_pil(baud=self.BAUD, line_error_rate=self.ERR, reliable=True).run(0.3)
+        rep = pil_health(r, SETPOINT)
+        assert rep.reliable
+        assert rep.retransmits == r.retransmits
+        assert not rep.diverged
+        assert rep.stable_within(iae_budget=100.0, latency_budget=0.05)
+        assert "rexmit" in rep.summary()
+
+    def test_health_dict_round_trip(self):
+        r = fresh_pil(baud=self.BAUD, reliable=True).run(0.1)
+        h = r.health()
+        assert h["reliable"] is True
+        assert set(h) >= {"retransmits", "recoveries", "max_consecutive_loss"}
