@@ -16,9 +16,26 @@ from repro.model import Simulator, SimulationOptions
 
 
 def test_perf_engine_steps(benchmark):
-    """Closed-loop servo MIL: major steps per second."""
+    """Closed-loop servo MIL: major steps per second (kernel fast path)."""
     sm = build_servo_model(ServoConfig(setpoint=100.0))
     sim = Simulator(sm.model, SimulationOptions(dt=1e-4, t_final=10.0))
+    sim.initialize()
+    assert sim.fast_path is not None, sim.kernel_fallback_reason
+
+    def run_1000_steps():
+        for _ in range(1000):
+            sim.advance()
+
+    benchmark(run_1000_steps)
+
+
+def test_perf_engine_steps_reference(benchmark):
+    """Same loop on the reference interpreter — the kernel-speedup base."""
+    sm = build_servo_model(ServoConfig(setpoint=100.0))
+    sim = Simulator(
+        sm.model,
+        SimulationOptions(dt=1e-4, t_final=10.0, use_kernels=False),
+    )
     sim.initialize()
 
     def run_1000_steps():
@@ -26,6 +43,20 @@ def test_perf_engine_steps(benchmark):
             sim.advance()
 
     benchmark(run_1000_steps)
+
+
+def test_perf_campaign_cells(benchmark):
+    """Fault-campaign throughput: one raw+reliable sweep cell pair."""
+    from perf_harness import _make_pil
+
+    from repro.faults import BurstErrors, FaultCampaign, FaultPlan
+
+    plan = FaultPlan([BurstErrors(start=0.01, duration=0.05, rate=0.2)], seed=11)
+    campaign = FaultCampaign(
+        make_pil=_make_pil, plan=plan, t_final=0.1, reference=100.0
+    )
+
+    benchmark(lambda: campaign.run([1.0]))
 
 
 def test_perf_device_event_queue(benchmark):

@@ -1,0 +1,293 @@
+"""Machine-readable perf harness for the hot substrates.
+
+Measures the throughput numbers the ISSUE/ROADMAP track — engine
+steps/s (kernel fast path *and* reference interpreter), MCU event
+dispatch events/s, packet-codec round-trips/s, fault-campaign cells/s
+(serial and parallel) — and writes them to ``BENCH_substrates.json``
+next to this file.
+
+Regression gating (``--check``) compares against the committed JSON
+before overwriting it.  Because CI machines differ wildly in absolute
+speed, the default gate uses machine-portable quantities:
+
+* **ratios** measured within one process on one machine — the kernel
+  speedup (fast path vs reference interpreter on the same model) and the
+  speedup over the recorded pre-optimization seed interpreter is
+  structural, not hardware, so a collapse means a real regression;
+* **calibrated absolutes** — every throughput is also recorded
+  normalized by a fixed pure-Python spin loop timed in the same run,
+  which cancels most of the host-speed difference.
+
+``--strict-absolute`` additionally gates the raw per-second numbers
+(useful when the baseline was produced on the same machine).
+``--update`` rewrites the baseline without checking.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py            # measure + write
+    PYTHONPATH=src python benchmarks/perf_harness.py --check    # gate vs committed
+    PYTHONPATH=src python benchmarks/perf_harness.py --update   # refresh baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+DEFAULT_JSON = HERE / "BENCH_substrates.json"
+
+#: steps/s of the pre-optimization (seed) interpreter on the reference
+#: machine, measured at the commit that introduced the kernel fast path —
+#: the "before" of the before/after table in README.md
+SEED_STEPS_PER_S = 8_700.0
+
+#: relative tolerance of the regression gates
+TOLERANCE = 0.20
+
+
+# ---------------------------------------------------------------------------
+# measurement helpers
+# ---------------------------------------------------------------------------
+def _calibrate(n: int = 2_000_000) -> float:
+    """Seconds for a fixed pure-Python spin — the machine-speed yardstick."""
+    t0 = time.perf_counter()
+    acc = 0.0
+    for i in range(n):
+        acc += i * 0.5
+    dt = time.perf_counter() - t0
+    assert acc != 0.0
+    return dt
+
+
+def bench_engine(use_kernels: bool, t_final: float = 0.5) -> dict:
+    from repro.casestudy import ServoConfig, build_servo_model
+    from repro.model import Simulator, SimulationOptions
+
+    sm = build_servo_model(ServoConfig(setpoint=100.0))
+    sim = Simulator(
+        sm.model,
+        SimulationOptions(dt=1e-4, t_final=t_final, use_kernels=use_kernels),
+    )
+    sim.initialize()
+    n_steps = int(round(t_final / 1e-4)) + 1
+    sim._reserve_logs(n_steps)
+    t0 = time.perf_counter()
+    for _ in range(n_steps):
+        sim.advance()
+    elapsed = time.perf_counter() - t0
+    return {
+        "steps": n_steps,
+        "steps_per_s": n_steps / elapsed,
+        "fast_path_active": sim.fast_path is not None,
+        "fallback_reason": sim.kernel_fallback_reason,
+    }
+
+
+def bench_events(n: int = 20_000) -> float:
+    from repro.mcu import InterruptSource, MCUDevice, MC56F8367
+
+    dev = MCUDevice(MC56F8367)
+    dev.intc.register(InterruptSource("t", priority=1, cycles=100))
+    t0 = time.perf_counter()
+    base = dev.time
+    for k in range(n):
+        dev.schedule(base + k * 1e-5, lambda: dev.intc.request("t"))
+    dev.run_for(n * 1e-5 + 1e-3)
+    return n / (time.perf_counter() - t0)
+
+
+def bench_codec(n: int = 20_000) -> float:
+    from repro.comm import PacketCodec, PacketDecoder, PacketType
+
+    codec = PacketCodec()
+    dec = PacketDecoder()
+    t0 = time.perf_counter()
+    for k in range(n):
+        dec.feed(codec.encode(PacketType.DATA, [k & 0xFFFF, 1234, 42]))
+    elapsed = time.perf_counter() - t0
+    assert len(dec.packets) == n
+    return n / elapsed
+
+
+def _make_pil(reliable: bool):
+    from repro.casestudy import ServoConfig, build_servo_model
+    from repro.core import PEERTTarget
+    from repro.sim import LossPolicy, PILSimulator
+
+    sm = build_servo_model(ServoConfig(setpoint=100.0))
+    return PILSimulator(
+        PEERTTarget(sm.model).build(),
+        baud=460800,
+        plant_dt=1e-4,
+        reliable=reliable,
+        loss_policy=LossPolicy(mode="safe", max_consecutive=5),
+        watchdog_timeout=8e-3 if reliable else None,
+    )
+
+
+def bench_campaign(workers: int) -> dict:
+    import os
+
+    from repro.faults import BurstErrors, FaultCampaign, FaultPlan
+
+    plan = FaultPlan([BurstErrors(start=0.01, duration=0.05, rate=0.2)], seed=11)
+    campaign = FaultCampaign(
+        make_pil=_make_pil, plan=plan, t_final=0.1, reference=100.0
+    )
+    grid = [0.5, 1.0]
+    t0 = time.perf_counter()
+    serial = campaign.run(grid)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = campaign.run(grid, workers=workers)
+    parallel_s = time.perf_counter() - t0
+    assert serial == parallel, "parallel campaign diverged from serial"
+    cells = len(serial)
+    return {
+        "cells": cells,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "cells_per_s_serial": cells / serial_s,
+        "cells_per_s_parallel": cells / parallel_s,
+        "parallel_speedup": serial_s / parallel_s,
+        "deterministic": True,
+    }
+
+
+def measure(workers: int) -> dict:
+    cal = _calibrate()
+    fast = bench_engine(use_kernels=True)
+    ref = bench_engine(use_kernels=False)
+    events_per_s = bench_events()
+    roundtrips_per_s = bench_codec()
+    campaign = bench_campaign(workers)
+    report = {
+        "schema": 1,
+        "calibration_spin_s": cal,
+        "engine": {
+            "before_steps_per_s": SEED_STEPS_PER_S,
+            "steps_per_s": fast["steps_per_s"],
+            "steps_per_s_reference": ref["steps_per_s"],
+            "kernel_speedup": fast["steps_per_s"] / ref["steps_per_s"],
+            "speedup_vs_seed": fast["steps_per_s"] / SEED_STEPS_PER_S,
+            "fast_path_active": fast["fast_path_active"],
+            "fallback_reason": fast["fallback_reason"],
+        },
+        "events": {"events_per_s": events_per_s},
+        "codec": {"roundtrips_per_s": roundtrips_per_s},
+        "campaign": campaign,
+        # machine-portable forms: throughput x spin-time (per-spin units)
+        "normalized": {
+            "engine_steps_per_spin": fast["steps_per_s"] * cal,
+            "engine_reference_steps_per_spin": ref["steps_per_s"] * cal,
+            "events_per_spin": events_per_s * cal,
+            "codec_roundtrips_per_spin": roundtrips_per_s * cal,
+            "campaign_cells_per_spin": campaign["cells_per_s_serial"] * cal,
+        },
+    }
+    return report
+
+
+# ---------------------------------------------------------------------------
+# gating
+# ---------------------------------------------------------------------------
+def check(fresh: dict, baseline: dict, strict_absolute: bool) -> list[str]:
+    failures: list[str] = []
+
+    def gate(label: str, got: float, want: float) -> None:
+        if want > 0 and got < (1.0 - TOLERANCE) * want:
+            failures.append(
+                f"{label}: {got:.3f} is >{TOLERANCE:.0%} below baseline {want:.3f}"
+            )
+
+    if not fresh["engine"]["fast_path_active"]:
+        failures.append(
+            "kernel fast path inactive: "
+            f"{fresh['engine']['fallback_reason']!r}"
+        )
+    gate(
+        "engine.kernel_speedup",
+        fresh["engine"]["kernel_speedup"],
+        baseline["engine"]["kernel_speedup"],
+    )
+    if not fresh["campaign"]["deterministic"]:
+        failures.append("campaign parallel/serial outcomes diverged")
+    for key, want in baseline.get("normalized", {}).items():
+        gate(f"normalized.{key}", fresh["normalized"][key], want)
+    if strict_absolute:
+        gate(
+            "engine.steps_per_s",
+            fresh["engine"]["steps_per_s"],
+            baseline["engine"]["steps_per_s"],
+        )
+        gate(
+            "events.events_per_s",
+            fresh["events"]["events_per_s"],
+            baseline["events"]["events_per_s"],
+        )
+        gate(
+            "codec.roundtrips_per_s",
+            fresh["codec"]["roundtrips_per_s"],
+            baseline["codec"]["roundtrips_per_s"],
+        )
+        gate(
+            "campaign.cells_per_s_serial",
+            fresh["campaign"]["cells_per_s_serial"],
+            baseline["campaign"]["cells_per_s_serial"],
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--check", action="store_true", help="gate against the committed baseline")
+    ap.add_argument("--strict-absolute", action="store_true", help="also gate raw per-second numbers")
+    ap.add_argument("--update", action="store_true", help="rewrite the baseline unconditionally")
+    ap.add_argument("--out", type=Path, default=DEFAULT_JSON, help="output JSON path")
+    ap.add_argument("--workers", type=int, default=2, help="campaign worker count")
+    args = ap.parse_args(argv)
+
+    fresh = measure(args.workers)
+    eng = fresh["engine"]
+    print(
+        f"engine: {eng['steps_per_s']:.0f} steps/s fast "
+        f"({eng['steps_per_s_reference']:.0f} reference, "
+        f"kernel speedup {eng['kernel_speedup']:.2f}x, "
+        f"{eng['speedup_vs_seed']:.2f}x vs seed {SEED_STEPS_PER_S:.0f})"
+    )
+    print(f"events: {fresh['events']['events_per_s']:.0f} events/s")
+    print(f"codec:  {fresh['codec']['roundtrips_per_s']:.0f} round-trips/s")
+    camp = fresh["campaign"]
+    print(
+        f"campaign: {camp['cells_per_s_serial']:.2f} cells/s serial, "
+        f"{camp['cells_per_s_parallel']:.2f} cells/s with "
+        f"{camp['workers']} workers ({camp['cpu_count']} CPUs)"
+    )
+
+    status = 0
+    if args.check and not args.update:
+        if args.out.exists():
+            baseline = json.loads(args.out.read_text())
+            failures = check(fresh, baseline, args.strict_absolute)
+            if failures:
+                print("\nPERF REGRESSION:", file=sys.stderr)
+                for f in failures:
+                    print(f"  - {f}", file=sys.stderr)
+                status = 1
+            else:
+                print("perf check OK (within "
+                      f"{TOLERANCE:.0%} of committed baseline)")
+        else:
+            print(f"no baseline at {args.out}; writing one", file=sys.stderr)
+    if status == 0 or args.update:
+        args.out.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,7 @@ class LowPassFilter(Block):
     n_in = 1
     n_out = 1
     direct_feedthrough = False
+    time_invariant = True  # outputs only reads the filter state
 
     def __init__(self, name: str, cutoff_hz: float, sample_time: float):
         super().__init__(name)

@@ -40,6 +40,7 @@ class PIDController(Block):
     n_in = 1
     n_out = 1
     direct_feedthrough = True
+    time_invariant = True
 
     def __init__(self, name: str, gains: PIDGains, sample_time: float):
         super().__init__(name)
@@ -87,6 +88,7 @@ class FixedPointPID(Block):
     n_in = 1
     n_out = 1
     direct_feedthrough = True
+    time_invariant = True
 
     def __init__(
         self,

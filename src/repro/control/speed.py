@@ -22,6 +22,7 @@ class QuadratureSpeed(Block):
     n_in = 1
     n_out = 1
     direct_feedthrough = True
+    time_invariant = True
 
     def __init__(self, name: str, counts_per_rev: int, sample_time: float):
         super().__init__(name)

@@ -98,6 +98,8 @@ class ProcessorExpertConfig(PEBlock):
     n_in = 0
     n_out = 0
     direct_feedthrough = False
+    # no data flow, no events: the planner may drop it from hot schedules
+    passive = True
 
     def outputs(self, t, u, ctx):
         return []
@@ -173,6 +175,11 @@ class PWMBlock(PEBlock):
     def __init__(self, name: str, **bean_props: Any):
         super().__init__(name, **bean_props)
 
+    @property
+    def time_invariant(self) -> bool:
+        # pure duty quantization in MIL; PIL/HW outputs touch the link/bean
+        return self.mode is PEBlockMode.MIL
+
     def _quantize_duty(self, duty: float) -> float:
         duty = min(max(duty, 0.0), 1.0)
         res = self.bean._derived.get("duty_resolution")
@@ -202,6 +209,11 @@ class QuadDecBlock(PEBlock):
     n_in = 1
     n_out = 1
     n_events = 1  # OnIndex
+
+    @property
+    def time_invariant(self) -> bool:
+        # pure 16-bit wrap in MIL; PIL/HW outputs touch the link/bean
+        return self.mode is PEBlockMode.MIL
 
     def output_type(self, port: int) -> DataType:
         return UINT16

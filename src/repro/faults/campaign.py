@@ -5,12 +5,21 @@ intensity grid, runs the PIL rig raw and/or with the reliability layer,
 and records one :class:`CampaignOutcome` per cell: control quality (IAE
 against the reference, divergence verdict) next to the link-health
 counters the run accumulated.  The rows are what E14 plots.
+
+Cells are mutually independent — every cell builds a fresh rig and a
+freshly scaled (and therefore freshly seeded) fault plan — so the sweep
+parallelizes across processes: ``run(..., workers=4)`` fans cells out to
+a :class:`~concurrent.futures.ProcessPoolExecutor` and reassembles the
+outcomes in grid order.  Results are deterministic and independent of
+worker count or completion order; the determinism test in
+``tests/faults/test_campaign_parallel.py`` pins serial == parallel.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -108,13 +117,34 @@ class FaultCampaign:
         self,
         intensities: Iterable[float],
         modes: Sequence[bool] = (False, True),
+        workers: Optional[int] = None,
     ) -> list[CampaignOutcome]:
-        """The full sweep, raw and reliable per intensity by default."""
-        return [
-            self.run_cell(i, reliable)
-            for i in intensities
-            for reliable in modes
-        ]
+        """The full sweep, raw and reliable per intensity by default.
+
+        ``workers`` > 1 distributes the cells over a process pool (the
+        campaign object must then be picklable — in particular
+        ``make_pil`` must be a module-level callable, not a lambda or
+        closure).  Outcomes come back in grid order regardless of which
+        worker finishes first, and each cell seeds its own fault plan,
+        so the rows are identical to a serial sweep.
+        """
+        grid = [(i, reliable) for i in intensities for reliable in modes]
+        if workers is None or workers <= 1 or len(grid) <= 1:
+            return [self.run_cell(i, reliable) for i, reliable in grid]
+        with ProcessPoolExecutor(max_workers=min(workers, len(grid))) as pool:
+            futures = [
+                pool.submit(_run_cell_task, self, i, reliable)
+                for i, reliable in grid
+            ]
+            return [f.result() for f in futures]
+
+
+def _run_cell_task(
+    campaign: FaultCampaign, intensity: float, reliable: bool
+) -> CampaignOutcome:
+    """Module-level worker entry point (bound methods do not pickle
+    portably across start methods)."""
+    return campaign.run_cell(intensity, reliable)
 
 
 def run_campaign(
@@ -125,6 +155,7 @@ def run_campaign(
     reference: float,
     signal: str = "speed",
     modes: Sequence[bool] = (False, True),
+    workers: Optional[int] = None,
 ) -> list[CampaignOutcome]:
     """Functional wrapper around :class:`FaultCampaign`."""
     return FaultCampaign(
@@ -133,4 +164,4 @@ def run_campaign(
         t_final=t_final,
         reference=reference,
         signal=signal,
-    ).run(intensities, modes)
+    ).run(intensities, modes, workers=workers)

@@ -102,6 +102,17 @@ class Block:
     sample_time: float = INHERITED
     direct_feedthrough: bool | Sequence[bool] = True
     num_continuous_states: int = 0
+    #: True for pure sinks whose ``outputs``/``update`` do nothing
+    #: observable (no outputs, no events, no state, no side effects).
+    #: The kernel planner drops passive blocks from the hot schedules;
+    #: scope logging is handled separately by the engine.
+    passive: bool = False
+    #: True when ``outputs`` is a pure function of (u, state) — independent
+    #: of ``t`` and free of side effects.  The kernel planner uses this to
+    #: skip re-evaluating a block during solver minor steps while none of
+    #: its feedthrough inputs changed (the result is bit-identical by
+    #: purity).  Leave False when unsure; False only costs speed.
+    time_invariant: bool = False
 
     def __init__(self, name: str):
         if not name or "/" in name:
@@ -146,6 +157,18 @@ class Block:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    def affine_outputs(self) -> Optional[list[tuple[tuple[float, ...], float]]]:
+        """Affine description of ``outputs``, or None when not affine.
+
+        A stateless block whose port ``p`` computes
+        ``y_p = const_p + coeffs_p[0]*u[0] + coeffs_p[1]*u[1] + ...``
+        (accumulated left to right) returns one ``(coeffs, const)`` pair
+        per output port.  The kernel planner fuses maximal runs of such
+        blocks into vector kernels; the fused evaluation follows the same
+        accumulation order, so trajectories stay bit-identical.
+        """
+        return None
+
     def feeds_through(self, port: int) -> bool:
         """Whether input ``port`` is read inside ``outputs``."""
         df = self.direct_feedthrough

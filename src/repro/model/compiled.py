@@ -67,6 +67,12 @@ class CompiledModel:
     state_count: dict[str, int] = field(default_factory=dict)
     n_states: int = 0
     event_targets: dict[tuple[str, int], list[str]] = field(default_factory=dict)
+    #: kernel execution plan (see :mod:`repro.model.kernels`), attached by
+    #: :meth:`build`.  The simulator re-plans at ``initialize`` because PE
+    #: peripheral blocks can switch mode (MIL/PIL/HW) after compilation;
+    #: this copy reflects the model as built and feeds diagnostics.
+    kernel_plan: Optional[object] = None
+    kernel_plan_error: Optional[str] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -84,7 +90,19 @@ class CompiledModel:
         cm._allocate(conns)
         cm._wire_events(events)
         cm._compile_atomic_children()
+        cm._plan_kernels()
         return cm
+
+    def _plan_kernels(self) -> None:
+        """Best-effort kernel-planning pass; a plan failure only means the
+        simulator runs the reference interpreter."""
+        from .kernels import plan_kernels
+
+        try:
+            self.kernel_plan = plan_kernels(self)
+        except Exception as exc:  # planning must never break a build
+            self.kernel_plan = None
+            self.kernel_plan_error = str(exc)
 
     # ------------------------------------------------------------------
     def _validate_connections(self, conns: list[tuple[str, int, str, int]]) -> None:
@@ -185,6 +203,18 @@ class CompiledModel:
             hook = getattr(block, "compile_atomic", None)
             if hook is not None:
                 hook(self.dt)
+
+    # ------------------------------------------------------------------
+    # rate queries shared by the executors
+    # ------------------------------------------------------------------
+    def is_hit(self, qname: str, step: int) -> bool:
+        """Whether ``qname`` has a sample hit at major step ``step``.
+
+        The single source of truth for rate hits — the simulator, the
+        atomic executor and the kernel planner all defer to it.
+        """
+        k = self.divisors[qname]
+        return k == 0 or step % k == 0
 
     # ------------------------------------------------------------------
     # queries used by the code generator

@@ -13,19 +13,32 @@ fixed-step semantics:
 The per-step hook mechanism (``SimulationOptions.step_hook``) is how the
 PIL co-simulation in :mod:`repro.sim` splices a serial-line exchange into
 the loop without changing the model — the paper's single-model property.
+
+Two execution paths share these semantics:
+
+* the **reference interpreter** (`_ref_*` methods) dispatches every block
+  through its Python callbacks — simple, always available;
+* the **kernel fast path** (:mod:`repro.model.kernels`) compiles the
+  schedule into flat generated pass functions with fused affine kernels,
+  per-rate phase tables and a pruned minor-step schedule.  It is selected
+  automatically at :meth:`Simulator.initialize` (default on, disable with
+  ``SimulationOptions(use_kernels=False)``) and falls back to the
+  reference interpreter when planning fails; the equivalence suite in
+  ``tests/model/test_kernels.py`` pins the two paths bit-identical.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
-from .block import BlockContext
+from .block import Block, BlockContext
 from .compiled import CompiledModel
 from .graph import Model
-from .result import SimulationResult
+from .result import SignalLog, SimulationResult
 
 
 @dataclass
@@ -38,6 +51,8 @@ class SimulationOptions:
     log_all_signals: bool = False
     #: called after every major step as hook(t, engine)
     step_hook: Optional[Callable[[float, "Simulator"], None]] = None
+    #: use the compiled kernel fast path when the model supports it
+    use_kernels: bool = True
 
     def __post_init__(self) -> None:
         if self.solver not in ("euler", "rk4"):
@@ -65,24 +80,49 @@ class Simulator:
         self.x = np.zeros(self.cm.n_states)
         self.step_index = 0
         self.time = 0.0
-        self._scope_logs: dict[str, list[float]] = {}
-        self._signal_trace: list[np.ndarray] = []
-        self._times: list[float] = []
-        self._pending_events: list[tuple[str, int]] = []
-        # execution schedules, precomputed in initialize():
-        #   (block, ctx, in_indices, out_indices, divisor)
+        self._scope_logs: dict[str, SignalLog] = {}
+        self._signal_trace: Optional[np.ndarray] = None
+        self._trace_len = 0
+        self._times = SignalLog()
+        self._pending_events: deque[tuple[str, int]] = deque()
+        # reference-interpreter schedules, precomputed in initialize():
+        #   (block, ctx, in_indices, out_indices, divisor, u_scratch)
         self._sched: list[tuple] = []
         self._minor_sched: list[tuple] = []
-        self._deriv_sched: list[tuple] = []  # (block, ctx, in_indices, off, n)
+        self._upd_sched: list[tuple] = []
+        self._deriv_sched: list[tuple] = []  # (block, ctx, in_idx, off, n, u)
         self._scope_sched: list[tuple] = []  # (qname, input_index)
+        # RK4 work buffers; tiny state vectors (the usual case — a servo
+        # plant has a handful of states) integrate through scalar Python
+        # arithmetic, which beats NumPy's per-call overhead and performs
+        # the exact same IEEE operations elementwise
+        n = self.cm.n_states
+        self._x0 = np.zeros(n)
+        self._k = [np.zeros(n) for _ in range(4)]
+        self._scalar_states = 0 < n <= 16
+        if self._scalar_states:
+            self._x0 = [0.0] * n
+            self._k = [[0.0] * n for _ in range(4)]
+            self._srange = range(n)
+        # active pass implementations (bound in initialize)
+        self._out_major: Callable[[float, int], None] = self._ref_out_major
+        self._out_minor: Callable[[float], None] = self._ref_out_minor
+        self._update: Callable[[float, int], None] = self._ref_update
+        self._deriv: Callable[[float, np.ndarray], None] = self._ref_deriv
+        #: the bound kernel plan / fast path (None on the reference path)
+        self.fast_path = None
+        #: why the fast path was not used (None when it is active)
+        self.kernel_fallback_reason: Optional[str] = None
         self._initialized = False
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def initialize(self) -> None:
-        """Allocate contexts, call every block's ``start``, and build the
-        flat execution schedules the hot loops iterate over."""
+        """Allocate contexts, call every block's ``start``, build the
+        reference execution schedules, and bind the kernel fast path
+        (planned against the blocks' *current* modes — PE peripherals may
+        have been switched to PIL/HW after the model was compiled)."""
         cm = self.cm
         from .library.sinks import Scope
 
@@ -102,33 +142,60 @@ class Simulator:
             in_idx = tuple(cm.input_map[qname])
             out_idx = tuple(cm.sig_index[(qname, p)] for p in range(block.n_out))
             divisor = cm.divisors[qname]
-            entry = (block, ctx, in_idx, out_idx, divisor)
+            # preallocated input scratch, refilled in place each visit
+            entry = (block, ctx, in_idx, out_idx, divisor, [0.0] * len(in_idx))
             self._sched.append(entry)
             if divisor == 0:
                 self._minor_sched.append(entry)
+            if type(block).update is not Block.update:
+                self._upd_sched.append(entry)
             if n:
-                self._deriv_sched.append((block, ctx, in_idx, off, n))
+                self._deriv_sched.append(
+                    (block, ctx, in_idx, off, n, [0.0] * len(in_idx))
+                )
             if isinstance(block, Scope):
                 self._scope_sched.append((qname, in_idx[0]))
+        self._bind_fast_path()
         self._initialized = True
+
+    def _bind_fast_path(self) -> None:
+        """Swap in the generated kernel passes, or record why not."""
+        if not self.options.use_kernels:
+            self.kernel_fallback_reason = "disabled by SimulationOptions"
+            return
+        from .kernels import KernelPlanError, build_fast_path
+
+        try:
+            fp = build_fast_path(self)
+        except KernelPlanError as exc:
+            self.kernel_fallback_reason = str(exc)
+            return
+        self.fast_path = fp
+        self._out_major = fp.out_major
+        self._out_minor = fp.out_minor
+        self._update = fp.update
+        self._deriv = fp.deriv
 
     def _make_fire(self, qname: str) -> Callable[[int], None]:
         # events are queued and dispatched right after the firing block's
         # outputs are stored, so the "ISR" reads current data — the same
         # ordering a real end-of-conversion interrupt sees
+        pending = self._pending_events
+
         def fire(event_port: int) -> None:
-            self._pending_events.append((qname, event_port))
+            pending.append((qname, event_port))
 
         return fire
 
     def _dispatch_events(self) -> None:
-        while self._pending_events:
-            qname, event_port = self._pending_events.pop(0)
+        pending = self._pending_events
+        while pending:
+            qname, event_port = pending.popleft()
             for target in self.cm.event_targets.get((qname, event_port), ()):
                 self._execute_triggered(target)
 
     # ------------------------------------------------------------------
-    # stepping
+    # reference interpreter passes
     # ------------------------------------------------------------------
     def _inputs_of(self, qname: str) -> list[float]:
         sigs = self.signals
@@ -141,8 +208,7 @@ class Simulator:
             sigs[cm.sig_index[(qname, port)]] = float(v)
 
     def _is_hit(self, qname: str) -> bool:
-        k = self.cm.divisors[qname]
-        return k == 0 or (self.step_index % k) == 0
+        return self.cm.is_hit(qname, self.step_index)
 
     def _execute_triggered(self, qname: str) -> None:
         """Synchronously run a function-call target (ISR semantics)."""
@@ -153,91 +219,185 @@ class Simulator:
         self._store_outputs(qname, out)
         block.update(self.time, u, ctx)
 
-    def _output_pass(self, t: float, minor: bool) -> None:
+    def _ref_out_major(self, t: float, step: int) -> None:
         sigs = self.signals
-        if minor:
-            # only continuous/inherited blocks participate in minor steps
-            for block, ctx, in_idx, out_idx, _div in self._minor_sched:
-                ctx.minor = True
-                try:
-                    out = block.outputs(t, [sigs[i] for i in in_idx], ctx)
-                finally:
-                    ctx.minor = False
-                for j, v in zip(out_idx, out):
-                    sigs[j] = float(v)
-            return
-        step = self.step_index
         pending = self._pending_events
-        for block, ctx, in_idx, out_idx, div in self._sched:
+        for block, ctx, in_idx, out_idx, div, u in self._sched:
             if div != 0 and step % div:
                 continue  # discrete block holds between hits
-            out = block.outputs(t, [sigs[i] for i in in_idx], ctx)
+            k = 0
+            for i in in_idx:
+                u[k] = sigs[i]
+                k += 1
+            out = block.outputs(t, u, ctx)
             for j, v in zip(out_idx, out):
                 sigs[j] = float(v)
             if pending:
                 self._dispatch_events()
 
-    def _update_pass(self, t: float) -> None:
+    def _ref_out_minor(self, t: float) -> None:
+        # only continuous/inherited blocks participate in minor steps
         sigs = self.signals
-        step = self.step_index
-        for block, ctx, in_idx, _out_idx, div in self._sched:
+        for block, ctx, in_idx, out_idx, _div, u in self._minor_sched:
+            k = 0
+            for i in in_idx:
+                u[k] = sigs[i]
+                k += 1
+            ctx.minor = True
+            try:
+                out = block.outputs(t, u, ctx)
+            finally:
+                ctx.minor = False
+            for j, v in zip(out_idx, out):
+                sigs[j] = float(v)
+
+    def _ref_update(self, t: float, step: int) -> None:
+        sigs = self.signals
+        for block, ctx, in_idx, _out_idx, div, u in self._upd_sched:
             if div == 0 or step % div == 0:
-                block.update(t, [sigs[i] for i in in_idx], ctx)
+                k = 0
+                for i in in_idx:
+                    u[k] = sigs[i]
+                    k += 1
+                block.update(t, u, ctx)
+
+    def _ref_deriv(self, t: float, xdot: np.ndarray) -> None:
+        sigs = self.signals
+        for block, ctx, in_idx, off, n, u in self._deriv_sched:
+            k = 0
+            for i in in_idx:
+                u[k] = sigs[i]
+                k += 1
+            xdot[off : off + n] = block.derivatives(t, u, ctx)
+
+    # legacy shims kept for callers/tests poking at the interpreter
+    def _output_pass(self, t: float, minor: bool) -> None:
+        if minor:
+            self._out_minor(t)
+        else:
+            self._out_major(t, self.step_index)
+
+    def _update_pass(self, t: float) -> None:
+        self._update(t, self.step_index)
 
     def _derivatives(self, t: float) -> np.ndarray:
         xdot = np.zeros(self.cm.n_states)
-        sigs = self.signals
-        for block, ctx, in_idx, off, n in self._deriv_sched:
-            d = block.derivatives(t, [sigs[i] for i in in_idx], ctx)
-            xdot[off : off + n] = d
+        self._deriv(t, xdot)
         return xdot
 
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
     def _integrate(self, t: float) -> None:
         if self.cm.n_states == 0:
             return
         dt = self.options.dt
-        if self.options.solver == "euler":
-            self.x += dt * self._derivatives(t)
+        deriv = self._deriv
+        x = self.x
+        x0 = self._x0
+        k1, k2, k3, k4 = self._k
+        # classic RK4 (or forward Euler) with minor-step output
+        # re-evaluation; every expression keeps the historical association
+        # order — ``x0 + (0.5*dt)*k1``, ``((k1 + 2*k2) + 2*k3) + k4`` —
+        # so neither the buffer reuse nor the scalar small-state loop
+        # moves a single bit relative to the fresh-array NumPy form
+        if self._scalar_states:
+            rng = self._srange
+            if self.options.solver == "euler":
+                deriv(t, k1)
+                for i in rng:
+                    x[i] += dt * k1[i]
+                return
+            for i in rng:
+                x0[i] = x[i]
+            half_dt = 0.5 * dt
+            half = t + half_dt
+            sixth = dt / 6.0
+            deriv(t, k1)
+            for i in rng:
+                x[i] = x0[i] + half_dt * k1[i]
+            self._out_minor(half)
+            deriv(half, k2)
+            for i in rng:
+                x[i] = x0[i] + half_dt * k2[i]
+            self._out_minor(half)
+            deriv(half, k3)
+            for i in rng:
+                x[i] = x0[i] + dt * k3[i]
+            self._out_minor(t + dt)
+            deriv(t + dt, k4)
+            for i in rng:
+                x[i] = x0[i] + sixth * (k1[i] + 2 * k2[i] + 2 * k3[i] + k4[i])
             return
-        # classic RK4 with minor-step output re-evaluation
-        x0 = self.x.copy()
-        k1 = self._derivatives(t)
-        self.x[:] = x0 + 0.5 * dt * k1
-        self._output_pass(t + 0.5 * dt, minor=True)
-        k2 = self._derivatives(t + 0.5 * dt)
-        self.x[:] = x0 + 0.5 * dt * k2
-        self._output_pass(t + 0.5 * dt, minor=True)
-        k3 = self._derivatives(t + 0.5 * dt)
-        self.x[:] = x0 + dt * k3
-        self._output_pass(t + dt, minor=True)
-        k4 = self._derivatives(t + dt)
-        self.x[:] = x0 + (dt / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+        if self.options.solver == "euler":
+            deriv(t, k1)
+            x += dt * k1
+            return
+        x0[:] = x
+        half = t + 0.5 * dt
+        deriv(t, k1)
+        x[:] = x0 + 0.5 * dt * k1
+        self._out_minor(half)
+        deriv(half, k2)
+        x[:] = x0 + 0.5 * dt * k2
+        self._out_minor(half)
+        deriv(half, k3)
+        x[:] = x0 + dt * k3
+        self._out_minor(t + dt)
+        deriv(t + dt, k4)
+        x[:] = x0 + (dt / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
 
     def advance(self) -> float:
         """Execute one major step; returns the new time."""
         if not self._initialized:
             raise RuntimeError("call initialize() first")
         t = self.time
-        self._output_pass(t, minor=False)
+        step = self.step_index
+        self._out_major(t, step)
         self._log_step(t)
         if self.options.step_hook is not None:
             self.options.step_hook(t, self)
-        self._update_pass(t)
+        self._update(t, step)
         self._integrate(t)
-        self.step_index += 1
+        self.step_index = step + 1
         self.time = self.step_index * self.options.dt
         # restore outputs consistent with the post-integration state for
         # anyone peeking between steps
         return self.time
+
+    def _reserve_logs(self, n_steps: int) -> None:
+        """Pre-size the ring buffers when the step count is known."""
+        self._times.reserve(n_steps)
+        for qname, _idx in self._scope_sched:
+            self._scope_logs.setdefault(qname, SignalLog()).reserve(n_steps)
+        if self.options.log_all_signals:
+            self._grow_trace(n_steps)
+
+    def _grow_trace(self, capacity: int) -> None:
+        old = self._signal_trace
+        if old is not None and old.shape[0] >= capacity:
+            return
+        new = np.empty((capacity, self.cm.n_signals))
+        if old is not None and self._trace_len:
+            new[: self._trace_len] = old[: self._trace_len]
+        self._signal_trace = new
 
     def _log_step(self, t: float) -> None:
         self._times.append(t)
         logs = self._scope_logs
         sigs = self.signals
         for qname, idx in self._scope_sched:
-            logs.setdefault(qname, []).append(sigs[idx])
+            log = logs.get(qname)
+            if log is None:
+                log = logs[qname] = SignalLog()
+            log.append(sigs[idx])
         if self.options.log_all_signals:
-            self._signal_trace.append(np.asarray(self.signals))
+            trace = self._signal_trace
+            if trace is None or self._trace_len >= trace.shape[0]:
+                self._grow_trace(max(64, 2 * self._trace_len))
+                trace = self._signal_trace
+            trace[self._trace_len] = sigs
+            self._trace_len += 1
 
     # ------------------------------------------------------------------
     # running
@@ -247,23 +407,23 @@ class Simulator:
         if not self._initialized:
             self.initialize()
         n_steps = int(round(self.options.t_final / self.options.dt)) + 1
+        self._reserve_logs(n_steps)
+        advance = self.advance
         for _ in range(n_steps):
-            self.advance()
+            advance()
         return self.result()
 
     def result(self) -> SimulationResult:
         """Assemble a :class:`SimulationResult` from the logs so far."""
-        t = np.asarray(self._times)
+        t = self._times.array()
         signals: dict[str, np.ndarray] = {}
-        from .library.sinks import Scope
-
         for qname, samples in self._scope_logs.items():
             label = getattr(self.cm.nodes[qname], "label", None) or qname
-            signals[label] = np.asarray(samples)
-        if self.options.log_all_signals and self._signal_trace:
-            trace = np.vstack(self._signal_trace)
+            signals[label] = samples.array()
+        if self.options.log_all_signals and self._trace_len:
+            trace = self._signal_trace[: self._trace_len]
             for (qname, port), idx in self.cm.sig_index.items():
-                signals.setdefault(f"{qname}:{port}", trace[:, idx])
+                signals.setdefault(f"{qname}:{port}", trace[:, idx].copy())
         for qname in self.cm.order:
             self.cm.nodes[qname].terminate(self._ctxs[qname])
         return SimulationResult(t, signals)

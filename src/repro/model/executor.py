@@ -80,10 +80,7 @@ class AtomicExecutor:
 
     # ------------------------------------------------------------------
     def _is_hit(self, qname: str) -> bool:
-        if not self.honor_rates:
-            return True
-        k = self.cm.divisors[qname]
-        return k == 0 or (self.tick % k) == 0
+        return not self.honor_rates or self.cm.is_hit(qname, self.tick)
 
     def call(self, t: float) -> None:
         """One complete pass: outputs then updates, in sorted order.

@@ -20,6 +20,7 @@ class Integrator(Block):
     direct_feedthrough = False
     num_continuous_states = 1
     sample_time = CONTINUOUS
+    time_invariant = True
 
     def __init__(
         self,
@@ -55,6 +56,7 @@ class StateSpace(Block):
     """``dx/dt = A x + B u;  y = C x + D u`` (MIMO)."""
 
     sample_time = CONTINUOUS
+    time_invariant = True
 
     def __init__(self, name: str, A, B, C, D=None, x0=None):
         super().__init__(name)

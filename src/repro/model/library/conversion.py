@@ -18,6 +18,7 @@ class DataTypeConversion(Block):
 
     n_in = 1
     n_out = 1
+    time_invariant = True
 
     def __init__(self, name: str, target: DataType):
         super().__init__(name)

@@ -13,6 +13,7 @@ class UnitDelay(Block):
     n_in = 1
     n_out = 1
     direct_feedthrough = False
+    time_invariant = True
 
     def __init__(self, name: str, sample_time: float, initial: float = 0.0):
         super().__init__(name)
@@ -36,6 +37,7 @@ class Memory(Block):
     n_in = 1
     n_out = 1
     direct_feedthrough = False
+    time_invariant = True
 
     def __init__(self, name: str, initial: float = 0.0):
         super().__init__(name)
@@ -56,6 +58,7 @@ class ZeroOrderHold(Block):
 
     n_in = 1
     n_out = 1
+    time_invariant = True
 
     def __init__(self, name: str, sample_time: float):
         super().__init__(name)
@@ -73,6 +76,7 @@ class DiscreteIntegrator(Block):
     n_in = 1
     n_out = 1
     direct_feedthrough = False
+    time_invariant = True
 
     def __init__(
         self,
@@ -113,6 +117,7 @@ class DiscreteTransferFunction(Block):
 
     n_in = 1
     n_out = 1
+    time_invariant = True
 
     def __init__(self, name: str, num, den, sample_time: float):
         super().__init__(name)
@@ -128,7 +133,9 @@ class DiscreteTransferFunction(Block):
         self.b = np.array([v / a0 for v in num])
         self.a = np.array([v / a0 for v in den])
         self.sample_time = float(sample_time)
-        self.direct_feedthrough = self.b[0] != 0.0
+        # plain bool: np.bool_ would defeat the isinstance check in
+        # Block.feeds_through and get indexed as a per-port sequence
+        self.direct_feedthrough = bool(self.b[0] != 0.0)
 
     def start(self, ctx: BlockContext):
         ctx.dwork["s"] = np.zeros(len(self.a) - 1)
@@ -159,6 +166,7 @@ class DiscreteDerivative(Block):
 
     n_in = 1
     n_out = 1
+    time_invariant = True
 
     def __init__(self, name: str, sample_time: float, gain: float = 1.0):
         super().__init__(name)

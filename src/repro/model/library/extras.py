@@ -25,6 +25,7 @@ class TransportDelay(Block):
     n_in = 1
     n_out = 1
     direct_feedthrough = False
+    time_invariant = True
 
     def __init__(self, name: str, sample_time: float, delay_steps: int,
                  initial: float = 0.0):
@@ -58,6 +59,7 @@ class Backlash(Block):
     n_in = 1
     n_out = 1
     direct_feedthrough = True
+    time_invariant = True
 
     def __init__(self, name: str, width: float, initial: float = 0.0):
         super().__init__(name)
@@ -94,6 +96,7 @@ class EdgeDetector(Block):
 
     n_in = 1
     n_out = 1
+    time_invariant = True
 
     def __init__(self, name: str, sample_time: float, edge: str = "rising"):
         super().__init__(name)

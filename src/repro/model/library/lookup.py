@@ -17,6 +17,7 @@ class Lookup1D(Block):
 
     n_in = 1
     n_out = 1
+    time_invariant = True
 
     def __init__(self, name: str, breakpoints, values, mode: str = "linear"):
         super().__init__(name)

@@ -14,6 +14,7 @@ class Gain(Block):
 
     n_in = 1
     n_out = 1
+    time_invariant = True
 
     def __init__(self, name: str, gain: float = 1.0):
         super().__init__(name)
@@ -22,12 +23,16 @@ class Gain(Block):
     def outputs(self, t, u, ctx):
         return [self.gain * u[0]]
 
+    def affine_outputs(self):
+        return [((self.gain,), 0.0)]
+
 
 class Bias(Block):
     """``y = u + bias``."""
 
     n_in = 1
     n_out = 1
+    time_invariant = True
 
     def __init__(self, name: str, bias: float = 0.0):
         super().__init__(name)
@@ -36,11 +41,15 @@ class Bias(Block):
     def outputs(self, t, u, ctx):
         return [u[0] + self.bias]
 
+    def affine_outputs(self):
+        return [((1.0,), self.bias)]
+
 
 class Sum(Block):
     """Signed sum, e.g. ``Sum("err", signs="+-")`` computes ``u0 - u1``."""
 
     n_out = 1
+    time_invariant = True
 
     def __init__(self, name: str, signs: str = "++"):
         super().__init__(name)
@@ -55,11 +64,15 @@ class Sum(Block):
             acc += v if s == "+" else -v
         return [acc]
 
+    def affine_outputs(self):
+        return [(tuple(1.0 if s == "+" else -1.0 for s in self.signs), 0.0)]
+
 
 class Product(Block):
     """Multiply/divide chain, e.g. ``ops="**"`` multiplies, ``"*/"`` divides."""
 
     n_out = 1
+    time_invariant = True
 
     def __init__(self, name: str, ops: str = "**"):
         super().__init__(name)
@@ -85,6 +98,7 @@ class Abs(Block):
 
     n_in = 1
     n_out = 1
+    time_invariant = True
 
     def outputs(self, t, u, ctx):
         return [abs(u[0])]
@@ -95,6 +109,7 @@ class Sign(Block):
 
     n_in = 1
     n_out = 1
+    time_invariant = True
 
     def outputs(self, t, u, ctx):
         return [0.0 if u[0] == 0.0 else math.copysign(1.0, u[0])]
@@ -104,6 +119,7 @@ class MinMax(Block):
     """Minimum or maximum of its inputs."""
 
     n_out = 1
+    time_invariant = True
 
     def __init__(self, name: str, mode: str = "min", n_in: int = 2):
         super().__init__(name)
@@ -135,6 +151,7 @@ class MathFunction(Block):
 
     n_in = 1
     n_out = 1
+    time_invariant = True
 
     def __init__(self, name: str, function: str = "square"):
         super().__init__(name)
@@ -164,6 +181,7 @@ class RelationalOperator(Block):
 
     n_in = 2
     n_out = 1
+    time_invariant = True
 
     def __init__(self, name: str, op: str = "<"):
         super().__init__(name)
@@ -183,6 +201,7 @@ class LogicalOperator(Block):
     """AND / OR / XOR / NOT over boolean-interpreted inputs."""
 
     n_out = 1
+    time_invariant = True
 
     def __init__(self, name: str, op: str = "AND", n_in: int = 2):
         super().__init__(name)

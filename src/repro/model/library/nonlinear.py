@@ -12,6 +12,7 @@ class Saturation(Block):
 
     n_in = 1
     n_out = 1
+    time_invariant = True
 
     def __init__(self, name: str, lower: float = -1.0, upper: float = 1.0):
         super().__init__(name)
@@ -29,6 +30,7 @@ class DeadZone(Block):
 
     n_in = 1
     n_out = 1
+    time_invariant = True
 
     def __init__(self, name: str, start: float = -0.1, end: float = 0.1):
         super().__init__(name)
@@ -53,6 +55,7 @@ class Relay(Block):
 
     n_in = 1
     n_out = 1
+    time_invariant = True
 
     def __init__(
         self,
@@ -93,6 +96,7 @@ class RateLimiter(Block):
 
     n_in = 1
     n_out = 1
+    time_invariant = True
 
     def __init__(
         self,
@@ -128,6 +132,7 @@ class Quantizer(Block):
 
     n_in = 1
     n_out = 1
+    time_invariant = True
 
     def __init__(self, name: str, interval: float = 0.01):
         super().__init__(name)
@@ -147,6 +152,7 @@ class Coulomb(Block):
 
     n_in = 1
     n_out = 1
+    time_invariant = True
 
     def __init__(self, name: str, offset: float = 0.0, gain: float = 0.0):
         super().__init__(name)

@@ -15,6 +15,7 @@ class Switch(Block):
 
     n_in = 3
     n_out = 1
+    time_invariant = True
 
     def __init__(self, name: str, threshold: float = 0.5):
         super().__init__(name)
@@ -29,6 +30,7 @@ class ManualSwitch(Block):
 
     n_in = 2
     n_out = 1
+    time_invariant = True
 
     def __init__(self, name: str, position: int = 0):
         super().__init__(name)

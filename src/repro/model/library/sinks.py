@@ -15,6 +15,8 @@ class Scope(Block):
 
     n_in = 1
     direct_feedthrough = True
+    passive = True
+    time_invariant = True
 
     def __init__(self, name: str, label: str | None = None):
         super().__init__(name)
@@ -29,6 +31,8 @@ class Terminator(Block):
 
     n_in = 1
     direct_feedthrough = False
+    passive = True
+    time_invariant = True
 
     def outputs(self, t, u, ctx):
         return []
@@ -43,6 +47,7 @@ class Assertion(Block):
 
     n_in = 1
     direct_feedthrough = True
+    time_invariant = True  # minor-step calls are no-ops (ctx.minor guard)
 
     def __init__(self, name: str, message: str = ""):
         super().__init__(name)

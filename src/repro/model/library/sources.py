@@ -14,6 +14,7 @@ class Constant(Block):
 
     n_out = 1
     direct_feedthrough = False
+    time_invariant = True
 
     def __init__(self, name: str, value: float = 1.0):
         super().__init__(name)
@@ -21,6 +22,9 @@ class Constant(Block):
 
     def outputs(self, t, u, ctx):
         return [self.value]
+
+    def affine_outputs(self):
+        return [((), self.value)]
 
 
 class Step(Block):

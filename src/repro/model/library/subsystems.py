@@ -29,6 +29,7 @@ class Inport(Block):
 
     n_out = 1
     direct_feedthrough = False
+    time_invariant = True
 
     def __init__(self, name: str, index: int = 0):
         super().__init__(name)

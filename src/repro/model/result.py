@@ -12,6 +12,45 @@ from typing import Iterator, Mapping
 import numpy as np
 
 
+class SignalLog:
+    """Growable preallocated float64 buffer for per-step logging.
+
+    The engine appends one sample per major step; a Python-list log pays
+    boxing plus realloc churn on every append and a full-array conversion
+    at the end.  This keeps samples in a NumPy buffer from the start:
+    :meth:`reserve` pre-sizes it when the step count is known (``run``),
+    and incremental callers (PIL/HIL drive ``advance`` step by step) grow
+    it geometrically.
+    """
+
+    __slots__ = ("_buf", "_len")
+
+    def __init__(self, capacity: int = 0):
+        self._buf = np.empty(max(capacity, 0))
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def reserve(self, capacity: int) -> None:
+        """Ensure room for ``capacity`` total samples."""
+        if capacity > self._buf.shape[0]:
+            new = np.empty(capacity)
+            new[: self._len] = self._buf[: self._len]
+            self._buf = new
+
+    def append(self, value: float) -> None:
+        n = self._len
+        if n >= self._buf.shape[0]:
+            self.reserve(max(64, 2 * n))
+        self._buf[n] = value
+        self._len = n + 1
+
+    def array(self) -> np.ndarray:
+        """The logged samples as a fresh, exactly-sized array."""
+        return self._buf[: self._len].copy()
+
+
 class SimulationResult(Mapping[str, np.ndarray]):
     """Mapping from logged-signal name to a 1-D value array.
 

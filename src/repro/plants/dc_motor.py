@@ -77,6 +77,7 @@ class DCMotor(Block):
     num_continuous_states = 3  # [current, speed, angle]
     direct_feedthrough = False
     sample_time = CONTINUOUS
+    time_invariant = True
 
     IN_VOLTAGE, IN_LOAD = 0, 1
     OUT_SPEED, OUT_ANGLE, OUT_CURRENT = 0, 1, 2

@@ -14,6 +14,7 @@ import math
 from repro.model.block import Block
 
 _WRAP = 1 << 16
+_TWO_PI = 2 * math.pi
 
 
 class IRCEncoder(Block):
@@ -21,6 +22,7 @@ class IRCEncoder(Block):
 
     n_in = 1
     n_out = 2  # count, index pulse
+    time_invariant = True
 
     OUT_COUNT, OUT_INDEX = 0, 1
 
@@ -29,6 +31,8 @@ class IRCEncoder(Block):
         if ppr < 1:
             raise ValueError("ppr must be >= 1")
         self.ppr = int(ppr)
+        self._cpr = 4 * self.ppr
+        self._index_width = 1.0 / self._cpr
 
     @property
     def counts_per_rev(self) -> int:
@@ -40,11 +44,11 @@ class IRCEncoder(Block):
         return 2 * math.pi / self.counts_per_rev
 
     def outputs(self, t, u, ctx):
-        angle = u[0]
-        counts = math.floor(angle / (2 * math.pi) * self.counts_per_rev)
+        turns = u[0] / _TWO_PI
+        counts = math.floor(turns * self._cpr)
         # index pulse: high within one count-width of each full revolution
-        frac = angle / (2 * math.pi) - math.floor(angle / (2 * math.pi))
-        index = 1.0 if frac < 1.0 / self.counts_per_rev else 0.0
+        frac = turns - math.floor(turns)
+        index = 1.0 if frac < self._index_width else 0.0
         return [float(counts % _WRAP), index]
 
     @staticmethod

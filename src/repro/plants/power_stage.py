@@ -17,6 +17,7 @@ class PowerStage(Block):
 
     n_in = 1
     n_out = 1
+    time_invariant = True
 
     def __init__(
         self,

@@ -1,0 +1,63 @@
+"""Parallel fault campaigns: determinism and grid ordering.
+
+``FaultCampaign.run(..., workers=N)`` must produce outcomes identical to
+the serial sweep — every cell builds a fresh rig and reseeds its own
+fault plan, so neither worker count nor completion order may leak into
+the rows.
+"""
+
+from repro.casestudy import ServoConfig, build_servo_model
+from repro.core import PEERTTarget
+from repro.faults import BurstErrors, FaultCampaign, FaultPlan, LineDropout
+from repro.sim import LossPolicy, PILSimulator
+
+SETPOINT = 100.0
+
+
+def make_pil(reliable: bool) -> PILSimulator:
+    """Module-level factory — the process pool pickles the campaign."""
+    sm = build_servo_model(ServoConfig(setpoint=SETPOINT))
+    app = PEERTTarget(sm.model).build()
+    return PILSimulator(
+        app,
+        baud=460800,
+        plant_dt=1e-4,
+        reliable=reliable,
+        loss_policy=LossPolicy(mode="safe", max_consecutive=5),
+        watchdog_timeout=8e-3 if reliable else None,
+    )
+
+
+def _campaign() -> FaultCampaign:
+    plan = FaultPlan(
+        [
+            BurstErrors(start=0.01, duration=0.04, rate=0.2),
+            LineDropout(start=0.06, duration=0.02),
+        ],
+        seed=41,
+    )
+    return FaultCampaign(
+        make_pil=make_pil, plan=plan, t_final=0.1, reference=SETPOINT
+    )
+
+
+class TestParallelCampaign:
+    def test_parallel_equals_serial(self):
+        intensities = [0.5, 1.0]
+        serial = _campaign().run(intensities)
+        parallel = _campaign().run(intensities, workers=2)
+        assert serial == parallel
+
+    def test_grid_order_preserved(self):
+        rows = _campaign().run([1.0, 0.5], modes=(True, False), workers=2)
+        assert [(r.intensity, r.reliable) for r in rows] == [
+            (1.0, True),
+            (1.0, False),
+            (0.5, True),
+            (0.5, False),
+        ]
+
+    def test_workers_one_is_serial_path(self):
+        serial = _campaign().run([1.0], modes=(False,))
+        one = _campaign().run([1.0], modes=(False,), workers=1)
+        assert serial == one
