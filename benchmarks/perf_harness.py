@@ -158,6 +158,54 @@ def bench_campaign(workers: int) -> dict:
     }
 
 
+def bench_service(n_jobs: int = 24) -> dict:
+    """SimServe throughput and compiled-model-cache effectiveness.
+
+    The cache speedup is end-to-end job latency, cold (first submission of
+    a model content hash) against the median of warm repeats — what a
+    sweep client actually feels.  A warm-up job on a throwaway hash runs
+    first so the cold number measures compilation, not import costs.
+    """
+    from repro.service import MILRequest, SimServe
+    from repro.service.__main__ import servo_sweep_model
+
+    def req(bandwidth_hz: float) -> MILRequest:
+        return MILRequest(
+            builder=servo_sweep_model,
+            builder_kwargs={"bandwidth_hz": bandwidth_hz},
+            dt=1e-4,
+            t_final=0.005,
+            retain_trace=False,
+        )
+
+    def timed(svc, request) -> float:
+        t0 = time.perf_counter()
+        handle = svc.submit(request)
+        assert handle.wait(120.0)
+        return time.perf_counter() - t0
+
+    with SimServe(workers=2) as svc:
+        timed(svc, req(9.0))  # warm-up: imports + codegen machinery
+        cold_s = timed(svc, req(6.0))
+        warm = sorted(timed(svc, req(6.0)) for _ in range(7))
+        warm_s = warm[len(warm) // 2]
+        t0 = time.perf_counter()
+        handles = [svc.submit(req(4.0 + (k % 4))) for k in range(n_jobs)]
+        assert svc.wait_all(handles, timeout=300.0)
+        burst_s = time.perf_counter() - t0
+        snap = svc.metrics_snapshot()
+    return {
+        "jobs": n_jobs,
+        "service_jobs_per_s": n_jobs / burst_s,
+        "cold_latency_s": cold_s,
+        "warm_latency_s": warm_s,
+        "model_cache_hit_speedup": cold_s / warm_s,
+        "cache_hits": snap["cache"]["hits"],
+        "cache_hit_rate": snap["cache"]["hit_rate"],
+        "failed": snap["jobs"]["failed"],
+    }
+
+
 def measure(workers: int) -> dict:
     cal = _calibrate()
     fast = bench_engine(use_kernels=True)
@@ -165,6 +213,7 @@ def measure(workers: int) -> dict:
     events_per_s = bench_events()
     roundtrips_per_s = bench_codec()
     campaign = bench_campaign(workers)
+    service = bench_service()
     report = {
         "schema": 1,
         "calibration_spin_s": cal,
@@ -180,6 +229,7 @@ def measure(workers: int) -> dict:
         "events": {"events_per_s": events_per_s},
         "codec": {"roundtrips_per_s": roundtrips_per_s},
         "campaign": campaign,
+        "service": service,
         # machine-portable forms: throughput x spin-time (per-spin units)
         "normalized": {
             "engine_steps_per_spin": fast["steps_per_s"] * cal,
@@ -187,6 +237,7 @@ def measure(workers: int) -> dict:
             "events_per_spin": events_per_s * cal,
             "codec_roundtrips_per_spin": roundtrips_per_s * cal,
             "campaign_cells_per_spin": campaign["cells_per_s_serial"] * cal,
+            "service_jobs_per_spin": service["service_jobs_per_s"] * cal,
         },
     }
     return report
@@ -216,6 +267,16 @@ def check(fresh: dict, baseline: dict, strict_absolute: bool) -> list[str]:
     )
     if not fresh["campaign"]["deterministic"]:
         failures.append("campaign parallel/serial outcomes diverged")
+    if fresh["service"]["cache_hits"] == 0:
+        failures.append("service model cache never hit (repeat jobs recompiled)")
+    if fresh["service"]["failed"]:
+        failures.append(f"service bench had {fresh['service']['failed']} failed jobs")
+    if "service" in baseline:
+        gate(
+            "service.model_cache_hit_speedup",
+            fresh["service"]["model_cache_hit_speedup"],
+            baseline["service"]["model_cache_hit_speedup"],
+        )
     for key, want in baseline.get("normalized", {}).items():
         gate(f"normalized.{key}", fresh["normalized"][key], want)
     if strict_absolute:
@@ -239,6 +300,12 @@ def check(fresh: dict, baseline: dict, strict_absolute: bool) -> list[str]:
             fresh["campaign"]["cells_per_s_serial"],
             baseline["campaign"]["cells_per_s_serial"],
         )
+        if "service" in baseline:
+            gate(
+                "service.jobs_per_s",
+                fresh["service"]["service_jobs_per_s"],
+                baseline["service"]["service_jobs_per_s"],
+            )
     return failures
 
 
@@ -266,6 +333,13 @@ def main(argv=None) -> int:
         f"campaign: {camp['cells_per_s_serial']:.2f} cells/s serial, "
         f"{camp['cells_per_s_parallel']:.2f} cells/s with "
         f"{camp['workers']} workers ({camp['cpu_count']} CPUs)"
+    )
+    svc = fresh["service"]
+    print(
+        f"service: {svc['service_jobs_per_s']:.1f} jobs/s, cache-hit speedup "
+        f"{svc['model_cache_hit_speedup']:.2f}x "
+        f"(cold {svc['cold_latency_s']*1e3:.1f} ms -> warm "
+        f"{svc['warm_latency_s']*1e3:.1f} ms, hit rate {svc['cache_hit_rate']:.0%})"
     )
 
     status = 0

@@ -68,10 +68,14 @@ def pil_health(
     if t is None or y is None:
         t = pil_result.result.t
         y = pil_result.result[signal]
-    err = reference - np.asarray(y, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    err = reference - y
+    # the envelope heuristic needs >= 9 samples; a shorter window (e.g. a
+    # run cut down by safe-state entry) cannot be judged diverging yet
+    diverged = is_diverging(t, y, reference) if y.size >= 9 else False
     return PILHealthReport(
         iae=iae(t, err),
-        diverged=is_diverging(t, y, reference),
+        diverged=diverged,
         crc_errors=pil_result.crc_errors,
         retransmits=pil_result.retransmits,
         timeouts=pil_result.arq_timeouts,

@@ -27,7 +27,7 @@ from .models import (
     StuckSensor,
 )
 from .plan import FaultPlan
-from .campaign import CampaignOutcome, FaultCampaign, run_campaign
+from .campaign import CampaignInterrupted, CampaignOutcome, FaultCampaign, run_campaign
 
 __all__ = [
     "FaultModel",
@@ -36,6 +36,7 @@ __all__ = [
     "StuckSensor",
     "StepOverrun",
     "FaultPlan",
+    "CampaignInterrupted",
     "CampaignOutcome",
     "FaultCampaign",
     "run_campaign",

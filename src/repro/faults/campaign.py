@@ -28,6 +28,26 @@ from repro.analysis import iae, is_diverging
 from .plan import FaultPlan
 
 
+class CampaignInterrupted(Exception):
+    """A sweep died part-way; the completed cells are preserved.
+
+    ``outcomes`` is grid-ordered with ``None`` holes for cells that never
+    finished; ``completed`` counts the filled ones.  Raised after the
+    worker pool has been shut down in an orderly way (pending futures
+    cancelled), so a crashing cell leaves neither stray processes nor a
+    hung ``run`` call behind.
+    """
+
+    def __init__(self, grid, outcomes, cause):
+        self.grid = list(grid)
+        self.outcomes = list(outcomes)
+        self.completed = sum(1 for o in self.outcomes if o is not None)
+        super().__init__(
+            f"campaign interrupted after {self.completed}/{len(self.grid)} "
+            f"cells: {type(cause).__name__}: {cause}"
+        )
+
+
 @dataclass(frozen=True)
 class CampaignOutcome:
     """One (intensity, link-mode) cell of a campaign."""
@@ -127,16 +147,48 @@ class FaultCampaign:
         closure).  Outcomes come back in grid order regardless of which
         worker finishes first, and each cell seeds its own fault plan,
         so the rows are identical to a serial sweep.
+
+        A crashing cell (or Ctrl-C) does not leak the pool: pending
+        futures are cancelled, the executor is shut down, and the cells
+        that did finish are surfaced on a :class:`CampaignInterrupted`
+        (``KeyboardInterrupt`` propagates as itself, after the same
+        orderly teardown).
         """
         grid = [(i, reliable) for i in intensities for reliable in modes]
+        outcomes: list[Optional[CampaignOutcome]] = [None] * len(grid)
         if workers is None or workers <= 1 or len(grid) <= 1:
-            return [self.run_cell(i, reliable) for i, reliable in grid]
-        with ProcessPoolExecutor(max_workers=min(workers, len(grid))) as pool:
+            try:
+                for k, (i, reliable) in enumerate(grid):
+                    outcomes[k] = self.run_cell(i, reliable)
+            except Exception as exc:
+                raise CampaignInterrupted(grid, outcomes, exc) from exc
+            return outcomes  # type: ignore[return-value]
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(grid)))
+        try:
             futures = [
                 pool.submit(_run_cell_task, self, i, reliable)
                 for i, reliable in grid
             ]
-            return [f.result() for f in futures]
+            for k, f in enumerate(futures):
+                outcomes[k] = f.result()
+        except BaseException as exc:
+            for f in futures:
+                f.cancel()
+            pool.shutdown(wait=True, cancel_futures=True)
+            # harvest cells that finished out of order before the crash
+            for k, f in enumerate(futures):
+                if (
+                    outcomes[k] is None
+                    and f.done()
+                    and not f.cancelled()
+                    and f.exception() is None
+                ):
+                    outcomes[k] = f.result()
+            if isinstance(exc, Exception):
+                raise CampaignInterrupted(grid, outcomes, exc) from exc
+            raise  # KeyboardInterrupt / SystemExit, pool already torn down
+        pool.shutdown(wait=True)
+        return outcomes  # type: ignore[return-value]
 
 
 def _run_cell_task(

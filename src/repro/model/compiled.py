@@ -73,6 +73,13 @@ class CompiledModel:
     #: this copy reflects the model as built and feeds diagnostics.
     kernel_plan: Optional[object] = None
     kernel_plan_error: Optional[str] = None
+    #: memo of generated kernel-pass code objects keyed by source text.
+    #: The generated source depends only on the compiled model (signal
+    #: indices, divisors, schedule) — per-simulator state binds through
+    #: the exec namespace — so repeat ``Simulator.initialize`` calls on
+    #: one compiled model skip the ``compile()`` step.  This is what
+    #: makes a SimServe model-cache hit skip codegen as well as build.
+    codegen_cache: dict = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------
     @classmethod

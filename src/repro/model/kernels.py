@@ -355,6 +355,9 @@ class FastPath:
     def __init__(self, sim: "Simulator", plan: KernelPlan):
         self.plan = plan
         cm = sim.cm
+        self._code_cache = getattr(cm, "codegen_cache", None)
+        if self._code_cache is None:
+            self._code_cache = {}
         ns: dict = {
             "_E": (),
             "_dsp": sim._dispatch_events,
@@ -471,10 +474,14 @@ class FastPath:
             f"def {name}({params}, sigs=_sigs, _pend=_pend, _dsp=_dsp, "
             f"float=float, _E=_E):\n{body}\n"
         )
-        try:
-            exec(compile(src, f"<kernel:{name}>", "exec"), self._ns)
-        except SyntaxError as exc:  # pragma: no cover - codegen bug guard
-            raise KernelPlanError(f"generated pass failed to compile: {exc}")
+        code = self._code_cache.get(src)
+        if code is None:
+            try:
+                code = compile(src, f"<kernel:{name}>", "exec")
+            except SyntaxError as exc:  # pragma: no cover - codegen bug guard
+                raise KernelPlanError(f"generated pass failed to compile: {exc}")
+            self._code_cache[src] = code
+        exec(code, self._ns)
         return self._ns[name]
 
     def _build_phased(self, tag, frags, hyper, prologue=()):

@@ -1,0 +1,71 @@
+"""SimServe — the batched simulation job service.
+
+Turns the engine (:mod:`repro.model`), the PIL rig (:mod:`repro.sim`)
+and the fault-campaign substrate (:mod:`repro.faults`) into a
+multi-tenant backend: typed job requests with priorities, deadlines and
+cancellation; a bounded priority queue with explicit backpressure; a
+thread- or process-backed worker pool; a compiled-model cache keyed by a
+deterministic content hash (repeat submissions skip
+``CompiledModel.build`` entirely); a bounded LRU result store; and a
+live metrics surface.
+
+Quickstart::
+
+    from repro.service import SimServe, MILRequest
+
+    with SimServe(workers=4) as svc:
+        handle = svc.submit(MILRequest(builder=build, dt=1e-4, t_final=0.1))
+        result = handle.result()
+
+CLI demo: ``python -m repro.service`` (batch PID-gain sweep + metrics).
+"""
+
+from .jobs import (
+    AdmissionError,
+    CampaignCellRequest,
+    Job,
+    JobCancelled,
+    JobFailed,
+    JobHandle,
+    JobPriority,
+    JobState,
+    MILRequest,
+    PILRequest,
+    QueueFull,
+    ServiceClosed,
+    SweepRequest,
+)
+from .client import SimServe, SweepHandle
+from .metrics import Histogram, ServiceMetrics
+from .model_cache import ModelCache, canonical_model_doc, model_content_hash
+from .results import JobRecord, ResultStore
+from .scheduler import Scheduler
+from .workers import WorkerPool, execute_request
+
+__all__ = [
+    "AdmissionError",
+    "CampaignCellRequest",
+    "Histogram",
+    "Job",
+    "JobCancelled",
+    "JobFailed",
+    "JobHandle",
+    "JobPriority",
+    "JobRecord",
+    "JobState",
+    "MILRequest",
+    "ModelCache",
+    "PILRequest",
+    "QueueFull",
+    "ResultStore",
+    "Scheduler",
+    "ServiceClosed",
+    "ServiceMetrics",
+    "SimServe",
+    "SweepHandle",
+    "SweepRequest",
+    "WorkerPool",
+    "canonical_model_doc",
+    "execute_request",
+    "model_content_hash",
+]

@@ -1,0 +1,106 @@
+"""SimServe CLI demo: a batched servo gain sweep with live metrics.
+
+Submits a PID bandwidth sweep over the paper's DC-servo case study as
+service jobs (mixed priorities), optionally resubmits the batch to show
+the compiled-model cache taking over, then prints the metrics summary.
+
+Used by the CI ``service-smoke`` job with ``--min-jobs-per-s`` as a
+liveness + throughput assertion::
+
+    python -m repro.service --jobs 8 --repeat 2 --workers 2 \\
+        --min-jobs-per-s 1 --require-cache-hits
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.service import JobPriority, SimServe, SweepRequest
+
+
+def servo_sweep_model(bandwidth_hz: float = 6.0, setpoint: float = 100.0):
+    """Module-level builder (process-backend picklable) for one sweep point."""
+    from repro.casestudy import ServoConfig, build_servo_model
+
+    return build_servo_model(
+        ServoConfig(setpoint=setpoint, bandwidth_hz=bandwidth_hz)
+    ).model
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--jobs", type=int, default=8, help="sweep points per batch")
+    ap.add_argument("--repeat", type=int, default=2,
+                    help="times the batch is submitted (>=2 exercises the cache)")
+    ap.add_argument("--workers", type=int, default=2)
+    ap.add_argument("--backend", choices=("thread", "process"), default="thread")
+    ap.add_argument("--dt", type=float, default=1e-4)
+    ap.add_argument("--t-final", type=float, default=0.02)
+    ap.add_argument("--queue-depth", type=int, default=256)
+    ap.add_argument("--min-jobs-per-s", type=float, default=None,
+                    help="exit 1 if throughput falls below this")
+    ap.add_argument("--require-cache-hits", action="store_true",
+                    help="exit 1 unless the model cache recorded hits")
+    ap.add_argument("--json", action="store_true", help="emit the metrics snapshot as JSON")
+    args = ap.parse_args(argv)
+
+    grid = [
+        {"bandwidth_hz": 4.0 + 0.5 * (k % args.jobs)} for k in range(args.jobs)
+    ]
+    sweep = SweepRequest(
+        builder=servo_sweep_model,
+        grid=grid,
+        dt=args.dt,
+        t_final=args.t_final,
+        retain_trace=False,
+    )
+
+    t0 = time.perf_counter()
+    with SimServe(
+        workers=args.workers,
+        backend=args.backend,
+        queue_depth=args.queue_depth,
+    ) as svc:
+        # alternate batch priorities so the queue demonstrably reorders
+        handles = []
+        for r in range(args.repeat):
+            prio = JobPriority.HIGH if r % 2 else JobPriority.NORMAL
+            handles.append(svc.submit_sweep(sweep, priority=prio))
+        for h in handles:
+            h.results()
+        elapsed = time.perf_counter() - t0
+        snap = svc.metrics_snapshot()
+        report = svc.metrics.report()
+
+    n_done = snap["jobs"]["completed"]
+    if args.json:
+        print(json.dumps(snap, indent=2, sort_keys=True, default=str))
+    else:
+        print(report)
+        print(
+            f"  batch: {n_done} jobs in {elapsed:.2f} s wall "
+            f"({n_done / elapsed:.1f} jobs/s incl. setup)"
+        )
+
+    status = 0
+    if snap["jobs"]["failed"]:
+        print(f"FAIL: {snap['jobs']['failed']} jobs failed", file=sys.stderr)
+        status = 1
+    if args.min_jobs_per_s is not None and n_done / elapsed < args.min_jobs_per_s:
+        print(
+            f"FAIL: throughput {n_done / elapsed:.2f} jobs/s below the "
+            f"--min-jobs-per-s {args.min_jobs_per_s} floor",
+            file=sys.stderr,
+        )
+        status = 1
+    if args.require_cache_hits and not snap["cache"]["hits"]:
+        print("FAIL: no model-cache hits recorded", file=sys.stderr)
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

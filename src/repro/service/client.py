@@ -1,0 +1,217 @@
+"""SimServe synchronous client facade.
+
+One object wires the whole backend together — scheduler, worker pool,
+compiled-model cache, result store, metrics — and exposes the blocking
+client API every harness in this repo can call::
+
+    from repro.service import SimServe, MILRequest
+
+    with SimServe(workers=4) as svc:
+        h = svc.submit(MILRequest(builder=my_model, dt=1e-4, t_final=0.1))
+        result = h.result()          # a SimulationResult, bit-identical
+        print(svc.metrics.report())  # to a direct Simulator run
+
+The facade is the architectural seam the ROADMAP's scaling PRs plug
+into: an async transport or a sharded fleet replaces this class, not the
+job/scheduler/worker substrates underneath it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence
+
+from .jobs import (
+    Job,
+    JobHandle,
+    JobPriority,
+    JobState,
+    ServiceClosed,
+    SweepRequest,
+)
+from .metrics import ServiceMetrics
+from .model_cache import ModelCache
+from .results import JobRecord, ResultStore
+from .scheduler import Scheduler
+from .workers import WorkerPool
+
+_sweep_counter = itertools.count(1)
+
+
+class SweepHandle:
+    """Aggregate view over one expanded sweep's child jobs."""
+
+    def __init__(self, sweep_id: str, handles: list[JobHandle]):
+        self.sweep_id = sweep_id
+        self.handles = handles
+
+    def __len__(self) -> int:
+        return len(self.handles)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """True when every child reached a terminal state."""
+        import time
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for h in self.handles:
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            if not h.wait(remaining):
+                return False
+        return True
+
+    def results(self, timeout: Optional[float] = None) -> list:
+        """Child payloads in grid order (raises on the first failed child)."""
+        return [h.result(timeout) for h in self.handles]
+
+    def records(self, timeout: Optional[float] = None) -> list[JobRecord]:
+        return [h.record(timeout) for h in self.handles]
+
+
+class SimServe:
+    """The batched simulation job service (synchronous, in-process)."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        backend: str = "thread",
+        queue_depth: int = 64,
+        cache_capacity: int = 32,
+        store_capacity: int = 256,
+        autostart: bool = True,
+    ):
+        self.metrics = ServiceMetrics()
+        self.cache = ModelCache(capacity=cache_capacity)
+        self.store = ResultStore(capacity=store_capacity)
+        self.scheduler = Scheduler(
+            queue_depth=queue_depth,
+            on_shed=self._record_skipped,
+            on_cancel=self._record_skipped,
+        )
+        self.pool = WorkerPool(
+            self.scheduler,
+            self.cache,
+            self.store,
+            self.metrics,
+            n_workers=workers,
+            backend=backend,
+        )
+        self.metrics.queue_depth_fn = lambda: self.scheduler.depth
+        self.metrics.cache_stats_fn = self.cache.stats
+        self._closed = False
+        if autostart:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.pool.start()
+
+    def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Stop admission and wind the pool down.
+
+        ``cancel_pending=True`` aborts still-queued jobs (marked
+        cancelled); otherwise the queue drains before workers exit.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if cancel_pending:
+            for job in self.scheduler.drain():
+                job.cancel_event.set()
+                job.state = JobState.CANCELLED
+                import time
+
+                job.finished_at = time.monotonic()
+                self._record_skipped(job)
+                job.done_event.set()
+        self.pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "SimServe":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request,
+        priority: JobPriority = JobPriority.NORMAL,
+        deadline_s: Optional[float] = None,
+    ) -> JobHandle:
+        """Admit one request; raises :class:`QueueFull` on backpressure.
+
+        The reject is explicit and immediate — a full queue never blocks
+        the submitter.  Callers are expected to retry with backoff or
+        shed load themselves.
+        """
+        if isinstance(request, SweepRequest):
+            raise TypeError("use submit_sweep() for SweepRequest")
+        if self._closed:
+            raise ServiceClosed("service is shut down")
+        job = Job(request, priority=priority, deadline_s=deadline_s)
+        try:
+            self.scheduler.submit(job)
+        except Exception:
+            self.metrics.on_reject()
+            raise
+        self.metrics.on_submit(job.kind)
+        return JobHandle(job, self.store)
+
+    def submit_sweep(
+        self,
+        request: SweepRequest,
+        priority: JobPriority = JobPriority.NORMAL,
+        deadline_s: Optional[float] = None,
+    ) -> SweepHandle:
+        """Fan a sweep out into one MIL job per grid point.
+
+        Admission is all-or-nothing: if any point is rejected the already
+        admitted ones are cancelled, so a half-admitted sweep never runs.
+        """
+        sweep_id = f"sweep-{next(_sweep_counter):04d}"
+        handles: list[JobHandle] = []
+        try:
+            for child in request.expand():
+                if self._closed:
+                    raise ServiceClosed("service is shut down")
+                job = Job(
+                    child, priority=priority, deadline_s=deadline_s, sweep_id=sweep_id
+                )
+                self.scheduler.submit(job)
+                self.metrics.on_submit("sweep_point")
+                handles.append(JobHandle(job, self.store))
+        except Exception:
+            self.metrics.on_reject()
+            for h in handles:
+                h.cancel()
+            raise
+        return SweepHandle(sweep_id, handles)
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def wait_all(
+        self, handles: Sequence[JobHandle], timeout: Optional[float] = None
+    ) -> bool:
+        import time
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for h in handles:
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            if not h.wait(remaining):
+                return False
+        return True
+
+    def metrics_snapshot(self) -> dict:
+        return self.metrics.snapshot()
+
+    # ------------------------------------------------------------------
+    def _record_skipped(self, job: Job) -> None:
+        """Store + count a job the queue finished without running."""
+        self.store.put(JobRecord.from_job(job))
+        self.metrics.on_finish(job)

@@ -1,0 +1,193 @@
+"""SimServe observability: counters, latency histograms, snapshots.
+
+Everything is in-process and lock-cheap: counters and bounded reservoirs
+updated on the job lifecycle edges, and a :meth:`ServiceMetrics.snapshot`
+that assembles the dashboard dict the CLI, the perf harness and the tests
+read — per-job latency distributions (queue wait, execution, end-to-end),
+queue depth, worker utilization, cache hit rate, jobs/s.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+import numpy as np
+
+
+class Histogram:
+    """Bounded-reservoir latency histogram (seconds).
+
+    Keeps the most recent ``capacity`` observations in a ring buffer plus
+    running count/sum, which is enough for min/mean/max and the usual
+    percentiles without unbounded growth.
+    """
+
+    __slots__ = ("_buf", "_len", "_next", "count", "total", "_min", "_max")
+
+    def __init__(self, capacity: int = 4096):
+        self._buf = np.empty(capacity)
+        self._len = 0
+        self._next = 0
+        self.count = 0
+        self.total = 0.0
+        self._min = float("inf")
+        self._max = 0.0
+
+    def observe(self, value: float) -> None:
+        self._buf[self._next] = value
+        self._next = (self._next + 1) % self._buf.shape[0]
+        self._len = min(self._len + 1, self._buf.shape[0])
+        self.count += 1
+        self.total += value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def snapshot(self) -> dict:
+        if self.count == 0:
+            return {"count": 0}
+        window = self._buf[: self._len]
+        p50, p90, p99 = np.percentile(window, [50, 90, 99])
+        return {
+            "count": self.count,
+            "mean": self.total / self.count,
+            "min": self._min,
+            "max": self._max,
+            "p50": float(p50),
+            "p90": float(p90),
+            "p99": float(p99),
+        }
+
+
+class ServiceMetrics:
+    """The service-wide metric registry.  All methods are thread-safe."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.shed = 0
+        self.by_kind: dict[str, int] = {}
+        self.workers_busy = 0
+        self.queue_wait = Histogram()
+        self.exec_time = Histogram()
+        self.job_latency = Histogram()
+        self._first_submit: Optional[float] = None
+        self._last_finish: Optional[float] = None
+        #: late-bound providers (set by the service facade)
+        self.queue_depth_fn = lambda: 0
+        self.cache_stats_fn = lambda: {}
+        self.n_workers = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle edges
+    # ------------------------------------------------------------------
+    def on_submit(self, kind: str) -> None:
+        with self._lock:
+            self.submitted += 1
+            self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+            if self._first_submit is None:
+                self._first_submit = time.monotonic()
+
+    def on_reject(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def on_start(self) -> None:
+        with self._lock:
+            self.workers_busy += 1
+
+    def on_finish(self, job) -> None:
+        """Record a terminal job (worker-executed or queue-skipped)."""
+        from .jobs import JobState
+
+        with self._lock:
+            state = job.state
+            if state is JobState.DONE:
+                self.completed += 1
+            elif state is JobState.FAILED:
+                self.failed += 1
+            elif state is JobState.CANCELLED:
+                self.cancelled += 1
+            elif state is JobState.EXPIRED:
+                self.shed += 1
+            if job.started_at is not None:
+                self.workers_busy = max(0, self.workers_busy - 1)
+                q, e, tot = job.queued_s(), job.exec_s(), job.total_s()
+                if q is not None:
+                    self.queue_wait.observe(q)
+                if e is not None:
+                    self.exec_time.observe(e)
+                if tot is not None:
+                    self.job_latency.observe(tot)
+            self._last_finish = time.monotonic()
+
+    # ------------------------------------------------------------------
+    def jobs_per_s(self) -> float:
+        """Completed jobs over the active window (first submit → last finish)."""
+        with self._lock:
+            if not self.completed or self._first_submit is None or self._last_finish is None:
+                return 0.0
+            window = self._last_finish - self._first_submit
+            return self.completed / window if window > 0 else 0.0
+
+    def snapshot(self) -> dict:
+        cache = self.cache_stats_fn()
+        with self._lock:
+            busy = self.workers_busy
+            snap = {
+                "jobs": {
+                    "submitted": self.submitted,
+                    "rejected": self.rejected,
+                    "completed": self.completed,
+                    "failed": self.failed,
+                    "cancelled": self.cancelled,
+                    "shed": self.shed,
+                    "by_kind": dict(self.by_kind),
+                },
+                "latency": {
+                    "queue_wait": self.queue_wait.snapshot(),
+                    "exec": self.exec_time.snapshot(),
+                    "end_to_end": self.job_latency.snapshot(),
+                },
+                "queue_depth": self.queue_depth_fn(),
+                "workers": {
+                    "count": self.n_workers,
+                    "busy": busy,
+                    "utilization": busy / self.n_workers if self.n_workers else 0.0,
+                },
+                "cache": cache,
+            }
+        snap["jobs_per_s"] = self.jobs_per_s()
+        return snap
+
+    def report(self) -> str:
+        """Human-readable one-screen summary (the CLI's footer)."""
+        s = self.snapshot()
+        j, lat = s["jobs"], s["latency"]["end_to_end"]
+        cache = s["cache"] or {}
+        lines = [
+            "SimServe metrics",
+            f"  jobs: {j['submitted']} submitted, {j['completed']} done, "
+            f"{j['failed']} failed, {j['cancelled']} cancelled, "
+            f"{j['shed']} shed, {j['rejected']} rejected",
+            f"  throughput: {s['jobs_per_s']:.1f} jobs/s  |  queue depth {s['queue_depth']}"
+            f"  |  workers {s['workers']['busy']}/{s['workers']['count']} busy",
+        ]
+        if lat.get("count"):
+            lines.append(
+                "  latency end-to-end: "
+                f"mean {lat['mean']*1e3:.1f} ms, p50 {lat['p50']*1e3:.1f} ms, "
+                f"p90 {lat['p90']*1e3:.1f} ms, max {lat['max']*1e3:.1f} ms"
+            )
+        if cache:
+            lines.append(
+                f"  model cache: {cache['hits']} hits / {cache['misses']} misses "
+                f"(rate {cache['hit_rate']:.0%}), {cache['entries']} entries, "
+                f"{cache['bypasses']} bypassed, {cache['evictions']} evicted"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,212 @@
+"""Compiled-model cache: the "load once, serve many" half of SimServe.
+
+``CompiledModel.build`` — flattening, validation, topological sort,
+allocation, kernel planning — dominates the end-to-end latency of short
+simulation jobs, and the PEERT workflow resubmits the *same* diagram over
+and over (every MIL validation pass, every cell of a fault campaign,
+every repeat of a sweep point).  The cache keys compiled models by a
+deterministic content hash of the diagram document plus the base step, so
+a repeat submission skips compilation entirely.
+
+Two properties make sharing safe:
+
+* **Private diagrams.**  On a miss the cache does *not* compile the
+  caller's model object — it round-trips the diagram through the model
+  document (:func:`~repro.model.io.model_to_dict` /
+  ``model_from_dict``, pinned exact by the io test suite) and compiles
+  the rebuilt private copy.  Cached blocks are therefore never aliased
+  with user-owned blocks or with another cache entry, so a caller
+  mutating (or re-compiling at another dt) its model cannot corrupt a
+  cached artifact.
+* **Leased execution.**  Blocks keep per-run state in ``BlockContext``,
+  but a few (function-call subsystems, charts) bind executor state to the
+  block instance at ``start`` — one compiled model must not run in two
+  simulators concurrently.  :meth:`ModelCache.lease` hands the compiled
+  model out under a per-entry lock: identical concurrent jobs serialize,
+  distinct models run fully parallel.
+
+Models that cannot serialise (charts and custom S-functions hold Python
+callables) are *bypassed*: compiled fresh per job, never shared.
+
+The content hash is also a public utility
+(:func:`model_content_hash`): stable across processes (no ``id()`` /
+``repr`` leakage, dict traversal canonicalised), pinned by a subprocess
+round-trip test.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+from repro.model.compiled import CompiledModel
+from repro.model.diagnostics import ModelError
+from repro.model.graph import Model
+from repro.model.io import model_from_dict, model_to_dict
+
+
+# ---------------------------------------------------------------------------
+# content hashing
+# ---------------------------------------------------------------------------
+def canonical_model_doc(model_or_doc) -> dict:
+    """The model document in canonical form for hashing and rebuilding.
+
+    Blocks are sorted by name and data connections sorted element-wise —
+    neither order can influence execution (the compiler re-sorts blocks
+    deterministically by data dependency + name, and input maps are keyed
+    by port).  Event-connection order is **kept**: multiple function-call
+    targets on one port dispatch in wiring order, so reordering would
+    change ISR execution order and the hash must distinguish it.
+    Subsystem interiors are canonicalised recursively.
+    """
+    doc = model_or_doc if isinstance(model_or_doc, dict) else model_to_dict(model_or_doc)
+    blocks = []
+    for node in sorted(doc["blocks"], key=lambda n: n["name"]):
+        params = node["params"]
+        if "inner" in params and isinstance(params["inner"], dict):
+            params = dict(params)
+            params["inner"] = canonical_model_doc(params["inner"])
+        blocks.append({"type": node["type"], "name": node["name"], "params": params})
+    return {
+        "format": doc["format"],
+        "name": doc["name"],
+        "blocks": blocks,
+        "connections": sorted(doc["connections"]),
+        "events": list(doc["events"]),
+    }
+
+
+def model_content_hash(
+    model: Model,
+    dt: Optional[float] = None,
+    solver: Optional[str] = None,
+) -> str:
+    """SHA-256 hex digest of the diagram content (plus dt/solver if given).
+
+    Deterministic across processes and interpreter runs: the payload is
+    the canonical JSON document (sorted keys, sorted blocks/connections),
+    which contains only declarative parameter values — no object ids, no
+    ``repr`` of live instances, no dict iteration order.  Raises
+    :class:`~repro.model.diagnostics.ModelError` for diagrams that hold
+    Python callables (those cannot be content-addressed).
+    """
+    payload = {
+        "doc": canonical_model_doc(model),
+        "dt": dt,
+        "solver": solver,
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# the cache
+# ---------------------------------------------------------------------------
+class _Entry:
+    __slots__ = ("cm", "lock", "hits", "doc")
+
+    def __init__(self, doc: dict):
+        self.cm: Optional[CompiledModel] = None
+        self.lock = threading.Lock()
+        self.hits = 0
+        self.doc = doc
+
+
+class ModelCache:
+    """Bounded LRU of compiled models keyed by content hash + dt.
+
+    Thread-safe.  ``capacity`` bounds the number of retained compiled
+    models; eviction is least-recently-leased.  An evicted entry that is
+    still leased stays alive with its leaseholder (the lease keeps a
+    reference) — a new identical submission simply rebuilds.
+    """
+
+    def __init__(self, capacity: int = 32):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.bypasses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def lease(self, model: Model, dt: float) -> Iterator[Tuple[CompiledModel, bool]]:
+        """Yield ``(compiled_model, was_hit)`` with exclusive run rights.
+
+        The entry's lock is held for the duration of the ``with`` body, so
+        the compiled model is never executed by two simulators at once.
+        Unserialisable models bypass the cache (fresh private compile,
+        no lock needed — the artifact is job-local).
+        """
+        try:
+            doc = canonical_model_doc(model)
+        except ModelError:
+            with self._lock:
+                self.bypasses += 1
+            yield CompiledModel.build(model, dt), False
+            return
+
+        key = _hash_doc(doc, dt)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = _Entry(doc)
+                self._entries[key] = entry
+                while len(self._entries) > self.capacity:
+                    evicted_key = next(iter(self._entries))
+                    if evicted_key == key:  # never evict what we just added
+                        break
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+            self._entries.move_to_end(key)
+
+        with entry.lock:
+            if entry.cm is None:
+                # private rebuild: cached blocks are never aliased with
+                # the caller's (or any other entry's) block instances
+                entry.cm = CompiledModel.build(model_from_dict(entry.doc), dt)
+                hit = False
+                with self._lock:
+                    self.misses += 1
+            else:
+                hit = True
+                entry.hits += 1
+                with self._lock:
+                    self.hits += 1
+            yield entry.cm, hit
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "bypasses": self.bypasses,
+                "evictions": self.evictions,
+                "hit_rate": (self.hits / total) if total else 0.0,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+def _hash_doc(doc: dict, dt: float) -> str:
+    text = json.dumps({"doc": doc, "dt": dt, "solver": None},
+                      sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -1,0 +1,94 @@
+"""SimServe result store: bounded LRU of job records.
+
+Every terminal job leaves one :class:`JobRecord` — lifecycle, timings,
+a compact summary — and, when the request asked for it, the full result
+object (a :class:`~repro.model.result.SimulationResult`, a PIL result, a
+:class:`~repro.faults.CampaignOutcome`).  The store is bounded: summaries
+are small, but full traces are not, so the LRU keeps memory flat under
+sustained traffic.  Reads refresh recency; eviction drops the oldest
+record wholesale (a client that needs a trace durably should copy it out
+after :meth:`~repro.service.jobs.JobHandle.result`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .jobs import Job, JobState
+
+
+@dataclass
+class JobRecord:
+    """One terminal job's archived outcome."""
+
+    job_id: str
+    kind: str
+    state: JobState
+    priority: int
+    sweep_id: Optional[str]
+    queued_s: Optional[float]
+    exec_s: Optional[float]
+    total_s: Optional[float]
+    cache_hit: bool
+    error: Optional[str] = None
+    summary: dict = field(default_factory=dict)
+    #: the full result object when retained (None for summaries-only jobs)
+    result: Optional[Any] = None
+
+    @classmethod
+    def from_job(
+        cls, job: Job, summary: Optional[dict] = None, result: Optional[Any] = None
+    ) -> "JobRecord":
+        return cls(
+            job_id=job.id,
+            kind=job.kind,
+            state=job.state,
+            priority=int(job.priority),
+            sweep_id=job.sweep_id,
+            queued_s=job.queued_s(),
+            exec_s=job.exec_s(),
+            total_s=job.total_s(),
+            cache_hit=job.cache_hit,
+            error=job.error,
+            summary=summary or {},
+            result=result,
+        )
+
+
+class ResultStore:
+    """Bounded LRU mapping job id -> :class:`JobRecord`.  Thread-safe."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._records: "OrderedDict[str, JobRecord]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def put(self, record: JobRecord) -> None:
+        with self._lock:
+            self._records[record.job_id] = record
+            self._records.move_to_end(record.job_id)
+            while len(self._records) > self.capacity:
+                self._records.popitem(last=False)
+                self.evictions += 1
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            rec = self._records.get(job_id)
+            if rec is not None:
+                self._records.move_to_end(job_id)
+            return rec
+
+    def records(self) -> list[JobRecord]:
+        """All retained records, least recently used first."""
+        with self._lock:
+            return list(self._records.values())

@@ -1,0 +1,145 @@
+"""SimServe scheduler: bounded priority queue with admission control.
+
+Ordering is priority-first, FIFO within a priority class (heap key
+``(priority, seq)``).  Admission is bounded: when ``queue_depth`` pending
+jobs are waiting, a submission gets an explicit
+:class:`~repro.service.jobs.QueueFull` reject — backpressure, never a
+hang.  Before rejecting, the queue compacts away pending jobs that are
+already dead (cancelled, or past their deadline) so stale work cannot
+wedge the admission window shut.
+
+Deadline shedding is lazy: an expired job stays in the heap until a
+worker pops it, at which point :meth:`next_job` marks it ``EXPIRED`` and
+reports it through the ``on_shed`` callback instead of returning it.
+Cancelled-while-pending jobs are skipped the same way via ``on_cancel``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from typing import Callable, Optional
+
+from .jobs import Job, JobState, QueueFull, ServiceClosed
+
+
+class Scheduler:
+    """Thread-safe bounded priority queue of :class:`Job` objects."""
+
+    def __init__(
+        self,
+        queue_depth: int = 64,
+        on_shed: Optional[Callable[[Job], None]] = None,
+        on_cancel: Optional[Callable[[Job], None]] = None,
+    ):
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.queue_depth = queue_depth
+        self._heap: list[tuple[int, int, Job]] = []
+        self._seq = 0
+        self._cond = threading.Condition()
+        self._closed = False
+        self._on_shed = on_shed
+        self._on_cancel = on_cancel
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Live pending jobs (excluding already-dead heap residents)."""
+        with self._cond:
+            return self._live_depth()
+
+    def _live_depth(self) -> int:
+        return sum(
+            1 for _, _, j in self._heap if j.state is JobState.PENDING
+            and not j.cancel_event.is_set()
+        )
+
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> None:
+        """Admit a job or raise :class:`QueueFull` / :class:`ServiceClosed`."""
+        with self._cond:
+            if self._closed:
+                raise ServiceClosed("scheduler is shut down")
+            if self._live_depth() >= self.queue_depth:
+                self._compact()
+            depth = self._live_depth()
+            if depth >= self.queue_depth:
+                raise QueueFull(depth, self.queue_depth)
+            self._seq += 1
+            heapq.heappush(self._heap, (int(job.priority), self._seq, job))
+            self._cond.notify()
+
+    def _compact(self) -> None:
+        """Drop dead heap residents, reporting sheds/cancels as we go."""
+        now = time.monotonic()
+        live: list[tuple[int, int, Job]] = []
+        for item in self._heap:
+            job = item[2]
+            if job.state is not JobState.PENDING:
+                continue
+            if job.cancel_event.is_set():
+                self._finish_skipped(job, JobState.CANCELLED, self._on_cancel)
+            elif job.expired(now):
+                self._finish_skipped(job, JobState.EXPIRED, self._on_shed)
+            else:
+                live.append(item)
+        heapq.heapify(live)
+        self._heap = live
+
+    @staticmethod
+    def _finish_skipped(
+        job: Job, state: JobState, callback: Optional[Callable[[Job], None]]
+    ) -> None:
+        job.state = state
+        job.finished_at = time.monotonic()
+        # record via the callback *before* waking waiters, so a waiter's
+        # store lookup cannot race the record write
+        if callback is not None:
+            callback(job)
+        job.done_event.set()
+
+    # ------------------------------------------------------------------
+    def next_job(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Pop the highest-priority live job; None on timeout or shutdown.
+
+        Cancelled and deadline-expired pending jobs are consumed here
+        (marked terminal, callbacks fired) rather than handed to workers.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                while self._heap:
+                    _, _, job = heapq.heappop(self._heap)
+                    if job.state is not JobState.PENDING:
+                        continue
+                    if job.cancel_event.is_set():
+                        self._finish_skipped(job, JobState.CANCELLED, self._on_cancel)
+                        continue
+                    if job.expired():
+                        self._finish_skipped(job, JobState.EXPIRED, self._on_shed)
+                        continue
+                    return job
+                if self._closed:
+                    return None
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        return None
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop admitting; wake every blocked ``next_job``."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def drain(self) -> list[Job]:
+        """Remove and return all still-pending jobs (used at shutdown)."""
+        with self._cond:
+            pending = [j for _, _, j in self._heap if j.state is JobState.PENDING]
+            self._heap.clear()
+            return pending

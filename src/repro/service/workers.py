@@ -1,0 +1,247 @@
+"""SimServe worker pool: thread- and process-backed job executors.
+
+Workers pull jobs off the :class:`~repro.service.scheduler.Scheduler`
+and execute them through the typed-request dispatch below.  MIL jobs go
+through the :class:`~repro.service.model_cache.ModelCache` and run on the
+PR-2 kernel fast path; PIL and campaign-cell jobs build their own rigs
+(those substrates are single-use by contract).
+
+Two backends:
+
+* ``"thread"`` (default) — jobs run on the worker threads themselves.
+  The compiled-model cache is shared service-wide, cancellation is
+  cooperative mid-run (the engine step hook checks the job's cancel
+  event every major step), and results never cross a pickle boundary, so
+  any model — including unserialisable chart models — is accepted.
+* ``"process"`` — worker threads proxy jobs into a shared
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Requests must be
+  picklable (module-level builders, like
+  :meth:`repro.faults.FaultCampaign.run` requires); each worker process
+  keeps its own model cache, so repeat submissions still skip
+  compilation per process.  A job that *crashes its process* breaks
+  neither the service nor its queue: the pool is rebuilt and the job is
+  marked failed.
+
+Worker crash-isolation is per job in both backends: an exception inside
+a job marks that job ``FAILED`` and the worker moves on — the pool and
+the cache are never poisoned.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Optional, Tuple
+
+from .jobs import (
+    CampaignCellRequest,
+    Job,
+    JobCancelled,
+    JobState,
+    MILRequest,
+    PILRequest,
+)
+from .model_cache import ModelCache
+from .results import JobRecord, ResultStore
+
+
+# ---------------------------------------------------------------------------
+# request execution (shared by both backends)
+# ---------------------------------------------------------------------------
+def execute_request(
+    request: Any,
+    cache: ModelCache,
+    cancel_event: Optional[threading.Event] = None,
+) -> Tuple[dict, Any, bool]:
+    """Run one request; returns ``(summary, result, cache_hit)``."""
+    if isinstance(request, MILRequest):
+        return _execute_mil(request, cache, cancel_event)
+    if isinstance(request, PILRequest):
+        return _execute_pil(request)
+    if isinstance(request, CampaignCellRequest):
+        return _execute_cell(request)
+    raise TypeError(f"unknown request type {type(request).__name__}")
+
+
+def _execute_mil(
+    req: MILRequest, cache: ModelCache, cancel_event: Optional[threading.Event]
+) -> Tuple[dict, Any, bool]:
+    from repro.model.engine import SimulationOptions, Simulator
+
+    model = req.resolve_model()
+    hook = None
+    if cancel_event is not None:
+        def hook(t, engine, _ev=cancel_event):
+            if _ev.is_set():
+                raise JobCancelled()
+    with cache.lease(model, req.dt) as (cm, hit):
+        opts = SimulationOptions(
+            dt=req.dt,
+            t_final=req.t_final,
+            solver=req.solver,
+            use_kernels=req.use_kernels,
+            log_all_signals=req.log_all_signals,
+            step_hook=hook,
+        )
+        result = Simulator(cm, opts).run()
+    summary = {
+        "n_steps": int(result.t.shape[0]),
+        "t_final": req.t_final,
+        "dt": req.dt,
+        "signals": result.names,
+        "finals": {name: result.final(name) for name in result.names},
+    }
+    return summary, result, hit
+
+
+def _execute_pil(req: PILRequest) -> Tuple[dict, Any, bool]:
+    rig = req.make_pil(**dict(req.make_kwargs))
+    result = rig.run(req.t_final)
+    summary = {"t_final": req.t_final}
+    for attr in ("steps", "retransmits", "recoveries", "crc_errors",
+                 "max_consecutive_loss", "safe_state_steps"):
+        if hasattr(result, attr):
+            summary[attr] = getattr(result, attr)
+    return summary, result, False
+
+
+def _execute_cell(req: CampaignCellRequest) -> Tuple[dict, Any, bool]:
+    outcome = req.campaign.run_cell(req.intensity, req.reliable)
+    return outcome.key_metrics(), outcome, False
+
+
+#: per-worker-process cache for the process backend (each child builds its
+#: own on first use — compiled models cannot cross the pickle boundary)
+_PROCESS_CACHE: Optional[ModelCache] = None
+
+
+def _process_entry(request: Any) -> Tuple[dict, Any, bool]:
+    global _PROCESS_CACHE
+    if _PROCESS_CACHE is None:
+        _PROCESS_CACHE = ModelCache()
+    return execute_request(request, _PROCESS_CACHE, None)
+
+
+# ---------------------------------------------------------------------------
+# the pool
+# ---------------------------------------------------------------------------
+class WorkerPool:
+    """N workers draining the scheduler until it closes."""
+
+    def __init__(
+        self,
+        scheduler,
+        cache: ModelCache,
+        store: ResultStore,
+        metrics,
+        n_workers: int = 2,
+        backend: str = "thread",
+    ):
+        if backend not in ("thread", "process"):
+            raise ValueError(f"unknown backend {backend!r}")
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.scheduler = scheduler
+        self.cache = cache
+        self.store = store
+        self.metrics = metrics
+        self.n_workers = n_workers
+        self.backend = backend
+        self._threads: list[threading.Thread] = []
+        self._proc_pool: Optional[ProcessPoolExecutor] = None
+        self._proc_lock = threading.Lock()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.metrics.n_workers = self.n_workers
+        if self.backend == "process":
+            self._proc_pool = ProcessPoolExecutor(max_workers=self.n_workers)
+        for k in range(self.n_workers):
+            t = threading.Thread(
+                target=self._run, name=f"simserve-worker-{k}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Close the queue and (optionally) join the workers.
+
+        Jobs already queued keep draining — workers exit once the closed
+        queue is empty.  Use ``Scheduler.drain`` first for a fast abort.
+        """
+        self.scheduler.close()
+        if wait:
+            for t in self._threads:
+                t.join()
+        if self._proc_pool is not None:
+            self._proc_pool.shutdown(wait=wait, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            job = self.scheduler.next_job(timeout=0.2)
+            if job is None:
+                if self.scheduler._closed:
+                    return
+                continue
+            self._execute_job(job)
+
+    def _execute_job(self, job: Job) -> None:
+        job.started_at = time.monotonic()
+        job.state = JobState.RUNNING
+        self.metrics.on_start()
+        summary: dict = {}
+        result: Any = None
+        try:
+            if job.cancel_event.is_set():
+                raise JobCancelled(job.id)
+            if self.backend == "process":
+                summary, result, hit = self._run_in_process(job)
+            else:
+                summary, result, hit = execute_request(
+                    job.request, self.cache, job.cancel_event
+                )
+            job.cache_hit = hit
+            job.state = JobState.DONE
+        except JobCancelled:
+            job.state = JobState.CANCELLED
+        except Exception as exc:  # a bad job must not take the worker down
+            job.state = JobState.FAILED
+            job.error = f"{type(exc).__name__}: {exc}"
+        job.finished_at = time.monotonic()
+        retain = getattr(job.request, "retain_trace", False)
+        self.store.put(
+            JobRecord.from_job(
+                job, summary, result if (retain and job.state is JobState.DONE) else None
+            )
+        )
+        self.metrics.on_finish(job)
+        job.done_event.set()
+
+    def _run_in_process(self, job: Job) -> Tuple[dict, Any, bool]:
+        with self._proc_lock:
+            pool = self._proc_pool
+        future = pool.submit(_process_entry, job.request)
+        while True:
+            try:
+                return future.result(timeout=0.1)
+            except FutureTimeout:
+                # a queued (not yet started) job can still be cancelled;
+                # a running child process cannot be interrupted mid-run
+                if job.cancel_event.is_set() and future.cancel():
+                    raise JobCancelled(job.id)
+            except BrokenProcessPool:
+                # hard child crash: rebuild the pool so later jobs survive
+                with self._proc_lock:
+                    if self._proc_pool is pool:
+                        self._proc_pool = ProcessPoolExecutor(
+                            max_workers=self.n_workers
+                        )
+                raise

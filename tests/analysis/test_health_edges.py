@@ -1,0 +1,60 @@
+"""Health/metric edge cases: degenerate traces and all-dropped-frame runs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import iae
+from repro.analysis.health import pil_health
+from repro.analysis.stability import is_diverging
+
+from tests.service.helpers import make_fake_pil
+
+
+class TestPilHealthAllDropped:
+    """A run where every frame was lost: the plant trace is flat zero and
+    the link spent the whole session in the safe state."""
+
+    def test_scored_without_error_and_not_diverged(self):
+        r = make_fake_pil(reliable=False).run(0.5)
+        report = pil_health(r, reference=99.0)
+        assert not report.diverged  # flat zero is sick, not divergent
+        assert report.iae == pytest.approx(99.0 * 0.5)
+        assert report.max_consecutive_loss == 12
+        assert report.safe_state_steps == 12
+        assert not report.stable_within(iae_budget=1.0, latency_budget=1e-3)
+        assert "stable" in report.summary()
+
+    def test_healthy_run_passes_budgets(self):
+        r = make_fake_pil(reliable=True).run(0.5)
+        report = pil_health(r, reference=99.0)
+        assert report.stable_within(iae_budget=1.0, latency_budget=1e-3)
+
+
+class TestShortTraces:
+    def test_sub_window_trace_is_not_judged_diverging(self):
+        """< 9 samples: the envelope heuristic cannot run; pil_health must
+        degrade gracefully instead of raising like is_diverging does."""
+        r = make_fake_pil(reliable=True, n=4).run(0.5)
+        y = r.result["speed"]
+        with pytest.raises(ValueError):
+            is_diverging(r.result.t, y, 99.0)
+        report = pil_health(r, reference=99.0)
+        assert report.diverged is False
+
+    def test_explicit_window_override(self):
+        r = make_fake_pil(reliable=True).run(0.5)
+        t = np.array([0.0, 0.1, 0.2])
+        y = np.array([99.0, 99.0, 99.0])
+        report = pil_health(r, reference=99.0, t=t, y=y)
+        assert report.diverged is False and report.iae == pytest.approx(0.0)
+
+
+class TestDegenerateIAE:
+    def test_empty_arrays(self):
+        assert iae(np.array([]), np.array([])) == 0.0
+
+    def test_single_sample(self):
+        assert iae(np.array([0.0]), np.array([3.0])) == 0.0
+
+    def test_two_samples_trapezoid(self):
+        assert iae(np.array([0.0, 1.0]), np.array([2.0, 4.0])) == pytest.approx(3.0)

@@ -1,0 +1,91 @@
+"""Regression tests for the campaign teardown path.
+
+A crashing cell used to leave ``FaultCampaign.run`` with a live process
+pool and threw away every cell that had already finished.  Now the pool
+is shut down in an orderly way and the partial grid is surfaced on
+:class:`CampaignInterrupted`.
+"""
+
+import pytest
+
+from repro.faults import CampaignInterrupted, FaultCampaign, FaultPlan, LineDropout
+
+from tests.service.helpers import make_fake_pil
+
+
+def _crashy_make_pil(reliable):
+    # the reliable cells crash; the raw cells complete
+    return make_fake_pil(reliable, crash=reliable)
+
+
+def _good_make_pil(reliable):
+    return make_fake_pil(reliable)
+
+
+def _campaign(make_pil) -> FaultCampaign:
+    return FaultCampaign(
+        make_pil=make_pil,
+        plan=FaultPlan([LineDropout(start=0.1, duration=0.05)], seed=7),
+        t_final=0.5,
+        reference=99.0,
+    )
+
+
+INTENSITIES = [0.0, 0.5, 1.0]
+
+
+class TestSerialInterrupt:
+    def test_partial_grid_surfaced(self):
+        with pytest.raises(CampaignInterrupted) as ei:
+            _campaign(_crashy_make_pil).run(INTENSITIES)
+        err = ei.value
+        # grid is (i, raw), (i, reliable), ...: the first raw cell finished
+        assert len(err.grid) == len(err.outcomes) == 6
+        assert err.completed == 1
+        assert err.outcomes[0] is not None and err.outcomes[1] is None
+        assert "rig crashed mid-run" in str(err)
+
+    def test_clean_run_unaffected(self):
+        rows = _campaign(_good_make_pil).run(INTENSITIES)
+        assert len(rows) == 6 and all(r is not None for r in rows)
+
+
+class TestParallelInterrupt:
+    def test_crash_tears_down_pool_and_keeps_finished_cells(self):
+        with pytest.raises(CampaignInterrupted) as ei:
+            _campaign(_crashy_make_pil).run(INTENSITIES, workers=2)
+        err = ei.value
+        assert len(err.outcomes) == 6
+        # at least the raw cells that ran before shutdown are preserved,
+        # and every surviving outcome sits at a raw-link slot
+        assert err.completed >= 1
+        for k, o in enumerate(err.outcomes):
+            if o is not None:
+                assert o.reliable is err.grid[k][1]
+
+    def test_pool_not_leaked_subsequent_run_works(self):
+        """After an interrupted parallel sweep a fresh sweep must still
+        run to completion (no stray executor, no hang)."""
+        with pytest.raises(CampaignInterrupted):
+            _campaign(_crashy_make_pil).run(INTENSITIES, workers=2)
+        rows = _campaign(_good_make_pil).run(INTENSITIES, workers=2)
+        assert len(rows) == 6 and all(r is not None for r in rows)
+
+
+class TestKeyboardInterrupt:
+    def test_serial_interrupt_propagates_as_itself(self):
+        """Ctrl-C must not be rewrapped: only plain ``Exception`` cells
+        become :class:`CampaignInterrupted`."""
+        campaign = _campaign(_good_make_pil)
+        original = FaultCampaign.run_cell
+        calls = {"n": 0}
+
+        def interrupting(self, i, reliable):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise KeyboardInterrupt
+            return original(self, i, reliable)
+
+        campaign.run_cell = interrupting.__get__(campaign)
+        with pytest.raises(KeyboardInterrupt):
+            campaign.run(INTENSITIES)

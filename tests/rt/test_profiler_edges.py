@@ -1,0 +1,67 @@
+"""Profiler edge cases: empty ledgers and single-activation vectors."""
+
+import pytest
+
+from repro.mcu.cpu import ExecutionRecord
+from repro.mcu.device import MCUDevice
+from repro.rt.profiler import Profiler
+
+
+@pytest.fixture
+def device():
+    return MCUDevice("MC56F8367")
+
+
+def _record(t_request, t_start, t_end, name="pwm_isr"):
+    return ExecutionRecord(
+        name=name, t_request=t_request, t_start=t_start, t_end=t_end, cycles=100.0
+    )
+
+
+class TestEmptyLedger:
+    def test_no_vectors(self, device):
+        assert Profiler(device).vectors() == []
+
+    def test_stats_on_unknown_vector_raises(self, device):
+        with pytest.raises(ValueError, match="no activations"):
+            Profiler(device).stats("pwm_isr")
+
+    def test_report_renders_without_rows(self, device):
+        text = Profiler(device).report(horizon=1e-3)
+        assert "MC56F8367" in text and "CPU load 0.00%" in text
+
+    def test_cpu_load_zero(self, device):
+        assert Profiler(device).cpu_load(1e-3) == 0.0
+
+
+class TestSingleActivation:
+    def test_stats_degenerate_to_the_one_sample(self, device):
+        device.cpu.records.append(_record(1e-3, 1.1e-3, 1.4e-3))
+        s = Profiler(device).stats("pwm_isr")
+        assert s.count == 1
+        assert s.exec_min == s.exec_avg == s.exec_max == pytest.approx(0.3e-3)
+        assert s.response_min == s.response_max == pytest.approx(0.4e-3)
+        assert s.latency_avg == pytest.approx(0.1e-3)
+
+    def test_jitter_requires_two_activations(self, device):
+        device.cpu.records.append(_record(1e-3, 1.1e-3, 1.4e-3))
+        with pytest.raises(ValueError, match="need >= 2"):
+            Profiler(device).jitter("pwm_isr", nominal_period=1e-3)
+
+
+class TestTwoActivations:
+    def test_jitter_well_defined(self, device):
+        device.cpu.records.append(_record(1e-3, 1.0e-3, 1.2e-3))
+        device.cpu.records.append(_record(2e-3, 2.1e-3, 2.3e-3))
+        j = Profiler(device).jitter("pwm_isr", nominal_period=1e-3)
+        assert j.max_abs_jitter == pytest.approx(0.1e-3)
+        assert j.period_min == j.period_max == pytest.approx(1.1e-3)
+        assert j.overruns == 0
+
+    def test_vectors_sorted_and_filtered(self, device):
+        device.cpu.records.append(_record(1e-3, 1.0e-3, 1.2e-3, name="z_isr"))
+        device.cpu.records.append(_record(2e-3, 2.0e-3, 2.2e-3, name="adc_isr"))
+        p = Profiler(device)
+        assert p.vectors() == ["adc_isr", "z_isr"]
+        assert len(p.records("adc_isr")) == 1
+        assert len(p.records()) == 2

@@ -1,0 +1,70 @@
+"""Module-level builders shared by the SimServe tests.
+
+These must live in an importable module (not a test body) so requests
+carrying them stay picklable for the process backend — the same contract
+:meth:`repro.faults.FaultCampaign.run` imposes on ``make_pil``.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+
+from repro.model import Model, SimulationResult
+from repro.model.library import Constant, Gain, Integrator, Scope, Sum
+
+
+def build_loop_model(gain: float = 2.0, setpoint: float = 1.0) -> Model:
+    """A tiny closed loop: setpoint -> P gain -> integrator plant -> scope."""
+    m = Model("loop")
+    ref = m.add(Constant("ref", value=setpoint))
+    err = m.add(Sum("err", signs="+-"))
+    ctrl = m.add(Gain("ctrl", gain=gain))
+    plant = m.add(Integrator("plant"))
+    scope = m.add(Scope("y", label="y"))
+    m.connect(ref, err, 0, 0)
+    m.connect(plant, err, 0, 1)
+    m.connect(err, ctrl)
+    m.connect(ctrl, plant)
+    m.connect(plant, scope)
+    return m
+
+
+def crashing_builder(**_kwargs) -> Model:
+    raise RuntimeError("builder exploded")
+
+
+def make_fake_pil(reliable: bool, n: int = 12, crash: bool = False):
+    """A stub PIL rig: instant 'run', real-shaped result object."""
+    return _FakePil(reliable, n=n, crash=crash)
+
+
+class _FakePil:
+    def __init__(self, reliable: bool, n: int = 12, crash: bool = False):
+        self.reliable = reliable
+        self.n = n
+        self.crash = crash
+        self.fault_plan = None
+
+    def run(self, t_final: float):
+        if self.crash:
+            raise RuntimeError("rig crashed mid-run")
+        t = np.linspace(0.0, t_final, self.n)
+        y = np.full(self.n, 0.0 if not self.reliable else 99.0)
+        return SimpleNamespace(
+            result=SimulationResult(t, {"speed": y}),
+            reliable=self.reliable,
+            steps=self.n,
+            crc_errors=0,
+            retransmits=1,
+            arq_timeouts=0,
+            send_failures=0,
+            duplicates=0,
+            recoveries=0,
+            watchdog_resets=0,
+            max_consecutive_loss=self.n if not self.reliable else 0,
+            safe_state_steps=self.n if not self.reliable else 0,
+            mean_data_latency=0.0,
+            max_data_latency=0.0,
+        )

@@ -1,0 +1,74 @@
+"""Request/job validation and handle semantics."""
+
+import pytest
+
+from repro.service import (
+    JobPriority,
+    JobState,
+    MILRequest,
+    SweepRequest,
+)
+from repro.service.jobs import Job
+
+from .helpers import build_loop_model
+
+
+class TestMILRequestValidation:
+    def test_model_xor_builder(self):
+        with pytest.raises(ValueError):
+            MILRequest()  # neither
+        with pytest.raises(ValueError):
+            MILRequest(model=build_loop_model(), builder=build_loop_model)  # both
+
+    def test_positive_dt_and_t_final(self):
+        with pytest.raises(ValueError):
+            MILRequest(model=build_loop_model(), dt=0.0)
+        with pytest.raises(ValueError):
+            MILRequest(model=build_loop_model(), t_final=-1.0)
+
+    def test_resolve_model_unwraps_dot_model(self):
+        class Wrapper:
+            model = build_loop_model()
+
+        req = MILRequest(builder=lambda: Wrapper())
+        assert req.resolve_model() is Wrapper.model
+
+
+class TestSweepRequestValidation:
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            SweepRequest(builder=build_loop_model, grid=[])
+
+    def test_expand_merges_base_kwargs(self):
+        sweep = SweepRequest(
+            builder=build_loop_model,
+            grid=[{"gain": 1.0}, {"gain": 2.0}],
+            base_kwargs={"setpoint": 5.0, "gain": 9.0},
+            dt=1e-4,
+            t_final=0.5,
+        )
+        children = sweep.expand()
+        assert len(children) == 2
+        assert children[0].builder_kwargs == {"setpoint": 5.0, "gain": 1.0}
+        assert children[1].builder_kwargs == {"setpoint": 5.0, "gain": 2.0}
+        assert all(c.dt == 1e-4 and c.t_final == 0.5 for c in children)
+
+
+class TestJob:
+    def test_deadline_must_be_positive(self):
+        req = MILRequest(model=build_loop_model())
+        with pytest.raises(ValueError):
+            Job(req, deadline_s=0.0)
+        with pytest.raises(ValueError):
+            Job(req, deadline_s=-1.0)
+
+    def test_ids_unique_and_state_machine(self):
+        req = MILRequest(model=build_loop_model())
+        a, b = Job(req), Job(req)
+        assert a.id != b.id
+        assert a.state is JobState.PENDING and not a.state.terminal
+        assert JobState.DONE.terminal and JobState.EXPIRED.terminal
+        assert not JobState.RUNNING.terminal
+
+    def test_priority_order_values(self):
+        assert JobPriority.HIGH < JobPriority.NORMAL < JobPriority.LOW

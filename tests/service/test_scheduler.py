@@ -1,0 +1,119 @@
+"""Scheduler unit tests: ordering, admission control, shedding."""
+
+import pytest
+
+from repro.service import (
+    JobPriority,
+    JobState,
+    MILRequest,
+    QueueFull,
+    Scheduler,
+    ServiceClosed,
+)
+from repro.service.jobs import Job
+
+from .helpers import build_loop_model
+
+
+def _job(priority=JobPriority.NORMAL, deadline_s=None) -> Job:
+    req = MILRequest(model=build_loop_model(), dt=1e-3, t_final=0.01)
+    return Job(request=req, priority=priority, deadline_s=deadline_s)
+
+
+class TestOrdering:
+    def test_priority_order(self):
+        s = Scheduler()
+        low = _job(JobPriority.LOW)
+        high = _job(JobPriority.HIGH)
+        normal = _job(JobPriority.NORMAL)
+        for j in (low, normal, high):
+            s.submit(j)
+        assert s.next_job(0.1) is high
+        assert s.next_job(0.1) is normal
+        assert s.next_job(0.1) is low
+
+    def test_fifo_within_priority(self):
+        s = Scheduler()
+        jobs = [_job() for _ in range(5)]
+        for j in jobs:
+            s.submit(j)
+        assert [s.next_job(0.1) for _ in jobs] == jobs
+
+
+class TestAdmission:
+    def test_queue_full_is_explicit(self):
+        s = Scheduler(queue_depth=2)
+        s.submit(_job())
+        s.submit(_job())
+        with pytest.raises(QueueFull) as ei:
+            s.submit(_job())
+        assert ei.value.depth == 2 and ei.value.limit == 2
+        assert s.depth == 2
+
+    def test_cancelled_pending_jobs_free_admission_slots(self):
+        s = Scheduler(queue_depth=2)
+        a, b = _job(), _job()
+        s.submit(a)
+        s.submit(b)
+        a.cancel_event.set()
+        c = _job()
+        s.submit(c)  # a's slot is reclaimed, not a QueueFull
+        # lazy consumption: the dead job is finished at dispatch time
+        assert s.next_job(0.1) is b
+        assert a.state is JobState.CANCELLED and a.done_event.is_set()
+        assert s.next_job(0.1) is c
+
+    def test_closed_scheduler_rejects(self):
+        s = Scheduler()
+        s.close()
+        with pytest.raises(ServiceClosed):
+            s.submit(_job())
+
+
+class TestShedding:
+    def test_expired_job_is_shed_not_run(self):
+        import time
+
+        shed = []
+        s = Scheduler(on_shed=shed.append)
+        j = _job(deadline_s=0.001)
+        s.submit(j)
+        time.sleep(0.01)  # let the deadline lapse before dispatch
+        assert s.next_job(0.05) is None
+        assert j.state is JobState.EXPIRED
+        assert shed == [j]
+        assert j.done_event.is_set()
+
+    def test_cancelled_job_consumed_with_callback(self):
+        cancelled = []
+        s = Scheduler(on_cancel=cancelled.append)
+        j = _job()
+        s.submit(j)
+        j.cancel_event.set()
+        assert s.next_job(0.1) is None
+        assert j.state is JobState.CANCELLED and cancelled == [j]
+
+    def test_live_job_behind_skipped_ones_still_dispatches(self):
+        s = Scheduler()
+        dead = _job()
+        live = _job()
+        s.submit(dead)
+        s.submit(live)
+        dead.cancel_event.set()
+        assert s.next_job(0.1) is live
+
+
+class TestClose:
+    def test_next_job_returns_none_when_closed_and_empty(self):
+        s = Scheduler()
+        s.close()
+        assert s.next_job(0.1) is None
+
+    def test_drain_returns_pending_and_empties_queue(self):
+        s = Scheduler()
+        jobs = [_job() for _ in range(3)]
+        for j in jobs:
+            s.submit(j)
+        s.close()
+        assert s.drain() == jobs  # caller (SimServe.shutdown) cancels them
+        assert s.depth == 0

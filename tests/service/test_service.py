@@ -1,0 +1,298 @@
+"""SimServe end-to-end: determinism, caching, backpressure, robustness."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultCampaign, FaultPlan, LineDropout
+from repro.model.engine import simulate
+from repro.service import (
+    CampaignCellRequest,
+    JobFailed,
+    JobPriority,
+    JobState,
+    MILRequest,
+    PILRequest,
+    QueueFull,
+    SimServe,
+    SweepRequest,
+)
+from repro.service.__main__ import servo_sweep_model
+
+from .helpers import build_loop_model, crashing_builder, make_fake_pil
+
+BANDWIDTHS = (4.0, 6.0, 8.0)
+DT = 1e-4
+T_FINAL = 0.02
+
+
+def _direct_results():
+    return [
+        simulate(servo_sweep_model(bandwidth_hz=b), T_FINAL, dt=DT, use_kernels=True)
+        for b in BANDWIDTHS
+    ]
+
+
+def _long_job(t_final=10.0):
+    return MILRequest(model=build_loop_model(), dt=1e-4, t_final=t_final)
+
+
+def _quick_job(**kwargs):
+    return MILRequest(model=build_loop_model(**kwargs), dt=1e-3, t_final=0.01)
+
+
+def _wait_running(handle, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if handle.state is JobState.RUNNING:
+            return
+        time.sleep(0.002)
+    raise AssertionError(f"job never started: {handle.state}")
+
+
+class TestDeterminism:
+    """The acceptance pin: service answers == direct Simulator answers,
+    bit for bit, at any worker count."""
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_sweep_matches_direct_runs(self, workers):
+        direct = _direct_results()
+        with SimServe(workers=workers) as svc:
+            sweep = svc.submit_sweep(
+                SweepRequest(
+                    builder=servo_sweep_model,
+                    grid=[{"bandwidth_hz": b} for b in BANDWIDTHS],
+                    dt=DT,
+                    t_final=T_FINAL,
+                )
+            )
+            served = sweep.results(timeout=60.0)
+        assert len(served) == len(direct)
+        for ref, got in zip(direct, served):
+            assert np.array_equal(ref.t, got.t)
+            assert set(ref.names) == set(got.names)
+            for name in ref.names:
+                assert np.array_equal(ref[name], got[name]), name
+
+    def test_repeat_submission_bit_identical_despite_cache(self):
+        """A cache hit must change latency only, never the numbers."""
+        req = lambda: MILRequest(
+            builder=servo_sweep_model,
+            builder_kwargs={"bandwidth_hz": 6.0},
+            dt=DT,
+            t_final=T_FINAL,
+        )
+        with SimServe(workers=1) as svc:
+            first = svc.submit(req()).result(timeout=60.0)
+            second_h = svc.submit(req())
+            second = second_h.result(timeout=60.0)
+            assert second_h.record().cache_hit
+        assert np.array_equal(first.t, second.t)
+        for name in first.names:
+            assert np.array_equal(first[name], second[name])
+
+
+class TestCache:
+    def test_second_identical_job_hits_and_is_observable(self):
+        model = build_loop_model()
+        with SimServe(workers=1) as svc:
+            a = svc.submit(MILRequest(model=model, dt=1e-3, t_final=0.01))
+            a.wait(30.0)
+            b = svc.submit(MILRequest(model=model, dt=1e-3, t_final=0.01))
+            b.wait(30.0)
+            assert not a.record().cache_hit
+            assert b.record().cache_hit
+            snap = svc.metrics_snapshot()
+        assert snap["cache"]["hits"] == 1
+        assert snap["cache"]["misses"] == 1
+        assert snap["cache"]["hit_rate"] == 0.5
+
+    def test_crashing_job_does_not_poison_cache_or_pool(self):
+        with SimServe(workers=1) as svc:
+            bad = svc.submit(MILRequest(builder=crashing_builder, dt=1e-3, t_final=0.01))
+            bad.wait(30.0)
+            rec = bad.record()
+            assert rec.state is JobState.FAILED
+            assert "builder exploded" in rec.error
+            with pytest.raises(JobFailed):
+                bad.result()
+            # the worker survived and the cache is clean
+            good = svc.submit(_quick_job())
+            assert good.record(30.0).state is JobState.DONE
+            snap = svc.metrics_snapshot()
+        assert snap["jobs"]["failed"] == 1
+        assert snap["jobs"]["completed"] == 1
+        assert snap["cache"]["entries"] == 1  # only the good model
+
+
+class TestBackpressure:
+    def test_queue_full_is_explicit_reject_not_hang(self):
+        with SimServe(workers=1, queue_depth=1, autostart=True) as svc:
+            running = svc.submit(_long_job())
+            _wait_running(running)
+            pending = svc.submit(_quick_job())  # fills the queue
+            t0 = time.monotonic()
+            with pytest.raises(QueueFull):
+                svc.submit(_quick_job())
+            assert time.monotonic() - t0 < 1.0  # immediate, not a hang
+            assert svc.metrics_snapshot()["jobs"]["rejected"] == 1
+            pending.cancel()
+            running.cancel()
+            assert running.wait(30.0)
+
+    def test_half_admitted_sweep_rolls_back(self):
+        with SimServe(workers=1, queue_depth=2) as svc:
+            running = svc.submit(_long_job())
+            _wait_running(running)
+            with pytest.raises(QueueFull):
+                svc.submit_sweep(
+                    SweepRequest(
+                        builder=servo_sweep_model,
+                        grid=[{"bandwidth_hz": float(b)} for b in range(4, 10)],
+                        dt=DT,
+                        t_final=T_FINAL,
+                    )
+                )
+            running.cancel()
+            assert running.wait(30.0)
+            svc.shutdown(cancel_pending=True)
+            # rolled-back children never execute
+            assert svc.metrics_snapshot()["jobs"]["completed"] == 0
+
+
+class TestCancellation:
+    def test_cancel_running_job_frees_worker(self):
+        with SimServe(workers=1) as svc:
+            running = svc.submit(_long_job())
+            _wait_running(running)
+            assert running.cancel()
+            assert running.wait(30.0)
+            assert running.state is JobState.CANCELLED
+            # worker is free again: a follow-up job completes promptly
+            nxt = svc.submit(_quick_job())
+            assert nxt.record(30.0).state is JobState.DONE
+
+    def test_cancel_pending_job_never_runs(self):
+        with SimServe(workers=1) as svc:
+            running = svc.submit(_long_job())
+            _wait_running(running)
+            queued = svc.submit(_quick_job())
+            assert queued.cancel()
+            running.cancel()
+            assert queued.wait(30.0)
+            assert queued.state is JobState.CANCELLED
+            assert queued.record().exec_s is None  # never started
+
+    def test_deadline_shed_end_to_end(self):
+        with SimServe(workers=1) as svc:
+            running = svc.submit(_long_job())
+            _wait_running(running)
+            doomed = svc.submit(_quick_job(), deadline_s=0.02)
+            time.sleep(0.1)  # deadline lapses while the worker is busy
+            running.cancel()
+            assert doomed.wait(30.0)
+            assert doomed.state is JobState.EXPIRED
+            with pytest.raises(JobFailed):
+                doomed.result()
+            assert svc.metrics_snapshot()["jobs"]["shed"] == 1
+
+
+class TestPriorities:
+    def test_high_priority_sweep_overtakes_low(self):
+        with SimServe(workers=1) as svc:
+            blocker = svc.submit(_long_job())
+            _wait_running(blocker)
+            low = svc.submit_sweep(
+                SweepRequest(
+                    builder=servo_sweep_model,
+                    grid=[{"bandwidth_hz": b} for b in BANDWIDTHS],
+                    dt=DT,
+                    t_final=0.005,
+                ),
+                priority=JobPriority.LOW,
+            )
+            high = svc.submit_sweep(
+                SweepRequest(
+                    builder=servo_sweep_model,
+                    grid=[{"bandwidth_hz": b} for b in BANDWIDTHS],
+                    dt=DT,
+                    t_final=0.005,
+                ),
+                priority=JobPriority.HIGH,
+            )
+            blocker.cancel()
+            assert high.wait(60.0) and low.wait(60.0)
+            last_high = max(h._job.finished_at for h in high.handles)
+            first_low = min(h._job.finished_at for h in low.handles)
+        assert last_high <= first_low
+
+
+class TestOtherKinds:
+    def test_pil_request(self):
+        with SimServe(workers=1) as svc:
+            h = svc.submit(
+                PILRequest(
+                    make_pil=make_fake_pil, t_final=0.5, make_kwargs={"reliable": True}
+                )
+            )
+            rec = h.record(30.0)
+        assert rec.state is JobState.DONE
+        assert rec.summary["steps"] == 12
+        assert rec.summary["retransmits"] == 1
+        assert rec.result.reliable is True
+
+    def test_campaign_cell_request(self):
+        campaign = FaultCampaign(
+            make_pil=make_fake_pil,
+            plan=FaultPlan([LineDropout(start=0.1, duration=0.05)], seed=3),
+            t_final=0.5,
+            reference=99.0,
+        )
+        with SimServe(workers=1) as svc:
+            h = svc.submit(
+                CampaignCellRequest(campaign=campaign, intensity=0.5, reliable=True)
+            )
+            rec = h.record(30.0)
+        assert rec.state is JobState.DONE
+        assert rec.summary["intensity"] == 0.5 and rec.summary["reliable"] is True
+        assert rec.result is None  # campaign cells keep summaries only
+
+
+class TestStore:
+    def test_bounded_store_evicts_oldest(self):
+        with SimServe(workers=1, store_capacity=2) as svc:
+            handles = [svc.submit(_quick_job(gain=float(g))) for g in (1, 2, 3)]
+            assert svc.wait_all(handles, timeout=60.0)
+            # drain is ordered: last two records survive, the first is gone
+            assert handles[2].record().state is JobState.DONE
+            with pytest.raises(KeyError):
+                handles[0].record()
+
+
+class TestProcessBackend:
+    def test_smoke_and_per_process_cache(self):
+        req = MILRequest(
+            builder=servo_sweep_model,
+            builder_kwargs={"bandwidth_hz": 6.0},
+            dt=DT,
+            t_final=0.01,
+        )
+        direct = simulate(
+            servo_sweep_model(bandwidth_hz=6.0), 0.01, dt=DT, use_kernels=True
+        )
+        with SimServe(workers=1, backend="process") as svc:
+            first = svc.submit(req)
+            assert first.record(120.0).state is JobState.DONE
+            second = svc.submit(req)
+            rec = second.record(120.0)
+        assert rec.state is JobState.DONE
+        assert rec.cache_hit  # the worker process kept its own cache
+        got = rec.result
+        assert np.array_equal(direct.t, got.t)
+        for name in direct.names:
+            assert np.array_equal(direct[name], got[name])
+
+    def test_validation_rejects_bad_backend(self):
+        with pytest.raises(ValueError):
+            SimServe(workers=1, backend="fiber", autostart=False)
