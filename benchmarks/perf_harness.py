@@ -48,6 +48,9 @@ SEED_STEPS_PER_S = 8_700.0
 #: relative tolerance of the regression gates
 TOLERANCE = 0.20
 
+#: enabled tracing may slow the engine hot loop by at most this much
+MAX_TRACING_OVERHEAD_PCT = 5.0
+
 
 # ---------------------------------------------------------------------------
 # measurement helpers
@@ -84,6 +87,39 @@ def bench_engine(use_kernels: bool, t_final: float = 0.5) -> dict:
         "steps_per_s": n_steps / elapsed,
         "fast_path_active": sim.fast_path is not None,
         "fallback_reason": sim.kernel_fallback_reason,
+    }
+
+
+def bench_tracing_overhead(t_final: float = 0.5) -> dict:
+    """Engine hot-loop cost of *enabled* tracing (sampled major-step
+    spans at the default stride) against the disabled tracer.
+
+    Best-of-3 on each side, interleaved, so a scheduler hiccup cannot
+    charge one configuration with the other's noise.  The disabled case
+    is the default configuration — its cost is a single predicate per
+    step and is what every non-tracing user pays."""
+    from repro.obs import Tracer, use_tracer
+
+    def run(enabled: bool) -> tuple[float, int]:
+        tracer = Tracer(enabled=enabled)
+        with use_tracer(tracer):
+            r = bench_engine(use_kernels=True, t_final=t_final)
+        return r["steps_per_s"], len(tracer)
+
+    disabled_s, enabled_s, events = 0.0, 0.0, 0
+    for _ in range(3):
+        d, n_d = run(False)
+        e, n_e = run(True)
+        assert n_d == 0, "disabled tracer buffered events"
+        disabled_s = max(disabled_s, d)
+        enabled_s = max(enabled_s, e)
+        events = max(events, n_e)
+    overhead_pct = max(0.0, (disabled_s / enabled_s - 1.0) * 100.0)
+    return {
+        "steps_per_s_disabled": disabled_s,
+        "steps_per_s_enabled": enabled_s,
+        "events_captured": events,
+        "tracing_overhead_pct": overhead_pct,
     }
 
 
@@ -214,6 +250,7 @@ def measure(workers: int) -> dict:
     roundtrips_per_s = bench_codec()
     campaign = bench_campaign(workers)
     service = bench_service()
+    obs = bench_tracing_overhead()
     report = {
         "schema": 1,
         "calibration_spin_s": cal,
@@ -230,6 +267,7 @@ def measure(workers: int) -> dict:
         "codec": {"roundtrips_per_s": roundtrips_per_s},
         "campaign": campaign,
         "service": service,
+        "obs": obs,
         # machine-portable forms: throughput x spin-time (per-spin units)
         "normalized": {
             "engine_steps_per_spin": fast["steps_per_s"] * cal,
@@ -276,6 +314,12 @@ def check(fresh: dict, baseline: dict, strict_absolute: bool) -> list[str]:
             "service.model_cache_hit_speedup",
             fresh["service"]["model_cache_hit_speedup"],
             baseline["service"]["model_cache_hit_speedup"],
+        )
+    overhead = fresh["obs"]["tracing_overhead_pct"]
+    if overhead > MAX_TRACING_OVERHEAD_PCT:
+        failures.append(
+            f"obs.tracing_overhead_pct: enabled tracing costs {overhead:.2f}% "
+            f"on the engine hot loop (budget {MAX_TRACING_OVERHEAD_PCT:.1f}%)"
         )
     for key, want in baseline.get("normalized", {}).items():
         gate(f"normalized.{key}", fresh["normalized"][key], want)
@@ -340,6 +384,12 @@ def main(argv=None) -> int:
         f"{svc['model_cache_hit_speedup']:.2f}x "
         f"(cold {svc['cold_latency_s']*1e3:.1f} ms -> warm "
         f"{svc['warm_latency_s']*1e3:.1f} ms, hit rate {svc['cache_hit_rate']:.0%})"
+    )
+    obs = fresh["obs"]
+    print(
+        f"tracing: {obs['tracing_overhead_pct']:.2f}% enabled overhead "
+        f"({obs['steps_per_s_disabled']:.0f} -> {obs['steps_per_s_enabled']:.0f} "
+        f"steps/s, {obs['events_captured']} events captured)"
     )
 
     status = 0

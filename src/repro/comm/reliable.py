@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
+from ..obs.trace import get_tracer
 from .packets import Packet, PacketCodec, PacketType
 
 #: packet types the ARQ machinery tracks (everything that carries data)
@@ -143,6 +144,13 @@ class ReliableChannel:
         self._pending: dict[int, _Pending] = {}
         self._seen: dict[int, None] = {}  # insertion-ordered seq window
         self._last_nak_t = -1e30
+        self._tracer = get_tracer()
+
+    def _mark(self, event: str, **args) -> None:
+        """Trace one frame-lifecycle instant on the shared sim timeline."""
+        args["link"] = self.name
+        self._tracer.instant(event, cat="link", sim_t=self.scheduler.time,
+                             args=args)
 
     # ------------------------------------------------------------------
     # transmit side
@@ -160,10 +168,14 @@ class ReliableChannel:
             for s in stale:
                 del self._pending[s]  # deletion defuses the retry timer
                 self.health.superseded += 1
+                if self._tracer.enabled:
+                    self._mark("link.superseded", seq=s, by=seq)
         # seq reuse after 256 in-flight-less sends: a still-pending frame
         # with the same number is superseded (its data is stale anyway)
         self._pending[seq] = _Pending(frame=frame)
         self.health.sent += 1
+        if self._tracer.enabled:
+            self._mark("link.send", seq=seq, ptype=ptype.name)
         self._transmit(seq)
         return seq
 
@@ -184,14 +196,22 @@ class ReliableChannel:
         if entry is None or entry.generation != gen:
             return  # acked or superseded meanwhile
         self.health.timeouts += 1
+        traced = self._tracer.enabled
+        if traced:
+            self._mark("link.timeout", seq=seq, attempts=entry.attempts)
         if entry.attempts >= self.config.max_retries:
             del self._pending[seq]
             self.health.send_failures += 1
+            if traced:
+                self._mark("link.give_up", seq=seq)
             if self.on_give_up is not None:
                 self.on_give_up(seq)
             return
         entry.attempts += 1
         self.health.retransmits += 1
+        if traced:
+            self._mark("link.retransmit", seq=seq, attempts=entry.attempts,
+                       cause="timeout")
         self._transmit(seq)
 
     @property
@@ -206,6 +226,8 @@ class ReliableChannel:
             self.health.acks_received += 1
             if self._pending.pop(pkt.seq, None) is not None:
                 self.health.acked += 1
+                if self._tracer.enabled:
+                    self._mark("link.acked", seq=pkt.seq)
             return
         if pkt.ptype is PacketType.NAK:
             self.health.naks_received += 1
@@ -220,6 +242,8 @@ class ReliableChannel:
         self.health.acks_sent += 1
         if pkt.seq in self._seen:
             self.health.duplicates += 1
+            if self._tracer.enabled:
+                self._mark("link.duplicate", seq=pkt.seq)
             return
         self._seen[pkt.seq] = None
         while len(self._seen) > self.config.history:
@@ -237,6 +261,8 @@ class ReliableChannel:
         self._last_nak_t = now
         self.raw_send(self.codec.encode_control(PacketType.NAK, 0))
         self.health.naks_sent += 1
+        if self._tracer.enabled:
+            self._mark("link.nak")
 
     def _retransmit_oldest(self) -> None:
         """NAK response: re-send the oldest pending frame right away (the
@@ -247,6 +273,9 @@ class ReliableChannel:
         seq = next(iter(self._pending))
         self._pending[seq].attempts += 1
         self.health.retransmits += 1
+        if self._tracer.enabled:
+            self._mark("link.retransmit", seq=seq,
+                       attempts=self._pending[seq].attempts, cause="nak")
         self._transmit(seq)
 
     # ------------------------------------------------------------------
@@ -256,3 +285,5 @@ class ReliableChannel:
         self._pending.clear()
         self._seen.clear()
         self.health.resyncs += 1
+        if self._tracer.enabled:
+            self._mark("link.resync")

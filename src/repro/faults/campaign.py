@@ -24,6 +24,7 @@ from typing import Callable, Iterable, Optional, Sequence
 import numpy as np
 
 from repro.analysis import iae, is_diverging
+from repro.obs.trace import get_tracer
 
 from .plan import FaultPlan
 
@@ -100,6 +101,12 @@ class FaultCampaign:
         the set-point the controlled signal is judged against.
     signal:
         name of the logged plant signal to score (default ``"speed"``).
+    on_cell_done:
+        optional progress hook, called in the *submitting* process as
+        ``on_cell_done(index, total, outcome)`` after each cell finishes
+        (grid order in a serial sweep, future-resolution order — which
+        is also grid order — in a parallel one).  Not pickled to
+        workers, so any callable works with ``workers > 1``.
     """
 
     make_pil: Callable[[bool], "object"]
@@ -107,8 +114,30 @@ class FaultCampaign:
     t_final: float
     reference: float
     signal: str = "speed"
+    on_cell_done: Optional[Callable[[int, int, CampaignOutcome], None]] = field(
+        default=None, compare=False, repr=False
+    )
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["on_cell_done"] = None  # progress hooks stay in the parent
+        return state
 
     def run_cell(self, intensity: float, reliable: bool) -> CampaignOutcome:
+        tracer = get_tracer()
+        with tracer.span("campaign.cell", cat="campaign", args={
+            "intensity": intensity,
+            "reliable": reliable,
+            "faults": [f.kind for f in self.plan.faults],
+            "seed": self.plan.seed,
+        }) as cell_span:
+            outcome = self._run_cell(intensity, reliable)
+            if cell_span is not None:
+                cell_span.args["iae"] = outcome.iae
+                cell_span.args["diverged"] = outcome.diverged
+        return outcome
+
+    def _run_cell(self, intensity: float, reliable: bool) -> CampaignOutcome:
         pil = self.make_pil(reliable)
         self.plan.scaled(intensity).attach(pil)
         r = pil.run(self.t_final)
@@ -155,22 +184,62 @@ class FaultCampaign:
         orderly teardown).
         """
         grid = [(i, reliable) for i in intensities for reliable in modes]
+        tracer = get_tracer()
+        with tracer.span("campaign.run", cat="campaign", args={
+            "cells": len(grid), "workers": workers or 1, "t_final": self.t_final,
+        }):
+            return self._run_grid(grid, workers, tracer)
+
+    def _cell_done(self, tracer, index: int, total: int,
+                   outcome: CampaignOutcome) -> None:
+        if tracer.enabled:
+            tracer.instant("campaign.cell_done", cat="campaign", args={
+                "index": index, "total": total,
+                "intensity": outcome.intensity, "reliable": outcome.reliable,
+                "diverged": outcome.diverged,
+            })
+        if self.on_cell_done is not None:
+            self.on_cell_done(index, total, outcome)
+
+    def _run_grid(
+        self, grid: list, workers: Optional[int], tracer
+    ) -> list[CampaignOutcome]:
         outcomes: list[Optional[CampaignOutcome]] = [None] * len(grid)
         if workers is None or workers <= 1 or len(grid) <= 1:
             try:
                 for k, (i, reliable) in enumerate(grid):
                     outcomes[k] = self.run_cell(i, reliable)
+                    self._cell_done(tracer, k, len(grid), outcomes[k])
             except Exception as exc:
                 raise CampaignInterrupted(grid, outcomes, exc) from exc
             return outcomes  # type: ignore[return-value]
-        pool = ProcessPoolExecutor(max_workers=min(workers, len(grid)))
-        try:
-            futures = [
-                pool.submit(_run_cell_task, self, i, reliable)
+        # traced sweeps ship a capture tracer into each worker and merge
+        # the returned events; untraced sweeps keep the plain task (and
+        # its result shape) so nothing rides along on the hot path
+        traced = tracer.enabled
+        if traced:
+            parent = tracer.current_span()
+            task_args = [
+                (_run_cell_task_traced, self, i, reliable, parent,
+                 tracer.capacity, tracer.step_stride)
                 for i, reliable in grid
             ]
+        else:
+            task_args = [(_run_cell_task, self, i, reliable) for i, reliable in grid]
+
+        def unwrap(result) -> CampaignOutcome:
+            if traced:
+                outcome, events = result
+                tracer.ingest(events)
+                return outcome
+            return result
+
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(grid)))
+        try:
+            futures = [pool.submit(*args) for args in task_args]
             for k, f in enumerate(futures):
-                outcomes[k] = f.result()
+                outcomes[k] = unwrap(f.result())
+                self._cell_done(tracer, k, len(grid), outcomes[k])
         except BaseException as exc:
             for f in futures:
                 f.cancel()
@@ -183,7 +252,7 @@ class FaultCampaign:
                     and not f.cancelled()
                     and f.exception() is None
                 ):
-                    outcomes[k] = f.result()
+                    outcomes[k] = unwrap(f.result())
             if isinstance(exc, Exception):
                 raise CampaignInterrupted(grid, outcomes, exc) from exc
             raise  # KeyboardInterrupt / SystemExit, pool already torn down
@@ -197,6 +266,27 @@ def _run_cell_task(
     """Module-level worker entry point (bound methods do not pickle
     portably across start methods)."""
     return campaign.run_cell(intensity, reliable)
+
+
+def _run_cell_task_traced(
+    campaign: FaultCampaign,
+    intensity: float,
+    reliable: bool,
+    parent_id: Optional[str],
+    capacity: int,
+    step_stride: int,
+):
+    """Worker entry point for traced sweeps: runs the cell under a fresh
+    capture tracer whose spans attach to the submitting ``campaign.run``
+    span, and ships the events back for the parent to ingest (a forked
+    child's global tracer buffer would otherwise be lost)."""
+    from repro.obs.trace import Tracer, use_tracer
+
+    local = Tracer(capacity=capacity, enabled=True, step_stride=step_stride)
+    with use_tracer(local):
+        with local.attach(parent_id):
+            outcome = campaign.run_cell(intensity, reliable)
+    return outcome, local.events()
 
 
 def run_campaign(

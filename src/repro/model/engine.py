@@ -31,10 +31,12 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
+from ..obs.trace import get_tracer
 from .block import Block, BlockContext
 from .compiled import CompiledModel
 from .graph import Model
@@ -114,6 +116,7 @@ class Simulator:
         #: why the fast path was not used (None when it is active)
         self.kernel_fallback_reason: Optional[str] = None
         self._initialized = False
+        self._tracer = get_tracer()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -160,8 +163,12 @@ class Simulator:
 
     def _bind_fast_path(self) -> None:
         """Swap in the generated kernel passes, or record why not."""
+        tr = self._tracer
         if not self.options.use_kernels:
             self.kernel_fallback_reason = "disabled by SimulationOptions"
+            if tr.enabled:
+                tr.instant("engine.kernel_fallback", cat="engine",
+                           args={"reason": self.kernel_fallback_reason})
             return
         from .kernels import KernelPlanError, build_fast_path
 
@@ -169,6 +176,9 @@ class Simulator:
             fp = build_fast_path(self)
         except KernelPlanError as exc:
             self.kernel_fallback_reason = str(exc)
+            if tr.enabled:
+                tr.instant("engine.kernel_fallback", cat="engine",
+                           args={"reason": self.kernel_fallback_reason})
             return
         self.fast_path = fp
         self._out_major = fp.out_major
@@ -353,6 +363,9 @@ class Simulator:
             raise RuntimeError("call initialize() first")
         t = self.time
         step = self.step_index
+        tr = self._tracer
+        if tr.enabled and step % tr.step_stride == 0:
+            return self._advance_traced(t, step, tr)
         self._out_major(t, step)
         self._log_step(t)
         if self.options.step_hook is not None:
@@ -363,6 +376,29 @@ class Simulator:
         self.time = self.step_index * self.options.dt
         # restore outputs consistent with the post-integration state for
         # anyone peeking between steps
+        return self.time
+
+    def _advance_traced(self, t: float, step: int, tr) -> float:
+        """The sampled 1-in-``step_stride`` variant of :meth:`advance`:
+        same pass sequence, wrapped in a major-step span with per-pass
+        child spans."""
+        span = tr.begin("engine.major_step", cat="engine", sim_t=t,
+                        args={"step": step})
+        t0 = perf_counter()
+        self._out_major(t, step)
+        tr.complete("engine.output_pass", "engine", t0, sim_t=t)
+        self._log_step(t)
+        if self.options.step_hook is not None:
+            self.options.step_hook(t, self)
+        t0 = perf_counter()
+        self._update(t, step)
+        tr.complete("engine.update_pass", "engine", t0, sim_t=t)
+        t0 = perf_counter()
+        self._integrate(t)
+        tr.complete("engine.integrate", "engine", t0, sim_t=t)
+        self.step_index = step + 1
+        self.time = self.step_index * self.options.dt
+        tr.end(span)
         return self.time
 
     def _reserve_logs(self, n_steps: int) -> None:
@@ -409,9 +445,33 @@ class Simulator:
         n_steps = int(round(self.options.t_final / self.options.dt)) + 1
         self._reserve_logs(n_steps)
         advance = self.advance
-        for _ in range(n_steps):
-            advance()
+        tr = self._tracer
+        if not tr.enabled:
+            for _ in range(n_steps):
+                advance()
+            return self.result()
+        opts = self.options
+        with tr.span("engine.run", cat="engine", args={
+            "dt": opts.dt, "t_final": opts.t_final, "solver": opts.solver,
+            "steps": n_steps, "fast_path": self.fast_path is not None,
+        }):
+            for _ in range(n_steps):
+                advance()
+        self._count_run(n_steps)
         return self.result()
+
+    def _count_run(self, n_steps: int) -> None:
+        """Roll the run into the process-wide metrics registry."""
+        from ..obs.metrics import get_registry
+
+        reg = get_registry()
+        reg.counter("engine_steps_total", "major steps executed").inc(n_steps)
+        if self.cm.n_states:
+            per_step = 1 if self.options.solver == "euler" else 4
+            reg.counter(
+                "engine_solver_minor_steps_total",
+                "derivative evaluations by the fixed-step solver",
+            ).inc(n_steps * per_step)
 
     def result(self) -> SimulationResult:
         """Assemble a :class:`SimulationResult` from the logs so far."""

@@ -1,0 +1,76 @@
+"""``python -m repro.obs`` — summarize and convert exported traces.
+
+Subcommands::
+
+    python -m repro.obs summary TRACE [--json] [--strict]
+    python -m repro.obs convert IN OUT
+
+``summary`` loads either format (JSONL or Chrome trace-event JSON),
+prints totals + per-category/per-name tables, and runs the structural
+validator; ``--strict`` exits non-zero when validation finds problems.
+``convert`` rewrites a trace into the format implied by OUT's extension
+(``.jsonl`` → JSONL, anything else → Chrome JSON).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .summary import format_summary, summarize, validate
+from .trace import Tracer, load_trace
+
+
+def _cmd_summary(ns: argparse.Namespace) -> int:
+    events = load_trace(ns.trace)
+    summary = summarize(events)
+    problems = validate(events)
+    if ns.json:
+        print(json.dumps({"summary": summary, "problems": problems}, indent=2))
+    else:
+        print(format_summary(summary, problems))
+    if ns.strict and problems:
+        return 1
+    return 0
+
+
+def _cmd_convert(ns: argparse.Namespace) -> int:
+    events = load_trace(ns.input)
+    tracer = Tracer(capacity=max(1, len(events)), enabled=True)
+    tracer.ingest(events)
+    if ns.output.endswith(".jsonl"):
+        tracer.export_jsonl(ns.output, manifest=False)
+    else:
+        tracer.export_chrome(ns.output, manifest=False)
+    print(f"wrote {len(events)} events -> {ns.output}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="summarize / convert repro.obs trace files",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_sum = sub.add_parser("summary", help="summarize + validate a trace")
+    p_sum.add_argument("trace", help="trace file (JSONL or Chrome JSON)")
+    p_sum.add_argument("--json", action="store_true", help="machine-readable output")
+    p_sum.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 if structural validation finds problems",
+    )
+    p_sum.set_defaults(fn=_cmd_summary)
+
+    p_conv = sub.add_parser("convert", help="convert between trace formats")
+    p_conv.add_argument("input", help="source trace (either format)")
+    p_conv.add_argument("output", help="destination (.jsonl => JSONL, else Chrome JSON)")
+    p_conv.set_defaults(fn=_cmd_convert)
+
+    ns = parser.parse_args(argv)
+    return ns.fn(ns)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

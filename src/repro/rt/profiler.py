@@ -14,11 +14,18 @@ import numpy as np
 
 from repro.mcu.cpu import ExecutionRecord
 from repro.mcu.device import MCUDevice
+from repro.obs.metrics import Histogram
+from repro.obs.trace import get_tracer
 
 
 @dataclass(frozen=True)
 class TimingStats:
-    """Distribution summary of one handler's activations."""
+    """Distribution summary of one handler's activations.
+
+    Built from :class:`repro.obs.Histogram` snapshots (one per measured
+    quantity), re-exposed via :meth:`snapshot` in the same dict shape
+    every other metrics surface in the repo uses.
+    """
 
     vector: str
     count: int
@@ -32,12 +39,41 @@ class TimingStats:
     latency_avg: float
     latency_max: float
 
+    @classmethod
+    def from_histograms(
+        cls, vector: str, execution: Histogram, response: Histogram,
+        latency: Histogram,
+    ) -> "TimingStats":
+        ex, rp, lt = execution.snapshot(), response.snapshot(), latency.snapshot()
+        return cls(
+            vector=vector,
+            count=ex["count"],
+            exec_min=ex["min"], exec_avg=ex["mean"], exec_max=ex["max"],
+            response_min=rp["min"], response_avg=rp["mean"], response_max=rp["max"],
+            latency_min=lt["min"], latency_avg=lt["mean"], latency_max=lt["max"],
+        )
+
+    def snapshot(self) -> dict:
+        """The metrics-snapshot view (dict per quantity, obs-style keys)."""
+        return {
+            "vector": self.vector,
+            "count": self.count,
+            "exec": {"count": self.count, "min": self.exec_min,
+                     "mean": self.exec_avg, "max": self.exec_max},
+            "response": {"count": self.count, "min": self.response_min,
+                         "mean": self.response_avg, "max": self.response_max},
+            "latency": {"count": self.count, "min": self.latency_min,
+                        "mean": self.latency_avg, "max": self.latency_max},
+        }
+
     def as_row(self) -> str:
         us = 1e6
+        s = self.snapshot()
+        ex, rp = s["exec"], s["response"]
         return (
-            f"{self.vector:<20} {self.count:>6} "
-            f"{self.exec_min*us:>8.1f} {self.exec_avg*us:>8.1f} {self.exec_max*us:>8.1f} "
-            f"{self.response_min*us:>8.1f} {self.response_avg*us:>8.1f} {self.response_max*us:>8.1f}"
+            f"{self.vector:<20} {s['count']:>6} "
+            f"{ex['min']*us:>8.1f} {ex['mean']*us:>8.1f} {ex['max']*us:>8.1f} "
+            f"{rp['min']*us:>8.1f} {rp['mean']*us:>8.1f} {rp['max']*us:>8.1f}"
         )
 
 
@@ -73,16 +109,14 @@ class Profiler:
         recs = self.records(vector)
         if not recs:
             raise ValueError(f"no activations recorded for vector '{vector}'")
-        ex = np.array([r.execution_time for r in recs])
-        rp = np.array([r.response_time for r in recs])
-        lt = np.array([r.start_latency for r in recs])
-        return TimingStats(
-            vector=vector,
-            count=len(recs),
-            exec_min=float(ex.min()), exec_avg=float(ex.mean()), exec_max=float(ex.max()),
-            response_min=float(rp.min()), response_avg=float(rp.mean()), response_max=float(rp.max()),
-            latency_min=float(lt.min()), latency_avg=float(lt.mean()), latency_max=float(lt.max()),
+        execution, response, latency = (
+            Histogram(capacity=max(len(recs), 1)) for _ in range(3)
         )
+        for r in recs:
+            execution.observe(r.execution_time)
+            response.observe(r.response_time)
+            latency.observe(r.start_latency)
+        return TimingStats.from_histograms(vector, execution, response, latency)
 
     def jitter(self, vector: str, nominal_period: float) -> JitterStats:
         """Start-time jitter against the ideal grid anchored at the first
@@ -114,6 +148,44 @@ class Profiler:
             "max_nesting": self.device.cpu.max_nesting,
             "max_stack_bytes": self.device.cpu.max_stack_bytes,
         }
+
+    # ------------------------------------------------------------------
+    def to_events(self, vector: Optional[str] = None, tracer=None) -> list[dict]:
+        """Bridge the CPU execution ledger into the tracing layer.
+
+        Each :class:`ExecutionRecord` becomes one ``cat="rt"`` span whose
+        timestamps are the *simulated* timeline (``t_start``..``t_end``),
+        so MCU handler activations line up with the engine/link events'
+        ``sim_t`` annotations.  Pass a tracer (or rely on the global one)
+        to merge them directly; the built events are returned either way::
+
+            tracer.ingest(pil.profiler().to_events())
+            tracer.export_chrome("run.trace.json")
+        """
+        tracer = tracer if tracer is not None else get_tracer()
+        events = []
+        for r in self.records(vector):
+            events.append({
+                "ph": "X",
+                "name": f"rt.{r.name}",
+                "cat": "rt",
+                "ts": r.t_start,
+                "dur": r.t_end - r.t_start,
+                "sim_t": r.t_start,
+                "id": None,
+                "parent": None,
+                "pid": tracer.pid,
+                "tid": 0,  # the synthetic "MCU" lane
+                "args": {
+                    "vector": r.name,
+                    "response_s": r.response_time,
+                    "latency_s": r.start_latency,
+                    "cycles": r.cycles,
+                    "preemptions": r.preemptions,
+                    "nesting": r.nesting_depth,
+                },
+            })
+        return events
 
     # ------------------------------------------------------------------
     def report(self, horizon: float) -> str:

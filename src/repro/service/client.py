@@ -21,6 +21,8 @@ from __future__ import annotations
 import itertools
 from typing import Optional, Sequence
 
+from repro.obs.trace import get_tracer
+
 from .jobs import (
     Job,
     JobHandle,
@@ -154,10 +156,19 @@ class SimServe:
         if self._closed:
             raise ServiceClosed("service is shut down")
         job = Job(request, priority=priority, deadline_s=deadline_s)
+        tracer = get_tracer()
+        if tracer.enabled:
+            job.trace_parent = tracer.current_span()
+            tracer.instant("service.submit", cat="service",
+                           args={"job": job.id, "kind": job.kind})
         try:
             self.scheduler.submit(job)
-        except Exception:
+        except Exception as exc:
             self.metrics.on_reject()
+            if tracer.enabled:
+                tracer.instant("service.reject", cat="service", args={
+                    "job": job.id, "reason": type(exc).__name__,
+                })
             raise
         self.metrics.on_submit(job.kind)
         return JobHandle(job, self.store)
@@ -175,6 +186,8 @@ class SimServe:
         """
         sweep_id = f"sweep-{next(_sweep_counter):04d}"
         handles: list[JobHandle] = []
+        tracer = get_tracer()
+        trace_parent = tracer.current_span() if tracer.enabled else None
         try:
             for child in request.expand():
                 if self._closed:
@@ -182,11 +195,16 @@ class SimServe:
                 job = Job(
                     child, priority=priority, deadline_s=deadline_s, sweep_id=sweep_id
                 )
+                job.trace_parent = trace_parent
                 self.scheduler.submit(job)
                 self.metrics.on_submit("sweep_point")
                 handles.append(JobHandle(job, self.store))
-        except Exception:
+        except Exception as exc:
             self.metrics.on_reject()
+            if tracer.enabled:
+                tracer.instant("service.reject", cat="service", args={
+                    "sweep": sweep_id, "reason": type(exc).__name__,
+                })
             for h in handles:
                 h.cancel()
             raise

@@ -219,7 +219,7 @@ class Job:
     __slots__ = (
         "id", "request", "priority", "deadline_s", "sweep_id",
         "submitted_at", "started_at", "finished_at",
-        "state", "error", "cache_hit",
+        "state", "error", "cache_hit", "trace_parent",
         "cancel_event", "done_event",
     )
 
@@ -243,6 +243,8 @@ class Job:
         self.state = JobState.PENDING
         self.error: Optional[str] = None
         self.cache_hit = False
+        #: submitter's open span id — worker-side job spans attach here
+        self.trace_parent: Optional[str] = None
         self.cancel_event = threading.Event()
         self.done_event = threading.Event()
 

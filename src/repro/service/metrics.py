@@ -1,10 +1,16 @@
 """SimServe observability: counters, latency histograms, snapshots.
 
-Everything is in-process and lock-cheap: counters and bounded reservoirs
-updated on the job lifecycle edges, and a :meth:`ServiceMetrics.snapshot`
-that assembles the dashboard dict the CLI, the perf harness and the tests
-read — per-job latency distributions (queue wait, execution, end-to-end),
-queue depth, worker utilization, cache hit rate, jobs/s.
+Since the ``repro.obs`` layer landed, this module is a thin facade over
+its primitives: the latency histograms are :class:`repro.obs.Histogram`
+instances (same reservoir percentiles, plus fixed Prometheus buckets),
+the lifecycle counters and the busy-worker gauge live in a *per-service*
+:class:`repro.obs.MetricsRegistry` (several SimServe instances can
+coexist in one process, so the process-global registry is wrong here).
+The public attribute surface (``submitted``, ``queue_wait``, ...), the
+:meth:`ServiceMetrics.snapshot` dict and the :meth:`ServiceMetrics.report`
+text are unchanged — the CLI, the perf harness and the tests keep
+reading the same dashboard.  ``metrics.registry.prometheus_text()`` adds
+a scrape-ready rendering for free.
 """
 
 from __future__ import annotations
@@ -13,51 +19,16 @@ import threading
 import time
 from typing import Optional
 
-import numpy as np
+from repro.obs.metrics import Histogram as _ObsHistogram
+from repro.obs.metrics import MetricsRegistry
 
 
-class Histogram:
-    """Bounded-reservoir latency histogram (seconds).
-
-    Keeps the most recent ``capacity`` observations in a ring buffer plus
-    running count/sum, which is enough for min/mean/max and the usual
-    percentiles without unbounded growth.
-    """
-
-    __slots__ = ("_buf", "_len", "_next", "count", "total", "_min", "_max")
+class Histogram(_ObsHistogram):
+    """Bounded-reservoir latency histogram (seconds) — the historical
+    SimServe type, now the obs histogram with its original signature."""
 
     def __init__(self, capacity: int = 4096):
-        self._buf = np.empty(capacity)
-        self._len = 0
-        self._next = 0
-        self.count = 0
-        self.total = 0.0
-        self._min = float("inf")
-        self._max = 0.0
-
-    def observe(self, value: float) -> None:
-        self._buf[self._next] = value
-        self._next = (self._next + 1) % self._buf.shape[0]
-        self._len = min(self._len + 1, self._buf.shape[0])
-        self.count += 1
-        self.total += value
-        self._min = min(self._min, value)
-        self._max = max(self._max, value)
-
-    def snapshot(self) -> dict:
-        if self.count == 0:
-            return {"count": 0}
-        window = self._buf[: self._len]
-        p50, p90, p99 = np.percentile(window, [50, 90, 99])
-        return {
-            "count": self.count,
-            "mean": self.total / self.count,
-            "min": self._min,
-            "max": self._max,
-            "p50": float(p50),
-            "p90": float(p90),
-            "p99": float(p99),
-        }
+        super().__init__(capacity=capacity)
 
 
 class ServiceMetrics:
@@ -65,41 +36,74 @@ class ServiceMetrics:
 
     def __init__(self):
         self._lock = threading.Lock()
-        self.submitted = 0
-        self.rejected = 0
-        self.completed = 0
-        self.failed = 0
-        self.cancelled = 0
-        self.shed = 0
+        self.registry = MetricsRegistry()
+        reg = self.registry
+        self._submitted = reg.counter("simserve_jobs_submitted_total")
+        self._rejected = reg.counter("simserve_jobs_rejected_total")
+        self._completed = reg.counter("simserve_jobs_completed_total")
+        self._failed = reg.counter("simserve_jobs_failed_total")
+        self._cancelled = reg.counter("simserve_jobs_cancelled_total")
+        self._shed = reg.counter("simserve_jobs_shed_total")
+        self._busy = reg.gauge("simserve_workers_busy")
+        self.queue_wait = reg.histogram("simserve_queue_wait_seconds")
+        self.exec_time = reg.histogram("simserve_exec_seconds")
+        self.job_latency = reg.histogram("simserve_job_latency_seconds")
         self.by_kind: dict[str, int] = {}
-        self.workers_busy = 0
-        self.queue_wait = Histogram()
-        self.exec_time = Histogram()
-        self.job_latency = Histogram()
         self._first_submit: Optional[float] = None
         self._last_finish: Optional[float] = None
         #: late-bound providers (set by the service facade)
         self.queue_depth_fn = lambda: 0
         self.cache_stats_fn = lambda: {}
         self.n_workers = 0
+        reg.gauge("simserve_queue_depth", fn=lambda: self.queue_depth_fn())
+
+    # ------------------------------------------------------------------
+    # the historical public counter attributes
+    # ------------------------------------------------------------------
+    @property
+    def submitted(self) -> int:
+        return int(self._submitted.value)
+
+    @property
+    def rejected(self) -> int:
+        return int(self._rejected.value)
+
+    @property
+    def completed(self) -> int:
+        return int(self._completed.value)
+
+    @property
+    def failed(self) -> int:
+        return int(self._failed.value)
+
+    @property
+    def cancelled(self) -> int:
+        return int(self._cancelled.value)
+
+    @property
+    def shed(self) -> int:
+        return int(self._shed.value)
+
+    @property
+    def workers_busy(self) -> int:
+        return int(self._busy.value)
 
     # ------------------------------------------------------------------
     # lifecycle edges
     # ------------------------------------------------------------------
     def on_submit(self, kind: str) -> None:
         with self._lock:
-            self.submitted += 1
+            self._submitted.inc()
             self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
             if self._first_submit is None:
                 self._first_submit = time.monotonic()
 
     def on_reject(self) -> None:
-        with self._lock:
-            self.rejected += 1
+        self._rejected.inc()
 
     def on_start(self) -> None:
         with self._lock:
-            self.workers_busy += 1
+            self._busy.inc()
 
     def on_finish(self, job) -> None:
         """Record a terminal job (worker-executed or queue-skipped)."""
@@ -108,15 +112,15 @@ class ServiceMetrics:
         with self._lock:
             state = job.state
             if state is JobState.DONE:
-                self.completed += 1
+                self._completed.inc()
             elif state is JobState.FAILED:
-                self.failed += 1
+                self._failed.inc()
             elif state is JobState.CANCELLED:
-                self.cancelled += 1
+                self._cancelled.inc()
             elif state is JobState.EXPIRED:
-                self.shed += 1
+                self._shed.inc()
             if job.started_at is not None:
-                self.workers_busy = max(0, self.workers_busy - 1)
+                self._busy.set(max(0, self._busy.value - 1))
                 q, e, tot = job.queued_s(), job.exec_s(), job.total_s()
                 if q is not None:
                     self.queue_wait.observe(q)

@@ -21,6 +21,8 @@ import threading
 import time
 from typing import Callable, Optional
 
+from repro.obs.trace import get_tracer
+
 from .jobs import Job, JobState, QueueFull, ServiceClosed
 
 
@@ -94,6 +96,15 @@ class Scheduler:
     ) -> None:
         job.state = state
         job.finished_at = time.monotonic()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "service.shed" if state is JobState.EXPIRED else "service.cancelled",
+                cat="service",
+                parent=job.trace_parent,
+                args={"job": job.id, "kind": job.kind,
+                      "waited_s": job.finished_at - job.submitted_at},
+            )
         # record via the callback *before* waking waiters, so a waiter's
         # store lookup cannot race the record write
         if callback is not None:

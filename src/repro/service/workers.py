@@ -36,6 +36,8 @@ from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Optional, Tuple
 
+from repro.obs.trace import get_tracer
+
 from .jobs import (
     CampaignCellRequest,
     Job,
@@ -194,6 +196,28 @@ class WorkerPool:
             self._execute_job(job)
 
     def _execute_job(self, job: Job) -> None:
+        tracer = get_tracer()
+        if not tracer.enabled:
+            self._execute_job_inner(job)
+            return
+        # the job span attaches to the submitter's open span, so service
+        # traffic and the work it triggers share one trace tree
+        with tracer.attach(job.trace_parent):
+            with tracer.span("service.job", cat="service", args={
+                "job": job.id, "kind": job.kind, "priority": job.priority.name,
+            }) as span:
+                self._execute_job_inner(job)
+                span.args["state"] = job.state.name
+                span.args["cache_hit"] = job.cache_hit
+                queued = job.queued_s()
+                if queued is not None:
+                    span.args["queue_wait_s"] = queued
+                if isinstance(job.request, MILRequest):
+                    tracer.instant("service.cache", cat="service", args={
+                        "job": job.id, "hit": job.cache_hit,
+                    })
+
+    def _execute_job_inner(self, job: Job) -> None:
         job.started_at = time.monotonic()
         job.state = JobState.RUNNING
         self.metrics.on_start()
@@ -239,6 +263,10 @@ class WorkerPool:
                     raise JobCancelled(job.id)
             except BrokenProcessPool:
                 # hard child crash: rebuild the pool so later jobs survive
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.instant("service.worker_crash", cat="service",
+                                   args={"job": job.id})
                 with self._proc_lock:
                     if self._proc_pool is pool:
                         self._proc_pool = ProcessPoolExecutor(

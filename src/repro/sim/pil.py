@@ -58,6 +58,7 @@ from repro.core.blocks import PEBlockMode
 from repro.core.target import DeployedApplication, TargetError
 from repro.model.engine import SimulationOptions, Simulator
 from repro.model.result import SimulationResult
+from repro.obs.trace import get_tracer
 from repro.rt.profiler import Profiler
 
 from .split import split_plant_model
@@ -258,6 +259,7 @@ class PILSimulator:
         self._safe_state_steps = 0
         self._recoveries = 0
         self._last_busy = 0.0
+        self._tracer = get_tracer()
 
     # ------------------------------------------------------------------
     # wiring
@@ -367,7 +369,13 @@ class PILSimulator:
                 return
             self._newest_data_seq = pkt.seq
             if t0 is not None:
-                self._data_latencies.append(self.device.time - t0)
+                latency = self.device.time - t0
+                self._data_latencies.append(latency)
+                if self._tracer.enabled:
+                    self._tracer.instant(
+                        "link.data_latency", cat="link", sim_t=self.device.time,
+                        args={"seq": pkt.seq, "latency_s": latency},
+                    )
             self._fresh_data = True
             self._link_alive = True
             for (port, kind, blk), word in zip(self.sensors, pkt.words):
@@ -510,6 +518,11 @@ class PILSimulator:
         re-armed so a persistent fault keeps getting counted.
         """
         self._recoveries += 1
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "pil.recovery", cat="pil", sim_t=self.device.time,
+                args={"count": self._recoveries},
+            )
         for port in (self.host, self.sci):
             if port is not None and hasattr(port, "flush_tx"):
                 port.flush_tx()
@@ -526,19 +539,30 @@ class PILSimulator:
 
     # ------------------------------------------------------------------
     def run(self, t_final: float) -> PILResult:
-        self._setup()
-        opts = SimulationOptions(dt=self.plant_dt, t_final=t_final, solver=self.solver)
-        self.plant_sim = Simulator(self.plant_model, opts)
-        self.plant_sim.initialize()
-        self.app.start()
-        self.device.schedule(0.0, lambda: self._host_step(0, t_final))
-        if self._watchdog is not None:
-            self._watchdog.start()
-            self.device.schedule(
-                0.5 * self.app.tick_period,
-                lambda: self._background_service(0, t_final),
+        with self._tracer.span("pil.run", cat="pil", args={
+            "t_final": t_final,
+            "link": self.link.kind,
+            "reliable": self.arq_config is not None,
+            "chip": self.app.project.chip.name,
+        }) as pil_span:
+            self._setup()
+            opts = SimulationOptions(
+                dt=self.plant_dt, t_final=t_final, solver=self.solver
             )
-        self.device.run_until(t_final)
+            self.plant_sim = Simulator(self.plant_model, opts)
+            self.plant_sim.initialize()
+            self.app.start()
+            self.device.schedule(0.0, lambda: self._host_step(0, t_final))
+            if self._watchdog is not None:
+                self._watchdog.start()
+                self.device.schedule(
+                    0.5 * self.app.tick_period,
+                    lambda: self._background_service(0, t_final),
+                )
+            self.device.run_until(t_final)
+            if pil_span is not None:
+                pil_span.args["steps"] = self.app.step_count
+                pil_span.args["recoveries"] = self._recoveries
         result = self.plant_sim.result()
         health = LinkHealth()
         for ch in (self.host_channel, self.mcu_channel):

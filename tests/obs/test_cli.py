@@ -1,0 +1,97 @@
+"""``python -m repro.obs`` — summary/convert subcommands and validation."""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer, load_trace, summarize, validate, format_summary
+from repro.obs.__main__ import main
+
+
+@pytest.fixture
+def trace_jsonl(tmp_path):
+    tr = Tracer(enabled=True)
+    with tr.span("outer", cat="engine", sim_t=0.0):
+        with tr.span("inner", cat="engine", sim_t=0.001):
+            tr.instant("mark", cat="link", args={"seq": 1})
+    return tr.export_jsonl(tmp_path / "run.jsonl", manifest=False)
+
+
+class TestSummary:
+    def test_human_output(self, trace_jsonl, capsys):
+        assert main(["summary", trace_jsonl]) == 0
+        out = capsys.readouterr().out
+        assert "events 3" in out
+        assert "engine" in out and "link" in out
+        assert "validation: ok" in out
+
+    def test_json_output(self, trace_jsonl, capsys):
+        assert main(["summary", trace_jsonl, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["problems"] == []
+        assert doc["summary"]["spans"] == 2
+        assert doc["summary"]["instants"] == 1
+        assert set(doc["summary"]["categories"]) == {"engine", "link"}
+
+    def test_strict_passes_clean_trace(self, trace_jsonl):
+        assert main(["summary", trace_jsonl, "--strict"]) == 0
+
+    def test_strict_fails_broken_trace(self, tmp_path, capsys):
+        broken = dict(
+            ph="i", name="orphan", cat="app", ts=0.0, dur=0.0, sim_t=None,
+            id=None, parent="1-999", pid=1, tid=0, args={},
+        )
+        path = tmp_path / "broken.jsonl"
+        path.write_text(json.dumps(broken) + "\n")
+        assert main(["summary", str(path), "--strict"]) == 1
+        assert main(["summary", str(path)]) == 0  # non-strict only reports
+        out = capsys.readouterr().out
+        assert "parent '1-999' not in trace" in out
+
+
+class TestConvert:
+    def test_jsonl_to_chrome_and_back(self, trace_jsonl, tmp_path, capsys):
+        chrome = str(tmp_path / "run.trace.json")
+        back = str(tmp_path / "back.jsonl")
+        assert main(["convert", trace_jsonl, chrome]) == 0
+        assert "wrote 3 events" in capsys.readouterr().out
+        json.loads(open(chrome).read())  # valid Chrome JSON
+        assert main(["convert", chrome, back]) == 0
+        a, b = load_trace(trace_jsonl), load_trace(back)
+        assert [e["name"] for e in a] == [e["name"] for e in b]
+        assert [e["id"] for e in a] == [e["id"] for e in b]
+        assert [e["parent"] for e in a] == [e["parent"] for e in b]
+        assert validate(b) == []
+
+
+class TestValidator:
+    def test_negative_duration_flagged(self):
+        ev = dict(ph="X", name="bad", cat="app", ts=0.0, dur=-1.0, sim_t=None,
+                  id="1-1", parent=None, pid=1, tid=0, args={})
+        problems = validate([ev])
+        assert len(problems) == 1 and "negative duration" in problems[0]
+
+    def test_child_escaping_parent_flagged(self):
+        parent = dict(ph="X", name="p", cat="app", ts=0.0, dur=1.0, sim_t=None,
+                      id="1-1", parent=None, pid=1, tid=0, args={})
+        child = dict(ph="X", name="c", cat="app", ts=0.5, dur=2.0, sim_t=None,
+                     id="1-2", parent="1-1", pid=1, tid=0, args={})
+        problems = validate([parent, child])
+        assert len(problems) == 1 and "escapes parent" in problems[0]
+
+    def test_cross_pid_child_exempt_from_containment(self):
+        parent = dict(ph="X", name="p", cat="app", ts=0.0, dur=1.0, sim_t=None,
+                      id="1-1", parent=None, pid=1, tid=0, args={})
+        child = dict(ph="X", name="c", cat="app", ts=50.0, dur=2.0, sim_t=None,
+                     id="2-1", parent="1-1", pid=2, tid=0, args={})
+        assert validate([parent, child]) == []
+
+    def test_summary_counts(self):
+        tr = Tracer(enabled=True)
+        with tr.span("a", cat="x"):
+            tr.instant("b", cat="y")
+        s = summarize(tr.events())
+        assert s["events"] == 2 and s["spans"] == 1 and s["instants"] == 1
+        assert s["processes"] == 1
+        text = format_summary(s, problems=[])
+        assert "validation: ok" in text
