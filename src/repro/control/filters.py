@@ -38,6 +38,18 @@ class LowPassFilter(Block):
         y = ctx.dwork["y"]
         ctx.dwork["y"] = y + self.alpha * (u[0] - y)
 
+    def supports_batch(self):
+        return True
+
+    # dwork["y"] starts as the scalar 0.0 and becomes a (B,) array on the
+    # first update; broadcasting keeps the arithmetic identical per lane
+    def batch_outputs(self, t, u, ctx):
+        return [ctx.dwork["y"]]
+
+    def batch_update(self, t, u, ctx):
+        y = ctx.dwork["y"]
+        ctx.dwork["y"] = y + self.alpha * (u[0] - y)
+
 
 def _register_templates() -> None:
     from repro.codegen.templates import BlockTemplate, default_registry

@@ -15,6 +15,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.fixpt import ACCUM32, Fx, FixedPointType, Q15
 from repro.model.block import Block, BlockContext
 
@@ -74,6 +76,33 @@ class PIDController(Block):
         if integrate:
             ctx.dwork["i"] += g.ki * self.sample_time * e
         ctx.dwork["e_prev"] = e
+
+    def supports_batch(self):
+        return True
+
+    def batch_outputs(self, t, u, ctx):
+        g = self.gains
+        e = u[0]
+        d = (e - ctx.dwork["e_prev"]) / self.sample_time if g.kd else 0.0
+        un = g.kp * e + ctx.dwork["i"] + g.kd * d
+        return [np.minimum(np.maximum(un, g.u_min), g.u_max)]
+
+    def batch_update(self, t, u, ctx):
+        g = self.gains
+        e = u[0]
+        u_unsat = g.kp * e + ctx.dwork["i"]
+        integrate = (
+            ((g.u_min < u_unsat) & (u_unsat < g.u_max))
+            | ((u_unsat >= g.u_max) & (e < 0))
+            | ((u_unsat <= g.u_min) & (e > 0))
+        )
+        ctx.dwork["i"] = np.where(
+            integrate,
+            ctx.dwork["i"] + g.ki * self.sample_time * e,
+            ctx.dwork["i"],
+        )
+        # e is a live view into the signal matrix; keep a snapshot
+        ctx.dwork["e_prev"] = np.array(e)
 
 
 class FixedPointPID(Block):

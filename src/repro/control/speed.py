@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.model.block import Block, BlockContext
 
 _WRAP = 1 << 16
@@ -53,6 +55,25 @@ class QuadratureSpeed(Block):
 
     def update(self, t, u, ctx):
         ctx.dwork["prev"] = int(u[0]) % _WRAP
+        ctx.dwork["primed"] = True
+
+    def supports_batch(self):
+        return True
+
+    # ``primed`` stays a plain bool: update hits every lane at the same
+    # sample steps, so the flag is lane-uniform by construction.  Counts
+    # are kept as floats — position values and wrap-aware deltas are all
+    # far below 2**53, so int and float arithmetic agree exactly.
+    def batch_outputs(self, t, u, ctx):
+        if not ctx.dwork["primed"]:
+            return [np.zeros_like(u[0])]
+        now = np.mod(np.trunc(u[0]), float(_WRAP))
+        d = np.mod(now - ctx.dwork["prev"], float(_WRAP))
+        delta = np.where(d >= _WRAP // 2, d - _WRAP, d)
+        return [delta * self.rad_per_count / self.sample_time]
+
+    def batch_update(self, t, u, ctx):
+        ctx.dwork["prev"] = np.mod(np.trunc(u[0]), float(_WRAP))
         ctx.dwork["primed"] = True
 
 

@@ -25,6 +25,8 @@ import enum
 import math
 from typing import Any, Optional
 
+import numpy as np
+
 from repro.model.block import Block, BlockContext, INHERITED
 from repro.model.types import DataType, UINT16, DOUBLE
 from repro.pe.bean import Bean
@@ -196,6 +198,18 @@ class PWMBlock(PEBlock):
             return [self._quantize_duty(u[0])]
         return [self._quantize_duty(u[0])]
 
+    def supports_batch(self):
+        # MIL is pure duty quantization; PIL/HW touch the link/bean
+        return self.mode is PEBlockMode.MIL
+
+    def batch_outputs(self, t, u, ctx):
+        duty = np.minimum(np.maximum(u[0], 0.0), 1.0)
+        res = self.bean._derived.get("duty_resolution")
+        if res is None:
+            return [duty]
+        # np.round is half-even like the scalar round()
+        return [np.round(duty / res) * res]
+
 
 class QuadDecBlock(PEBlock):
     """Quadrature decoder block.
@@ -224,6 +238,14 @@ class QuadDecBlock(PEBlock):
         if self.mode is PEBlockMode.PIL:
             return [self._pil_read()]
         return [float(int(u[0]) % (1 << 16))]
+
+    def supports_batch(self):
+        # MIL is a pure 16-bit wrap; PIL/HW touch the link/bean
+        return self.mode is PEBlockMode.MIL
+
+    def batch_outputs(self, t, u, ctx):
+        # trunc + positive-divisor mod reproduces int(u) % 65536 exactly
+        return [np.mod(np.trunc(u[0]), float(1 << 16))]
 
 
 class TimerIntBlock(PEBlock):

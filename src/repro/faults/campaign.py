@@ -17,6 +17,7 @@ worker count or completion order; the determinism test in
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
@@ -162,11 +163,35 @@ class FaultCampaign:
             steps=r.steps,
         )
 
+    @staticmethod
+    def parallel_effective(
+        workers: Optional[int], n_cells: int
+    ) -> tuple[bool, Optional[str]]:
+        """Whether a process pool can actually beat a serial sweep.
+
+        Returns ``(effective, reason)`` — ``reason`` explains a ``False``
+        verdict.  Pool setup + pickling costs real time, so on a single
+        core (or with a grid smaller than the pool) the pool only adds
+        overhead (the ``parallel_speedup < 1`` rows BENCH_substrates.json
+        used to record).
+        """
+        if workers is None or workers <= 1:
+            return False, "serial request"
+        if n_cells <= 1:
+            return False, f"grid({n_cells}) has nothing to parallelize"
+        cpus = os.cpu_count() or 1
+        if cpus <= 1:
+            return False, f"cpu_count={cpus}"
+        if n_cells < workers:
+            return False, f"grid({n_cells}) smaller than workers({workers})"
+        return True, None
+
     def run(
         self,
         intensities: Iterable[float],
         modes: Sequence[bool] = (False, True),
         workers: Optional[int] = None,
+        batch: Optional[int] = None,
     ) -> list[CampaignOutcome]:
         """The full sweep, raw and reliable per intensity by default.
 
@@ -175,7 +200,16 @@ class FaultCampaign:
         ``make_pil`` must be a module-level callable, not a lambda or
         closure).  Outcomes come back in grid order regardless of which
         worker finishes first, and each cell seeds its own fault plan,
-        so the rows are identical to a serial sweep.
+        so the rows are identical to a serial sweep.  When the pool
+        cannot win — single-core host, or a grid smaller than the pool
+        (see :meth:`parallel_effective`) — the sweep automatically runs
+        serial and records a ``campaign.auto_serial`` obs instant
+        instead of silently paying pool overhead.
+
+        ``batch`` packs that many *cells* into each pool task, amortizing
+        one worker dispatch (and one trace shipment) across the chunk —
+        the right setting when cells are short relative to pickling
+        costs.  ``None`` or 1 keeps the one-cell-per-task behaviour.
 
         A crashing cell (or Ctrl-C) does not leak the pool: pending
         futures are cancelled, the executor is shut down, and the cells
@@ -184,11 +218,20 @@ class FaultCampaign:
         orderly teardown).
         """
         grid = [(i, reliable) for i in intensities for reliable in modes]
+        effective, reason = self.parallel_effective(workers, len(grid))
         tracer = get_tracer()
         with tracer.span("campaign.run", cat="campaign", args={
             "cells": len(grid), "workers": workers or 1, "t_final": self.t_final,
+            "batch": batch or 1,
         }):
-            return self._run_grid(grid, workers, tracer)
+            if not effective and workers is not None and workers > 1:
+                if tracer.enabled:
+                    tracer.instant("campaign.auto_serial", cat="campaign", args={
+                        "workers": workers, "cells": len(grid),
+                        "reason": reason,
+                    })
+                workers = None
+            return self._run_grid(grid, workers, tracer, batch)
 
     def _cell_done(self, tracer, index: int, total: int,
                    outcome: CampaignOutcome) -> None:
@@ -202,7 +245,8 @@ class FaultCampaign:
             self.on_cell_done(index, total, outcome)
 
     def _run_grid(
-        self, grid: list, workers: Optional[int], tracer
+        self, grid: list, workers: Optional[int], tracer,
+        batch: Optional[int] = None,
     ) -> list[CampaignOutcome]:
         outcomes: list[Optional[CampaignOutcome]] = [None] * len(grid)
         if workers is None or workers <= 1 or len(grid) <= 1:
@@ -213,46 +257,55 @@ class FaultCampaign:
             except Exception as exc:
                 raise CampaignInterrupted(grid, outcomes, exc) from exc
             return outcomes  # type: ignore[return-value]
-        # traced sweeps ship a capture tracer into each worker and merge
-        # the returned events; untraced sweeps keep the plain task (and
-        # its result shape) so nothing rides along on the hot path
+        # each pool task carries a chunk of `batch` cells (1 = the classic
+        # one-cell-per-task shape); traced sweeps ship a capture tracer
+        # into each worker and merge the returned events, untraced sweeps
+        # keep the plain task so nothing rides along on the hot path
+        size = max(1, batch or 1)
+        chunks = [grid[k : k + size] for k in range(0, len(grid), size)]
         traced = tracer.enabled
         if traced:
             parent = tracer.current_span()
             task_args = [
-                (_run_cell_task_traced, self, i, reliable, parent,
+                (_run_chunk_task_traced, self, chunk, parent,
                  tracer.capacity, tracer.step_stride)
-                for i, reliable in grid
+                for chunk in chunks
             ]
         else:
-            task_args = [(_run_cell_task, self, i, reliable) for i, reliable in grid]
+            task_args = [(_run_chunk_task, self, chunk) for chunk in chunks]
 
-        def unwrap(result) -> CampaignOutcome:
+        def unwrap(result) -> list[CampaignOutcome]:
             if traced:
-                outcome, events = result
+                chunk_outcomes, events = result
                 tracer.ingest(events)
-                return outcome
+                return chunk_outcomes
             return result
 
-        pool = ProcessPoolExecutor(max_workers=min(workers, len(grid)))
+        def store(chunk_index: int, chunk_outcomes, notify: bool) -> None:
+            base = chunk_index * size
+            for j, outcome in enumerate(chunk_outcomes):
+                outcomes[base + j] = outcome
+                if notify:
+                    self._cell_done(tracer, base + j, len(grid), outcome)
+
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(chunks)))
         try:
             futures = [pool.submit(*args) for args in task_args]
-            for k, f in enumerate(futures):
-                outcomes[k] = unwrap(f.result())
-                self._cell_done(tracer, k, len(grid), outcomes[k])
+            for c, f in enumerate(futures):
+                store(c, unwrap(f.result()), notify=True)
         except BaseException as exc:
             for f in futures:
                 f.cancel()
             pool.shutdown(wait=True, cancel_futures=True)
-            # harvest cells that finished out of order before the crash
-            for k, f in enumerate(futures):
+            # harvest chunks that finished out of order before the crash
+            for c, f in enumerate(futures):
                 if (
-                    outcomes[k] is None
+                    outcomes[c * size] is None
                     and f.done()
                     and not f.cancelled()
                     and f.exception() is None
                 ):
-                    outcomes[k] = unwrap(f.result())
+                    store(c, unwrap(f.result()), notify=False)
             if isinstance(exc, Exception):
                 raise CampaignInterrupted(grid, outcomes, exc) from exc
             raise  # KeyboardInterrupt / SystemExit, pool already torn down
@@ -289,6 +342,31 @@ def _run_cell_task_traced(
     return outcome, local.events()
 
 
+def _run_chunk_task(
+    campaign: FaultCampaign, chunk: list
+) -> list[CampaignOutcome]:
+    """Pool task running a contiguous chunk of grid cells in order."""
+    return [campaign.run_cell(i, reliable) for i, reliable in chunk]
+
+
+def _run_chunk_task_traced(
+    campaign: FaultCampaign,
+    chunk: list,
+    parent_id: Optional[str],
+    capacity: int,
+    step_stride: int,
+):
+    """Traced chunk task: one capture tracer (and one event shipment)
+    amortized over the whole chunk."""
+    from repro.obs.trace import Tracer, use_tracer
+
+    local = Tracer(capacity=capacity, enabled=True, step_stride=step_stride)
+    with use_tracer(local):
+        with local.attach(parent_id):
+            outcomes = [campaign.run_cell(i, reliable) for i, reliable in chunk]
+    return outcomes, local.events()
+
+
 def run_campaign(
     make_pil: Callable[[bool], "object"],
     plan: FaultPlan,
@@ -298,6 +376,7 @@ def run_campaign(
     signal: str = "speed",
     modes: Sequence[bool] = (False, True),
     workers: Optional[int] = None,
+    batch: Optional[int] = None,
 ) -> list[CampaignOutcome]:
     """Functional wrapper around :class:`FaultCampaign`."""
     return FaultCampaign(
@@ -306,4 +385,4 @@ def run_campaign(
         t_final=t_final,
         reference=reference,
         signal=signal,
-    ).run(intensities, modes, workers=workers)
+    ).run(intensities, modes, workers=workers, batch=batch)

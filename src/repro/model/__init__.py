@@ -24,7 +24,8 @@ from .block import Block, BlockContext, SampleTime, CONTINUOUS, INHERITED
 from .graph import Model, Connection
 from .compiled import CompiledModel
 from .engine import Simulator, SimulationOptions
-from .result import SimulationResult
+from .result import SimulationResult, BatchSimulationResult
+from .batch import BatchSimulator, BatchScenario, BatchPlanError, simulate_batch
 from .diagnostics import (
     ModelError,
     AlgebraicLoopError,
@@ -57,6 +58,11 @@ __all__ = [
     "Simulator",
     "SimulationOptions",
     "SimulationResult",
+    "BatchSimulationResult",
+    "BatchSimulator",
+    "BatchScenario",
+    "BatchPlanError",
+    "simulate_batch",
     "ModelError",
     "AlgebraicLoopError",
     "UnconnectedPortError",

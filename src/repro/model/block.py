@@ -155,6 +155,41 @@ class Block:
         """Release resources at end of simulation."""
 
     # ------------------------------------------------------------------
+    # batch (ensemble) protocol
+    # ------------------------------------------------------------------
+    def supports_batch(self) -> bool:
+        """Whether the ``batch_*`` callbacks may replace the scalar ones.
+
+        A block opting in promises that, in the mode where this returns
+        True, each batch callback performs the *same IEEE-754 operations
+        elementwise* as its scalar counterpart (same expression shapes,
+        same association order — so lanes stay bit-identical to serial
+        runs), never fires events, and keeps all mutable state in ``ctx``
+        (never on ``self``).  Inputs arrive as a list of ``(B,)`` arrays
+        and ``ctx.x`` is an ``(n_states, B)`` view.  Leave False when
+        unsure; False only costs speed (the lane-by-lane fallback).
+        """
+        return False
+
+    def batch_outputs(
+        self, t: float, u: Sequence[np.ndarray], ctx: BlockContext
+    ) -> Sequence[np.ndarray]:
+        """Vectorized ``outputs`` over the batch axis."""
+        raise NotImplementedError
+
+    def batch_update(
+        self, t: float, u: Sequence[np.ndarray], ctx: BlockContext
+    ) -> None:
+        """Vectorized ``update`` over the batch axis."""
+        raise NotImplementedError
+
+    def batch_derivatives(
+        self, t: float, u: Sequence[np.ndarray], ctx: BlockContext
+    ) -> Sequence[np.ndarray]:
+        """Vectorized ``derivatives``: one ``(B,)`` row per state."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def affine_outputs(self) -> Optional[list[tuple[tuple[float, ...], float]]]:

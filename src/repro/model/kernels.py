@@ -307,6 +307,78 @@ class VectorAffineKernel:
                 sigs[out] = vals[k]
 
 
+class BatchAffineKernel:
+    """Fused affine run over a whole ``(n_signals, B)`` signal matrix.
+
+    The batch-axis sibling of :class:`VectorAffineKernel`: rows group by
+    (level, arity) and each group evaluates
+    ``Y = consts + c0*U[:, 0] + c1*U[:, 1] + ...`` where every operand
+    now carries a trailing lane axis.  Coefficients and constants are
+    ``(rows, 1)`` columns when all lanes share them, or ``(rows, B)``
+    matrices when scenario overrides made them per-lane; broadcasting
+    performs the identical IEEE-754 multiply/add per lane either way, so
+    lanes stay bit-for-bit equal to the scalar reference.
+
+    ``rows`` duck-types :class:`AffineRow` — ``coeffs`` entries and
+    ``const`` may each be a float or a ``(B,)`` array.
+    """
+
+    __slots__ = ("groups", "n_lanes")
+
+    def __init__(self, rows, n_lanes: int):
+        self.n_lanes = n_lanes
+
+        def column(values):
+            if any(isinstance(v, np.ndarray) for v in values):
+                return np.vstack([
+                    v if isinstance(v, np.ndarray) else np.full(n_lanes, v)
+                    for v in values
+                ])
+            return np.array([float(v) for v in values]).reshape(-1, 1)
+
+        grouped: dict[tuple[int, int], list] = {}
+        for r in rows:
+            grouped.setdefault((r.level, len(r.coeffs)), []).append(r)
+        self.groups = []
+        for (_lvl, arity), rs in sorted(grouped.items()):
+            flat_idx = np.array(
+                [s for r in rs for s in r.in_sigs], dtype=np.intp
+            )
+            consts = column([r.const for r in rs])
+            cols = [column([r.coeffs[j] for r in rs]) for j in range(arity)]
+            outs = np.array([r.out_sig for r in rs], dtype=np.intp)
+            self.groups.append((flat_idx, consts, cols, outs, arity, len(rs)))
+
+    def apply(self, S: np.ndarray) -> None:
+        """Evaluate every row for every lane; scatter into ``S`` rows."""
+        for flat_idx, consts, cols, outs, arity, n_rows in self.groups:
+            if arity:
+                u = S[flat_idx].reshape(n_rows, arity, -1)
+                y = consts + cols[0] * u[:, 0]
+                for j in range(1, arity):
+                    y = y + cols[j] * u[:, j]
+                S[outs] = y
+            else:
+                S[outs] = consts
+
+    def make_apply(self, S: np.ndarray):
+        """A pass callable bound to one signal matrix (ignores ``t``)."""
+        groups = self.groups
+
+        def run(_t: float, _S=S, _groups=groups) -> None:
+            for flat_idx, consts, cols, outs, arity, n_rows in _groups:
+                if arity:
+                    u = _S[flat_idx].reshape(n_rows, arity, -1)
+                    y = consts + cols[0] * u[:, 0]
+                    for j in range(1, arity):
+                        y = y + cols[j] * u[:, j]
+                    _S[outs] = y
+                else:
+                    _S[outs] = consts
+
+        return run
+
+
 # ---------------------------------------------------------------------------
 # code generation
 # ---------------------------------------------------------------------------

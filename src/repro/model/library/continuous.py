@@ -51,6 +51,18 @@ class Integrator(Block):
             return [0.0]
         return [u[0]]
 
+    def supports_batch(self):
+        return True
+
+    def batch_outputs(self, t, u, ctx):
+        return [np.clip(ctx.x[0], self.lower, self.upper)]
+
+    def batch_derivatives(self, t, u, ctx):
+        x = ctx.x[0]
+        du = u[0]
+        hold = ((x >= self.upper) & (du > 0)) | ((x <= self.lower) & (du < 0))
+        return [np.where(hold, 0.0, du)]
+
 
 class StateSpace(Block):
     """``dx/dt = A x + B u;  y = C x + D u`` (MIMO)."""

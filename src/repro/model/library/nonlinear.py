@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ..block import Block, BlockContext
 
 
@@ -23,6 +25,13 @@ class Saturation(Block):
 
     def outputs(self, t, u, ctx):
         return [min(max(u[0], self.lower), self.upper)]
+
+    def supports_batch(self):
+        return True
+
+    def batch_outputs(self, t, u, ctx):
+        # np.minimum/np.maximum match the scalar min/max chain, NaN included
+        return [np.minimum(np.maximum(u[0], self.lower), self.upper)]
 
 
 class DeadZone(Block):
@@ -47,6 +56,17 @@ class DeadZone(Block):
         if v < self.zone_start:
             return [v - self.zone_start]
         return [0.0]
+
+    def supports_batch(self):
+        return True
+
+    def batch_outputs(self, t, u, ctx):
+        v = u[0]
+        return [np.where(
+            v > self.zone_end,
+            v - self.zone_end,
+            np.where(v < self.zone_start, v - self.zone_start, 0.0),
+        )]
 
 
 class Relay(Block):

@@ -101,3 +101,84 @@ class SimulationResult(Mapping[str, np.ndarray]):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<SimulationResult {len(self.t)} steps, signals={self.names}>"
+
+
+class BatchSimulationResult(Mapping[str, np.ndarray]):
+    """Result of an ensemble run: every signal is ``(n_steps, B)``.
+
+    Column ``b`` of every array is the trajectory of scenario lane ``b``,
+    bit-identical to a serial :class:`SimulationResult` of that scenario.
+    :meth:`lane` / :meth:`split` recover exactly those per-scenario
+    results for code written against the serial container.
+    """
+
+    def __init__(
+        self,
+        t: np.ndarray,
+        signals: dict[str, np.ndarray],
+        labels: list[str] | None = None,
+    ):
+        self.t = np.asarray(t, dtype=np.float64)
+        self._signals = {
+            k: np.asarray(v, dtype=np.float64) for k, v in signals.items()
+        }
+        n_lanes = None
+        for name, arr in self._signals.items():
+            if arr.ndim != 2 or arr.shape[0] != self.t.shape[0]:
+                raise ValueError(
+                    f"batched signal '{name}' has shape {arr.shape}, "
+                    f"expected ({self.t.shape[0]}, B)"
+                )
+            if n_lanes is None:
+                n_lanes = arr.shape[1]
+            elif arr.shape[1] != n_lanes:
+                raise ValueError(
+                    f"batched signal '{name}' has {arr.shape[1]} lanes, "
+                    f"expected {n_lanes}"
+                )
+        self.n_lanes = 0 if n_lanes is None else n_lanes
+        if labels is None:
+            labels = [f"lane{b}" for b in range(self.n_lanes)]
+        if len(labels) != self.n_lanes:
+            raise ValueError(
+                f"{len(labels)} labels for {self.n_lanes} lanes"
+            )
+        self.labels = list(labels)
+
+    # Mapping interface -------------------------------------------------
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._signals[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._signals)
+
+    def __len__(self) -> int:
+        return len(self._signals)
+
+    # convenience --------------------------------------------------------
+    @property
+    def names(self) -> list[str]:
+        """Logged signal names, sorted."""
+        return sorted(self._signals)
+
+    def lane(self, b: int) -> SimulationResult:
+        """Scenario lane ``b`` as a plain serial-compatible result."""
+        if not 0 <= b < self.n_lanes:
+            raise IndexError(f"lane {b} out of range [0, {self.n_lanes})")
+        return SimulationResult(
+            self.t.copy(), {k: v[:, b].copy() for k, v in self._signals.items()}
+        )
+
+    def split(self) -> list[SimulationResult]:
+        """All lanes as per-scenario results, in scenario order."""
+        return [self.lane(b) for b in range(self.n_lanes)]
+
+    def final(self, name: str) -> np.ndarray:
+        """Last sample of a signal across all lanes, shape ``(B,)``."""
+        return self._signals[name][-1].copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BatchSimulationResult {len(self.t)} steps x "
+            f"{self.n_lanes} lanes, signals={self.names}>"
+        )

@@ -16,6 +16,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.model.block import Block, BlockContext, CONTINUOUS
 
 
@@ -104,5 +106,26 @@ class DCMotor(Block):
             tau_c = math.copysign(p.tau_coulomb, w)
         else:
             tau_c = p.tau_coulomb * w / _COULOMB_EPS
+        dw = (p.Kt * i - p.b * w - tau_c - tau_load) / p.J
+        return [di, dw, w]
+
+    def supports_batch(self):
+        return True
+
+    def batch_outputs(self, t, u, ctx):
+        i, w, theta = ctx.x
+        return [w, theta, i]
+
+    def batch_derivatives(self, t, u, ctx):
+        p = self.params
+        v, tau_load = u
+        i, w, _theta = ctx.x
+        di = (v - p.R * i - p.Ke * w) / p.L
+        # same expressions as the scalar branches, selected per lane
+        tau_c = np.where(
+            np.abs(w) > _COULOMB_EPS,
+            np.copysign(p.tau_coulomb, w),
+            p.tau_coulomb * w / _COULOMB_EPS,
+        )
         dw = (p.Kt * i - p.b * w - tau_c - tau_load) / p.J
         return [di, dw, w]

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.model.block import Block
 
 _WRAP = 1 << 16
@@ -50,6 +52,18 @@ class IRCEncoder(Block):
         frac = turns - math.floor(turns)
         index = 1.0 if frac < self._index_width else 0.0
         return [float(counts % _WRAP), index]
+
+    def supports_batch(self):
+        return True
+
+    def batch_outputs(self, t, u, ctx):
+        turns = u[0] / _TWO_PI
+        # np.floor + np.mod give the exact values of the scalar
+        # math.floor / int-% chain for every representable angle
+        counts = np.floor(turns * self._cpr)
+        frac = turns - np.floor(turns)
+        index = np.where(frac < self._index_width, 1.0, 0.0)
+        return [np.mod(counts, float(_WRAP)), index]
 
     @staticmethod
     def count_delta(now: float, before: float) -> float:

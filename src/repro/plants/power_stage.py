@@ -9,6 +9,8 @@ drop; the stage saturates at the rails.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.model.block import Block
 
 
@@ -49,3 +51,17 @@ class PowerStage(Block):
         else:
             v = 0.0
         return [v]
+
+    def supports_batch(self):
+        return True
+
+    def batch_outputs(self, t, u, ctx):
+        # NaN comparisons are False in both the scalar branches and
+        # np.where conditions, so a NaN input lands on 0.0 either way
+        duty = np.minimum(np.maximum(u[0], 0.0), 1.0)
+        if self.bipolar:
+            v = (2.0 * duty - 1.0) * self.v_supply
+        else:
+            v = duty * self.v_supply
+        vd = self.v_drop
+        return [np.where(v > vd, v - vd, np.where(v < -vd, v + vd, 0.0))]

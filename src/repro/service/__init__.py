@@ -35,7 +35,7 @@ from .jobs import (
     ServiceClosed,
     SweepRequest,
 )
-from .client import SimServe, SweepHandle
+from .client import BatchSweepHandle, SimServe, SweepHandle
 from .metrics import Histogram, ServiceMetrics
 from .model_cache import ModelCache, canonical_model_doc, model_content_hash
 from .results import JobRecord, ResultStore
@@ -44,6 +44,7 @@ from .workers import WorkerPool, execute_request
 
 __all__ = [
     "AdmissionError",
+    "BatchSweepHandle",
     "CampaignCellRequest",
     "Histogram",
     "Job",

@@ -69,6 +69,34 @@ class SweepHandle:
         return [h.record(timeout) for h in self.handles]
 
 
+class BatchSweepHandle(SweepHandle):
+    """Sweep view backed by ONE batched job instead of N children.
+
+    ``results()`` splits the single
+    :class:`~repro.model.BatchSimulationResult` back into per-lane
+    :class:`~repro.model.SimulationResult` objects in scenario order, so
+    callers written against the fan-out path keep working unchanged.
+    """
+
+    def __init__(self, sweep_id: str, handle: JobHandle, n_lanes: int):
+        super().__init__(sweep_id, [handle])
+        self.handle = handle
+        self.n_lanes = n_lanes
+
+    def __len__(self) -> int:
+        return self.n_lanes
+
+    def result(self, timeout: Optional[float] = None):
+        """The whole-batch payload (a BatchSimulationResult)."""
+        return self.handle.result(timeout)
+
+    def results(self, timeout: Optional[float] = None) -> list:
+        batched = self.handle.result(timeout)
+        if hasattr(batched, "split"):
+            return batched.split()
+        return [batched]
+
+
 class SimServe:
     """The batched simulation job service (synchronous, in-process)."""
 
@@ -183,8 +211,38 @@ class SimServe:
 
         Admission is all-or-nothing: if any point is rejected the already
         admitted ones are cancelled, so a half-admitted sweep never runs.
+
+        ``execution="batch"`` sweeps submit as a single vector job instead
+        — one compiled model, every point a batch lane — and come back as
+        a :class:`BatchSweepHandle` whose ``results()`` still yields one
+        per-lane result per scenario.
         """
         sweep_id = f"sweep-{next(_sweep_counter):04d}"
+        if request.execution == "batch":
+            if self._closed:
+                raise ServiceClosed("service is shut down")
+            job = Job(request, priority=priority, deadline_s=deadline_s,
+                      sweep_id=sweep_id)
+            tracer = get_tracer()
+            if tracer.enabled:
+                job.trace_parent = tracer.current_span()
+                tracer.instant("service.submit", cat="service", args={
+                    "job": job.id, "kind": job.kind,
+                    "lanes": len(request.scenarios),
+                })
+            try:
+                self.scheduler.submit(job)
+            except Exception as exc:
+                self.metrics.on_reject()
+                if tracer.enabled:
+                    tracer.instant("service.reject", cat="service", args={
+                        "sweep": sweep_id, "reason": type(exc).__name__,
+                    })
+                raise
+            self.metrics.on_submit("sweep_batch")
+            return BatchSweepHandle(
+                sweep_id, JobHandle(job, self.store), len(request.scenarios)
+            )
         handles: list[JobHandle] = []
         tracer = get_tracer()
         trace_parent = tracer.current_span() if tracer.enabled else None

@@ -154,17 +154,25 @@ class CampaignCellRequest:
 
 @dataclass
 class SweepRequest:
-    """A parameter sweep: one MIL job per grid point.
+    """A parameter sweep — fanned out, or batched into one vector job.
 
-    The service expands this at submission into ``len(grid)`` child
-    :class:`MILRequest` jobs sharing a sweep id — fan-out happens at
-    admission so each point is individually scheduled, cancellable, and
+    ``execution="fanout"`` (default): the service expands this at
+    submission into ``len(grid)`` child :class:`MILRequest` jobs sharing
+    a sweep id — each point individually scheduled, cancellable, and
     cache-keyed.  ``grid`` entries are kwargs overlays merged over
     ``base_kwargs`` before calling ``builder``.
+
+    ``execution="batch"``: the whole sweep runs as **one** job on a
+    :class:`~repro.model.BatchSimulator` — one compiled model amortized
+    across every sweep point as a batch lane.  ``scenarios`` gives the
+    per-lane block overrides (``{qname: {attr: value}}`` per lane, the
+    :class:`~repro.model.BatchScenario` shape); ``builder`` is called
+    once with ``base_kwargs`` to build the shared model.  Lanes come
+    back bit-identical to what the fan-out path would produce serially.
     """
 
     builder: Callable[..., Any]
-    grid: Sequence[Mapping[str, Any]]
+    grid: Sequence[Mapping[str, Any]] = ()
     base_kwargs: Mapping[str, Any] = field(default_factory=dict)
     dt: float = 1e-3
     t_final: float = 1.0
@@ -172,12 +180,25 @@ class SweepRequest:
     use_kernels: bool = True
     log_all_signals: bool = False
     retain_trace: bool = True
+    execution: str = "fanout"
+    scenarios: Optional[Sequence[Mapping[str, Mapping[str, Any]]]] = None
 
-    kind = "sweep"
+    @property
+    def kind(self) -> str:
+        return "sweep_batch" if self.execution == "batch" else "sweep"
 
     def __post_init__(self) -> None:
-        if not self.grid:
+        if self.execution not in ("fanout", "batch"):
+            raise ValueError(f"unknown execution mode {self.execution!r}")
+        if self.execution == "batch":
+            if not self.scenarios:
+                raise ValueError("batch execution needs scenarios=")
+        elif not self.grid:
             raise ValueError("sweep grid is empty")
+
+    def resolve_model(self) -> Model:
+        built = self.builder(**dict(self.base_kwargs))
+        return built.model if hasattr(built, "model") else built
 
     def expand(self) -> list[MILRequest]:
         jobs = []

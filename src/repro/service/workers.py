@@ -45,6 +45,7 @@ from .jobs import (
     JobState,
     MILRequest,
     PILRequest,
+    SweepRequest,
 )
 from .model_cache import ModelCache
 from .results import JobRecord, ResultStore
@@ -65,6 +66,8 @@ def execute_request(
         return _execute_pil(request)
     if isinstance(request, CampaignCellRequest):
         return _execute_cell(request)
+    if isinstance(request, SweepRequest):
+        return _execute_batch_sweep(request, cache, cancel_event)
     raise TypeError(f"unknown request type {type(request).__name__}")
 
 
@@ -95,6 +98,44 @@ def _execute_mil(
         "dt": req.dt,
         "signals": result.names,
         "finals": {name: result.final(name) for name in result.names},
+    }
+    return summary, result, hit
+
+
+def _execute_batch_sweep(
+    req: SweepRequest, cache: ModelCache, cancel_event: Optional[threading.Event]
+) -> Tuple[dict, Any, bool]:
+    """One batched sweep: every point rides the same compiled model as a
+    batch lane, so the service pays compilation and stepping once."""
+    from repro.model.batch import BatchSimulator
+    from repro.model.engine import SimulationOptions
+
+    model = req.resolve_model()
+    hook = None
+    if cancel_event is not None:
+        def hook(t, engine, _ev=cancel_event):
+            if _ev.is_set():
+                raise JobCancelled()
+    with cache.lease(model, req.dt) as (cm, hit):
+        opts = SimulationOptions(
+            dt=req.dt,
+            t_final=req.t_final,
+            solver=req.solver,
+            use_kernels=req.use_kernels,
+            log_all_signals=req.log_all_signals,
+            step_hook=hook,
+        )
+        sim = BatchSimulator(cm, req.scenarios, opts)
+        result = sim.run()
+    summary = {
+        "n_steps": int(result.t.shape[0]),
+        "t_final": req.t_final,
+        "dt": req.dt,
+        "lanes": result.n_lanes,
+        "labels": list(result.labels),
+        "lanes_diverged": sim.lanes_diverged,
+        "signals": result.names,
+        "finals": {name: result.final(name).tolist() for name in result.names},
     }
     return summary, result, hit
 

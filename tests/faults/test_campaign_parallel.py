@@ -9,6 +9,7 @@ the rows.
 from repro.casestudy import ServoConfig, build_servo_model
 from repro.core import PEERTTarget
 from repro.faults import BurstErrors, FaultCampaign, FaultPlan, LineDropout
+from repro.obs.trace import Tracer, use_tracer
 from repro.sim import LossPolicy, PILSimulator
 
 SETPOINT = 100.0
@@ -61,3 +62,51 @@ class TestParallelCampaign:
         serial = _campaign().run([1.0], modes=(False,))
         one = _campaign().run([1.0], modes=(False,), workers=1)
         assert serial == one
+
+    def test_batched_chunks_equal_serial(self, monkeypatch):
+        # force the pool path regardless of host core count
+        import repro.faults.campaign as mod
+
+        monkeypatch.setattr(mod.os, "cpu_count", lambda: 4)
+        intensities = [0.5, 1.0]
+        serial = _campaign().run(intensities)
+        chunked = _campaign().run(intensities, workers=2, batch=2)
+        assert serial == chunked
+
+
+class TestAutoSerial:
+    def test_effectiveness_verdicts(self, monkeypatch):
+        import repro.faults.campaign as mod
+
+        monkeypatch.setattr(mod.os, "cpu_count", lambda: 4)
+        assert FaultCampaign.parallel_effective(None, 8) == (False, "serial request")
+        assert FaultCampaign.parallel_effective(1, 8) == (False, "serial request")
+        assert FaultCampaign.parallel_effective(4, 1)[0] is False
+        assert FaultCampaign.parallel_effective(4, 2)[0] is False  # grid < workers
+        assert FaultCampaign.parallel_effective(2, 4) == (True, None)
+        monkeypatch.setattr(mod.os, "cpu_count", lambda: 1)
+        ok, reason = FaultCampaign.parallel_effective(2, 4)
+        assert not ok and "cpu_count" in reason
+
+    def test_single_core_falls_back_and_logs_instant(self, monkeypatch):
+        import repro.faults.campaign as mod
+
+        monkeypatch.setattr(mod.os, "cpu_count", lambda: 1)
+        tracer = Tracer(capacity=4096, enabled=True)
+        with use_tracer(tracer):
+            rows = _campaign().run([1.0], modes=(False, True), workers=4)
+        assert len(rows) == 2
+        names = [e["name"] for e in tracer.events()]
+        assert "campaign.auto_serial" in names
+        serial = _campaign().run([1.0], modes=(False, True))
+        assert rows == serial
+
+    def test_effective_pool_does_not_log_instant(self, monkeypatch):
+        import repro.faults.campaign as mod
+
+        monkeypatch.setattr(mod.os, "cpu_count", lambda: 4)
+        tracer = Tracer(capacity=65536, enabled=True)
+        with use_tracer(tracer):
+            _campaign().run([0.5, 1.0], modes=(False,), workers=2)
+        names = [e["name"] for e in tracer.events()]
+        assert "campaign.auto_serial" not in names

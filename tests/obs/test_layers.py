@@ -156,7 +156,11 @@ class TestCampaignProgress:
         clone = pickle.loads(pickle.dumps(camp))
         assert clone.on_cell_done is None
 
-    def test_traced_parallel_campaign_reparents_worker_cells(self):
+    def test_traced_parallel_campaign_reparents_worker_cells(self, monkeypatch):
+        # force the pool path: single-core hosts auto-downgrade to serial
+        import repro.faults.campaign as mod
+
+        monkeypatch.setattr(mod.os, "cpu_count", lambda: 4)
         tr = Tracer(enabled=True)
         with use_tracer(tr):
             camp = _fake_campaign()

@@ -93,6 +93,61 @@ class TestDeterminism:
             assert np.array_equal(first[name], second[name])
 
 
+class TestBatchSweep:
+    """execution="batch" runs the sweep as ONE vector job; its per-lane
+    results must be bit-identical to the fan-out path's children."""
+
+    GAINS = (0.5, 1.5, 3.0)
+
+    def _fanout(self):
+        return SweepRequest(
+            builder=build_loop_model,
+            grid=[{"gain": g} for g in self.GAINS],
+            dt=1e-3,
+            t_final=0.05,
+        )
+
+    def _batched(self):
+        return SweepRequest(
+            builder=build_loop_model,
+            execution="batch",
+            scenarios=[{"ctrl": {"gain": g}} for g in self.GAINS],
+            dt=1e-3,
+            t_final=0.05,
+        )
+
+    def test_batch_matches_fanout_bit_identical(self):
+        with SimServe(workers=2) as svc:
+            fan = svc.submit_sweep(self._fanout())
+            batch = svc.submit_sweep(self._batched())
+            fan_results = fan.results(timeout=60.0)
+            batch_results = batch.results(timeout=60.0)
+        assert len(batch) == len(self.GAINS)
+        assert len(batch_results) == len(fan_results)
+        for ref, got in zip(fan_results, batch_results):
+            assert np.array_equal(ref.t, got.t)
+            assert set(ref.names) == set(got.names)
+            for name in ref.names:
+                assert np.array_equal(ref[name], got[name]), name
+
+    def test_batch_is_one_job_with_lane_summary(self):
+        with SimServe(workers=1) as svc:
+            handle = svc.submit_sweep(self._batched())
+            rec = handle.handle.record(60.0)
+            snap = svc.metrics_snapshot()
+        assert rec.state is JobState.DONE
+        assert rec.summary["lanes"] == len(self.GAINS)
+        assert rec.summary["lanes_diverged"] == 0
+        assert len(rec.summary["finals"]["y"]) == len(self.GAINS)
+        assert snap["jobs"]["completed"] == 1  # one job, not one per lane
+
+    def test_batch_requires_scenarios(self):
+        with pytest.raises(ValueError, match="scenarios"):
+            SweepRequest(
+                builder=build_loop_model, execution="batch", dt=1e-3, t_final=0.05
+            )
+
+
 class TestCache:
     def test_second_identical_job_hits_and_is_observable(self):
         model = build_loop_model()
