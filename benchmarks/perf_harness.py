@@ -267,6 +267,58 @@ def bench_campaign(workers: int) -> dict:
     }
 
 
+def bench_fuzz_throughput(workers: int) -> dict:
+    """Fuzz candidate throughput, chunk-pooled vs per-candidate serial,
+    plus the pinned-corpus replay gate.
+
+    Both fuzz runs use the same seed, so the pooled corpus must be
+    byte-identical to the serial one — the fuzzer's determinism contract
+    says worker count only buys wall-clock.  The replay side re-executes
+    every entry pinned under ``tests/fuzz/corpus/`` and fails the bench
+    if any signature drifts (the bit-identity gate the regression corpus
+    exists for).
+    """
+    from repro.fuzz import Corpus, FuzzConfig, Fuzzer, replay_corpus
+
+    def run(pool_workers, batch):
+        cfg = FuzzConfig(
+            target="servo", seed=0, generation_size=8, generations=2,
+            workers=pool_workers, batch=batch,
+        )
+        fuzzer = Fuzzer(cfg, corpus=Corpus())
+        t0 = time.perf_counter()
+        stats = fuzzer.run()
+        elapsed = time.perf_counter() - t0
+        return stats, elapsed, fuzzer.corpus
+
+    serial_stats, serial_s, serial_corpus = run(None, 1)
+    pooled_stats, pooled_s, pooled_corpus = run(workers, 4)
+    deterministic = [
+        (h, e.dumps()) for h, e in serial_corpus.entries.items()
+    ] == [
+        (h, e.dumps()) for h, e in pooled_corpus.entries.items()
+    ]
+
+    pinned = Corpus.load(HERE.parent / "tests" / "fuzz" / "corpus")
+    t0 = time.perf_counter()
+    replays = replay_corpus(pinned)
+    replay_s = time.perf_counter() - t0
+    mismatches = [h for h, r in replays.items() if not r.ok]
+    return {
+        "candidates": serial_stats.candidates,
+        "novel": serial_stats.novel,
+        "workers": workers,
+        "candidates_per_s_serial": serial_stats.candidates / serial_s,
+        "candidates_per_s_batched": pooled_stats.candidates / pooled_s,
+        "batched_speedup": serial_s / pooled_s,
+        "deterministic": deterministic,
+        "corpus_entries": len(pinned),
+        "corpus_replays_per_s": len(pinned) / replay_s if len(pinned) else 0.0,
+        "corpus_replay_ok": not mismatches,
+        "corpus_mismatches": mismatches,
+    }
+
+
 def bench_service(n_jobs: int = 24) -> dict:
     """SimServe throughput and compiled-model-cache effectiveness.
 
@@ -323,6 +375,7 @@ def measure(workers: int) -> dict:
     events_per_s = bench_events()
     roundtrips_per_s = bench_codec()
     campaign = bench_campaign(workers)
+    fuzz = bench_fuzz_throughput(workers)
     service = bench_service()
     obs = bench_tracing_overhead()
     report = {
@@ -341,6 +394,7 @@ def measure(workers: int) -> dict:
         "events": {"events_per_s": events_per_s},
         "codec": {"roundtrips_per_s": roundtrips_per_s},
         "campaign": campaign,
+        "fuzz": fuzz,
         "service": service,
         "obs": obs,
         # machine-portable forms: throughput x spin-time (per-spin units)
@@ -351,6 +405,7 @@ def measure(workers: int) -> dict:
             "events_per_spin": events_per_s * cal,
             "codec_roundtrips_per_spin": roundtrips_per_s * cal,
             "campaign_cells_per_spin": campaign["cells_per_s_serial"] * cal,
+            "fuzz_candidates_per_spin": fuzz["candidates_per_s_serial"] * cal,
             "service_jobs_per_spin": service["service_jobs_per_s"] * cal,
         },
     }
@@ -407,6 +462,17 @@ def check(fresh: dict, baseline: dict, strict_absolute: bool) -> list[str]:
                 fresh["campaign"]["parallel_speedup"],
                 camp_base["parallel_speedup"],
             )
+    fuzz = fresh.get("fuzz", {})
+    if fuzz and not fuzz["deterministic"]:
+        failures.append(
+            "fuzz pooled corpus differs from serial corpus "
+            "(worker count leaked into candidate results)"
+        )
+    if fuzz and not fuzz["corpus_replay_ok"]:
+        failures.append(
+            "pinned fuzz corpus no longer replays bit-identically: "
+            f"{fuzz['corpus_mismatches']}"
+        )
     if fresh["service"]["cache_hits"] == 0:
         failures.append("service model cache never hit (repeat jobs recompiled)")
     if fresh["service"]["failed"]:
@@ -486,6 +552,14 @@ def main(argv=None) -> int:
         f"campaign: {camp['cells_per_s_serial']:.2f} cells/s serial, "
         f"{camp['cells_per_s_parallel']:.2f} cells/s with "
         f"{camp['workers']} workers ({camp['cpu_count']} CPUs)"
+    )
+    fz = fresh["fuzz"]
+    print(
+        f"fuzz:   {fz['candidates_per_s_serial']:.2f} candidates/s serial, "
+        f"{fz['candidates_per_s_batched']:.2f} batched "
+        f"({fz['workers']} workers), deterministic={fz['deterministic']}; "
+        f"corpus replay {fz['corpus_entries']} entries at "
+        f"{fz['corpus_replays_per_s']:.2f}/s, ok={fz['corpus_replay_ok']}"
     )
     svc = fresh["service"]
     print(

@@ -20,11 +20,14 @@ Typical use::
 """
 
 from .models import (
+    FAULT_TYPES,
     BurstErrors,
     FaultModel,
     LineDropout,
     StepOverrun,
     StuckSensor,
+    derive_rng,
+    fault_from_dict,
 )
 from .plan import FaultPlan
 from .campaign import CampaignInterrupted, CampaignOutcome, FaultCampaign, run_campaign
@@ -35,6 +38,9 @@ __all__ = [
     "LineDropout",
     "StuckSensor",
     "StepOverrun",
+    "FAULT_TYPES",
+    "fault_from_dict",
+    "derive_rng",
     "FaultPlan",
     "CampaignInterrupted",
     "CampaignOutcome",

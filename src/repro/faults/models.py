@@ -22,6 +22,23 @@ from typing import Optional
 
 import numpy as np
 
+#: seed spacing between sibling RNG streams derived from one root seed
+#: (any odd constant works; it only has to decorrelate deterministically)
+SEED_STRIDE = 9973
+
+
+def derive_rng(root_seed: int, index: int) -> np.random.Generator:
+    """The one seeded RNG-derivation rule of the fault subsystem.
+
+    Every consumer of per-model randomness — :meth:`FaultPlan.arm`
+    re-seeding its models, the fuzz mutator spawning candidate streams —
+    derives child generators through this pure-integer-arithmetic rule,
+    so identical root seeds reproduce identical campaigns in any process
+    (``PYTHONHASHSEED`` cannot perturb it; nothing here touches Python's
+    ``hash`` or ``random``).
+    """
+    return np.random.default_rng(int(root_seed) + SEED_STRIDE * (int(index) + 1))
+
 
 class FaultModel(abc.ABC):
     """A time-windowed fault; subclasses add the effect."""
@@ -48,13 +65,41 @@ class FaultModel(abc.ABC):
     def reseed(self, seed: int) -> None:
         """Restore the model to its pristine, deterministic state (called
         by the plan before every attach)."""
-        self._rng = np.random.default_rng(seed)
+        self.reseed_from(np.random.default_rng(seed))
+
+    def reseed_from(self, rng: np.random.Generator) -> None:
+        """Thread an externally derived generator into this model (the
+        plan's :meth:`~repro.faults.FaultPlan.arm` path) and clear any
+        per-run state."""
+        self._rng = rng
+        self._reset()
+
+    def _reset(self) -> None:
+        """Per-run state reset hook (most models are stateless)."""
 
     def scaled(self, intensity: float) -> "FaultModel":
         """A copy of this fault at ``intensity`` (1.0 = as configured);
         campaign sweeps use this to turn one plan into a family.  The
         default scales nothing (not every fault has a magnitude)."""
         return self
+
+    # ------------------------------------------------------------------
+    # stable JSON serialization (fuzz corpus entries pin plans as JSON,
+    # never pickles: the format must survive refactors and processes)
+    # ------------------------------------------------------------------
+    def _params(self) -> dict:
+        """Constructor-keyword dict; subclasses extend."""
+        return {"start": self.start, "duration": self.duration}
+
+    def to_dict(self) -> dict:
+        """JSON-ready form: ``{"type": <class name>, **ctor kwargs}``."""
+        return {"type": type(self).__name__, **self._params()}
+
+    def __eq__(self, other) -> bool:
+        return type(other) is type(self) and other._params() == self._params()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(self._params().items(), key=lambda kv: kv[0]))))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -86,6 +131,9 @@ class BurstErrors(FaultModel):
         return BurstErrors(
             self.start, self.duration, min(1.0, self.rate * intensity)
         )
+
+    def _params(self) -> dict:
+        return {**super()._params(), "rate": self.rate}
 
 
 class LineDropout(FaultModel):
@@ -120,8 +168,7 @@ class StuckSensor(FaultModel):
         self.value = value
         self._held: Optional[float] = None
 
-    def reseed(self, seed: int) -> None:
-        super().reseed(seed)
+    def _reset(self) -> None:
         self._held = None
 
     def apply_sensor(self, t: float, block: str, value: float) -> float:
@@ -132,6 +179,9 @@ class StuckSensor(FaultModel):
         if self._held is None:
             self._held = value
         return self._held
+
+    def _params(self) -> dict:
+        return {**super()._params(), "block": self.block, "value": self.value}
 
 
 class StepOverrun(FaultModel):
@@ -154,3 +204,31 @@ class StepOverrun(FaultModel):
         return StepOverrun(
             self.start, self.duration, max(1.0, self.factor * intensity)
         )
+
+    def _params(self) -> dict:
+        return {**super()._params(), "factor": self.factor}
+
+
+#: serialization registry: ``to_dict()["type"]`` -> class
+FAULT_TYPES = {
+    cls.__name__: cls
+    for cls in (BurstErrors, LineDropout, StuckSensor, StepOverrun)
+}
+
+
+def fault_from_dict(doc: dict) -> FaultModel:
+    """Rebuild a fault model from :meth:`FaultModel.to_dict` output.
+
+    Goes through the real constructor, so every validation rule
+    (probability ranges, non-negative windows) applies to deserialized
+    corpus entries exactly as to hand-written plans.
+    """
+    doc = dict(doc)
+    type_name = doc.pop("type", None)
+    cls = FAULT_TYPES.get(type_name)
+    if cls is None:
+        raise ValueError(
+            f"unknown fault type {type_name!r} "
+            f"(known: {sorted(FAULT_TYPES)})"
+        )
+    return cls(**doc)

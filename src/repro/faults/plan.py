@@ -12,11 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from .models import FaultModel
-
-#: seed spacing between models inside one plan (any odd constant works;
-#: it only has to decorrelate the per-model streams deterministically)
-_SEED_STRIDE = 9973
+from .models import FaultModel, derive_rng, fault_from_dict
 
 
 @dataclass
@@ -28,6 +24,26 @@ class FaultPlan:
 
     def __post_init__(self) -> None:
         self.faults = tuple(self.faults)
+
+    # ------------------------------------------------------------------
+    # stable JSON serialization (the fuzz corpus format)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready form; round-trips exactly through
+        :meth:`from_dict` (floats survive via shortest-repr JSON)."""
+        return {
+            "seed": int(self.seed),
+            "faults": [f.to_dict() for f in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultPlan":
+        """Rebuild a plan serialized by :meth:`to_dict`; every fault goes
+        through its real constructor, so validation applies."""
+        return cls(
+            faults=[fault_from_dict(f) for f in doc.get("faults", ())],
+            seed=int(doc.get("seed", 0)),
+        )
 
     # ------------------------------------------------------------------
     def by_kind(self, kind: str) -> list[FaultModel]:
@@ -70,9 +86,15 @@ class FaultPlan:
         pil.fault_plan = self
 
     def arm(self) -> None:
-        """Re-seed all models and cache the per-kind dispatch lists."""
+        """Re-seed all models and cache the per-kind dispatch lists.
+
+        Each model's stream is derived from the plan seed through
+        :func:`~repro.faults.models.derive_rng` — pure integer
+        arithmetic, so the same plan seed reproduces the same campaign
+        byte-for-byte in any process.
+        """
         for i, f in enumerate(self.faults):
-            f.reseed(self.seed + _SEED_STRIDE * (i + 1))
+            f.reseed_from(derive_rng(self.seed, i))
         self._line = self.by_kind("line")
         self._sensor = self.by_kind("sensor")
         self._cpu = self.by_kind("cpu")

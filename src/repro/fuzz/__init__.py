@@ -1,0 +1,52 @@
+"""Coverage-guided fault-space fuzzing (the robustness search layer).
+
+Classic greybox fuzzing aimed at the fault-injection space instead of
+byte buffers: seed a population from hand-written
+:class:`~repro.faults.FaultPlan` grids, mutate fault parameters with a
+deterministic seeded RNG, execute candidates through the batched
+campaign machinery, and score each run by the *trace signature*
+extracted from its ``repro.obs`` event stream.  Novel signatures enter
+a content-addressed JSON corpus and get mutation priority; found
+corners are pinned under ``tests/fuzz/corpus/`` and replayed
+bit-identically as regression tests.
+
+CLI: ``python -m repro.fuzz run|replay|corpus``.
+"""
+
+from .signature import (
+    SIGNATURE_SCHEMA,
+    SignatureConfig,
+    TraceSignature,
+    extract_signature,
+    signature_hash,
+)
+from .mutate import MUTATION_OPS, MutationConfig, PlanMutator
+from .corpus import CORPUS_SCHEMA, Corpus, CorpusEntry
+from .targets import FuzzTarget, TARGETS, get_target, register_target
+from .fuzzer import FuzzConfig, FuzzStats, Fuzzer, evaluate_plan
+from .replay import ReplayResult, replay_corpus, replay_entry
+
+__all__ = [
+    "SIGNATURE_SCHEMA",
+    "SignatureConfig",
+    "TraceSignature",
+    "extract_signature",
+    "signature_hash",
+    "MUTATION_OPS",
+    "MutationConfig",
+    "PlanMutator",
+    "CORPUS_SCHEMA",
+    "Corpus",
+    "CorpusEntry",
+    "FuzzTarget",
+    "TARGETS",
+    "get_target",
+    "register_target",
+    "FuzzConfig",
+    "FuzzStats",
+    "Fuzzer",
+    "evaluate_plan",
+    "ReplayResult",
+    "replay_corpus",
+    "replay_entry",
+]

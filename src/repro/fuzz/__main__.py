@@ -1,0 +1,156 @@
+"""``python -m repro.fuzz`` — run, replay and curate fault-space fuzzing.
+
+Subcommands::
+
+    python -m repro.fuzz run     --model servo --budget 60 --seed 0 \\
+                                 [--generations N] [--candidates N] \\
+                                 [--corpus DIR] [--workers N] [--batch N] \\
+                                 [--min-novel N] [--trace-out FILE]
+    python -m repro.fuzz replay  --corpus DIR [--verbose]
+    python -m repro.fuzz corpus  ls|minimize --corpus DIR [--apply]
+
+``run`` executes a fuzz campaign (stop on any of budget / generations /
+candidate count) and writes novel corners into the corpus directory;
+``--min-novel`` exits non-zero if fewer distinct signatures were found
+(the CI smoke gate).  ``replay`` re-executes every pinned entry and
+fails on any signature drift.  ``corpus ls`` lists entries one per
+line; ``corpus minimize`` reports the greedy set-cover reduction and
+``--apply`` deletes the redundant files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .corpus import Corpus
+from .fuzzer import FuzzConfig, Fuzzer
+from .replay import replay_corpus
+
+
+def _cmd_run(ns: argparse.Namespace) -> int:
+    from repro.obs import configure
+
+    tracer = configure(enabled=True) if ns.trace_out else None
+    corpus = Corpus(ns.corpus)
+    config = FuzzConfig(
+        target=ns.model,
+        seed=ns.seed,
+        generation_size=ns.generation_size,
+        generations=ns.generations,
+        max_candidates=ns.candidates,
+        budget_s=ns.budget,
+        workers=ns.workers,
+        batch=ns.batch,
+    )
+    fuzzer = Fuzzer(config, corpus=corpus)
+    stats = fuzzer.run()
+    print(
+        f"fuzz[{ns.model}] seed={ns.seed}: {stats.candidates} candidates / "
+        f"{stats.generations} generations in {stats.elapsed_s:.1f}s "
+        f"({stats.stop_reason}); {stats.novel} novel signatures, "
+        f"corpus now {len(corpus)}"
+    )
+    for line in corpus.describe():
+        print(f"  {line}")
+    if ns.trace_out:
+        tracer.export_jsonl(ns.trace_out, config={"fuzz": config.target,
+                                                  "seed": config.seed})
+        print(f"trace -> {ns.trace_out}")
+    if ns.min_novel is not None and stats.novel < ns.min_novel:
+        print(
+            f"FAIL: {stats.novel} novel signatures < required {ns.min_novel}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_replay(ns: argparse.Namespace) -> int:
+    corpus = Corpus.load(ns.corpus)
+    if not len(corpus):
+        print(f"no corpus entries under {ns.corpus}", file=sys.stderr)
+        return 1
+    results = replay_corpus(corpus)
+    failures = 0
+    for sig_hash, result in results.items():
+        if result.ok:
+            if ns.verbose:
+                print(f"ok   {sig_hash}")
+        else:
+            failures += 1
+            print(f"FAIL {result.diff(corpus.entries[sig_hash])}")
+    print(f"replayed {len(results)} entries, {failures} mismatches")
+    return 1 if failures else 0
+
+
+def _cmd_corpus(ns: argparse.Namespace) -> int:
+    corpus = Corpus.load(ns.corpus)
+    if ns.action == "ls":
+        for line in corpus.describe():
+            print(line)
+        print(f"{len(corpus)} entries")
+        return 0
+    # minimize
+    kept, dropped = corpus.minimize()
+    print(f"minimize: keep {len(kept)}, drop {len(dropped)}")
+    for entry in dropped:
+        print(f"  drop {entry.sig_hash}")
+    if ns.apply and dropped:
+        corpus.apply_minimize()
+        print("applied")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="coverage-guided fault-space fuzzing",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_run = sub.add_parser("run", help="run a fuzz campaign")
+    p_run.add_argument("--model", default="servo", help="fuzz target name")
+    p_run.add_argument("--seed", type=int, default=0, help="campaign seed")
+    p_run.add_argument("--budget", type=float, default=None,
+                       help="wall-clock budget (s), checked per generation")
+    p_run.add_argument("--generations", type=int, default=None,
+                       help="stop after N generations")
+    p_run.add_argument("--candidates", type=int, default=None,
+                       help="stop after N candidates")
+    p_run.add_argument("--generation-size", type=int, default=8,
+                       help="candidates per generation")
+    p_run.add_argument("--corpus", default=None,
+                       help="corpus directory (omit for in-memory only)")
+    p_run.add_argument("--workers", type=int, default=None,
+                       help="process-pool width (default: serial)")
+    p_run.add_argument("--batch", type=int, default=4,
+                       help="candidates per pool task")
+    p_run.add_argument("--min-novel", type=int, default=None,
+                       help="exit 1 unless >= N novel signatures found")
+    p_run.add_argument("--trace-out", default=None,
+                       help="export the fuzz obs trace (JSONL)")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_rep = sub.add_parser("replay", help="replay a pinned corpus")
+    p_rep.add_argument("--corpus", required=True, help="corpus directory")
+    p_rep.add_argument("--verbose", action="store_true",
+                       help="print every entry, not just failures")
+    p_rep.set_defaults(fn=_cmd_replay)
+
+    p_cor = sub.add_parser("corpus", help="inspect / curate a corpus")
+    p_cor.add_argument("action", choices=("ls", "minimize"))
+    p_cor.add_argument("--corpus", required=True, help="corpus directory")
+    p_cor.add_argument("--apply", action="store_true",
+                       help="minimize: delete redundant entries")
+    p_cor.set_defaults(fn=_cmd_corpus)
+
+    ns = parser.parse_args(argv)
+    return ns.fn(ns)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `... corpus ls | head`
+        sys.exit(0)

@@ -1,0 +1,216 @@
+"""The fuzz corpus: content-addressed, pinned, replayable corner cases.
+
+One corpus entry = one fault plan that produced a novel trace signature,
+stored as ``<signature-hash>.json`` in a corpus directory.  The file
+name *is* the content address (SHA-256 of the canonical signature
+payload), so two fuzz runs that find the same corner write the same
+file with the same bytes — a corpus diff is a behaviour diff.
+
+Entries serialize plans through :meth:`~repro.faults.FaultPlan.to_dict`
+(never pickles), carry the extraction config, the scoring metrics and
+the discovery lineage (parent hash, mutation op, generation), and are
+written with ``sort_keys`` + fixed indentation so byte-identity across
+runs is exact.
+
+The pinned regression corpus lives in ``tests/fuzz/corpus/``; the
+replay runner (:mod:`repro.fuzz.replay`) re-executes every entry and
+asserts the reproduced signature hash matches the file name.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.faults import FaultPlan
+
+from .signature import SIGNATURE_SCHEMA, TraceSignature, signature_hash
+
+__all__ = ["CorpusEntry", "Corpus"]
+
+#: corpus file format version
+CORPUS_SCHEMA = 1
+
+
+@dataclass
+class CorpusEntry:
+    """One pinned corner case."""
+
+    target: str
+    plan: dict
+    signature: TraceSignature
+    sig_hash: str = ""
+    #: simulated horizon the signature was extracted at — pinned per
+    #: entry so replays stay exact even if the target's default moves
+    t_final: float = 0.0
+    metrics: dict = field(default_factory=dict)
+    generation: int = 0
+    parent: Optional[str] = None
+    op: str = "seed"
+    fuzz_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.sig_hash:
+            self.sig_hash = signature_hash(self.signature)
+
+    # ------------------------------------------------------------------
+    def fault_plan(self) -> FaultPlan:
+        return FaultPlan.from_dict(self.plan)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": CORPUS_SCHEMA,
+            "target": self.target,
+            "plan": self.plan,
+            "signature": self.signature.to_dict(),
+            "sig_hash": self.sig_hash,
+            "t_final": self.t_final,
+            "metrics": self.metrics,
+            "generation": self.generation,
+            "parent": self.parent,
+            "op": self.op,
+            "fuzz_seed": self.fuzz_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "CorpusEntry":
+        if doc.get("schema") != CORPUS_SCHEMA:
+            raise ValueError(
+                f"corpus schema {doc.get('schema')!r} != {CORPUS_SCHEMA}"
+            )
+        return cls(
+            target=doc["target"],
+            plan=doc["plan"],
+            signature=TraceSignature.from_dict(doc["signature"]),
+            sig_hash=doc["sig_hash"],
+            t_final=float(doc.get("t_final", 0.0)),
+            metrics=dict(doc.get("metrics", {})),
+            generation=int(doc.get("generation", 0)),
+            parent=doc.get("parent"),
+            op=doc.get("op", "seed"),
+            fuzz_seed=int(doc.get("fuzz_seed", 0)),
+        )
+
+    def dumps(self) -> str:
+        """Canonical bytes: sorted keys, 2-space indent, trailing NL."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+
+class Corpus:
+    """A directory of content-addressed :class:`CorpusEntry` files.
+
+    Holds the in-memory index in *insertion order* (discovery order for
+    a live fuzz run, sorted-filename order after :meth:`load`) — the
+    fuzzer's parent-selection determinism depends on that ordering.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root) if root is not None else None
+        self.entries: dict[str, CorpusEntry] = {}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, sig_hash: str) -> bool:
+        return sig_hash in self.entries
+
+    def __iter__(self):
+        return iter(self.entries.values())
+
+    # ------------------------------------------------------------------
+    def add(self, entry: CorpusEntry, write: bool = True) -> bool:
+        """Admit ``entry`` if its signature is novel; returns True when
+        the corpus grew.  ``write`` persists to ``root`` when set."""
+        if entry.sig_hash in self.entries:
+            return False
+        self.entries[entry.sig_hash] = entry
+        if write and self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self.path_of(entry.sig_hash).write_text(entry.dumps())
+        return True
+
+    def path_of(self, sig_hash: str) -> Path:
+        if self.root is None:
+            raise ValueError("corpus has no backing directory")
+        return self.root / f"{sig_hash}.json"
+
+    @classmethod
+    def load(cls, root: os.PathLike) -> "Corpus":
+        """Read every ``*.json`` entry under ``root`` (sorted by file
+        name, so load order is process-stable)."""
+        corpus = cls(root)
+        for path in sorted(Path(root).glob("*.json")):
+            entry = CorpusEntry.from_dict(json.loads(path.read_text()))
+            actual = signature_hash(entry.signature)
+            if actual != path.stem or entry.sig_hash != path.stem:
+                raise ValueError(
+                    f"{path.name}: content address mismatch "
+                    f"(file says {path.stem}, payload hashes to {actual})"
+                )
+            corpus.entries[entry.sig_hash] = entry
+        return corpus
+
+    # ------------------------------------------------------------------
+    def minimize(self) -> tuple[list[CorpusEntry], list[CorpusEntry]]:
+        """Greedy set-cover reduction: keep the smallest entry subset
+        whose signatures still cover every observed behaviour component
+        (event cells, banded counters, health/IAE bands).
+
+        Returns ``(kept, dropped)``; does not touch the directory —
+        callers decide whether to apply.
+        """
+        def atoms(e: CorpusEntry) -> frozenset:
+            sig = e.signature
+            return frozenset(
+                [("ev",) + tuple(cell) for cell in sig.events]
+                + [("ct", k, v) for k, v in sig.counts.items()]
+                + [("pr", i, b) for i, b in enumerate(sig.profile)]
+                + [("health", sig.health), ("iae", sig.iae_band)]
+            )
+
+        remaining = {h: atoms(e) for h, e in self.entries.items()}
+        uncovered = set().union(*remaining.values()) if remaining else set()
+        kept: list[CorpusEntry] = []
+        # deterministic greedy: biggest new coverage first, hash breaks ties
+        while uncovered:
+            best = max(
+                remaining.items(),
+                key=lambda kv: (len(kv[1] & uncovered), kv[0]),
+            )
+            h, cover = best
+            if not cover & uncovered:
+                break
+            kept.append(self.entries[h])
+            uncovered -= cover
+            del remaining[h]
+        kept_hashes = {e.sig_hash for e in kept}
+        dropped = [e for h, e in self.entries.items() if h not in kept_hashes]
+        return kept, dropped
+
+    def apply_minimize(self) -> tuple[int, int]:
+        """Run :meth:`minimize` and delete the dropped files; returns
+        ``(kept, dropped)`` counts."""
+        kept, dropped = self.minimize()
+        for entry in dropped:
+            del self.entries[entry.sig_hash]
+            if self.root is not None:
+                path = self.path_of(entry.sig_hash)
+                if path.exists():
+                    path.unlink()
+        return len(kept), len(dropped)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> Iterable[str]:
+        """One human line per entry (the ``corpus ls`` CLI)."""
+        for entry in self.entries.values():
+            faults = ",".join(
+                f["type"] for f in entry.plan.get("faults", ())
+            ) or "clean"
+            yield (
+                f"{entry.sig_hash}  gen {entry.generation:>2}  "
+                f"{entry.op:>9}  [{faults}]  {entry.signature.summary()}"
+            )

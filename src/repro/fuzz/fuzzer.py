@@ -1,0 +1,379 @@
+"""The coverage-guided fault-space fuzzer (the `repro.fuzz` engine).
+
+The loop is classic greybox fuzzing, re-aimed at control systems:
+
+1. **seed** a population from the target's hand-written
+   :class:`~repro.faults.FaultPlan` grid (plus the clean plan, which
+   pins the nominal signature);
+2. **mutate** fault parameters — burst timing/length, dropout windows,
+   stuck-sensor onset, overrun magnitude — with one seeded
+   :class:`numpy.random.Generator` (:mod:`repro.fuzz.mutate`);
+3. **execute** candidate batches: chunks of candidates fan out over a
+   process pool exactly like ``FaultCampaign.run(batch=N)`` chunks its
+   grid cells, so a generation costs a handful of pool dispatches, not
+   one per candidate (serial fallback runs the same code in-process);
+4. **score** each candidate by extracting a trace signature from the
+   run's ``repro.obs`` event stream (:mod:`repro.fuzz.signature`);
+   candidates whose signature the corpus has never seen are admitted
+   and become preferred mutation parents.
+
+Determinism contract: for a fixed ``seed`` and a fixed generation
+count, two fuzz runs produce byte-identical corpora — candidate
+construction depends only on the rng stream and corpus state (both
+deterministic), execution is per-candidate independent (worker count
+and chunking cannot reorder results), and wall-clock time only decides
+*when to stop*, never *what runs next*.  The CI smoke and the
+regression tests pin exactly this.
+
+Observability: a ``fuzz.run`` span wraps the campaign, one
+``fuzz.generation`` span per generation carries candidate/novelty
+counts, per-candidate ``fuzz.candidate`` instants mark discoveries, and
+the global registry accumulates ``fuzz_candidates_total``,
+``fuzz_novel_signatures_total`` and ``fuzz_generations_total``.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.faults import FaultPlan
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
+
+from .corpus import Corpus, CorpusEntry
+from .mutate import MutationConfig, PlanMutator
+from .signature import SignatureConfig, TraceSignature, signature_hash
+from .targets import FuzzTarget, get_target
+
+__all__ = ["FuzzConfig", "FuzzStats", "Fuzzer", "evaluate_plan"]
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One fuzz campaign's knobs."""
+
+    target: str = "servo"
+    seed: int = 0
+    #: candidates per generation
+    generation_size: int = 8
+    #: stop criteria — any subset; at least one must be set
+    generations: Optional[int] = None
+    max_candidates: Optional[int] = None
+    budget_s: Optional[float] = None
+    #: process-pool width (None/1 = in-process serial)
+    workers: Optional[int] = None
+    #: candidates per pool task (the batch-engine chunking idea)
+    batch: int = 4
+    #: override the target's simulated horizon (s)
+    t_final: Optional[float] = None
+    signature: SignatureConfig = SignatureConfig()
+
+    def __post_init__(self) -> None:
+        if self.generation_size < 1:
+            raise ValueError("generation_size must be >= 1")
+        if self.batch < 1:
+            raise ValueError("batch must be >= 1")
+        if (
+            self.generations is None
+            and self.max_candidates is None
+            and self.budget_s is None
+        ):
+            raise ValueError(
+                "set at least one stop criterion "
+                "(generations / max_candidates / budget_s)"
+            )
+
+
+@dataclass
+class FuzzStats:
+    """What one campaign did."""
+
+    candidates: int = 0
+    novel: int = 0
+    generations: int = 0
+    elapsed_s: float = 0.0
+    stop_reason: str = ""
+    sig_hashes: list = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# candidate execution (module-level: pool tasks must pickle)
+# ---------------------------------------------------------------------------
+def evaluate_plan(
+    target: FuzzTarget,
+    plan_doc: dict,
+    t_final: float,
+    sig_config: SignatureConfig,
+) -> dict:
+    """Execute one candidate plan on a fresh rig under a private capture
+    tracer and distill the run into its signature + score row.
+
+    This one function is the execution semantics of the whole subsystem:
+    the fuzzer's serial path, the pool chunk task, and the replay runner
+    all call it, which is what makes replays bit-identical by
+    construction.
+    """
+    from repro.obs.trace import Tracer, use_tracer
+
+    from .signature import extract_signature
+
+    plan = FaultPlan.from_dict(plan_doc)
+    local = Tracer(enabled=True)
+    with use_tracer(local):
+        # the rig must be built inside: instrumented layers bind the
+        # tracer at construction
+        pil = target.make_pil()
+        plan.attach(pil)
+        result = pil.run(t_final)
+    sig = extract_signature(
+        local.events(),
+        result,
+        reference=target.reference,
+        signal=target.signal,
+        config=sig_config,
+    )
+    return {
+        "signature": sig,
+        "hash": signature_hash(sig),
+        "metrics": {
+            "iae": _iae(result, target),
+            "diverged": sig.health == "diverged",
+            "retransmits": result.retransmits,
+            "arq_timeouts": result.arq_timeouts,
+            "send_failures": result.send_failures,
+            "crc_errors": result.crc_errors,
+            "recoveries": result.recoveries,
+            "watchdog_resets": result.watchdog_resets,
+            "safe_state_steps": result.safe_state_steps,
+            "max_consecutive_loss": result.max_consecutive_loss,
+            "steps": result.steps,
+        },
+    }
+
+
+def _iae(result, target: FuzzTarget) -> float:
+    from repro.analysis import iae
+
+    y = result.result[target.signal]
+    return float(iae(result.result.t, target.reference - y))
+
+
+def _run_chunk(
+    target_name: str,
+    plan_docs: list,
+    t_final: float,
+    sig_config: SignatureConfig,
+) -> list:
+    """Pool task: one contiguous chunk of candidates, in order."""
+    target = get_target(target_name)
+    return [
+        evaluate_plan(target, doc, t_final, sig_config) for doc in plan_docs
+    ]
+
+
+# ---------------------------------------------------------------------------
+# the fuzzer
+# ---------------------------------------------------------------------------
+class Fuzzer:
+    """Coverage-guided scenario search over one fuzz target."""
+
+    def __init__(self, config: FuzzConfig, corpus: Optional[Corpus] = None):
+        self.config = config
+        self.target = get_target(config.target)
+        self.t_final = (
+            config.t_final if config.t_final is not None else self.target.t_final
+        )
+        self.corpus = corpus if corpus is not None else Corpus()
+        self.mutator = PlanMutator(
+            config.seed,
+            MutationConfig(
+                t_final=self.t_final,
+                sensor_blocks=tuple(self.target.sensor_blocks),
+            ),
+        )
+        self.stats = FuzzStats()
+        self._tracer = get_tracer()
+        reg = get_registry()
+        self._c_candidates = reg.counter(
+            "fuzz_candidates_total", "fault-plan candidates executed"
+        )
+        self._c_novel = reg.counter(
+            "fuzz_novel_signatures_total", "novel trace signatures admitted"
+        )
+        self._c_generations = reg.counter(
+            "fuzz_generations_total", "fuzz generations completed"
+        )
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+    def _seed_population(self) -> list[tuple[FaultPlan, str]]:
+        """The clean plan plus the target's hand-written grid."""
+        plans = [FaultPlan([], seed=0)] + list(self.target.seed_grid())
+        return [(p, "seed") for p in plans]
+
+    def _select_parents(self, k: int) -> list[FaultPlan]:
+        """``k`` parents, favouring recent discoveries.
+
+        The pool is the corpus in *discovery order*; weights decay with
+        age (generations since admission) so fresh corners get mutation
+        priority while old ones stay reachable.  Pure rng + corpus
+        state — deterministic.
+        """
+        entries = list(self.corpus)
+        gen = self.stats.generations
+        weights = [
+            0.25 + 2.0 ** -min(gen - e.generation, 6) for e in entries
+        ]
+        total = sum(weights)
+        p = [w / total for w in weights]
+        idx = self.mutator.rng.choice(len(entries), size=k, p=p)
+        return [entries[int(i)].fault_plan() for i in idx]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _execute(self, plans: list[FaultPlan]) -> list[dict]:
+        """Evaluate candidates in order; chunked over a pool if asked.
+
+        Results are keyed by candidate position, so worker count and
+        chunk boundaries cannot change the outcome — only the wall
+        time."""
+        docs = [p.to_dict() for p in plans]
+        cfg = self.config
+        if cfg.workers is None or cfg.workers <= 1 or len(docs) <= 1:
+            return _run_chunk(cfg.target, docs, self.t_final, cfg.signature)
+        size = max(1, cfg.batch)
+        chunks = [docs[i : i + size] for i in range(0, len(docs), size)]
+        results: list[dict] = []
+        with ProcessPoolExecutor(
+            max_workers=min(cfg.workers, len(chunks))
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _run_chunk, cfg.target, chunk, self.t_final, cfg.signature
+                )
+                for chunk in chunks
+            ]
+            for f in futures:
+                results.extend(f.result())
+        return results
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def _admit(
+        self,
+        plan: FaultPlan,
+        op: str,
+        parent: Optional[str],
+        outcome: dict,
+    ) -> bool:
+        self.stats.candidates += 1
+        self._c_candidates.inc()
+        novel = outcome["hash"] not in self.corpus
+        if self._tracer.enabled:
+            self._tracer.instant("fuzz.candidate", cat="fuzz", args={
+                "hash": outcome["hash"], "op": op, "novel": novel,
+                "health": outcome["signature"].health,
+            })
+        if not novel:
+            return False
+        entry = CorpusEntry(
+            target=self.config.target,
+            plan=plan.to_dict(),
+            signature=outcome["signature"],
+            sig_hash=outcome["hash"],
+            t_final=self.t_final,
+            metrics=outcome["metrics"],
+            generation=self.stats.generations,
+            parent=parent,
+            op=op,
+            fuzz_seed=self.config.seed,
+        )
+        self.corpus.add(entry)
+        self.stats.novel += 1
+        self.stats.sig_hashes.append(outcome["hash"])
+        self._c_novel.inc()
+        return True
+
+    # ------------------------------------------------------------------
+    # the campaign loop
+    # ------------------------------------------------------------------
+    def _stopped(self, t0: float) -> Optional[str]:
+        cfg = self.config
+        if cfg.generations is not None and self.stats.generations >= cfg.generations:
+            return f"generations({cfg.generations})"
+        if (
+            cfg.max_candidates is not None
+            and self.stats.candidates >= cfg.max_candidates
+        ):
+            return f"max_candidates({cfg.max_candidates})"
+        if cfg.budget_s is not None and time.perf_counter() - t0 >= cfg.budget_s:
+            return f"budget({cfg.budget_s:g}s)"
+        return None
+
+    def run(self) -> FuzzStats:
+        cfg = self.config
+        t0 = time.perf_counter()
+        tracer = self._tracer
+        with tracer.span("fuzz.run", cat="fuzz", args={
+            "target": cfg.target, "seed": cfg.seed,
+            "generation_size": cfg.generation_size,
+            "workers": cfg.workers or 1, "batch": cfg.batch,
+            "t_final": self.t_final,
+        }) as run_span:
+            # generation 0: the seed grid
+            seeds = self._seed_population()
+            self._generation(
+                [p for p, _ in seeds], ["seed"] * len(seeds),
+                [None] * len(seeds),
+            )
+            while (reason := self._stopped(t0)) is None:
+                parents = self._select_parents(cfg.generation_size)
+                mates = self._select_parents(cfg.generation_size)
+                plans, ops, lineage = [], [], []
+                for parent, mate in zip(parents, mates):
+                    mutant, op = self.mutator.mutate(parent, mate=mate)
+                    plans.append(mutant)
+                    ops.append(op)
+                    lineage.append(signature_hash_of_parent(parent, self.corpus))
+                self._generation(plans, ops, lineage)
+            self.stats.stop_reason = reason
+            self.stats.elapsed_s = time.perf_counter() - t0
+            if run_span is not None:
+                run_span.args.update({
+                    "candidates": self.stats.candidates,
+                    "novel": self.stats.novel,
+                    "generations": self.stats.generations,
+                    "stop": reason,
+                })
+        return self.stats
+
+    def _generation(self, plans, ops, lineage) -> None:
+        with self._tracer.span("fuzz.generation", cat="fuzz", args={
+            "generation": self.stats.generations, "candidates": len(plans),
+        }) as span:
+            outcomes = self._execute(plans)
+            admitted = 0
+            for plan, op, parent, outcome in zip(plans, ops, lineage, outcomes):
+                if self._admit(plan, op, parent, outcome):
+                    admitted += 1
+            if span is not None:
+                span.args["novel"] = admitted
+                span.args["corpus"] = len(self.corpus)
+        self.stats.generations += 1
+        self._c_generations.inc()
+
+
+def signature_hash_of_parent(parent: FaultPlan, corpus: Corpus) -> Optional[str]:
+    """Best-effort lineage: the corpus hash whose plan equals ``parent``
+    (entries carry structural-equality plans, so this is exact)."""
+    doc = parent.to_dict()
+    for entry in corpus:
+        if entry.plan == doc:
+            return entry.sig_hash
+    return None

@@ -1,0 +1,190 @@
+"""Mutation operators over :class:`~repro.faults.FaultPlan` genomes.
+
+A plan is the fuzzer's genome: a seeded schedule of time-windowed fault
+models.  The mutator perturbs the dimensions the ISSUE names — burst
+timing and length, dropout windows, stuck-sensor onset, overrun
+magnitude — plus structural moves (spawn a new fault, clone one with a
+shifted window, drop one, re-seed the plan, cross two parents over).
+
+All randomness flows from **one** :class:`numpy.random.Generator`
+derived via :func:`repro.faults.derive_rng` from the fuzz seed — pure
+integer-arithmetic seeding, no Python ``hash``/``random`` anywhere — so
+a fixed seed replays the identical mutation sequence in any process
+(the same contract the fault models themselves honour).
+
+Every mutant goes back through the real fault constructors, so the
+validation rules (probabilities in [0, 1], factors ≥ 1, non-negative
+windows) bound the search space instead of crashing the rig.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.faults import FaultPlan, derive_rng, fault_from_dict
+
+__all__ = ["MutationConfig", "PlanMutator", "MUTATION_OPS"]
+
+#: structural op names, in fixed order (indexing must be stable)
+MUTATION_OPS = (
+    "shift",        # move a fault window in time
+    "stretch",      # scale a fault window's duration
+    "intensify",    # scale the fault's magnitude knob
+    "clone",        # duplicate a fault with a shifted window
+    "spawn",        # add a fresh random fault
+    "drop",         # remove a fault
+    "reseed",       # change the plan's RNG seed
+    "crossover",    # splice faults from a second parent
+)
+
+
+@dataclass(frozen=True)
+class MutationConfig:
+    """Bounds of the search space."""
+
+    #: simulated horizon faults must land inside
+    t_final: float = 0.25
+    #: cap on schedule length (every fault costs per-byte work)
+    max_faults: int = 5
+    #: sensor block names `spawn` may freeze (from the fuzz target)
+    sensor_blocks: Sequence[str] = ()
+    #: relative sigma of window/magnitude log-normal jitter
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.t_final <= 0:
+            raise ValueError("t_final must be positive")
+        if self.max_faults < 1:
+            raise ValueError("max_faults must be >= 1")
+
+
+class PlanMutator:
+    """Deterministic, seeded plan mutator (see module docstring)."""
+
+    def __init__(self, seed: int, config: MutationConfig):
+        self.config = config
+        self.rng = derive_rng(seed, 0)
+
+    # ------------------------------------------------------------------
+    # scalar jitter helpers (all through self.rng, nothing else)
+    # ------------------------------------------------------------------
+    def _lognormal(self, value: float, floor: float = 0.0) -> float:
+        scale = float(np.exp(self.rng.normal(0.0, self.config.jitter)))
+        return max(floor, value * scale)
+
+    def _time(self, value: float) -> float:
+        t = value + float(self.rng.normal(0.0, self.config.jitter * 0.1))
+        return min(max(0.0, t), self.config.t_final)
+
+    def _window(self) -> tuple[float, float]:
+        t_final = self.config.t_final
+        start = float(self.rng.uniform(0.0, 0.9 * t_final))
+        duration = float(self.rng.uniform(0.005, 0.5 * t_final))
+        return start, min(duration, t_final - start)
+
+    # ------------------------------------------------------------------
+    # per-fault parameter mutation (dict level: type-agnostic)
+    # ------------------------------------------------------------------
+    def _jitter_magnitude(self, doc: dict) -> dict:
+        doc = dict(doc)
+        if "rate" in doc:
+            doc["rate"] = min(1.0, max(0.0, self._lognormal(max(doc["rate"], 0.01))))
+        elif "factor" in doc:
+            doc["factor"] = max(1.0, self._lognormal(doc["factor"], floor=1.0))
+        elif doc.get("type") == "StuckSensor":
+            # toggle between hold-first (None) and an explicit level
+            if doc.get("value") is None and self.rng.random() < 0.5:
+                doc["value"] = float(self.rng.uniform(0.0, 200.0))
+            else:
+                doc["value"] = None
+        else:
+            # magnitude-free faults (LineDropout): length is the magnitude
+            doc["duration"] = self._lognormal(doc["duration"], floor=1e-3)
+        return doc
+
+    def _jitter_window(self, doc: dict, stretch: bool) -> dict:
+        doc = dict(doc)
+        if stretch:
+            doc["duration"] = min(
+                self._lognormal(doc["duration"], floor=1e-3),
+                self.config.t_final,
+            )
+        else:
+            doc["start"] = self._time(doc["start"])
+        return doc
+
+    def _spawn_fault(self) -> dict:
+        start, duration = self._window()
+        kinds = ["BurstErrors", "LineDropout", "StepOverrun"]
+        if self.config.sensor_blocks:
+            kinds.append("StuckSensor")
+        kind = kinds[int(self.rng.integers(0, len(kinds)))]
+        doc: dict = {"type": kind, "start": start, "duration": duration}
+        if kind == "BurstErrors":
+            doc["rate"] = float(self.rng.uniform(0.05, 0.6))
+        elif kind == "StepOverrun":
+            doc["factor"] = float(self.rng.uniform(2.0, 60.0))
+        elif kind == "StuckSensor":
+            blocks = list(self.config.sensor_blocks)
+            doc["block"] = blocks[int(self.rng.integers(0, len(blocks)))]
+            doc["value"] = None
+        return doc
+
+    # ------------------------------------------------------------------
+    # the genome-level operator
+    # ------------------------------------------------------------------
+    def mutate(
+        self, plan: FaultPlan, mate: Optional[FaultPlan] = None
+    ) -> tuple[FaultPlan, str]:
+        """One mutant of ``plan`` (and the op that produced it).
+
+        ``mate`` enables the ``crossover`` op; without one the op table
+        shrinks, keeping the rng stream well-defined either way.
+        """
+        docs = [f.to_dict() for f in plan.faults]
+        ops = list(MUTATION_OPS)
+        if mate is None or not mate.faults:
+            ops.remove("crossover")
+        if len(docs) >= self.config.max_faults:
+            ops = [o for o in ops if o not in ("clone", "spawn")]
+        if len(docs) <= 1:
+            ops = [o for o in ops if o != "drop"]
+        if not docs:
+            ops = ["spawn", "reseed"]
+        op = ops[int(self.rng.integers(0, len(ops)))]
+        seed = plan.seed
+
+        if op in ("shift", "stretch"):
+            k = int(self.rng.integers(0, len(docs)))
+            docs[k] = self._jitter_window(docs[k], stretch=op == "stretch")
+        elif op == "intensify":
+            k = int(self.rng.integers(0, len(docs)))
+            docs[k] = self._jitter_magnitude(docs[k])
+        elif op == "clone":
+            k = int(self.rng.integers(0, len(docs)))
+            clone = dict(docs[k])
+            clone["start"] = self._time(
+                clone["start"] + float(self.rng.uniform(0.0, 0.3 * self.config.t_final))
+            )
+            docs.append(clone)
+        elif op == "spawn":
+            docs.append(self._spawn_fault())
+        elif op == "drop":
+            k = int(self.rng.integers(0, len(docs)))
+            del docs[k]
+        elif op == "reseed":
+            seed = int(self.rng.integers(0, 2**31 - 1))
+        elif op == "crossover":
+            donor = [f.to_dict() for f in mate.faults]
+            k = int(self.rng.integers(0, len(donor)))
+            docs.append(donor[k])
+            if len(docs) > self.config.max_faults:
+                del docs[int(self.rng.integers(0, len(docs) - 1))]
+
+        mutant = FaultPlan(
+            faults=[fault_from_dict(d) for d in docs], seed=seed
+        )
+        return mutant, op

@@ -1,0 +1,79 @@
+"""Replay pinned corpus entries and verify bit-identical behaviour.
+
+A corpus entry is a *claim*: "this fault plan, on this target, at this
+horizon, produces this trace signature".  Replay re-executes the claim
+through the exact same path the fuzzer used (:func:`repro.fuzz.fuzzer.
+evaluate_plan`) and checks the reproduced signature hash against the
+pinned one.  A mismatch means observable behaviour changed — either a
+regression or an intentional behaviour change that must re-pin the
+corpus, but never silence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from .corpus import Corpus, CorpusEntry
+from .fuzzer import evaluate_plan
+from .signature import TraceSignature
+from .targets import get_target
+
+__all__ = ["ReplayResult", "replay_entry", "replay_corpus"]
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """One entry's replay verdict."""
+
+    sig_hash: str
+    ok: bool
+    got_hash: str
+    got_signature: TraceSignature
+    metrics: dict
+
+    def diff(self, entry: CorpusEntry) -> str:
+        """Human-readable what-changed summary for a failed replay."""
+        if self.ok:
+            return "identical"
+        want, got = entry.signature, self.got_signature
+        lines = [f"pinned {entry.sig_hash} != replayed {self.got_hash}"]
+        if want.health != got.health:
+            lines.append(f"  health: {want.health} -> {got.health}")
+        if want.iae_band != got.iae_band:
+            lines.append(f"  iae_band: {want.iae_band} -> {got.iae_band}")
+        for key in sorted(set(want.counts) | set(got.counts)):
+            a, b = want.counts.get(key), got.counts.get(key)
+            if a != b:
+                lines.append(f"  counts[{key}]: {a} -> {b}")
+        w_ev, g_ev = set(want.events), set(got.events)
+        for cell in sorted(w_ev - g_ev):
+            lines.append(f"  event cell lost: {cell}")
+        for cell in sorted(g_ev - w_ev):
+            lines.append(f"  event cell new:  {cell}")
+        return "\n".join(lines)
+
+
+def replay_entry(entry: CorpusEntry) -> ReplayResult:
+    """Re-execute one pinned corner and compare signatures."""
+    target = get_target(entry.target)
+    t_final = entry.t_final if entry.t_final > 0 else target.t_final
+    outcome = evaluate_plan(
+        target, entry.plan, t_final, entry.signature.config
+    )
+    return ReplayResult(
+        sig_hash=entry.sig_hash,
+        ok=outcome["hash"] == entry.sig_hash,
+        got_hash=outcome["hash"],
+        got_signature=outcome["signature"],
+        metrics=outcome["metrics"],
+    )
+
+
+def replay_corpus(
+    corpus: Corpus, entries: Optional[Iterable[CorpusEntry]] = None
+) -> dict[str, ReplayResult]:
+    """Replay every entry (or a subset); returns results keyed by the
+    pinned hash, in corpus order."""
+    pool = list(entries) if entries is not None else list(corpus)
+    return {e.sig_hash: replay_entry(e) for e in pool}

@@ -1,0 +1,274 @@
+"""Trace signatures: the fuzzer's coverage map over the fault space.
+
+A *trace signature* compresses one PIL run's observable behaviour into a
+small, canonical, hashable structure.  Two runs with the same signature
+exercised the same failure shape; a run whose signature the corpus has
+never seen found a new corner.  The signature is built from three layers
+of evidence:
+
+* **events** — the ordered multiset of failure-relevant ``repro.obs``
+  instants (ARQ retransmit/timeout/give-up/NAK/resync, duplicate
+  suppression, supersession, watchdog ``pil.recovery``, engine kernel
+  fallback), with simulated time coarsened into fixed-width buckets and
+  per-bucket counts coarsened into log₂ bands.  Ordering is by sim-time
+  bucket, then by event name — canonical regardless of emission
+  interleaving;
+* **counts** — the :class:`~repro.sim.PILResult` link-health ledger
+  (retransmits, timeouts, send failures, CRC errors, duplicates,
+  supersessions, recoveries, watchdog resets, safe-state steps, worst
+  loss run), each log₂-banded so "a few more retransmits" is the same
+  corner but "10× the retransmits" is a new one;
+* **health** — the :func:`repro.analysis.pil_health` verdict collapsed
+  to a band (``diverged`` / ``recovering`` / ``degraded`` /
+  ``stressed`` / ``nominal``) plus a log₂ IAE band;
+* **profile** — the log₂ band of the mean absolute tracking error in
+  each sim-time bucket.  This is the *plant-side* layer: a stuck
+  sensor or a mild CPU overrun perturbs the trajectory without firing
+  a single link event, and the bucketed error profile is what makes
+  those corners distinguishable from the nominal run.
+
+Everything in a signature derives from simulated time, deterministic
+counters and IEEE-deterministic floats — never wall-clock — so a fixed
+seed reproduces the identical signature (and hash) in any process under
+any ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+__all__ = [
+    "SIGNATURE_SCHEMA",
+    "SignatureConfig",
+    "TraceSignature",
+    "extract_signature",
+    "signature_hash",
+]
+
+#: bump when the canonical payload shape changes (stale corpora must
+#: fail loudly, not collide silently)
+SIGNATURE_SCHEMA = 1
+
+#: obs instants that enter the event layer — the failure taxonomy.
+#: Deliberately excludes the per-frame happy path (``link.send``,
+#: ``link.acked``, ``link.data_latency``): those fire every control
+#: period and would drown the corners in nominal traffic.
+FAILURE_INSTANTS = (
+    "link.retransmit",
+    "link.timeout",
+    "link.give_up",
+    "link.superseded",
+    "link.duplicate",
+    "link.nak",
+    "link.resync",
+    "pil.recovery",
+    "engine.kernel_fallback",
+)
+
+#: PILResult counters that enter the counts layer
+_LEDGER_FIELDS = (
+    "crc_errors",
+    "retransmits",
+    "arq_timeouts",
+    "send_failures",
+    "superseded",
+    "duplicates",
+    "recoveries",
+    "watchdog_resets",
+    "max_consecutive_loss",
+    "safe_state_steps",
+)
+
+
+@dataclass(frozen=True)
+class SignatureConfig:
+    """Coarsening knobs; part of the hash (a corpus is only comparable
+    to runs extracted under the same config)."""
+
+    #: sim-time bucket width (s) for the event layer
+    time_bucket: float = 0.025
+    #: instants included in the event layer
+    instants: Sequence[str] = FAILURE_INSTANTS
+
+    def to_dict(self) -> dict:
+        return {
+            "time_bucket": self.time_bucket,
+            "instants": list(self.instants),
+        }
+
+
+def _band(n: float) -> int:
+    """log₂ band: 0 for 0, 1 for 1, 2 for 2-3, 3 for 4-7, ..."""
+    n = int(n)
+    if n <= 0:
+        return 0
+    return n.bit_length()
+
+
+def _health_band(report) -> str:
+    if report.diverged:
+        return "diverged"
+    if report.recoveries > 0:
+        return "recovering"
+    if report.safe_state_steps > 0 or report.send_failures > 0:
+        return "degraded"
+    if report.retransmits > 0:
+        return "stressed"
+    return "nominal"
+
+
+def _iae_band(iae: float) -> int:
+    """log₂ band of the IAE (negative bands for sub-unit error)."""
+    if not math.isfinite(iae) or iae <= 0.0:
+        return -64
+    return max(-64, min(64, int(math.floor(math.log2(iae)))))
+
+
+@dataclass(frozen=True)
+class TraceSignature:
+    """One run's canonical behaviour fingerprint (see module docstring)."""
+
+    #: ordered multiset: (event name, sim-time bucket, log₂ count band)
+    events: tuple = ()
+    #: log₂-banded link-health ledger, keyed by PILResult field name
+    counts: dict = field(default_factory=dict)
+    #: collapsed pil_health verdict
+    health: str = "nominal"
+    #: log₂ band of the IAE against the reference
+    iae_band: int = 0
+    #: per-bucket log₂ band of mean |tracking error| (plant-side layer)
+    profile: tuple = ()
+    config: SignatureConfig = SignatureConfig()
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SIGNATURE_SCHEMA,
+            "events": [list(e) for e in self.events],
+            "counts": dict(self.counts),
+            "health": self.health,
+            "iae_band": self.iae_band,
+            "profile": list(self.profile),
+            "config": self.config.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "TraceSignature":
+        if doc.get("schema") != SIGNATURE_SCHEMA:
+            raise ValueError(
+                f"signature schema {doc.get('schema')!r} != {SIGNATURE_SCHEMA}"
+            )
+        cfg = doc.get("config", {})
+        return cls(
+            events=tuple(tuple(e) for e in doc.get("events", ())),
+            counts=dict(doc.get("counts", {})),
+            health=doc.get("health", "nominal"),
+            iae_band=int(doc.get("iae_band", 0)),
+            profile=tuple(int(b) for b in doc.get("profile", ())),
+            config=SignatureConfig(
+                time_bucket=cfg.get("time_bucket", 0.025),
+                instants=tuple(cfg.get("instants", FAILURE_INSTANTS)),
+            ),
+        )
+
+    @property
+    def hash(self) -> str:
+        return signature_hash(self)
+
+    def summary(self) -> str:
+        kinds = sorted({name for name, _b, _c in self.events})
+        return (
+            f"{self.health}/iae²^{self.iae_band} "
+            f"{len(self.events)} event cells [{', '.join(kinds) or 'quiet'}] "
+            f"err{list(self.profile)}"
+        )
+
+
+def signature_hash(sig: TraceSignature) -> str:
+    """Content address: SHA-256 over the canonical JSON payload.
+
+    ``sort_keys`` + fixed separators make the digest a pure function of
+    signature *content* — process-stable, ``PYTHONHASHSEED``-proof (the
+    same contract :func:`repro.service.model_content_hash` pins).
+    """
+    payload = json.dumps(
+        sig.to_dict(), sort_keys=True, separators=(",", ":")
+    ).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def extract_signature(
+    events: Iterable[dict],
+    pil_result,
+    reference: float,
+    signal: str = "speed",
+    config: Optional[SignatureConfig] = None,
+) -> TraceSignature:
+    """Distill one traced PIL run into its :class:`TraceSignature`.
+
+    ``events`` is the obs event stream captured during the run (the
+    fuzz executor runs each candidate under a private capture
+    :class:`~repro.obs.Tracer`); ``pil_result`` the run's
+    :class:`~repro.sim.PILResult`.
+    """
+    from repro.analysis import pil_health
+
+    cfg = config or SignatureConfig()
+    wanted = frozenset(cfg.instants)
+    width = cfg.time_bucket
+
+    # event layer: group failure instants into (bucket, name) cells
+    cells: dict[tuple[int, str], int] = {}
+    for ev in events:
+        if ev.get("ph") != "i":
+            continue
+        name = ev.get("name")
+        if name not in wanted:
+            continue
+        sim_t = ev.get("sim_t")
+        bucket = -1 if sim_t is None else int(float(sim_t) / width)
+        key = (bucket, name)
+        cells[key] = cells.get(key, 0) + 1
+    ordered = tuple(
+        (name, bucket, _band(count))
+        for (bucket, name), count in sorted(cells.items())
+    )
+
+    counts = {f: _band(getattr(pil_result, f)) for f in _LEDGER_FIELDS}
+    report = pil_health(pil_result, reference, signal=signal)
+    return TraceSignature(
+        events=ordered,
+        counts=counts,
+        health=_health_band(report),
+        iae_band=_iae_band(report.iae),
+        profile=_error_profile(pil_result, reference, signal, width),
+        config=cfg,
+    )
+
+
+def _error_profile(
+    pil_result, reference: float, signal: str, width: float
+) -> tuple:
+    """Per-bucket log₂ band of the mean absolute tracking error.
+
+    Trailing nominal buckets are *not* trimmed: a fault that merely
+    delays settling shows up as a longer tail of non-zero bands."""
+    import numpy as np
+
+    t = np.asarray(pil_result.result.t, dtype=np.float64)
+    err = np.abs(reference - np.asarray(pil_result.result[signal], dtype=np.float64))
+    if t.size == 0:
+        return ()
+    buckets = np.minimum(
+        (t / width).astype(np.int64), int(t[-1] / width)
+    )
+    n = int(buckets[-1]) + 1
+    sums = np.zeros(n)
+    hits = np.zeros(n)
+    np.add.at(sums, buckets, err)
+    np.add.at(hits, buckets, 1.0)
+    means = np.divide(sums, hits, out=np.zeros(n), where=hits > 0)
+    return tuple(_iae_band(float(m)) for m in means)

@@ -1,0 +1,125 @@
+"""Fuzz targets: named, picklable rig builders + their seed plan grids.
+
+A target bundles everything one fuzz campaign needs to execute a
+candidate: a module-level ``make_pil`` builder (module-level so process
+pools can pickle it), the scoring set-point/signal, the simulated
+horizon, and the hand-written :class:`~repro.faults.FaultPlan` grid the
+population is seeded from — the PR-1 campaign grids, reused as ground
+zero for the search.
+
+The registry is keyed by name (``"servo"``) so corpus entries, the CLI
+and worker processes all reconstruct the identical rig from a string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.faults import (
+    BurstErrors,
+    FaultPlan,
+    LineDropout,
+    StepOverrun,
+    StuckSensor,
+)
+
+__all__ = ["FuzzTarget", "get_target", "register_target", "TARGETS"]
+
+
+@dataclass(frozen=True)
+class FuzzTarget:
+    """One named fuzzable rig."""
+
+    name: str
+    #: module-level ``() -> PILSimulator`` (fresh rig per candidate)
+    make_pil: Callable[[], "object"]
+    #: simulated run length per candidate (s)
+    t_final: float
+    #: set-point the scored signal is judged against
+    reference: float
+    signal: str = "speed"
+    #: sensor block names StuckSensor mutations may freeze
+    sensor_blocks: Sequence[str] = ()
+    #: seed population builder: ``() -> list[FaultPlan]``
+    seed_grid: Callable[[], list] = field(default=lambda: [])
+
+
+def _servo_pil():
+    """The servo case study under its full reliability stack — ARQ,
+    safe-state loss policy at the bipolar neutral, watchdog — so the
+    fuzzer can reach retransmit storms, loss-policy degradation *and*
+    watchdog reset loops (an unprotected rig would just diverge)."""
+    from repro.casestudy import ServoConfig, build_servo_model
+    from repro.core import PEERTTarget
+    from repro.sim import LossPolicy, PILSimulator
+
+    sm = build_servo_model(ServoConfig(setpoint=100.0))
+    app = PEERTTarget(sm.model).build()
+    return PILSimulator(
+        app,
+        baud=460800,
+        plant_dt=1e-4,
+        reliable=True,
+        loss_policy=LossPolicy(
+            mode="safe", max_consecutive=5, default_safe=0.5
+        ),
+        watchdog_timeout=8e-3,
+    )
+
+
+#: quadrature-decoder block name in the built servo app (stable: the
+#: case-study builder names its blocks deterministically)
+_SERVO_SENSOR_BLOCKS = ("QD1",)
+
+
+def _servo_seed_grid() -> list:
+    """The hand-written grid fuzzing starts from: one plan per fault
+    family plus one combined schedule, each at two intensities."""
+    base = [
+        FaultPlan([BurstErrors(start=0.02, duration=0.06, rate=0.2)], seed=11),
+        FaultPlan([LineDropout(start=0.08, duration=0.03)], seed=12),
+        FaultPlan(
+            [StuckSensor(_SERVO_SENSOR_BLOCKS[0], start=0.04, duration=0.08)],
+            seed=13,
+        ),
+        FaultPlan([StepOverrun(start=0.05, duration=0.04, factor=20.0)], seed=14),
+        FaultPlan(
+            [
+                BurstErrors(start=0.03, duration=0.05, rate=0.15),
+                LineDropout(start=0.12, duration=0.02),
+            ],
+            seed=15,
+        ),
+    ]
+    return [p for plan in base for p in (plan, plan.scaled(0.5))]
+
+
+TARGETS: dict[str, FuzzTarget] = {}
+
+
+def register_target(target: FuzzTarget) -> FuzzTarget:
+    TARGETS[target.name] = target
+    return target
+
+
+def get_target(name: str) -> FuzzTarget:
+    target = TARGETS.get(name)
+    if target is None:
+        raise KeyError(
+            f"unknown fuzz target {name!r} (known: {sorted(TARGETS)})"
+        )
+    return target
+
+
+register_target(
+    FuzzTarget(
+        name="servo",
+        make_pil=_servo_pil,
+        t_final=0.2,
+        reference=100.0,
+        signal="speed",
+        sensor_blocks=_SERVO_SENSOR_BLOCKS,
+        seed_grid=_servo_seed_grid,
+    )
+)

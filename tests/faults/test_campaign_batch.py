@@ -1,0 +1,131 @@
+"""Batched fault campaigns with diverging lanes and uneven chunks.
+
+Two pins the fuzzer's batch execution path rides on:
+
+* ``FaultCampaign.run(batch=N)`` with a chunk size that does **not**
+  divide the grid (a ragged final chunk) must still return grid-ordered
+  rows bit-identical to the serial sweep, at any worker count;
+* :class:`~repro.model.BatchSimulator` lanes whose faults make them
+  take different event paths must stay bit-identical to their serial
+  references, with ``lanes_diverged`` accounting for the split — at a
+  lane count the vector width does not divide evenly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.casestudy import ServoConfig, build_servo_model
+from repro.core import PEERTTarget
+from repro.faults import BurstErrors, FaultCampaign, FaultPlan, LineDropout
+from repro.obs.trace import Tracer, use_tracer
+from repro.sim import LossPolicy, PILSimulator
+
+from tests.model.test_batch import (
+    assert_lanes_identical,
+    diverging_event_model,
+    run_pair,
+)
+
+SETPOINT = 100.0
+
+
+def make_pil(reliable: bool) -> PILSimulator:
+    sm = build_servo_model(ServoConfig(setpoint=SETPOINT))
+    app = PEERTTarget(sm.model).build()
+    return PILSimulator(
+        app,
+        baud=460800,
+        plant_dt=1e-4,
+        reliable=reliable,
+        loss_policy=LossPolicy(mode="safe", max_consecutive=5),
+        watchdog_timeout=8e-3 if reliable else None,
+    )
+
+
+def _campaign() -> FaultCampaign:
+    plan = FaultPlan(
+        [
+            BurstErrors(start=0.01, duration=0.04, rate=0.25),
+            LineDropout(start=0.06, duration=0.02),
+        ],
+        seed=43,
+    )
+    return FaultCampaign(
+        make_pil=make_pil, plan=plan, t_final=0.1, reference=SETPOINT
+    )
+
+
+class TestUnevenChunks:
+    """batch=3 over an 8-cell grid: chunks of 3+3+2."""
+
+    INTENSITIES = [0.25, 0.5, 0.75, 1.0]  # x (raw, reliable) = 8 cells
+
+    def test_ragged_chunks_equal_serial(self, monkeypatch):
+        import repro.faults.campaign as mod
+
+        monkeypatch.setattr(mod.os, "cpu_count", lambda: 4)
+        serial = _campaign().run(self.INTENSITIES)
+        ragged = _campaign().run(self.INTENSITIES, workers=2, batch=3)
+        assert serial == ragged
+
+    def test_chunk_size_sweep_all_identical(self, monkeypatch):
+        """Every chunking of the same grid yields the same rows —
+        including batch sizes larger than the grid."""
+        import repro.faults.campaign as mod
+
+        monkeypatch.setattr(mod.os, "cpu_count", lambda: 4)
+        intensities = [0.5, 1.0]  # 4 cells
+        serial = _campaign().run(intensities)
+        for batch in (1, 3, 4, 7):
+            rows = _campaign().run(intensities, workers=2, batch=batch)
+            assert rows == serial, f"batch={batch} diverged from serial"
+
+    def test_ragged_chunks_preserve_grid_order_when_traced(self, monkeypatch):
+        import repro.faults.campaign as mod
+
+        monkeypatch.setattr(mod.os, "cpu_count", lambda: 4)
+        tracer = Tracer(capacity=1 << 16, enabled=True)
+        with use_tracer(tracer):
+            rows = _campaign().run([0.5, 1.0, 1.5], modes=(True,),
+                                   workers=2, batch=2)
+        assert [r.intensity for r in rows] == [0.5, 1.0, 1.5]
+        done = [
+            e["args"]["index"] for e in tracer.events()
+            if e["name"] == "campaign.cell_done"
+        ]
+        assert done == [0, 1, 2]
+        # each pool chunk ships exactly one capture of its cells
+        cells = [e for e in tracer.events() if e["name"] == "campaign.cell"]
+        assert len(cells) == 3
+
+
+class TestDivergingLanesOddWidth:
+    """Lane-diverging event dispatch at lane counts that leave ragged
+    vector tails (B=5, B=7 — nothing the kernels' widths divide)."""
+
+    @pytest.mark.parametrize("levels", [
+        (0.0, 0.5, 2.0, 1.5, 0.25),            # B=5, two lanes fire
+        (0.0, 2.0, 0.5, 3.0, 0.75, 1.25, 0.1),  # B=7, three lanes fire
+    ])
+    def test_bit_identical_with_divergence_accounting(self, levels):
+        scenarios = [{"level": {"value": v}} for v in levels]
+        serial, sim, batched = run_pair(
+            diverging_event_model, scenarios, t_final=0.02
+        )
+        assert_lanes_identical(serial, batched)
+        assert sim.lanes_diverged > 0
+        fired = [v > 1.0 for v in levels]
+        final = batched.final("isr_y")
+        for lane, hot in enumerate(fired):
+            if hot:
+                assert final[lane] == pytest.approx(levels[lane] * 10.0)
+            else:
+                assert final[lane] == 0.0
+
+    def test_uniform_lanes_report_no_divergence(self):
+        scenarios = [{"level": {"value": v}} for v in (1.5, 2.0, 2.5, 3.0, 4.0)]
+        serial, sim, batched = run_pair(
+            diverging_event_model, scenarios, t_final=0.02
+        )
+        assert_lanes_identical(serial, batched)
+        assert sim.lanes_diverged == 0

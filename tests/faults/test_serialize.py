@@ -1,0 +1,116 @@
+"""FaultPlan / fault-model serialization: exact round-trips, validation."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    FAULT_TYPES,
+    BurstErrors,
+    FaultPlan,
+    LineDropout,
+    StepOverrun,
+    StuckSensor,
+    fault_from_dict,
+)
+
+
+def _sample_plan() -> FaultPlan:
+    return FaultPlan(
+        [
+            BurstErrors(start=0.015, duration=0.0625, rate=0.3),
+            LineDropout(start=0.08, duration=0.03),
+            StuckSensor("QD1", start=0.04, duration=0.08, value=12.5),
+            StuckSensor("QD1", start=0.14, duration=0.02),  # hold-first
+            StepOverrun(start=0.05, duration=0.04, factor=17.0),
+        ],
+        seed=42,
+    )
+
+
+class TestFaultModels:
+    def test_registry_covers_every_model(self):
+        assert set(FAULT_TYPES) == {
+            "BurstErrors", "LineDropout", "StuckSensor", "StepOverrun"
+        }
+
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            BurstErrors(start=0.1, duration=0.2, rate=0.45),
+            LineDropout(start=0.0, duration=0.5),
+            StuckSensor("QD1", start=0.1, duration=0.3),
+            StuckSensor("S2", start=0.1, duration=0.3, value=99.0),
+            StepOverrun(start=0.2, duration=0.1, factor=3.5),
+        ],
+        ids=lambda f: type(f).__name__,
+    )
+    def test_round_trip_is_exact(self, fault):
+        back = fault_from_dict(fault.to_dict())
+        assert back == fault
+        assert type(back) is type(fault)
+        assert back.to_dict() == fault.to_dict()
+
+    def test_structural_equality_not_identity(self):
+        a = BurstErrors(start=0.1, duration=0.2, rate=0.45)
+        b = BurstErrors(start=0.1, duration=0.2, rate=0.45)
+        c = BurstErrors(start=0.1, duration=0.2, rate=0.46)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_runtime_state_excluded_from_identity(self):
+        """A StuckSensor that has latched a held value still equals (and
+        serializes as) its freshly-built twin — only parameters count."""
+        a = StuckSensor("QD1", start=0.0, duration=1.0)
+        b = StuckSensor("QD1", start=0.0, duration=1.0)
+        a.apply_sensor(0.5, "QD1", 77.0)  # latches _held
+        assert a == b
+        assert a.to_dict() == b.to_dict()
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault type"):
+            fault_from_dict({"type": "Gremlin", "start": 0.0, "duration": 1.0})
+
+    def test_validation_applies_on_deserialize(self):
+        doc = StepOverrun(start=0.0, duration=1.0, factor=2.0).to_dict()
+        doc["factor"] = 0.5  # below the constructor's >= 1 floor
+        with pytest.raises(ValueError):
+            fault_from_dict(doc)
+
+
+class TestPlanRoundTrip:
+    def test_plan_round_trip_is_exact(self):
+        plan = _sample_plan()
+        back = FaultPlan.from_dict(plan.to_dict())
+        assert back == plan
+        assert back.to_dict() == plan.to_dict()
+
+    def test_json_transport_preserves_floats_exactly(self):
+        """The corpus stores plans as JSON text; shortest-repr float
+        encoding must round-trip every parameter bit-for-bit."""
+        plan = FaultPlan(
+            [BurstErrors(start=0.1 + 0.2, duration=1 / 3, rate=0.1)],
+            seed=7,
+        )
+        wire = json.dumps(plan.to_dict(), sort_keys=True)
+        back = FaultPlan.from_dict(json.loads(wire))
+        assert back.faults[0].start == plan.faults[0].start
+        assert back.faults[0].duration == plan.faults[0].duration
+        assert back == plan
+
+    def test_round_tripped_plan_behaves_identically(self):
+        """Same seed + same parameters -> the same armed byte stream."""
+        plan = FaultPlan(
+            [BurstErrors(start=0.0, duration=1.0, rate=0.5)], seed=31
+        )
+        twin = FaultPlan.from_dict(plan.to_dict())
+        plan.arm()
+        twin.arm()
+        a = [plan.byte_fault(0.5, b) for b in range(256)]
+        b = [twin.byte_fault(0.5, b) for b in range(256)]
+        assert a == b
+
+    def test_empty_plan(self):
+        plan = FaultPlan([], seed=0)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        assert plan.to_dict() == {"seed": 0, "faults": []}

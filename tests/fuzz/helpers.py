@@ -1,0 +1,48 @@
+"""Helpers shared by the fuzz tests and their subprocess probes."""
+
+import hashlib
+import json
+
+from repro.faults import BurstErrors, FaultPlan, LineDropout, derive_rng
+from repro.fuzz.mutate import MutationConfig, PlanMutator
+from repro.fuzz.signature import TraceSignature, signature_hash
+
+
+def lineage_digest(seed: int = 17, steps: int = 40) -> str:
+    """One digest over everything the fuzzer derives from its seed:
+    fault-model byte streams, the mutation lineage, and the signature
+    hashes of synthetic fingerprints built from that lineage.  Any
+    ``PYTHONHASHSEED`` leak in the chain changes the digest."""
+    payload = {"rng": [], "lineage": [], "sig_hashes": []}
+
+    # fault-model streams through derive_rng (the campaign contract)
+    burst = BurstErrors(start=0.0, duration=1.0, rate=0.5)
+    burst.reseed_from(derive_rng(seed, 0))
+    payload["rng"] = [burst.apply_byte(0.5, b) for b in range(32)]
+
+    # the mutation lineage
+    mut = PlanMutator(
+        seed, MutationConfig(t_final=0.2, sensor_blocks=("QD1",))
+    )
+    plan = FaultPlan(
+        [
+            BurstErrors(start=0.02, duration=0.05, rate=0.2),
+            LineDropout(start=0.1, duration=0.02),
+        ],
+        seed=7,
+    )
+    for _ in range(steps):
+        plan, op = mut.mutate(plan)
+        doc = plan.to_dict()
+        payload["lineage"].append({"op": op, "plan": doc})
+        sig = TraceSignature(
+            events=(("link.retransmit", len(doc["faults"]), 1),),
+            counts={"retransmits": len(doc["faults"])},
+            health="stressed",
+            iae_band=4,
+            profile=(7, 4, 2),
+        )
+        payload["sig_hashes"].append(signature_hash(sig))
+
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()

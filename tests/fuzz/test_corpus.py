@@ -1,0 +1,162 @@
+"""Corpus persistence: content addressing, round-trips, minimization."""
+
+import json
+
+import pytest
+
+from repro.faults import BurstErrors, FaultPlan, LineDropout
+from repro.fuzz.corpus import CORPUS_SCHEMA, Corpus, CorpusEntry
+from repro.fuzz.signature import TraceSignature
+
+
+def _entry(bucket: int = 0, health: str = "stressed", **kw) -> CorpusEntry:
+    plan = FaultPlan(
+        [BurstErrors(start=0.01 * (bucket + 1), duration=0.05, rate=0.2)],
+        seed=bucket,
+    )
+    sig = TraceSignature(
+        events=(("link.retransmit", bucket, 1),),
+        counts={"retransmits": 1},
+        health=health,
+        iae_band=4,
+        profile=(7, 4),
+    )
+    defaults = dict(
+        target="servo", plan=plan.to_dict(), signature=sig, t_final=0.2
+    )
+    defaults.update(kw)
+    return CorpusEntry(**defaults)
+
+
+class TestEntry:
+    def test_hash_fills_from_signature(self):
+        e = _entry()
+        assert e.sig_hash == e.signature.hash
+
+    def test_round_trip(self):
+        e = _entry(metrics={"iae": 17.2}, generation=3, parent="abc", op="shift")
+        back = CorpusEntry.from_dict(json.loads(e.dumps()))
+        assert back.to_dict() == e.to_dict()
+        assert back.fault_plan() == e.fault_plan()
+        assert back.t_final == 0.2
+
+    def test_dumps_is_canonical(self):
+        assert _entry().dumps() == _entry().dumps()
+        assert _entry().dumps().endswith("\n")
+
+    def test_schema_guard(self):
+        doc = _entry().to_dict()
+        doc["schema"] = CORPUS_SCHEMA + 1
+        with pytest.raises(ValueError, match="schema"):
+            CorpusEntry.from_dict(doc)
+
+
+class TestCorpus:
+    def test_add_deduplicates_by_signature(self):
+        c = Corpus()
+        assert c.add(_entry(0))
+        assert not c.add(_entry(0))  # same signature -> same hash
+        assert c.add(_entry(1))
+        assert len(c) == 2
+        assert _entry(0).sig_hash in c
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        c = Corpus(tmp_path)
+        for b in range(3):
+            c.add(_entry(b))
+        loaded = Corpus.load(tmp_path)
+        assert len(loaded) == 3
+        assert {e.sig_hash for e in loaded} == {e.sig_hash for e in c}
+        # files are named by their content address
+        for e in loaded:
+            assert (tmp_path / f"{e.sig_hash}.json").exists()
+
+    def test_load_rejects_tampered_content(self, tmp_path):
+        c = Corpus(tmp_path)
+        e = _entry(0)
+        c.add(e)
+        path = c.path_of(e.sig_hash)
+        doc = json.loads(path.read_text())
+        doc["signature"]["iae_band"] = 60  # behaviour edit, stale name
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="content address"):
+            Corpus.load(tmp_path)
+
+    def test_in_memory_corpus_needs_no_directory(self):
+        c = Corpus()
+        assert c.add(_entry(0), write=True)  # write is a no-op without root
+        with pytest.raises(ValueError):
+            c.path_of("deadbeef")
+
+    def test_insertion_order_preserved(self):
+        c = Corpus()
+        hashes = []
+        for b in (5, 1, 3):
+            e = _entry(b)
+            c.add(e)
+            hashes.append(e.sig_hash)
+        assert [e.sig_hash for e in c] == hashes
+
+
+class TestMinimize:
+    def test_distinct_coverage_all_kept(self):
+        c = Corpus()
+        a = _entry(0)
+        b = _entry(1)  # different bucket -> different event atom
+        c.add(a)
+        c.add(b)
+        kept, dropped = c.minimize()
+        assert {e.sig_hash for e in kept} == {a.sig_hash, b.sig_hash}
+        assert dropped == []
+
+    def test_set_cover_keeps_union_coverage(self):
+        c = Corpus()
+        wide = _entry(0)
+        wide.signature = TraceSignature(
+            events=(("link.retransmit", 0, 1), ("link.nak", 1, 1)),
+            counts={"retransmits": 1, "naks": 1},
+            health="stressed",
+            iae_band=4,
+        )
+        wide.sig_hash = wide.signature.hash
+        narrow = _entry(1)
+        narrow.signature = TraceSignature(
+            events=(("link.retransmit", 0, 1),),
+            counts={"retransmits": 1},
+            health="stressed",
+            iae_band=4,
+        )
+        narrow.sig_hash = narrow.signature.hash
+        c.add(wide)
+        c.add(narrow)
+        kept, dropped = c.minimize()
+        assert [e.sig_hash for e in kept] == [wide.sig_hash]
+        assert [e.sig_hash for e in dropped] == [narrow.sig_hash]
+
+    def test_apply_minimize_deletes_files(self, tmp_path):
+        c = Corpus(tmp_path)
+        wide = _entry(0)
+        wide.signature = TraceSignature(
+            events=(("link.retransmit", 0, 1), ("link.nak", 1, 1)),
+            counts={}, health="stressed", iae_band=4,
+        )
+        wide.sig_hash = wide.signature.hash
+        narrow = _entry(1)
+        narrow.signature = TraceSignature(
+            events=(("link.nak", 1, 1),),
+            counts={}, health="stressed", iae_band=4,
+        )
+        narrow.sig_hash = narrow.signature.hash
+        c.add(wide)
+        c.add(narrow)
+        n_kept, n_dropped = c.apply_minimize()
+        assert (n_kept, n_dropped) == (1, 1)
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_describe_lists_every_entry(self):
+        c = Corpus()
+        c.add(_entry(0))
+        c.add(_entry(1))
+        lines = list(c.describe())
+        assert len(lines) == 2
+        assert all("BurstErrors" in line for line in lines)

@@ -1,0 +1,212 @@
+"""End-to-end fuzzing: determinism, novelty, observability, replay.
+
+Runs use a down-scoped "servo-mini" target (short horizon, two-plan
+seed grid) so the whole file stays in single-digit seconds; the pinned
+full-servo corpus has its own replay test.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.casestudy import ServoConfig, build_servo_model
+from repro.core import PEERTTarget
+from repro.faults import BurstErrors, FaultPlan, LineDropout
+from repro.fuzz import (
+    Corpus,
+    FuzzConfig,
+    Fuzzer,
+    FuzzTarget,
+    get_target,
+    register_target,
+    replay_corpus,
+    replay_entry,
+)
+from repro.obs.metrics import get_registry
+from repro.obs.trace import Tracer, use_tracer
+from repro.sim import LossPolicy, PILSimulator
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def _mini_pil() -> PILSimulator:
+    sm = build_servo_model(ServoConfig(setpoint=100.0))
+    app = PEERTTarget(sm.model).build()
+    return PILSimulator(
+        app,
+        baud=460800,
+        plant_dt=1e-4,
+        reliable=True,
+        loss_policy=LossPolicy(mode="safe", max_consecutive=5, default_safe=0.5),
+        watchdog_timeout=8e-3,
+    )
+
+
+def _mini_grid() -> list:
+    return [
+        FaultPlan([BurstErrors(start=0.01, duration=0.03, rate=0.3)], seed=21),
+        FaultPlan([LineDropout(start=0.03, duration=0.015)], seed=22),
+    ]
+
+
+register_target(
+    FuzzTarget(
+        name="servo-mini",
+        make_pil=_mini_pil,
+        t_final=0.08,
+        reference=100.0,
+        signal="speed",
+        sensor_blocks=("QD1",),
+        seed_grid=_mini_grid,
+    )
+)
+
+
+def _config(**kw) -> FuzzConfig:
+    defaults = dict(
+        target="servo-mini", seed=5, generation_size=3, generations=2
+    )
+    defaults.update(kw)
+    return FuzzConfig(**defaults)
+
+
+def _run(corpus=None, **kw):
+    fuzzer = Fuzzer(_config(**kw), corpus=corpus if corpus is not None else Corpus())
+    stats = fuzzer.run()
+    return fuzzer, stats
+
+
+class TestCampaign:
+    def test_finds_novel_signatures(self):
+        fuzzer, stats = _run()
+        # seed gen: clean + 2 grid plans; gen 1: 3 mutants
+        assert stats.candidates == 6
+        assert stats.generations == 2
+        assert stats.novel >= 3
+        assert len(fuzzer.corpus) == stats.novel
+        assert stats.stop_reason == "generations(2)"
+
+    def test_fixed_seed_is_fully_deterministic(self, tmp_path):
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        _, sa = _run(corpus=Corpus(tmp_path / "a"))
+        _, sb = _run(corpus=Corpus(tmp_path / "b"))
+        assert sa.sig_hashes == sb.sig_hashes
+        files_a = {p.name: p.read_bytes() for p in (tmp_path / "a").glob("*.json")}
+        files_b = {p.name: p.read_bytes() for p in (tmp_path / "b").glob("*.json")}
+        assert files_a == files_b
+
+    def test_different_seeds_diverge(self):
+        _, sa = _run(seed=5)
+        _, sb = _run(seed=6)
+        assert sa.sig_hashes[:3] == sb.sig_hashes[:3]  # same seed grid
+        assert sa.sig_hashes != sb.sig_hashes
+
+    def test_seed_generation_rerun_adds_nothing(self, tmp_path):
+        """The seed generation depends only on the target's grid, never
+        on corpus state — re-running it over a populated corpus must
+        find zero novelty.  (Later generations are *supposed* to differ
+        on a grown corpus: parent selection reads it.)"""
+        corpus = Corpus(tmp_path)
+        _, first = _run(corpus=corpus, generations=1)
+        before = len(corpus)
+        _, again = _run(corpus=corpus, generations=1)
+        assert again.novel == 0
+        assert len(corpus) == before
+
+    def test_continuation_explores_beyond_first_run(self, tmp_path):
+        """A rerun over the grown corpus is a continuation: candidates
+        mutate from a richer parent pool and may pin new corners, but
+        never duplicate existing hashes."""
+        corpus = Corpus(tmp_path)
+        _, first = _run(corpus=corpus)
+        seen = set(corpus.entries)
+        _, again = _run(corpus=corpus)
+        assert set(again.sig_hashes).isdisjoint(seen)
+        assert len(corpus) == len(seen) + again.novel
+
+    def test_max_candidates_stop(self):
+        _, stats = _run(generations=None, max_candidates=4)
+        # stop criteria are generation-boundary checks: the seed
+        # generation (3 candidates) runs whole, then one more generation
+        assert stats.candidates == 6
+        assert stats.stop_reason == "max_candidates(4)"
+
+    def test_counters_and_spans(self):
+        tracer = Tracer(capacity=65536, enabled=True)
+        reg = get_registry()
+        with use_tracer(tracer):
+            _, stats = _run()
+        assert reg.counter("fuzz_candidates_total").value >= stats.candidates
+        assert reg.counter("fuzz_novel_signatures_total").value >= stats.novel
+        names = [e["name"] for e in tracer.events()]
+        assert names.count("fuzz.generation") == 2
+        assert names.count("fuzz.run") == 1
+        assert names.count("fuzz.candidate") == stats.candidates
+        run_span = next(e for e in tracer.events() if e["name"] == "fuzz.run")
+        assert run_span["args"]["candidates"] == stats.candidates
+        assert run_span["args"]["novel"] == stats.novel
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="stop criterion"):
+            FuzzConfig(target="servo-mini", generations=None)
+        with pytest.raises(ValueError):
+            FuzzConfig(generation_size=0, generations=1)
+        with pytest.raises(KeyError, match="unknown fuzz target"):
+            Fuzzer(FuzzConfig(target="nope", generations=1))
+
+
+class TestReplay:
+    def test_corpus_replays_bit_identically(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        _run(corpus=corpus)
+        results = replay_corpus(corpus)
+        assert len(results) == len(corpus)
+        assert all(r.ok for r in results.values())
+
+    def test_replay_detects_behaviour_drift(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        _run(corpus=corpus)
+        entry = next(
+            e for e in corpus if e.plan["faults"]
+        )
+        # sabotage: claim the corner happened 30 ms later than it did
+        entry.plan["faults"][0]["start"] += 0.03
+        result = replay_entry(entry)
+        assert not result.ok
+        assert entry.sig_hash in result.diff(entry)
+
+    def test_replay_pins_its_own_horizon(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        _run(corpus=corpus)
+        entry = next(iter(corpus))
+        assert entry.t_final == get_target("servo-mini").t_final
+        assert replay_entry(entry).ok
+
+
+class TestHashSeedIndependence:
+    def test_mutation_stream_and_hashes_survive_hash_randomization(self):
+        """Satellite pin: the whole derivation chain — derive_rng seeding,
+        mutation op selection, plan serialization, signature hashing —
+        must be pure integer/float arithmetic.  A child interpreter with
+        a perturbed PYTHONHASHSEED must reproduce the parent's lineage
+        digest exactly."""
+        code = (
+            "import sys, json, hashlib; "
+            "sys.path.insert(0, sys.argv[1]); sys.path.insert(0, sys.argv[2]); "
+            "from tests.fuzz.helpers import lineage_digest; "
+            "print(lineage_digest())"
+        )
+        from tests.fuzz.helpers import lineage_digest
+
+        parent = lineage_digest()
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = "4242"  # perturb str hashing on purpose
+        out = subprocess.run(
+            [sys.executable, "-c", code, SRC, os.path.join(SRC, "..")],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        assert out.stdout.strip() == parent

@@ -1,0 +1,119 @@
+"""Plan mutation: determinism, validity, and search-space bounds."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    BurstErrors,
+    FaultPlan,
+    LineDropout,
+    StepOverrun,
+    StuckSensor,
+)
+from repro.fuzz.mutate import MUTATION_OPS, MutationConfig, PlanMutator
+
+CFG = MutationConfig(t_final=0.2, max_faults=4, sensor_blocks=("QD1",))
+
+
+def _base_plan() -> FaultPlan:
+    return FaultPlan(
+        [
+            BurstErrors(start=0.02, duration=0.05, rate=0.2),
+            LineDropout(start=0.1, duration=0.02),
+        ],
+        seed=7,
+    )
+
+
+def _lineage(seed: int, steps: int = 30) -> list:
+    """A deterministic chain: each mutant becomes the next parent."""
+    mut = PlanMutator(seed, CFG)
+    plan, docs = _base_plan(), []
+    mate = FaultPlan([StepOverrun(start=0.05, duration=0.03, factor=8.0)], seed=3)
+    for _ in range(steps):
+        plan, op = mut.mutate(plan, mate=mate)
+        docs.append({"op": op, "plan": plan.to_dict()})
+    return docs
+
+
+class TestDeterminism:
+    def test_same_seed_same_lineage(self):
+        assert _lineage(11) == _lineage(11)
+
+    def test_different_seed_different_lineage(self):
+        assert _lineage(11) != _lineage(12)
+
+    def test_lineage_serializes_canonically(self):
+        a = json.dumps(_lineage(5), sort_keys=True)
+        b = json.dumps(_lineage(5), sort_keys=True)
+        assert a == b
+
+
+class TestValidity:
+    def test_mutants_always_reconstruct_through_real_constructors(self):
+        """300 chained mutants, all within constructor validation."""
+        for doc in _lineage(1, steps=300):
+            plan = FaultPlan.from_dict(doc["plan"])
+            for f in plan.faults:
+                assert f.start >= 0.0
+                assert f.duration >= 0.0
+                if isinstance(f, BurstErrors):
+                    assert 0.0 <= f.rate <= 1.0
+                if isinstance(f, StepOverrun):
+                    assert f.factor >= 1.0
+                if isinstance(f, StuckSensor):
+                    assert f.block == "QD1"
+
+    def test_ops_come_from_the_table(self):
+        ops = {doc["op"] for doc in _lineage(2, steps=200)}
+        assert ops <= set(MUTATION_OPS)
+        # a long walk should exercise most of the table
+        assert len(ops) >= 5
+
+    def test_max_faults_respected(self):
+        for doc in _lineage(3, steps=300):
+            assert len(doc["plan"]["faults"]) <= CFG.max_faults
+
+    def test_empty_plan_can_only_spawn_or_reseed(self):
+        mut = PlanMutator(9, CFG)
+        for _ in range(20):
+            mutant, op = mut.mutate(FaultPlan([], seed=0))
+            assert op in ("spawn", "reseed")
+            if op == "spawn":
+                assert len(mutant.faults) == 1
+
+    def test_no_crossover_without_mate(self):
+        mut = PlanMutator(4, CFG)
+        for _ in range(100):
+            _, op = mut.mutate(_base_plan(), mate=None)
+            assert op != "crossover"
+
+    def test_crossover_splices_from_mate(self):
+        mut = PlanMutator(0, CFG)
+        mate = FaultPlan(
+            [StepOverrun(start=0.05, duration=0.03, factor=8.0)], seed=3
+        )
+        for _ in range(200):
+            mutant, op = mut.mutate(_base_plan(), mate=mate)
+            if op == "crossover":
+                assert any(
+                    isinstance(f, StepOverrun) for f in mutant.faults
+                )
+                return
+        pytest.fail("crossover never selected in 200 draws")
+
+    def test_spawn_avoids_stuck_sensor_without_blocks(self):
+        cfg = MutationConfig(t_final=0.2, sensor_blocks=())
+        mut = PlanMutator(6, cfg)
+        for _ in range(100):
+            mutant, op = mut.mutate(FaultPlan([], seed=0))
+            assert not any(isinstance(f, StuckSensor) for f in mutant.faults)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MutationConfig(t_final=0.0)
+        with pytest.raises(ValueError):
+            MutationConfig(max_faults=0)

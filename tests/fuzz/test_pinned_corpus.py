@@ -1,0 +1,65 @@
+"""The pinned regression corpus: every corner the fixed-seed servo fuzz
+run discovered, re-executed bit-identically.
+
+``tests/fuzz/corpus/`` holds the content-addressed entries produced by
+``python -m repro.fuzz run --model servo --seed 0 --generations 3``.
+Each file re-runs here through the same execution path the fuzzer used;
+a signature mismatch means observable fault behaviour changed.  If a
+change is *intentional* (new obs instants, altered ARQ policy, …),
+regenerate the corpus with that exact command and commit the new files
+— never relax this test.
+"""
+
+import collections
+
+import pytest
+
+from repro.fuzz import Corpus, replay_entry
+
+CORPUS_DIR = __file__.rsplit("/", 1)[0] + "/corpus"
+
+CORPUS = Corpus.load(CORPUS_DIR)
+ENTRIES = sorted(CORPUS, key=lambda e: e.sig_hash)
+
+
+class TestCorpusShape:
+    def test_meets_novelty_floor(self):
+        """The acceptance floor: >= 5 distinct signatures, all servo."""
+        assert len(CORPUS) >= 5
+        assert all(e.target == "servo" for e in CORPUS)
+        assert len({e.sig_hash for e in CORPUS}) == len(CORPUS)
+
+    def test_covers_every_fault_family(self):
+        kinds = set()
+        for e in CORPUS:
+            for f in e.plan["faults"]:
+                kinds.add(f["type"])
+        assert kinds == {
+            "BurstErrors", "LineDropout", "StuckSensor", "StepOverrun"
+        }
+
+    def test_covers_multiple_health_bands(self):
+        bands = collections.Counter(e.signature.health for e in CORPUS)
+        assert len(bands) >= 3
+        assert "diverged" in bands  # the fuzzer found a divergence corner
+
+    def test_includes_mutated_discoveries(self):
+        """Not just the seed grid: later generations pinned corners too."""
+        ops = {e.op for e in CORPUS}
+        assert "seed" in ops
+        assert len(ops - {"seed"}) >= 2
+        assert any(e.generation > 0 for e in CORPUS)
+
+    def test_entries_pin_their_provenance(self):
+        for e in CORPUS:
+            assert e.fuzz_seed == 0
+            assert e.t_final == pytest.approx(0.2)
+
+
+class TestBitIdenticalReplay:
+    @pytest.mark.parametrize(
+        "entry", ENTRIES, ids=lambda e: f"{e.sig_hash}-{e.op}"
+    )
+    def test_replays_bit_identically(self, entry):
+        result = replay_entry(entry)
+        assert result.ok, result.diff(entry)

@@ -1,0 +1,194 @@
+"""Trace-signature extraction: banding, canonical ordering, hashing."""
+
+import numpy as np
+import pytest
+
+from repro.fuzz.signature import (
+    FAILURE_INSTANTS,
+    SignatureConfig,
+    TraceSignature,
+    _band,
+    _iae_band,
+    extract_signature,
+    signature_hash,
+)
+from repro.sim.pil import PILResult
+
+
+class _FakeTrajectory:
+    """Just enough of a SimulationResult for scoring: ``.t`` + signal."""
+
+    def __init__(self, t, y):
+        self.t = np.asarray(t, dtype=np.float64)
+        self._y = np.asarray(y, dtype=np.float64)
+
+    def __getitem__(self, signal):
+        return self._y
+
+
+def _result(t=None, y=None, **ledger) -> PILResult:
+    if t is None:
+        t = np.linspace(0.0, 0.1, 101)
+    if y is None:
+        y = np.full(len(t), 100.0)
+    return PILResult(
+        result=_FakeTrajectory(t, y),
+        control_period=1e-3,
+        bytes_to_mcu=0,
+        bytes_to_host=0,
+        crc_errors=0,
+        steps=len(t),
+        **ledger,
+    )
+
+
+def _instant(name, sim_t, ph="i"):
+    return {"ph": ph, "name": name, "sim_t": sim_t, "args": {}}
+
+
+class TestBanding:
+    def test_log2_count_bands(self):
+        assert _band(0) == 0
+        assert _band(1) == 1
+        assert _band(2) == 2
+        assert _band(3) == 2
+        assert _band(4) == 3
+        assert _band(7) == 3
+        assert _band(8) == 4
+        assert _band(1000) == 10
+
+    def test_iae_band_monotone_and_clamped(self):
+        assert _iae_band(0.0) == -64
+        assert _iae_band(float("nan")) == -64
+        assert _iae_band(1.0) == 0
+        assert _iae_band(2.5) == 1
+        assert _iae_band(16.0) == 4
+        assert _iae_band(31.9) == 4
+        assert _iae_band(1e300) == 64
+
+
+class TestExtraction:
+    def test_clean_run_is_quiet(self):
+        sig = extract_signature([], _result(), reference=100.0)
+        assert sig.events == ()
+        assert sig.health == "nominal"
+        assert all(v == 0 for v in sig.counts.values())
+
+    def test_event_cells_bucket_and_order_canonically(self):
+        cfg = SignatureConfig(time_bucket=0.025)
+        # emission order scrambled on purpose; two retransmits land in
+        # the same bucket and must fold into one banded cell
+        events = [
+            _instant("link.timeout", 0.051),
+            _instant("link.retransmit", 0.010),
+            _instant("link.retransmit", 0.012),
+            _instant("link.retransmit", 0.090),
+        ]
+        sig = extract_signature(
+            events, _result(retransmits=3, arq_timeouts=1, reliable=True),
+            reference=100.0, config=cfg,
+        )
+        assert sig.events == (
+            ("link.retransmit", 0, 2),   # 2 hits in bucket 0 -> band 2
+            ("link.timeout", 2, 1),
+            ("link.retransmit", 3, 1),
+        )
+
+    def test_spans_and_unlisted_instants_excluded(self):
+        events = [
+            _instant("link.retransmit", 0.01, ph="X"),  # a span, not instant
+            _instant("link.send", 0.01),                # happy path
+            _instant("link.data_latency", 0.01),        # happy path
+        ]
+        sig = extract_signature(events, _result(), reference=100.0)
+        assert sig.events == ()
+
+    def test_missing_sim_time_goes_to_sentinel_bucket(self):
+        sig = extract_signature(
+            [_instant("pil.recovery", None)],
+            _result(recoveries=1, reliable=True),
+            reference=100.0,
+        )
+        assert sig.events == (("pil.recovery", -1, 1),)
+
+    def test_ledger_counts_banded(self):
+        sig = extract_signature(
+            [], _result(retransmits=9, recoveries=1, reliable=True),
+            reference=100.0,
+        )
+        assert sig.counts["retransmits"] == 4
+        assert sig.counts["recoveries"] == 1
+        assert sig.counts["send_failures"] == 0
+
+    def test_health_band_ladder(self):
+        mk = lambda **kw: extract_signature([], _result(**kw), reference=100.0)
+        assert mk().health == "nominal"
+        assert mk(retransmits=2, reliable=True).health == "stressed"
+        assert mk(safe_state_steps=4, reliable=True).health == "degraded"
+        assert mk(recoveries=1, reliable=True).health == "recovering"
+
+    def test_error_profile_tracks_trajectory_shape(self):
+        t = np.linspace(0.0, 0.1, 1001)
+        flat = np.full_like(t, 100.0)
+        # perfect tracking in the first half, a 40-unit sag in the second
+        sag = flat.copy()
+        sag[t >= 0.05] = 60.0
+        a = extract_signature([], _result(t=t, y=flat), reference=100.0)
+        b = extract_signature([], _result(t=t, y=sag), reference=100.0)
+        # 0.1 s / 0.025 s buckets, plus the boundary sample's own bucket
+        assert len(a.profile) == 5
+        assert a.profile != b.profile
+        assert b.profile[-1] == _iae_band(40.0)
+
+    def test_plant_only_fault_changes_hash(self):
+        """A corner with zero link events must still be distinguishable —
+        the plant-side profile layer is what separates e.g. a stuck
+        sensor from the nominal run."""
+        t = np.linspace(0.0, 0.1, 1001)
+        clean = extract_signature(
+            [], _result(t=t, y=np.full_like(t, 100.0)), reference=100.0
+        )
+        stuck = extract_signature(
+            [], _result(t=t, y=np.full_like(t, 70.0)), reference=100.0
+        )
+        assert clean.events == stuck.events == ()
+        assert signature_hash(clean) != signature_hash(stuck)
+
+
+class TestHashing:
+    def test_hash_is_content_addressed(self):
+        a = TraceSignature(events=(("link.nak", 1, 1),), counts={"naks": 1})
+        b = TraceSignature(events=(("link.nak", 1, 1),), counts={"naks": 1})
+        c = TraceSignature(events=(("link.nak", 2, 1),), counts={"naks": 1})
+        assert signature_hash(a) == signature_hash(b) == a.hash
+        assert signature_hash(a) != signature_hash(c)
+        assert len(a.hash) == 16
+
+    def test_config_is_part_of_the_hash(self):
+        a = TraceSignature()
+        b = TraceSignature(config=SignatureConfig(time_bucket=0.05))
+        assert signature_hash(a) != signature_hash(b)
+
+    def test_round_trip_preserves_hash(self):
+        sig = TraceSignature(
+            events=(("link.retransmit", 0, 2), ("pil.recovery", 3, 1)),
+            counts={"retransmits": 2, "recoveries": 1},
+            health="recovering",
+            iae_band=4,
+            profile=(7, 6, 4, 1),
+        )
+        back = TraceSignature.from_dict(sig.to_dict())
+        assert back == sig
+        assert back.hash == sig.hash
+
+    def test_schema_mismatch_raises(self):
+        doc = TraceSignature().to_dict()
+        doc["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            TraceSignature.from_dict(doc)
+
+    def test_default_taxonomy_is_failure_only(self):
+        assert "link.send" not in FAILURE_INSTANTS
+        assert "link.acked" not in FAILURE_INSTANTS
+        assert "link.retransmit" in FAILURE_INSTANTS
+        assert "pil.recovery" in FAILURE_INSTANTS
