@@ -186,6 +186,22 @@ class FaultCampaign:
             return False, f"grid({n_cells}) smaller than workers({workers})"
         return True, None
 
+    @staticmethod
+    def auto_serial_reason_tag(reason: Optional[str]) -> str:
+        """Sanitized counter tag for a :meth:`parallel_effective` reason.
+
+        The free-text reason embeds grid/worker sizes; counters need a
+        stable, low-cardinality name, so it collapses to one of
+        ``single_cpu`` / ``undersized_grid`` / ``other``.
+        """
+        if not reason:
+            return "other"
+        if reason.startswith("cpu_count"):
+            return "single_cpu"
+        if "smaller than workers" in reason or "nothing to parallelize" in reason:
+            return "undersized_grid"
+        return "other"
+
     def run(
         self,
         intensities: Iterable[float],
@@ -225,6 +241,21 @@ class FaultCampaign:
             "batch": batch or 1,
         }):
             if not effective and workers is not None and workers > 1:
+                # the downgrade is counted unconditionally (a trace
+                # instant only exists when someone was tracing; the obs
+                # counter is what dashboards and the bench read)
+                from repro.obs.metrics import get_registry
+
+                reg = get_registry()
+                reg.counter(
+                    "campaign_auto_serial_total",
+                    "parallel sweeps auto-downgraded to serial",
+                ).inc(1)
+                tag = self.auto_serial_reason_tag(reason)
+                reg.counter(
+                    f"campaign_auto_serial_{tag}_total",
+                    "auto-serial downgrades by reason",
+                ).inc(1)
                 if tracer.enabled:
                     tracer.instant("campaign.auto_serial", cat="campaign", args={
                         "workers": workers, "cells": len(grid),

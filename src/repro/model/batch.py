@@ -55,11 +55,18 @@ from typing import Any, Callable, Mapping, Optional, Sequence, Union
 import numpy as np
 
 from ..obs.trace import get_tracer
+from .array_backend import ArrayBackend, get_array_backend
 from .block import Block, BlockContext
 from .compiled import CompiledModel
 from .engine import SimulationOptions
 from .graph import Model
-from .kernels import BatchAffineKernel, _affine_spec, plan_kernels
+from .kernels import (
+    BatchAffineKernel,
+    FusedTriggerKernel,
+    _affine_spec,
+    plan_fused_trigger,
+    plan_kernels,
+)
 from .result import BatchSimulationResult
 
 
@@ -152,7 +159,7 @@ class _LaneEntry:
     """Per-lane fallback: lane ``b`` runs its own deep-copied block."""
 
     __slots__ = ("divisor", "qname", "blocks", "ctxs", "in_idx", "out_idx",
-                 "S", "sim", "off", "n_states", "has_update", "fires")
+                 "S", "sim", "off", "n_states", "has_update", "fires", "_u")
 
     def __init__(self, divisor, qname, blocks, ctxs, in_idx, out_idx, S, sim,
                  off, n_states):
@@ -168,27 +175,35 @@ class _LaneEntry:
         self.n_states = n_states
         self.has_update = type(blocks[0]).update is not Block.update
         self.fires = blocks[0].n_events > 0
+        # scratch input row, refilled per lane per pass (the engine's
+        # scratch-array discipline: blocks must not retain ``u``)
+        self._u = [0.0] * len(in_idx)
 
     def out(self, t: float) -> None:
         S = self.S
         in_idx, out_idx = self.in_idx, self.out_idx
         sim = self.sim
-        pending = sim._pending
-        # dispatch right after each lane's outputs are stored, so a lane's
-        # "ISR" reads that lane's current data — the serial ordering
+        u = self._u
         for b, (blk, ctx) in enumerate(zip(self.blocks, self.ctxs)):
-            u = [S[i, b] for i in in_idx]
+            for k, i in enumerate(in_idx):
+                u[k] = S[i, b]
             out = blk.outputs(t, u, ctx)
             for j, v in zip(out_idx, out):
                 S[j, b] = v
-            if pending:
-                sim._dispatch()
+        # lanes are independent columns, so firing order across lanes is
+        # immaterial; flushing once per entry (instead of inside the lane
+        # loop) lets the dispatcher group fired lanes per event — each
+        # lane's "ISR" still reads exactly that lane's current data
+        if sim._pending:
+            sim._flush_dispatch()
 
     def out_minor(self, t: float) -> None:
         S = self.S
         in_idx, out_idx = self.in_idx, self.out_idx
+        u = self._u
         for b, (blk, ctx) in enumerate(zip(self.blocks, self.ctxs)):
-            u = [S[i, b] for i in in_idx]
+            for k, i in enumerate(in_idx):
+                u[k] = S[i, b]
             ctx.minor = True
             try:
                 out = blk.outputs(t, u, ctx)
@@ -200,16 +215,20 @@ class _LaneEntry:
     def update(self, t: float) -> None:
         S = self.S
         in_idx = self.in_idx
+        u = self._u
         for b, (blk, ctx) in enumerate(zip(self.blocks, self.ctxs)):
-            u = [S[i, b] for i in in_idx]
+            for k, i in enumerate(in_idx):
+                u[k] = S[i, b]
             blk.update(t, u, ctx)
 
     def deriv(self, t: float, xdot: np.ndarray) -> None:
         S = self.S
         in_idx = self.in_idx
+        u = self._u
         off, n = self.off, self.n_states
         for b, (blk, ctx) in enumerate(zip(self.blocks, self.ctxs)):
-            u = [S[i, b] for i in in_idx]
+            for k, i in enumerate(in_idx):
+                u[k] = S[i, b]
             xdot[off : off + n, b] = blk.derivatives(t, u, ctx)
 
 
@@ -227,6 +246,9 @@ class BatchSimulator:
         model: Union[Model, CompiledModel],
         scenarios: Sequence[Union[BatchScenario, Mapping[str, Mapping[str, Any]]]],
         options: SimulationOptions,
+        backend: Union[str, ArrayBackend, None] = None,
+        compaction: bool = True,
+        compact_min_lanes: int = 1,
     ):
         self.options = options
         self.cm = model if isinstance(model, CompiledModel) else model.compile(options.dt)
@@ -244,18 +266,30 @@ class BatchSimulator:
             for b, s in enumerate(self.scenarios)
         ]
         cm = self.cm
-        self.S = np.zeros((cm.n_signals, self.n_lanes))
-        self.X = np.zeros((cm.n_states, self.n_lanes))
+        xp = self.xp = get_array_backend(backend)
+        self.S = xp.zeros((cm.n_signals, self.n_lanes))
+        self.X = xp.zeros((cm.n_states, self.n_lanes))
         self.step_index = 0
         self.time = 0.0
         self._pending: deque[tuple[str, int, int]] = deque()
         self._fired: dict[tuple[str, int], int] = {}
         self._lanes_diverged = 0
         self._diverged_events = 0
+        # lane compaction (fused trigger dispatch)
+        self._compaction = bool(compaction)
+        self._compact_min = max(1, int(compact_min_lanes))
+        self._trig_fused: dict[str, FusedTriggerKernel] = {}
+        self._fused_dispatches = 0
+        self._fused_lane_dispatches = 0
+        self._compacted_dispatches = 0
+        self._compacted_lane_dispatches = 0
+        self._perlane_dispatches = 0
+        self._fused_counted = 0
+        self._compacted_counted = 0
         # solver work buffers (vector RK4 over the whole state matrix)
         shape = (cm.n_states, self.n_lanes)
-        self._X0 = np.zeros(shape)
-        self._K = [np.zeros(shape) for _ in range(4)]
+        self._X0 = xp.zeros(shape)
+        self._K = [xp.zeros(shape) for _ in range(4)]
         # schedules (populated by initialize)
         self._out_pass: list[tuple[int, Callable[[float], None]]] = []
         self._minor_pass: list[Callable[[float], None]] = []
@@ -264,6 +298,7 @@ class BatchSimulator:
         self._scope_sched: list[tuple[str, int]] = []
         self._trig: dict[str, list[tuple[Block, BlockContext]]] = {}
         self._trig_out: dict[str, list[int]] = {}
+        self._trig_u: dict[str, list] = {}
         self._terminate: list[tuple[Block, BlockContext]] = []
         self._t_log: Optional[np.ndarray] = None
         self._scope_buf: dict[str, np.ndarray] = {}
@@ -280,6 +315,24 @@ class BatchSimulator:
     def lanes_diverged(self) -> int:
         """Lanes that skipped an event some other lane took (cumulative)."""
         return self._lanes_diverged
+
+    @property
+    def compaction_stats(self) -> dict:
+        """Fused-trigger dispatch accounting (cumulative).
+
+        ``recovered_lane_steps`` counts lane-dispatches that events had
+        *diverged* (a strict subset of lanes fired) yet still ran inside
+        a fused kernel — exactly the work the pre-compaction engine paid
+        per-lane Python fallback for.
+        """
+        return {
+            "fused_dispatches": self._fused_dispatches,
+            "fused_lane_dispatches": self._fused_lane_dispatches,
+            "compacted_dispatches": self._compacted_dispatches,
+            "compacted_lane_dispatches": self._compacted_lane_dispatches,
+            "perlane_dispatches": self._perlane_dispatches,
+            "recovered_lane_steps": self._compacted_lane_dispatches,
+        }
 
     # ------------------------------------------------------------------
     # planning / initialization
@@ -393,7 +446,9 @@ class BatchSimulator:
             if run_rows:
                 out_entries.append(
                     _AffineEntry(
-                        run_divisor, BatchAffineKernel(run_rows, B), run_qnames
+                        run_divisor,
+                        BatchAffineKernel(run_rows, B, xp=self.xp),
+                        run_qnames,
                     )
                 )
                 run_rows, run_qnames = [], []
@@ -410,7 +465,7 @@ class BatchSimulator:
                     clone = self._clone_for_lane(block, qname, b)
                     ctx = BlockContext()
                     if n_states:
-                        X[off : off + n_states, b] = np.asarray(
+                        X[off : off + n_states, b] = self.xp.asarray(
                             clone.initial_continuous_states(), dtype=np.float64
                         )
                     ctx.x = X[off : off + n_states, b]
@@ -422,6 +477,17 @@ class BatchSimulator:
                 self._trig_out[qname] = [
                     cm.sig_index[(qname, p)] for p in range(block.n_out)
                 ]
+                self._trig_u[qname] = [0.0] * len(cm.input_map[qname])
+                if self._compaction and qname not in overridden:
+                    kern = plan_fused_trigger(
+                        block,
+                        cm.input_map[qname],
+                        self._trig_out[qname],
+                        B,
+                        xp=self.xp,
+                    )
+                    if kern is not None:
+                        self._trig_fused[qname] = kern
                 n_trig += 1
                 continue
 
@@ -490,7 +556,7 @@ class BatchSimulator:
             if qname not in overridden and self._batch_capable(block, n_states):
                 ctx = BlockContext()
                 if n_states:
-                    X[off : off + n_states, :] = np.asarray(
+                    X[off : off + n_states, :] = self.xp.asarray(
                         block.initial_continuous_states(), dtype=np.float64
                     ).reshape(n_states, 1)
                 ctx.x = X[off : off + n_states, :]
@@ -507,7 +573,7 @@ class BatchSimulator:
                     clone = self._clone_for_lane(block, qname, b)
                     ctx = BlockContext()
                     if n_states:
-                        X[off : off + n_states, b] = np.asarray(
+                        X[off : off + n_states, b] = self.xp.asarray(
                             clone.initial_continuous_states(), dtype=np.float64
                         )
                     ctx.x = X[off : off + n_states, b]
@@ -541,7 +607,9 @@ class BatchSimulator:
         def flush_minor():
             nonlocal acc_rows
             if acc_rows:
-                self._minor_pass.append(BatchAffineKernel(acc_rows, B).make_apply(S))
+                self._minor_pass.append(
+                    BatchAffineKernel(acc_rows, B, xp=self.xp).make_apply(S)
+                )
                 acc_rows = []
 
         for qname in plan.minor_qnames:
@@ -571,8 +639,10 @@ class BatchSimulator:
             "batch_blocks": n_batch,
             "lane_blocks": n_lane,
             "triggered_blocks": n_trig,
+            "fused_triggers": len(self._trig_fused),
             "minor_entries": len(self._minor_pass),
             "overridden_blocks": len(overridden),
+            "array_backend": self.xp.name,
             "vectorized_fraction": (
                 (n_affine_rows + n_batch) / scheduled if scheduled else 1.0
             ),
@@ -582,29 +652,81 @@ class BatchSimulator:
         if tr.enabled:
             tr.complete("batch.plan", "batch", t0, args=dict(self.plan_stats))
 
-    @staticmethod
-    def _lane_column(values: list) -> Any:
+    def _lane_column(self, values: list) -> Any:
         """Scalar when all lanes agree, else a ``(B,)`` column."""
         first = float(values[0])
         if all(float(v) == first for v in values):
             return first
-        return np.array([float(v) for v in values])
+        return self.xp.array([float(v) for v in values])
 
     # ------------------------------------------------------------------
     # event dispatch
     # ------------------------------------------------------------------
     def _dispatch(self) -> None:
+        """Strict per-lane FIFO dispatch (the pre-compaction semantics)."""
         pending = self._pending
         targets = self.cm.event_targets
         while pending:
             qname, event_port, lane = pending.popleft()
             for target in targets.get((qname, event_port), ()):
                 self._execute_triggered(target, lane)
+                self._perlane_dispatches += 1
+
+    def _flush_dispatch(self) -> None:
+        """Drain the pending queue, grouping adjacent fires of the same
+        event into one multi-lane dispatch.
+
+        The queue is lane-major (emitters fire inside their lane loop),
+        so the common case — one event port fired by ``K`` lanes —
+        becomes a single group.  Lanes are independent columns: merging
+        adjacent same-event entries only reorders work *across* lanes,
+        never within one lane, so the serial per-lane ordering (and with
+        it bit-identity) is preserved.  Groups dispatch through the
+        target's :class:`FusedTriggerKernel` when one was planned —
+        full-width when every lane fired, *compacted* onto the fired
+        subset when the event diverged — and lane-by-lane otherwise.
+        Targets that fire during execution re-enter the census, matching
+        the old FIFO cascade order.
+        """
+        pending = self._pending
+        targets = self.cm.event_targets
+        trig_fused = self._trig_fused
+        B = self.n_lanes
+        while pending:
+            qname, event_port, lane = pending.popleft()
+            lanes = [lane]
+            while (
+                pending
+                and pending[0][0] == qname
+                and pending[0][1] == event_port
+            ):
+                lanes.append(pending.popleft()[2])
+            K = len(lanes)
+            for target in targets.get((qname, event_port), ()):
+                kern = trig_fused.get(target)
+                if kern is None or K < self._compact_min:
+                    for b in lanes:
+                        self._execute_triggered(target, b)
+                    self._perlane_dispatches += K
+                    continue
+                if K == B and len(set(lanes)) == B:
+                    kern.apply(self.S, None, B)
+                else:
+                    kern.apply(self.S, self.xp.index_array(lanes), K)
+                    self._compacted_dispatches += 1
+                    self._compacted_lane_dispatches += K
+                clones = self._trig[target]
+                for b in lanes:
+                    clones[b][0].call_count += 1
+                self._fused_dispatches += 1
+                self._fused_lane_dispatches += K
 
     def _execute_triggered(self, qname: str, lane: int) -> None:
         block, ctx = self._trig[qname][lane]
         S = self.S
-        u = [S[i, lane] for i in self.cm.input_map[qname]]
+        u = self._trig_u[qname]
+        for k, i in enumerate(self.cm.input_map[qname]):
+            u[k] = S[i, lane]
         out = block.outputs(self.time, u, ctx)
         for j, v in zip(self._trig_out[qname], out):
             S[j, lane] = v
@@ -701,14 +823,17 @@ class BatchSimulator:
             self._grow_logs(n_steps)
         else:
             for qname, _idx in self._scope_sched:
-                self._scope_buf.setdefault(qname, np.empty((n_steps, B)))
+                self._scope_buf.setdefault(
+                    qname, self.xp.empty((n_steps, B))
+                )
 
     def _grow_logs(self, capacity: int) -> None:
         B = self.n_lanes
         n = self._log_len
+        xp = self.xp
 
         def grown(old, shape):
-            new = np.empty(shape)
+            new = xp.empty(shape)
             if old is not None and n:
                 new[:n] = old[:n]
             return new
@@ -777,20 +902,36 @@ class BatchSimulator:
                 "lanes that skipped an event another lane took",
             ).inc(self._lanes_diverged)
             self._diverged_events = 0
+        if self._fused_lane_dispatches != self._fused_counted:
+            reg.counter(
+                "batch_fused_lane_dispatches_total",
+                "triggered lane-calls executed through fused kernels",
+            ).inc(self._fused_lane_dispatches - self._fused_counted)
+            self._fused_counted = self._fused_lane_dispatches
+        if self._compacted_lane_dispatches != self._compacted_counted:
+            reg.counter(
+                "batch_compacted_lane_dispatches_total",
+                "fused lane-calls recovered from diverged (subset) events",
+            ).inc(self._compacted_lane_dispatches - self._compacted_counted)
+            self._compacted_counted = self._compacted_lane_dispatches
 
     def result(self) -> BatchSimulationResult:
-        """Assemble a :class:`BatchSimulationResult` from the logs so far."""
+        """Assemble a :class:`BatchSimulationResult` from the logs so far
+        (always host-side numpy, whatever backend carried the run)."""
         n = self._log_len
-        t = (self._t_log[:n].copy() if self._t_log is not None
+        asnumpy = self.xp.asnumpy
+        t = (asnumpy(self._t_log[:n]).copy() if self._t_log is not None
              else np.empty(0))
         signals: dict[str, np.ndarray] = {}
         for qname, _idx in self._scope_sched:
             label = getattr(self.cm.nodes[qname], "label", None) or qname
-            signals[label] = self._scope_buf[qname][:n].copy()
+            signals[label] = asnumpy(self._scope_buf[qname][:n]).copy()
         if self.options.log_all_signals and n:
             trace = self._trace
             for (qname, port), idx in self.cm.sig_index.items():
-                signals.setdefault(f"{qname}:{port}", trace[:n, idx, :].copy())
+                signals.setdefault(
+                    f"{qname}:{port}", asnumpy(trace[:n, idx, :]).copy()
+                )
         for block, ctx in self._terminate:
             block.terminate(ctx)
         return BatchSimulationResult(t, signals, self.labels)
@@ -802,7 +943,7 @@ class BatchSimulator:
         """Current value(s) on an output line: ``(B,)`` copy, or a float
         for one lane."""
         row = self.S[self.cm.sig_index[(qname, port)]]
-        return row.copy() if lane is None else float(row[lane])
+        return self.xp.asnumpy(row).copy() if lane is None else float(row[lane])
 
     def write_signal(
         self, qname: str, port: int, value, lane: Optional[int] = None
@@ -822,8 +963,12 @@ def simulate_batch(
     t_final: float,
     dt: float = 1e-3,
     solver: str = "rk4",
+    backend: Union[str, ArrayBackend, None] = None,
+    compaction: bool = True,
     **kwargs,
 ) -> BatchSimulationResult:
     """One-call convenience wrapper: compile (if needed) and run a batch."""
     opts = SimulationOptions(dt=dt, t_final=t_final, solver=solver, **kwargs)
-    return BatchSimulator(model, scenarios, opts).run()
+    return BatchSimulator(
+        model, scenarios, opts, backend=backend, compaction=compaction
+    ).run()

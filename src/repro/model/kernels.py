@@ -45,6 +45,7 @@ from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
+from .array_backend import ArrayBackend, get_array_backend
 from .block import Block
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -325,28 +326,29 @@ class BatchAffineKernel:
 
     __slots__ = ("groups", "n_lanes")
 
-    def __init__(self, rows, n_lanes: int):
+    def __init__(self, rows, n_lanes: int, xp: Optional[ArrayBackend] = None):
         self.n_lanes = n_lanes
+        xp = get_array_backend(xp)
 
         def column(values):
-            if any(isinstance(v, np.ndarray) for v in values):
-                return np.vstack([
-                    v if isinstance(v, np.ndarray) else np.full(n_lanes, v)
+            # scalars are plain floats; anything else is a (B,) lane column
+            if any(not isinstance(v, (int, float)) for v in values):
+                return xp.vstack([
+                    v if not isinstance(v, (int, float))
+                    else xp.full(n_lanes, float(v))
                     for v in values
                 ])
-            return np.array([float(v) for v in values]).reshape(-1, 1)
+            return xp.array([float(v) for v in values]).reshape(-1, 1)
 
         grouped: dict[tuple[int, int], list] = {}
         for r in rows:
             grouped.setdefault((r.level, len(r.coeffs)), []).append(r)
         self.groups = []
         for (_lvl, arity), rs in sorted(grouped.items()):
-            flat_idx = np.array(
-                [s for r in rs for s in r.in_sigs], dtype=np.intp
-            )
+            flat_idx = xp.index_array([s for r in rs for s in r.in_sigs])
             consts = column([r.const for r in rs])
             cols = [column([r.coeffs[j] for r in rs]) for j in range(arity)]
-            outs = np.array([r.out_sig for r in rs], dtype=np.intp)
+            outs = xp.index_array([r.out_sig for r in rs])
             self.groups.append((flat_idx, consts, cols, outs, arity, len(rs)))
 
     def apply(self, S: np.ndarray) -> None:
@@ -377,6 +379,126 @@ class BatchAffineKernel:
                     _S[outs] = consts
 
         return run
+
+
+# ---------------------------------------------------------------------------
+# fused trigger kernel (lane compaction of event dispatch)
+# ---------------------------------------------------------------------------
+class FusedTriggerKernel:
+    """One triggered :class:`FunctionCallSubsystem` call, replayed for a
+    whole *set* of lanes at once.
+
+    The batch engine's per-lane fallback pays a full Python
+    ``AtomicExecutor`` pass per fired lane per event.  When the inner
+    diagram is a feed-forward arrangement of Inports, Outports and
+    stateless affine blocks, one call is a pure function of the outer
+    input signals — so ``K`` fired lanes can be evaluated as ``(K,)``
+    vector rows in the subsystem's exact schedule order:
+
+    * ``("inject", row, outer_sig)`` — gather the outer signal into the
+      inner scratch row (the Inport's latched value),
+    * ``("affine", row, coeffs, in_rows, const)`` — evaluate
+      ``const + c0*u0 + c1*u1 + ...`` left-to-right, the reference
+      accumulation order, on inner scratch rows,
+    * latches — scatter each Outport's source row back onto the outer
+      signal matrix, exactly what ``_execute_triggered`` writes.
+
+    :func:`plan_fused_trigger` only builds a kernel when the replay is
+    provably equivalent to the per-lane executor: no inner state, no
+    back-edges (every read row is produced earlier in the same pass),
+    full Outport coverage of the output ports.  Lanes are independent
+    columns, so evaluating a *subset* of lanes (``lanes`` index array)
+    is the compaction move: diverged events re-pack their fired lanes
+    into one fused apply instead of looping Python per lane.
+    """
+
+    __slots__ = ("program", "latches", "n_rows", "xp", "_T")
+
+    def __init__(self, program, latches, n_rows: int, n_lanes: int,
+                 xp: Optional[ArrayBackend] = None):
+        self.program = program
+        self.latches = latches
+        self.n_rows = n_rows
+        self.xp = get_array_backend(xp)
+        self._T = self.xp.empty((n_rows, n_lanes))
+
+    def apply(self, S, lanes, width: int) -> None:
+        """Execute one triggered call for ``width`` lanes.
+
+        ``lanes`` is an index array selecting the fired columns of
+        ``S``, or ``None`` for the full batch.
+        """
+        sel = slice(None) if lanes is None else lanes
+        T = self._T[:, :width] if width != self._T.shape[1] else self._T
+        for op in self.program:
+            if op[0] == "inject":
+                T[op[1]] = S[op[2], sel]
+            else:
+                _tag, row, coeffs, in_rows, const = op
+                y = const
+                for c, r in zip(coeffs, in_rows):
+                    y = y + c * T[r]
+                T[row] = y
+        for out_sig, src_row in self.latches:
+            S[out_sig, sel] = T[src_row]
+
+
+def plan_fused_trigger(block, outer_in_sigs, outer_out_sigs, n_lanes: int,
+                       xp: Optional[ArrayBackend] = None):
+    """Build a :class:`FusedTriggerKernel` for a triggered subsystem, or
+    ``None`` when one call is not a pure affine function of the outer
+    inputs (stateful inner blocks, back-edges, partial Outport coverage,
+    non-port non-affine inner blocks — anything the per-lane executor
+    must keep handling)."""
+    from .library.subsystems import FunctionCallSubsystem, Inport, Outport
+
+    if not isinstance(block, FunctionCallSubsystem):
+        return None
+    cm = getattr(block, "_cm", None)
+    if cm is None or cm.n_states:
+        return None
+    n_out = block.n_out
+    if len(outer_out_sigs) != n_out:
+        return None
+    program: list[tuple] = []
+    produced: set[int] = set()
+    latch_row: dict[int, int] = {}
+    for qname in cm.order:
+        b = cm.nodes[qname]
+        if isinstance(b, Inport):
+            if b.index >= len(outer_in_sigs):
+                return None
+            row = cm.sig_index[(qname, 0)]
+            program.append(("inject", row, outer_in_sigs[b.index]))
+            produced.add(row)
+            continue
+        if isinstance(b, Outport):
+            src = cm.input_map[qname][0]
+            if src not in produced:
+                return None
+            latch_row[b.index] = src
+            continue
+        spec = _affine_spec(b, cm.state_count[qname])
+        if spec is None:
+            return None
+        in_rows = tuple(cm.input_map[qname])
+        if any(r not in produced for r in in_rows):
+            return None  # back-edge: one call reads previous-call state
+        for port, (coeffs, const) in enumerate(spec):
+            row = cm.sig_index[(qname, port)]
+            program.append((
+                "affine", row,
+                tuple(float(c) for c in coeffs), in_rows, float(const),
+            ))
+            produced.add(row)
+    # every output port must be freshly latched, otherwise ctx.dwork["y"]
+    # holdover values would be observable and the replay incomplete
+    if sorted(latch_row) != list(range(n_out)):
+        return None
+    latches = [(outer_out_sigs[i], latch_row[i]) for i in range(n_out)]
+    return FusedTriggerKernel(
+        program, latches, cm.n_signals, n_lanes, xp=xp
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -36,6 +36,7 @@ from .jobs import (
     SweepRequest,
 )
 from .client import BatchSweepHandle, SimServe, SweepHandle
+from .coalesce import CoalesceConfig, CoalescedBatch, coalesce_key
 from .metrics import Histogram, ServiceMetrics
 from .model_cache import ModelCache, canonical_model_doc, model_content_hash
 from .results import JobRecord, ResultStore
@@ -46,6 +47,8 @@ __all__ = [
     "AdmissionError",
     "BatchSweepHandle",
     "CampaignCellRequest",
+    "CoalesceConfig",
+    "CoalescedBatch",
     "Histogram",
     "Job",
     "JobCancelled",
@@ -67,6 +70,7 @@ __all__ = [
     "SweepRequest",
     "WorkerPool",
     "canonical_model_doc",
+    "coalesce_key",
     "execute_request",
     "model_content_hash",
 ]

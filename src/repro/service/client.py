@@ -19,10 +19,11 @@ job/scheduler/worker substrates underneath it.
 from __future__ import annotations
 
 import itertools
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from repro.obs.trace import get_tracer
 
+from .coalesce import CoalesceConfig, coalesce_key
 from .jobs import (
     Job,
     JobHandle,
@@ -108,7 +109,27 @@ class SimServe:
         cache_capacity: int = 32,
         store_capacity: int = 256,
         autostart: bool = True,
+        coalesce: Union[bool, CoalesceConfig, None] = None,
+        array_backend: Optional[str] = None,
     ):
+        # continuous batching: None = env-controlled (SIMSERVE_COALESCE*),
+        # True = defaults, False = off, or an explicit CoalesceConfig
+        if coalesce is None:
+            coalesce_cfg = CoalesceConfig.from_env()
+        elif coalesce is True:
+            coalesce_cfg = CoalesceConfig()
+        elif coalesce is False:
+            coalesce_cfg = None
+        else:
+            coalesce_cfg = coalesce
+        # array seam: validate up front (raises BackendUnavailable with an
+        # actionable message) and make it the process-wide default so
+        # thread workers — and, via the pool initializer, process-pool
+        # children — all simulate on the same array library
+        if array_backend is not None:
+            from repro.model.array_backend import set_array_backend
+
+            set_array_backend(array_backend)
         self.metrics = ServiceMetrics()
         self.cache = ModelCache(capacity=cache_capacity)
         self.store = ResultStore(capacity=store_capacity)
@@ -116,6 +137,7 @@ class SimServe:
             queue_depth=queue_depth,
             on_shed=self._record_skipped,
             on_cancel=self._record_skipped,
+            coalesce=coalesce_cfg,
         )
         self.pool = WorkerPool(
             self.scheduler,
@@ -124,6 +146,7 @@ class SimServe:
             self.metrics,
             n_workers=workers,
             backend=backend,
+            array_backend=array_backend,
         )
         self.metrics.queue_depth_fn = lambda: self.scheduler.depth
         self.metrics.cache_stats_fn = self.cache.stats
@@ -184,6 +207,8 @@ class SimServe:
         if self._closed:
             raise ServiceClosed("service is shut down")
         job = Job(request, priority=priority, deadline_s=deadline_s)
+        if self.scheduler.coalesce is not None:
+            job.coalesce_key = coalesce_key(request)
         tracer = get_tracer()
         if tracer.enabled:
             job.trace_parent = tracer.current_span()
@@ -223,6 +248,8 @@ class SimServe:
                 raise ServiceClosed("service is shut down")
             job = Job(request, priority=priority, deadline_s=deadline_s,
                       sweep_id=sweep_id)
+            if self.scheduler.coalesce is not None:
+                job.coalesce_key = coalesce_key(request)
             tracer = get_tracer()
             if tracer.enabled:
                 job.trace_parent = tracer.current_span()

@@ -241,7 +241,7 @@ class Job:
         "id", "request", "priority", "deadline_s", "sweep_id",
         "submitted_at", "started_at", "finished_at",
         "state", "error", "cache_hit", "trace_parent",
-        "cancel_event", "done_event",
+        "cancel_event", "done_event", "coalesce_key",
     )
 
     def __init__(
@@ -266,6 +266,9 @@ class Job:
         self.cache_hit = False
         #: submitter's open span id — worker-side job spans attach here
         self.trace_parent: Optional[str] = None
+        #: continuous-batching compatibility key (set at submission when
+        #: coalescing is enabled; None = this job always runs serial)
+        self.coalesce_key: Optional[tuple] = None
         self.cancel_event = threading.Event()
         self.done_event = threading.Event()
 

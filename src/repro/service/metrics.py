@@ -44,6 +44,8 @@ class ServiceMetrics:
         self._failed = reg.counter("simserve_jobs_failed_total")
         self._cancelled = reg.counter("simserve_jobs_cancelled_total")
         self._shed = reg.counter("simserve_jobs_shed_total")
+        self._coalesced_batches = reg.counter("simserve_coalesced_batches_total")
+        self._coalesced_jobs = reg.counter("simserve_coalesced_jobs_total")
         self._busy = reg.gauge("simserve_workers_busy")
         self.queue_wait = reg.histogram("simserve_queue_wait_seconds")
         self.exec_time = reg.histogram("simserve_exec_seconds")
@@ -85,6 +87,14 @@ class ServiceMetrics:
         return int(self._shed.value)
 
     @property
+    def coalesced_batches(self) -> int:
+        return int(self._coalesced_batches.value)
+
+    @property
+    def coalesced_jobs(self) -> int:
+        return int(self._coalesced_jobs.value)
+
+    @property
     def workers_busy(self) -> int:
         return int(self._busy.value)
 
@@ -104,6 +114,12 @@ class ServiceMetrics:
     def on_start(self) -> None:
         with self._lock:
             self._busy.inc()
+
+    def on_coalesce(self, width: int) -> None:
+        """One vector job formed out of ``width`` member jobs."""
+        with self._lock:
+            self._coalesced_batches.inc()
+            self._coalesced_jobs.inc(width)
 
     def on_finish(self, job) -> None:
         """Record a terminal job (worker-executed or queue-skipped)."""
@@ -152,6 +168,14 @@ class ServiceMetrics:
                     "cancelled": self.cancelled,
                     "shed": self.shed,
                     "by_kind": dict(self.by_kind),
+                },
+                "coalesce": {
+                    "batches": self.coalesced_batches,
+                    "jobs": self.coalesced_jobs,
+                    "mean_width": (
+                        self.coalesced_jobs / self.coalesced_batches
+                        if self.coalesced_batches else 0.0
+                    ),
                 },
                 "latency": {
                     "queue_wait": self.queue_wait.snapshot(),

@@ -12,6 +12,14 @@ Deadline shedding is lazy: an expired job stays in the heap until a
 worker pops it, at which point :meth:`next_job` marks it ``EXPIRED`` and
 reports it through the ``on_shed`` callback instead of returning it.
 Cancelled-while-pending jobs are skipped the same way via ``on_cancel``.
+
+With a :class:`~repro.service.coalesce.CoalesceConfig`, the scheduler
+also *forms batches*: when the popped job carries a ``coalesce_key``,
+compatible queued peers are claimed into one
+:class:`~repro.service.coalesce.CoalescedBatch` (waiting up to the
+coalesce window for stragglers), and workers may claim further
+late-arriving peers at the step-0 boundary via
+:meth:`claim_compatible`.
 """
 
 from __future__ import annotations
@@ -19,10 +27,11 @@ from __future__ import annotations
 import heapq
 import threading
 import time
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Union
 
 from repro.obs.trace import get_tracer
 
+from .coalesce import CoalesceConfig, CoalescedBatch
 from .jobs import Job, JobState, QueueFull, ServiceClosed
 
 
@@ -34,10 +43,12 @@ class Scheduler:
         queue_depth: int = 64,
         on_shed: Optional[Callable[[Job], None]] = None,
         on_cancel: Optional[Callable[[Job], None]] = None,
+        coalesce: Optional[CoalesceConfig] = None,
     ):
         if queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
         self.queue_depth = queue_depth
+        self.coalesce = coalesce
         self._heap: list[tuple[int, int, Job]] = []
         self._seq = 0
         self._cond = threading.Condition()
@@ -71,7 +82,12 @@ class Scheduler:
                 raise QueueFull(depth, self.queue_depth)
             self._seq += 1
             heapq.heappush(self._heap, (int(job.priority), self._seq, job))
-            self._cond.notify()
+            if self.coalesce is not None:
+                # a worker may be inside a coalesce window waiting for
+                # exactly this arrival — wake everyone, not just one
+                self._cond.notify_all()
+            else:
+                self._cond.notify()
 
     def _compact(self) -> None:
         """Drop dead heap residents, reporting sheds/cancels as we go."""
@@ -112,11 +128,18 @@ class Scheduler:
         job.done_event.set()
 
     # ------------------------------------------------------------------
-    def next_job(self, timeout: Optional[float] = None) -> Optional[Job]:
+    def next_job(
+        self, timeout: Optional[float] = None
+    ) -> Optional[Union[Job, CoalescedBatch]]:
         """Pop the highest-priority live job; None on timeout or shutdown.
 
         Cancelled and deadline-expired pending jobs are consumed here
         (marked terminal, callbacks fired) rather than handed to workers.
+        When coalescing is configured and the popped job carries a
+        ``coalesce_key``, compatible peers are claimed into a
+        :class:`CoalescedBatch` (waiting up to the coalesce window); a
+        window that closes with one member returns the bare job so a
+        lone submission runs on the serial path.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
@@ -131,6 +154,8 @@ class Scheduler:
                     if job.expired():
                         self._finish_skipped(job, JobState.EXPIRED, self._on_shed)
                         continue
+                    if self.coalesce is not None and job.coalesce_key is not None:
+                        return self._form_batch(job)
                     return job
                 if self._closed:
                     return None
@@ -140,6 +165,80 @@ class Scheduler:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0 or not self._cond.wait(remaining):
                         return None
+
+    # ------------------------------------------------------------------
+    # continuous batching (requires self.coalesce; caller holds _cond)
+    # ------------------------------------------------------------------
+    def _form_batch(self, first: Job) -> Union[Job, CoalescedBatch]:
+        """Claim peers for ``first``, waiting out the coalesce window."""
+        cfg = self.coalesce
+        members = [first]
+        self._claim_peers(first, members, cfg.max_batch)
+        if cfg.window_s > 0 and len(members) < cfg.max_batch:
+            window_end = time.monotonic() + cfg.window_s
+            while len(members) < cfg.max_batch and not self._closed:
+                remaining = window_end - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+                self._claim_peers(first, members, cfg.max_batch)
+        if len(members) == 1:
+            return first
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant("service.coalesce", cat="service",
+                           parent=first.trace_parent, args={
+                               "jobs": [j.id for j in members],
+                               "width": len(members),
+                           })
+        return CoalescedBatch(first.coalesce_key, members)
+
+    def _claim_peers(self, first: Job, members: List[Job], limit: int) -> None:
+        """Move queued jobs compatible with ``first`` into ``members``.
+
+        Compatibility = same ``coalesce_key`` AND same priority class
+        (a deadline-shed boundary is respected: expired peers are shed
+        here through the normal callback, never absorbed).  Claims in
+        (priority, seq) order so lane order matches dequeue order.
+        """
+        if len(members) >= limit:
+            return
+        key = first.coalesce_key
+        prio = int(first.priority)
+        now = time.monotonic()
+        kept: list[tuple[int, int, Job]] = []
+        for item in sorted(self._heap):
+            job = item[2]
+            if (
+                len(members) < limit
+                and job.state is JobState.PENDING
+                and int(job.priority) == prio
+                and job.coalesce_key == key
+            ):
+                if job.cancel_event.is_set():
+                    self._finish_skipped(job, JobState.CANCELLED, self._on_cancel)
+                elif job.expired(now):
+                    self._finish_skipped(job, JobState.EXPIRED, self._on_shed)
+                else:
+                    members.append(job)
+                continue
+            kept.append(item)
+        heapq.heapify(kept)
+        self._heap = kept
+
+    def claim_compatible(self, first: Job, limit: int) -> List[Job]:
+        """Late admission: claim queued peers of an in-flight batch.
+
+        Called by a worker right before ``initialize()`` — the step-0
+        major-step boundary — so submissions that landed after the batch
+        sealed still join the vector run.  Returns the extra jobs only.
+        """
+        if self.coalesce is None or first.coalesce_key is None or limit <= 1:
+            return []
+        with self._cond:
+            members = [first]
+            self._claim_peers(first, members, limit)
+            return members[1:]
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -38,6 +38,7 @@ from typing import Any, Optional, Tuple
 
 from repro.obs.trace import get_tracer
 
+from .coalesce import CoalescedBatch
 from .jobs import (
     CampaignCellRequest,
     Job,
@@ -140,6 +141,104 @@ def _execute_batch_sweep(
     return summary, result, hit
 
 
+def execute_coalesced(
+    requests: list,
+    cache: ModelCache,
+    cancel_events: Optional[list] = None,
+) -> list:
+    """Run N same-key requests as ONE BatchSimulator; demux per request.
+
+    Each request contributes lanes to a single vector run over the shared
+    compiled model — one lane for a MIL job, ``len(scenarios)`` lanes for
+    a batched sweep.  Returns ``[(summary, result, cache_hit), ...]`` in
+    request order, where each member's result is shaped exactly like its
+    serial counterpart (a :class:`~repro.model.SimulationResult` for MIL,
+    a per-member :class:`~repro.model.BatchSimulationResult` slice for a
+    sweep) and is bit-identical to a direct run.
+
+    The run aborts only when **every** member is cancelled; individual
+    cancellations are honored at demux (that member's lanes are computed
+    but dropped — lanes cannot leave a vector run mid-flight).
+    """
+    from repro.model.batch import BatchScenario, BatchSimulator
+    from repro.model.engine import SimulationOptions
+    from repro.model.result import BatchSimulationResult
+
+    base = requests[0]
+    model = base.resolve_model()
+    # lane layout: requests expand left-to-right into batch columns, and
+    # sweep scenarios keep their member-local default labels so demuxed
+    # slices match what a direct run would have produced
+    lane_specs: list[tuple[int, int]] = []
+    scenarios: list[BatchScenario] = []
+    for i, req in enumerate(requests):
+        if isinstance(req, MILRequest):
+            lane_specs.append((len(scenarios), 1))
+            scenarios.append(BatchScenario({}, label=f"mil{i}"))
+        else:
+            start = len(scenarios)
+            for j, sc in enumerate(req.scenarios):
+                if not isinstance(sc, BatchScenario):
+                    sc = BatchScenario(overrides=dict(sc))
+                if sc.label is None:
+                    sc = BatchScenario(sc.overrides, label=f"lane{j}")
+                scenarios.append(sc)
+            lane_specs.append((start, len(scenarios) - start))
+    hook = None
+    if cancel_events:
+        def hook(t, engine, _evs=list(cancel_events)):
+            if all(ev.is_set() for ev in _evs):
+                raise JobCancelled()
+    with cache.lease(model, base.dt) as (cm, hit):
+        opts = SimulationOptions(
+            dt=base.dt,
+            t_final=base.t_final,
+            solver=base.solver,
+            use_kernels=base.use_kernels,
+            log_all_signals=base.log_all_signals,
+            step_hook=hook,
+        )
+        sim = BatchSimulator(cm, scenarios, opts)
+        batched = sim.run()
+    outs = []
+    n_steps = int(batched.t.shape[0])
+    for req, (start, count) in zip(requests, lane_specs):
+        coalesced = {"width": len(requests), "lanes_total": batched.n_lanes,
+                     "lane_offset": start}
+        if isinstance(req, MILRequest):
+            lane = batched.lane(start)
+            summary = {
+                "n_steps": n_steps,
+                "t_final": req.t_final,
+                "dt": req.dt,
+                "signals": lane.names,
+                "finals": {name: lane.final(name) for name in lane.names},
+                "coalesced": coalesced,
+            }
+            outs.append((summary, lane, hit))
+        else:
+            sub = BatchSimulationResult(
+                batched.t.copy(),
+                {name: batched[name][:, start:start + count].copy()
+                 for name in batched.names},
+                batched.labels[start:start + count],
+            )
+            summary = {
+                "n_steps": n_steps,
+                "t_final": req.t_final,
+                "dt": req.dt,
+                "lanes": count,
+                "labels": list(sub.labels),
+                # divergence accounting is per vector run, not per member
+                "lanes_diverged": sim.lanes_diverged,
+                "signals": sub.names,
+                "finals": {name: sub.final(name).tolist() for name in sub.names},
+                "coalesced": coalesced,
+            }
+            outs.append((summary, sub, hit))
+    return outs
+
+
 def _execute_pil(req: PILRequest) -> Tuple[dict, Any, bool]:
     rig = req.make_pil(**dict(req.make_kwargs))
     result = rig.run(req.t_final)
@@ -168,6 +267,21 @@ def _process_entry(request: Any) -> Tuple[dict, Any, bool]:
     return execute_request(request, _PROCESS_CACHE, None)
 
 
+def _process_coalesced_entry(requests: list) -> list:
+    global _PROCESS_CACHE
+    if _PROCESS_CACHE is None:
+        _PROCESS_CACHE = ModelCache()
+    return execute_coalesced(requests, _PROCESS_CACHE, None)
+
+
+def _process_init(array_backend: Optional[str] = None) -> None:
+    """Child-process initializer: propagate the array-backend choice."""
+    if array_backend:
+        from repro.model.array_backend import set_array_backend
+
+        set_array_backend(array_backend)
+
+
 # ---------------------------------------------------------------------------
 # the pool
 # ---------------------------------------------------------------------------
@@ -182,6 +296,7 @@ class WorkerPool:
         metrics,
         n_workers: int = 2,
         backend: str = "thread",
+        array_backend: Optional[str] = None,
     ):
         if backend not in ("thread", "process"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -193,6 +308,9 @@ class WorkerPool:
         self.metrics = metrics
         self.n_workers = n_workers
         self.backend = backend
+        #: array-backend name shipped to process-pool children (thread
+        #: workers read the process-wide default directly)
+        self.array_backend = array_backend
         self._threads: list[threading.Thread] = []
         self._proc_pool: Optional[ProcessPoolExecutor] = None
         self._proc_lock = threading.Lock()
@@ -205,7 +323,7 @@ class WorkerPool:
         self._started = True
         self.metrics.n_workers = self.n_workers
         if self.backend == "process":
-            self._proc_pool = ProcessPoolExecutor(max_workers=self.n_workers)
+            self._proc_pool = self._make_pool()
         for k in range(self.n_workers):
             t = threading.Thread(
                 target=self._run, name=f"simserve-worker-{k}", daemon=True
@@ -226,15 +344,25 @@ class WorkerPool:
         if self._proc_pool is not None:
             self._proc_pool.shutdown(wait=wait, cancel_futures=True)
 
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            initializer=_process_init,
+            initargs=(self.array_backend,),
+        )
+
     # ------------------------------------------------------------------
     def _run(self) -> None:
         while True:
-            job = self.scheduler.next_job(timeout=0.2)
-            if job is None:
+            item = self.scheduler.next_job(timeout=0.2)
+            if item is None:
                 if self.scheduler._closed:
                     return
                 continue
-            self._execute_job(job)
+            if isinstance(item, CoalescedBatch):
+                self._execute_coalesced(item)
+            else:
+                self._execute_job(item)
 
     def _execute_job(self, job: Job) -> None:
         tracer = get_tracer()
@@ -310,7 +438,98 @@ class WorkerPool:
                                    args={"job": job.id})
                 with self._proc_lock:
                     if self._proc_pool is pool:
-                        self._proc_pool = ProcessPoolExecutor(
-                            max_workers=self.n_workers
-                        )
+                        self._proc_pool = self._make_pool()
+                raise
+
+    # ------------------------------------------------------------------
+    # continuous batching: one vector run executing N member jobs
+    # ------------------------------------------------------------------
+    def _execute_coalesced(self, batch: CoalescedBatch) -> None:
+        cfg = self.scheduler.coalesce
+        members = batch.members
+        if cfg is not None and len(members) < cfg.max_batch:
+            # step-0 major-step boundary: last call for late arrivals —
+            # anything compatible that queued since the batch sealed
+            # joins before initialize()
+            members.extend(self.scheduler.claim_compatible(
+                members[0], cfg.max_batch - len(members) + 1
+            ))
+        tracer = get_tracer()
+        if not tracer.enabled:
+            self._execute_coalesced_inner(members)
+            return
+        with tracer.attach(members[0].trace_parent):
+            with tracer.span("service.job.coalesced", cat="service", args={
+                "jobs": [j.id for j in members], "width": len(members),
+            }) as span:
+                self._execute_coalesced_inner(members)
+                span.args["states"] = [j.state.name for j in members]
+
+    def _execute_coalesced_inner(self, members: list) -> None:
+        now = time.monotonic()
+        for job in members:
+            job.started_at = now
+            job.state = JobState.RUNNING
+            self.metrics.on_start()
+        self.metrics.on_coalesce(len(members))
+        try:
+            if all(j.cancel_event.is_set() for j in members):
+                raise JobCancelled()
+            requests = [j.request for j in members]
+            if self.backend == "process":
+                outs = self._run_coalesced_in_process(members, requests)
+            else:
+                outs = execute_coalesced(
+                    requests, self.cache, [j.cancel_event for j in members]
+                )
+        except JobCancelled:
+            for job in members:
+                job.state = JobState.CANCELLED
+                self._finish_member(job, {}, None)
+            return
+        except Exception as exc:  # one bad batch must not take workers down
+            err = f"{type(exc).__name__}: {exc}"
+            for job in members:
+                job.state = JobState.FAILED
+                job.error = err
+                self._finish_member(job, {}, None)
+            return
+        for job, (summary, result, hit) in zip(members, outs):
+            if job.cancel_event.is_set():
+                job.state = JobState.CANCELLED
+                self._finish_member(job, {}, None)
+                continue
+            job.cache_hit = hit
+            job.state = JobState.DONE
+            self._finish_member(job, summary, result)
+
+    def _finish_member(self, job: Job, summary: dict, result: Any) -> None:
+        job.finished_at = time.monotonic()
+        retain = getattr(job.request, "retain_trace", False)
+        self.store.put(JobRecord.from_job(
+            job, summary,
+            result if (retain and job.state is JobState.DONE) else None,
+        ))
+        self.metrics.on_finish(job)
+        job.done_event.set()
+
+    def _run_coalesced_in_process(self, members: list, requests: list) -> list:
+        with self._proc_lock:
+            pool = self._proc_pool
+        future = pool.submit(_process_coalesced_entry, requests)
+        while True:
+            try:
+                return future.result(timeout=0.1)
+            except FutureTimeout:
+                if (all(j.cancel_event.is_set() for j in members)
+                        and future.cancel()):
+                    raise JobCancelled()
+            except BrokenProcessPool:
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.instant("service.worker_crash", cat="service",
+                                   args={"jobs": [j.id for j in members]})
+                with self._proc_lock:
+                    if self._proc_pool is pool:
+                        self._proc_pool = self._make_pool()
                 raise
