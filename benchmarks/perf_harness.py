@@ -51,6 +51,10 @@ TOLERANCE = 0.20
 #: enabled tracing may slow the engine hot loop by at most this much
 MAX_TRACING_OVERHEAD_PCT = 5.0
 
+#: the always-on ops plane (flight recorder + per-phase waterfall marks)
+#: may slow the service job path by at most this much vs both disabled
+MAX_OPS_OVERHEAD_PCT = 5.0
+
 #: a 32-lane batched servo ensemble must beat the serial sweep (one
 #: kernel-path Simulator per lane on an already-compiled model) by at
 #: least this factor — the PR-5 acceptance floor, machine-portable
@@ -372,6 +376,50 @@ def bench_tracing_overhead(t_final: float = 0.5) -> dict:
     }
 
 
+def bench_ops_overhead(n_jobs: int = 10, t_final: float = 0.2) -> dict:
+    """Service-path cost of the always-on ops plane — the flight
+    recorder plus per-job phase marks (queue/cache/run/store) and their
+    registry histograms — against a service with both disabled
+    (``flight=False, waterfall=False``).
+
+    Best-of-3 on each side, interleaved, same servo MIL workload.  The
+    enabled side uses a private in-memory recorder (no dump dir) so the
+    bench measures the recording path, not disk writes."""
+    from repro.casestudy import build_servo_model
+    from repro.obs.flight import FlightRecorder
+    from repro.service import MILRequest, SimServe
+
+    def req() -> MILRequest:
+        return MILRequest(builder=build_servo_model, dt=1e-4, t_final=t_final)
+
+    def run(obs_on: bool) -> tuple[float, int]:
+        flight = FlightRecorder() if obs_on else False
+        with SimServe(workers=2, flight=flight, waterfall=obs_on) as svc:
+            assert svc.submit(req()).wait(120.0)  # warm-up: codegen + cache
+            t0 = time.perf_counter()
+            handles = [svc.submit(req()) for _ in range(n_jobs)]
+            assert svc.wait_all(handles, timeout=300.0)
+            elapsed = time.perf_counter() - t0
+            events = len(flight) if obs_on else 0
+        return n_jobs / elapsed, events
+
+    off_s, on_s, events = 0.0, 0.0, 0
+    for _ in range(3):
+        off, _ = run(False)
+        on, n_ev = run(True)
+        off_s = max(off_s, off)
+        on_s = max(on_s, on)
+        events = max(events, n_ev)
+    overhead_pct = max(0.0, (off_s / on_s - 1.0) * 100.0)
+    return {
+        "jobs": n_jobs,
+        "jobs_per_s_obs_off": off_s,
+        "jobs_per_s_obs_on": on_s,
+        "flight_events_recorded": events,
+        "ops_overhead_pct": overhead_pct,
+    }
+
+
 def bench_events(n: int = 20_000) -> float:
     from repro.mcu import InterruptSource, MCUDevice, MC56F8367
 
@@ -575,7 +623,7 @@ def measure(workers: int) -> dict:
     service = bench_service()
     coalesce = bench_continuous_batching()
     compaction = bench_lane_compaction()
-    obs = bench_tracing_overhead()
+    obs = {**bench_tracing_overhead(), **bench_ops_overhead()}
     report = {
         "schema": 1,
         "calibration_spin_s": cal,
@@ -719,6 +767,18 @@ def check(fresh: dict, baseline: dict, strict_absolute: bool) -> list[str]:
             f"obs.tracing_overhead_pct: enabled tracing costs {overhead:.2f}% "
             f"on the engine hot loop (budget {MAX_TRACING_OVERHEAD_PCT:.1f}%)"
         )
+    ops_overhead = fresh["obs"].get("ops_overhead_pct")
+    if ops_overhead is not None and ops_overhead > MAX_OPS_OVERHEAD_PCT:
+        failures.append(
+            f"obs.ops_overhead_pct: the ops plane (flight + waterfall) "
+            f"costs {ops_overhead:.2f}% on the service job path "
+            f"(budget {MAX_OPS_OVERHEAD_PCT:.1f}%)"
+        )
+    if fresh["obs"].get("flight_events_recorded", 1) == 0:
+        failures.append(
+            "obs.flight_events_recorded: the enabled flight recorder "
+            "captured no job.finish events during the ops bench"
+        )
     for key, want in baseline.get("normalized", {}).items():
         gate(f"normalized.{key}", fresh["normalized"][key], want)
     if strict_absolute:
@@ -816,6 +876,12 @@ def main(argv=None) -> int:
         f"({obs['steps_per_s_disabled']:.0f} -> {obs['steps_per_s_enabled']:.0f} "
         f"steps/s, {obs['events_captured']} events captured)"
     )
+    if "ops_overhead_pct" in obs:
+        print(
+            f"ops plane: {obs['ops_overhead_pct']:.2f}% service-path overhead "
+            f"({obs['jobs_per_s_obs_off']:.1f} -> {obs['jobs_per_s_obs_on']:.1f} "
+            f"jobs/s, {obs['flight_events_recorded']} flight events)"
+        )
 
     status = 0
     if args.check and not args.update:

@@ -48,6 +48,17 @@ class CampaignInterrupted(Exception):
             f"campaign interrupted after {self.completed}/{len(self.grid)} "
             f"cells: {type(cause).__name__}: {cause}"
         )
+        # black-box: an interrupted sweep is exactly the kind of event a
+        # post-mortem wants context for (this is every raise site at once)
+        from repro.obs.flight import get_flight_recorder
+
+        flight = get_flight_recorder()
+        if flight.enabled:
+            flight.trigger("campaign_interrupt", args={
+                "completed": self.completed,
+                "cells": len(self.grid),
+                "cause": f"{type(cause).__name__}: {cause}",
+            })
 
 
 @dataclass(frozen=True)

@@ -20,6 +20,13 @@ Quick use::
 CLI: ``python -m repro.obs summary run.trace.json``.
 """
 
+from .flight import (
+    NULL_RECORDER,
+    FlightRecorder,
+    configure_flight,
+    get_flight_recorder,
+    load_flight_dump,
+)
 from .manifest import RunManifest
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -30,7 +37,9 @@ from .metrics import (
     SnapshotTicker,
     get_registry,
 )
-from .summary import format_summary, summarize, validate
+from .report import build_report, load_ops_input, render_html, render_text
+from .server import OpsServer
+from .summary import format_summary, format_top, summarize, top_spans, validate
 from .trace import Span, Tracer, configure, get_tracer, load_trace, use_tracer
 
 __all__ = [
@@ -51,4 +60,16 @@ __all__ = [
     "summarize",
     "validate",
     "format_summary",
+    "top_spans",
+    "format_top",
+    "FlightRecorder",
+    "NULL_RECORDER",
+    "get_flight_recorder",
+    "configure_flight",
+    "load_flight_dump",
+    "OpsServer",
+    "load_ops_input",
+    "build_report",
+    "render_html",
+    "render_text",
 ]

@@ -172,6 +172,19 @@ class Histogram:
             "p99": float(p99),
         }
 
+    def percentiles(self, qs: Sequence[float] = (50, 95, 99)) -> dict:
+        """``{"p50": ..., "p95": ...}`` from the reservoir.
+
+        Separate from :meth:`snapshot` so callers can ask for quantiles
+        (e.g. p95 for the latency waterfalls) without disturbing the
+        dashboard dict's pinned key set."""
+        with self._lock:
+            if self._len == 0:
+                return {f"p{q:g}": 0.0 for q in qs}
+            window = self._buf[: self._len].copy()
+        vals = np.percentile(window, list(qs))
+        return {f"p{q:g}": float(v) for q, v in zip(qs, vals)}
+
     def bucket_snapshot(self) -> dict:
         """Cumulative ``le -> count`` pairs plus sum/count (Prometheus)."""
         with self._lock:

@@ -1,0 +1,254 @@
+"""Embedded HTTP ops plane: ``/metrics``, ``/healthz``, ``/statusz``, ``/flight``.
+
+A tiny stdlib :class:`~http.server.ThreadingHTTPServer` that makes a
+running process scrapeable from the outside — the first wire-facing
+piece of the ROADMAP's "SimServe over the wire" item.  It is
+deliberately provider-agnostic: the server holds *callables*, so any
+layer (a SimServe instance, a campaign harness, a bare script) can stand
+one up by wiring four functions::
+
+    srv = OpsServer(
+        metrics_text_fn=registry.prometheus_text,
+        health_fn=lambda: {"ok": True, ...},
+        status_fn=lambda: {"jobs": [...]},
+        flight=get_flight_recorder(),
+        port=0,                       # 0 = ephemeral, read srv.port after start
+    )
+    srv.start()
+    ... print(srv.url) ...
+    srv.stop()
+
+Endpoints:
+
+* ``GET /metrics`` — Prometheus ``text/plain; version=0.0.4`` exposition
+  (the service registry plus the process-global registry, concatenated);
+* ``GET /healthz`` — liveness JSON; HTTP 200 when healthy, 503 when the
+  provider reports ``ok: false`` (scheduler closed, workers dead, broken
+  process pool);
+* ``GET /statusz`` — in-flight/recent jobs with per-phase timings; JSON
+  by default, a minimal HTML table with ``?format=html`` (or an
+  ``Accept: text/html`` header);
+* ``GET /flight`` — the flight-recorder ring as a JSONL download
+  (``?trigger=1`` additionally forces an auto-dump to the recorder's
+  ``dump_dir`` and reports its path in the ``X-Flight-Dump`` header).
+
+The server runs entirely on daemon threads and binds localhost by
+default; exposing it wider is a deployment decision (front it with a
+real proxy — this is an ops port, not a public API).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+from urllib.parse import parse_qs, urlparse
+
+from .flight import FlightRecorder
+
+__all__ = ["OpsServer"]
+
+
+def _html_escape(text) -> str:
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _status_html(status: dict) -> str:
+    """Minimal, dependency-free HTML rendering of the statusz payload."""
+    rows = []
+    cols = (
+        "job", "kind", "state", "priority", "queued_s", "exec_s",
+        "total_s", "cache_hit", "phases",
+    )
+    for entry in status.get("jobs", []):
+        cells = []
+        for col in cols:
+            v = entry.get(col)
+            if col == "phases" and isinstance(v, dict):
+                v = " ".join(
+                    f"{k}={1e3 * float(x):.2f}ms" for k, x in v.items()
+                )
+            elif isinstance(v, float):
+                v = f"{v:.4f}"
+            cells.append(f"<td>{_html_escape('' if v is None else v)}</td>")
+        rows.append("<tr>" + "".join(cells) + "</tr>")
+    head = "".join(f"<th>{c}</th>" for c in cols)
+    meta = {k: v for k, v in status.items() if k != "jobs"}
+    return (
+        "<!doctype html><html><head><title>SimServe /statusz</title>"
+        "<style>body{font-family:monospace}table{border-collapse:collapse}"
+        "td,th{border:1px solid #999;padding:2px 6px;text-align:left}"
+        "</style></head><body>"
+        f"<h2>SimServe status</h2><pre>{_html_escape(json.dumps(meta, indent=2, default=str))}</pre>"
+        f"<table><tr>{head}</tr>{''.join(rows)}</table>"
+        "</body></html>"
+    )
+
+
+class OpsServer:
+    """Threaded HTTP endpoint serving the four ops routes."""
+
+    def __init__(
+        self,
+        metrics_text_fn: Optional[Callable[[], str]] = None,
+        health_fn: Optional[Callable[[], dict]] = None,
+        status_fn: Optional[Callable[[], dict]] = None,
+        flight: Optional[FlightRecorder] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.metrics_text_fn = metrics_text_fn or (lambda: "")
+        self.health_fn = health_fn or (lambda: {"ok": True})
+        self.status_fn = status_fn or (lambda: {"jobs": []})
+        self.flight = flight
+        self.host = host
+        self._requested_port = int(port)
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> Optional[int]:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._httpd is None:
+            return None
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> Optional[str]:
+        if self._httpd is None:
+            return None
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "OpsServer":
+        if self._httpd is not None:
+            return self
+        ops = self
+
+        class Handler(BaseHTTPRequestHandler):
+            # ops endpoints must never spam the service's stdout
+            def log_message(self, *args) -> None:  # pragma: no cover
+                pass
+
+            def _send(self, code: int, content_type: str, body: bytes,
+                      extra_headers: Optional[dict] = None) -> None:
+                self.send_response(code)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                for k, v in (extra_headers or {}).items():
+                    self.send_header(k, v)
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                try:
+                    parsed = urlparse(self.path)
+                    route = parsed.path.rstrip("/") or "/"
+                    query = parse_qs(parsed.query)
+                    if route == "/metrics":
+                        body = ops.metrics_text_fn().encode()
+                        self._send(
+                            200, "text/plain; version=0.0.4; charset=utf-8", body
+                        )
+                    elif route == "/healthz":
+                        health = ops.health_fn()
+                        code = 200 if health.get("ok") else 503
+                        self._send(
+                            code, "application/json",
+                            json.dumps(health, indent=2, default=str).encode(),
+                        )
+                    elif route == "/statusz":
+                        status = ops.status_fn()
+                        want_html = (
+                            query.get("format", [""])[0] == "html"
+                            or "text/html" in self.headers.get("Accept", "")
+                        )
+                        if want_html:
+                            self._send(
+                                200, "text/html; charset=utf-8",
+                                _status_html(status).encode(),
+                            )
+                        else:
+                            self._send(
+                                200, "application/json",
+                                json.dumps(status, indent=2, default=str).encode(),
+                            )
+                    elif route == "/flight":
+                        if ops.flight is None:
+                            self._send(
+                                404, "application/json",
+                                b'{"error": "no flight recorder attached"}',
+                            )
+                            return
+                        headers = {
+                            "Content-Disposition":
+                                'attachment; filename="flight.jsonl"',
+                        }
+                        if query.get("trigger"):
+                            path = ops.flight.trigger(
+                                "manual", {"via": "/flight?trigger"}
+                            )
+                            if path:
+                                headers["X-Flight-Dump"] = path
+                        self._send(
+                            200, "application/jsonl; charset=utf-8",
+                            ops.flight.to_jsonl().encode(), headers,
+                        )
+                    elif route == "/":
+                        body = (
+                            "<!doctype html><html><body><h2>repro ops plane</h2>"
+                            "<ul><li><a href='/metrics'>/metrics</a></li>"
+                            "<li><a href='/healthz'>/healthz</a></li>"
+                            "<li><a href='/statusz?format=html'>/statusz</a></li>"
+                            "<li><a href='/flight'>/flight</a></li></ul>"
+                            "</body></html>"
+                        ).encode()
+                        self._send(200, "text/html; charset=utf-8", body)
+                    else:
+                        self._send(
+                            404, "application/json",
+                            json.dumps({"error": f"no route {route!r}"}).encode(),
+                        )
+                except BrokenPipeError:  # pragma: no cover - client went away
+                    pass
+                except Exception as exc:  # provider bugs answer 500, not hang
+                    try:
+                        self._send(
+                            500, "application/json",
+                            json.dumps(
+                                {"error": f"{type(exc).__name__}: {exc}"}
+                            ).encode(),
+                        )
+                    except Exception:  # pragma: no cover
+                        pass
+
+        self._httpd = ThreadingHTTPServer((self.host, self._requested_port), Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="obs-ops-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "OpsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
-__all__ = ["summarize", "validate", "format_summary"]
+__all__ = ["summarize", "validate", "format_summary", "top_spans", "format_top"]
 
 #: slack (seconds) tolerated when checking child-inside-parent intervals —
 #: clock reads on the two span edges are not simultaneous
@@ -102,6 +102,67 @@ def summarize(events: Iterable[dict]) -> dict:
         "categories": {k: by_cat[k] for k in sorted(by_cat)},
         "names": {k: by_name[k] for k in sorted(by_name)},
     }
+
+
+def _percentile(sorted_vals: list, q: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    if len(sorted_vals) == 1:
+        return float(sorted_vals[0])
+    pos = (len(sorted_vals) - 1) * q / 100.0
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_vals) - 1)
+    frac = pos - lo
+    return float(sorted_vals[lo] * (1.0 - frac) + sorted_vals[hi] * frac)
+
+
+def top_spans(events: Iterable[dict], n: int = 10) -> dict:
+    """The ``n`` slowest span names per category.
+
+    Returns ``{category: [{name, count, total_dur, p95_dur, max_dur},
+    ...]}`` with rows ordered by total duration descending — the
+    "where did the time go" view (``python -m repro.obs summary --top N``).
+    """
+    by_cat: dict[str, dict[str, list]] = {}
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        cat = ev.get("cat", "app")
+        name = ev.get("name", "?")
+        by_cat.setdefault(cat, {}).setdefault(name, []).append(ev.get("dur") or 0.0)
+    out: dict[str, list] = {}
+    for cat, names in sorted(by_cat.items()):
+        rows = []
+        for name, durs in names.items():
+            durs.sort()
+            rows.append({
+                "name": name,
+                "count": len(durs),
+                "total_dur": sum(durs),
+                "p95_dur": _percentile(durs, 95),
+                "max_dur": durs[-1],
+            })
+        rows.sort(key=lambda r: (-r["total_dur"], r["name"]))
+        out[cat] = rows[: max(1, int(n))]
+    return out
+
+
+def format_top(top: dict) -> str:
+    """Human-readable rendering of :func:`top_spans`."""
+    lines: list[str] = []
+    for cat, rows in top.items():
+        lines.append(f"slowest spans — {cat}")
+        lines.append(
+            f"  {'name':<28} {'count':>7} {'total':>10} {'p95':>10} {'max':>10}"
+        )
+        for row in rows:
+            lines.append(
+                f"  {row['name']:<28} {row['count']:>7} "
+                f"{_fmt_dur(row['total_dur'])} {_fmt_dur(row['p95_dur'])} "
+                f"{_fmt_dur(row['max_dur'])}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
 
 
 def _fmt_dur(seconds: float) -> str:

@@ -93,6 +93,7 @@ class Tracer:
         self.enabled = bool(enabled)
         self.step_stride = int(step_stride)
         self.dropped_events = 0
+        self._overflow_noted = False
         self._buf: deque = deque(maxlen=self.capacity)
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
@@ -128,6 +129,25 @@ class Tracer:
         with self._lock:
             if len(buf) == self.capacity:
                 self.dropped_events += 1
+                if not self._overflow_noted:
+                    # one-time marker so an exported trace says *that* it
+                    # wrapped, not just how much was lost; the marker's own
+                    # append is bookkeeping, not a caller event, so it does
+                    # not count toward dropped_events
+                    self._overflow_noted = True
+                    buf.append({
+                        "ph": "i",
+                        "name": "obs.ring_overflow",
+                        "cat": "obs",
+                        "ts": time.perf_counter() - self._t0,
+                        "dur": 0.0,
+                        "sim_t": None,
+                        "id": None,
+                        "parent": None,
+                        "pid": self.pid,
+                        "tid": threading.get_ident(),
+                        "args": {"capacity": self.capacity},
+                    })
             buf.append(event)
 
     def _stack(self) -> list:
@@ -315,6 +335,7 @@ class Tracer:
         with self._lock:
             self._buf.clear()
             self.dropped_events = 0
+            self._overflow_noted = False
 
     def export_jsonl(self, path, manifest: bool = True, config: Optional[dict] = None) -> str:
         """Write one JSON object per line; returns the path written."""
@@ -383,6 +404,17 @@ def get_tracer() -> Tracer:
     return _GLOBAL
 
 
+# scrape-visible drop counter: late-bound through get_tracer() so
+# use_tracer() swaps are reflected in the gauge
+from .metrics import get_registry as _get_registry  # noqa: E402
+
+_get_registry().gauge(
+    "obs_tracer_dropped_events",
+    help="events dropped by the global tracer ring buffer (overflow)",
+    fn=lambda: get_tracer().dropped_events,
+)
+
+
 def configure(
     enabled: Optional[bool] = None,
     capacity: Optional[int] = None,
@@ -401,6 +433,7 @@ def configure(
             old = list(tr._buf)
             tr.capacity = int(capacity)
             tr._buf = deque(old[-capacity:], maxlen=capacity)
+            tr._overflow_noted = False
         if step_stride is not None:
             if step_stride < 1:
                 raise ValueError("step_stride must be >= 1")

@@ -21,6 +21,7 @@ from __future__ import annotations
 import itertools
 from typing import Optional, Sequence, Union
 
+from repro.obs.flight import NULL_RECORDER, get_flight_recorder
 from repro.obs.trace import get_tracer
 
 from .coalesce import CoalesceConfig, coalesce_key
@@ -111,6 +112,10 @@ class SimServe:
         autostart: bool = True,
         coalesce: Union[bool, CoalesceConfig, None] = None,
         array_backend: Optional[str] = None,
+        flight=None,
+        waterfall: bool = True,
+        ops_port: Optional[int] = None,
+        ops_host: str = "127.0.0.1",
     ):
         # continuous batching: None = env-controlled (SIMSERVE_COALESCE*),
         # True = defaults, False = off, or an explicit CoalesceConfig
@@ -130,6 +135,14 @@ class SimServe:
             from repro.model.array_backend import set_array_backend
 
             set_array_backend(array_backend)
+        # black-box flight recorder: None/True = the process-global
+        # recorder, False = disabled, or a private FlightRecorder instance
+        if flight is False:
+            self.flight = NULL_RECORDER
+        elif flight is None or flight is True:
+            self.flight = get_flight_recorder()
+        else:
+            self.flight = flight
         self.metrics = ServiceMetrics()
         self.cache = ModelCache(capacity=cache_capacity)
         self.store = ResultStore(capacity=store_capacity)
@@ -147,9 +160,16 @@ class SimServe:
             n_workers=workers,
             backend=backend,
             array_backend=array_backend,
+            flight=self.flight,
+            waterfall=waterfall,
         )
         self.metrics.queue_depth_fn = lambda: self.scheduler.depth
         self.metrics.cache_stats_fn = self.cache.stats
+        self.metrics.flight_stats_fn = self.flight.stats
+        #: embedded HTTP ops plane (``ops_port=0`` = ephemeral port)
+        self.ops_port = ops_port
+        self.ops_host = ops_host
+        self._ops_server = None
         self._closed = False
         if autostart:
             self.start()
@@ -159,6 +179,67 @@ class SimServe:
     # ------------------------------------------------------------------
     def start(self) -> None:
         self.pool.start()
+        if self.ops_port is not None and self._ops_server is None:
+            from repro.obs.metrics import get_registry
+            from repro.obs.server import OpsServer
+
+            self._ops_server = OpsServer(
+                metrics_text_fn=lambda: (
+                    self.metrics.registry.prometheus_text()
+                    + get_registry().prometheus_text()
+                ),
+                health_fn=self.health,
+                status_fn=self.status,
+                flight=self.flight if self.flight.enabled else None,
+                host=self.ops_host,
+                port=self.ops_port,
+            ).start()
+
+    @property
+    def ops_url(self) -> Optional[str]:
+        """Base URL of the embedded ops endpoint (None when not serving)."""
+        return self._ops_server.url if self._ops_server is not None else None
+
+    def health(self) -> dict:
+        """Liveness payload for ``/healthz`` (``ok: false`` -> HTTP 503)."""
+        pool = self.pool.health()
+        ok = (
+            not self._closed
+            and pool["started"]
+            and pool["workers_alive"] > 0
+            and not pool["process_pool_broken"]
+        )
+        return {
+            "ok": ok,
+            "closed": self._closed,
+            "queue_depth": self.scheduler.depth,
+            "pool": pool,
+            "flight": self.flight.stats(),
+        }
+
+    def status(self, recent: int = 32) -> dict:
+        """``/statusz`` payload: counters plus the most recent jobs with
+        their per-phase latency waterfalls."""
+        records = self.store.records()[-recent:]
+        jobs = [
+            {
+                "job": rec.job_id,
+                "kind": rec.kind,
+                "state": rec.state.value,
+                "priority": rec.priority,
+                "queued_s": rec.queued_s,
+                "exec_s": rec.exec_s,
+                "total_s": rec.total_s,
+                "cache_hit": rec.cache_hit,
+                "error": rec.error,
+                "phases": dict(rec.phase_s),
+            }
+            for rec in reversed(records)
+        ]
+        return {
+            "metrics": self.metrics_snapshot(),
+            "jobs": jobs,
+        }
 
     def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
         """Stop admission and wind the pool down.
@@ -179,6 +260,9 @@ class SimServe:
                 self._record_skipped(job)
                 job.done_event.set()
         self.pool.shutdown(wait=wait)
+        if self._ops_server is not None:
+            self._ops_server.stop()
+            self._ops_server = None
 
     def __enter__(self) -> "SimServe":
         self.start()
@@ -316,5 +400,23 @@ class SimServe:
     # ------------------------------------------------------------------
     def _record_skipped(self, job: Job) -> None:
         """Store + count a job the queue finished without running."""
+        job.mark_queue_phases()
         self.store.put(JobRecord.from_job(job))
         self.metrics.on_finish(job)
+        if self.flight.enabled:
+            self.flight.record("job.finish", cat="service", args={
+                "job": job.id,
+                "kind": job.kind,
+                "state": job.state.value,
+                "priority": int(job.priority),
+                "cache_hit": job.cache_hit,
+                "error": job.error,
+                "total_s": job.total_s(),
+                "phases": dict(job.phase_s),
+            })
+            if job.state is JobState.EXPIRED:
+                self.flight.trigger("deadline_shed", args={
+                    "job": job.id,
+                    "deadline_s": job.deadline_s,
+                    "waited_s": job.total_s(),
+                })

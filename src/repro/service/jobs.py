@@ -239,9 +239,9 @@ class Job:
 
     __slots__ = (
         "id", "request", "priority", "deadline_s", "sweep_id",
-        "submitted_at", "started_at", "finished_at",
+        "submitted_at", "dequeued_at", "started_at", "finished_at",
         "state", "error", "cache_hit", "trace_parent",
-        "cancel_event", "done_event", "coalesce_key",
+        "cancel_event", "done_event", "coalesce_key", "phase_s",
     )
 
     def __init__(
@@ -259,8 +259,15 @@ class Job:
         self.deadline_s = deadline_s
         self.sweep_id = sweep_id
         self.submitted_at = time.monotonic()
+        #: when the scheduler handed this job to a worker (or claimed it
+        #: into a forming batch) — the end of the ``queue`` phase
+        self.dequeued_at: Optional[float] = None
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+        #: per-phase durations (seconds) — the latency waterfall.  Keys
+        #: are a subset of ``queue / coalesce / cache / run / demux /
+        #: store`` depending on how the job executed.
+        self.phase_s: dict[str, float] = {}
         self.state = JobState.PENDING
         self.error: Optional[str] = None
         self.cache_hit = False
@@ -299,6 +306,17 @@ class Job:
             return None
         return self.finished_at - self.submitted_at
 
+    def mark_queue_phases(self) -> None:
+        """Fill the scheduler-side phases from the lifecycle stamps."""
+        if self.dequeued_at is not None:
+            self.phase_s.setdefault("queue", self.dequeued_at - self.submitted_at)
+        elif self.started_at is not None:
+            self.phase_s.setdefault("queue", self.started_at - self.submitted_at)
+        elif self.finished_at is not None:
+            # never ran (shed / cancelled-while-pending): the whole life
+            # of the job was queue time
+            self.phase_s.setdefault("queue", self.finished_at - self.submitted_at)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Job {self.id} {self.kind} {self.priority.name} {self.state.value}>"
 
@@ -321,6 +339,11 @@ class JobHandle:
     @property
     def sweep_id(self) -> Optional[str]:
         return self._job.sweep_id
+
+    @property
+    def phases(self) -> dict:
+        """The job's per-phase latency waterfall so far (seconds)."""
+        return dict(self._job.phase_s)
 
     def cancel(self) -> bool:
         """Request cancellation.

@@ -51,11 +51,15 @@ class ServiceMetrics:
         self.exec_time = reg.histogram("simserve_exec_seconds")
         self.job_latency = reg.histogram("simserve_job_latency_seconds")
         self.by_kind: dict[str, int] = {}
+        #: per-phase latency histograms (the waterfall), keyed by phase
+        #: name and registered lazily as ``simserve_phase_<name>_seconds``
+        self._phase_hists: dict[str, _ObsHistogram] = {}
         self._first_submit: Optional[float] = None
         self._last_finish: Optional[float] = None
         #: late-bound providers (set by the service facade)
         self.queue_depth_fn = lambda: 0
         self.cache_stats_fn = lambda: {}
+        self.flight_stats_fn = lambda: {}
         self.n_workers = 0
         reg.gauge("simserve_queue_depth", fn=lambda: self.queue_depth_fn())
 
@@ -144,6 +148,14 @@ class ServiceMetrics:
                     self.exec_time.observe(e)
                 if tot is not None:
                     self.job_latency.observe(tot)
+            for phase, dur in getattr(job, "phase_s", {}).items():
+                h = self._phase_hists.get(phase)
+                if h is None:
+                    h = self._phase_hists[phase] = self.registry.histogram(
+                        f"simserve_phase_{phase}_seconds",
+                        help=f"per-job latency of the {phase} phase",
+                    )
+                h.observe(dur)
             self._last_finish = time.monotonic()
 
     # ------------------------------------------------------------------
@@ -155,8 +167,31 @@ class ServiceMetrics:
             window = self._last_finish - self._first_submit
             return self.completed / window if window > 0 else 0.0
 
+    def waterfall(self) -> dict:
+        """Per-phase latency rows: ``{phase: {count, mean, p50, p95,
+        p99, max}}`` — the snapshot's ``waterfall`` section."""
+        with self._lock:
+            hists = sorted(self._phase_hists.items())
+        out = {}
+        for phase, h in hists:
+            snap = h.snapshot()
+            if not snap.get("count"):
+                continue
+            pct = h.percentiles((50, 95, 99))
+            out[phase] = {
+                "count": snap["count"],
+                "mean": snap["mean"],
+                "p50": pct["p50"],
+                "p95": pct["p95"],
+                "p99": pct["p99"],
+                "max": snap["max"],
+            }
+        return out
+
     def snapshot(self) -> dict:
         cache = self.cache_stats_fn()
+        waterfall = self.waterfall()
+        flight = self.flight_stats_fn()
         with self._lock:
             busy = self.workers_busy
             snap = {
@@ -189,6 +224,8 @@ class ServiceMetrics:
                     "utilization": busy / self.n_workers if self.n_workers else 0.0,
                 },
                 "cache": cache,
+                "waterfall": waterfall,
+                "flight": flight,
             }
         snap["jobs_per_s"] = self.jobs_per_s()
         return snap

@@ -34,6 +34,8 @@ class JobRecord:
     total_s: Optional[float]
     cache_hit: bool
     error: Optional[str] = None
+    #: per-phase durations (seconds) — the job's latency waterfall
+    phase_s: dict = field(default_factory=dict)
     summary: dict = field(default_factory=dict)
     #: the full result object when retained (None for summaries-only jobs)
     result: Optional[Any] = None
@@ -53,6 +55,7 @@ class JobRecord:
             total_s=job.total_s(),
             cache_hit=job.cache_hit,
             error=job.error,
+            phase_s=dict(job.phase_s),
             summary=summary or {},
             result=result,
         )

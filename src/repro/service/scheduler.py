@@ -154,6 +154,7 @@ class Scheduler:
                     if job.expired():
                         self._finish_skipped(job, JobState.EXPIRED, self._on_shed)
                         continue
+                    job.dequeued_at = time.monotonic()
                     if self.coalesce is not None and job.coalesce_key is not None:
                         return self._form_batch(job)
                     return job
@@ -182,6 +183,12 @@ class Scheduler:
                     break
                 self._cond.wait(remaining)
                 self._claim_peers(first, members, cfg.max_batch)
+        sealed = time.monotonic()
+        for member in members:
+            # batch-formation wait: dequeue/claim -> batch sealed.  The
+            # first member pays the whole coalesce window, late claims ~0.
+            if member.dequeued_at is not None:
+                member.phase_s["coalesce"] = sealed - member.dequeued_at
         if len(members) == 1:
             return first
         tracer = get_tracer()
@@ -220,6 +227,7 @@ class Scheduler:
                 elif job.expired(now):
                     self._finish_skipped(job, JobState.EXPIRED, self._on_shed)
                 else:
+                    job.dequeued_at = time.monotonic()
                     members.append(job)
                 continue
             kept.append(item)

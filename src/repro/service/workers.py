@@ -36,6 +36,7 @@ from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Optional, Tuple
 
+from repro.obs.flight import get_flight_recorder
 from repro.obs.trace import get_tracer
 
 from .coalesce import CoalescedBatch
@@ -59,24 +60,34 @@ def execute_request(
     request: Any,
     cache: ModelCache,
     cancel_event: Optional[threading.Event] = None,
+    phases: Optional[dict] = None,
 ) -> Tuple[dict, Any, bool]:
-    """Run one request; returns ``(summary, result, cache_hit)``."""
+    """Run one request; returns ``(summary, result, cache_hit)``.
+
+    When ``phases`` is a dict it is filled with per-phase durations
+    (seconds): ``cache`` (model resolve + compiled-model cache lease,
+    i.e. lookup on a hit / compile on a miss) and ``run`` (the
+    simulation itself) — the worker-side slice of the job's latency
+    waterfall.  ``phases=None`` skips the marks entirely.
+    """
     if isinstance(request, MILRequest):
-        return _execute_mil(request, cache, cancel_event)
+        return _execute_mil(request, cache, cancel_event, phases)
     if isinstance(request, PILRequest):
-        return _execute_pil(request)
+        return _execute_pil(request, phases)
     if isinstance(request, CampaignCellRequest):
-        return _execute_cell(request)
+        return _execute_cell(request, phases)
     if isinstance(request, SweepRequest):
-        return _execute_batch_sweep(request, cache, cancel_event)
+        return _execute_batch_sweep(request, cache, cancel_event, phases)
     raise TypeError(f"unknown request type {type(request).__name__}")
 
 
 def _execute_mil(
-    req: MILRequest, cache: ModelCache, cancel_event: Optional[threading.Event]
+    req: MILRequest, cache: ModelCache, cancel_event: Optional[threading.Event],
+    phases: Optional[dict] = None,
 ) -> Tuple[dict, Any, bool]:
     from repro.model.engine import SimulationOptions, Simulator
 
+    t_cache = time.perf_counter()
     model = req.resolve_model()
     hook = None
     if cancel_event is not None:
@@ -84,6 +95,9 @@ def _execute_mil(
             if _ev.is_set():
                 raise JobCancelled()
     with cache.lease(model, req.dt) as (cm, hit):
+        t_run = time.perf_counter()
+        if phases is not None:
+            phases["cache"] = t_run - t_cache
         opts = SimulationOptions(
             dt=req.dt,
             t_final=req.t_final,
@@ -93,6 +107,8 @@ def _execute_mil(
             step_hook=hook,
         )
         result = Simulator(cm, opts).run()
+        if phases is not None:
+            phases["run"] = time.perf_counter() - t_run
     summary = {
         "n_steps": int(result.t.shape[0]),
         "t_final": req.t_final,
@@ -104,13 +120,15 @@ def _execute_mil(
 
 
 def _execute_batch_sweep(
-    req: SweepRequest, cache: ModelCache, cancel_event: Optional[threading.Event]
+    req: SweepRequest, cache: ModelCache, cancel_event: Optional[threading.Event],
+    phases: Optional[dict] = None,
 ) -> Tuple[dict, Any, bool]:
     """One batched sweep: every point rides the same compiled model as a
     batch lane, so the service pays compilation and stepping once."""
     from repro.model.batch import BatchSimulator
     from repro.model.engine import SimulationOptions
 
+    t_cache = time.perf_counter()
     model = req.resolve_model()
     hook = None
     if cancel_event is not None:
@@ -118,6 +136,9 @@ def _execute_batch_sweep(
             if _ev.is_set():
                 raise JobCancelled()
     with cache.lease(model, req.dt) as (cm, hit):
+        t_run = time.perf_counter()
+        if phases is not None:
+            phases["cache"] = t_run - t_cache
         opts = SimulationOptions(
             dt=req.dt,
             t_final=req.t_final,
@@ -128,6 +149,8 @@ def _execute_batch_sweep(
         )
         sim = BatchSimulator(cm, req.scenarios, opts)
         result = sim.run()
+        if phases is not None:
+            phases["run"] = time.perf_counter() - t_run
     summary = {
         "n_steps": int(result.t.shape[0]),
         "t_final": req.t_final,
@@ -145,6 +168,7 @@ def execute_coalesced(
     requests: list,
     cache: ModelCache,
     cancel_events: Optional[list] = None,
+    phases_out: Optional[list] = None,
 ) -> list:
     """Run N same-key requests as ONE BatchSimulator; demux per request.
 
@@ -189,7 +213,11 @@ def execute_coalesced(
         def hook(t, engine, _evs=list(cancel_events)):
             if all(ev.is_set() for ev in _evs):
                 raise JobCancelled()
+    timing = phases_out is not None
+    t_cache = time.perf_counter()
     with cache.lease(model, base.dt) as (cm, hit):
+        t_run = time.perf_counter()
+        cache_s = t_run - t_cache
         opts = SimulationOptions(
             dt=base.dt,
             t_final=base.t_final,
@@ -200,9 +228,11 @@ def execute_coalesced(
         )
         sim = BatchSimulator(cm, scenarios, opts)
         batched = sim.run()
+        run_s = time.perf_counter() - t_run
     outs = []
     n_steps = int(batched.t.shape[0])
     for req, (start, count) in zip(requests, lane_specs):
+        t_demux = time.perf_counter()
         coalesced = {"width": len(requests), "lanes_total": batched.n_lanes,
                      "lane_offset": start}
         if isinstance(req, MILRequest):
@@ -236,12 +266,25 @@ def execute_coalesced(
                 "coalesced": coalesced,
             }
             outs.append((summary, sub, hit))
+        if timing:
+            # cache + run are shared by the whole vector run; demux is the
+            # per-member slice-out cost
+            phases_out.append({
+                "cache": cache_s,
+                "run": run_s,
+                "demux": time.perf_counter() - t_demux,
+            })
     return outs
 
 
-def _execute_pil(req: PILRequest) -> Tuple[dict, Any, bool]:
+def _execute_pil(
+    req: PILRequest, phases: Optional[dict] = None
+) -> Tuple[dict, Any, bool]:
+    t_run = time.perf_counter()
     rig = req.make_pil(**dict(req.make_kwargs))
     result = rig.run(req.t_final)
+    if phases is not None:
+        phases["run"] = time.perf_counter() - t_run
     summary = {"t_final": req.t_final}
     for attr in ("steps", "retransmits", "recoveries", "crc_errors",
                  "max_consecutive_loss", "safe_state_steps"):
@@ -250,8 +293,13 @@ def _execute_pil(req: PILRequest) -> Tuple[dict, Any, bool]:
     return summary, result, False
 
 
-def _execute_cell(req: CampaignCellRequest) -> Tuple[dict, Any, bool]:
+def _execute_cell(
+    req: CampaignCellRequest, phases: Optional[dict] = None
+) -> Tuple[dict, Any, bool]:
+    t_run = time.perf_counter()
     outcome = req.campaign.run_cell(req.intensity, req.reliable)
+    if phases is not None:
+        phases["run"] = time.perf_counter() - t_run
     return outcome.key_metrics(), outcome, False
 
 
@@ -260,18 +308,24 @@ def _execute_cell(req: CampaignCellRequest) -> Tuple[dict, Any, bool]:
 _PROCESS_CACHE: Optional[ModelCache] = None
 
 
-def _process_entry(request: Any) -> Tuple[dict, Any, bool]:
+def _process_entry(request: Any, timing: bool = True) -> Tuple[dict, Any, bool, dict]:
+    """Child-side job entry: also returns the worker-side phase marks so
+    the parent can merge them into the job's waterfall."""
     global _PROCESS_CACHE
     if _PROCESS_CACHE is None:
         _PROCESS_CACHE = ModelCache()
-    return execute_request(request, _PROCESS_CACHE, None)
+    phases: Optional[dict] = {} if timing else None
+    summary, result, hit = execute_request(request, _PROCESS_CACHE, None, phases)
+    return summary, result, hit, phases or {}
 
 
-def _process_coalesced_entry(requests: list) -> list:
+def _process_coalesced_entry(requests: list, timing: bool = True) -> tuple:
     global _PROCESS_CACHE
     if _PROCESS_CACHE is None:
         _PROCESS_CACHE = ModelCache()
-    return execute_coalesced(requests, _PROCESS_CACHE, None)
+    phases_out: Optional[list] = [] if timing else None
+    outs = execute_coalesced(requests, _PROCESS_CACHE, None, phases_out)
+    return outs, phases_out or []
 
 
 def _process_init(array_backend: Optional[str] = None) -> None:
@@ -297,6 +351,8 @@ class WorkerPool:
         n_workers: int = 2,
         backend: str = "thread",
         array_backend: Optional[str] = None,
+        flight=None,
+        waterfall: bool = True,
     ):
         if backend not in ("thread", "process"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -311,6 +367,12 @@ class WorkerPool:
         #: array-backend name shipped to process-pool children (thread
         #: workers read the process-wide default directly)
         self.array_backend = array_backend
+        #: black-box flight recorder (pass NULL_RECORDER to disable)
+        self.flight = flight if flight is not None else get_flight_recorder()
+        #: collect per-phase latency marks on every job
+        self.waterfall = waterfall
+        #: hard child-process crashes survived (BrokenProcessPool rebuilds)
+        self.crash_count = 0
         self._threads: list[threading.Thread] = []
         self._proc_pool: Optional[ProcessPoolExecutor] = None
         self._proc_lock = threading.Lock()
@@ -351,6 +413,22 @@ class WorkerPool:
             initargs=(self.array_backend,),
         )
 
+    def health(self) -> dict:
+        """Liveness snapshot for ``/healthz``."""
+        alive = sum(1 for t in self._threads if t.is_alive())
+        pool_broken = False
+        if self.backend == "process":
+            with self._proc_lock:
+                pool_broken = bool(getattr(self._proc_pool, "_broken", False))
+        return {
+            "started": self._started,
+            "backend": self.backend,
+            "workers": self.n_workers,
+            "workers_alive": alive,
+            "process_pool_broken": pool_broken,
+            "crash_count": self.crash_count,
+        }
+
     # ------------------------------------------------------------------
     def _run(self) -> None:
         while True:
@@ -390,41 +468,81 @@ class WorkerPool:
         job.started_at = time.monotonic()
         job.state = JobState.RUNNING
         self.metrics.on_start()
+        if self.waterfall:
+            job.mark_queue_phases()
         summary: dict = {}
         result: Any = None
+        crashed = False
         try:
             if job.cancel_event.is_set():
                 raise JobCancelled(job.id)
+            phases = job.phase_s if self.waterfall else None
             if self.backend == "process":
                 summary, result, hit = self._run_in_process(job)
             else:
                 summary, result, hit = execute_request(
-                    job.request, self.cache, job.cancel_event
+                    job.request, self.cache, job.cancel_event, phases
                 )
             job.cache_hit = hit
             job.state = JobState.DONE
         except JobCancelled:
             job.state = JobState.CANCELLED
+        except BrokenProcessPool as exc:
+            crashed = True
+            job.state = JobState.FAILED
+            job.error = f"{type(exc).__name__}: {exc}"
         except Exception as exc:  # a bad job must not take the worker down
             job.state = JobState.FAILED
             job.error = f"{type(exc).__name__}: {exc}"
         job.finished_at = time.monotonic()
         retain = getattr(job.request, "retain_trace", False)
-        self.store.put(
-            JobRecord.from_job(
-                job, summary, result if (retain and job.state is JobState.DONE) else None
-            )
+        rec = JobRecord.from_job(
+            job, summary, result if (retain and job.state is JobState.DONE) else None
         )
+        t_store = time.perf_counter()
+        self.store.put(rec)
+        if self.waterfall:
+            # stamped after the fact: the record shares the duration even
+            # though its phase dict was copied before the put
+            store_s = time.perf_counter() - t_store
+            job.phase_s["store"] = store_s
+            rec.phase_s["store"] = store_s
+        self._record_finish(job, crashed=crashed)
         self.metrics.on_finish(job)
         job.done_event.set()
+
+    def _record_finish(self, job: Job, crashed: bool = False) -> None:
+        """Black-box bookkeeping for one terminal job: always record the
+        ``job.finish`` event; crash/exception states also fire a flight
+        trigger (which auto-dumps when a dump dir is configured)."""
+        flight = self.flight
+        if not flight.enabled:
+            return
+        flight.record("job.finish", cat="service", args={
+            "job": job.id,
+            "kind": job.kind,
+            "state": job.state.value,
+            "priority": int(job.priority),
+            "cache_hit": job.cache_hit,
+            "error": job.error,
+            "total_s": job.total_s(),
+            "phases": dict(job.phase_s),
+        })
+        if crashed:
+            flight.trigger("worker_crash", args={"job": job.id, "error": job.error})
+        elif job.state is JobState.FAILED:
+            flight.trigger("job_exception", args={"job": job.id, "error": job.error})
 
     def _run_in_process(self, job: Job) -> Tuple[dict, Any, bool]:
         with self._proc_lock:
             pool = self._proc_pool
-        future = pool.submit(_process_entry, job.request)
+        future = pool.submit(_process_entry, job.request, self.waterfall)
         while True:
             try:
-                return future.result(timeout=0.1)
+                summary, result, hit, child_phases = future.result(timeout=0.1)
+                if self.waterfall and child_phases:
+                    job.phase_s.update(child_phases)
+                return summary, result, hit
             except FutureTimeout:
                 # a queued (not yet started) job can still be cancelled;
                 # a running child process cannot be interrupted mid-run
@@ -432,6 +550,9 @@ class WorkerPool:
                     raise JobCancelled(job.id)
             except BrokenProcessPool:
                 # hard child crash: rebuild the pool so later jobs survive
+                self.crash_count += 1
+                self.flight.record("worker.crash", cat="service",
+                                   args={"job": job.id, "backend": "process"})
                 tracer = get_tracer()
                 if tracer.enabled:
                     tracer.instant("service.worker_crash", cat="service",
@@ -471,6 +592,8 @@ class WorkerPool:
             job.started_at = now
             job.state = JobState.RUNNING
             self.metrics.on_start()
+            if self.waterfall:
+                job.mark_queue_phases()
         self.metrics.on_coalesce(len(members))
         try:
             if all(j.cancel_event.is_set() for j in members):
@@ -479,9 +602,14 @@ class WorkerPool:
             if self.backend == "process":
                 outs = self._run_coalesced_in_process(members, requests)
             else:
+                phases_out: Optional[list] = [] if self.waterfall else None
                 outs = execute_coalesced(
-                    requests, self.cache, [j.cancel_event for j in members]
+                    requests, self.cache, [j.cancel_event for j in members],
+                    phases_out,
                 )
+                if self.waterfall:
+                    for job, ph in zip(members, phases_out):
+                        job.phase_s.update(ph)
         except JobCancelled:
             for job in members:
                 job.state = JobState.CANCELLED
@@ -489,10 +617,11 @@ class WorkerPool:
             return
         except Exception as exc:  # one bad batch must not take workers down
             err = f"{type(exc).__name__}: {exc}"
+            crashed = isinstance(exc, BrokenProcessPool)
             for job in members:
                 job.state = JobState.FAILED
                 job.error = err
-                self._finish_member(job, {}, None)
+                self._finish_member(job, {}, None, crashed=crashed)
             return
         for job, (summary, result, hit) in zip(members, outs):
             if job.cancel_event.is_set():
@@ -503,28 +632,45 @@ class WorkerPool:
             job.state = JobState.DONE
             self._finish_member(job, summary, result)
 
-    def _finish_member(self, job: Job, summary: dict, result: Any) -> None:
+    def _finish_member(
+        self, job: Job, summary: dict, result: Any, crashed: bool = False
+    ) -> None:
         job.finished_at = time.monotonic()
         retain = getattr(job.request, "retain_trace", False)
-        self.store.put(JobRecord.from_job(
+        rec = JobRecord.from_job(
             job, summary,
             result if (retain and job.state is JobState.DONE) else None,
-        ))
+        )
+        t_store = time.perf_counter()
+        self.store.put(rec)
+        if self.waterfall:
+            store_s = time.perf_counter() - t_store
+            job.phase_s["store"] = store_s
+            rec.phase_s["store"] = store_s
+        self._record_finish(job, crashed=crashed)
         self.metrics.on_finish(job)
         job.done_event.set()
 
     def _run_coalesced_in_process(self, members: list, requests: list) -> list:
         with self._proc_lock:
             pool = self._proc_pool
-        future = pool.submit(_process_coalesced_entry, requests)
+        future = pool.submit(_process_coalesced_entry, requests, self.waterfall)
         while True:
             try:
-                return future.result(timeout=0.1)
+                outs, phase_dicts = future.result(timeout=0.1)
+                if self.waterfall:
+                    for job, ph in zip(members, phase_dicts):
+                        job.phase_s.update(ph)
+                return outs
             except FutureTimeout:
                 if (all(j.cancel_event.is_set() for j in members)
                         and future.cancel()):
                     raise JobCancelled()
             except BrokenProcessPool:
+                self.crash_count += 1
+                self.flight.record("worker.crash", cat="service", args={
+                    "jobs": [j.id for j in members], "backend": "process",
+                })
                 tracer = get_tracer()
                 if tracer.enabled:
                     tracer.instant("service.worker_crash", cat="service",

@@ -523,6 +523,13 @@ class PILSimulator:
                 "pil.recovery", cat="pil", sim_t=self.device.time,
                 args={"count": self._recoveries},
             )
+        from repro.obs.flight import get_flight_recorder
+
+        flight = get_flight_recorder()
+        if flight.enabled:
+            flight.trigger("watchdog_reset", args={
+                "count": self._recoveries, "sim_t": self.device.time,
+            })
         for port in (self.host, self.sci):
             if port is not None and hasattr(port, "flush_tx"):
                 port.flush_tx()

@@ -36,6 +36,21 @@ class TestSummary:
     def test_strict_passes_clean_trace(self, trace_jsonl):
         assert main(["summary", trace_jsonl, "--strict"]) == 0
 
+    def test_top_spans_table(self, trace_jsonl, capsys):
+        assert main(["summary", trace_jsonl, "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "slowest spans — engine" in out
+        assert "outer" in out and "p95" in out
+
+    def test_top_spans_json(self, trace_jsonl, capsys):
+        assert main(["summary", trace_jsonl, "--json", "--top", "1"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        rows = doc["top_spans"]["engine"]
+        assert len(rows) == 1
+        # "outer" contains "inner", so it dominates total duration
+        assert rows[0]["name"] == "outer"
+        assert {"name", "count", "total_dur", "p95_dur", "max_dur"} <= set(rows[0])
+
     def test_strict_fails_broken_trace(self, tmp_path, capsys):
         broken = dict(
             ph="i", name="orphan", cat="app", ts=0.0, dur=0.0, sim_t=None,
@@ -62,6 +77,53 @@ class TestConvert:
         assert [e["id"] for e in a] == [e["id"] for e in b]
         assert [e["parent"] for e in a] == [e["parent"] for e in b]
         assert validate(b) == []
+
+
+class TestServeAndReport:
+    def test_serve_demo_then_report(self, tmp_path, capsys):
+        import os
+
+        from repro.obs.flight import get_flight_recorder
+
+        snap_path = str(tmp_path / "snap.json")
+        flight_dir = str(tmp_path / "flight")
+        fr = get_flight_recorder()
+        old_dir = fr.dump_dir
+        try:
+            assert main([
+                "serve", "--port", "0", "--demo-jobs", "1", "--force-shed",
+                "--t-final", "0.01", "--snapshot", snap_path,
+                "--flight-dir", flight_dir,
+            ]) == 0
+        finally:
+            fr.dump_dir = old_dir
+            fr.clear()
+        out = capsys.readouterr().out
+        assert "ops plane listening on http://127.0.0.1:" in out
+        snap = json.loads(open(snap_path).read())
+        assert snap["jobs"]["completed"] >= 1
+        assert snap["jobs"]["shed"] == 1
+        assert "run" in snap["waterfall"]
+        # the forced shed auto-dumped a flight box
+        dumps = [p for p in os.listdir(flight_dir) if p.endswith(".jsonl")]
+        assert len(dumps) >= 1
+
+        # snapshot -> report
+        html = str(tmp_path / "report.html")
+        assert main(["report", snap_path, "-o", html]) == 0
+        out = capsys.readouterr().out
+        assert "ops report (snapshot" in out
+        assert "shed" in out
+        text = open(html).read()
+        assert "Phase waterfall" in text
+
+        # flight dump -> report (post-mortem path)
+        assert main([
+            "report", os.path.join(flight_dir, dumps[0]), "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["source"] == "flight"
+        assert doc["triggers"].get("deadline_shed") == 1
 
 
 class TestValidator:

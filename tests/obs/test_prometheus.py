@@ -1,0 +1,228 @@
+"""Prometheus exposition-format validation, line by line.
+
+A scraper is strict about the text format: ``# TYPE`` must precede a
+metric's samples, histogram series need consistent ``_bucket``/``_sum``/
+``_count`` triples, and cumulative bucket counts must be monotone in
+``le``.  ``validate_prometheus_text`` below checks all of that; it runs
+both against registry-rendered text and against a live ``/metrics``
+scrape over a real socket.
+"""
+
+from __future__ import annotations
+
+import re
+import unittest
+import urllib.request
+
+from repro.obs.metrics import MetricsRegistry
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)(?: (?P<ts>[0-9]+))?$"
+)
+_HEADER_RE = re.compile(r"^# (?P<kind>HELP|TYPE) (?P<name>\S+)(?: (?P<rest>.*))?$")
+_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def validate_prometheus_text(text: str) -> list[str]:
+    """Return a list of format problems (empty = valid exposition)."""
+    problems: list[str] = []
+    typed: dict[str, str] = {}
+    help_seen: set[str] = set()
+    samples: dict[str, list[tuple[dict, float]]] = {}
+    seen_sample_for: set[str] = set()
+
+    if text and not text.endswith("\n"):
+        problems.append("exposition must end with a newline")
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            m = _HEADER_RE.match(line)
+            if m is None:
+                if not line.startswith("# "):
+                    problems.append(f"line {lineno}: malformed comment {line!r}")
+                continue
+            name = m.group("name")
+            if m.group("kind") == "TYPE":
+                if m.group("rest") not in _TYPES:
+                    problems.append(
+                        f"line {lineno}: unknown TYPE {m.group('rest')!r}"
+                    )
+                if name in typed:
+                    problems.append(f"line {lineno}: duplicate TYPE for {name}")
+                if name in seen_sample_for:
+                    problems.append(
+                        f"line {lineno}: TYPE for {name} after its samples"
+                    )
+                typed[name] = m.group("rest") or "untyped"
+            else:
+                if name in seen_sample_for:
+                    problems.append(
+                        f"line {lineno}: HELP for {name} after its samples"
+                    )
+                help_seen.add(name)
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            problems.append(f"line {lineno}: malformed sample {line!r}")
+            continue
+        name = m.group("name")
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        seen_sample_for.add(name)
+        seen_sample_for.add(base)
+        labels = {}
+        if m.group("labels"):
+            for part in m.group("labels").split(","):
+                if not part:
+                    continue
+                k, _, v = part.partition("=")
+                if not (v.startswith('"') and v.endswith('"')):
+                    problems.append(f"line {lineno}: unquoted label value {part!r}")
+                labels[k] = v.strip('"')
+        raw = m.group("value")
+        try:
+            value = float("inf") if raw == "+Inf" else float(raw)
+        except ValueError:
+            problems.append(f"line {lineno}: bad value {raw!r}")
+            continue
+        samples.setdefault(name, []).append((labels, value))
+
+    # histogram series consistency
+    for name, kind in typed.items():
+        if kind != "histogram":
+            continue
+        buckets = samples.get(f"{name}_bucket", [])
+        sums = samples.get(f"{name}_sum", [])
+        counts = samples.get(f"{name}_count", [])
+        if not buckets:
+            problems.append(f"histogram {name}: no _bucket samples")
+            continue
+        if len(sums) != 1 or len(counts) != 1:
+            problems.append(f"histogram {name}: needs exactly one _sum and _count")
+            continue
+        bounds = []
+        for labels, value in buckets:
+            if "le" not in labels:
+                problems.append(f"histogram {name}: bucket without le= label")
+                continue
+            le = float("inf") if labels["le"] == "+Inf" else float(labels["le"])
+            bounds.append((le, value))
+        if bounds != sorted(bounds, key=lambda bv: bv[0]):
+            problems.append(f"histogram {name}: le= bounds not ascending")
+        cum = [v for _, v in bounds]
+        if any(b > a for a, b in zip(cum[1:], cum)):
+            problems.append(f"histogram {name}: bucket counts not monotone")
+        if bounds and bounds[-1][0] != float("inf"):
+            problems.append(f"histogram {name}: missing le=\"+Inf\" bucket")
+        if bounds and bounds[-1][1] != counts[0][1]:
+            problems.append(
+                f"histogram {name}: +Inf bucket != _count "
+                f"({bounds[-1][1]} vs {counts[0][1]})"
+            )
+    # every sample family should be typed (our exporter always emits TYPE)
+    for name in samples:
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if base not in typed and name not in typed:
+            problems.append(f"sample family {name}: no TYPE line")
+    return problems
+
+
+class TestValidator(unittest.TestCase):
+    """The validator itself must catch broken expositions."""
+
+    def test_accepts_valid_text(self):
+        text = (
+            "# HELP jobs_total jobs\n# TYPE jobs_total counter\n"
+            "jobs_total 5\n"
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="0.1"} 2\nlat_bucket{le="+Inf"} 3\n'
+            "lat_sum 0.25\nlat_count 3\n"
+        )
+        self.assertEqual(validate_prometheus_text(text), [])
+
+    def test_rejects_nonmonotone_buckets(self):
+        text = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="0.1"} 5\nlat_bucket{le="0.5"} 3\n'
+            'lat_bucket{le="+Inf"} 5\nlat_sum 1\nlat_count 5\n'
+        )
+        problems = validate_prometheus_text(text)
+        self.assertTrue(any("not monotone" in p for p in problems))
+
+    def test_rejects_missing_inf_bucket(self):
+        text = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="0.1"} 1\nlat_sum 0.05\nlat_count 1\n'
+        )
+        problems = validate_prometheus_text(text)
+        self.assertTrue(any("+Inf" in p for p in problems))
+
+    def test_rejects_inf_bucket_count_mismatch(self):
+        text = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="+Inf"} 2\nlat_sum 0.05\nlat_count 3\n'
+        )
+        problems = validate_prometheus_text(text)
+        self.assertTrue(any("_count" in p for p in problems))
+
+    def test_rejects_untyped_sample(self):
+        problems = validate_prometheus_text("mystery_metric 1\n")
+        self.assertTrue(any("no TYPE" in p for p in problems))
+
+    def test_rejects_type_after_samples(self):
+        text = "jobs_total 5\n# TYPE jobs_total counter\n"
+        problems = validate_prometheus_text(text)
+        self.assertTrue(any("after its samples" in p for p in problems))
+
+
+class TestRegistryExposition(unittest.TestCase):
+    def test_registry_renders_valid_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs_total", help="all jobs").inc(7)
+        reg.gauge("depth", help="queue depth").set(3)
+        h = reg.histogram("latency_seconds", help="latency")
+        for v in (0.0004, 0.002, 0.03, 0.7, 12.0):
+            h.observe(v)
+        text = reg.prometheus_text()
+        self.assertEqual(validate_prometheus_text(text), [])
+        self.assertIn('latency_seconds_bucket{le="+Inf"} 5', text)
+
+    def test_empty_histogram_is_still_valid(self):
+        reg = MetricsRegistry()
+        reg.histogram("quiet_seconds")
+        self.assertEqual(validate_prometheus_text(reg.prometheus_text()), [])
+
+
+class TestLiveScrape(unittest.TestCase):
+    """End to end: a live SimServe answers /metrics with valid exposition."""
+
+    def test_scrape_over_socket(self):
+        from repro.service import MILRequest, SimServe
+        from tests.service.helpers import build_loop_model
+
+        with SimServe(workers=2, ops_port=0, flight=False) as svc:
+            handles = [
+                svc.submit(MILRequest(builder=build_loop_model, dt=1e-3,
+                                      t_final=0.05))
+                for _ in range(3)
+            ]
+            self.assertTrue(svc.wait_all(handles, timeout=60.0))
+            with urllib.request.urlopen(svc.ops_url + "/metrics", timeout=5) as r:
+                self.assertEqual(r.status, 200)
+                self.assertIn("text/plain; version=0.0.4",
+                              r.headers["Content-Type"])
+                text = r.read().decode()
+        self.assertEqual(validate_prometheus_text(text), [])
+        self.assertIn("simserve_jobs_completed_total 3", text)
+        # the per-phase waterfall histograms are scrapeable
+        self.assertIn("simserve_phase_run_seconds_bucket", text)
+        self.assertIn("simserve_phase_queue_seconds_count 3", text)
+        # the global registry rides along (tracer drop gauge, engine counters)
+        self.assertIn("obs_tracer_dropped_events", text)
+
+
+if __name__ == "__main__":
+    unittest.main()

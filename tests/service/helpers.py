@@ -35,6 +35,14 @@ def crashing_builder(**_kwargs) -> Model:
     raise RuntimeError("builder exploded")
 
 
+def hard_crash_builder(**_kwargs) -> Model:
+    """Kills the worker *process* outright (no exception, no cleanup) —
+    the BrokenProcessPool path, not the job-exception path."""
+    import os
+
+    os._exit(13)
+
+
 def make_fake_pil(reliable: bool, n: int = 12, crash: bool = False):
     """A stub PIL rig: instant 'run', real-shaped result object."""
     return _FakePil(reliable, n=n, crash=crash)
