@@ -66,6 +66,11 @@ MIN_BATCH_SPEEDUP = 3.0
 #: floor (same process, same worker count, so the ratio is structural)
 MIN_COALESCE_SPEEDUP = 2.0
 
+#: the native C extension must beat the Python kernel fast path on the
+#: servo step loop by at least this factor (warm cache, same process,
+#: same model — a structural ratio, not a hardware number)
+MIN_NATIVE_SPEEDUP = 2.0
+
 
 # ---------------------------------------------------------------------------
 # measurement helpers
@@ -86,9 +91,13 @@ def bench_engine(use_kernels: bool, t_final: float = 0.5) -> dict:
     from repro.model import Simulator, SimulationOptions
 
     sm = build_servo_model(ServoConfig(setpoint=100.0))
+    # native=False: this bench isolates the *Python* kernel fast path
+    # against the reference interpreter; bench_native owns the C side
     sim = Simulator(
         sm.model,
-        SimulationOptions(dt=1e-4, t_final=t_final, use_kernels=use_kernels),
+        SimulationOptions(
+            dt=1e-4, t_final=t_final, use_kernels=use_kernels, native=False
+        ),
     )
     sim.initialize()
     n_steps = int(round(t_final / 1e-4)) + 1
@@ -102,6 +111,99 @@ def bench_engine(use_kernels: bool, t_final: float = 0.5) -> dict:
         "steps_per_s": n_steps / elapsed,
         "fast_path_active": sim.fast_path is not None,
         "fallback_reason": sim.kernel_fallback_reason,
+    }
+
+
+def bench_native(t_final: float = 0.5) -> dict:
+    """Native C extension vs the Python kernel fast path on the servo.
+
+    Three timed legs on the same compiled model: the Python kernel path,
+    a **cold** native run into an empty disk cache (pays codegen + cc),
+    and a **warm** native run from a fresh Simulator (regenerates the TU
+    in-process, then dlopens the cached ``.so`` — the SimServe repeat-job
+    shape).  The gated speedup is warm-native over Python, the results
+    must be bit-identical, and the cache stats must show exactly one
+    miss then one hit.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    import numpy as np
+
+    from repro.casestudy import ServoConfig, build_servo_model
+    from repro.model import Simulator, SimulationOptions
+    from repro.native import find_cc, native_cache_stats
+
+    dt = 1e-4
+    n_steps = int(round(t_final / dt)) + 1
+    cm = build_servo_model(ServoConfig(setpoint=100.0)).model.compile(dt)
+
+    def timed_run(native):
+        sim = Simulator(
+            cm,
+            SimulationOptions(
+                dt=dt, t_final=t_final, use_kernels=True, native=native
+            ),
+        )
+        t0 = time.perf_counter()
+        sim.initialize()
+        init_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        res = sim.run()
+        return sim, res, init_s, time.perf_counter() - t0
+
+    if find_cc() is None:
+        # toolchain-absent hosts still produce a report: the Python path
+        # is the product there and the fallback reason is the datum
+        sim, _, _, run_s = timed_run(True)
+        return {
+            "toolchain": None,
+            "native_active": False,
+            "fallback_reason": sim.native_fallback_reason,
+            "python_steps_per_s": n_steps / run_s,
+        }
+
+    prev = os.environ.get("REPRO_NATIVE_CACHE")
+    tmp = tempfile.mkdtemp(prefix="repro-native-bench-")
+    os.environ["REPRO_NATIVE_CACHE"] = tmp
+    try:
+        before = native_cache_stats()
+        _, py_res, _, py_run_s = timed_run(False)
+        cold_sim, cold_res, cold_init_s, cold_run_s = timed_run(True)
+        warm_sim, warm_res, warm_init_s, warm_run_s = timed_run(True)
+        stats = native_cache_stats()
+    finally:
+        if prev is None:
+            os.environ.pop("REPRO_NATIVE_CACHE", None)
+        else:
+            os.environ["REPRO_NATIVE_CACHE"] = prev
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    bit_identical = py_res.names == warm_res.names and all(
+        np.array_equal(py_res[name], warm_res[name])
+        and np.array_equal(py_res[name], cold_res[name])
+        for name in py_res.names
+    )
+    py_sps = n_steps / py_run_s
+    native_sps = n_steps / warm_run_s
+    return {
+        "toolchain": stats.get("toolchain"),
+        "native_active": warm_sim.native_active,
+        "fallback_reason": warm_sim.native_fallback_reason
+        or cold_sim.native_fallback_reason,
+        "steps": n_steps,
+        "python_steps_per_s": py_sps,
+        "native_steps_per_s": native_sps,
+        "native_speedup": native_sps / py_sps,
+        "cold_init_s": cold_init_s,
+        "warm_init_s": warm_init_s,
+        "compile_amortization": cold_init_s / warm_init_s
+        if warm_init_s > 0 else float("inf"),
+        "cache_misses": stats["misses"] - before["misses"],
+        "cache_hits": stats["hits"] - before["hits"],
+        "compile_s": stats["compile_s_total"] - before["compile_s_total"],
+        "bit_identical": bit_identical,
     }
 
 
@@ -134,7 +236,9 @@ def bench_batch_ensemble(n_lanes: int = 32, t_final: float = 0.25) -> dict:
         serial.append(
             Simulator(
                 cm,
-                SimulationOptions(dt=dt, t_final=t_final, use_kernels=True),
+                SimulationOptions(
+                    dt=dt, t_final=t_final, use_kernels=True, native=False
+                ),
             ).run()
         )
     serial_s = time.perf_counter() - t0
@@ -611,52 +715,77 @@ def bench_service(n_jobs: int = 24) -> dict:
     }
 
 
-def measure(workers: int) -> dict:
-    cal = _calibrate()
+def _section_engine(workers: int) -> dict:
     fast = bench_engine(use_kernels=True)
     ref = bench_engine(use_kernels=False)
-    batch = bench_batch_ensemble()
-    events_per_s = bench_events()
-    roundtrips_per_s = bench_codec()
-    campaign = bench_campaign(workers)
-    fuzz = bench_fuzz_throughput(workers)
-    service = bench_service()
-    coalesce = bench_continuous_batching()
-    compaction = bench_lane_compaction()
-    obs = {**bench_tracing_overhead(), **bench_ops_overhead()}
-    report = {
-        "schema": 1,
-        "calibration_spin_s": cal,
-        "engine": {
-            "before_steps_per_s": SEED_STEPS_PER_S,
-            "steps_per_s": fast["steps_per_s"],
-            "steps_per_s_reference": ref["steps_per_s"],
-            "kernel_speedup": fast["steps_per_s"] / ref["steps_per_s"],
-            "speedup_vs_seed": fast["steps_per_s"] / SEED_STEPS_PER_S,
-            "fast_path_active": fast["fast_path_active"],
-            "fallback_reason": fast["fallback_reason"],
-        },
-        "batch": batch,
-        "events": {"events_per_s": events_per_s},
-        "codec": {"roundtrips_per_s": roundtrips_per_s},
-        "campaign": campaign,
-        "fuzz": fuzz,
-        "service": service,
-        "continuous_batching": coalesce,
-        "compaction": compaction,
-        "obs": obs,
-        # machine-portable forms: throughput x spin-time (per-spin units)
-        "normalized": {
-            "engine_steps_per_spin": fast["steps_per_s"] * cal,
-            "engine_reference_steps_per_spin": ref["steps_per_s"] * cal,
-            "batch_lane_steps_per_spin": batch["lane_steps_per_s"] * cal,
-            "events_per_spin": events_per_s * cal,
-            "codec_roundtrips_per_spin": roundtrips_per_s * cal,
-            "campaign_cells_per_spin": campaign["cells_per_s_serial"] * cal,
-            "fuzz_candidates_per_spin": fuzz["candidates_per_s_serial"] * cal,
-            "service_jobs_per_spin": service["service_jobs_per_s"] * cal,
-            "coalesced_jobs_per_spin": coalesce["coalesced_jobs_per_s"] * cal,
-        },
+    return {
+        "before_steps_per_s": SEED_STEPS_PER_S,
+        "steps_per_s": fast["steps_per_s"],
+        "steps_per_s_reference": ref["steps_per_s"],
+        "kernel_speedup": fast["steps_per_s"] / ref["steps_per_s"],
+        "speedup_vs_seed": fast["steps_per_s"] / SEED_STEPS_PER_S,
+        "fast_path_active": fast["fast_path_active"],
+        "fallback_reason": fast["fallback_reason"],
+    }
+
+
+def _fallback_counters() -> dict:
+    """The ``kernel_fallback_total{reason=...}`` counters accumulated in
+    this process — surfaced in the report so a toolchain-less CI host is
+    distinguishable from a plan refusal after the fact."""
+    from repro.obs.metrics import get_registry
+
+    return {
+        name: value
+        for name, value in get_registry().snapshot().items()
+        if name.startswith("kernel_fallback_total")
+    }
+
+
+#: sections a ``--only`` run can select; each measures independently
+BENCHES = {
+    "engine": _section_engine,
+    "native": lambda workers: {**bench_native(),
+                               "fallback_counters": _fallback_counters()},
+    "batch": lambda workers: bench_batch_ensemble(),
+    "events": lambda workers: {"events_per_s": bench_events()},
+    "codec": lambda workers: {"roundtrips_per_s": bench_codec()},
+    "campaign": bench_campaign,
+    "fuzz": bench_fuzz_throughput,
+    "service": lambda workers: bench_service(),
+    "continuous_batching": lambda workers: bench_continuous_batching(),
+    "compaction": lambda workers: bench_lane_compaction(),
+    "obs": lambda workers: {**bench_tracing_overhead(),
+                            **bench_ops_overhead()},
+}
+
+#: (normalized key, section, field) — machine-portable per-spin forms
+_NORMALIZED = [
+    ("engine_steps_per_spin", "engine", "steps_per_s"),
+    ("engine_reference_steps_per_spin", "engine", "steps_per_s_reference"),
+    ("native_steps_per_spin", "native", "native_steps_per_s"),
+    ("batch_lane_steps_per_spin", "batch", "lane_steps_per_s"),
+    ("events_per_spin", "events", "events_per_s"),
+    ("codec_roundtrips_per_spin", "codec", "roundtrips_per_s"),
+    ("campaign_cells_per_spin", "campaign", "cells_per_s_serial"),
+    ("fuzz_candidates_per_spin", "fuzz", "candidates_per_s_serial"),
+    ("service_jobs_per_spin", "service", "service_jobs_per_s"),
+    ("coalesced_jobs_per_spin", "continuous_batching", "coalesced_jobs_per_s"),
+]
+
+
+def measure(workers: int, only: list[str] | None = None) -> dict:
+    cal = _calibrate()
+    report = {"schema": 1, "calibration_spin_s": cal}
+    for name, fn in BENCHES.items():
+        if only and name not in only:
+            continue
+        report[name] = fn(workers)
+    # machine-portable forms: throughput x spin-time (per-spin units)
+    report["normalized"] = {
+        key: report[section][field] * cal
+        for key, section, field in _NORMALIZED
+        if section in report and field in report[section]
     }
     return report
 
@@ -683,6 +812,34 @@ def check(fresh: dict, baseline: dict, strict_absolute: bool) -> list[str]:
         fresh["engine"]["kernel_speedup"],
         baseline["engine"]["kernel_speedup"],
     )
+    nat = fresh.get("native", {})
+    if nat.get("toolchain") is None:
+        # no compiler on this host: the graceful-degradation leg — the
+        # ladder must have recorded why, but nothing perf-gates
+        if nat and not nat.get("fallback_reason"):
+            failures.append(
+                "native: toolchain absent but no fallback reason recorded"
+            )
+    elif nat:
+        if not nat["native_active"]:
+            failures.append(
+                f"native path inactive with a toolchain present: "
+                f"{nat['fallback_reason']!r}"
+            )
+        elif not nat["bit_identical"]:
+            failures.append(
+                "native servo trajectories are not bit-identical to the "
+                "Python kernel path"
+            )
+        elif nat["native_speedup"] < MIN_NATIVE_SPEEDUP:
+            failures.append(
+                f"native.native_speedup: {nat['native_speedup']:.2f}x is "
+                f"below the {MIN_NATIVE_SPEEDUP:.1f}x acceptance floor"
+            )
+        if nat.get("cache_hits", 0) < 1:
+            failures.append(
+                "native compile cache never hit (warm Simulator recompiled)"
+            )
     batch = fresh["batch"]
     if not batch["bit_identical"]:
         failures.append(
@@ -818,70 +975,105 @@ def main(argv=None) -> int:
     ap.add_argument("--update", action="store_true", help="rewrite the baseline unconditionally")
     ap.add_argument("--out", type=Path, default=DEFAULT_JSON, help="output JSON path")
     ap.add_argument("--workers", type=int, default=2, help="campaign worker count")
+    ap.add_argument(
+        "--only", action="append", choices=sorted(BENCHES), default=None,
+        metavar="BENCH",
+        help="measure only this bench (repeatable); prints JSON and "
+             "leaves the committed baseline untouched",
+    )
     args = ap.parse_args(argv)
+    if args.only and (args.check or args.update):
+        ap.error("--only cannot be combined with --check/--update "
+                 "(partial reports must not gate or overwrite the baseline)")
 
-    fresh = measure(args.workers)
-    eng = fresh["engine"]
-    print(
-        f"engine: {eng['steps_per_s']:.0f} steps/s fast "
-        f"({eng['steps_per_s_reference']:.0f} reference, "
-        f"kernel speedup {eng['kernel_speedup']:.2f}x, "
-        f"{eng['speedup_vs_seed']:.2f}x vs seed {SEED_STEPS_PER_S:.0f})"
-    )
-    bat = fresh["batch"]
-    print(
-        f"batch:  {bat['batch_speedup_vs_serial']:.2f}x over serial sweep "
-        f"({bat['lanes']} lanes, {bat['lane_steps_per_s']:.0f} lane-steps/s, "
-        f"{bat['vectorized_fraction']:.0%} vectorized, "
-        f"bit_identical={bat['bit_identical']})"
-    )
-    print(f"events: {fresh['events']['events_per_s']:.0f} events/s")
-    print(f"codec:  {fresh['codec']['roundtrips_per_s']:.0f} round-trips/s")
-    camp = fresh["campaign"]
-    print(
-        f"campaign: {camp['cells_per_s_serial']:.2f} cells/s serial, "
-        f"{camp['cells_per_s_parallel']:.2f} cells/s with "
-        f"{camp['workers']} workers ({camp['cpu_count']} CPUs)"
-    )
-    fz = fresh["fuzz"]
-    print(
-        f"fuzz:   {fz['candidates_per_s_serial']:.2f} candidates/s serial, "
-        f"{fz['candidates_per_s_batched']:.2f} batched "
-        f"({fz['workers']} workers), deterministic={fz['deterministic']}; "
-        f"corpus replay {fz['corpus_entries']} entries at "
-        f"{fz['corpus_replays_per_s']:.2f}/s, ok={fz['corpus_replay_ok']}"
-    )
-    svc = fresh["service"]
-    print(
-        f"service: {svc['service_jobs_per_s']:.1f} jobs/s, cache-hit speedup "
-        f"{svc['model_cache_hit_speedup']:.2f}x "
-        f"(cold {svc['cold_latency_s']*1e3:.1f} ms -> warm "
-        f"{svc['warm_latency_s']*1e3:.1f} ms, hit rate {svc['cache_hit_rate']:.0%})"
-    )
-    cb = fresh["continuous_batching"]
-    print(
-        f"coalesce: {cb['coalesced_speedup']:.2f}x over serial scheduling "
-        f"({cb['jobs']} staggered jobs -> {cb['batches']} vector job(s), "
-        f"max width {cb['max_width']}, bit_identical={cb['bit_identical']})"
-    )
-    comp = fresh["compaction"]
-    print(
-        f"compaction: {comp['recovered_lane_steps']} recovered lane-steps "
-        f"({comp['compaction_speedup']:.2f}x vs per-lane fallback on "
-        f"{comp['lanes']} lanes, backend={comp['array_backend']})"
-    )
-    obs = fresh["obs"]
-    print(
-        f"tracing: {obs['tracing_overhead_pct']:.2f}% enabled overhead "
-        f"({obs['steps_per_s_disabled']:.0f} -> {obs['steps_per_s_enabled']:.0f} "
-        f"steps/s, {obs['events_captured']} events captured)"
-    )
-    if "ops_overhead_pct" in obs:
+    fresh = measure(args.workers, only=args.only)
+    if "engine" in fresh:
+        eng = fresh["engine"]
         print(
-            f"ops plane: {obs['ops_overhead_pct']:.2f}% service-path overhead "
-            f"({obs['jobs_per_s_obs_off']:.1f} -> {obs['jobs_per_s_obs_on']:.1f} "
-            f"jobs/s, {obs['flight_events_recorded']} flight events)"
+            f"engine: {eng['steps_per_s']:.0f} steps/s fast "
+            f"({eng['steps_per_s_reference']:.0f} reference, "
+            f"kernel speedup {eng['kernel_speedup']:.2f}x, "
+            f"{eng['speedup_vs_seed']:.2f}x vs seed {SEED_STEPS_PER_S:.0f})"
         )
+    if "native" in fresh:
+        nat = fresh["native"]
+        if nat.get("native_active"):
+            print(
+                f"native: {nat['native_steps_per_s']:.0f} steps/s C extension "
+                f"({nat['native_speedup']:.2f}x over the Python kernel path, "
+                f"cold init {nat['cold_init_s']*1e3:.0f} ms -> warm "
+                f"{nat['warm_init_s']*1e3:.1f} ms, "
+                f"bit_identical={nat['bit_identical']})"
+            )
+        else:
+            print(f"native: inactive ({nat.get('fallback_reason')!r})")
+    if "batch" in fresh:
+        bat = fresh["batch"]
+        print(
+            f"batch:  {bat['batch_speedup_vs_serial']:.2f}x over serial sweep "
+            f"({bat['lanes']} lanes, {bat['lane_steps_per_s']:.0f} lane-steps/s, "
+            f"{bat['vectorized_fraction']:.0%} vectorized, "
+            f"bit_identical={bat['bit_identical']})"
+        )
+    if "events" in fresh:
+        print(f"events: {fresh['events']['events_per_s']:.0f} events/s")
+    if "codec" in fresh:
+        print(f"codec:  {fresh['codec']['roundtrips_per_s']:.0f} round-trips/s")
+    if "campaign" in fresh:
+        camp = fresh["campaign"]
+        print(
+            f"campaign: {camp['cells_per_s_serial']:.2f} cells/s serial, "
+            f"{camp['cells_per_s_parallel']:.2f} cells/s with "
+            f"{camp['workers']} workers ({camp['cpu_count']} CPUs)"
+        )
+    if "fuzz" in fresh:
+        fz = fresh["fuzz"]
+        print(
+            f"fuzz:   {fz['candidates_per_s_serial']:.2f} candidates/s serial, "
+            f"{fz['candidates_per_s_batched']:.2f} batched "
+            f"({fz['workers']} workers), deterministic={fz['deterministic']}; "
+            f"corpus replay {fz['corpus_entries']} entries at "
+            f"{fz['corpus_replays_per_s']:.2f}/s, ok={fz['corpus_replay_ok']}"
+        )
+    if "service" in fresh:
+        svc = fresh["service"]
+        print(
+            f"service: {svc['service_jobs_per_s']:.1f} jobs/s, cache-hit speedup "
+            f"{svc['model_cache_hit_speedup']:.2f}x "
+            f"(cold {svc['cold_latency_s']*1e3:.1f} ms -> warm "
+            f"{svc['warm_latency_s']*1e3:.1f} ms, hit rate {svc['cache_hit_rate']:.0%})"
+        )
+    if "continuous_batching" in fresh:
+        cb = fresh["continuous_batching"]
+        print(
+            f"coalesce: {cb['coalesced_speedup']:.2f}x over serial scheduling "
+            f"({cb['jobs']} staggered jobs -> {cb['batches']} vector job(s), "
+            f"max width {cb['max_width']}, bit_identical={cb['bit_identical']})"
+        )
+    if "compaction" in fresh:
+        comp = fresh["compaction"]
+        print(
+            f"compaction: {comp['recovered_lane_steps']} recovered lane-steps "
+            f"({comp['compaction_speedup']:.2f}x vs per-lane fallback on "
+            f"{comp['lanes']} lanes, backend={comp['array_backend']})"
+        )
+    if "obs" in fresh:
+        obs = fresh["obs"]
+        print(
+            f"tracing: {obs['tracing_overhead_pct']:.2f}% enabled overhead "
+            f"({obs['steps_per_s_disabled']:.0f} -> {obs['steps_per_s_enabled']:.0f} "
+            f"steps/s, {obs['events_captured']} events captured)"
+        )
+        if "ops_overhead_pct" in obs:
+            print(
+                f"ops plane: {obs['ops_overhead_pct']:.2f}% service-path overhead "
+                f"({obs['jobs_per_s_obs_off']:.1f} -> {obs['jobs_per_s_obs_on']:.1f} "
+                f"jobs/s, {obs['flight_events_recorded']} flight events)"
+            )
+
+    if args.only:
+        print(json.dumps(fresh, indent=2, sort_keys=True))
+        return 0
 
     status = 0
     if args.check and not args.update:

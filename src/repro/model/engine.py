@@ -29,6 +29,7 @@ Two execution paths share these semantics:
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -55,12 +56,25 @@ class SimulationOptions:
     step_hook: Optional[Callable[[float, "Simulator"], None]] = None
     #: use the compiled kernel fast path when the model supports it
     use_kernels: bool = True
+    #: compile the model to a native C extension and run the step loop
+    #: there: ``True`` forces it, ``False`` disables it, ``"auto"``
+    #: (default) engages only when the run is big enough to amortize the
+    #: compile/dlopen cost.  ``$REPRO_NATIVE`` (off/on/auto) overrides.
+    native: Union[bool, str] = "auto"
 
     def __post_init__(self) -> None:
         if self.solver not in ("euler", "rk4"):
             raise ValueError(f"unknown solver '{self.solver}'")
         if self.t_final <= 0 or self.dt <= 0:
             raise ValueError("dt and t_final must be positive")
+        if self.native not in (True, False, "auto"):
+            raise ValueError("native must be True, False or 'auto'")
+
+
+#: minimum estimated block-steps (steps x scheduled blocks) before
+#: ``native="auto"`` bothers compiling; override with
+#: ``$REPRO_NATIVE_THRESHOLD``
+NATIVE_AUTO_THRESHOLD = 100_000
 
 
 class Simulator:
@@ -115,6 +129,10 @@ class Simulator:
         self.fast_path = None
         #: why the fast path was not used (None when it is active)
         self.kernel_fallback_reason: Optional[str] = None
+        #: the bound native C executor (None on the Python paths)
+        self.native_path = None
+        #: why the native path was not used (None when it is active)
+        self.native_fallback_reason: Optional[str] = None
         self._initialized = False
         self._tracer = get_tracer()
 
@@ -159,6 +177,7 @@ class Simulator:
             if isinstance(block, Scope):
                 self._scope_sched.append((qname, in_idx[0]))
         self._bind_fast_path()
+        self._bind_native()
         self._initialized = True
 
     def _bind_fast_path(self) -> None:
@@ -166,6 +185,7 @@ class Simulator:
         tr = self._tracer
         if not self.options.use_kernels:
             self.kernel_fallback_reason = "disabled by SimulationOptions"
+            self._count_fallback("kernel_disabled")
             if tr.enabled:
                 tr.instant("engine.kernel_fallback", cat="engine",
                            args={"reason": self.kernel_fallback_reason})
@@ -176,6 +196,7 @@ class Simulator:
             fp = build_fast_path(self)
         except KernelPlanError as exc:
             self.kernel_fallback_reason = str(exc)
+            self._count_fallback("kernel_plan_refused")
             if tr.enabled:
                 tr.instant("engine.kernel_fallback", cat="engine",
                            args={"reason": self.kernel_fallback_reason})
@@ -185,6 +206,113 @@ class Simulator:
         self._out_minor = fp.out_minor
         self._update = fp.update
         self._deriv = fp.deriv
+
+    # ------------------------------------------------------------------
+    # native C executor binding
+    # ------------------------------------------------------------------
+    @property
+    def native_active(self) -> bool:
+        return self.native_path is not None
+
+    @staticmethod
+    def _count_fallback(reason: str) -> None:
+        from ..obs.metrics import get_registry
+
+        get_registry().counter(
+            "kernel_fallback_total",
+            "native/kernel fast-path fallbacks by reason",
+            labels={"reason": reason},
+        ).inc()
+
+    def _native_fallback(self, reason: str, detail: str = "") -> None:
+        self.native_fallback_reason = (
+            f"{reason}: {detail}" if detail else reason
+        )
+        self._count_fallback(reason)
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "engine.native_fallback", cat="engine",
+                args={"reason": reason, "detail": detail[:200]},
+            )
+
+    def _native_mode(self):
+        """The effective native switch after the env override."""
+        env = os.environ.get("REPRO_NATIVE", "").strip().lower()
+        if env in ("off", "0", "false", "no"):
+            return False
+        if env in ("on", "1", "force", "true"):
+            return True
+        if env == "auto":
+            return "auto"
+        return self.options.native
+
+    def _bind_native(self) -> None:
+        """Lower the plan to C, compile (or reuse the disk cache), and
+        take over the step loop — or record why not and keep the Python
+        paths untouched.  The fallback ladder: disabled ->
+        below_auto_threshold -> plan_refused -> toolchain_missing ->
+        compile_error."""
+        mode = self._native_mode()
+        if mode is False:
+            self._native_fallback("disabled")
+            return
+        if mode == "auto":
+            n_steps = int(round(self.options.t_final / self.options.dt)) + 1
+            work = n_steps * max(1, len(self._sched))
+            threshold = int(
+                os.environ.get("REPRO_NATIVE_THRESHOLD", "")
+                or NATIVE_AUTO_THRESHOLD
+            )
+            if work < threshold:
+                self._native_fallback("below_auto_threshold")
+                return
+        from ..native import (
+            NativeLoweringError,
+            NativePath,
+            ToolchainError,
+            doc_hash_for,
+            ensure_compiled,
+            find_cc,
+            generate_program,
+        )
+        from .kernels import KernelPlanError, plan_kernels
+
+        try:
+            if self.fast_path is not None:
+                plan = self.fast_path.plan
+            else:
+                plan = plan_kernels(self.cm)
+            program = generate_program(self, plan)
+        except (KernelPlanError, NativeLoweringError) as exc:
+            self._native_fallback("plan_refused", str(exc))
+            return
+        if find_cc() is None:
+            self._native_fallback("toolchain_missing",
+                                  "no C compiler on PATH (cc/gcc/clang)")
+            return
+        try:
+            so_path = ensure_compiled(program.source, doc_hash_for(self))
+        except ToolchainError as exc:
+            self._native_fallback("compile_error", str(exc))
+            return
+        # Commit: the extension borrows the signal buffer, so the scalar
+        # list becomes an ndarray now.  The generated FastPath passes
+        # captured the *old list* in their default args — route the
+        # Python passes back through the reference methods (they read
+        # ``self.signals`` fresh each call) so co-simulation taps and
+        # the legacy shims stay correct alongside the native loop.
+        signals = np.ascontiguousarray(self.signals, dtype=np.float64)
+        try:
+            native = NativePath(program, so_path, signals, self.x)
+        except Exception as exc:  # dlopen/ABI trouble: keep Python paths
+            self._native_fallback("compile_error", f"load failed: {exc}")
+            return
+        self.signals = signals
+        self._out_major = self._ref_out_major
+        self._out_minor = self._ref_out_minor
+        self._update = self._ref_update
+        self._deriv = self._ref_deriv
+        self.native_path = native
 
     def _make_fire(self, qname: str) -> Callable[[int], None]:
         # events are queued and dispatched right after the firing block's
@@ -364,6 +492,18 @@ class Simulator:
         t = self.time
         step = self.step_index
         tr = self._tracer
+        native = self.native_path
+        if native is not None:
+            if tr.enabled and step % tr.step_stride == 0:
+                return self._advance_native_traced(t, step, tr)
+            native.out_major(step)
+            self._log_step(t)
+            if self.options.step_hook is not None:
+                self.options.step_hook(t, self)
+            native.finish(step)
+            self.step_index = step + 1
+            self.time = self.step_index * self.options.dt
+            return self.time
         if tr.enabled and step % tr.step_stride == 0:
             return self._advance_traced(t, step, tr)
         self._out_major(t, step)
@@ -396,6 +536,21 @@ class Simulator:
         t0 = perf_counter()
         self._integrate(t)
         tr.complete("engine.integrate", "engine", t0, sim_t=t)
+        self.step_index = step + 1
+        self.time = self.step_index * self.options.dt
+        tr.end(span)
+        return self.time
+
+    def _advance_native_traced(self, t: float, step: int, tr) -> float:
+        """Sampled tracing around one native major step (the extension
+        runs both halves; pass-level spans do not apply)."""
+        span = tr.begin("engine.major_step", cat="engine", sim_t=t,
+                        args={"step": step, "native": True})
+        self.native_path.out_major(step)
+        self._log_step(t)
+        if self.options.step_hook is not None:
+            self.options.step_hook(t, self)
+        self.native_path.finish(step)
         self.step_index = step + 1
         self.time = self.step_index * self.options.dt
         tr.end(span)
@@ -447,6 +602,9 @@ class Simulator:
         advance = self.advance
         tr = self._tracer
         if not tr.enabled:
+            if (self.native_path is not None
+                    and self.options.step_hook is None):
+                return self._run_native(n_steps)
             for _ in range(n_steps):
                 advance()
             return self.result()
@@ -459,6 +617,46 @@ class Simulator:
                 advance()
         self._count_run(n_steps)
         return self.result()
+
+    #: steps per native whole-loop call — keeps scope/trace staging
+    #: buffers modest while amortizing the FFI call overhead
+    _NATIVE_CHUNK = 65536
+
+    def _run_native(self, n_steps: int) -> SimulationResult:
+        """Whole-loop execution inside the extension: ``nx_run`` steps
+        in chunks, scope samples (and optionally full signal rows) come
+        back as arrays and extend the logs in bulk."""
+        native = self.native_path
+        dt = self.options.dt
+        want_trace = self.options.log_all_signals
+        scope_names = [qname for qname, _idx in self._scope_sched]
+        done = 0
+        while done < n_steps:
+            n = min(self._NATIVE_CHUNK, n_steps - done)
+            start = self.step_index
+            scope, trace = native.run_chunk(start, n, want_trace)
+            # t = step * dt per step, the reference advance() product
+            self._times.extend(np.arange(start, start + n) * dt)
+            for k, qname in enumerate(scope_names):
+                log = self._scope_logs.get(qname)
+                if log is None:
+                    log = self._scope_logs[qname] = SignalLog()
+                log.extend(scope[:, k])
+            if want_trace and trace is not None:
+                self._append_trace_rows(trace)
+            self.step_index = start + n
+            self.time = self.step_index * dt
+            done += n
+        return self.result()
+
+    def _append_trace_rows(self, rows: np.ndarray) -> None:
+        n = rows.shape[0]
+        trace = self._signal_trace
+        if trace is None or self._trace_len + n > trace.shape[0]:
+            self._grow_trace(max(64, 2 * self._trace_len, self._trace_len + n))
+            trace = self._signal_trace
+        trace[self._trace_len : self._trace_len + n] = rows
+        self._trace_len += n
 
     def _count_run(self, n_steps: int) -> None:
         """Roll the run into the process-wide metrics registry."""

@@ -46,6 +46,16 @@ class SignalLog:
         self._buf[n] = value
         self._len = n + 1
 
+    def extend(self, values: np.ndarray) -> None:
+        """Append a whole chunk of samples at once (the native step-loop
+        executor returns scope columns per chunk)."""
+        k = len(values)
+        n = self._len
+        if n + k > self._buf.shape[0]:
+            self.reserve(max(64, 2 * n, n + k))
+        self._buf[n : n + k] = values
+        self._len = n + k
+
     def array(self) -> np.ndarray:
         """The logged samples as a fresh, exactly-sized array."""
         return self._buf[: self._len].copy()

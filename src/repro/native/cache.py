@@ -1,0 +1,229 @@
+"""Toolchain discovery and the on-disk compile cache.
+
+Artifacts are keyed by ``sha256(doc_hash | TU sha | compiler
+fingerprint | template version)`` — the canonical model-document hash
+(:func:`repro.service.model_cache.model_content_hash`, already
+process-stable) guards against semantically different models colliding,
+the TU sha guards against emitter drift for models that cannot be
+content-addressed, and the compiler fingerprint invalidates artifacts
+across toolchain or architecture changes.  SimServe warm jobs and
+process-pool children therefore ``dlopen`` an existing ``.so`` instead
+of recompiling: the TU is still regenerated in-process (cheap,
+deterministic) and only the compile step is skipped.
+
+Layout under the cache dir (``$REPRO_NATIVE_CACHE`` or
+``~/.cache/repro-native``): ``<key>.c``, ``<key>.so``, ``<key>.json``
+(stats sidecar).  Writes go through a temp file + ``os.replace`` so
+concurrent processes never observe a half-written artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import shutil
+import subprocess
+import tempfile
+import threading
+from time import perf_counter
+from typing import Optional
+
+from .emit import TEMPLATE_VERSION
+
+
+class ToolchainError(Exception):
+    """No usable C compiler, or the compile itself failed."""
+
+
+#: flags that pin IEEE-754 semantics: no fast-math value substitution,
+#: no FMA contraction (contraction would change the association order
+#: the Python reference performs)
+CFLAGS = ["-O2", "-fPIC", "-shared", "-fno-fast-math", "-ffp-contract=off"]
+
+_lock = threading.Lock()
+_cc_memo: Optional[tuple] = None  # (path|None, fingerprint|None)
+
+
+def find_cc() -> Optional[str]:
+    """The C compiler to use, or ``None`` when the host has no
+    toolchain.  ``$REPRO_NATIVE_CC`` overrides discovery."""
+    global _cc_memo
+    override = os.environ.get("REPRO_NATIVE_CC")
+    with _lock:
+        if _cc_memo is not None and not override:
+            return _cc_memo[0]
+    if override:
+        path = shutil.which(override)
+        return path  # no memo: the env var may change between calls
+    path = None
+    for cand in ("cc", "gcc", "clang"):
+        path = shutil.which(cand)
+        if path:
+            break
+    fp = _probe_fingerprint(path) if path else None
+    with _lock:
+        _cc_memo = (path if fp else None, fp)
+        return _cc_memo[0]
+
+
+def _probe_fingerprint(cc: str) -> Optional[str]:
+    try:
+        out = subprocess.run(
+            [cc, "--version"], capture_output=True, text=True, timeout=30
+        )
+        first = (out.stdout or out.stderr).splitlines()[0].strip()
+    except Exception:
+        return None
+    return f"{first}|{platform.machine()}|v{TEMPLATE_VERSION}"
+
+
+def compiler_fingerprint(cc: Optional[str] = None) -> Optional[str]:
+    """Version/arch/template string folded into the cache key."""
+    cc = cc or find_cc()
+    if cc is None:
+        return None
+    override = os.environ.get("REPRO_NATIVE_CC")
+    if override:
+        return _probe_fingerprint(cc)
+    with _lock:
+        if _cc_memo and _cc_memo[0] == cc:
+            return _cc_memo[1]
+    return _probe_fingerprint(cc)
+
+
+def cache_dir() -> str:
+    d = os.environ.get("REPRO_NATIVE_CACHE")
+    if not d:
+        d = os.path.join(os.path.expanduser("~"), ".cache", "repro-native")
+    os.makedirs(d, exist_ok=True)
+    return d
+
+
+def artifact_key(doc_hash: str, tu_sha: str, fingerprint: str) -> str:
+    text = f"{doc_hash}|{tu_sha}|{fingerprint}"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:40]
+
+
+def doc_hash_for(sim) -> str:
+    """Canonical content hash of the model under its run options, or
+    ``""`` when the diagram cannot be content-addressed (live callables
+    etc. — the TU sha still keys the artifact then)."""
+    from repro.service.model_cache import model_content_hash
+
+    try:
+        return model_content_hash(
+            sim.cm.source, dt=sim.options.dt, solver=sim.options.solver
+        )
+    except Exception:
+        return ""
+
+
+# ---------------------------------------------------------------------------
+# stats (process-global, mirrored into the obs registry)
+# ---------------------------------------------------------------------------
+_stats_lock = threading.Lock()
+_stats = {"hits": 0, "misses": 0, "compile_s_total": 0.0, "errors": 0}
+
+
+def _count(kind: str, compile_s: float = 0.0) -> None:
+    from repro.obs.metrics import get_registry
+
+    with _stats_lock:
+        if kind in ("hits", "misses", "errors"):
+            _stats[kind] += 1
+        _stats["compile_s_total"] += compile_s
+    reg = get_registry()
+    if kind == "hits":
+        reg.counter("native_cache_hits_total",
+                    "native compile cache hits (dlopen only)").inc()
+    elif kind == "misses":
+        reg.counter("native_cache_misses_total",
+                    "native compile cache misses (cc invoked)").inc()
+    elif kind == "errors":
+        reg.counter("native_compile_errors_total",
+                    "native compile failures").inc()
+    if compile_s:
+        reg.counter("native_compile_seconds_total",
+                    "wall time spent in the C compiler").inc(compile_s)
+
+
+def native_cache_stats() -> dict:
+    """Snapshot of hit/miss/compile-time counters plus cache contents."""
+    with _stats_lock:
+        snap = dict(_stats)
+    try:
+        d = cache_dir()
+        sos = [f for f in os.listdir(d) if f.endswith(".so")]
+        snap["artifacts"] = len(sos)
+        snap["bytes"] = sum(
+            os.path.getsize(os.path.join(d, f)) for f in sos
+        )
+    except OSError:
+        snap["artifacts"] = 0
+        snap["bytes"] = 0
+    snap["toolchain"] = find_cc() or ""
+    return snap
+
+
+# ---------------------------------------------------------------------------
+# compile
+# ---------------------------------------------------------------------------
+def ensure_compiled(source: str, doc_hash: str) -> str:
+    """Return the path of the compiled ``.so`` for ``source``, compiling
+    at most once per (model, toolchain) across processes."""
+    cc = find_cc()
+    if cc is None:
+        raise ToolchainError("no C compiler on PATH (cc/gcc/clang)")
+    fp = compiler_fingerprint(cc)
+    if fp is None:
+        raise ToolchainError(f"compiler '{cc}' did not report a version")
+    tu_sha = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    key = artifact_key(doc_hash, tu_sha, fp)
+    d = cache_dir()
+    so_path = os.path.join(d, f"{key}.so")
+    if os.path.exists(so_path):
+        _count("hits")
+        return so_path
+    _count("misses")
+    c_path = os.path.join(d, f"{key}.c")
+    _atomic_write(c_path, source)
+    t0 = perf_counter()
+    fd, tmp_so = tempfile.mkstemp(suffix=".so.tmp", dir=d)
+    os.close(fd)
+    try:
+        proc = subprocess.run(
+            [cc, *CFLAGS, "-o", tmp_so, c_path, "-lm"],
+            capture_output=True, text=True, timeout=120,
+        )
+        if proc.returncode != 0:
+            _count("errors")
+            tail = (proc.stderr or proc.stdout).strip()[-2000:]
+            raise ToolchainError(f"cc failed ({proc.returncode}): {tail}")
+        os.replace(tmp_so, so_path)
+    finally:
+        if os.path.exists(tmp_so):
+            os.unlink(tmp_so)
+    compile_s = perf_counter() - t0
+    _count("", compile_s=compile_s)
+    _atomic_write(os.path.join(d, f"{key}.json"), json.dumps({
+        "doc_hash": doc_hash,
+        "tu_sha": tu_sha,
+        "fingerprint": fp,
+        "compile_s": compile_s,
+        "template": TEMPLATE_VERSION,
+    }, indent=2, sort_keys=True))
+    return so_path
+
+
+def _atomic_write(path: str, text: str) -> None:
+    d = os.path.dirname(path)
+    fd, tmp = tempfile.mkstemp(dir=d, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as f:
+            f.write(text)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)

@@ -42,13 +42,21 @@ DEFAULT_BUCKETS = (
 
 
 class Counter:
-    """Monotonic counter.  ``inc`` is thread-safe."""
+    """Monotonic counter.  ``inc`` is thread-safe.
 
-    __slots__ = ("name", "help", "_value", "_lock")
+    ``labels`` (optional, immutable) carries Prometheus-style label
+    pairs; labelled counters registered via
+    :meth:`MetricsRegistry.counter` share one ``# TYPE`` family in the
+    exposition output (e.g. ``kernel_fallback_total{reason="..."}``).
+    """
 
-    def __init__(self, name: str = "", help: str = ""):
+    __slots__ = ("name", "help", "labels", "_value", "_lock")
+
+    def __init__(self, name: str = "", help: str = "",
+                 labels: Optional[dict] = None):
         self.name = name
         self.help = help
+        self.labels = dict(labels) if labels else None
         self._value = 0.0
         self._lock = threading.Lock()
 
@@ -233,8 +241,14 @@ class MetricsRegistry:
                 metric = self._metrics[name] = factory()
             return metric
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        metric = self._register(name, lambda: Counter(name, help))
+    def counter(self, name: str, help: str = "",
+                labels: Optional[dict] = None) -> Counter:
+        if labels:
+            pairs = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+            key = f"{name}{{{pairs}}}"
+            metric = self._register(key, lambda: Counter(name, help, labels))
+        else:
+            metric = self._register(name, lambda: Counter(name, help))
         if not isinstance(metric, Counter):
             raise TypeError(f"{name!r} is already a {type(metric).__name__}")
         return metric
@@ -278,11 +292,29 @@ class MetricsRegistry:
         with self._lock:
             items = sorted(self._metrics.items())
         lines: list[str] = []
+        seen_families: set[str] = set()
         for name, metric in items:
+            if isinstance(metric, Counter) and metric.labels:
+                # labelled counter: one HELP/TYPE per family, one sample
+                # line per label set
+                pname = _prom_name(metric.name)
+                if pname not in seen_families:
+                    seen_families.add(pname)
+                    if metric.help:
+                        lines.append(f"# HELP {pname} {metric.help}")
+                    lines.append(f"# TYPE {pname} counter")
+                pairs = ",".join(
+                    f'{_prom_name(k)}="{v}"'
+                    for k, v in sorted(metric.labels.items())
+                )
+                lines.append(f"{pname}{{{pairs}}} {_prom_float(metric.value)}")
+                continue
             pname = _prom_name(name)
             if metric.help:
                 lines.append(f"# HELP {pname} {metric.help}")
             if isinstance(metric, Counter):
+                if pname not in seen_families:
+                    seen_families.add(pname)
                 lines.append(f"# TYPE {pname} counter")
                 lines.append(f"{pname} {_prom_float(metric.value)}")
             elif isinstance(metric, Gauge):

@@ -166,6 +166,9 @@ class SimServe:
         self.metrics.queue_depth_fn = lambda: self.scheduler.depth
         self.metrics.cache_stats_fn = self.cache.stats
         self.metrics.flight_stats_fn = self.flight.stats
+        from repro.native import native_cache_stats
+
+        self.metrics.native_stats_fn = native_cache_stats
         #: embedded HTTP ops plane (``ops_port=0`` = ephemeral port)
         self.ops_port = ops_port
         self.ops_host = ops_host

@@ -60,6 +60,7 @@ class ServiceMetrics:
         self.queue_depth_fn = lambda: 0
         self.cache_stats_fn = lambda: {}
         self.flight_stats_fn = lambda: {}
+        self.native_stats_fn = lambda: {}
         self.n_workers = 0
         reg.gauge("simserve_queue_depth", fn=lambda: self.queue_depth_fn())
 
@@ -192,6 +193,7 @@ class ServiceMetrics:
         cache = self.cache_stats_fn()
         waterfall = self.waterfall()
         flight = self.flight_stats_fn()
+        native = self.native_stats_fn()
         with self._lock:
             busy = self.workers_busy
             snap = {
@@ -224,6 +226,7 @@ class ServiceMetrics:
                     "utilization": busy / self.n_workers if self.n_workers else 0.0,
                 },
                 "cache": cache,
+                "native": native,
                 "waterfall": waterfall,
                 "flight": flight,
             }

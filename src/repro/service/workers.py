@@ -29,6 +29,7 @@ the cache are never poisoned.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -328,12 +329,33 @@ def _process_coalesced_entry(requests: list, timing: bool = True) -> tuple:
     return outs, phases_out or []
 
 
-def _process_init(array_backend: Optional[str] = None) -> None:
-    """Child-process initializer: propagate the array-backend choice."""
+#: native-path environment propagated to process-pool children so warm
+#: pool jobs share the parent's compile-cache directory and mode
+_NATIVE_ENV_KEYS = (
+    "REPRO_NATIVE",
+    "REPRO_NATIVE_CACHE",
+    "REPRO_NATIVE_THRESHOLD",
+    "REPRO_NATIVE_CC",
+)
+
+
+def _native_env_snapshot() -> dict:
+    return {k: os.environ[k] for k in _NATIVE_ENV_KEYS if k in os.environ}
+
+
+def _process_init(
+    array_backend: Optional[str] = None,
+    native_env: Optional[dict] = None,
+) -> None:
+    """Child-process initializer: propagate the array-backend choice and
+    the parent's native-path environment (children then dlopen cached
+    artifacts instead of recompiling)."""
     if array_backend:
         from repro.model.array_backend import set_array_backend
 
         set_array_backend(array_backend)
+    for key, value in (native_env or {}).items():
+        os.environ.setdefault(key, value)
 
 
 # ---------------------------------------------------------------------------
@@ -410,7 +432,7 @@ class WorkerPool:
         return ProcessPoolExecutor(
             max_workers=self.n_workers,
             initializer=_process_init,
-            initargs=(self.array_backend,),
+            initargs=(self.array_backend, _native_env_snapshot()),
         )
 
     def health(self) -> dict:

@@ -1,0 +1,30 @@
+"""Shared fixtures for the native-path suite.
+
+Every test in this package compiles into a session-scoped temporary
+cache directory (never the user's ``~/.cache/repro-native``), and the
+whole package auto-skips with a clear notice when the host has no C
+toolchain — except the tests that exercise the fallback ladder itself,
+which mark themselves independent of the compiler.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _tmp_native_cache(tmp_path_factory, monkeypatch):
+    cache = tmp_path_factory.mktemp("native-cache")
+    monkeypatch.setenv("REPRO_NATIVE_CACHE", str(cache))
+    # the suite controls the mode explicitly through SimulationOptions
+    monkeypatch.delenv("REPRO_NATIVE", raising=False)
+    monkeypatch.delenv("REPRO_NATIVE_THRESHOLD", raising=False)
+    yield cache
+
+
+def require_cc():
+    from repro.native import find_cc
+
+    if find_cc() is None:
+        pytest.skip(
+            "no C compiler on PATH (cc/gcc/clang) — native path untestable "
+            "here; the Python fallback legs still run"
+        )
